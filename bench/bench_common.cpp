@@ -1,0 +1,62 @@
+#include "bench_common.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+namespace mobsrv::bench {
+
+void print_fit(const std::string& label, std::span<const double> x, std::span<const double> y,
+               double expected_lo, double expected_hi) {
+  const stats::LinearFit fit = stats::loglog_fit(x, y);
+  const bool pass = fit.slope >= expected_lo && fit.slope <= expected_hi;
+  std::cout << "  fit[" << label << "]: measured exponent " << io::format_double(fit.slope, 3)
+            << " (stderr " << io::format_double(fit.slope_stderr, 2) << ", R² "
+            << io::format_double(fit.r2, 3) << "); claim range [" << expected_lo << ", "
+            << expected_hi << "] → " << (pass ? "PASS" : "CHECK") << "\n";
+}
+
+void print_flatness(const std::string& label, std::span<const double> y, double max_factor) {
+  double lo = y[0], hi = y[0];
+  for (const double v : y) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double factor = hi / lo;
+  std::cout << "  flat[" << label << "]: max/min over sweep = " << io::format_double(factor, 3)
+            << " (bound " << max_factor << ") → " << (factor <= max_factor ? "PASS" : "CHECK")
+            << "\n";
+}
+
+std::string mean_pm(const stats::Summary& s, int digits) {
+  return io::format_double(s.mean(), digits) + " ± " + io::format_double(s.stderr_mean(), 2);
+}
+
+}  // namespace mobsrv::bench
+
+int main(int argc, char** argv) {
+  const mobsrv::io::Args args(argc, argv);
+  mobsrv::bench::Options options;
+  options.trials = args.get_int("trials", 6);
+  options.scale = args.get_double("scale", 1.0);
+
+  if (!args.get_bool("no-table", false)) {
+    mobsrv::par::ThreadPool pool;
+    options.pool = &pool;
+    mobsrv::bench::run_reproduction(options);
+  }
+
+  if (args.get_bool("no-bench", false)) return 0;
+
+  // Forward only google-benchmark flags (it rejects unknown ones).
+  std::vector<char*> bench_argv{argv[0]};
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) bench_argv.push_back(argv[i]);
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

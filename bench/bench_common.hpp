@@ -1,0 +1,47 @@
+/// \file bench_common.hpp
+/// Shared main() and helpers for the experiment bench binaries.
+///
+/// Every bench binary is a *reproduction artifact*: running it prints the
+/// markdown table(s) for its experiment (the analogue of a table/figure in
+/// the paper's evaluation, which this theory paper does not have — see
+/// DESIGN.md), followed by google-benchmark timings of the hot kernels.
+///
+/// Flags: --trials=N (per sweep row), --scale=F (horizon scale), --no-table,
+/// --benchmark_* (forwarded to google-benchmark).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/mobsrv.hpp"
+
+namespace mobsrv::bench {
+
+/// Options handed to each binary's run_reproduction().
+struct Options {
+  int trials = 6;      ///< trials per sweep row
+  double scale = 1.0;  ///< multiply default horizons (use < 1 for smoke runs)
+  par::ThreadPool* pool = nullptr;  ///< never null inside run_reproduction
+
+  [[nodiscard]] std::size_t horizon(std::size_t base) const {
+    const auto h = static_cast<std::size_t>(static_cast<double>(base) * scale);
+    return h < 16 ? 16 : h;
+  }
+};
+
+/// Implemented by each bench binary: prints its experiment tables.
+void run_reproduction(const Options& options);
+
+/// Prints "fitted exponent" verdict line: fits y ~ x^p on log-log, compares
+/// p against [expected_lo, expected_hi].
+void print_fit(const std::string& label, std::span<const double> x, std::span<const double> y,
+               double expected_lo, double expected_hi);
+
+/// Prints a boundedness verdict: max(y)/min(y) across the sweep must stay
+/// below `max_factor`.
+void print_flatness(const std::string& label, std::span<const double> y, double max_factor);
+
+/// Formats "mean ± stderr".
+[[nodiscard]] std::string mean_pm(const stats::Summary& s, int digits = 3);
+
+}  // namespace mobsrv::bench

@@ -1,0 +1,98 @@
+// E1 — Theorem 1: without resource augmentation no online algorithm is
+// better than Ω(√T/D)-competitive.
+//
+// Reproduction: run MtC (δ = 0) on the Theorem-1 adversary for growing T
+// and several D; the measured ratio C_MtC / C_adversary must grow like √T
+// (log-log slope ≈ 0.5) and shrink with D.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace mobsrv::bench {
+
+namespace {
+
+core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double d_weight,
+                            int trials) {
+  core::RatioOptions opt;
+  opt.trials = trials;
+  opt.speed_factor = 1.0;  // NO augmentation — the point of Theorem 1
+  opt.oracle = core::OptOracle::kAdversaryCost;
+  opt.seed_key = stats::mix_keys({stats::hash_name("e01"), horizon,
+                                  static_cast<std::uint64_t>(d_weight)});
+  return core::estimate_ratio(
+      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      [horizon, d_weight](std::size_t, stats::Rng& rng) {
+        adv::Theorem1Params p;
+        p.horizon = horizon;
+        p.move_cost_weight = d_weight;
+        adv::AdversarialInstance a = adv::make_theorem1(p, rng);
+        return core::PreparedSample{std::move(a.instance), a.adversary_cost, {}};
+      },
+      opt);
+}
+
+}  // namespace
+
+void run_reproduction(const Options& options) {
+  std::cout << "# E1 — Theorem 1: lower bound Ω(√T/D) without augmentation\n"
+            << "Claim: every online algorithm's ratio grows with √T when it has no\n"
+            << "speed advantage; the construction separates server and requests by √T·m.\n\n";
+
+  io::Table table("MtC on the Theorem-1 adversary (ratio = C_MtC / C_adversary)",
+                  {"T", "D", "ratio", "online cost", "adversary cost"});
+  std::vector<double> horizons, ratios_d1;
+  for (const double d_weight : {1.0, 4.0, 16.0}) {
+    for (const std::size_t base : {256u, 1024u, 4096u, 16384u}) {
+      const std::size_t horizon = options.horizon(base);
+      const core::RatioEstimate est = measure(*options.pool, horizon, d_weight, options.trials);
+      table.row()
+          .cell(horizon)
+          .cell(d_weight, 3)
+          .cell(mean_pm(est.ratio))
+          .cell(est.online_cost.mean(), 4)
+          .cell(est.offline_proxy.mean(), 4)
+          .done();
+      if (d_weight == 1.0) {
+        horizons.push_back(static_cast<double>(horizon));
+        ratios_d1.push_back(est.ratio.mean());
+      }
+    }
+  }
+  table.print(std::cout);
+  print_fit("ratio vs T at D=1 (claim √T ⇒ 0.5)", horizons, ratios_d1, 0.35, 0.65);
+  std::cout << "\n";
+}
+
+namespace {
+
+void BM_Theorem1Generator(benchmark::State& state) {
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    stats::Rng rng(++seed);
+    adv::Theorem1Params p;
+    p.horizon = horizon;
+    benchmark::DoNotOptimize(adv::make_theorem1(p, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(horizon));
+}
+BENCHMARK(BM_Theorem1Generator)->Arg(1024)->Arg(8192);
+
+void BM_MtcOnTheorem1(benchmark::State& state) {
+  stats::Rng rng(1);
+  adv::Theorem1Params p;
+  p.horizon = static_cast<std::size_t>(state.range(0));
+  const adv::AdversarialInstance a = adv::make_theorem1(p, rng);
+  alg::MoveToCenter mtc;
+  for (auto _ : state) benchmark::DoNotOptimize(sim::run(a.instance, mtc));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MtcOnTheorem1)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+}  // namespace mobsrv::bench

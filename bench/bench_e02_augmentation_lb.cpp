@@ -1,0 +1,99 @@
+// E2 — Theorem 2: with a (1+δ)m movement limit the lower bound becomes
+// Ω((1/δ)·Rmax/Rmin).
+//
+// Reproduction: MtC with augmentation (1+δ) on the Theorem-2 adversary.
+// Sweep 1: δ halves, Rmax = Rmin → ratio doubles (slope vs 1/δ ≈ 1).
+// Sweep 2: fixed δ, growing Rmax/Rmin → ratio grows linearly.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace mobsrv::bench {
+
+namespace {
+
+core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double delta,
+                            std::size_t r_min, std::size_t r_max, int trials) {
+  core::RatioOptions opt;
+  opt.trials = trials;
+  opt.speed_factor = 1.0 + delta;
+  opt.oracle = core::OptOracle::kAdversaryCost;
+  opt.seed_key = stats::mix_keys({stats::hash_name("e02"), horizon,
+                                  static_cast<std::uint64_t>(delta * 1e6), r_min, r_max});
+  return core::estimate_ratio(
+      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      [=](std::size_t, stats::Rng& rng) {
+        adv::Theorem2Params p;
+        p.horizon = horizon;
+        p.delta = delta;
+        p.r_min = r_min;
+        p.r_max = r_max;
+        adv::AdversarialInstance a = adv::make_theorem2(p, rng);
+        return core::PreparedSample{std::move(a.instance), a.adversary_cost, {}};
+      },
+      opt);
+}
+
+}  // namespace
+
+void run_reproduction(const Options& options) {
+  std::cout << "# E2 — Theorem 2: lower bound Ω((1/δ)·Rmax/Rmin) with augmentation\n"
+            << "Claim: the adversary alternates a pin-down phase (Rmin requests) with a\n"
+            << "chase phase (Rmax requests riding away) calibrated so the augmented\n"
+            << "server needs x/δ rounds to catch up.\n\n";
+
+  const std::size_t horizon = options.horizon(4096);
+
+  io::Table by_delta("Sweep 1: ratio vs δ (Rmin = Rmax = 1)",
+                     {"delta", "1/delta", "ratio", "adversary cost"});
+  std::vector<double> inv_delta, ratios;
+  for (const double delta : {1.0, 0.5, 0.25, 0.125, 0.0625}) {
+    const core::RatioEstimate est = measure(*options.pool, horizon, delta, 1, 1, options.trials);
+    by_delta.row()
+        .cell(delta, 4)
+        .cell(1.0 / delta, 4)
+        .cell(mean_pm(est.ratio))
+        .cell(est.offline_proxy.mean(), 4)
+        .done();
+    inv_delta.push_back(1.0 / delta);
+    ratios.push_back(est.ratio.mean());
+  }
+  by_delta.print(std::cout);
+  print_fit("ratio vs 1/δ (claim linear ⇒ 1.0)", inv_delta, ratios, 0.7, 1.3);
+
+  io::Table by_imbalance("Sweep 2: ratio vs Rmax/Rmin (δ = 0.5, Rmin = 1)",
+                         {"Rmax/Rmin", "ratio"});
+  std::vector<double> imbalance, ratios2;
+  for (const std::size_t r_max : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const core::RatioEstimate est =
+        measure(*options.pool, horizon, 0.5, 1, r_max, options.trials);
+    by_imbalance.row().cell(r_max).cell(mean_pm(est.ratio)).done();
+    imbalance.push_back(static_cast<double>(r_max));
+    ratios2.push_back(est.ratio.mean());
+  }
+  by_imbalance.print(std::cout);
+  print_fit("ratio vs Rmax/Rmin (claim linear ⇒ 1.0)", imbalance, ratios2, 0.7, 1.2);
+  std::cout << "\n";
+}
+
+namespace {
+
+void BM_Theorem2Run(benchmark::State& state) {
+  stats::Rng rng(1);
+  adv::Theorem2Params p;
+  p.horizon = 4096;
+  p.delta = 1.0 / static_cast<double>(state.range(0));
+  const adv::AdversarialInstance a = adv::make_theorem2(p, rng);
+  alg::MoveToCenter mtc;
+  sim::RunOptions opt;
+  opt.speed_factor = 1.0 + p.delta;
+  for (auto _ : state) benchmark::DoNotOptimize(sim::run(a.instance, mtc, opt));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Theorem2Run)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+}  // namespace mobsrv::bench

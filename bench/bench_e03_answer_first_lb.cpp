@@ -1,0 +1,90 @@
+// E3 — Theorem 3: in the Answer-First variant (serve before moving) the
+// ratio is Ω(r/D) even with augmentation.
+//
+// Reproduction: MtC (with augmentation, which must NOT help) on the
+// Theorem-3 two-step cycler; ratio grows linearly in r and shrinks with D.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace mobsrv::bench {
+
+namespace {
+
+core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, std::size_t r,
+                            double d_weight, int trials) {
+  core::RatioOptions opt;
+  opt.trials = trials;
+  opt.speed_factor = 1.5;  // augmentation cannot rescue Answer-First
+  opt.oracle = core::OptOracle::kAdversaryCost;
+  opt.seed_key = stats::mix_keys({stats::hash_name("e03"), horizon, r,
+                                  static_cast<std::uint64_t>(d_weight)});
+  return core::estimate_ratio(
+      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      [=](std::size_t, stats::Rng& rng) {
+        adv::Theorem3Params p;
+        p.horizon = horizon;
+        p.requests_per_step = r;
+        p.move_cost_weight = d_weight;
+        adv::AdversarialInstance a = adv::make_theorem3(p, rng);
+        return core::PreparedSample{std::move(a.instance), a.adversary_cost, {}};
+      },
+      opt);
+}
+
+}  // namespace
+
+void run_reproduction(const Options& options) {
+  std::cout << "# E3 — Theorem 3: Answer-First lower bound Ω(r/D)\n"
+            << "Claim: when requests must be answered before moving, a two-step\n"
+            << "coin-flip cycle costs the online server r·m per cycle (in expectation\n"
+            << "half the cycles) vs the adversary's D·m — augmentation does not help.\n\n";
+
+  const std::size_t horizon = options.horizon(2048);
+
+  io::Table table("MtC (Answer-First) on the Theorem-3 adversary",
+                  {"r", "D", "r/D", "ratio"});
+  std::vector<double> rs, ratios_d1;
+  for (const double d_weight : {1.0, 4.0}) {
+    for (const std::size_t r : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const core::RatioEstimate est =
+          measure(*options.pool, horizon, r, d_weight, options.trials);
+      table.row()
+          .cell(r)
+          .cell(d_weight, 3)
+          .cell(static_cast<double>(r) / d_weight, 4)
+          .cell(mean_pm(est.ratio))
+          .done();
+      if (d_weight == 1.0) {
+        rs.push_back(static_cast<double>(r));
+        ratios_d1.push_back(est.ratio.mean());
+      }
+    }
+  }
+  table.print(std::cout);
+  print_fit("ratio vs r at D=1 (claim linear ⇒ 1.0)", rs, ratios_d1, 0.7, 1.2);
+  std::cout << "\n";
+}
+
+namespace {
+
+void BM_AnswerFirstEngine(benchmark::State& state) {
+  stats::Rng rng(1);
+  adv::Theorem3Params p;
+  p.horizon = 4096;
+  p.requests_per_step = static_cast<std::size_t>(state.range(0));
+  const adv::AdversarialInstance a = adv::make_theorem3(p, rng);
+  alg::MoveToCenter mtc;
+  sim::RunOptions opt;
+  opt.speed_factor = 1.5;
+  for (auto _ : state) benchmark::DoNotOptimize(sim::run(a.instance, mtc, opt));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096 *
+                          state.range(0));
+}
+BENCHMARK(BM_AnswerFirstEngine)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+
+}  // namespace mobsrv::bench

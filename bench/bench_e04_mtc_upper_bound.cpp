@@ -1,0 +1,163 @@
+// E4 — Theorem 4: MtC with (1+δ)m augmentation is O((1/δ)·Rmax/Rmin)-
+// competitive on the line and O((1/δ^{3/2})·Rmax/Rmin) in the plane.
+//
+// Reproduction, four sweeps:
+//   (a) ratio is FLAT in T (the whole point of augmentation) — measured
+//       against the certified DP bracket on the line;
+//   (b) ratio grows as δ ↓ 0 with exponent between 1 (line LB) and 3/2
+//       (plane UB);
+//   (c) ratio stays small and bounded across dimensions 1..3 on realistic
+//       workloads;
+//   (d) ratio grows at most linearly in Rmax/Rmin.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace mobsrv::bench {
+
+namespace {
+
+core::SampleFn theorem2_sampler(std::size_t horizon, double delta, std::size_t r_min,
+                                std::size_t r_max) {
+  return [=](std::size_t, stats::Rng& rng) {
+    adv::Theorem2Params p;
+    p.horizon = horizon;
+    p.delta = delta;
+    p.r_min = r_min;
+    p.r_max = r_max;
+    adv::AdversarialInstance a = adv::make_theorem2(p, rng);
+    return core::PreparedSample{std::move(a.instance), a.adversary_cost,
+                                std::move(a.adversary_positions)};
+  };
+}
+
+core::RatioEstimate measure(par::ThreadPool& pool, const core::SampleFn& sampler, double delta,
+                            core::OptOracle oracle, int trials, std::uint64_t key) {
+  core::RatioOptions opt;
+  opt.trials = trials;
+  opt.speed_factor = 1.0 + delta;
+  opt.oracle = oracle;
+  opt.seed_key = key;
+  return core::estimate_ratio(
+      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); }, sampler, opt);
+}
+
+}  // namespace
+
+void run_reproduction(const Options& options) {
+  std::cout << "# E4 — Theorem 4: MtC upper bounds under augmentation\n"
+            << "Claim: O((1/δ)·Rmax/Rmin) on the line, O((1/δ^{3/2})·Rmax/Rmin) in the\n"
+            << "plane; in particular the ratio is independent of T.\n\n";
+
+  // (a) Flat in T, with the certified bracket: ratio (vs feasible DP cost,
+  // an under-estimate) and ratio_vs_lower (vs certified OPT lower bound, an
+  // over-estimate) must BOTH stay flat.
+  io::Table flat("Sweep (a): ratio vs T on the Theorem-2 adversary, δ = 0.5, line",
+                 {"T", "ratio (vs DP upper)", "ratio (vs certified lower)"});
+  std::vector<double> flat_upper, flat_lower;
+  for (const std::size_t base : {512u, 1024u, 2048u, 4096u}) {
+    const std::size_t horizon = options.horizon(base);
+    const core::RatioEstimate est =
+        measure(*options.pool, theorem2_sampler(horizon, 0.5, 1, 1), 0.5,
+                core::OptOracle::kBestAvailable, options.trials,
+                stats::mix_keys({stats::hash_name("e04a"), horizon}));
+    flat.row()
+        .cell(horizon)
+        .cell(mean_pm(est.ratio))
+        .cell(mean_pm(est.ratio_vs_lower))
+        .done();
+    flat_upper.push_back(est.ratio.mean());
+    flat_lower.push_back(est.ratio_vs_lower.mean());
+  }
+  flat.print(std::cout);
+  print_flatness("ratio vs T (vs DP upper)", flat_upper, 1.6);
+  print_flatness("ratio vs T (vs certified lower)", flat_lower, 1.6);
+
+  // (b) δ sweep on the adversary's own worst case.
+  io::Table by_delta("Sweep (b): ratio vs δ on the Theorem-2 adversary (line)",
+                     {"delta", "ratio"});
+  std::vector<double> inv_delta, delta_ratios;
+  const std::size_t horizon_b = options.horizon(4096);
+  for (const double delta : {1.0, 0.5, 0.25, 0.125}) {
+    const core::RatioEstimate est =
+        measure(*options.pool, theorem2_sampler(horizon_b, delta, 1, 1), delta,
+                core::OptOracle::kAdversaryCost, options.trials,
+                stats::mix_keys({stats::hash_name("e04b"),
+                                 static_cast<std::uint64_t>(delta * 1e6)}));
+    by_delta.row().cell(delta, 4).cell(mean_pm(est.ratio)).done();
+    inv_delta.push_back(1.0 / delta);
+    delta_ratios.push_back(est.ratio.mean());
+  }
+  by_delta.print(std::cout);
+  print_fit("ratio vs 1/δ (claim: exponent in [1, 3/2])", inv_delta, delta_ratios, 0.75, 1.6);
+
+  // (c) Dimension sweep on a realistic workload with the convex oracle.
+  io::Table by_dim("Sweep (c): drifting hotspot across dimensions (δ = 0.5, D = 4)",
+                   {"dim", "ratio (vs best feasible offline)"});
+  std::vector<double> dim_ratios;
+  for (const int dim : {1, 2, 3}) {
+    const std::size_t horizon = options.horizon(512);
+    const core::RatioEstimate est = measure(
+        *options.pool,
+        [dim, horizon](std::size_t, stats::Rng& rng) {
+          adv::DriftingHotspotParams p;
+          p.horizon = horizon;
+          p.dim = dim;
+          return core::PreparedSample{adv::make_drifting_hotspot(p, rng), 0.0, {}};
+        },
+        0.5, core::OptOracle::kBestAvailable, options.trials,
+        stats::mix_keys({stats::hash_name("e04c"), static_cast<std::uint64_t>(dim)}));
+    by_dim.row().cell(dim).cell(mean_pm(est.ratio)).done();
+    dim_ratios.push_back(est.ratio.mean());
+  }
+  by_dim.print(std::cout);
+  print_flatness("ratio vs dimension", dim_ratios, 2.0);
+
+  // (d) Rmax/Rmin dependence, line, DP bracket.
+  io::Table by_imbalance("Sweep (d): ratio vs Rmax/Rmin on the Theorem-2 adversary (δ=0.5)",
+                         {"Rmax/Rmin", "ratio"});
+  std::vector<double> imbalance, imbalance_ratios;
+  const std::size_t horizon_d = options.horizon(2048);
+  for (const std::size_t r_max : {1u, 4u, 16u}) {
+    const core::RatioEstimate est =
+        measure(*options.pool, theorem2_sampler(horizon_d, 0.5, 1, r_max), 0.5,
+                core::OptOracle::kAdversaryCost, options.trials,
+                stats::mix_keys({stats::hash_name("e04d"), r_max}));
+    by_imbalance.row().cell(r_max).cell(mean_pm(est.ratio)).done();
+    imbalance.push_back(static_cast<double>(r_max));
+    imbalance_ratios.push_back(est.ratio.mean());
+  }
+  by_imbalance.print(std::cout);
+  print_fit("ratio vs Rmax/Rmin (claim at most linear)", imbalance, imbalance_ratios, 0.5, 1.2);
+  std::cout << "\n";
+}
+
+namespace {
+
+void BM_MtcDecide(benchmark::State& state) {
+  stats::Rng rng(1);
+  const auto r = static_cast<std::size_t>(state.range(0));
+  const int dim = static_cast<int>(state.range(1));
+  sim::ModelParams params;
+  params.move_cost_weight = 4.0;
+  sim::RequestBatch batch;
+  for (std::size_t i = 0; i < r; ++i) {
+    geo::Point v(dim);
+    for (int d = 0; d < dim; ++d) v[d] = rng.uniform(-5.0, 5.0);
+    batch.requests.push_back(v);
+  }
+  alg::MoveToCenter mtc;
+  sim::StepView view;
+  view.batch = &batch;
+  view.server = geo::Point::zero(dim);
+  view.speed_limit = 1.5;
+  view.params = &params;
+  for (auto _ : state) benchmark::DoNotOptimize(mtc.decide(view));
+}
+BENCHMARK(BM_MtcDecide)->Args({1, 2})->Args({8, 2})->Args({64, 2})->Args({8, 8});
+
+}  // namespace
+
+}  // namespace mobsrv::bench

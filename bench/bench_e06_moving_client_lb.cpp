@@ -1,0 +1,87 @@
+// E6 — Theorem 8: Moving Client with a faster agent (m_a = (1+ε)·m_s) and
+// no augmentation — ratio Ω(√T·ε/(1+ε)).
+//
+// Reproduction: MtC (which specialises to the paper's moving-client rule
+// for r = 1) on the Theorem-8 trajectory; ratio grows ~√T and increases
+// with ε.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace mobsrv::bench {
+
+namespace {
+
+core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double epsilon,
+                            int trials) {
+  core::RatioOptions opt;
+  opt.trials = trials;
+  opt.speed_factor = 1.0;  // no augmentation — the regime of the theorem
+  opt.oracle = core::OptOracle::kAdversaryCost;
+  opt.seed_key = stats::mix_keys({stats::hash_name("e06"), horizon,
+                                  static_cast<std::uint64_t>(epsilon * 1e6)});
+  return core::estimate_ratio(
+      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      [=](std::size_t, stats::Rng& rng) {
+        adv::Theorem8Params p;
+        p.horizon = horizon;
+        p.epsilon = epsilon;
+        adv::MovingClientAdversarial a = adv::make_theorem8(p, rng);
+        return core::PreparedSample{sim::to_instance(a.mc), a.adversary_cost, {}};
+      },
+      opt);
+}
+
+}  // namespace
+
+void run_reproduction(const Options& options) {
+  std::cout << "# E6 — Theorem 8: Moving Client lower bound Ω(√T·ε/(1+ε))\n"
+            << "Claim: a client moving at (1+ε)·m_s can lure a wrong-guessing server\n"
+            << "√T·ε·m_s behind and outrun it forever; no augmentation, ratio grows with T.\n\n";
+
+  io::Table table("MtC on the Theorem-8 agent (ratio = C_MtC / C_adversary)",
+                  {"T", "epsilon", "ratio"});
+  std::vector<double> horizons, ratios_eps1;
+  for (const double epsilon : {0.25, 0.5, 1.0}) {
+    for (const std::size_t base : {1024u, 4096u, 16384u}) {
+      const std::size_t horizon = options.horizon(base);
+      const core::RatioEstimate est = measure(*options.pool, horizon, epsilon, options.trials);
+      table.row().cell(horizon).cell(epsilon, 3).cell(mean_pm(est.ratio)).done();
+      if (epsilon == 1.0) {
+        horizons.push_back(static_cast<double>(horizon));
+        ratios_eps1.push_back(est.ratio.mean());
+      }
+    }
+  }
+  table.print(std::cout);
+  print_fit("ratio vs T at ε=1 (claim √T ⇒ 0.5)", horizons, ratios_eps1, 0.3, 0.7);
+
+  // Monotonicity in ε at fixed T.
+  const std::size_t h = options.horizon(4096);
+  const double r_small = measure(*options.pool, h, 0.25, options.trials).ratio.mean();
+  const double r_large = measure(*options.pool, h, 1.0, options.trials).ratio.mean();
+  std::cout << "  mono[ratio increases with ε]: ratio(ε=0.25) = "
+            << io::format_double(r_small, 3) << " < ratio(ε=1) = "
+            << io::format_double(r_large, 3) << " → " << (r_small < r_large ? "PASS" : "CHECK")
+            << "\n\n";
+}
+
+namespace {
+
+void BM_Theorem8Generator(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    stats::Rng rng(++seed);
+    adv::Theorem8Params p;
+    p.horizon = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(adv::make_theorem8(p, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Theorem8Generator)->Arg(4096)->Arg(16384);
+
+}  // namespace
+
+}  // namespace mobsrv::bench

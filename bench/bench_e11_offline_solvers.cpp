@@ -1,0 +1,124 @@
+// E11 — system experiment: quality and cost of the offline-optimum oracles
+// that every upper-bound measurement depends on.
+//
+// Reproduction: (a) the DP bracket tightens with grid resolution; (b) the
+// convex solver lands inside the DP bracket on the line; (c) solver runtime
+// scaling (google-benchmark section).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace mobsrv::bench {
+
+namespace {
+
+sim::Instance workload(std::size_t horizon, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  adv::DriftingHotspotParams p;
+  p.horizon = horizon;
+  p.dim = 1;
+  p.move_cost_weight = 4.0;
+  return adv::make_drifting_hotspot(p, rng);
+}
+
+}  // namespace
+
+void run_reproduction(const Options& options) {
+  std::cout << "# E11 — offline solver quality (the OPT oracles)\n"
+            << "The DP brackets OPT between a feasible cost and a certified lower\n"
+            << "bound; the convex solver must land inside that bracket.\n\n";
+
+  const std::size_t horizon = options.horizon(512);
+
+  io::Table bracket("DP bracket vs grid resolution (drifting hotspot, T = " +
+                        std::to_string(horizon) + ")",
+                    {"cells per m", "feasible cost (UB)", "certified LB", "bracket width %"});
+  const sim::Instance inst = workload(horizon, 1);
+  for (const double cells : {2.0, 4.0, 8.0, 16.0}) {
+    opt::GridDpOptions dp_opt;
+    dp_opt.cells_per_step = cells;
+    const opt::GridDpResult res = opt::solve_grid_dp_1d(inst, dp_opt);
+    const double width =
+        100.0 * (res.solution.cost - res.solution.opt_lower_bound) / res.solution.cost;
+    bracket.row()
+        .cell(cells, 3)
+        .cell(res.solution.cost, 5)
+        .cell(res.solution.opt_lower_bound, 5)
+        .cell(width, 3)
+        .done();
+  }
+  bracket.print(std::cout);
+
+  io::Table agreement(
+      "General-dimension solvers vs DP bracket (5 instances)",
+      {"instance", "subgradient", "+CD polish", "DP UB", "DP LB", "polish inside 10% of DP"});
+  int inside = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const sim::Instance w = workload(horizon, seed);
+    const opt::OfflineSolution cv = opt::solve_convex_descent(w);
+    const opt::OfflineSolution best = opt::solve_best_offline(w);
+    const opt::GridDpResult dp = opt::solve_grid_dp_1d(w);
+    const bool ok = best.cost >= dp.solution.opt_lower_bound - 1e-9 &&
+                    best.cost <= dp.solution.cost * 1.10;
+    inside += ok ? 1 : 0;
+    agreement.row()
+        .cell(static_cast<int>(seed))
+        .cell(cv.cost, 5)
+        .cell(best.cost, 5)
+        .cell(dp.solution.cost, 5)
+        .cell(dp.solution.opt_lower_bound, 5)
+        .cell(ok ? "yes" : "NO")
+        .done();
+  }
+  agreement.print(std::cout);
+  std::cout << "  bracket[shaping+polish within 10% of DP on all instances]: "
+            << (inside == 5 ? "PASS" : "CHECK") << "\n";
+
+  // Reachability bound sanity across dimensions.
+  io::Table reach("Reachability lower bound vs best feasible (chasing hotspot)",
+                  {"dim", "reach LB", "convex cost", "LB/UB"});
+  for (const int dim : {1, 2, 3}) {
+    std::vector<sim::RequestBatch> steps(options.horizon(128));
+    for (std::size_t t = 0; t < steps.size(); ++t)
+      steps[t].requests = {geo::Point::on_axis(dim, 1.5 * static_cast<double>(t + 1))};
+    sim::ModelParams params;
+    params.move_cost_weight = 1.0;
+    params.max_step = 1.0;
+    const sim::Instance chase(geo::Point::zero(dim), params, std::move(steps));
+    const double lb = opt::reachability_lower_bound(chase);
+    const double ub = opt::solve_convex_descent(chase).cost;
+    reach.row().cell(dim).cell(lb, 5).cell(ub, 5).cell(lb / ub, 3).done();
+  }
+  reach.print(std::cout);
+  std::cout << "\n";
+}
+
+namespace {
+
+void BM_GridDp(benchmark::State& state) {
+  const sim::Instance inst = workload(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) benchmark::DoNotOptimize(opt::solve_grid_dp_1d(inst));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GridDp)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_ConvexDescent(benchmark::State& state) {
+  const sim::Instance inst = workload(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) benchmark::DoNotOptimize(opt::solve_convex_descent(inst));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ConvexDescent)->Arg(128)->Arg(512);
+
+void BM_GridDpResolution(benchmark::State& state) {
+  const sim::Instance inst = workload(512, 9);
+  opt::GridDpOptions dp_opt;
+  dp_opt.cells_per_step = static_cast<double>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(opt::solve_grid_dp_1d(inst, dp_opt));
+}
+BENCHMARK(BM_GridDpResolution)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+}  // namespace mobsrv::bench

@@ -1,0 +1,118 @@
+// E13 — system scaling: throughput of the simulation engine, the parallel
+// trial harness, and the core kernels. Pure google-benchmark; the
+// reproduction section prints a one-table summary of steps/second so the
+// numbers land in bench_output.txt alongside the experiments.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace mobsrv::bench {
+
+void run_reproduction(const Options& options) {
+  std::cout << "# E13 — engine & harness throughput\n\n";
+
+  // Quick wall-clock summary of engine throughput at varying batch size.
+  io::Table table("Engine throughput (MtC, 2-D, T = 4096)",
+                  {"requests/step", "steps/second"});
+  for (const std::size_t r : {1u, 4u, 16u, 64u}) {
+    stats::Rng rng({stats::hash_name("e13"), r});
+    adv::DriftingHotspotParams p;
+    p.horizon = options.horizon(4096);
+    p.r_min = r;
+    p.r_max = r;
+    const sim::Instance inst = adv::make_drifting_hotspot(p, rng);
+    alg::MoveToCenter mtc;
+    const auto start = std::chrono::steady_clock::now();
+    const sim::RunResult res = sim::run(inst, mtc);
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    benchmark::DoNotOptimize(res.total_cost);
+    table.row()
+        .cell(r)
+        .cell(static_cast<double>(inst.horizon()) / elapsed, 4)
+        .done();
+  }
+  table.print(std::cout);
+
+  // Parallel harness: trials/second with the pool (on a single-core host
+  // this documents overhead is negligible rather than speedup).
+  io::Table harness("Ratio-estimator throughput (Theorem-1, T = 1024)",
+                    {"trials", "wall seconds"});
+  for (const int trials : {4, 16}) {
+    core::RatioOptions opt;
+    opt.trials = trials;
+    opt.oracle = core::OptOracle::kAdversaryCost;
+    opt.seed_key = stats::hash_name("e13-harness");
+    const auto start = std::chrono::steady_clock::now();
+    const core::RatioEstimate est = core::estimate_ratio(
+        *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+        [&](std::size_t, stats::Rng& rng) {
+          adv::Theorem1Params p;
+          p.horizon = options.horizon(1024);
+          adv::AdversarialInstance a = adv::make_theorem1(p, rng);
+          return core::PreparedSample{std::move(a.instance), a.adversary_cost, {}};
+        },
+        opt);
+    benchmark::DoNotOptimize(est.ratio.mean());
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    harness.row().cell(trials).cell(elapsed, 3).done();
+  }
+  harness.print(std::cout);
+  std::cout << "\n";
+}
+
+namespace {
+
+void BM_EngineStep(benchmark::State& state) {
+  stats::Rng rng(1);
+  adv::DriftingHotspotParams p;
+  p.horizon = 2048;
+  p.dim = static_cast<int>(state.range(1));
+  p.r_min = p.r_max = static_cast<std::size_t>(state.range(0));
+  const sim::Instance inst = adv::make_drifting_hotspot(p, rng);
+  alg::MoveToCenter mtc;
+  for (auto _ : state) benchmark::DoNotOptimize(sim::run(inst, mtc));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_EngineStep)->Args({1, 2})->Args({16, 2})->Args({16, 8});
+
+void BM_ParallelFor(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<double> out = par::parallel_map<double>(pool, 256, 8, [](std::size_t i) {
+      stats::Rng rng({0x9e77ULL, static_cast<std::uint64_t>(i)});
+      double acc = 0.0;
+      for (int k = 0; k < 500; ++k) acc += rng.normal();
+      return acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ParallelFor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RngNormal(benchmark::State& state) {
+  stats::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_TrajectoryCost(benchmark::State& state) {
+  stats::Rng rng(1);
+  adv::DriftingHotspotParams p;
+  p.horizon = static_cast<std::size_t>(state.range(0));
+  const sim::Instance inst = adv::make_drifting_hotspot(p, rng);
+  alg::Lazy lazy;
+  const sim::RunResult run = sim::run(inst, lazy);
+  for (auto _ : state) benchmark::DoNotOptimize(sim::trajectory_cost(inst, run.positions));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TrajectoryCost)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+}  // namespace mobsrv::bench

@@ -1,0 +1,158 @@
+// E14 — ablations and the Section-6 extension.
+//
+// (a) MtC's damping exponent: the step rule min{1, (r/D)^γ}·d recovers
+//     GreedyCenter at γ = 0 and MtC at γ = 1. Sweeping γ on a demand-drift
+//     workload shows the paper's choice sits at/near the cost minimum.
+// (b) Multiple mobile servers (the paper's open question): marginal value
+//     of fleet size k on multi-hotspot demand — the costs drop steeply up
+//     to k ≈ #hotspots, then flatten.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "algorithms/parametric.hpp"
+#include "bench_common.hpp"
+#include "ext/multi_server.hpp"
+
+namespace mobsrv::bench {
+
+void run_reproduction(const Options& options) {
+  std::cout << "# E14 — ablations: MtC damping exponent; multi-server extension\n\n";
+
+  // (a) damping ablation. γ = 1 is MtC's *worst-case* choice: heavier
+  // damping (γ > 1) looks great on benign drift (it saves movement) but
+  // gets burned by the Theorem-2 chase adversary, where a damped server
+  // never closes the gap. The right score is therefore the MAX ratio across
+  // benign and adversarial workloads — γ = 1 should (near-)minimise it.
+  const std::size_t horizon = options.horizon(768);
+  auto hotspot_ratio = [&](double gamma) {
+    stats::Summary ratio;
+    for (int trial = 0; trial < options.trials; ++trial) {
+      stats::Rng rng({stats::hash_name("e14a-h"), static_cast<std::uint64_t>(gamma * 1000),
+                      static_cast<std::uint64_t>(trial)});
+      adv::DriftingHotspotParams p;
+      p.horizon = horizon;
+      p.move_cost_weight = 8.0;
+      p.r_min = 1;
+      p.r_max = 2;
+      p.drift_speed = 0.5;
+      const sim::Instance inst = adv::make_drifting_hotspot(p, rng);
+      alg::ParametricChaser chaser(gamma);
+      sim::RunOptions run_opt;
+      run_opt.speed_factor = 1.5;
+      ratio.add(sim::run(inst, chaser, run_opt).total_cost /
+                opt::solve_best_offline(inst).cost);
+    }
+    return ratio.mean();
+  };
+  auto adversarial_ratio = [&](double gamma) {
+    stats::Summary ratio;
+    for (int trial = 0; trial < options.trials; ++trial) {
+      stats::Rng rng({stats::hash_name("e14a-a"), static_cast<std::uint64_t>(gamma * 1000),
+                      static_cast<std::uint64_t>(trial)});
+      adv::Theorem2Params p;
+      p.horizon = horizon;
+      p.delta = 0.5;
+      p.move_cost_weight = 8.0;
+      const adv::AdversarialInstance a = adv::make_theorem2(p, rng);
+      alg::ParametricChaser chaser(gamma);
+      sim::RunOptions run_opt;
+      run_opt.speed_factor = 1.5;
+      ratio.add(sim::run(a.instance, chaser, run_opt).total_cost / a.adversary_cost);
+    }
+    return ratio.mean();
+  };
+
+  io::Table damping("Ablation (a): damping exponent γ — benign vs adversarial",
+                    {"gamma", "hotspot ratio", "Thm-2 adversary ratio", "max (robust score)"});
+  double best_max = 1e300, mtc_max = 0.0, best_gamma = -1.0;
+  for (const double gamma : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const double benign = hotspot_ratio(gamma);
+    const double adversarial = adversarial_ratio(gamma);
+    const double robust = std::max(benign, adversarial);
+    damping.row()
+        .cell(gamma, 3)
+        .cell(benign, 4)
+        .cell(adversarial, 4)
+        .cell(robust, 4)
+        .done();
+    if (robust < best_max) {
+      best_max = robust;
+      best_gamma = gamma;
+    }
+    if (gamma == 1.0) mtc_max = robust;
+  }
+  damping.print(std::cout);
+  std::cout << "  ablation[γ=1 (MtC) within 15% of the minimax damping]: best γ = "
+            << io::format_double(best_gamma, 3) << ", MtC max-ratio / best max-ratio = "
+            << io::format_double(mtc_max / best_max, 3) << " → "
+            << (mtc_max <= best_max * 1.15 ? "PASS" : "CHECK") << "\n\n";
+
+  // (b) fleet-size ablation.
+  io::Table fleet("Extension (b): k mobile servers on 4 drifting hotspots",
+                  {"servers k", "AssignAndChase cost", "Static cost", "chase/static"});
+  std::vector<double> chase_costs;
+  for (const int k : {1, 2, 4, 8, 16}) {
+    stats::Summary chase_cost, static_cost;
+    for (int trial = 0; trial < options.trials; ++trial) {
+      stats::Rng rng({stats::hash_name("e14b"), static_cast<std::uint64_t>(k),
+                      static_cast<std::uint64_t>(trial)});
+      ext::MultiHotspotParams p;
+      p.horizon = options.horizon(512);
+      p.clusters = 4;
+      const sim::Instance inst = ext::make_multi_hotspot(p, rng);
+      const auto starts = ext::spread_starts(inst, k, 10.0);
+      ext::AssignAndChase chase;
+      ext::StaticServers still;
+      chase_cost.add(ext::run_multi(inst, starts, chase).total_cost);
+      static_cost.add(ext::run_multi(inst, starts, still).total_cost);
+    }
+    fleet.row()
+        .cell(k)
+        .cell(chase_cost.mean(), 5)
+        .cell(static_cost.mean(), 5)
+        .cell(chase_cost.mean() / static_cost.mean(), 3)
+        .done();
+    chase_costs.push_back(chase_cost.mean());
+  }
+  fleet.print(std::cout);
+  const double gain_1_to_4 = chase_costs[0] - chase_costs[2];
+  const double gain_4_to_16 = chase_costs[2] - chase_costs[4];
+  std::cout << "  shape[diminishing returns after k ≈ #hotspots]: gain(1→4) = "
+            << io::format_double(gain_1_to_4, 4) << " vs gain(4→16) = "
+            << io::format_double(gain_4_to_16, 4) << " → "
+            << (gain_1_to_4 > gain_4_to_16 ? "PASS" : "CHECK") << "\n\n";
+}
+
+namespace {
+
+void BM_MultiServerStep(benchmark::State& state) {
+  stats::Rng rng(1);
+  ext::MultiHotspotParams p;
+  p.horizon = 512;
+  p.clusters = 4;
+  const sim::Instance inst = ext::make_multi_hotspot(p, rng);
+  const auto starts = ext::spread_starts(inst, static_cast<int>(state.range(0)), 10.0);
+  for (auto _ : state) {
+    ext::AssignAndChase chase;
+    benchmark::DoNotOptimize(ext::run_multi(inst, starts, chase));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_MultiServerStep)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ParametricChaser(benchmark::State& state) {
+  stats::Rng rng(1);
+  adv::DriftingHotspotParams p;
+  p.horizon = 1024;
+  const sim::Instance inst = adv::make_drifting_hotspot(p, rng);
+  alg::ParametricChaser chaser(static_cast<double>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(sim::run(inst, chaser));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_ParametricChaser)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+}  // namespace mobsrv::bench

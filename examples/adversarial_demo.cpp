@@ -1,0 +1,54 @@
+// Why resource augmentation is necessary: runs the Theorem-1 adversary
+// against MtC with and without the (1+δ) speed advantage. Without it the
+// competitive ratio grows like √T — with it, the ratio freezes.
+//
+//   $ ./adversarial_demo [--delta=0.5] [--trials=4]
+#include <iostream>
+
+#include "core/mobsrv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobsrv;
+  const io::Args args(argc, argv);
+  const double delta = args.get_double("delta", 0.5);
+  const int trials = args.get_int("trials", 4);
+
+  std::cout << "The Theorem-1 adversary: phase 1 pins requests to the start while its\n"
+            << "own server walks away; phase 2 rides the requests on that server.\n"
+            << "An equal-speed chaser stays √T·m behind forever.\n\n";
+
+  par::ThreadPool pool;
+  auto measure = [&](std::size_t horizon, double speed_factor) {
+    core::RatioOptions opt;
+    opt.trials = trials;
+    opt.speed_factor = speed_factor;
+    opt.oracle = core::OptOracle::kAdversaryCost;
+    opt.seed_key = stats::mix_keys({stats::hash_name("adv-demo"), horizon});
+    const core::RatioEstimate est = core::estimate_ratio(
+        pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+        [horizon](std::size_t, stats::Rng& rng) {
+          adv::Theorem1Params p;
+          p.horizon = horizon;
+          adv::AdversarialInstance a = adv::make_theorem1(p, rng);
+          return core::PreparedSample{std::move(a.instance), a.adversary_cost, {}};
+        },
+        opt);
+    return est.ratio.mean();
+  };
+
+  io::Table table("Competitive ratio of MtC on the Theorem-1 adversary",
+                  {"T", "no augmentation", "with (1+" + io::format_double(delta, 3) + ")m"});
+  for (const std::size_t horizon : {256u, 1024u, 4096u, 16384u}) {
+    table.row()
+        .cell(horizon)
+        .cell(measure(horizon, 1.0), 3)
+        .cell(measure(horizon, 1.0 + delta), 3)
+        .done();
+  }
+  table.print(std::cout);
+
+  std::cout << "Left column: Θ(√T) growth (Theorem 1 says this is unavoidable for\n"
+            << "EVERY online algorithm). Right column: bounded, as Theorem 4\n"
+            << "guarantees for MtC at any fixed δ > 0.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Crossover study: demand commutes between two sites (day/night). When the
+// sites are close relative to what a server can traverse in one period,
+// following the demand wins; when they are far apart, parking in the middle
+// (Lazy from the midpoint — or MtC, which converges to the same behaviour)
+// is better than frantic chasing. This is the design intuition behind
+// MtC's min{1, r/D} damping.
+//
+//   $ ./commute_crossover [--horizon=1536] [--period=96] [--trials=4]
+#include <iostream>
+
+#include "core/mobsrv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobsrv;
+  const io::Args args(argc, argv);
+  const auto horizon = static_cast<std::size_t>(args.get_int("horizon", 1536));
+  const auto period = static_cast<std::size_t>(args.get_int("period", 96));
+  const int trials = args.get_int("trials", 4);
+
+  std::cout << "Two-site commute, period " << period << " rounds per site; the server can\n"
+            << "cover distance " << period << "·m per period. Crossover expected where the\n"
+            << "site distance passes what a chaser can amortise.\n\n";
+
+  par::ThreadPool pool;
+  io::Table table("Mean cost by strategy vs site distance",
+                  {"site distance", "MtC", "GreedyCenter", "Lazy", "winner"});
+
+  for (const double distance : {8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+    core::RatioOptions options;
+    options.trials = trials;
+    options.speed_factor = 1.5;
+    options.oracle = core::OptOracle::kConvexDescent;
+    options.seed_key =
+        stats::mix_keys({stats::hash_name("commute-x"), static_cast<std::uint64_t>(distance)});
+    const auto rows = core::shootout(
+        pool, {"MtC", "GreedyCenter", "Lazy"},
+        [&](std::size_t, stats::Rng& rng) {
+          adv::CommuteParams wl;
+          wl.horizon = horizon;
+          wl.period = period;
+          wl.site_distance = distance;
+          wl.move_cost_weight = 4.0;
+          return core::PreparedSample{adv::make_commute(wl, rng), 0.0, {}};
+        },
+        options);
+
+    const auto* winner = &rows[0];
+    for (const auto& row : rows)
+      if (row.cost.mean() < winner->cost.mean()) winner = &row;
+    table.row()
+        .cell(distance, 4)
+        .cell(rows[0].cost.mean(), 4)
+        .cell(rows[1].cost.mean(), 4)
+        .cell(rows[2].cost.mean(), 4)
+        .cell(winner->name)
+        .done();
+  }
+  table.print(std::cout);
+
+  std::cout << "Expected shape: chasers (MtC/Greedy) win at small distances; beyond the\n"
+            << "point where a period cannot amortise the travel, staying central wins —\n"
+            << "and MtC's damping makes it degrade gracefully rather than thrash.\n";
+  return 0;
+}

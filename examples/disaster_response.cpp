@@ -1,0 +1,73 @@
+// The paper's Section-5 motivating scenario: helpers in a disaster area
+// form an ad-hoc network; a mobile signal station (the server) should
+// follow them around. Agents move by random-waypoint / Gauss-Markov
+// mobility at the same speed as the station — Theorem 10 says the simple
+// follow rule is O(1)-competitive with NO speed advantage.
+//
+//   $ ./disaster_response [--horizon=2048] [--agents=3] [--d-weight=8]
+#include <iostream>
+
+#include "core/mobsrv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobsrv;
+  const io::Args args(argc, argv);
+  const auto horizon = static_cast<std::size_t>(args.get_int("horizon", 2048));
+  const int agents = args.get_int("agents", 3);
+  const double d_weight = args.get_double("d-weight", 8.0);
+
+  std::cout << "Disaster response: " << agents << " helper(s), " << horizon
+            << " rounds, moving the station costs D = " << d_weight << " per unit\n\n";
+
+  stats::Rng rng(stats::hash_name("disaster-response"));
+  sim::MovingClientInstance mc;
+  mc.start = geo::Point{0.0, 0.0};
+  mc.server_speed = 1.0;
+  mc.agent_speed = 1.0;  // Theorem 10 regime: equal speeds
+  mc.move_cost_weight = d_weight;
+  for (int a = 0; a < agents; ++a) {
+    if (a % 2 == 0) {
+      adv::RandomWaypointParams p;
+      p.horizon = horizon;
+      p.speed = 1.0;
+      p.half_width = 25.0;
+      mc.agents.push_back(adv::make_random_waypoint(p, mc.start, rng));
+    } else {
+      adv::GaussMarkovParams p;
+      p.horizon = horizon;
+      p.speed = 1.0;
+      mc.agents.push_back(adv::make_gauss_markov(p, mc.start, rng));
+    }
+  }
+  const sim::Instance instance = sim::to_instance(mc);
+
+  // The follow rule of Theorem 10 is exactly MtC on the converted instance
+  // (for several agents it chases their geometric median).
+  alg::MoveToCenter follower;
+  const sim::RunResult online = sim::run(instance, follower);
+
+  // Baselines: a station that never moves, and one that sprints to the
+  // median every round.
+  alg::Lazy lazy;
+  alg::GreedyCenter greedy;
+  const double cost_lazy = sim::run(instance, lazy).total_cost;
+  const double cost_greedy = sim::run(instance, greedy).total_cost;
+
+  // Offline benchmark with full knowledge of every helper's path.
+  const opt::OfflineSolution offline = opt::solve_best_offline(instance);
+
+  io::Table table("Station strategies (equal speeds, no augmentation)",
+                  {"strategy", "total cost", "vs offline"});
+  table.row().cell("MtC follower (Thm 10)").cell(online.total_cost, 5)
+      .cell(online.total_cost / offline.cost, 3).done();
+  table.row().cell("GreedyCenter").cell(cost_greedy, 5)
+      .cell(cost_greedy / offline.cost, 3).done();
+  table.row().cell("Lazy (never move)").cell(cost_lazy, 5)
+      .cell(cost_lazy / offline.cost, 3).done();
+  table.row().cell("offline (full knowledge)").cell(offline.cost, 5).cell(1.0, 3).done();
+  table.print(std::cout);
+
+  std::cout << "Theorem 10 predicts an O(1) ratio for the follower — the paper's\n"
+            << "constants are ≤ 36; the measured value above is typically below 3.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: build an instance, run Move-to-Center, compare with the
+// offline optimum. Start here.
+//
+//   $ ./quickstart [--horizon=512] [--delta=0.5] [--seed=1]
+#include <iostream>
+
+#include "core/mobsrv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mobsrv;
+  const io::Args args(argc, argv);
+  const auto horizon = static_cast<std::size_t>(args.get_int("horizon", 512));
+  const double delta = args.get_double("delta", 0.5);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  // 1. A workload: a demand hotspot drifting through the plane, a handful
+  //    of requests per round (the edge-computing scenario from the paper's
+  //    introduction).
+  adv::DriftingHotspotParams wl;
+  wl.horizon = horizon;
+  wl.dim = 2;
+  wl.move_cost_weight = 4.0;  // D: moving data is 4x as expensive as serving
+  wl.max_step = 1.0;          // m: the offline benchmark's speed limit
+  stats::Rng rng(seed);
+  const sim::Instance instance = adv::make_drifting_hotspot(wl, rng);
+
+  // 2. The paper's algorithm, with (1+delta) resource augmentation.
+  alg::MoveToCenter mtc;
+  sim::RunOptions run_options;
+  run_options.speed_factor = 1.0 + delta;
+  const sim::RunResult online = sim::run(instance, mtc, run_options);
+
+  // 3. An offline benchmark with full knowledge of the request sequence
+  //    (subgradient shaping + coordinate-descent polish).
+  const opt::OfflineSolution offline = opt::solve_best_offline(instance);
+
+  std::cout << "Mobile Server Problem quickstart\n"
+            << "  horizon T          : " << instance.horizon() << "\n"
+            << "  requests (total)   : " << instance.total_requests() << "\n"
+            << "  D, m, delta        : " << instance.params().move_cost_weight << ", "
+            << instance.params().max_step << ", " << delta << "\n\n"
+            << "  MtC online cost    : " << online.total_cost << "  (move "
+            << online.move_cost << " + service " << online.service_cost << ")\n"
+            << "  offline (feasible) : " << offline.cost << "\n"
+            << "  measured ratio     : " << online.total_cost / offline.cost << "\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "adversary/lower_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/cost.hpp"
+
+namespace mobsrv::adv {
+
+namespace {
+
+using geo::Point;
+
+/// ±1 with a fair coin — the single random choice each construction makes
+/// (independently per cycle), exactly as in the proofs.
+double coin_direction(stats::Rng& rng) { return rng.coin() ? 1.0 : -1.0; }
+
+AdversarialInstance finish(sim::Instance instance, std::vector<Point> adversary) {
+  AdversarialInstance out{std::move(instance), std::move(adversary), 0.0};
+  MOBSRV_CHECK_MSG(sim::first_speed_violation(out.instance, out.adversary_positions) == -1,
+                   "adversary trajectory violates its own speed limit");
+  out.adversary_cost = sim::trajectory_cost(out.instance, out.adversary_positions);
+  return out;
+}
+
+}  // namespace
+
+AdversarialInstance make_theorem1(const Theorem1Params& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.horizon >= 4 && params.requests_per_step >= 1);
+  const std::size_t T = params.horizon;
+  std::size_t x = params.x != 0
+                      ? params.x
+                      : static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(T))));
+  x = std::clamp<std::size_t>(x, 1, T - 1);
+
+  const double m = params.max_step;
+  const Point start = Point::zero(params.dim);
+  const Point step_vec = Point::unit(params.dim, 0) * (coin_direction(rng) * m);
+
+  std::vector<Point> adversary;
+  adversary.reserve(T + 1);
+  adversary.push_back(start);
+  std::vector<sim::RequestBatch> steps(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    adversary.push_back(adversary.back() + step_vec);
+    const Point& request_at = t < x ? start : adversary.back();
+    steps[t].requests.assign(params.requests_per_step, request_at);
+  }
+
+  sim::ModelParams mp;
+  mp.move_cost_weight = params.move_cost_weight;
+  mp.max_step = m;
+  mp.order = sim::ServiceOrder::kMoveThenServe;
+  return finish(sim::Instance(start, mp, std::move(steps)), std::move(adversary));
+}
+
+AdversarialInstance make_theorem2(const Theorem2Params& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.horizon >= 4);
+  MOBSRV_CHECK(params.delta > 0.0 && params.delta <= 1.0);
+  MOBSRV_CHECK(params.r_min >= 1 && params.r_max >= params.r_min);
+
+  const std::size_t T = params.horizon;
+  const double m = params.max_step;
+  const double D = params.move_cost_weight;
+  const double delta = params.delta;
+
+  // Smallest x the proof allows: x >= 2/δ (for the chase-cost estimate) and
+  // x >= D(1+1/δ)/(2·Rmin) (so the adversary's movement cost is dominated
+  // by its phase-A service cost).
+  std::size_t x = params.x;
+  if (x == 0) {
+    const double by_delta = 2.0 / delta;
+    const double by_cost = D * (1.0 + 1.0 / delta) / (2.0 * static_cast<double>(params.r_min));
+    x = static_cast<std::size_t>(std::ceil(std::max({by_delta, by_cost, 4.0})));
+  }
+  const auto chase = static_cast<std::size_t>(std::ceil(static_cast<double>(x) / delta));
+
+  const Point start = Point::zero(params.dim);
+  std::vector<Point> adversary;
+  adversary.reserve(T + 1);
+  adversary.push_back(start);
+  std::vector<sim::RequestBatch> steps(T);
+
+  std::size_t t = 0;
+  while (t < T) {
+    const Point anchor = adversary.back();
+    const Point step_vec = Point::unit(params.dim, 0) * (coin_direction(rng) * m);
+    // Phase A: Rmin requests pinned to the cycle anchor while the adversary
+    // walks away.
+    for (std::size_t i = 0; i < x && t < T; ++i, ++t) {
+      adversary.push_back(adversary.back() + step_vec);
+      steps[t].requests.assign(params.r_min, anchor);
+    }
+    // Phase B: Rmax requests riding on the (post-move) adversary for the
+    // ⌈x/δ⌉ rounds a full-speed augmented chaser needs to catch up.
+    for (std::size_t i = 0; i < chase && t < T; ++i, ++t) {
+      adversary.push_back(adversary.back() + step_vec);
+      steps[t].requests.assign(params.r_max, adversary.back());
+    }
+  }
+
+  sim::ModelParams mp;
+  mp.move_cost_weight = D;
+  mp.max_step = m;
+  mp.order = sim::ServiceOrder::kMoveThenServe;
+  return finish(sim::Instance(start, mp, std::move(steps)), std::move(adversary));
+}
+
+AdversarialInstance make_theorem3(const Theorem3Params& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.horizon >= 2 && params.requests_per_step >= 1);
+  const std::size_t T = params.horizon - params.horizon % 2;  // whole cycles
+  const double m = params.max_step;
+
+  const Point start = Point::zero(params.dim);
+  std::vector<Point> adversary;
+  adversary.reserve(T + 1);
+  adversary.push_back(start);
+  std::vector<sim::RequestBatch> steps(T);
+
+  for (std::size_t t = 0; t < T; t += 2) {
+    const Point here = adversary.back();
+    const Point hop = Point::unit(params.dim, 0) * (coin_direction(rng) * m);
+    // First step of the cycle: requests on the common position; the
+    // adversary serves them in place (Answer-First) and then hops away.
+    steps[t].requests.assign(params.requests_per_step, here);
+    adversary.push_back(here + hop);
+    // Second step: requests on the adversary's new position; it serves them
+    // free and stays.
+    steps[t + 1].requests.assign(params.requests_per_step, adversary.back());
+    adversary.push_back(adversary.back());
+  }
+
+  sim::ModelParams mp;
+  mp.move_cost_weight = params.move_cost_weight;
+  mp.max_step = m;
+  mp.order = sim::ServiceOrder::kServeThenMove;
+  return finish(sim::Instance(start, mp, std::move(steps)), std::move(adversary));
+}
+
+}  // namespace mobsrv::adv

@@ -1,0 +1,75 @@
+/// \file lower_bounds.hpp
+/// The randomized lower-bound constructions of Theorems 1–3, realised as
+/// oblivious instance generators.
+///
+/// Yao's principle turns each proof into an input distribution; sampling it
+/// (seeded) and averaging the measured ratio over seeds estimates the same
+/// expectation the theorems bound from below. Every generator also returns
+/// the adversary's own feasible trajectory: its cost upper-bounds OPT, so
+///     measured ratio  =  C_online / C_adversary  <=  C_online / OPT,
+/// i.e. the measurement is a *lower bound* on the competitive ratio — the
+/// correct direction for reproducing lower-bound theorems.
+#pragma once
+
+#include "sim/model.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::adv {
+
+/// An instance bundled with the adversary's own solution.
+struct AdversarialInstance {
+  sim::Instance instance;
+  std::vector<sim::Point> adversary_positions;  ///< P_0..P_T, feasible at speed m
+  double adversary_cost = 0.0;                  ///< cost of that trajectory (>= OPT)
+};
+
+/// Theorem 1 — no augmentation, ratio Ω(√T/D).
+/// Phase 1 (x = round(√T) steps): requests on the start; the adversary walks
+/// away at full speed m in a coin-flipped direction. Phase 2 (T−x steps):
+/// requests ride on the adversary, which keeps walking. The online server
+/// trails by ~x·m forever.
+struct Theorem1Params {
+  std::size_t horizon = 1024;      ///< T
+  double move_cost_weight = 1.0;   ///< D
+  double max_step = 1.0;           ///< m
+  int dim = 1;
+  std::size_t requests_per_step = 1;
+  /// Separation-phase length; 0 = the paper's choice round(√T).
+  std::size_t x = 0;
+};
+[[nodiscard]] AdversarialInstance make_theorem1(const Theorem1Params& params, stats::Rng& rng);
+
+/// Theorem 2 — with (1+δ)m augmentation, ratio Ω((1/δ)·Rmax/Rmin).
+/// Cycles of: Phase A (x steps, Rmin requests on the cycle anchor, adversary
+/// walks away), Phase B (⌈x/δ⌉ steps, Rmax requests riding on the adversary)
+/// — long enough that even a full-speed augmented chaser pays Θ(Rmax·m·x²/δ)
+/// before catching up. Direction re-flipped each cycle.
+struct Theorem2Params {
+  std::size_t horizon = 2048;     ///< T
+  double move_cost_weight = 1.0;  ///< D
+  double max_step = 1.0;          ///< m
+  int dim = 1;
+  double delta = 0.5;             ///< δ of the online algorithm under test
+  std::size_t r_min = 1;
+  std::size_t r_max = 1;
+  /// Phase-A length; 0 = smallest x the proof allows (max of 2/δ and
+  /// D(1+1/δ)/(2·Rmin), at least 4).
+  std::size_t x = 0;
+};
+[[nodiscard]] AdversarialInstance make_theorem2(const Theorem2Params& params, stats::Rng& rng);
+
+/// Theorem 3 — Answer-First variant, ratio Ω(r/D) even with augmentation.
+/// Two-step cycles: r requests on the common position, the adversary then
+/// hops m in a coin-flipped direction; r requests on its new position. An
+/// Answer-First online server must serve the second batch before it may
+/// move, paying r·m with probability 1/2 per cycle, vs. the adversary's Dm.
+struct Theorem3Params {
+  std::size_t horizon = 1024;     ///< T (rounded down to even)
+  double move_cost_weight = 1.0;  ///< D
+  double max_step = 1.0;          ///< m
+  int dim = 1;
+  std::size_t requests_per_step = 8;  ///< r
+};
+[[nodiscard]] AdversarialInstance make_theorem3(const Theorem3Params& params, stats::Rng& rng);
+
+}  // namespace mobsrv::adv

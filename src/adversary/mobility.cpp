@@ -1,0 +1,89 @@
+#include "adversary/mobility.hpp"
+
+#include "adversary/workloads.hpp"
+
+namespace mobsrv::adv {
+
+using geo::Point;
+
+sim::AgentPath make_random_waypoint(const RandomWaypointParams& params, const Point& start,
+                                    stats::Rng& rng) {
+  MOBSRV_CHECK(params.dim == start.dim());
+  MOBSRV_CHECK(params.speed > 0.0 && params.half_width > 0.0);
+  MOBSRV_CHECK(params.min_speed_fraction > 0.0 && params.min_speed_fraction <= 1.0);
+
+  sim::AgentPath path;
+  path.positions.reserve(params.horizon);
+  Point pos = start;
+  Point waypoint = pos;
+  double leg_speed = params.speed;
+  std::size_t pause_left = 0;
+
+  for (std::size_t t = 0; t < params.horizon; ++t) {
+    if (pause_left > 0) {
+      --pause_left;
+    } else {
+      if (geo::approx_equal(pos, waypoint, 1e-9)) {
+        // Arrived: draw the next leg.
+        for (int d = 0; d < params.dim; ++d)
+          waypoint = [&] {
+            Point w(params.dim);
+            for (int k = 0; k < params.dim; ++k)
+              w[k] = rng.uniform(-params.half_width, params.half_width);
+            return w;
+          }();
+        leg_speed = params.speed * rng.uniform(params.min_speed_fraction, 1.0);
+        pause_left = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(params.max_pause)));
+      }
+      if (pause_left == 0) pos = geo::move_toward(pos, waypoint, leg_speed);
+    }
+    path.positions.push_back(pos);
+  }
+  return path;
+}
+
+sim::AgentPath make_gauss_markov(const GaussMarkovParams& params, const Point& start,
+                                 stats::Rng& rng) {
+  MOBSRV_CHECK(params.dim == start.dim());
+  MOBSRV_CHECK(params.alpha >= 0.0 && params.alpha <= 1.0);
+  MOBSRV_CHECK(params.speed > 0.0);
+
+  sim::AgentPath path;
+  path.positions.reserve(params.horizon);
+  Point pos = start;
+  Point velocity =
+      random_unit_vector(params.dim, rng) * (params.mean_speed_fraction * params.speed);
+  const Point mean_velocity = velocity;
+  const double noise = params.noise_fraction * params.speed;
+  const double a = params.alpha;
+  const double innovation = std::sqrt(std::max(0.0, 1.0 - a * a));
+
+  for (std::size_t t = 0; t < params.horizon; ++t) {
+    Point eps(params.dim);
+    for (int d = 0; d < params.dim; ++d) eps[d] = rng.normal(0.0, noise);
+    velocity = velocity * a + mean_velocity * (1.0 - a) + eps * innovation;
+    const double sp = velocity.norm();
+    if (sp > params.speed) velocity *= params.speed / sp;
+    pos += velocity;
+    path.positions.push_back(pos);
+  }
+  return path;
+}
+
+sim::AgentPath make_zigzag(const ZigZagParams& params, const Point& start) {
+  MOBSRV_CHECK(params.dim == start.dim());
+  MOBSRV_CHECK(params.half_period >= 1 && params.speed > 0.0);
+  sim::AgentPath path;
+  path.positions.reserve(params.horizon);
+  Point pos = start;
+  const Point step = Point::unit(params.dim, 0) * params.speed;
+  for (std::size_t t = 0; t < params.horizon; ++t) {
+    const bool forward = (t / params.half_period) % 2 == 0;
+    pos += forward ? step : -step;
+    path.positions.push_back(pos);
+  }
+  return path;
+}
+
+}  // namespace mobsrv::adv

@@ -1,0 +1,51 @@
+/// \file mobility.hpp
+/// Agent mobility models for the Moving Client variant (Section 5).
+///
+/// The paper's motivating example is a disaster-response ad-hoc network
+/// whose helpers walk around; these are the standard mobility models from
+/// that literature. Every generated path respects the agent speed limit by
+/// construction (and MovingClientInstance::validate re-checks).
+#pragma once
+
+#include "sim/moving_client.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::adv {
+
+/// Random Waypoint: pick a uniform waypoint in a box, walk toward it at a
+/// uniform fraction of full speed, pause, repeat.
+struct RandomWaypointParams {
+  std::size_t horizon = 1024;
+  int dim = 2;
+  double speed = 1.0;        ///< m_a
+  double half_width = 20.0;  ///< waypoints drawn from [−w, w]^dim
+  std::size_t max_pause = 8; ///< pause duration uniform in [0, max_pause]
+  double min_speed_fraction = 0.5;
+};
+[[nodiscard]] sim::AgentPath make_random_waypoint(const RandomWaypointParams& params,
+                                                  const sim::Point& start, stats::Rng& rng);
+
+/// Gauss–Markov mobility: velocity is an AR(1) process with memory alpha,
+/// renormalised to the speed limit when it exceeds it.
+struct GaussMarkovParams {
+  std::size_t horizon = 1024;
+  int dim = 2;
+  double speed = 1.0;        ///< m_a
+  double alpha = 0.85;       ///< velocity memory in [0,1]
+  double mean_speed_fraction = 0.5;
+  double noise_fraction = 0.4;
+};
+[[nodiscard]] sim::AgentPath make_gauss_markov(const GaussMarkovParams& params,
+                                               const sim::Point& start, stats::Rng& rng);
+
+/// Deterministic zig-zag along the first axis with the given half-period —
+/// an adversarial stress path that maximises direction reversals.
+struct ZigZagParams {
+  std::size_t horizon = 1024;
+  int dim = 1;
+  double speed = 1.0;
+  std::size_t half_period = 16;
+};
+[[nodiscard]] sim::AgentPath make_zigzag(const ZigZagParams& params, const sim::Point& start);
+
+}  // namespace mobsrv::adv

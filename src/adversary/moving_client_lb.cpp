@@ -1,0 +1,72 @@
+#include "adversary/moving_client_lb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/cost.hpp"
+
+namespace mobsrv::adv {
+
+MovingClientAdversarial make_theorem8(const Theorem8Params& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.horizon >= 16);
+  MOBSRV_CHECK(params.epsilon > 0.0);
+  MOBSRV_CHECK(params.server_speed > 0.0);
+
+  const std::size_t T = params.horizon;
+  const double ms = params.server_speed;
+  const double ma = (1.0 + params.epsilon) * ms;
+
+  std::size_t x = params.x != 0
+                      ? params.x
+                      : static_cast<std::size_t>(
+                            std::llround(std::sqrt(static_cast<double>(T) * ms / ma)));
+  x = std::max<std::size_t>(x, 1);
+  // Phase-1 length: the adversary walks L rounds so that sprinting x rounds
+  // at m_a lets the agent just cover the distance L·m_s.
+  auto L = static_cast<std::size_t>(std::ceil(static_cast<double>(x) * ma / ms));
+  L = std::min(L, T);
+  const auto sprint_rounds =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(L) * ms / ma));
+
+  const geo::Point start = geo::Point::zero(params.dim);
+  const double sigma = rng.coin() ? 1.0 : -1.0;
+  const geo::Point adv_step = geo::Point::unit(params.dim, 0) * (sigma * ms);
+  const geo::Point phase1_end = start + adv_step * static_cast<double>(L);
+
+  std::vector<geo::Point> adversary;
+  adversary.reserve(T + 1);
+  adversary.push_back(start);
+  sim::AgentPath agent;
+  agent.positions.reserve(T);
+  geo::Point agent_pos = start;
+
+  for (std::size_t t = 1; t <= T; ++t) {
+    adversary.push_back(adversary.back() + adv_step);
+    if (t <= L) {
+      // Agent idles, then sprints to the adversary's phase-1 endpoint.
+      if (t > L - std::min(sprint_rounds, L))
+        agent_pos = geo::move_toward(agent_pos, phase1_end, ma);
+    } else {
+      // Phase 2: march together at m_s.
+      agent_pos += adv_step;
+    }
+    agent.positions.push_back(agent_pos);
+  }
+
+  MovingClientAdversarial out;
+  out.mc.start = start;
+  out.mc.server_speed = ms;
+  out.mc.agent_speed = ma;
+  out.mc.move_cost_weight = params.move_cost_weight;
+  out.mc.agents.push_back(std::move(agent));
+  out.mc.validate();
+  out.adversary_positions = std::move(adversary);
+
+  const sim::Instance as_instance = sim::to_instance(out.mc);
+  MOBSRV_CHECK_MSG(sim::first_speed_violation(as_instance, out.adversary_positions) == -1,
+                   "adversary server trajectory violates m_s");
+  out.adversary_cost = sim::trajectory_cost(as_instance, out.adversary_positions);
+  return out;
+}
+
+}  // namespace mobsrv::adv

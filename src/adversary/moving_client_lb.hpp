@@ -1,0 +1,37 @@
+/// \file moving_client_lb.hpp
+/// Theorem 8's lower-bound construction for the Moving Client variant.
+///
+/// With agent speed m_a = (1+ε)·m_s and no augmentation, no online algorithm
+/// beats Ω(√T · ε/(1+ε)). The construction: the adversary's server walks
+/// away at m_s in a coin-flipped direction for L ≈ x·m_a/m_s rounds while
+/// the agent idles at the start, sprinting (at m_a) to the adversary only in
+/// the last rounds of the phase; afterwards agent and adversary march on
+/// together at m_s. An online server that guessed the direction wrong is
+/// ~x·ε·m_s behind and, being slower than the agent, can never catch up.
+#pragma once
+
+#include "sim/moving_client.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::adv {
+
+/// A Moving Client instance bundled with the adversary's server trajectory.
+struct MovingClientAdversarial {
+  sim::MovingClientInstance mc;
+  std::vector<sim::Point> adversary_positions;  ///< P_0..P_T at speed m_s
+  double adversary_cost = 0.0;                  ///< >= OPT of the instance
+};
+
+struct Theorem8Params {
+  std::size_t horizon = 4096;  ///< T
+  double server_speed = 1.0;   ///< m_s
+  double epsilon = 0.5;        ///< agent speed m_a = (1+ε)·m_s
+  double move_cost_weight = 1.0;  ///< D
+  int dim = 1;
+  /// Separation parameter; 0 = the paper's choice √(T·m_s/m_a).
+  std::size_t x = 0;
+};
+
+[[nodiscard]] MovingClientAdversarial make_theorem8(const Theorem8Params& params, stats::Rng& rng);
+
+}  // namespace mobsrv::adv

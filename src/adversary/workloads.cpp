@@ -1,0 +1,107 @@
+#include "adversary/workloads.hpp"
+
+#include <cmath>
+
+namespace mobsrv::adv {
+
+using geo::Point;
+
+Point gaussian_around(const Point& center, double stddev, stats::Rng& rng) {
+  Point p = center;
+  for (int i = 0; i < p.dim(); ++i) p[i] += rng.normal(0.0, stddev);
+  return p;
+}
+
+Point random_unit_vector(int dim, stats::Rng& rng) {
+  MOBSRV_CHECK(dim >= 1 && dim <= Point::kMaxDim);
+  for (;;) {
+    Point v(dim);
+    for (int i = 0; i < dim; ++i) v[i] = rng.normal();
+    const double n = v.norm();
+    if (n > 1e-12) return v / n;
+  }
+}
+
+namespace {
+
+sim::ModelParams base_params(double d_weight, double m) {
+  sim::ModelParams p;
+  p.move_cost_weight = d_weight;
+  p.max_step = m;
+  p.order = sim::ServiceOrder::kMoveThenServe;
+  return p;
+}
+
+}  // namespace
+
+sim::Instance make_drifting_hotspot(const DriftingHotspotParams& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.r_min >= 1 && params.r_max >= params.r_min);
+  const Point start = Point::zero(params.dim);
+  Point hotspot = start;
+  std::vector<sim::RequestBatch> steps(params.horizon);
+  for (auto& step : steps) {
+    hotspot += random_unit_vector(params.dim, rng) * (params.drift_speed * rng.uniform());
+    const auto r = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(params.r_min),
+                        static_cast<std::int64_t>(params.r_max)));
+    step.requests.reserve(r);
+    for (std::size_t i = 0; i < r; ++i)
+      step.requests.push_back(gaussian_around(hotspot, params.spread, rng));
+  }
+  return sim::Instance(start, base_params(params.move_cost_weight, params.max_step),
+                       std::move(steps));
+}
+
+sim::Instance make_commute(const CommuteParams& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.period >= 1 && params.requests_per_step >= 1);
+  const Point start = Point::zero(params.dim);
+  const Point offset = Point::unit(params.dim, 0) * (params.site_distance / 2.0);
+  const Point site_a = start - offset;
+  const Point site_b = start + offset;
+  std::vector<sim::RequestBatch> steps(params.horizon);
+  for (std::size_t t = 0; t < params.horizon; ++t) {
+    const bool at_a = (t / params.period) % 2 == 0;
+    const Point& site = at_a ? site_a : site_b;
+    steps[t].requests.reserve(params.requests_per_step);
+    for (std::size_t i = 0; i < params.requests_per_step; ++i)
+      steps[t].requests.push_back(gaussian_around(site, params.spread, rng));
+  }
+  return sim::Instance(start, base_params(params.move_cost_weight, params.max_step),
+                       std::move(steps));
+}
+
+sim::Instance make_bursts(const BurstParams& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.r_min >= 1 && params.r_max >= params.r_min);
+  MOBSRV_CHECK(params.burst_probability >= 0.0 && params.burst_probability <= 1.0);
+  const Point start = Point::zero(params.dim);
+  Point hotspot = start;
+  std::vector<sim::RequestBatch> steps(params.horizon);
+  for (auto& step : steps) {
+    hotspot += random_unit_vector(params.dim, rng) * (params.drift_speed * rng.uniform());
+    const std::size_t r = rng.bernoulli(params.burst_probability) ? params.r_max : params.r_min;
+    step.requests.reserve(r);
+    for (std::size_t i = 0; i < r; ++i)
+      step.requests.push_back(gaussian_around(hotspot, params.spread, rng));
+  }
+  return sim::Instance(start, base_params(params.move_cost_weight, params.max_step),
+                       std::move(steps));
+}
+
+sim::Instance make_uniform_noise(const UniformNoiseParams& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.half_width > 0.0 && params.requests_per_step >= 1);
+  const Point start = Point::zero(params.dim);
+  std::vector<sim::RequestBatch> steps(params.horizon);
+  for (auto& step : steps) {
+    step.requests.reserve(params.requests_per_step);
+    for (std::size_t i = 0; i < params.requests_per_step; ++i) {
+      Point p(params.dim);
+      for (int d = 0; d < params.dim; ++d)
+        p[d] = rng.uniform(-params.half_width, params.half_width);
+      step.requests.push_back(p);
+    }
+  }
+  return sim::Instance(start, base_params(params.move_cost_weight, params.max_step),
+                       std::move(steps));
+}
+
+}  // namespace mobsrv::adv

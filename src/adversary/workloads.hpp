@@ -1,0 +1,80 @@
+/// \file workloads.hpp
+/// Realistic request-sequence generators for upper-bound and shootout
+/// experiments.
+///
+/// These model the edge-computing scenarios the paper's introduction
+/// motivates: demand hotspots that drift as users move, day/night commutes
+/// between sites, and bursty request volumes. All generators are
+/// deterministic given their Rng.
+#pragma once
+
+#include "sim/model.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::adv {
+
+/// A demand hotspot performing a bounded random walk; requests are Gaussian
+/// around it. The canonical "server should follow the users" workload.
+struct DriftingHotspotParams {
+  std::size_t horizon = 1024;
+  int dim = 2;
+  double move_cost_weight = 4.0;  ///< D
+  double max_step = 1.0;          ///< m
+  double drift_speed = 0.5;       ///< hotspot speed per round (<= m keeps MtC in its sweet spot)
+  double spread = 2.0;            ///< request std-dev around the hotspot
+  std::size_t r_min = 1;
+  std::size_t r_max = 4;          ///< batch size uniform in [r_min, r_max]
+};
+[[nodiscard]] sim::Instance make_drifting_hotspot(const DriftingHotspotParams& params,
+                                                  stats::Rng& rng);
+
+/// Demand alternating between two sites with a fixed period (day/night).
+/// The crossover workload: when the sites are far apart relative to p·m, a
+/// lazy mid-point server beats any chaser.
+struct CommuteParams {
+  std::size_t horizon = 1024;
+  int dim = 2;
+  double move_cost_weight = 4.0;
+  double max_step = 1.0;
+  double site_distance = 20.0;  ///< distance between the two sites
+  std::size_t period = 64;      ///< rounds spent at each site
+  double spread = 1.0;
+  std::size_t requests_per_step = 2;
+};
+[[nodiscard]] sim::Instance make_commute(const CommuteParams& params, stats::Rng& rng);
+
+/// Bursty volumes on a slowly drifting hotspot: Rmin background requests,
+/// with probability burst_probability a burst of Rmax. Exercises the
+/// Rmax/Rmin dependence of Theorems 2/4.
+struct BurstParams {
+  std::size_t horizon = 1024;
+  int dim = 2;
+  double move_cost_weight = 4.0;
+  double max_step = 1.0;
+  double drift_speed = 0.25;
+  double spread = 1.0;
+  std::size_t r_min = 1;
+  std::size_t r_max = 16;
+  double burst_probability = 0.1;
+};
+[[nodiscard]] sim::Instance make_bursts(const BurstParams& params, stats::Rng& rng);
+
+/// Uniform noise in a fixed box around the start — no structure to exploit;
+/// sanity workload where Lazy at the centre is near-optimal.
+struct UniformNoiseParams {
+  std::size_t horizon = 1024;
+  int dim = 2;
+  double move_cost_weight = 4.0;
+  double max_step = 1.0;
+  double half_width = 8.0;  ///< box is [−half_width, half_width]^dim
+  std::size_t requests_per_step = 2;
+};
+[[nodiscard]] sim::Instance make_uniform_noise(const UniformNoiseParams& params, stats::Rng& rng);
+
+/// Draws an isotropic Gaussian point around \p center.
+[[nodiscard]] sim::Point gaussian_around(const sim::Point& center, double stddev, stats::Rng& rng);
+
+/// Draws a uniformly random unit vector (any dimension >= 1).
+[[nodiscard]] sim::Point random_unit_vector(int dim, stats::Rng& rng);
+
+}  // namespace mobsrv::adv

@@ -1,0 +1,53 @@
+#include "algorithms/baselines.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace mobsrv::alg {
+
+sim::Point GreedyCenter::decide(const sim::StepView& view) {
+  const auto& requests = view.batch->requests;
+  if (requests.empty()) return view.server;
+  const geo::Point center =
+      med::closest_center(requests, view.server, /*weights=*/{}, median_options_);
+  return geo::move_toward(view.server, center, view.speed_limit);
+}
+
+void MoveToMin::reset(const sim::Point& start, const sim::ModelParams& params) {
+  window_.clear();
+  target_ = start;
+  window_size_ = static_cast<std::size_t>(std::ceil(params.move_cost_weight));
+  if (window_size_ == 0) window_size_ = 1;
+  steps_since_retarget_ = 0;
+}
+
+sim::Point MoveToMin::decide(const sim::StepView& view) {
+  window_.push_back(*view.batch);
+  if (window_.size() > window_size_) window_.pop_front();
+  ++steps_since_retarget_;
+
+  if (steps_since_retarget_ >= window_size_) {
+    steps_since_retarget_ = 0;
+    std::vector<geo::Point> all;
+    for (const auto& batch : window_)
+      all.insert(all.end(), batch.requests.begin(), batch.requests.end());
+    if (!all.empty()) target_ = med::closest_center(all, view.server);
+  }
+  return geo::move_toward(view.server, target_, view.speed_limit);
+}
+
+void CoinFlip::reset(const sim::Point& start, const sim::ModelParams&) {
+  rng_.reseed(seed_);
+  target_ = start;
+}
+
+sim::Point CoinFlip::decide(const sim::StepView& view) {
+  const auto& requests = view.batch->requests;
+  if (!requests.empty() &&
+      rng_.bernoulli(1.0 / (2.0 * view.params->move_cost_weight))) {
+    target_ = med::closest_center(requests, view.server);
+  }
+  return geo::move_toward(view.server, target_, view.speed_limit);
+}
+
+}  // namespace mobsrv::alg

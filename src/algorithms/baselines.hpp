@@ -1,0 +1,82 @@
+/// \file baselines.hpp
+/// Baseline online strategies the paper is implicitly compared against.
+///
+/// The paper's related work is the Page Migration literature; its two
+/// classic strategies — Westbrook's deterministic Move-To-Min and the
+/// randomized Coin-Flip algorithm — assume the page can jump to any point
+/// after a batch, which the Mobile Server model forbids. Both are adapted
+/// here by *steering toward* their target at full speed instead of jumping
+/// (the paper, Section 5: "standard solutions to the Page Migration Problem
+/// still do not apply, since they require moving to a specific point …
+/// [which] may still lie outside the allowed moving distance"). Lazy and
+/// GreedyCenter bracket the design space: never move vs. always move
+/// maximally.
+#pragma once
+
+#include <deque>
+
+#include "median/geometric_median.hpp"
+#include "sim/online_algorithm.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::alg {
+
+/// Never moves. Optimal when requests stay centred on the start; unboundedly
+/// bad when the request hotspot drifts away.
+class Lazy final : public sim::OnlineAlgorithm {
+ public:
+  [[nodiscard]] sim::Point decide(const sim::StepView& view) override { return view.server; }
+  [[nodiscard]] std::string name() const override { return "Lazy"; }
+};
+
+/// Moves at full speed toward the current batch's center every round,
+/// ignoring the r/D damping that makes MtC competitive. Over-eager: pays
+/// Θ(D·m) movement for batches that a still server could serve cheaply.
+class GreedyCenter final : public sim::OnlineAlgorithm {
+ public:
+  explicit GreedyCenter(med::WeiszfeldOptions median_options = {})
+      : median_options_(median_options) {}
+
+  [[nodiscard]] sim::Point decide(const sim::StepView& view) override;
+  [[nodiscard]] std::string name() const override { return "GreedyCenter"; }
+
+ private:
+  med::WeiszfeldOptions median_options_;
+};
+
+/// Westbrook's Move-To-Min adapted to bounded movement: every ceil(D)
+/// rounds, re-target the geometric median of all requests from the last
+/// ceil(D) batches; steer toward the current target at full speed in every
+/// round.
+class MoveToMin final : public sim::OnlineAlgorithm {
+ public:
+  void reset(const sim::Point& start, const sim::ModelParams& params) override;
+  [[nodiscard]] sim::Point decide(const sim::StepView& view) override;
+  [[nodiscard]] std::string name() const override { return "MoveToMin"; }
+
+ private:
+  std::deque<sim::RequestBatch> window_;
+  sim::Point target_;
+  std::size_t window_size_ = 1;
+  std::size_t steps_since_retarget_ = 0;
+};
+
+/// The randomized Coin-Flip page-migration strategy adapted to bounded
+/// movement: after each batch, with probability 1/(2D) re-target the batch's
+/// center; steer toward the current target at full speed. Deterministic
+/// given its seed.
+class CoinFlip final : public sim::OnlineAlgorithm {
+ public:
+  explicit CoinFlip(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  void reset(const sim::Point& start, const sim::ModelParams& params) override;
+  [[nodiscard]] sim::Point decide(const sim::StepView& view) override;
+  [[nodiscard]] std::string name() const override { return "CoinFlip"; }
+
+ private:
+  std::uint64_t seed_;
+  stats::Rng rng_;
+  sim::Point target_;
+};
+
+}  // namespace mobsrv::alg

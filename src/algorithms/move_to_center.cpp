@@ -1,0 +1,18 @@
+#include "algorithms/move_to_center.hpp"
+
+namespace mobsrv::alg {
+
+sim::Point MoveToCenter::decide(const sim::StepView& view) {
+  const auto& requests = view.batch->requests;
+  if (requests.empty()) return view.server;  // nothing to chase this round
+
+  const geo::Point center =
+      med::closest_center(requests, view.server, /*weights=*/{}, median_options_);
+  const double dist = geo::distance(view.server, center);
+  const double step =
+      std::min(damped_step(requests.size(), view.params->move_cost_weight, dist),
+               view.speed_limit);
+  return geo::move_toward(view.server, center, step);
+}
+
+}  // namespace mobsrv::alg

@@ -1,0 +1,40 @@
+/// \file move_to_center.hpp
+/// The paper's algorithm: Move-to-Center (MtC), Section 4.
+///
+/// Every step: let c be the geometric median of the current batch (if the
+/// median set is not unique, the point of it closest to the server — see
+/// median/geometric_median.hpp). Move toward c by
+///     min{1, r/D} · d(P_Alg, c),
+/// capped at the augmented speed limit (1+δ)m.
+///
+/// With r = 1 this specialises to "move min(m, d/D) toward the request",
+/// which is exactly the Moving-Client algorithm of Theorem 10 — so MtC
+/// serves both the core problem and the Moving-Client variant (with any
+/// number of agents, whose median it then chases).
+#pragma once
+
+#include "median/geometric_median.hpp"
+#include "sim/online_algorithm.hpp"
+
+namespace mobsrv::alg {
+
+class MoveToCenter final : public sim::OnlineAlgorithm {
+ public:
+  explicit MoveToCenter(med::WeiszfeldOptions median_options = {})
+      : median_options_(median_options) {}
+
+  [[nodiscard]] sim::Point decide(const sim::StepView& view) override;
+  [[nodiscard]] std::string name() const override { return "MtC"; }
+
+  /// The damped step length before capping: min{1, r/D} · dist.
+  [[nodiscard]] static double damped_step(std::size_t r, double d_weight, double dist) {
+    MOBSRV_CHECK(d_weight >= 1.0 && dist >= 0.0);
+    const double damping = std::min(1.0, static_cast<double>(r) / d_weight);
+    return damping * dist;
+  }
+
+ private:
+  med::WeiszfeldOptions median_options_;
+};
+
+}  // namespace mobsrv::alg

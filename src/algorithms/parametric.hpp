@@ -1,0 +1,34 @@
+/// \file parametric.hpp
+/// A family of chasers parameterised by the damping exponent — the ablation
+/// knob for MtC's central design choice.
+///
+/// MtC steps min{1, r/D}·d toward the center. Generalising the damping to
+///     step = min{1, (r/D)^gamma} · d    (capped at the speed limit)
+/// recovers GreedyCenter at gamma = 0 and MtC at gamma = 1; larger gamma
+/// makes the server even more reluctant when requests are scarce relative
+/// to D. Experiment E14 sweeps gamma to show the paper's choice sits at the
+/// sweet spot.
+#pragma once
+
+#include "median/geometric_median.hpp"
+#include "sim/online_algorithm.hpp"
+
+namespace mobsrv::alg {
+
+class ParametricChaser final : public sim::OnlineAlgorithm {
+ public:
+  /// gamma >= 0; 0 = undamped (GreedyCenter-like), 1 = MtC's rule.
+  explicit ParametricChaser(double gamma) : gamma_(gamma) {
+    MOBSRV_CHECK_MSG(gamma >= 0.0, "damping exponent must be non-negative");
+  }
+
+  [[nodiscard]] sim::Point decide(const sim::StepView& view) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace mobsrv::alg

@@ -1,0 +1,23 @@
+#include "algorithms/registry.hpp"
+
+#include <memory>
+
+#include "algorithms/baselines.hpp"
+#include "algorithms/move_to_center.hpp"
+
+namespace mobsrv::alg {
+
+sim::AlgorithmPtr make_algorithm(const std::string& name, std::uint64_t seed) {
+  if (name == "MtC") return std::make_unique<MoveToCenter>();
+  if (name == "Lazy") return std::make_unique<Lazy>();
+  if (name == "GreedyCenter") return std::make_unique<GreedyCenter>();
+  if (name == "MoveToMin") return std::make_unique<MoveToMin>();
+  if (name == "CoinFlip") return std::make_unique<CoinFlip>(seed);
+  throw ContractViolation("unknown algorithm: " + name);
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"MtC", "GreedyCenter", "MoveToMin", "CoinFlip", "Lazy"};
+}
+
+}  // namespace mobsrv::alg

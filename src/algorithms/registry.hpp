@@ -1,0 +1,20 @@
+/// \file registry.hpp
+/// Name-based construction of online algorithms for benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/online_algorithm.hpp"
+
+namespace mobsrv::alg {
+
+/// Constructs an algorithm by display name ("MtC", "Lazy", "GreedyCenter",
+/// "MoveToMin", "CoinFlip"). The seed only matters for randomized
+/// strategies. Throws ContractViolation for unknown names.
+[[nodiscard]] sim::AlgorithmPtr make_algorithm(const std::string& name, std::uint64_t seed = 0);
+
+/// All registered names, in shootout display order.
+[[nodiscard]] std::vector<std::string> algorithm_names();
+
+}  // namespace mobsrv::alg

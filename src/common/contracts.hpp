@@ -1,0 +1,53 @@
+/// \file contracts.hpp
+/// Lightweight contract checking used across the library.
+///
+/// Two levels are provided:
+///   * MOBSRV_CHECK   — always-on precondition check on public API
+///                      boundaries; throws mobsrv::ContractViolation.
+///   * MOBSRV_DCHECK  — debug-only check for hot inner loops; compiles to
+///                      nothing in release builds (NDEBUG).
+///
+/// Throwing (rather than aborting) keeps the checks testable: the test
+/// suite asserts that invalid usage is rejected.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mobsrv {
+
+/// Exception thrown when a MOBSRV_CHECK precondition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& message) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace mobsrv
+
+#define MOBSRV_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) ::mobsrv::detail::contract_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MOBSRV_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) ::mobsrv::detail::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define MOBSRV_DCHECK(expr) ((void)0)
+#else
+#define MOBSRV_DCHECK(expr) MOBSRV_CHECK(expr)
+#endif

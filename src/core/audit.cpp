@@ -1,0 +1,132 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adversary/workloads.hpp"
+#include "algorithms/move_to_center.hpp"
+#include "median/geometric_median.hpp"
+
+namespace mobsrv::core {
+
+using geo::Point;
+
+Lemma6Sample sample_lemma6(int dim, double delta, stats::Rng& rng) {
+  MOBSRV_CHECK(dim >= 1 && delta > 0.0 && delta <= 1.0);
+  // Geometry: PAlg and c random; P'Alg on the segment [PAlg, c]; P'Opt at
+  // distance s2 from c with s2 within the premise bound.
+  const Point p_alg = adv::gaussian_around(Point::zero(dim), 10.0, rng);
+  const Point c = adv::gaussian_around(Point::zero(dim), 10.0, rng);
+  const double a_total = geo::distance(p_alg, c);
+  const double f = rng.uniform();
+  const Point p_alg_next = geo::lerp(p_alg, c, f);
+
+  Lemma6Sample s;
+  s.a1 = f * a_total;
+  s.a2 = (1.0 - f) * a_total;
+  const double premise_cap = std::sqrt(delta) / (1.0 + delta / 2.0) * s.a2;
+  s.s2 = rng.uniform() * premise_cap;
+  const Point p_opt_next = c + adv::random_unit_vector(dim, rng) * s.s2;
+
+  s.h = geo::distance(p_opt_next, p_alg);
+  s.q = geo::distance(p_opt_next, p_alg_next);
+  s.bound = (1.0 + delta / 2.0) / (1.0 + delta) * s.a1;
+  s.margin = (s.h - s.q) - s.bound;
+  return s;
+}
+
+Lemma5Sample sample_lemma5(int dim, std::size_t r, double half_width, stats::Rng& rng) {
+  MOBSRV_CHECK(dim >= 1 && r >= 1 && half_width > 0.0);
+  std::vector<Point> requests;
+  requests.reserve(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    Point v(dim);
+    for (int d = 0; d < dim; ++d) v[d] = rng.uniform(-half_width, half_width);
+    requests.push_back(v);
+  }
+  Point a(dim), o(dim);
+  for (int d = 0; d < dim; ++d) {
+    a[d] = rng.uniform(-half_width, half_width);
+    o[d] = rng.uniform(-half_width, half_width);
+  }
+  const Point c = med::closest_center(requests, a);
+
+  Lemma5Sample s;
+  s.service_at_center = med::sum_distances(c, requests);
+  s.service_at_opt = med::sum_distances(o, requests);
+  s.simplified_opt = static_cast<double>(r) * geo::distance(o, c);
+  return s;
+}
+
+double potential(const PotentialConfig& config, double p) {
+  const double r = static_cast<double>(config.requests);
+  const double D = config.move_cost_weight;
+  const double m = config.max_step;
+  const double delta = config.delta;
+  const double threshold = delta * D * m / (4.0 * r);
+  // Coefficients double in the r <= D regime (Section 4.2).
+  const double quad = (r > D ? 8.0 : 16.0) * r / (delta * m);
+  const double lin = r > D ? 2.0 * D : 4.0 * D;
+  return p > threshold ? quad * p * p : lin * p;
+}
+
+PotentialSample sample_potential_step(const PotentialConfig& config, stats::Rng& rng) {
+  MOBSRV_CHECK(config.dim >= 1 && config.delta > 0.0 && config.delta <= 1.0);
+  MOBSRV_CHECK(config.move_cost_weight >= 1.0 && config.max_step > 0.0);
+  MOBSRV_CHECK(config.requests >= 1);
+  const double m = config.max_step;
+  const double D = config.move_cost_weight;
+  const double r = static_cast<double>(config.requests);
+  const double delta = config.delta;
+
+  // Sample p (the Opt–Alg distance) so that all analysis cases are hit:
+  // below/above the potential threshold δDm/(4r), around the 4m boundary of
+  // cases 4/5, and far away.
+  const double threshold = delta * D * m / (4.0 * r);
+  double p = 0.0;
+  switch (rng.uniform_int(0, 3)) {
+    case 0: p = rng.uniform() * threshold; break;
+    case 1: p = threshold + rng.uniform() * (4.0 * m - threshold); break;
+    case 2: p = 4.0 * m * (1.0 + rng.uniform()); break;
+    default: p = rng.uniform() * 40.0 * m; break;
+  }
+
+  const Point p_alg = Point::zero(config.dim);
+  const Point p_opt = p_alg + adv::random_unit_vector(config.dim, rng) * p;
+  // Request point c at a distance spanning "reachable this round" through
+  // "far away".
+  const double dc = rng.uniform() * 30.0 * m;
+  const Point c = p_alg + adv::random_unit_vector(config.dim, rng) * dc;
+
+  // OPT's move: feasible (s1 <= m); mix of adversarial strategies.
+  Point p_opt_next = p_opt;
+  switch (rng.uniform_int(0, 2)) {
+    case 0:  // stay
+      break;
+    case 1:  // chase c at full speed
+      p_opt_next = geo::move_toward(p_opt, c, m);
+      break;
+    default:  // random feasible move
+      p_opt_next = p_opt + adv::random_unit_vector(config.dim, rng) * (rng.uniform() * m);
+      break;
+  }
+
+  // MtC's actual move rule with augmentation (1+δ)m toward c.
+  const double dist = geo::distance(p_alg, c);
+  const double step = std::min(alg::MoveToCenter::damped_step(config.requests, D, dist),
+                               (1.0 + delta) * m);
+  const Point p_alg_next = geo::move_toward(p_alg, c, step);
+
+  PotentialSample s;
+  const double a1 = geo::distance(p_alg, p_alg_next);
+  const double a2 = geo::distance(p_alg_next, c);
+  const double s1 = geo::distance(p_opt, p_opt_next);
+  const double s2 = geo::distance(p_opt_next, c);
+  s.online_cost = D * a1 + r * a2;
+  s.opt_cost = D * s1 + r * s2;
+  s.phi_before = potential(config, geo::distance(p_opt, p_alg));
+  s.phi_after = potential(config, geo::distance(p_opt_next, p_alg_next));
+  return s;
+}
+
+}  // namespace mobsrv::core

@@ -1,0 +1,132 @@
+/// \file audit.hpp
+/// Numerical audits of the paper's analysis machinery: Lemma 5's reduction,
+/// Lemma 6's geometric inequality (the content of Figures 1 and 2), and the
+/// per-step potential-function inequality behind Theorem 4.
+///
+/// These are *reproduction artifacts*: each theorem-level experiment
+/// (E1–E8) measures end-to-end ratios, while the audits check the paper's
+/// proof steps directly on millions of sampled configurations — the closest
+/// one can get to "reproducing" a proof empirically.
+#pragma once
+
+#include "geometry/point.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::core {
+
+// ---------------------------------------------------------------------------
+// Lemma 6 (Figures 1 & 2): if s2 <= √δ/(1+δ/2) · a2 then
+//                          h − q >= (1+δ/2)/(1+δ) · a1,
+// where PAlg, P'Alg, c are collinear (P'Alg between PAlg and c), a1 =
+// d(PAlg,P'Alg), a2 = d(P'Alg,c), s2 = d(P'Opt,c), h = d(P'Opt,PAlg),
+// q = d(P'Opt,P'Alg).
+//
+// REPRODUCTION FINDING: the lemma as *literally* stated admits hairline
+// violations (≈1% of the bound at worst) for OBTUSE placements of P'Opt
+// (angle at c beyond 90°) when a1 << a2: the proof reduces every
+// configuration to a right-angle one with the same h, s2, a1 but a smaller
+// effective a2' = √(h²−s2²) − a1, and the premise cap is only guaranteed
+// for a2', not for the actual a2. Example (δ=0.5, a1=0.001, a2=10, s2 at
+// the premise cap, P'Opt at 124°): h−q = 8.246e-4 < bound = 8.333e-4.
+// The amended bound with a (1−λ) slack factor, λ = kLemma6ObtuseSlack,
+// holds in all our sampling; the potential-function inequality (the
+// lemma's only consumer, audited end-to-end below and in E10) is unaffected
+// because its constants absorb far more than 2%.
+// ---------------------------------------------------------------------------
+
+/// Relative slack under which the amended Lemma 6 holds empirically
+/// (violations of the literal bound never exceeded ~1% in 10^6 samples;
+/// 2% gives comfortable headroom).
+inline constexpr double kLemma6ObtuseSlack = 0.02;
+
+/// One sampled Lemma-6 configuration and its verdict.
+struct Lemma6Sample {
+  double a1 = 0.0, a2 = 0.0, s2 = 0.0, h = 0.0, q = 0.0;
+  double bound = 0.0;   ///< (1+δ/2)/(1+δ)·a1
+  double margin = 0.0;  ///< (h−q) − bound; >= −eps iff the literal lemma holds
+  /// The lemma exactly as printed in the paper.
+  [[nodiscard]] bool holds(double eps = 1e-9) const { return margin >= -eps; }
+  /// The amended lemma with the obtuse-case slack (see file comment).
+  [[nodiscard]] bool holds_amended(double eps = 1e-9) const {
+    return margin >= -kLemma6ObtuseSlack * bound - eps;
+  }
+};
+
+/// Samples a random configuration satisfying the lemma's premise in the
+/// given dimension (>= 1) and evaluates the conclusion.
+[[nodiscard]] Lemma6Sample sample_lemma6(int dim, double delta, stats::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Lemma 5: with c the closest center to the algorithm and o the optimum's
+// position, (a) the median truly minimises the service cost, and (b)
+// r·d(o,c) <= 4·Σ_i d(o,v_i) — the inequality that lets the analysis assume
+// all requests sit on one point.
+// ---------------------------------------------------------------------------
+
+/// One sampled Lemma-5 configuration and its verdicts.
+struct Lemma5Sample {
+  double service_at_center = 0.0;  ///< Σ d(c, v_i)
+  double service_at_opt = 0.0;     ///< Σ d(o, v_i)
+  double simplified_opt = 0.0;     ///< r·d(o, c)
+  [[nodiscard]] bool median_optimal(double eps = 1e-7) const {
+    return service_at_center <= service_at_opt + eps;
+  }
+  [[nodiscard]] bool reduction_holds(double eps = 1e-7) const {
+    return simplified_opt <= 4.0 * service_at_opt + eps;
+  }
+};
+
+/// Samples r requests plus algorithm/optimum positions in a box of the
+/// given half-width and evaluates the lemma.
+[[nodiscard]] Lemma5Sample sample_lemma5(int dim, std::size_t r, double half_width,
+                                         stats::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Potential-function audit (Sections 4.1 & 4.2): for every reachable
+// configuration and every feasible OPT move, one MtC step satisfies
+//     C_Alg + Δφ <= K(δ) · C_Opt            with K(δ) = O(1/δ^{3/2}),
+// where φ is the paper's two-regime potential (quadratic far, linear near,
+// coefficients doubled for r <= D).
+// ---------------------------------------------------------------------------
+
+/// Model/regime parameters for the audit.
+struct PotentialConfig {
+  int dim = 2;
+  double delta = 0.5;
+  double move_cost_weight = 4.0;  ///< D
+  double max_step = 1.0;          ///< m
+  std::size_t requests = 8;       ///< r (requests all at the point c)
+};
+
+/// One sampled potential step.
+struct PotentialSample {
+  double online_cost = 0.0;   ///< C_Alg = D·a1 + r·a2
+  double opt_cost = 0.0;      ///< C_Opt = D·s1 + r·s2
+  double phi_before = 0.0;
+  double phi_after = 0.0;
+  [[nodiscard]] double delta_phi() const { return phi_after - phi_before; }
+  /// LHS of the inequality.
+  [[nodiscard]] double lhs() const { return online_cost + delta_phi(); }
+  /// Holds with bound K·C_Opt (+ small absolute slack for C_Opt ≈ 0)?
+  [[nodiscard]] bool holds(double k, double eps = 1e-7) const {
+    return lhs() <= k * opt_cost + eps;
+  }
+};
+
+/// The paper's potential for the given regime (r vs D).
+[[nodiscard]] double potential(const PotentialConfig& config, double p);
+
+/// Samples a configuration (positions of OPT/Alg/c and a feasible OPT move,
+/// spread across the analysis' case boundaries), executes MtC's actual move
+/// rule, and returns the audit values.
+[[nodiscard]] PotentialSample sample_potential_step(const PotentialConfig& config,
+                                                    stats::Rng& rng);
+
+/// The K(δ) our audit checks against: 500/δ^{3/2} covers every case
+/// constant appearing in Sections 4.1–4.2 (the paper does not optimise
+/// constants; neither do we).
+[[nodiscard]] inline double audit_bound(double delta) {
+  return 500.0 / (delta * std::sqrt(delta));
+}
+
+}  // namespace mobsrv::core

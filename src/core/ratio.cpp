@@ -1,0 +1,105 @@
+#include "core/ratio.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "parallel/parallel_for.hpp"
+
+namespace mobsrv::core {
+
+namespace {
+
+/// Resolves the OPT proxy (an upper bound on OPT) and, when available, a
+/// certified lower bound.
+std::pair<double, double> resolve_proxy(const PreparedSample& sample,
+                                        const RatioOptions& options) {
+  const bool has_adversary = sample.adversary_cost > 0.0;
+  const bool is_1d = sample.instance.dim() == 1;
+
+  auto run_dp = [&]() {
+    const opt::GridDpResult dp = opt::solve_grid_dp_1d(sample.instance, options.dp);
+    return std::pair{dp.solution.cost, dp.solution.opt_lower_bound};
+  };
+  auto run_convex = [&]() {
+    // Full pipeline: subgradient shaping + coordinate-descent polish.
+    const std::vector<sim::Point>* warm =
+        sample.adversary_positions.empty() ? nullptr : &sample.adversary_positions;
+    const opt::OfflineSolution sol = opt::solve_best_offline(sample.instance, warm);
+    return std::pair{sol.cost, sol.opt_lower_bound};
+  };
+
+  switch (options.oracle) {
+    case OptOracle::kAdversaryCost:
+      MOBSRV_CHECK_MSG(has_adversary, "oracle kAdversaryCost needs an adversary trajectory");
+      return {sample.adversary_cost, 0.0};
+    case OptOracle::kGridDp1D: {
+      MOBSRV_CHECK_MSG(is_1d, "oracle kGridDp1D needs a 1-dimensional instance");
+      return run_dp();
+    }
+    case OptOracle::kConvexDescent:
+      return run_convex();
+    case OptOracle::kBestAvailable: {
+      double upper = std::numeric_limits<double>::infinity();
+      double lower = 0.0;
+      if (has_adversary) upper = std::min(upper, sample.adversary_cost);
+      if (is_1d) {
+        const auto [u, l] = run_dp();
+        upper = std::min(upper, u);
+        lower = std::max(lower, l);
+      } else {
+        const auto [u, l] = run_convex();
+        upper = std::min(upper, u);
+        lower = std::max(lower, l);
+      }
+      return {upper, lower};
+    }
+  }
+  throw ContractViolation("unhandled oracle");
+}
+
+}  // namespace
+
+TrialResult run_trial(const PreparedSample& sample, sim::OnlineAlgorithm& algorithm,
+                      const RatioOptions& options) {
+  sim::RunOptions run_options;
+  run_options.speed_factor = options.speed_factor;
+  run_options.policy = options.policy;
+  const sim::RunResult run = sim::run(sample.instance, algorithm, run_options);
+
+  const auto [proxy, lower] = resolve_proxy(sample, options);
+  MOBSRV_CHECK_MSG(proxy > 0.0, "OPT proxy must be positive; degenerate instance?");
+
+  TrialResult out;
+  out.online_cost = run.total_cost;
+  out.proxy_cost = proxy;
+  out.opt_lower = lower;
+  return out;
+}
+
+RatioEstimate estimate_ratio(par::ThreadPool& pool, const AlgorithmFn& make_algorithm,
+                             const SampleFn& sample, const RatioOptions& options) {
+  MOBSRV_CHECK(options.trials >= 1);
+  std::vector<TrialResult> results(static_cast<std::size_t>(options.trials));
+
+  par::parallel_for(pool, 0, results.size(), 1, [&](std::size_t i) {
+    // Seed derived from (experiment key, trial); independent of scheduling.
+    stats::Rng rng({options.seed_key, 0xA11CE5ULL, static_cast<std::uint64_t>(i)});
+    const PreparedSample prepared = sample(i, rng);
+    const sim::AlgorithmPtr algorithm =
+        make_algorithm(stats::mix_keys({options.seed_key, 0xA190ULL, static_cast<std::uint64_t>(i)}));
+    results[i] = run_trial(prepared, *algorithm, options);
+  });
+
+  RatioEstimate estimate;
+  for (const auto& r : results) {
+    estimate.ratio.add(r.online_cost / r.proxy_cost);
+    estimate.online_cost.add(r.online_cost);
+    estimate.offline_proxy.add(r.proxy_cost);
+    estimate.opt_lower.add(r.opt_lower);
+    if (r.opt_lower > 0.0) estimate.ratio_vs_lower.add(r.online_cost / r.opt_lower);
+  }
+  return estimate;
+}
+
+}  // namespace mobsrv::core

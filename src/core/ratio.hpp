@@ -1,0 +1,96 @@
+/// \file ratio.hpp
+/// Competitive-ratio estimation: the measurement at the heart of every
+/// experiment.
+///
+/// A trial samples an instance (seeded deterministically from
+/// (experiment, row, trial)), runs the online algorithm through the engine,
+/// obtains an OPT proxy from the configured oracle, and records
+/// ratio = C_online / proxy. Trials run in parallel on a ThreadPool; results
+/// are identical for any thread count.
+///
+/// Proxy semantics (see DESIGN.md §4): every oracle returns the cost of a
+/// *feasible* offline solution, i.e. an upper bound on OPT, so measured
+/// ratios are conservative lower estimates of the true competitive ratio —
+/// exactly the right direction for lower-bound experiments and a
+/// conservative one for boundedness claims. The DP oracle additionally
+/// yields a certified OPT lower bound for bracketing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "opt/convex_descent.hpp"
+#include "opt/coordinate_descent.hpp"
+#include "opt/grid_dp.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/engine.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace mobsrv::core {
+
+/// Which offline solver supplies the OPT proxy.
+enum class OptOracle {
+  kAdversaryCost,   ///< the generator's own trajectory (lower-bound experiments)
+  kGridDp1D,        ///< near-exact DP; requires dim == 1
+  kConvexDescent,   ///< any dimension; warm-started with the adversary when present
+  kBestAvailable,   ///< min over everything applicable (tightest upper bound)
+};
+
+/// One sampled instance, optionally with the adversary's own solution.
+struct PreparedSample {
+  sim::Instance instance;
+  /// Adversary trajectory cost if the generator provides one; 0 otherwise.
+  double adversary_cost = 0.0;
+  /// Adversary positions (used to warm-start the convex oracle).
+  std::vector<sim::Point> adversary_positions;
+};
+
+/// Samples an instance for trial \p trial using the given seeded Rng.
+using SampleFn = std::function<PreparedSample(std::size_t trial, stats::Rng& rng)>;
+
+/// Constructs a fresh algorithm for a trial (seed only matters for
+/// randomized strategies).
+using AlgorithmFn = std::function<sim::AlgorithmPtr(std::uint64_t seed)>;
+
+/// Estimation settings.
+struct RatioOptions {
+  int trials = 8;
+  double speed_factor = 1.0;  ///< (1+δ) for the online algorithm
+  sim::SpeedLimitPolicy policy = sim::SpeedLimitPolicy::kThrow;
+  OptOracle oracle = OptOracle::kBestAvailable;
+  opt::GridDpOptions dp;
+  opt::ConvexDescentOptions convex;
+  /// Stable key distinguishing experiments/rows in the seed derivation.
+  std::uint64_t seed_key = 0;
+};
+
+/// Aggregated measurement.
+struct RatioEstimate {
+  stats::Summary ratio;          ///< C_online / proxy per trial
+  stats::Summary online_cost;
+  stats::Summary offline_proxy;  ///< proxy cost per trial
+  stats::Summary opt_lower;      ///< certified OPT lower bounds (0 if none)
+  /// Ratio against the certified lower bound (only when available):
+  /// an *upper* estimate of the trial ratios.
+  stats::Summary ratio_vs_lower;
+};
+
+/// Runs the trials on \p pool and aggregates. Throws if a trial's proxy is
+/// non-positive (a generator bug), or if the oracle is inapplicable.
+[[nodiscard]] RatioEstimate estimate_ratio(par::ThreadPool& pool, const AlgorithmFn& make_algorithm,
+                                           const SampleFn& sample, const RatioOptions& options);
+
+/// Single-trial convenience used by tests: runs the algorithm and the
+/// oracle on one prepared sample.
+struct TrialResult {
+  double online_cost = 0.0;
+  double proxy_cost = 0.0;
+  double opt_lower = 0.0;
+  [[nodiscard]] double ratio() const { return online_cost / proxy_cost; }
+};
+[[nodiscard]] TrialResult run_trial(const PreparedSample& sample, sim::OnlineAlgorithm& algorithm,
+                                    const RatioOptions& options);
+
+}  // namespace mobsrv::core

@@ -1,0 +1,50 @@
+#include "core/shootout.hpp"
+
+#include <limits>
+
+#include "algorithms/registry.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace mobsrv::core {
+
+std::vector<ShootoutRow> shootout(par::ThreadPool& pool, const std::vector<std::string>& names,
+                                  const SampleFn& sample, const RatioOptions& options) {
+  MOBSRV_CHECK(!names.empty() && options.trials >= 1);
+  const auto n_algorithms = names.size();
+  const auto n_trials = static_cast<std::size_t>(options.trials);
+
+  // results[trial][algorithm]
+  std::vector<std::vector<TrialResult>> results(n_trials,
+                                                std::vector<TrialResult>(n_algorithms));
+
+  par::parallel_for(pool, 0, n_trials, 1, [&](std::size_t i) {
+    stats::Rng rng({options.seed_key, 0x5400700ULL, static_cast<std::uint64_t>(i)});
+    const PreparedSample prepared = sample(i, rng);
+    for (std::size_t a = 0; a < n_algorithms; ++a) {
+      const sim::AlgorithmPtr algorithm = alg::make_algorithm(
+          names[a], stats::mix_keys({options.seed_key, static_cast<std::uint64_t>(i),
+                                     static_cast<std::uint64_t>(a)}));
+      results[i][a] = run_trial(prepared, *algorithm, options);
+    }
+  });
+
+  std::vector<ShootoutRow> rows(n_algorithms);
+  for (std::size_t a = 0; a < n_algorithms; ++a) rows[a].name = names[a];
+  for (std::size_t i = 0; i < n_trials; ++i) {
+    std::size_t best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < n_algorithms; ++a) {
+      const TrialResult& r = results[i][a];
+      rows[a].cost.add(r.online_cost);
+      rows[a].ratio.add(r.online_cost / r.proxy_cost);
+      if (r.online_cost < best_cost) {
+        best_cost = r.online_cost;
+        best = a;
+      }
+    }
+    ++rows[best].wins;
+  }
+  return rows;
+}
+
+}  // namespace mobsrv::core

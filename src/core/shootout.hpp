@@ -1,0 +1,32 @@
+/// \file shootout.hpp
+/// Head-to-head comparison of online strategies on shared instances.
+///
+/// Each trial samples ONE instance, computes ONE offline proxy, and runs
+/// every contender on it — so per-trial noise cancels in the comparison and
+/// "who wins" is meaningful even with few trials.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ratio.hpp"
+
+namespace mobsrv::core {
+
+/// Per-algorithm aggregate over the shared trials.
+struct ShootoutRow {
+  std::string name;
+  stats::Summary cost;    ///< total online cost per trial
+  stats::Summary ratio;   ///< cost / offline proxy per trial
+  int wins = 0;           ///< trials where this algorithm was strictly cheapest
+};
+
+/// Runs the named algorithms (see alg::make_algorithm) over shared sampled
+/// instances. Options' oracle/trials/speed_factor apply as in
+/// estimate_ratio.
+[[nodiscard]] std::vector<ShootoutRow> shootout(par::ThreadPool& pool,
+                                                const std::vector<std::string>& names,
+                                                const SampleFn& sample,
+                                                const RatioOptions& options);
+
+}  // namespace mobsrv::core

@@ -1,0 +1,141 @@
+#include "ext/multi_server.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "adversary/workloads.hpp"
+#include "algorithms/move_to_center.hpp"
+#include "median/geometric_median.hpp"
+
+namespace mobsrv::ext {
+
+double nearest_service_cost(const std::vector<sim::Point>& servers,
+                            const sim::RequestBatch& batch) {
+  MOBSRV_CHECK_MSG(!servers.empty(), "need at least one server");
+  double total = 0.0;
+  for (const auto& v : batch.requests) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& s : servers) best = std::min(best, geo::distance(s, v));
+    total += best;
+  }
+  return total;
+}
+
+MultiRunResult run_multi(const sim::Instance& instance, std::vector<sim::Point> starts,
+                         MultiServerAlgorithm& algorithm, double speed_factor) {
+  MOBSRV_CHECK_MSG(!starts.empty(), "need at least one server");
+  MOBSRV_CHECK(speed_factor >= 1.0);
+  for (const auto& s : starts) MOBSRV_CHECK(s.dim() == instance.dim());
+  const sim::ModelParams& params = instance.params();
+  const double limit = params.max_step * speed_factor;
+
+  algorithm.reset(starts, params);
+  std::vector<sim::Point> servers = std::move(starts);
+
+  MultiRunResult result;
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    MultiStepView view;
+    view.t = t;
+    view.batch = &instance.step(t);
+    view.servers = servers;
+    view.speed_limit = limit;
+    view.params = &params;
+
+    std::vector<sim::Point> proposals = algorithm.decide(view);
+    MOBSRV_CHECK_MSG(proposals.size() == servers.size(), "strategy changed the fleet size");
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      // Clamp overshoots to the limit (robust engine policy for extensions).
+      const sim::Point next = geo::move_toward(servers[i], proposals[i], limit);
+      result.move_cost += params.move_cost_weight * geo::distance(servers[i], next);
+      servers[i] = next;
+    }
+    result.service_cost += nearest_service_cost(servers, instance.step(t));
+  }
+  result.total_cost = result.move_cost + result.service_cost;
+  result.final_positions = std::move(servers);
+  return result;
+}
+
+std::vector<sim::Point> AssignAndChase::decide(const MultiStepView& view) {
+  const auto& requests = view.batch->requests;
+  std::vector<sim::Point> next = view.servers;
+  if (requests.empty()) return next;
+
+  // Assign each request to its nearest server (by pre-move positions).
+  std::vector<std::vector<geo::Point>> assigned(view.servers.size());
+  for (const auto& v : requests) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < view.servers.size(); ++i) {
+      const double d = geo::distance(view.servers[i], v);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    assigned[best].push_back(v);
+  }
+
+  // Each server runs the MtC rule on its own sub-batch.
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    if (assigned[i].empty()) continue;
+    const geo::Point center = med::closest_center(assigned[i], view.servers[i]);
+    const double dist = geo::distance(view.servers[i], center);
+    const double step =
+        std::min(alg::MoveToCenter::damped_step(assigned[i].size(),
+                                                view.params->move_cost_weight, dist),
+                 view.speed_limit);
+    next[i] = geo::move_toward(view.servers[i], center, step);
+  }
+  return next;
+}
+
+sim::Instance make_multi_hotspot(const MultiHotspotParams& params, stats::Rng& rng) {
+  MOBSRV_CHECK(params.clusters >= 1 && params.requests_per_cluster >= 1);
+  const sim::Point start = sim::Point::zero(params.dim);
+
+  std::vector<sim::Point> hotspots;
+  for (int c = 0; c < params.clusters; ++c) {
+    sim::Point h(params.dim);
+    for (int d = 0; d < params.dim; ++d)
+      h[d] = rng.uniform(-params.arena_half_width, params.arena_half_width);
+    hotspots.push_back(h);
+  }
+
+  std::vector<sim::RequestBatch> steps(params.horizon);
+  for (auto& step : steps) {
+    for (auto& h : hotspots) {
+      h += adv::random_unit_vector(params.dim, rng) * (params.drift_speed * rng.uniform());
+      for (std::size_t i = 0; i < params.requests_per_cluster; ++i)
+        step.requests.push_back(adv::gaussian_around(h, params.cluster_spread, rng));
+    }
+  }
+
+  sim::ModelParams mp;
+  mp.move_cost_weight = params.move_cost_weight;
+  mp.max_step = params.max_step;
+  return sim::Instance(start, mp, std::move(steps));
+}
+
+std::vector<sim::Point> spread_starts(const sim::Instance& instance, int k, double radius) {
+  MOBSRV_CHECK(k >= 1 && radius >= 0.0);
+  std::vector<sim::Point> starts;
+  starts.reserve(static_cast<std::size_t>(k));
+  const int dim = instance.dim();
+  for (int i = 0; i < k; ++i) {
+    sim::Point p = instance.start();
+    if (k > 1) {
+      if (dim == 1) {
+        p[0] += radius * (2.0 * static_cast<double>(i) / (k - 1) - 1.0);
+      } else {
+        const double angle = 2.0 * 3.14159265358979323846 * static_cast<double>(i) / k;
+        p[0] += radius * std::cos(angle);
+        p[1] += radius * std::sin(angle);
+      }
+    }
+    starts.push_back(p);
+  }
+  return starts;
+}
+
+}  // namespace mobsrv::ext

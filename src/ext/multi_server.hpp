@@ -1,0 +1,104 @@
+/// \file multi_server.hpp
+/// EXPLORATORY EXTENSION (paper Section 6): several mobile servers.
+///
+/// The paper closes by asking whether the bounded-movement idea transfers
+/// to the k-Server Problem / Page Migration with multiple pages. This
+/// module implements the natural model: k servers, each holding a copy of
+/// the page and bound by the same per-round movement limit m; every request
+/// is served by the *nearest* server (after the moves, Move-First
+/// semantics); movement of every server costs D per unit.
+///
+/// No competitive bound is claimed here — the point is an executable
+/// substrate for the open question, plus the ablation experiment E14
+/// (marginal value of additional servers on multi-hotspot demand).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/cost.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::ext {
+
+/// Everything a multi-server strategy may look at when deciding step t.
+struct MultiStepView {
+  std::size_t t = 0;
+  const sim::RequestBatch* batch = nullptr;
+  std::vector<sim::Point> servers;  ///< current positions
+  double speed_limit = 0.0;         ///< per-server movement limit this round
+  const sim::ModelParams* params = nullptr;
+};
+
+/// Strategy interface: proposes one new position per server.
+class MultiServerAlgorithm {
+ public:
+  virtual ~MultiServerAlgorithm() = default;
+  virtual void reset(const std::vector<sim::Point>& starts, const sim::ModelParams& params) {
+    (void)starts;
+    (void)params;
+  }
+  [[nodiscard]] virtual std::vector<sim::Point> decide(const MultiStepView& view) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Nearest-server service cost: Σ_v min_i d(P_i, v).
+[[nodiscard]] double nearest_service_cost(const std::vector<sim::Point>& servers,
+                                          const sim::RequestBatch& batch);
+
+/// Result of a multi-server run.
+struct MultiRunResult {
+  double total_cost = 0.0;
+  double move_cost = 0.0;
+  double service_cost = 0.0;
+  std::vector<sim::Point> final_positions;
+};
+
+/// Runs a multi-server strategy. Starts are spread by the caller; every
+/// server obeys speed_factor·m per round (clamped — extensions favour
+/// robustness over strictness here, and cost accounting is done by the
+/// engine either way).
+[[nodiscard]] MultiRunResult run_multi(const sim::Instance& instance,
+                                       std::vector<sim::Point> starts,
+                                       MultiServerAlgorithm& algorithm,
+                                       double speed_factor = 1.0);
+
+/// The natural generalisation of MtC: requests are assigned to their
+/// nearest server; each server runs the MtC rule (damped step toward the
+/// closest median of its assigned sub-batch).
+class AssignAndChase final : public MultiServerAlgorithm {
+ public:
+  [[nodiscard]] std::vector<sim::Point> decide(const MultiStepView& view) override;
+  [[nodiscard]] std::string name() const override { return "AssignAndChase"; }
+};
+
+/// Baseline: servers never move (a static cache grid).
+class StaticServers final : public MultiServerAlgorithm {
+ public:
+  [[nodiscard]] std::vector<sim::Point> decide(const MultiStepView& view) override {
+    return view.servers;
+  }
+  [[nodiscard]] std::string name() const override { return "Static"; }
+};
+
+/// Workload for the ablation: `clusters` independent drifting hotspots.
+struct MultiHotspotParams {
+  std::size_t horizon = 1024;
+  int dim = 2;
+  double move_cost_weight = 4.0;
+  double max_step = 1.0;
+  int clusters = 4;
+  double cluster_spread = 1.5;    ///< request std-dev around each hotspot
+  double drift_speed = 0.4;
+  double arena_half_width = 20.0; ///< initial hotspot positions
+  std::size_t requests_per_cluster = 1;
+};
+[[nodiscard]] sim::Instance make_multi_hotspot(const MultiHotspotParams& params,
+                                               stats::Rng& rng);
+
+/// Evenly spread start positions on a circle (2-D+) or interval (1-D) of
+/// the given radius around the origin-start of \p instance.
+[[nodiscard]] std::vector<sim::Point> spread_starts(const sim::Instance& instance, int k,
+                                                    double radius);
+
+}  // namespace mobsrv::ext

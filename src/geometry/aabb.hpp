@@ -1,0 +1,97 @@
+/// \file aabb.hpp
+/// Axis-aligned bounding boxes.
+///
+/// Used by the offline solvers to bound the region an optimal trajectory can
+/// profitably visit (OPT never leaves the bounding box of the requests plus
+/// start position — moving outside only adds cost), which keeps the 1-D DP
+/// grid finite and lets the convex solver pick sane initial iterates.
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace mobsrv::geo {
+
+/// Axis-aligned box [lo, hi] in R^d. Empty until the first extend().
+class Aabb {
+ public:
+  Aabb() = default;
+  explicit Aabb(int dim) : lo_(dim), hi_(dim), empty_(true) {}
+
+  /// Grows the box to contain p. The first point fixes the dimension.
+  void extend(const Point& p) {
+    if (lo_.empty()) {
+      lo_ = p;
+      hi_ = p;
+      empty_ = false;
+      return;
+    }
+    MOBSRV_CHECK(p.dim() == lo_.dim());
+    empty_ = false;
+    for (int i = 0; i < p.dim(); ++i) {
+      if (p[i] < lo_[i]) lo_[i] = p[i];
+      if (p[i] > hi_[i]) hi_[i] = p[i];
+    }
+  }
+
+  /// Grows the box by \p margin on every side.
+  void inflate(double margin) {
+    MOBSRV_CHECK(!empty_);
+    for (int i = 0; i < lo_.dim(); ++i) {
+      lo_[i] -= margin;
+      hi_[i] += margin;
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return empty_; }
+  [[nodiscard]] int dim() const noexcept { return lo_.dim(); }
+  [[nodiscard]] const Point& lo() const { return lo_; }
+  [[nodiscard]] const Point& hi() const { return hi_; }
+
+  [[nodiscard]] Point center() const {
+    MOBSRV_CHECK(!empty_);
+    return (lo_ + hi_) * 0.5;
+  }
+
+  /// Longest side length.
+  [[nodiscard]] double extent() const {
+    MOBSRV_CHECK(!empty_);
+    double e = 0.0;
+    for (int i = 0; i < lo_.dim(); ++i) e = std::max(e, hi_[i] - lo_[i]);
+    return e;
+  }
+
+  [[nodiscard]] bool contains(const Point& p, double eps = 0.0) const {
+    if (empty_ || p.dim() != lo_.dim()) return false;
+    for (int i = 0; i < p.dim(); ++i)
+      if (p[i] < lo_[i] - eps || p[i] > hi_[i] + eps) return false;
+    return true;
+  }
+
+  /// Clamps p into the box component-wise.
+  [[nodiscard]] Point clamp(const Point& p) const {
+    MOBSRV_CHECK(!empty_ && p.dim() == lo_.dim());
+    Point q = p;
+    for (int i = 0; i < p.dim(); ++i) {
+      if (q[i] < lo_[i]) q[i] = lo_[i];
+      if (q[i] > hi_[i]) q[i] = hi_[i];
+    }
+    return q;
+  }
+
+  /// Bounding box of a point set (must be non-empty, uniform dimension).
+  [[nodiscard]] static Aabb of(const std::vector<Point>& pts) {
+    MOBSRV_CHECK(!pts.empty());
+    Aabb box;
+    for (const auto& p : pts) box.extend(p);
+    return box;
+  }
+
+ private:
+  Point lo_;
+  Point hi_;
+  bool empty_ = true;
+};
+
+}  // namespace mobsrv::geo

@@ -1,0 +1,30 @@
+#include "geometry/point.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace mobsrv::geo {
+
+std::string Point::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+Point move_toward(const Point& from, const Point& to, double step) {
+  MOBSRV_CHECK_MSG(step >= 0.0, "movement step must be non-negative");
+  const double d = distance(from, to);
+  if (d <= step || d == 0.0) return to;
+  return from + (to - from) * (step / d);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  os << '(';
+  for (int i = 0; i < p.dim(); ++i) {
+    if (i > 0) os << ", ";
+    os << p[i];
+  }
+  return os << ')';
+}
+
+}  // namespace mobsrv::geo

@@ -1,0 +1,172 @@
+/// \file point.hpp
+/// A small fixed-capacity Euclidean point/vector type.
+///
+/// The Mobile Server Problem lives in R^d for arbitrary d; the paper's
+/// constructions are low-dimensional embeddings, so a runtime dimension with
+/// small inline storage (no heap allocation per point) covers every
+/// experiment while keeping the simulator's inner loop allocation-free.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::geo {
+
+/// Euclidean point (equivalently, vector) of runtime dimension 1..kMaxDim.
+///
+/// All binary operations require matching dimensions (checked with
+/// MOBSRV_DCHECK in hot paths). Value type: copyable, comparable,
+/// streamable.
+class Point {
+ public:
+  /// Maximum supported dimension. 8 covers every experiment in the paper
+  /// reproduction (the lower-bound constructions are 1-D embeddings).
+  static constexpr int kMaxDim = 8;
+
+  /// Constructs a 0-dimensional (empty) point. Useful only as a
+  /// placeholder; any arithmetic on it is a contract violation.
+  constexpr Point() noexcept : dim_(0), x_{} {}
+
+  /// Constructs the origin of R^dim.
+  explicit Point(int dim) : dim_(dim), x_{} {
+    MOBSRV_CHECK_MSG(dim >= 1 && dim <= kMaxDim, "Point dimension out of range");
+  }
+
+  /// Constructs from coordinates, e.g. Point{1.0, 2.0}.
+  Point(std::initializer_list<double> coords) : dim_(static_cast<int>(coords.size())), x_{} {
+    MOBSRV_CHECK_MSG(dim_ >= 1 && dim_ <= kMaxDim, "Point dimension out of range");
+    int i = 0;
+    for (double c : coords) x_[i++] = c;
+  }
+
+  /// The origin of R^dim.
+  [[nodiscard]] static Point zero(int dim) { return Point(dim); }
+
+  /// The i-th canonical unit vector of R^dim.
+  [[nodiscard]] static Point unit(int dim, int axis) {
+    Point p(dim);
+    MOBSRV_CHECK(axis >= 0 && axis < dim);
+    p.x_[axis] = 1.0;
+    return p;
+  }
+
+  /// Embeds a scalar on the first axis of R^dim (the paper's lower bounds
+  /// are line constructions inside R^d).
+  [[nodiscard]] static Point on_axis(int dim, double value, int axis = 0) {
+    Point p(dim);
+    MOBSRV_CHECK(axis >= 0 && axis < dim);
+    p.x_[axis] = value;
+    return p;
+  }
+
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  [[nodiscard]] bool empty() const noexcept { return dim_ == 0; }
+
+  [[nodiscard]] double operator[](int i) const {
+    MOBSRV_DCHECK(i >= 0 && i < dim_);
+    return x_[i];
+  }
+  [[nodiscard]] double& operator[](int i) {
+    MOBSRV_DCHECK(i >= 0 && i < dim_);
+    return x_[i];
+  }
+
+  Point& operator+=(const Point& o) {
+    MOBSRV_DCHECK(dim_ == o.dim_);
+    for (int i = 0; i < dim_; ++i) x_[i] += o.x_[i];
+    return *this;
+  }
+  Point& operator-=(const Point& o) {
+    MOBSRV_DCHECK(dim_ == o.dim_);
+    for (int i = 0; i < dim_; ++i) x_[i] -= o.x_[i];
+    return *this;
+  }
+  Point& operator*=(double s) noexcept {
+    for (int i = 0; i < dim_; ++i) x_[i] *= s;
+    return *this;
+  }
+  Point& operator/=(double s) {
+    MOBSRV_DCHECK(s != 0.0);
+    for (int i = 0; i < dim_; ++i) x_[i] /= s;
+    return *this;
+  }
+
+  [[nodiscard]] friend Point operator+(Point a, const Point& b) { return a += b; }
+  [[nodiscard]] friend Point operator-(Point a, const Point& b) { return a -= b; }
+  [[nodiscard]] friend Point operator*(Point a, double s) { return a *= s; }
+  [[nodiscard]] friend Point operator*(double s, Point a) { return a *= s; }
+  [[nodiscard]] friend Point operator/(Point a, double s) { return a /= s; }
+  [[nodiscard]] friend Point operator-(Point a) { return a *= -1.0; }
+
+  [[nodiscard]] friend bool operator==(const Point& a, const Point& b) {
+    if (a.dim_ != b.dim_) return false;
+    for (int i = 0; i < a.dim_; ++i)
+      if (a.x_[i] != b.x_[i]) return false;
+    return true;
+  }
+  [[nodiscard]] friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  /// Inner product.
+  [[nodiscard]] double dot(const Point& o) const {
+    MOBSRV_DCHECK(dim_ == o.dim_);
+    double s = 0.0;
+    for (int i = 0; i < dim_; ++i) s += x_[i] * o.x_[i];
+    return s;
+  }
+
+  /// Squared Euclidean norm.
+  [[nodiscard]] double norm2() const noexcept {
+    double s = 0.0;
+    for (int i = 0; i < dim_; ++i) s += x_[i] * x_[i];
+    return s;
+  }
+
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm2()); }
+
+  /// Returns this vector scaled to unit length; the zero vector is returned
+  /// unchanged (callers in the simulator treat "no direction" as "stay").
+  [[nodiscard]] Point normalized() const {
+    const double n = norm();
+    if (n == 0.0) return *this;
+    return *this / n;
+  }
+
+  /// Human-readable "(x, y, …)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int dim_;
+  std::array<double, kMaxDim> x_;
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(const Point& a, const Point& b) { return (a - b).norm(); }
+
+/// Squared Euclidean distance.
+[[nodiscard]] inline double distance2(const Point& a, const Point& b) { return (a - b).norm2(); }
+
+/// Linear interpolation a + t·(b−a); t is not clamped.
+[[nodiscard]] inline Point lerp(const Point& a, const Point& b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Moves \p from toward \p to by at most \p step; never overshoots.
+/// This is the primitive every online algorithm in the library uses to
+/// respect the per-round movement limit m.
+[[nodiscard]] Point move_toward(const Point& from, const Point& to, double step);
+
+/// True iff the two points are within \p eps of each other (L2).
+[[nodiscard]] inline bool approx_equal(const Point& a, const Point& b, double eps = 1e-9) {
+  return distance(a, b) <= eps;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace mobsrv::geo

@@ -1,0 +1,84 @@
+#include "geometry/segment.hpp"
+
+#include <algorithm>
+
+namespace mobsrv::geo {
+
+Point closest_point_on_segment(const Segment& s, const Point& q) {
+  const Point ab = s.b - s.a;
+  const double len2 = ab.norm2();
+  if (len2 == 0.0) return s.a;
+  const double t = (q - s.a).dot(ab) / len2;
+  return s.at(t);
+}
+
+double distance_to_segment(const Segment& s, const Point& q) {
+  return distance(q, closest_point_on_segment(s, q));
+}
+
+namespace {
+
+/// Index pair of (approximately) the two most distant points; O(n) heuristic
+/// (farthest from pts[0], then farthest from that) which is exact for
+/// collinear inputs — the only case we call it in.
+std::pair<int, int> farthest_pair_collinear(const Point* pts, int n) {
+  int i0 = 0;
+  double best = -1.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = distance(pts[0], pts[i]);
+    if (d > best) {
+      best = d;
+      i0 = i;
+    }
+  }
+  int i1 = i0;
+  best = -1.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = distance(pts[i0], pts[i]);
+    if (d > best) {
+      best = d;
+      i1 = i;
+    }
+  }
+  return {i0, i1};
+}
+
+}  // namespace
+
+bool collinear(const Point* pts, int n, double eps) {
+  MOBSRV_CHECK(n >= 1);
+  if (n <= 2) return true;
+  const auto [i0, i1] = farthest_pair_collinear(pts, n);
+  const Point dir = pts[i1] - pts[i0];
+  const double len = dir.norm();
+  if (len == 0.0) return true;  // all points coincide
+  const Point u = dir / len;
+  double max_dev = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Point rel = pts[i] - pts[i0];
+    const double along = rel.dot(u);
+    const double dev2 = rel.norm2() - along * along;
+    max_dev = std::max(max_dev, dev2);
+  }
+  // Relative tolerance: deviation compared to the spread of the points.
+  return max_dev <= (eps * len) * (eps * len) + eps * eps;
+}
+
+Point collinear_direction(const Point* pts, int n) {
+  MOBSRV_CHECK(n >= 1);
+  if (n == 1) return Point::zero(pts[0].dim());
+  const auto [i0, i1] = farthest_pair_collinear(pts, n);
+  Point u = (pts[i1] - pts[i0]).normalized();
+  // Canonical orientation (first nonzero coordinate positive) so callers
+  // get a deterministic direction regardless of input order.
+  for (int d = 0; d < u.dim(); ++d) {
+    if (u[d] > 0.0) break;
+    if (u[d] < 0.0) {
+      u *= -1.0;
+      break;
+    }
+  }
+  return u;
+}
+
+}  // namespace mobsrv::geo

@@ -1,0 +1,48 @@
+/// \file segment.hpp
+/// Line-segment utilities.
+///
+/// The geometric-median *set* of a request batch is a segment whenever the
+/// requests are collinear with even multiplicity balance (in particular for
+/// r = 2 and for all 1-D instances). MtC's tie-break rule — "pick the center
+/// closest to the server" — is exactly a closest-point-on-segment query, so
+/// the segment primitives here are load-bearing for the algorithm's
+/// correctness proof.
+#pragma once
+
+#include "geometry/point.hpp"
+
+namespace mobsrv::geo {
+
+/// Closed segment [a, b]; a == b degenerates to a point.
+struct Segment {
+  Point a;
+  Point b;
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+
+  /// Point at parameter t in [0,1] along the segment (clamped).
+  [[nodiscard]] Point at(double t) const {
+    if (t <= 0.0) return a;
+    if (t >= 1.0) return b;
+    return lerp(a, b, t);
+  }
+};
+
+/// The point of [a,b] closest to q (orthogonal projection clamped to the
+/// segment). For a degenerate segment returns a.
+[[nodiscard]] Point closest_point_on_segment(const Segment& s, const Point& q);
+
+/// Distance from q to the segment.
+[[nodiscard]] double distance_to_segment(const Segment& s, const Point& q);
+
+/// True iff all points of \p pts (size >= 1) lie on one line, within
+/// tolerance \p eps measured as maximum orthogonal deviation relative to
+/// the spread of the points.
+[[nodiscard]] bool collinear(const Point* pts, int n, double eps = 1e-9);
+
+/// Unit direction of the best-fit line through collinear points: the
+/// direction from the two most distant points. Requires n >= 2 and at least
+/// two distinct points; otherwise returns the zero vector.
+[[nodiscard]] Point collinear_direction(const Point* pts, int n);
+
+}  // namespace mobsrv::geo

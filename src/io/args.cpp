@@ -1,0 +1,67 @@
+#include "io/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mobsrv::io {
+
+Args::Args(int argc, const char* const* argv) {
+  MOBSRV_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw ContractViolation("flag --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+int Args::get_int(const std::string& name, int fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stoi(*v);
+  } catch (const std::exception&) {
+    throw ContractViolation("flag --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw ContractViolation("flag --" + name + " expects a boolean, got '" + *v + "'");
+}
+
+}  // namespace mobsrv::io

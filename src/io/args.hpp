@@ -1,0 +1,45 @@
+/// \file args.hpp
+/// Minimal command-line flag parsing for examples and bench binaries.
+///
+/// Understands `--name=value`, `--name value` and boolean `--name`.
+/// Unrecognised arguments are collected as positionals so the bench mains
+/// can forward them to google-benchmark untouched.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::io {
+
+/// Parsed command line.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  [[nodiscard]] bool has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// Raw string value; empty optional if absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Arguments that did not look like --flags, in order.
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept { return positionals_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace mobsrv::io

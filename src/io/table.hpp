@@ -1,0 +1,91 @@
+/// \file table.hpp
+/// Experiment tables: the reproduction artifacts every bench binary prints.
+///
+/// A Table is a named grid of cells with typed-ish formatting helpers; it
+/// renders as GitHub markdown (for EXPERIMENTS.md) or CSV (for downstream
+/// plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::io {
+
+/// Formats a double with \p digits significant digits, trimming trailing
+/// zeros ("3.1416", "0.5", "120000").
+[[nodiscard]] std::string format_double(double v, int digits = 4);
+
+/// Tabular result container.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] std::size_t num_columns() const noexcept { return columns_.size(); }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept { return columns_; }
+
+  /// Appends a fully formed row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row builder: table.row().cell("a").cell(1.5).done();
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& cell(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    RowBuilder& cell(const char* s) {
+      cells_.emplace_back(s);
+      return *this;
+    }
+    RowBuilder& cell(double v, int digits = 4) {
+      cells_.push_back(format_double(v, digits));
+      return *this;
+    }
+    RowBuilder& cell(int v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    RowBuilder& cell(long v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    RowBuilder& cell(std::size_t v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    /// Commits the row into the table.
+    void done() { table_.add_row(std::move(cells_)); }
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  /// Cell accessor (row-major); bounds-checked.
+  [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Renders a column-aligned GitHub markdown table (with the title as a
+  /// bold caption line).
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints the markdown rendering to the stream followed by a blank line.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mobsrv::io

@@ -1,0 +1,116 @@
+#include "median/geometric_median.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "median/median1d.hpp"
+
+namespace mobsrv::med {
+
+namespace {
+
+MedianSet single_point_set(const geo::Point& p, std::span<const geo::Point> points,
+                           std::span<const double> weights) {
+  MedianSet set;
+  set.segment = {p, p};
+  set.objective = sum_distances(p, points, weights);
+  set.method = MedianMethod::kSinglePoint;
+  return set;
+}
+
+}  // namespace
+
+MedianSet median_set(std::span<const geo::Point> points, std::span<const double> weights,
+                     const WeiszfeldOptions& opt) {
+  MOBSRV_CHECK_MSG(!points.empty(), "median of empty point set");
+  MOBSRV_CHECK(weights.empty() || weights.size() == points.size());
+  const int dim = points[0].dim();
+  for (std::size_t i = 1; i < points.size(); ++i)
+    MOBSRV_CHECK_MSG(points[i].dim() == dim, "mixed dimensions");
+
+  if (points.size() == 1) return single_point_set(points[0], points, weights);
+
+  if (geo::collinear(points.data(), static_cast<int>(points.size()))) {
+    const geo::Point u = geo::collinear_direction(points.data(), static_cast<int>(points.size()));
+    if (u.norm() == 0.0) return single_point_set(points[0], points, weights);  // all coincide
+    // Reduce to the exact weighted 1-D median along the common line.
+    const geo::Point origin = points[0];
+    std::vector<double> t(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) t[i] = (points[i] - origin).dot(u);
+    const Interval1D interval = weighted_median_interval(t, weights);
+    MedianSet set;
+    set.segment = {origin + u * interval.lo, origin + u * interval.hi};
+    set.objective = sum_distances(set.segment.a, points, weights);
+    set.method = MedianMethod::kCollinear;
+    return set;
+  }
+
+  // Non-collinear in d >= 2: the minimiser is unique; Weiszfeld converges.
+  const WeiszfeldResult res = weiszfeld(points, weights, opt);
+  MedianSet set;
+  set.segment = {res.median, res.median};
+  set.objective = res.objective;
+  set.method = MedianMethod::kWeiszfeld;
+  set.iterations = res.iterations;
+  return set;
+}
+
+geo::Point closest_center(std::span<const geo::Point> points, const geo::Point& anchor,
+                          std::span<const double> weights, const WeiszfeldOptions& opt) {
+  const MedianSet set = median_set(points, weights, opt);
+  if (set.unique()) return set.segment.a;
+  MOBSRV_CHECK(anchor.dim() == set.segment.a.dim());
+  return geo::closest_point_on_segment(set.segment, anchor);
+}
+
+geo::Point brute_force_median(std::span<const geo::Point> points, std::span<const double> weights,
+                              int cells_per_axis, int refinements) {
+  MOBSRV_CHECK_MSG(!points.empty(), "median of empty point set");
+  const int dim = points[0].dim();
+  MOBSRV_CHECK_MSG(dim <= 4, "brute-force median is exponential in dimension; use <= 4");
+  MOBSRV_CHECK(cells_per_axis >= 2 && refinements >= 1);
+
+  geo::Aabb box;
+  for (const auto& p : points) box.extend(p);
+  geo::Point lo = box.lo(), hi = box.hi();
+
+  geo::Point best = box.center();
+  double best_obj = sum_distances(best, points, weights);
+
+  for (int pass = 0; pass < refinements; ++pass) {
+    // Enumerate the grid of (cells_per_axis+1)^dim lattice points in [lo,hi].
+    const int side = cells_per_axis + 1;
+    long total = 1;
+    for (int d = 0; d < dim; ++d) total *= side;
+    for (long code = 0; code < total; ++code) {
+      geo::Point cand(dim);
+      long rem = code;
+      for (int d = 0; d < dim; ++d) {
+        const int idx = static_cast<int>(rem % side);
+        rem /= side;
+        const double frac =
+            side == 1 ? 0.0 : static_cast<double>(idx) / static_cast<double>(side - 1);
+        cand[d] = lo[d] + (hi[d] - lo[d]) * frac;
+      }
+      const double obj = sum_distances(cand, points, weights);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best = cand;
+      }
+    }
+    // Shrink the box around the incumbent for the next pass.
+    geo::Point new_lo(dim), new_hi(dim);
+    for (int d = 0; d < dim; ++d) {
+      const double half = (hi[d] - lo[d]) / static_cast<double>(cells_per_axis);
+      new_lo[d] = best[d] - half;
+      new_hi[d] = best[d] + half;
+    }
+    lo = new_lo;
+    hi = new_hi;
+  }
+  return best;
+}
+
+}  // namespace mobsrv::med

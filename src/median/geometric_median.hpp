@@ -1,0 +1,58 @@
+/// \file geometric_median.hpp
+/// The full geometric-median *set* and MtC's closest-center tie-break.
+///
+/// The minimiser set of c ↦ Σ w_i·d(c, v_i) in R^d is:
+///   * a single point for non-collinear inputs (d >= 2), found by Weiszfeld;
+///   * a closed segment for collinear inputs (this includes every 1-D
+///     instance and every r = 2 batch), found exactly by reducing to the
+///     weighted 1-D median interval along the common line.
+///
+/// MtC (Section 4 of the paper) requires: "Let c be the point minimising
+/// Σ d(c, v_i). If c is not unique, pick the one minimising d(P_Alg, c)."
+/// `closest_center` implements exactly that contract.
+#pragma once
+
+#include <span>
+
+#include "geometry/segment.hpp"
+#include "median/weiszfeld.hpp"
+
+namespace mobsrv::med {
+
+/// How the median set was computed.
+enum class MedianMethod {
+  kSinglePoint,  ///< one input point (or all coincide)
+  kCollinear,    ///< exact 1-D reduction along the common line
+  kWeiszfeld,    ///< iterative solve, unique minimiser
+};
+
+/// The minimiser set, always represented as a (possibly degenerate) segment.
+struct MedianSet {
+  geo::Segment segment;       ///< minimiser set; a == b when unique
+  double objective = 0.0;     ///< Σ w_i·d(·, v_i) on the set
+  MedianMethod method = MedianMethod::kSinglePoint;
+  int iterations = 0;         ///< Weiszfeld iterations (0 for exact paths)
+
+  [[nodiscard]] bool unique() const { return segment.a == segment.b; }
+};
+
+/// Computes the median set of \p points (weights optional, strictly
+/// positive, matching size).
+[[nodiscard]] MedianSet median_set(std::span<const geo::Point> points,
+                                   std::span<const double> weights = {},
+                                   const WeiszfeldOptions& opt = {});
+
+/// MtC's center: the point of the median set closest to \p anchor.
+[[nodiscard]] geo::Point closest_center(std::span<const geo::Point> points,
+                                        const geo::Point& anchor,
+                                        std::span<const double> weights = {},
+                                        const WeiszfeldOptions& opt = {});
+
+/// Brute-force reference minimiser by multi-resolution grid search over the
+/// bounding box; used by tests and audits, not by the algorithms. Accuracy
+/// roughly extent · 2^{-refinements}.
+[[nodiscard]] geo::Point brute_force_median(std::span<const geo::Point> points,
+                                            std::span<const double> weights = {},
+                                            int cells_per_axis = 16, int refinements = 12);
+
+}  // namespace mobsrv::med

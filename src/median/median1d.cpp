@@ -1,0 +1,72 @@
+#include "median/median1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mobsrv::med {
+
+Interval1D weighted_median_interval(std::span<const double> values,
+                                    std::span<const double> weights) {
+  MOBSRV_CHECK_MSG(!values.empty(), "median of empty set");
+  MOBSRV_CHECK_MSG(weights.empty() || weights.size() == values.size(),
+                   "weights/values size mismatch");
+
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+  auto weight_of = [&](std::size_t i) {
+    if (weights.empty()) return 1.0;
+    MOBSRV_CHECK_MSG(weights[i] > 0.0, "weights must be strictly positive");
+    return weights[i];
+  };
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) total += weight_of(i);
+  const double half = total / 2.0;
+
+  // The subgradient of x ↦ Σ w_i|x−v_i| is weight{v < x} − weight{v > x}
+  // (±boundary). The minimiser set is therefore [lo, hi] with
+  //   lo = smallest v with cumweight(<= v) >= W/2,
+  //   hi = smallest v with cumweight(<= v) >  W/2;
+  // lo < hi exactly when the cumulative weight hits W/2 on the nose at lo.
+  const double tol = 1e-12 * total;
+  double lo = values[order.back()];
+  double hi = values[order.back()];
+  bool lo_set = false;
+  double cum = 0.0;
+  for (const std::size_t k : order) {
+    cum += weight_of(k);
+    if (!lo_set && cum >= half - tol) {
+      lo = values[k];
+      lo_set = true;
+    }
+    if (cum > half + tol) {
+      hi = values[k];
+      break;
+    }
+  }
+  return {lo, std::max(lo, hi)};
+}
+
+Interval1D median_interval(std::span<const double> values) {
+  return weighted_median_interval(values, {});
+}
+
+double sum_abs_deviation(double x, std::span<const double> values,
+                         std::span<const double> weights) {
+  MOBSRV_CHECK(weights.empty() || weights.size() == values.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    s += (weights.empty() ? 1.0 : weights[i]) * std::abs(x - values[i]);
+  return s;
+}
+
+double sum_abs_deviation(double x, std::span<const double> values) {
+  return sum_abs_deviation(x, values, {});
+}
+
+}  // namespace mobsrv::med

@@ -1,0 +1,42 @@
+/// \file median1d.hpp
+/// Exact weighted 1-D median (as an interval).
+///
+/// On the line, the minimisers of x ↦ Σ w_i·|x − v_i| form a closed interval
+/// [lo, hi] (a single point unless the cumulative weight splits exactly in
+/// half). MtC's tie-break — "the center closest to the server" — needs the
+/// whole interval, not just one minimiser, so this module returns it
+/// exactly.
+#pragma once
+
+#include <span>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::med {
+
+/// Closed interval of minimisers on the line.
+struct Interval1D {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool is_point() const noexcept { return lo == hi; }
+  /// The point of the interval closest to q.
+  [[nodiscard]] double clamp(double q) const noexcept {
+    if (q < lo) return lo;
+    if (q > hi) return hi;
+    return q;
+  }
+};
+
+/// Exact minimiser interval of Σ w_i·|x − v_i|. Unweighted overload treats
+/// all weights as 1. Requires at least one value; weights (if given) must
+/// match in size and be strictly positive.
+[[nodiscard]] Interval1D weighted_median_interval(std::span<const double> values,
+                                                  std::span<const double> weights);
+[[nodiscard]] Interval1D median_interval(std::span<const double> values);
+
+/// Objective Σ w_i·|x − v_i| at x (unweighted overload available).
+[[nodiscard]] double sum_abs_deviation(double x, std::span<const double> values,
+                                       std::span<const double> weights);
+[[nodiscard]] double sum_abs_deviation(double x, std::span<const double> values);
+
+}  // namespace mobsrv::med

@@ -1,0 +1,124 @@
+#include "median/weiszfeld.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/aabb.hpp"
+
+namespace mobsrv::med {
+
+namespace {
+
+double weight_at(std::span<const double> weights, std::size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+void check_inputs(std::span<const geo::Point> points, std::span<const double> weights) {
+  MOBSRV_CHECK_MSG(!points.empty(), "weiszfeld on empty point set");
+  MOBSRV_CHECK_MSG(weights.empty() || weights.size() == points.size(),
+                   "weights/points size mismatch");
+  for (std::size_t i = 1; i < points.size(); ++i)
+    MOBSRV_CHECK_MSG(points[i].dim() == points[0].dim(), "mixed dimensions");
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    MOBSRV_CHECK_MSG(weights[i] > 0.0, "weights must be strictly positive");
+}
+
+}  // namespace
+
+double sum_distances(const geo::Point& c, std::span<const geo::Point> points,
+                     std::span<const double> weights) {
+  MOBSRV_CHECK(weights.empty() || weights.size() == points.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    s += weight_at(weights, i) * geo::distance(c, points[i]);
+  return s;
+}
+
+geo::Point centroid(std::span<const geo::Point> points, std::span<const double> weights) {
+  check_inputs(points, weights);
+  geo::Point c = geo::Point::zero(points[0].dim());
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double w = weight_at(weights, i);
+    c += points[i] * w;
+    total += w;
+  }
+  return c / total;
+}
+
+WeiszfeldResult weiszfeld(std::span<const geo::Point> points, std::span<const double> weights,
+                          const geo::Point& initial, const WeiszfeldOptions& opt) {
+  check_inputs(points, weights);
+  MOBSRV_CHECK(initial.dim() == points[0].dim());
+
+  // Scale for relative tolerances: the extent of the point cloud, or 1 if
+  // all points coincide.
+  geo::Aabb box;
+  for (const auto& p : points) box.extend(p);
+  const double spread = std::max(box.extent(), 1e-300);
+  const double step_tol = opt.rel_tol * std::max(spread, 1.0);
+  const double anchor_tol = opt.anchor_tol * std::max(spread, 1.0);
+
+  geo::Point y = initial;
+  WeiszfeldResult result;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    result.iterations = it + 1;
+
+    // Accumulate the standard Weiszfeld update over non-anchor points and
+    // detect whether y sits on a data point.
+    geo::Point numer = geo::Point::zero(y.dim());
+    double denom = 0.0;
+    geo::Point pull = geo::Point::zero(y.dim());  // Σ w_i (v_i − y)/d_i
+    double anchor_weight = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double d = geo::distance(y, points[i]);
+      const double w = weight_at(weights, i);
+      if (d <= anchor_tol) {
+        anchor_weight += w;
+        continue;
+      }
+      numer += points[i] * (w / d);
+      denom += w / d;
+      pull += (points[i] - y) * (w / d);
+    }
+
+    if (anchor_weight > 0.0) {
+      // Vardi–Zhang: y coincides with a data point of total weight
+      // anchor_weight. It is optimal iff the pull of the remaining points
+      // does not exceed that weight.
+      const double pull_norm = pull.norm();
+      if (pull_norm <= anchor_weight || denom == 0.0) {
+        result.converged = true;
+        break;
+      }
+      const geo::Point direction = pull / pull_norm;
+      const double step = (pull_norm - anchor_weight) / denom;
+      y += direction * step;
+      if (step <= step_tol) {
+        result.converged = true;
+        break;
+      }
+      continue;
+    }
+
+    const geo::Point next = numer / denom;
+    const double moved = geo::distance(y, next);
+    y = next;
+    if (moved <= step_tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.median = y;
+  result.objective = sum_distances(y, points, weights);
+  return result;
+}
+
+WeiszfeldResult weiszfeld(std::span<const geo::Point> points, std::span<const double> weights,
+                          const WeiszfeldOptions& opt) {
+  check_inputs(points, weights);
+  return weiszfeld(points, weights, centroid(points, weights), opt);
+}
+
+}  // namespace mobsrv::med

@@ -1,0 +1,55 @@
+/// \file weiszfeld.hpp
+/// Weiszfeld iteration for the geometric median (Fermat–Weber point) with
+/// the Vardi–Zhang modification for iterates that land on a data point.
+///
+/// For non-collinear point sets in R^d (d >= 2) the geometric median is
+/// unique and Weiszfeld converges globally; the Vardi–Zhang rule both
+/// detects optimal anchor points (a data point can *be* the median when its
+/// weight dominates) and escapes non-optimal ones.
+#pragma once
+
+#include <span>
+
+#include "geometry/point.hpp"
+
+namespace mobsrv::med {
+
+/// Tuning knobs for the iteration.
+struct WeiszfeldOptions {
+  int max_iterations = 200;
+  /// Convergence: stop when the iterate moves less than rel_tol * spread
+  /// (spread = diameter proxy of the input set) in one step.
+  double rel_tol = 1e-12;
+  /// Distance below which an iterate is treated as sitting on a data point.
+  double anchor_tol = 1e-13;
+};
+
+/// Outcome of the iteration.
+struct WeiszfeldResult {
+  geo::Point median;      ///< approximate minimiser of Σ w_i·d(·, v_i)
+  double objective = 0.0; ///< Σ w_i·d(median, v_i)
+  int iterations = 0;     ///< iterations actually performed
+  bool converged = false; ///< step tolerance reached (or exact optimum hit)
+};
+
+/// Runs Weiszfeld from \p initial. Points must share one dimension; weights
+/// (if non-empty) must match in size and be strictly positive.
+[[nodiscard]] WeiszfeldResult weiszfeld(std::span<const geo::Point> points,
+                                        std::span<const double> weights,
+                                        const geo::Point& initial,
+                                        const WeiszfeldOptions& opt = {});
+
+/// Convenience: starts at the weighted centroid.
+[[nodiscard]] WeiszfeldResult weiszfeld(std::span<const geo::Point> points,
+                                        std::span<const double> weights = {},
+                                        const WeiszfeldOptions& opt = {});
+
+/// Objective Σ w_i · d(c, v_i); the function every median solver minimises.
+[[nodiscard]] double sum_distances(const geo::Point& c, std::span<const geo::Point> points,
+                                   std::span<const double> weights = {});
+
+/// Weighted centroid (the classic Weiszfeld starting point).
+[[nodiscard]] geo::Point centroid(std::span<const geo::Point> points,
+                                  std::span<const double> weights = {});
+
+}  // namespace mobsrv::med

@@ -1,0 +1,61 @@
+#include "opt/brute_force.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "sim/cost.hpp"
+
+namespace mobsrv::opt {
+
+namespace {
+
+struct Enumerator {
+  const sim::Instance& instance;
+  const std::vector<sim::Point>& candidates;
+  double limit;
+  std::vector<sim::Point> current{};
+  std::vector<sim::Point> best{};
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  void recurse(std::size_t t, double cost_so_far) {
+    if (cost_so_far >= best_cost) return;  // branch-and-bound prune
+    if (t == instance.horizon()) {
+      best_cost = cost_so_far;
+      best = current;
+      return;
+    }
+    const sim::Point here = current.back();  // by value: push_back below may reallocate
+    for (const auto& next : candidates) {
+      if (geo::distance(here, next) > limit) continue;
+      const double step =
+          sim::step_cost(instance.params(), here, next, instance.step(t)).total();
+      current.push_back(next);
+      recurse(t + 1, cost_so_far + step);
+      current.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+OfflineSolution brute_force_offline(const sim::Instance& instance,
+                                    std::vector<sim::Point> candidates, std::size_t max_states) {
+  MOBSRV_CHECK_MSG(!candidates.empty(), "need candidate positions");
+  candidates.push_back(instance.start());
+  const double states =
+      std::pow(static_cast<double>(candidates.size()), static_cast<double>(instance.horizon()));
+  MOBSRV_CHECK_MSG(states <= static_cast<double>(max_states),
+                   "brute force state space too large");
+
+  Enumerator e{instance, candidates, instance.params().max_step * (1.0 + 1e-12)};
+  e.current.reserve(instance.horizon() + 1);
+  e.current.push_back(instance.start());
+  e.recurse(0, 0.0);
+
+  OfflineSolution out;
+  out.cost = e.best_cost;
+  out.positions = e.best;
+  return out;
+}
+
+}  // namespace mobsrv::opt

@@ -1,0 +1,20 @@
+/// \file brute_force.hpp
+/// Exhaustive offline optimum over an explicit candidate-position grid.
+///
+/// Exponential in the horizon and only meant for cross-validating the DP
+/// recurrence and the convex solver on tiny instances in tests.
+#pragma once
+
+#include "opt/offline_solution.hpp"
+
+namespace mobsrv::opt {
+
+/// Enumerates every trajectory P_1..P_T with all positions drawn from
+/// \p candidates (P_0 = instance start) that respects the movement limit,
+/// and returns the cheapest. \p candidates must be non-empty; the start is
+/// added automatically. Guarded to candidates^horizon <= max_states.
+[[nodiscard]] OfflineSolution brute_force_offline(const sim::Instance& instance,
+                                                  std::vector<sim::Point> candidates,
+                                                  std::size_t max_states = 20'000'000);
+
+}  // namespace mobsrv::opt

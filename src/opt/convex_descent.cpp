@@ -1,0 +1,144 @@
+#include "opt/convex_descent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "opt/warm_starts.hpp"
+#include "sim/cost.hpp"
+
+namespace mobsrv::opt {
+
+namespace {
+
+using geo::Point;
+
+/// ∇ of the smoothed norm ‖u‖_μ = √(‖u‖²+μ²) − μ.
+Point smooth_norm_grad(const Point& u, double mu) {
+  return u / std::sqrt(u.norm2() + mu * mu);
+}
+
+/// Smoothed objective gradient w.r.t. X[1..T] (slot 0 of `grad` stays zero —
+/// the start is fixed).
+void gradient(const sim::Instance& instance, const std::vector<Point>& x, double mu,
+              std::vector<Point>& grad) {
+  const auto& params = instance.params();
+  const double D = params.move_cost_weight;
+  for (auto& g : grad) g = Point::zero(instance.dim());
+
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    const Point move_grad = smooth_norm_grad(x[t + 1] - x[t], mu) * D;
+    grad[t + 1] += move_grad;
+    if (t > 0) grad[t] -= move_grad;
+
+    const std::size_t s = serve_index(params, t);
+    if (s == 0) continue;  // service at the fixed start costs nothing to optimise
+    for (const auto& v : instance.step(t).requests) grad[s] += smooth_norm_grad(x[s] - v, mu);
+  }
+}
+
+/// Symmetric pairwise projection toward the movement constraints; X[0]
+/// never moves. Not an exact projection onto the intersection, only a cheap
+/// contraction — the forward clamp below guarantees final feasibility.
+void projection_sweeps(std::vector<Point>& x, double m, int sweeps) {
+  const std::size_t n = x.size();
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::size_t t = 0; t + 1 < n; ++t) {
+      const double d = geo::distance(x[t], x[t + 1]);
+      if (d <= m || d == 0.0) continue;
+      const double excess = d - m;
+      const Point dir = (x[t + 1] - x[t]) / d;
+      if (t == 0) {
+        x[t + 1] -= dir * excess;
+      } else {
+        x[t] += dir * (excess / 2.0);
+        x[t + 1] -= dir * (excess / 2.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+OfflineSolution solve_convex_descent(const sim::Instance& instance,
+                                     const ConvexDescentOptions& options,
+                                     const std::vector<sim::Point>* warm_start) {
+  MOBSRV_CHECK(options.iterations >= 1 && options.projection_sweeps >= 0);
+  const double m = instance.params().max_step;
+  const double mu = options.smoothing * m;
+
+  OfflineSolution best;
+  if (instance.horizon() == 0) {
+    best.positions = {instance.start()};
+    best.cost = 0.0;
+    return best;
+  }
+
+  // Candidate starting trajectories; descent starts from the cheapest, so
+  // the result is never worse than any candidate.
+  std::vector<std::vector<Point>> candidates;
+  if (warm_start != nullptr) {
+    MOBSRV_CHECK_MSG(warm_start->size() == instance.horizon() + 1,
+                     "warm start must have horizon()+1 positions");
+    MOBSRV_CHECK_MSG((*warm_start)[0] == instance.start(), "warm start must begin at the start");
+    candidates.push_back(*warm_start);
+  }
+  candidates.push_back(chase_init(instance, /*damped=*/false));
+  candidates.push_back(chase_init(instance, /*damped=*/true));
+
+  std::vector<Point> x;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (auto& candidate : candidates) {
+    std::vector<Point> feasible = forward_clamp(instance, candidate);
+    const double cost = sim::trajectory_cost(instance, feasible);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.positions = std::move(feasible);
+      x = std::move(candidate);
+    }
+  }
+
+  // Per-position Lipschitz bound of the objective: a position feels at most
+  // two movement terms (gradient norm <= D each) plus its batch's service
+  // terms (<= r_max). Scaling the step by it lets every position move
+  // O(initial_step·m) per early iteration — a global normalisation would
+  // freeze long trajectories (total motion gets split across T positions).
+  const double r_max = static_cast<double>(instance.request_bounds().second);
+  const double lipschitz = 2.0 * instance.params().move_cost_weight + r_max;
+
+  std::vector<Point> grad(x.size(), Point::zero(instance.dim()));
+  for (int k = 0; k < options.iterations; ++k) {
+    gradient(instance, x, mu, grad);
+
+    // Diminishing-step subgradient method (classic nonsmooth guarantee).
+    const double step =
+        options.initial_step * m / (lipschitz * std::sqrt(static_cast<double>(k) + 1.0));
+    for (std::size_t t = 1; t < x.size(); ++t) x[t] -= grad[t] * step;
+
+    projection_sweeps(x, m, options.projection_sweeps);
+
+    std::vector<Point> candidate = forward_clamp(instance, x);
+    const double cost = sim::trajectory_cost(instance, candidate);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.positions = std::move(candidate);
+    }
+  }
+
+  best.opt_lower_bound = reachability_lower_bound(instance);
+  return best;
+}
+
+double reachability_lower_bound(const sim::Instance& instance) {
+  const auto& params = instance.params();
+  const double m = params.max_step;
+  double lb = 0.0;
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    const double reach = static_cast<double>(serve_index(params, t)) * m;
+    for (const auto& v : instance.step(t).requests)
+      lb += std::max(0.0, geo::distance(instance.start(), v) - reach);
+  }
+  return lb;
+}
+
+}  // namespace mobsrv::opt

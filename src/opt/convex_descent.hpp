@@ -1,0 +1,45 @@
+/// \file convex_descent.hpp
+/// Best-effort offline optimum in arbitrary dimension by smoothed projected
+/// gradient descent.
+///
+/// The offline objective
+///     F(P_1..P_T) = Σ_t [ D·‖P_{t+1}−P_t‖ + Σ_i ‖P_serve(t) − v_{t,i}‖ ]
+/// is convex, and the per-step constraints ‖P_{t+1}−P_t‖ ≤ m are convex, so
+/// descent converges to the global optimum up to smoothing error. Norms are
+/// smoothed pseudo-Huber style (√(‖·‖² + μ²) − μ); after each gradient step
+/// the trajectory is pushed back toward feasibility with symmetric pairwise
+/// projection sweeps and finally *repaired* by a forward clamp pass, so the
+/// returned trajectory is always strictly feasible — i.e. its cost is a
+/// true upper bound on OPT.
+#pragma once
+
+#include "opt/offline_solution.hpp"
+
+namespace mobsrv::opt {
+
+/// Tuning for the descent.
+struct ConvexDescentOptions {
+  int iterations = 400;
+  /// Initial step size in multiples of the movement limit m.
+  double initial_step = 0.5;
+  /// Pairwise-projection sweeps after each gradient step.
+  int projection_sweeps = 4;
+  /// Smoothing parameter in multiples of m.
+  double smoothing = 1e-6;
+};
+
+/// Solves an instance of any dimension. If \p warm_start is non-null it must
+/// hold horizon()+1 feasible-or-not positions beginning at the start
+/// position; otherwise the solver initialises with a greedy feasible chase
+/// of the per-step batch centroids.
+[[nodiscard]] OfflineSolution solve_convex_descent(const sim::Instance& instance,
+                                                   const ConvexDescentOptions& options = {},
+                                                   const std::vector<sim::Point>* warm_start = nullptr);
+
+/// Cheap certified lower bound on OPT in any dimension: the server starts at
+/// P_0 and can be at distance at most (t+1)·m_serve from it when serving
+/// step t, so every request contributes at least
+/// max(0, d(P_0, v) − reach_t). Crude but sound; used as a sanity floor.
+[[nodiscard]] double reachability_lower_bound(const sim::Instance& instance);
+
+}  // namespace mobsrv::opt

@@ -1,0 +1,164 @@
+#include "opt/coordinate_descent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "median/weiszfeld.hpp"
+#include "opt/convex_descent.hpp"
+#include "opt/warm_starts.hpp"
+#include "sim/cost.hpp"
+
+namespace mobsrv::opt {
+
+namespace {
+
+using geo::Point;
+
+/// Projection of y onto the closed ball B(center, radius).
+Point project_ball(const Point& y, const Point& center, double radius) {
+  const double d = geo::distance(center, y);
+  if (d <= radius) return y;
+  return center + (y - center) * (radius / d);
+}
+
+/// The local objective of position index t: movement to/from its neighbours
+/// plus the service cost of the batch served there.
+struct Subproblem {
+  const Point* prev = nullptr;          // P_{t-1}, always present
+  const Point* next = nullptr;          // P_{t+1}, absent for the last position
+  const sim::RequestBatch* batch = nullptr;  // batch served at this index (may be null)
+  double d_weight = 1.0;
+  double m = 1.0;
+
+  [[nodiscard]] double value(const Point& p) const {
+    double v = d_weight * geo::distance(*prev, p);
+    if (next != nullptr) v += d_weight * geo::distance(p, *next);
+    if (batch != nullptr) v += sim::service_cost(p, *batch);
+    return v;
+  }
+
+  [[nodiscard]] bool feasible(const Point& p, double tol = 1e-9) const {
+    if (geo::distance(*prev, p) > m * (1.0 + tol)) return false;
+    if (next != nullptr && geo::distance(p, *next) > m * (1.0 + tol)) return false;
+    return true;
+  }
+};
+
+/// Solves one subproblem: weighted Weiszfeld for the unconstrained Weber
+/// point, then alternating projection onto the (nonempty — `current` is in
+/// it) intersection of the movement balls. Returns the incumbent if no
+/// strict improvement was found, so the sweep is monotone.
+Point improve_position(const Subproblem& sub, const Point& current, int projection_rounds) {
+  // Assemble the Weber problem: neighbours with weight D, requests with 1.
+  std::vector<Point> points;
+  std::vector<double> weights;
+  points.push_back(*sub.prev);
+  weights.push_back(sub.d_weight);
+  if (sub.next != nullptr) {
+    points.push_back(*sub.next);
+    weights.push_back(sub.d_weight);
+  }
+  if (sub.batch != nullptr) {
+    for (const auto& v : sub.batch->requests) {
+      points.push_back(v);
+      weights.push_back(1.0);
+    }
+  }
+
+  med::WeiszfeldOptions weiszfeld_options;
+  weiszfeld_options.max_iterations = 60;
+  Point candidate =
+      med::weiszfeld(points, weights, current, weiszfeld_options).median;
+
+  // Pull the candidate back into the feasible intersection.
+  if (!sub.feasible(candidate)) {
+    for (int k = 0; k < projection_rounds; ++k) {
+      candidate = project_ball(candidate, *sub.prev, sub.m);
+      if (sub.next != nullptr) candidate = project_ball(candidate, *sub.next, sub.m);
+      if (sub.feasible(candidate)) break;
+    }
+    if (!sub.feasible(candidate)) return current;  // keep the safe incumbent
+  }
+  return sub.value(candidate) < sub.value(current) ? candidate : current;
+}
+
+}  // namespace
+
+OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
+                                         const CoordinateDescentOptions& options,
+                                         const std::vector<sim::Point>* warm_start) {
+  MOBSRV_CHECK(options.max_sweeps >= 1 && options.projection_rounds >= 1);
+  const auto& params = instance.params();
+  const std::size_t T = instance.horizon();
+
+  OfflineSolution out;
+  if (T == 0) {
+    out.positions = {instance.start()};
+    return out;
+  }
+
+  std::vector<Point> x;
+  if (warm_start != nullptr) {
+    MOBSRV_CHECK_MSG(warm_start->size() == T + 1, "warm start must have horizon()+1 positions");
+    MOBSRV_CHECK_MSG((*warm_start)[0] == instance.start(), "warm start must begin at the start");
+    MOBSRV_CHECK_MSG(sim::first_speed_violation(instance, *warm_start) == -1,
+                     "coordinate descent requires a FEASIBLE warm start");
+    x = *warm_start;
+  } else {
+    const std::vector<Point> eager = chase_init(instance, /*damped=*/false);
+    const std::vector<Point> damped = chase_init(instance, /*damped=*/true);
+    x = sim::trajectory_cost(instance, eager) <= sim::trajectory_cost(instance, damped) ? eager
+                                                                                        : damped;
+  }
+
+  // Which batch is served at position index t? Move-First: batch t−1;
+  // Answer-First: batch t (the last position serves nothing then).
+  auto batch_at = [&](std::size_t t) -> const sim::RequestBatch* {
+    if (params.order == sim::ServiceOrder::kMoveThenServe) return &instance.step(t - 1);
+    return t < T ? &instance.step(t) : nullptr;
+  };
+
+  double cost = sim::trajectory_cost(instance, x);
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Forward then backward pass (a symmetric sweep propagates slack both
+    // ways along the chain).
+    for (int dir = 0; dir < 2; ++dir) {
+      for (std::size_t k = 1; k <= T; ++k) {
+        const std::size_t t = dir == 0 ? k : T + 1 - k;
+        Subproblem sub;
+        sub.prev = &x[t - 1];
+        sub.next = t < T ? &x[t + 1] : nullptr;
+        sub.batch = batch_at(t);
+        sub.d_weight = params.move_cost_weight;
+        sub.m = params.max_step;
+        x[t] = improve_position(sub, x[t], options.projection_rounds);
+      }
+    }
+    const double new_cost = sim::trajectory_cost(instance, x);
+    MOBSRV_CHECK_MSG(new_cost <= cost * (1.0 + 1e-9), "coordinate sweep increased the cost");
+    if (cost - new_cost <= options.rel_tol * std::max(1.0, cost)) {
+      cost = new_cost;
+      break;
+    }
+    cost = new_cost;
+  }
+
+  MOBSRV_CHECK_MSG(sim::first_speed_violation(instance, x) == -1,
+                   "coordinate descent lost feasibility");
+  out.cost = cost;
+  out.positions = std::move(x);
+  out.opt_lower_bound = reachability_lower_bound(instance);
+  return out;
+}
+
+OfflineSolution solve_best_offline(const sim::Instance& instance,
+                                   const std::vector<sim::Point>* warm_start) {
+  OfflineSolution shaped = solve_convex_descent(instance, {}, warm_start);
+  if (instance.horizon() == 0) return shaped;
+  OfflineSolution polished = solve_coordinate_descent(instance, {}, &shaped.positions);
+  polished.opt_lower_bound = std::max(polished.opt_lower_bound, shaped.opt_lower_bound);
+  return polished.cost <= shaped.cost ? polished : shaped;
+}
+
+}  // namespace mobsrv::opt

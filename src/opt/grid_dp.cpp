@@ -1,0 +1,198 @@
+#include "opt/grid_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace mobsrv::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Service-cost array: S[j] = Σ_i |x_j − v_i| for the uniform grid
+/// x_j = origin + j·h, computed in O(G + r log r) with a sorted sweep.
+void service_costs(double origin, double h, std::size_t cells, std::vector<double> sorted_requests,
+                   std::vector<double>& out) {
+  out.assign(cells, 0.0);
+  if (sorted_requests.empty()) return;
+  std::sort(sorted_requests.begin(), sorted_requests.end());
+  std::vector<double> prefix(sorted_requests.size() + 1, 0.0);
+  for (std::size_t i = 0; i < sorted_requests.size(); ++i)
+    prefix[i + 1] = prefix[i] + sorted_requests[i];
+  const double total = prefix.back();
+  const auto r = sorted_requests.size();
+  std::size_t below = 0;  // number of requests <= current grid point
+  for (std::size_t j = 0; j < cells; ++j) {
+    const double x = origin + static_cast<double>(j) * h;
+    while (below < r && sorted_requests[below] <= x) ++below;
+    const auto nb = static_cast<double>(below);
+    out[j] = x * nb - prefix[below] + (total - prefix[below]) - x * (static_cast<double>(r) - nb);
+  }
+}
+
+/// dst[j] = min_{|k−j| <= w} (src[k] + unit·|k−j|), O(G) via two monotonic-
+/// deque passes. If \p parent is non-null, records the minimising k.
+void windowed_minplus(const std::vector<double>& src, long w, double unit,
+                      std::vector<double>& dst, std::vector<std::int32_t>* parent) {
+  const long n = static_cast<long>(src.size());
+  dst.assign(src.size(), kInf);
+  if (parent) parent->assign(src.size(), -1);
+
+  // Left pass: k in [j−w, j], objective (src[k] − unit·k) + unit·j.
+  {
+    std::deque<long> q;  // indices with increasing key
+    auto key = [&](long k) { return src[static_cast<std::size_t>(k)] - unit * static_cast<double>(k); };
+    for (long j = 0; j < n; ++j) {
+      while (!q.empty() && key(q.back()) >= key(j)) q.pop_back();
+      q.push_back(j);
+      while (q.front() < j - w) q.pop_front();
+      const long k = q.front();
+      const double val = key(k) + unit * static_cast<double>(j);
+      if (val < dst[static_cast<std::size_t>(j)]) {
+        dst[static_cast<std::size_t>(j)] = val;
+        if (parent) (*parent)[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(k);
+      }
+    }
+  }
+  // Right pass: k in [j, j+w], objective (src[k] + unit·k) − unit·j.
+  {
+    std::deque<long> q;
+    auto key = [&](long k) { return src[static_cast<std::size_t>(k)] + unit * static_cast<double>(k); };
+    for (long j = n - 1; j >= 0; --j) {
+      while (!q.empty() && key(q.back()) >= key(j)) q.pop_back();
+      q.push_back(j);
+      while (q.front() > j + w) q.pop_front();
+      const long k = q.front();
+      const double val = key(k) - unit * static_cast<double>(j);
+      if (val < dst[static_cast<std::size_t>(j)]) {
+        dst[static_cast<std::size_t>(j)] = val;
+        if (parent) (*parent)[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(k);
+      }
+    }
+  }
+}
+
+struct DpRun {
+  double cost = kInf;
+  std::vector<sim::Point> positions;  // empty unless trajectory requested
+};
+
+DpRun run_dp(const sim::Instance& instance, double origin, double h, std::size_t cells,
+             std::size_t start_index, long window, bool want_trajectory,
+             std::size_t max_parent_entries) {
+  const auto& params = instance.params();
+  const double unit = params.move_cost_weight * h;
+  const std::size_t T = instance.horizon();
+
+  std::vector<std::vector<std::int32_t>> parents;
+  if (want_trajectory) {
+    MOBSRV_CHECK_MSG(T * cells <= max_parent_entries,
+                     "trajectory reconstruction would exceed the parent memory cap");
+    parents.resize(T);
+  }
+
+  std::vector<double> dp(cells, kInf), next, service, shifted;
+  dp[start_index] = 0.0;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    std::vector<double> coords;
+    coords.reserve(instance.step(t).size());
+    for (const auto& v : instance.step(t).requests) coords.push_back(v[0]);
+    service_costs(origin, h, cells, std::move(coords), service);
+
+    if (params.order == sim::ServiceOrder::kServeThenMove) {
+      shifted.resize(cells);
+      for (std::size_t j = 0; j < cells; ++j) shifted[j] = dp[j] + service[j];
+      windowed_minplus(shifted, window, unit, next, want_trajectory ? &parents[t] : nullptr);
+    } else {
+      windowed_minplus(dp, window, unit, next, want_trajectory ? &parents[t] : nullptr);
+      for (std::size_t j = 0; j < cells; ++j) next[j] += service[j];
+    }
+    dp.swap(next);
+  }
+
+  DpRun out;
+  std::size_t best = 0;
+  for (std::size_t j = 0; j < cells; ++j)
+    if (dp[j] < dp[best]) best = j;
+  out.cost = dp[best];
+
+  if (want_trajectory) {
+    std::vector<std::size_t> idx(T + 1);
+    idx[T] = best;
+    for (std::size_t t = T; t > 0; --t) {
+      const std::int32_t p = parents[t - 1][idx[t]];
+      MOBSRV_CHECK_MSG(p >= 0, "broken DP parent chain");
+      idx[t - 1] = static_cast<std::size_t>(p);
+    }
+    out.positions.reserve(T + 1);
+    for (std::size_t t = 0; t <= T; ++t)
+      out.positions.push_back(
+          geo::Point{origin + static_cast<double>(idx[t]) * h});
+  }
+  return out;
+}
+
+}  // namespace
+
+GridDpResult solve_grid_dp_1d(const sim::Instance& instance, const GridDpOptions& options) {
+  MOBSRV_CHECK_MSG(instance.dim() == 1, "grid DP requires a 1-dimensional instance");
+  MOBSRV_CHECK(options.cells_per_step >= 1.0);
+  const auto& params = instance.params();
+  const double m = params.max_step;
+  const double start = instance.start()[0];
+
+  // OPT never profits from leaving the bounding interval of requests+start
+  // (1-D projection onto it is non-expansive); margin is pure safety.
+  double lo = start, hi = start;
+  for (const auto& step : instance.steps())
+    for (const auto& v : step.requests) {
+      lo = std::min(lo, v[0]);
+      hi = std::max(hi, v[0]);
+    }
+  lo -= options.margin_steps * m;
+  hi += options.margin_steps * m;
+
+  double h = m / options.cells_per_step;
+  auto cell_count = [&](double spacing) {
+    const double below = std::ceil((start - lo) / spacing);
+    const double above = std::ceil((hi - start) / spacing);
+    return static_cast<std::size_t>(below + above) + 1;
+  };
+  while (cell_count(h) > options.max_cells) h *= 2.0;
+
+  const auto below = static_cast<long>(std::ceil((start - lo) / h));
+  const auto above = static_cast<long>(std::ceil((hi - start) / h));
+  const std::size_t cells = static_cast<std::size_t>(below + above) + 1;
+  const double origin = start - static_cast<double>(below) * h;
+  const auto start_index = static_cast<std::size_t>(below);
+
+  const long w_feas = std::max<long>(1, static_cast<long>(std::floor(m / h + 1e-12)));
+  const long w_relax = w_feas + 1;
+
+  GridDpResult result;
+  result.spacing = h;
+  result.cells = cells;
+
+  const DpRun feas = run_dp(instance, origin, h, cells, start_index, w_feas,
+                            options.want_trajectory, options.max_parent_entries);
+  result.solution.cost = feas.cost;
+  result.solution.positions = feas.positions;
+
+  const DpRun relax =
+      run_dp(instance, origin, h, cells, start_index, w_relax, false, options.max_parent_entries);
+  result.relaxed_cost = relax.cost;
+
+  double err = 0.0;
+  for (const auto& step : instance.steps())
+    err += params.move_cost_weight * h + static_cast<double>(step.size()) * h / 2.0;
+  result.rounding_error = err;
+  result.solution.opt_lower_bound = std::max(0.0, relax.cost - err);
+  return result;
+}
+
+}  // namespace mobsrv::opt

@@ -1,0 +1,61 @@
+/// \file grid_dp.hpp
+/// Near-exact offline optimum on the line by dynamic programming over a
+/// uniform position grid.
+///
+/// The offline Mobile Server Problem is convex; on the line it discretises
+/// cleanly: anchor a grid of spacing h at the start position, cover the
+/// bounding interval of {start} ∪ requests (OPT never profits from leaving
+/// it), and run a windowed min-plus DP where a step may move at most
+/// floor(m/h) cells.
+///
+/// Two window policies give an OPT *bracket*:
+///   * feasible window  w = floor(m/h):  every DP trajectory is feasible in
+///     the continuous problem, so  DP_feas >= OPT;
+///   * relaxed window  w+1: every continuous feasible trajectory rounds to
+///     a grid trajectory inside this window while changing each step's cost
+///     by at most D·h + r_t·h/2, so  DP_relax − Σ_t(D·h + r_t·h/2) <= OPT.
+///
+/// Both service orders are supported (the Answer-First variant charges the
+/// service at the pre-move position, which just moves the service term from
+/// the target to the source cell of the transition).
+#pragma once
+
+#include "opt/offline_solution.hpp"
+
+namespace mobsrv::opt {
+
+/// Tuning for the DP.
+struct GridDpOptions {
+  /// Grid resolution: number of cells per movement radius m. Spacing
+  /// h = m / cells_per_step. 4–8 is plenty for ratio experiments.
+  double cells_per_step = 4.0;
+  /// Safety cap on the number of grid cells (memory/time guard). If the
+  /// instance needs more, the spacing is coarsened to fit and the error
+  /// bound grows accordingly.
+  std::size_t max_cells = 300000;
+  /// Extra margin (in multiples of m) added around the bounding interval.
+  double margin_steps = 1.0;
+  /// Reconstruct the optimal trajectory (needs O(T·G) parent memory; the
+  /// solver throws if that would exceed max_parent_entries).
+  bool want_trajectory = false;
+  std::size_t max_parent_entries = 50'000'000;
+};
+
+/// Result of the bracket solve.
+struct GridDpResult {
+  OfflineSolution solution;     ///< feasible-window solution (cost >= OPT)
+  double relaxed_cost = 0.0;    ///< relaxed-window DP value
+  double rounding_error = 0.0;  ///< Σ_t (D·h + r_t·h/2)
+  double spacing = 0.0;         ///< grid spacing h actually used
+  std::size_t cells = 0;        ///< grid size actually used
+
+  /// Certified bracket [lower, upper] containing OPT.
+  [[nodiscard]] double opt_upper() const noexcept { return solution.cost; }
+  [[nodiscard]] double opt_lower() const noexcept { return solution.opt_lower_bound; }
+};
+
+/// Solves a 1-dimensional instance. Throws if instance.dim() != 1.
+[[nodiscard]] GridDpResult solve_grid_dp_1d(const sim::Instance& instance,
+                                            const GridDpOptions& options = {});
+
+}  // namespace mobsrv::opt

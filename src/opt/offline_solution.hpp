@@ -1,0 +1,28 @@
+/// \file offline_solution.hpp
+/// Shared result type for offline (full-knowledge) solvers.
+///
+/// Competitive ratios are C_online / C_opt; since the true OPT is an
+/// analytic object, solvers report both a *feasible* trajectory (whose cost
+/// upper-bounds OPT) and — where the method allows it — a *certified lower
+/// bound* on OPT, so ratio estimates can be bracketed from both sides.
+#pragma once
+
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace mobsrv::opt {
+
+/// A feasible offline trajectory plus optional OPT bracket information.
+struct OfflineSolution {
+  /// Cost of the feasible trajectory below (an upper bound on OPT).
+  double cost = 0.0;
+  /// Certified lower bound on OPT, or 0 when the method provides none.
+  double opt_lower_bound = 0.0;
+  /// Feasible positions P_0..P_T; may be empty when the caller requested
+  /// cost-only operation (trajectory reconstruction needs O(T·G) memory in
+  /// the DP solver).
+  std::vector<sim::Point> positions;
+};
+
+}  // namespace mobsrv::opt

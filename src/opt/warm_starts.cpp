@@ -1,0 +1,46 @@
+#include "opt/warm_starts.hpp"
+
+#include <algorithm>
+
+#include "median/geometric_median.hpp"
+
+namespace mobsrv::opt {
+
+std::vector<sim::Point> chase_init(const sim::Instance& instance, bool damped) {
+  using geo::Point;
+  std::vector<Point> x;
+  x.reserve(instance.horizon() + 1);
+  x.push_back(instance.start());
+  const double m = instance.params().max_step;
+  const double D = instance.params().move_cost_weight;
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    const auto& reqs = instance.step(t).requests;
+    if (reqs.empty()) {
+      x.push_back(x.back());
+      continue;
+    }
+    const Point center = med::closest_center(reqs, x.back());
+    double step = m;
+    if (damped) {
+      const double dist = geo::distance(x.back(), center);
+      step = std::min(m, dist * std::min(1.0, static_cast<double>(reqs.size()) / D));
+    }
+    x.push_back(geo::move_toward(x.back(), center, step));
+  }
+  return x;
+}
+
+std::vector<sim::Point> forward_clamp(const sim::Instance& instance,
+                                      const std::vector<sim::Point>& x) {
+  std::vector<sim::Point> y(x.size());
+  y[0] = instance.start();
+  const double m = instance.params().max_step;
+  for (std::size_t t = 0; t + 1 < x.size(); ++t) y[t + 1] = geo::move_toward(y[t], x[t + 1], m);
+  return y;
+}
+
+std::size_t serve_index(const sim::ModelParams& params, std::size_t t) {
+  return params.order == sim::ServiceOrder::kMoveThenServe ? t + 1 : t;
+}
+
+}  // namespace mobsrv::opt

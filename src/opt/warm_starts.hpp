@@ -1,0 +1,27 @@
+/// \file warm_starts.hpp
+/// Feasible starting trajectories shared by the offline solvers.
+#pragma once
+
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace mobsrv::opt {
+
+/// Chase the per-step batch median. damped == false: at full speed m (good
+/// when service dominates). damped == true: by min(m, min(1, r/D)·d) —
+/// exactly the online MtC rule at speed factor 1, which guarantees offline
+/// solutions seeded from it are never worse than the online algorithm.
+[[nodiscard]] std::vector<sim::Point> chase_init(const sim::Instance& instance, bool damped);
+
+/// Greedy feasibility repair: follows \p x as closely as the movement limit
+/// allows, starting from the instance's start position. The result is
+/// always strictly feasible.
+[[nodiscard]] std::vector<sim::Point> forward_clamp(const sim::Instance& instance,
+                                                    const std::vector<sim::Point>& x);
+
+/// Index of the position batch t is served from (t+1 for Move-First, t for
+/// Answer-First).
+[[nodiscard]] std::size_t serve_index(const sim::ModelParams& params, std::size_t t);
+
+}  // namespace mobsrv::opt

@@ -1,0 +1,51 @@
+#include "sim/cost.hpp"
+
+namespace mobsrv::sim {
+
+std::string to_string(ServiceOrder order) {
+  switch (order) {
+    case ServiceOrder::kMoveThenServe:
+      return "move-then-serve";
+    case ServiceOrder::kServeThenMove:
+      return "answer-first";
+  }
+  return "unknown";
+}
+
+double service_cost(const Point& server, const RequestBatch& batch) {
+  double s = 0.0;
+  for (const auto& v : batch.requests) s += geo::distance(server, v);
+  return s;
+}
+
+StepCost step_cost(const ModelParams& params, const Point& before, const Point& after,
+                   const RequestBatch& batch) {
+  StepCost cost;
+  cost.move = params.move_cost_weight * geo::distance(before, after);
+  const Point& serve_from = params.order == ServiceOrder::kMoveThenServe ? after : before;
+  cost.service = service_cost(serve_from, batch);
+  return cost;
+}
+
+double trajectory_cost(const Instance& instance, std::span<const Point> positions) {
+  MOBSRV_CHECK_MSG(positions.size() == instance.horizon() + 1,
+                   "trajectory must have horizon()+1 positions");
+  double total = 0.0;
+  for (std::size_t t = 0; t < instance.horizon(); ++t)
+    total += step_cost(instance.params(), positions[t], positions[t + 1], instance.step(t)).total();
+  return total;
+}
+
+long first_speed_violation(const Instance& instance, std::span<const Point> positions,
+                           double speed_factor, double tolerance) {
+  if (positions.size() != instance.horizon() + 1) return 0;
+  if (!(positions[0] == instance.start())) return 0;
+  const double limit = instance.params().max_step * speed_factor;
+  for (std::size_t t = 0; t + 1 < positions.size(); ++t) {
+    if (geo::distance(positions[t], positions[t + 1]) > limit * (1.0 + tolerance))
+      return static_cast<long>(t);
+  }
+  return -1;
+}
+
+}  // namespace mobsrv::sim

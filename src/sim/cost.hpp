@@ -1,0 +1,45 @@
+/// \file cost.hpp
+/// Cost accounting for the Mobile Server Problem.
+///
+/// All cost paid in the library flows through these functions so that
+/// online algorithms, offline solvers and audits are guaranteed to use the
+/// identical objective.
+#pragma once
+
+#include <span>
+
+#include "sim/model.hpp"
+
+namespace mobsrv::sim {
+
+/// Cost of one time step split into its two components.
+struct StepCost {
+  double move = 0.0;     ///< D · d(P_before, P_after)
+  double service = 0.0;  ///< Σ_i d(P_serve, v_i), P_serve per service order
+  [[nodiscard]] double total() const noexcept { return move + service; }
+};
+
+/// Cost of serving \p batch from position \p server.
+[[nodiscard]] double service_cost(const Point& server, const RequestBatch& batch);
+
+/// Cost of step t when the server moves \p before → \p after while \p batch
+/// arrives, under the given model parameters/service order.
+[[nodiscard]] StepCost step_cost(const ModelParams& params, const Point& before,
+                                 const Point& after, const RequestBatch& batch);
+
+/// Total cost of a full trajectory against an instance. \p positions must
+/// hold horizon()+1 points: positions[0] is the start (must equal
+/// instance.start()) and positions[t+1] is the server position after the
+/// move of step t. Movement limits are NOT checked here (see
+/// validate_trajectory) because offline solvers call this on intermediate,
+/// possibly infeasible iterates.
+[[nodiscard]] double trajectory_cost(const Instance& instance, std::span<const Point> positions);
+
+/// Checks a trajectory's feasibility: correct length, correct start, every
+/// step within max_step·(1+tolerance). Returns the index of the first
+/// violating move, or -1 if feasible.
+[[nodiscard]] long first_speed_violation(const Instance& instance,
+                                         std::span<const Point> positions,
+                                         double speed_factor = 1.0, double tolerance = 1e-9);
+
+}  // namespace mobsrv::sim

@@ -1,0 +1,107 @@
+/// \file model.hpp
+/// The Mobile Server Problem model: parameters, request batches, instances.
+///
+/// Faithful to Section 2 of the paper: a single server in R^d, per-step
+/// movement limit m, movement cost weight D >= 1, and per-step request
+/// batches served at the sum of distances from the server. Two service
+/// orders exist:
+///   * kMoveThenServe (the paper's default): requests are revealed, the
+///     server moves, requests are served from the *new* position;
+///   * kServeThenMove (the "Answer-First" variant): requests are served from
+///     the *old* position, then the server may move (still knowing them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace mobsrv::sim {
+
+using geo::Point;
+
+/// Which side of the move the service cost is charged on.
+enum class ServiceOrder {
+  kMoveThenServe,  ///< cost_t = D·d(P_t,P_{t+1}) + Σ d(P_{t+1}, v_{t,i})
+  kServeThenMove,  ///< cost_t = Σ d(P_t, v_{t,i}) + D·d(P_t,P_{t+1})
+};
+
+[[nodiscard]] std::string to_string(ServiceOrder order);
+
+/// Model constants shared by online algorithms and offline solvers.
+struct ModelParams {
+  double move_cost_weight = 1.0;  ///< D >= 1, cost per unit distance moved
+  double max_step = 1.0;          ///< m > 0, per-round movement limit (offline)
+  ServiceOrder order = ServiceOrder::kMoveThenServe;
+
+  void validate() const {
+    MOBSRV_CHECK_MSG(move_cost_weight >= 1.0, "the paper requires D >= 1");
+    MOBSRV_CHECK_MSG(max_step > 0.0, "movement limit m must be positive");
+  }
+};
+
+/// Requests appearing in one time step (possibly none).
+struct RequestBatch {
+  std::vector<Point> requests;
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+};
+
+/// A full problem instance: start position plus the request sequence.
+class Instance {
+ public:
+  Instance(Point start, ModelParams params, std::vector<RequestBatch> steps)
+      : start_(std::move(start)), params_(params), steps_(std::move(steps)) {
+    params_.validate();
+    MOBSRV_CHECK_MSG(!start_.empty(), "start position must have a dimension");
+    for (const auto& step : steps_)
+      for (const auto& v : step.requests)
+        MOBSRV_CHECK_MSG(v.dim() == start_.dim(), "request dimension mismatch");
+  }
+
+  [[nodiscard]] int dim() const noexcept { return start_.dim(); }
+  [[nodiscard]] const Point& start() const noexcept { return start_; }
+  [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t horizon() const noexcept { return steps_.size(); }
+  [[nodiscard]] const std::vector<RequestBatch>& steps() const noexcept { return steps_; }
+  [[nodiscard]] const RequestBatch& step(std::size_t t) const {
+    MOBSRV_CHECK(t < steps_.size());
+    return steps_[t];
+  }
+
+  /// Minimum and maximum batch size over the sequence (Rmin, Rmax in the
+  /// paper). Returns {0, 0} for an empty sequence.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> request_bounds() const noexcept {
+    if (steps_.empty()) return {0, 0};
+    std::size_t lo = steps_[0].size(), hi = steps_[0].size();
+    for (const auto& s : steps_) {
+      lo = std::min(lo, s.size());
+      hi = std::max(hi, s.size());
+    }
+    return {lo, hi};
+  }
+
+  /// Total number of requests over the whole sequence.
+  [[nodiscard]] std::size_t total_requests() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : steps_) n += s.size();
+    return n;
+  }
+
+  /// Returns a copy with the service order flipped (used to replay the same
+  /// request sequence under the Answer-First variant, as in Theorem 7).
+  [[nodiscard]] Instance with_order(ServiceOrder order) const {
+    ModelParams p = params_;
+    p.order = order;
+    return Instance(start_, p, steps_);
+  }
+
+ private:
+  Point start_;
+  ModelParams params_;
+  std::vector<RequestBatch> steps_;
+};
+
+}  // namespace mobsrv::sim

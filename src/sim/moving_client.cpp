@@ -1,0 +1,38 @@
+#include "sim/moving_client.hpp"
+
+namespace mobsrv::sim {
+
+void MovingClientInstance::validate(double tolerance) const {
+  MOBSRV_CHECK_MSG(!start.empty(), "start position must have a dimension");
+  MOBSRV_CHECK_MSG(server_speed > 0.0, "server speed must be positive");
+  MOBSRV_CHECK_MSG(agent_speed > 0.0, "agent speed must be positive");
+  MOBSRV_CHECK_MSG(move_cost_weight >= 1.0, "the paper requires D >= 1");
+  MOBSRV_CHECK_MSG(!agents.empty(), "need at least one agent");
+  const std::size_t T = agents.front().positions.size();
+  const double limit = agent_speed * (1.0 + tolerance);
+  for (const auto& agent : agents) {
+    MOBSRV_CHECK_MSG(agent.positions.size() == T, "agent paths must share one horizon");
+    Point prev = start;
+    for (const auto& pos : agent.positions) {
+      MOBSRV_CHECK_MSG(pos.dim() == start.dim(), "agent position dimension mismatch");
+      MOBSRV_CHECK_MSG(geo::distance(prev, pos) <= limit, "agent exceeded its speed limit");
+      prev = pos;
+    }
+  }
+}
+
+Instance to_instance(const MovingClientInstance& mc) {
+  mc.validate();
+  std::vector<RequestBatch> steps(mc.horizon());
+  for (std::size_t t = 0; t < mc.horizon(); ++t) {
+    steps[t].requests.reserve(mc.agents.size());
+    for (const auto& agent : mc.agents) steps[t].requests.push_back(agent.positions[t]);
+  }
+  ModelParams params;
+  params.move_cost_weight = mc.move_cost_weight;
+  params.max_step = mc.server_speed;
+  params.order = ServiceOrder::kMoveThenServe;
+  return Instance(mc.start, params, std::move(steps));
+}
+
+}  // namespace mobsrv::sim

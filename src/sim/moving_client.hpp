@@ -1,0 +1,46 @@
+/// \file moving_client.hpp
+/// The Moving Client variant (Section 5 of the paper).
+///
+/// A single agent starts at the server's position and moves at speed at most
+/// m_a per round; its new position A_t is revealed *before* the server moves.
+/// The step cost is D·d(P_{t-1},P_t) + d(P_t, A_t) — exactly the Move-First
+/// model with one request per round placed on the agent's path, so the
+/// variant converts losslessly to an ordinary Instance and reuses the whole
+/// engine/solver stack. (The paper treats multiple agents as a sketched
+/// extension; we support any number of agents, each contributing one request
+/// per round.)
+#pragma once
+
+#include <vector>
+
+#include "sim/model.hpp"
+
+namespace mobsrv::sim {
+
+/// One agent's trajectory A_1..A_T (A_0 is the common start).
+struct AgentPath {
+  std::vector<Point> positions;
+};
+
+/// Full description of a Moving Client instance.
+struct MovingClientInstance {
+  Point start;                   ///< P_0 = A_0 for every agent
+  double server_speed = 1.0;     ///< m_s
+  double agent_speed = 1.0;      ///< m_a
+  double move_cost_weight = 1.0; ///< D
+  std::vector<AgentPath> agents; ///< at least one; equal lengths
+
+  [[nodiscard]] std::size_t horizon() const {
+    return agents.empty() ? 0 : agents.front().positions.size();
+  }
+
+  /// Validates speeds, start coupling and path step lengths (with relative
+  /// tolerance for accumulated rounding).
+  void validate(double tolerance = 1e-9) const;
+};
+
+/// Converts to an ordinary Instance: one request per agent per round at the
+/// agent's revealed position, movement limit m_s, Move-First service order.
+[[nodiscard]] Instance to_instance(const MovingClientInstance& mc);
+
+}  // namespace mobsrv::sim

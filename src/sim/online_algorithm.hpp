@@ -1,0 +1,50 @@
+/// \file online_algorithm.hpp
+/// The interface every online strategy implements.
+///
+/// The engine reveals one step at a time; the algorithm proposes a new
+/// position and the engine enforces the (possibly augmented) movement limit
+/// and does all cost accounting — an algorithm cannot cheat on either.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/model.hpp"
+
+namespace mobsrv::sim {
+
+/// Everything an online algorithm may look at when deciding step t.
+/// (Oblivious of the future by construction: the engine only ever exposes
+/// the current batch.)
+struct StepView {
+  std::size_t t = 0;                ///< step index, 0-based
+  const RequestBatch* batch = nullptr;  ///< requests of this step (never null)
+  Point server;                     ///< current server position P_t
+  double speed_limit = 0.0;         ///< (1+δ)·m for this run
+  const ModelParams* params = nullptr;  ///< D, m, service order (never null)
+};
+
+/// Abstract online strategy. Implementations must be deterministic given
+/// their construction arguments (randomized strategies take an explicit
+/// seed), so experiment results are reproducible.
+class OnlineAlgorithm {
+ public:
+  virtual ~OnlineAlgorithm() = default;
+
+  /// Called once before a run; resets all internal state.
+  virtual void reset(const Point& start, const ModelParams& params) {
+    (void)start;
+    (void)params;
+  }
+
+  /// Returns the desired position P_{t+1}. Must satisfy
+  /// d(view.server, result) <= view.speed_limit (the engine verifies).
+  [[nodiscard]] virtual Point decide(const StepView& view) = 0;
+
+  /// Stable display name used in tables ("MtC", "Lazy", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using AlgorithmPtr = std::unique_ptr<OnlineAlgorithm>;
+
+}  // namespace mobsrv::sim

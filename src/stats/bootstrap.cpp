@@ -1,0 +1,26 @@
+#include "stats/bootstrap.hpp"
+
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace mobsrv::stats {
+
+Interval bootstrap_mean_ci(std::span<const double> xs, double confidence, int resamples, Rng& rng) {
+  MOBSRV_CHECK_MSG(!xs.empty(), "bootstrap of empty sample");
+  MOBSRV_CHECK(confidence > 0.0 && confidence < 1.0);
+  MOBSRV_CHECK(resamples >= 1);
+  if (xs.size() == 1) return {xs[0], xs[0]};
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  const auto n = static_cast<std::int64_t>(xs.size());
+  for (int b = 0; b < resamples; ++b) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) sum += xs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    means.push_back(sum / static_cast<double>(n));
+  }
+  const double alpha = 1.0 - confidence;
+  return {quantile(means, alpha / 2.0), quantile(means, 1.0 - alpha / 2.0)};
+}
+
+}  // namespace mobsrv::stats

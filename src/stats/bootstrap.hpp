@@ -1,0 +1,25 @@
+/// \file bootstrap.hpp
+/// Percentile-bootstrap confidence intervals for experiment tables.
+#pragma once
+
+#include <span>
+
+#include "stats/rng.hpp"
+
+namespace mobsrv::stats {
+
+/// Two-sided confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] double width() const noexcept { return hi - lo; }
+  [[nodiscard]] bool contains(double v) const noexcept { return v >= lo && v <= hi; }
+};
+
+/// Percentile bootstrap CI for the mean of \p xs at the given confidence
+/// level (e.g. 0.95), using \p resamples bootstrap replicates drawn from
+/// \p rng. Degenerates to [x, x] for a single sample.
+[[nodiscard]] Interval bootstrap_mean_ci(std::span<const double> xs, double confidence, int resamples,
+                                         Rng& rng);
+
+}  // namespace mobsrv::stats

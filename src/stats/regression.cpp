@@ -1,0 +1,72 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mobsrv::stats {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  MOBSRV_CHECK_MSG(x.size() == y.size(), "x/y size mismatch");
+  MOBSRV_CHECK_MSG(x.size() >= 2, "need at least two samples");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  MOBSRV_CHECK_MSG(sxx > 0.0, "x values must not all coincide");
+  LinearFit fit;
+  fit.n = static_cast<int>(x.size());
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double resid = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += resid * resid;
+  }
+  fit.r2 = syy > 0.0 ? 1.0 - ss_res / syy : 1.0;
+  if (x.size() > 2) {
+    const double sigma2 = ss_res / (n - 2.0);
+    fit.slope_stderr = std::sqrt(sigma2 / sxx);
+  }
+  return fit;
+}
+
+LinearFit loglog_fit(std::span<const double> x, std::span<const double> y) {
+  MOBSRV_CHECK(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MOBSRV_CHECK_MSG(x[i] > 0.0 && y[i] > 0.0, "log-log fit needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+double theil_sen_slope(std::span<const double> x, std::span<const double> y) {
+  MOBSRV_CHECK(x.size() == y.size());
+  MOBSRV_CHECK(x.size() >= 2);
+  std::vector<double> slopes;
+  slopes.reserve(x.size() * (x.size() - 1) / 2);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = i + 1; j < x.size(); ++j)
+      if (x[i] != x[j]) slopes.push_back((y[j] - y[i]) / (x[j] - x[i]));
+  MOBSRV_CHECK_MSG(!slopes.empty(), "x values must not all coincide");
+  const auto mid = slopes.begin() + static_cast<std::ptrdiff_t>(slopes.size() / 2);
+  std::nth_element(slopes.begin(), mid, slopes.end());
+  if (slopes.size() % 2 == 1) return *mid;
+  const double upper = *mid;
+  const double lower = *std::max_element(slopes.begin(), mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace mobsrv::stats

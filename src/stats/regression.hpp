@@ -1,0 +1,37 @@
+/// \file regression.hpp
+/// Ordinary least squares and log-log growth-exponent fitting.
+///
+/// The paper's claims are asymptotic (ratio = Ω(√T), Ω(1/δ), O(1/δ^{3/2}),
+/// …). The experiment harness turns each claim into a measurable *growth
+/// exponent*: fit log(ratio) against log(parameter) and compare the slope
+/// with the exponent the theorem predicts.
+#pragma once
+
+#include <span>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::stats {
+
+/// Result of a simple linear regression y ≈ slope·x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double slope_stderr = 0.0;  ///< standard error of the slope estimate
+  double r2 = 0.0;            ///< coefficient of determination
+  int n = 0;
+};
+
+/// OLS fit of y against x. Requires at least two distinct x values.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Fits y ≈ c·x^e by OLS on (log x, log y); returns slope = e.
+/// All inputs must be strictly positive.
+[[nodiscard]] LinearFit loglog_fit(std::span<const double> x, std::span<const double> y);
+
+/// Theil–Sen slope (median of pairwise slopes): robust alternative used by
+/// property tests so that a single noisy trial cannot flip a monotonicity
+/// verdict. Requires at least two distinct x values.
+[[nodiscard]] double theil_sen_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace mobsrv::stats

@@ -1,0 +1,53 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+
+namespace mobsrv::stats {
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 == 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::exponential(double lambda) {
+  MOBSRV_CHECK_MSG(lambda > 0.0, "exponential rate must be positive");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+int Rng::poisson(double mean) {
+  MOBSRV_CHECK_MSG(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for
+    // workload generation (we only need plausible batch sizes).
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<int>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform();
+  int count = 0;
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+}  // namespace mobsrv::stats

@@ -1,0 +1,144 @@
+/// \file rng.hpp
+/// Deterministic, splittable random number generation.
+///
+/// Experiments must be reproducible independent of thread count and
+/// scheduling, so every trial seeds its own generator from a stable key
+/// (experiment id, sweep row, trial index) via SplitMix64; the stream itself
+/// is xoshiro256** (Blackman–Vigna). All floating-point draws are
+/// implemented here (not via std:: distributions) so results are identical
+/// across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::stats {
+
+/// SplitMix64 step; used for seeding and key mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes an arbitrary list of 64-bit keys into one seed. Order-sensitive.
+[[nodiscard]] constexpr std::uint64_t mix_keys(std::initializer_list<std::uint64_t> keys) noexcept {
+  std::uint64_t s = 0x243f6a8885a308d3ULL;  // pi digits
+  for (std::uint64_t k : keys) {
+    s ^= k + 0x9e3779b97f4a7c15ULL + (s << 6) + (s >> 2);
+    (void)splitmix64(s);
+  }
+  return splitmix64(s);
+}
+
+/// Stable 64-bit hash of a string (FNV-1a); lets experiments key RNG streams
+/// by name.
+[[nodiscard]] constexpr std::uint64_t hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state via SplitMix64 from a single seed.
+  explicit Rng(std::uint64_t seed = 0xfeedfacecafebeefULL) noexcept { reseed(seed); }
+
+  /// Seeds from a list of keys (experiment, row, trial, ...).
+  explicit Rng(std::initializer_list<std::uint64_t> keys) noexcept : Rng(mix_keys(keys)) {}
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child generator; the parent advances once.
+  [[nodiscard]] Rng split() noexcept { return Rng(mix_keys({(*this)(), 0x5eedULL})); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MOBSRV_CHECK(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+    // Lemire-style rejection-free-ish multiply-shift with rejection for
+    // exactness on small spans.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    auto lowbits = static_cast<std::uint64_t>(m);
+    if (lowbits < span) {
+      const std::uint64_t threshold = (0 - span) % span;
+      while (lowbits < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * span;
+        lowbits = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Fair coin.
+  [[nodiscard]] bool coin() noexcept { return ((*this)() >> 63) != 0; }
+
+  /// Bernoulli with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate lambda > 0.
+  [[nodiscard]] double exponential(double lambda);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  [[nodiscard]] int poisson(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mobsrv::stats

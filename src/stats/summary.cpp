@@ -1,0 +1,27 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobsrv::stats {
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::stderr_mean() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double quantile(std::span<const double> xs, double p) {
+  MOBSRV_CHECK_MSG(!xs.empty(), "quantile of empty sample");
+  MOBSRV_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace mobsrv::stats

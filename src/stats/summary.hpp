@@ -1,0 +1,72 @@
+/// \file summary.hpp
+/// Streaming summary statistics (Welford) and batched descriptive stats.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::stats {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+/// Mergeable, so parallel trials can reduce partial accumulators.
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator (Chan et al. parallel variance).
+  void merge(const Summary& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto n = static_cast<double>(n_), on = static_cast<double>(o.n_);
+    const double total = n + on;
+    m2_ += o.m2_ + delta * delta * n * on / total;
+    mean_ += delta * on / total;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// p-quantile (0 <= p <= 1) with linear interpolation; copies and sorts.
+[[nodiscard]] double quantile(std::span<const double> xs, double p);
+
+/// Median convenience wrapper.
+[[nodiscard]] inline double median_of(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+}  // namespace mobsrv::stats

@@ -1,0 +1,233 @@
+// Unit tests for adversary/lower_bounds.hpp and moving_client_lb.hpp: the
+// Theorem 1/2/3/8 constructions. Checks structural faithfulness to the
+// proofs (phase layout, request placement) and the adversary's own cost
+// against the paper's closed-form bounds.
+#include "adversary/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/moving_client_lb.hpp"
+#include "sim/cost.hpp"
+
+namespace mobsrv::adv {
+namespace {
+
+using geo::Point;
+
+TEST(Theorem1, StructureMatchesProof) {
+  Theorem1Params p;
+  p.horizon = 100;  // x = 10
+  stats::Rng rng(1);
+  const AdversarialInstance a = make_theorem1(p, rng);
+  EXPECT_EQ(a.instance.horizon(), 100u);
+  ASSERT_EQ(a.adversary_positions.size(), 101u);
+  // Phase 1: requests pinned to the start.
+  for (std::size_t t = 0; t < 10; ++t)
+    EXPECT_EQ(a.instance.step(t).requests[0], a.instance.start());
+  // Phase 2: requests ride on the adversary's post-move position.
+  for (std::size_t t = 10; t < 100; ++t)
+    EXPECT_EQ(a.instance.step(t).requests[0], a.adversary_positions[t + 1]);
+  // Adversary walks at exactly m every round, in one fixed direction.
+  for (std::size_t t = 0; t < 100; ++t)
+    EXPECT_NEAR(geo::distance(a.adversary_positions[t], a.adversary_positions[t + 1]), 1.0,
+                1e-12);
+}
+
+TEST(Theorem1, AdversaryCostWithinPaperBound) {
+  // Proof: cost <= xDm + m·x² + (T−x)Dm  (phase-1 service sums to ≤ m·x²).
+  Theorem1Params p;
+  p.horizon = 400;  // x = 20
+  p.move_cost_weight = 2.0;
+  stats::Rng rng(2);
+  const AdversarialInstance a = make_theorem1(p, rng);
+  const double x = 20.0, T = 400.0, D = 2.0, m = 1.0;
+  EXPECT_LE(a.adversary_cost, x * D * m + m * x * x + (T - x) * D * m + 1e-9);
+  EXPECT_GT(a.adversary_cost, 0.0);
+}
+
+TEST(Theorem1, CoinFlipGivesBothDirections) {
+  Theorem1Params p;
+  p.horizon = 64;
+  bool saw_left = false, saw_right = false;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    stats::Rng rng(seed);
+    const AdversarialInstance a = make_theorem1(p, rng);
+    (a.adversary_positions.back()[0] > 0 ? saw_right : saw_left) = true;
+  }
+  EXPECT_TRUE(saw_left);
+  EXPECT_TRUE(saw_right);
+}
+
+TEST(Theorem1, CustomXAndDimension) {
+  Theorem1Params p;
+  p.horizon = 50;
+  p.x = 5;
+  p.dim = 3;
+  p.requests_per_step = 4;
+  stats::Rng rng(3);
+  const AdversarialInstance a = make_theorem1(p, rng);
+  EXPECT_EQ(a.instance.dim(), 3);
+  EXPECT_EQ(a.instance.step(0).size(), 4u);
+  EXPECT_EQ(a.instance.step(4).requests[0], a.instance.start());
+  EXPECT_EQ(a.instance.step(5).requests[0], a.adversary_positions[6]);
+}
+
+TEST(Theorem2, PhaseLayoutAndRequestCounts) {
+  Theorem2Params p;
+  p.horizon = 300;
+  p.delta = 0.5;
+  p.r_min = 2;
+  p.r_max = 8;
+  p.x = 10;  // phase A 10 steps, phase B ceil(10/0.5) = 20 steps
+  stats::Rng rng(4);
+  const AdversarialInstance a = make_theorem2(p, rng);
+  // First cycle: steps 0..9 have Rmin requests at the anchor (start).
+  for (std::size_t t = 0; t < 10; ++t) {
+    EXPECT_EQ(a.instance.step(t).size(), 2u);
+    EXPECT_EQ(a.instance.step(t).requests[0], a.instance.start());
+  }
+  // Steps 10..29: Rmax requests riding the adversary.
+  for (std::size_t t = 10; t < 30; ++t) {
+    EXPECT_EQ(a.instance.step(t).size(), 8u);
+    EXPECT_EQ(a.instance.step(t).requests[0], a.adversary_positions[t + 1]);
+  }
+  // Second cycle anchors at the adversary's position after step 29.
+  EXPECT_EQ(a.instance.step(30).requests[0], a.adversary_positions[30]);
+}
+
+TEST(Theorem2, DefaultXSatisfiesProofConstraints) {
+  Theorem2Params p;
+  p.horizon = 2000;
+  p.delta = 0.25;
+  p.move_cost_weight = 4.0;
+  p.r_min = 1;
+  stats::Rng rng(5);
+  const AdversarialInstance a = make_theorem2(p, rng);
+  // x >= 2/δ = 8 and x >= D(1+1/δ)/(2Rmin) = 10 → x >= 10: the first phase
+  // must pin requests to the start for at least 10 steps.
+  for (std::size_t t = 0; t < 10; ++t)
+    EXPECT_EQ(a.instance.step(t).requests[0], a.instance.start());
+}
+
+TEST(Theorem2, AdversaryCostWithinPaperBound) {
+  // Proof: with x large enough, total adversary cost <= 3·Rmin·m·x² per
+  // cycle; check per-cycle on a single full cycle.
+  Theorem2Params p;
+  p.delta = 0.5;
+  p.r_min = 2;
+  p.r_max = 6;
+  p.x = 16;
+  p.horizon = 16 + 32;  // exactly one cycle
+  stats::Rng rng(6);
+  const AdversarialInstance a = make_theorem2(p, rng);
+  const double x = 16.0, m = 1.0;
+  EXPECT_LE(a.adversary_cost, 3.0 * 2.0 * m * x * x + 1e-9);
+}
+
+TEST(Theorem2, RejectsBadParameters) {
+  Theorem2Params p;
+  p.delta = 0.0;
+  stats::Rng rng(7);
+  EXPECT_THROW((void)make_theorem2(p, rng), mobsrv::ContractViolation);
+  p.delta = 0.5;
+  p.r_min = 4;
+  p.r_max = 2;
+  EXPECT_THROW((void)make_theorem2(p, rng), mobsrv::ContractViolation);
+}
+
+TEST(Theorem3, TwoStepCycleStructure) {
+  Theorem3Params p;
+  p.horizon = 20;
+  p.requests_per_step = 5;
+  stats::Rng rng(8);
+  const AdversarialInstance a = make_theorem3(p, rng);
+  EXPECT_EQ(a.instance.params().order, sim::ServiceOrder::kServeThenMove);
+  for (std::size_t t = 0; t < 20; t += 2) {
+    // Step t: requests at the adversary's pre-hop position.
+    EXPECT_EQ(a.instance.step(t).requests[0], a.adversary_positions[t]);
+    EXPECT_EQ(a.instance.step(t).size(), 5u);
+    // Hop of exactly m, then a resting step.
+    EXPECT_NEAR(geo::distance(a.adversary_positions[t], a.adversary_positions[t + 1]), 1.0,
+                1e-12);
+    EXPECT_EQ(a.adversary_positions[t + 1], a.adversary_positions[t + 2]);
+    // Step t+1: requests at the post-hop position.
+    EXPECT_EQ(a.instance.step(t + 1).requests[0], a.adversary_positions[t + 1]);
+  }
+}
+
+TEST(Theorem3, AdversaryPaysExactlyDmPerCycle) {
+  Theorem3Params p;
+  p.horizon = 40;
+  p.move_cost_weight = 3.0;
+  stats::Rng rng(9);
+  const AdversarialInstance a = make_theorem3(p, rng);
+  // Answer-first: all services are at distance 0; movement = m per cycle.
+  EXPECT_NEAR(a.adversary_cost, 20.0 * 3.0, 1e-9);
+}
+
+TEST(Theorem3, OddHorizonRoundsDown) {
+  Theorem3Params p;
+  p.horizon = 21;
+  stats::Rng rng(10);
+  const AdversarialInstance a = make_theorem3(p, rng);
+  EXPECT_EQ(a.instance.horizon(), 20u);
+}
+
+TEST(Theorem8, PhaseStructure) {
+  Theorem8Params p;
+  p.horizon = 1024;
+  p.epsilon = 1.0;  // m_a = 2·m_s
+  p.x = 8;          // L = ceil(8·2/1) = 16
+  stats::Rng rng(11);
+  const MovingClientAdversarial a = make_theorem8(p, rng);
+  a.mc.validate();
+  EXPECT_EQ(a.mc.horizon(), 1024u);
+  EXPECT_DOUBLE_EQ(a.mc.agent_speed, 2.0);
+  const auto& agent = a.mc.agents[0].positions;
+  // Agent idles at the start for the early phase-1 rounds.
+  EXPECT_EQ(agent[0], a.mc.start);
+  // At the end of phase 1 (t = 16, index 15) the agent has caught the
+  // adversary, and from then on they travel together.
+  EXPECT_NEAR(geo::distance(agent[15], a.adversary_positions[16]), 0.0, 1e-9);
+  for (std::size_t t = 16; t < 1024; ++t)
+    EXPECT_NEAR(geo::distance(agent[t], a.adversary_positions[t + 1]), 0.0, 1e-9);
+}
+
+TEST(Theorem8, AdversaryTrajectoryFeasibleAtServerSpeed) {
+  Theorem8Params p;
+  p.horizon = 256;
+  p.epsilon = 0.5;
+  stats::Rng rng(12);
+  const MovingClientAdversarial a = make_theorem8(p, rng);
+  const sim::Instance inst = sim::to_instance(a.mc);
+  EXPECT_EQ(sim::first_speed_violation(inst, a.adversary_positions), -1);
+  EXPECT_NEAR(sim::trajectory_cost(inst, a.adversary_positions), a.adversary_cost, 1e-9);
+}
+
+TEST(Theorem8, CostWithinPaperBound) {
+  // Proof: adversary cost <= D·x·m_a + x²·m_a²/m_s + D·(T − L)·m_s.
+  Theorem8Params p;
+  p.horizon = 4096;
+  p.epsilon = 1.0;
+  p.move_cost_weight = 2.0;
+  stats::Rng rng(13);
+  const MovingClientAdversarial a = make_theorem8(p, rng);
+  const double ms = 1.0, ma = 2.0, D = 2.0, T = 4096.0;
+  const double x = std::round(std::sqrt(T * ms / ma));
+  const double bound = D * x * ma + x * x * ma * ma / ms + D * T * ms;
+  EXPECT_LE(a.adversary_cost, bound * 1.1);
+}
+
+TEST(AllLowerBounds, InstancesAreValidAndDeterministic) {
+  stats::Rng rng_a(99), rng_b(99);
+  Theorem1Params p1;
+  p1.horizon = 64;
+  const auto a = make_theorem1(p1, rng_a);
+  const auto b = make_theorem1(p1, rng_b);
+  EXPECT_EQ(a.adversary_cost, b.adversary_cost);
+  for (std::size_t t = 0; t <= 64; ++t)
+    EXPECT_EQ(a.adversary_positions[t], b.adversary_positions[t]);
+}
+
+}  // namespace
+}  // namespace mobsrv::adv

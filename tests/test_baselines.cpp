@@ -1,0 +1,190 @@
+// Unit tests for algorithms/baselines.hpp and the registry: Lazy,
+// GreedyCenter, Move-To-Min, Coin-Flip — the page-migration-derived
+// comparators for the shootout experiment (E12).
+#include "algorithms/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.hpp"
+#include "sim/engine.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::alg {
+namespace {
+
+using geo::Point;
+
+sim::ModelParams make_params(double d_weight, double m) {
+  sim::ModelParams p;
+  p.move_cost_weight = d_weight;
+  p.max_step = m;
+  return p;
+}
+
+sim::Instance random_instance(std::uint64_t seed, std::size_t horizon = 50, int dim = 2,
+                              double d_weight = 3.0) {
+  stats::Rng rng(seed);
+  std::vector<sim::RequestBatch> steps(horizon);
+  for (auto& s : steps) {
+    const int r = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < r; ++i) {
+      Point v(dim);
+      for (int d = 0; d < dim; ++d) v[d] = rng.uniform(-10.0, 10.0);
+      s.requests.push_back(v);
+    }
+  }
+  return sim::Instance(Point::zero(dim), make_params(d_weight, 1.0), std::move(steps));
+}
+
+TEST(Lazy, NeverMoves) {
+  const sim::Instance inst = random_instance(1);
+  Lazy lazy;
+  const sim::RunResult res = sim::run(inst, lazy);
+  EXPECT_EQ(res.move_cost, 0.0);
+  EXPECT_EQ(res.final_position, inst.start());
+}
+
+TEST(GreedyCenter, MovesFullSpeedTowardSingleRequest) {
+  GreedyCenter greedy;
+  const auto params = make_params(4.0, 1.0);
+  sim::RequestBatch batch;
+  batch.requests = {Point{10.0, 0.0}};
+  sim::StepView view;
+  view.batch = &batch;
+  view.server = Point{0.0, 0.0};
+  view.speed_limit = 1.0;
+  view.params = &params;
+  const Point next = greedy.decide(view);
+  EXPECT_NEAR(next[0], 1.0, 1e-12);  // full limit, unlike MtC's d/D damping
+}
+
+TEST(GreedyCenter, StopsAtCenter) {
+  GreedyCenter greedy;
+  const auto params = make_params(1.0, 5.0);
+  sim::RequestBatch batch;
+  batch.requests = {Point{2.0, 0.0}};
+  sim::StepView view;
+  view.batch = &batch;
+  view.server = Point{0.0, 0.0};
+  view.speed_limit = 5.0;
+  view.params = &params;
+  EXPECT_EQ(greedy.decide(view), (Point{2.0, 0.0}));
+}
+
+TEST(GreedyCenter, EmptyBatchStays) {
+  GreedyCenter greedy;
+  const auto params = make_params(1.0, 1.0);
+  sim::RequestBatch empty;
+  sim::StepView view;
+  view.batch = &empty;
+  view.server = Point{3.0, 3.0};
+  view.speed_limit = 1.0;
+  view.params = &params;
+  EXPECT_EQ(greedy.decide(view), (Point{3.0, 3.0}));
+}
+
+TEST(MoveToMin, RetargetsEveryCeilDSteps) {
+  // D = 2 → window 2: after two identical batches the target is their
+  // median; the algorithm then steers toward it at full speed.
+  MoveToMin mtm;
+  const auto params = make_params(2.0, 1.0);
+  mtm.reset(Point{0.0}, params);
+  sim::RequestBatch batch;
+  batch.requests = {Point{10.0}};
+  sim::StepView view;
+  view.batch = &batch;
+  view.server = Point{0.0};
+  view.speed_limit = 1.0;
+  view.params = &params;
+  // Step 1: window not yet full — target still the start; stays.
+  EXPECT_EQ(mtm.decide(view), Point{0.0});
+  // Step 2: retarget to median(10,10) = 10; move full speed.
+  const Point second = mtm.decide(view);
+  EXPECT_NEAR(second[0], 1.0, 1e-12);
+}
+
+TEST(MoveToMin, RunsCleanlyThroughEngine) {
+  const sim::Instance inst = random_instance(2);
+  MoveToMin mtm;
+  EXPECT_NO_THROW((void)sim::run(inst, mtm));
+}
+
+TEST(CoinFlip, DeterministicGivenSeed) {
+  const sim::Instance inst = random_instance(3);
+  CoinFlip a(1234), b(1234);
+  const double cost_a = sim::run(inst, a).total_cost;
+  const double cost_b = sim::run(inst, b).total_cost;
+  EXPECT_EQ(cost_a, cost_b);
+}
+
+TEST(CoinFlip, ResetRestoresDeterminism) {
+  const sim::Instance inst = random_instance(4);
+  CoinFlip alg(77);
+  const double first = sim::run(inst, alg).total_cost;
+  const double second = sim::run(inst, alg).total_cost;  // run() calls reset()
+  EXPECT_EQ(first, second);
+}
+
+TEST(CoinFlip, DifferentSeedsUsuallyDiffer) {
+  const sim::Instance inst = random_instance(5, 100);
+  CoinFlip a(1), b(2);
+  EXPECT_NE(sim::run(inst, a).total_cost, sim::run(inst, b).total_cost);
+}
+
+TEST(AllBaselines, RespectSpeedLimitOnAdversarialInputs) {
+  const sim::Instance inst = random_instance(6, 80, 2, 5.0);
+  for (const auto& name : algorithm_names()) {
+    const sim::AlgorithmPtr algo = make_algorithm(name, 9);
+    sim::RunOptions opt;
+    opt.policy = sim::SpeedLimitPolicy::kThrow;
+    EXPECT_NO_THROW((void)sim::run(inst, *algo)) << name;
+  }
+}
+
+TEST(Registry, KnowsAllNames) {
+  for (const auto& name : algorithm_names()) {
+    const sim::AlgorithmPtr algo = make_algorithm(name, 0);
+    ASSERT_NE(algo, nullptr);
+    EXPECT_EQ(algo->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_algorithm("NoSuchAlgorithm"), ContractViolation);
+}
+
+TEST(Registry, ContainsThePaperAlgorithm) {
+  const auto names = algorithm_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "MtC"), names.end());
+  EXPECT_EQ(names.size(), 5u);
+}
+
+// On a stationary workload, Lazy at the hotspot beats GreedyCenter (which
+// keeps paying movement for noise); on a drifting workload the order flips.
+// This is the crossover logic of experiment E12 in miniature.
+TEST(BaselineOrdering, StationaryFavorsLazyDriftFavorsChasers) {
+  stats::Rng rng(11);
+  // Stationary cloud around the start.
+  std::vector<sim::RequestBatch> stationary(150);
+  for (auto& s : stationary)
+    s.requests = {Point{rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)}};
+  const sim::Instance inst_stationary(Point{0.0, 0.0}, make_params(8.0, 1.0),
+                                      std::move(stationary));
+  Lazy lazy;
+  GreedyCenter greedy;
+  EXPECT_LT(sim::run(inst_stationary, lazy).total_cost,
+            sim::run(inst_stationary, greedy).total_cost);
+
+  // Linearly drifting hotspot: chasing wins, staying loses.
+  std::vector<sim::RequestBatch> drifting(150);
+  for (std::size_t t = 0; t < drifting.size(); ++t)
+    drifting[t].requests = {Point{0.5 * static_cast<double>(t + 1), 0.0}};
+  const sim::Instance inst_drifting(Point{0.0, 0.0}, make_params(2.0, 1.0), std::move(drifting));
+  Lazy lazy2;
+  GreedyCenter greedy2;
+  EXPECT_GT(sim::run(inst_drifting, lazy2).total_cost,
+            sim::run(inst_drifting, greedy2).total_cost);
+}
+
+}  // namespace
+}  // namespace mobsrv::alg

@@ -1,0 +1,171 @@
+// Unit + cross-validation tests for opt/convex_descent.hpp: the any-
+// dimension offline solver. Key invariants: always returns a *feasible*
+// trajectory, never worse than its warm start, and agrees with the 1-D DP
+// bracket where both apply.
+#include "opt/convex_descent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/grid_dp.hpp"
+#include "sim/cost.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::opt {
+namespace {
+
+using geo::Point;
+
+sim::ModelParams make_params(double d_weight, double m,
+                             sim::ServiceOrder order = sim::ServiceOrder::kMoveThenServe) {
+  sim::ModelParams p;
+  p.move_cost_weight = d_weight;
+  p.max_step = m;
+  p.order = order;
+  return p;
+}
+
+sim::Instance random_instance(std::uint64_t seed, int dim, std::size_t horizon,
+                              double d_weight = 2.0,
+                              sim::ServiceOrder order = sim::ServiceOrder::kMoveThenServe) {
+  stats::Rng rng(seed);
+  std::vector<sim::RequestBatch> steps(horizon);
+  Point hotspot = Point::zero(dim);
+  for (auto& s : steps) {
+    for (int d = 0; d < dim; ++d) hotspot[d] += rng.uniform(-0.4, 0.4);
+    const int r = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < r; ++i) {
+      Point v = hotspot;
+      for (int d = 0; d < dim; ++d) v[d] += rng.normal(0.0, 1.0);
+      s.requests.push_back(v);
+    }
+  }
+  return sim::Instance(Point::zero(dim), make_params(d_weight, 1.0, order), std::move(steps));
+}
+
+TEST(ConvexDescent, EmptyInstance) {
+  const sim::Instance inst(Point{0.0, 0.0}, make_params(1.0, 1.0), {});
+  const OfflineSolution sol = solve_convex_descent(inst);
+  EXPECT_EQ(sol.cost, 0.0);
+  ASSERT_EQ(sol.positions.size(), 1u);
+  EXPECT_EQ(sol.positions[0], inst.start());
+}
+
+TEST(ConvexDescent, AlwaysFeasible) {
+  for (const int dim : {1, 2, 3}) {
+    const sim::Instance inst = random_instance(10 + static_cast<std::uint64_t>(dim), dim, 40);
+    const OfflineSolution sol = solve_convex_descent(inst);
+    ASSERT_EQ(sol.positions.size(), inst.horizon() + 1);
+    EXPECT_EQ(sim::first_speed_violation(inst, sol.positions), -1) << "dim=" << dim;
+    EXPECT_NEAR(sim::trajectory_cost(inst, sol.positions), sol.cost, 1e-9 * (1.0 + sol.cost));
+  }
+}
+
+TEST(ConvexDescent, BeatsOrMatchesGreedyInit) {
+  const sim::Instance inst = random_instance(20, 2, 60);
+  ConvexDescentOptions one_iter;
+  one_iter.iterations = 1;
+  const double greedy_cost = solve_convex_descent(inst, one_iter).cost;
+  const double optimised = solve_convex_descent(inst).cost;
+  EXPECT_LE(optimised, greedy_cost + 1e-9);
+}
+
+TEST(ConvexDescent, WarmStartNeverHurts) {
+  const sim::Instance inst = random_instance(30, 2, 50);
+  const OfflineSolution cold = solve_convex_descent(inst);
+  // Warm-start with the cold solution: the result can only stay or improve.
+  const OfflineSolution warm = solve_convex_descent(inst, {}, &cold.positions);
+  EXPECT_LE(warm.cost, cold.cost + 1e-9);
+}
+
+TEST(ConvexDescent, WarmStartValidation) {
+  const sim::Instance inst = random_instance(40, 2, 10);
+  std::vector<Point> wrong_length(5, inst.start());
+  EXPECT_THROW((void)solve_convex_descent(inst, {}, &wrong_length), ContractViolation);
+  std::vector<Point> wrong_start(inst.horizon() + 1, Point{1.0, 1.0});
+  EXPECT_THROW((void)solve_convex_descent(inst, {}, &wrong_start), ContractViolation);
+}
+
+TEST(ConvexDescent, StationaryHotspotSolvedNearExactly) {
+  // All requests at a single reachable point: OPT walks there and sits;
+  // descent should find (essentially) that.
+  std::vector<sim::RequestBatch> steps(30);
+  for (auto& s : steps) s.requests = {Point{2.0, 0.0}};
+  const sim::Instance inst(Point{0.0, 0.0}, make_params(2.0, 1.0), std::move(steps));
+  const OfflineSolution sol = solve_convex_descent(inst);
+  // Walk-and-sit reference: move 2 units (cost 4) + service 1 while 1 away
+  // at t=0 (serve from position 1: distance 1) → 4 + 1 = 5.
+  const double reference = 5.0;
+  EXPECT_LE(sol.cost, reference * 1.1);
+}
+
+TEST(ConvexDescent, AgreesWith1DDpBracket) {
+  for (const std::uint64_t seed : {51u, 52u, 53u}) {
+    const sim::Instance inst = random_instance(seed, 1, 40);
+    const OfflineSolution convex = solve_convex_descent(inst);
+    const GridDpResult dp = solve_grid_dp_1d(inst);
+    // Both are feasible (upper bounds); convex must respect the certified
+    // lower bound, and land within a modest factor of the DP value.
+    EXPECT_GE(convex.cost, dp.solution.opt_lower_bound - 1e-9);
+    EXPECT_LE(convex.cost, dp.solution.cost * 1.25 + 1e-9);
+  }
+}
+
+TEST(ConvexDescent, AnswerFirstSupported) {
+  const sim::Instance inst =
+      random_instance(60, 2, 40, 2.0, sim::ServiceOrder::kServeThenMove);
+  const OfflineSolution sol = solve_convex_descent(inst);
+  EXPECT_EQ(sim::first_speed_violation(inst, sol.positions), -1);
+  EXPECT_NEAR(sim::trajectory_cost(inst, sol.positions), sol.cost, 1e-9 * (1.0 + sol.cost));
+}
+
+TEST(ReachabilityLowerBound, SoundOnKnownInstance) {
+  // Request at distance 10 in step 0 (served at index 1): reach = m = 1 →
+  // contributes 9. Step 1 same point: reach 2 → 8.
+  std::vector<sim::RequestBatch> steps(2);
+  steps[0].requests = {Point{10.0}};
+  steps[1].requests = {Point{10.0}};
+  const sim::Instance inst(Point{0.0}, make_params(1.0, 1.0), std::move(steps));
+  EXPECT_DOUBLE_EQ(reachability_lower_bound(inst), 17.0);
+}
+
+TEST(ReachabilityLowerBound, NeverExceedsFeasibleCost) {
+  for (const std::uint64_t seed : {70u, 71u, 72u}) {
+    for (const int dim : {1, 2}) {
+      const sim::Instance inst = random_instance(seed, dim, 30);
+      const OfflineSolution sol = solve_convex_descent(inst);
+      EXPECT_LE(reachability_lower_bound(inst), sol.cost + 1e-9);
+    }
+  }
+}
+
+TEST(ReachabilityLowerBound, AnswerFirstUsesPreMoveReach) {
+  // Answer-first serves step 0 from the start itself: full distance counts.
+  std::vector<sim::RequestBatch> steps(1);
+  steps[0].requests = {Point{10.0}};
+  const sim::Instance inst(Point{0.0}, make_params(1.0, 1.0, sim::ServiceOrder::kServeThenMove),
+                           std::move(steps));
+  EXPECT_DOUBLE_EQ(reachability_lower_bound(inst), 10.0);
+}
+
+// Property: across dimensions, descent cost is within a reasonable factor
+// of the certified lower bound when that bound is informative.
+class ConvexQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvexQuality, WithinFactorOfLowerBoundOnChaseWorkload) {
+  const int dim = GetParam();
+  // A hotspot running away at the speed limit: the reachability bound is
+  // tight-ish here, so it meaningfully certifies solution quality.
+  std::vector<sim::RequestBatch> steps(40);
+  for (std::size_t t = 0; t < steps.size(); ++t)
+    steps[t].requests = {Point::on_axis(dim, 2.0 * static_cast<double>(t + 1))};
+  const sim::Instance inst(Point::zero(dim), make_params(1.0, 1.0), std::move(steps));
+  const OfflineSolution sol = solve_convex_descent(inst);
+  const double lb = reachability_lower_bound(inst);
+  ASSERT_GT(lb, 0.0);
+  EXPECT_LE(sol.cost, 3.0 * lb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ConvexQuality, ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace mobsrv::opt

@@ -1,0 +1,254 @@
+// Unit tests for sim/engine.hpp: the referee between algorithms and the
+// model — speed-limit enforcement, cost accounting per service order,
+// tracing, and the moving-client conversion.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/moving_client.hpp"
+
+namespace mobsrv::sim {
+namespace {
+
+ModelParams make_params(double d_weight, double m,
+                        ServiceOrder order = ServiceOrder::kMoveThenServe) {
+  ModelParams p;
+  p.move_cost_weight = d_weight;
+  p.max_step = m;
+  p.order = order;
+  return p;
+}
+
+/// Scripted algorithm: returns pre-programmed positions (for testing the
+/// engine itself, not a strategy).
+class Scripted final : public OnlineAlgorithm {
+ public:
+  explicit Scripted(std::vector<Point> moves) : moves_(std::move(moves)) {}
+  Point decide(const StepView& view) override { return moves_.at(view.t); }
+  std::string name() const override { return "Scripted"; }
+
+ private:
+  std::vector<Point> moves_;
+};
+
+/// Algorithm that records what the engine shows it.
+class Spy final : public OnlineAlgorithm {
+ public:
+  void reset(const Point& start, const ModelParams& params) override {
+    reset_calls++;
+    start_seen = start;
+    order_seen = params.order;
+  }
+  Point decide(const StepView& view) override {
+    limits.push_back(view.speed_limit);
+    batch_sizes.push_back(view.batch->size());
+    servers.push_back(view.server);
+    return view.server;  // never moves
+  }
+  std::string name() const override { return "Spy"; }
+
+  int reset_calls = 0;
+  Point start_seen;
+  ServiceOrder order_seen = ServiceOrder::kMoveThenServe;
+  std::vector<double> limits;
+  std::vector<std::size_t> batch_sizes;
+  std::vector<Point> servers;
+};
+
+Instance two_step_instance(ServiceOrder order = ServiceOrder::kMoveThenServe) {
+  std::vector<RequestBatch> steps(2);
+  steps[0].requests = {Point{2.0}};
+  steps[1].requests = {Point{2.0}, Point{4.0}};
+  return Instance(Point{0.0}, make_params(2.0, 1.0, order), steps);
+}
+
+TEST(Engine, RevealsStepsInOrderWithLimits) {
+  const Instance inst = two_step_instance();
+  Spy spy;
+  RunOptions opt;
+  opt.speed_factor = 1.5;
+  const RunResult res = run(inst, spy, opt);
+  EXPECT_EQ(spy.reset_calls, 1);
+  EXPECT_EQ(spy.start_seen, Point{0.0});
+  ASSERT_EQ(spy.limits.size(), 2u);
+  EXPECT_DOUBLE_EQ(spy.limits[0], 1.5);
+  EXPECT_EQ(spy.batch_sizes[0], 1u);
+  EXPECT_EQ(spy.batch_sizes[1], 2u);
+  EXPECT_EQ(res.final_position, Point{0.0});
+}
+
+TEST(Engine, CostAccountingMoveThenServe) {
+  const Instance inst = two_step_instance();
+  Scripted alg({Point{1.0}, Point{2.0}});
+  const RunResult res = run(inst, alg);
+  // Step 0: move 2·1=2, serve |1-2|=1. Step 1: move 2·1=2, serve 0+2=2.
+  EXPECT_DOUBLE_EQ(res.move_cost, 4.0);
+  EXPECT_DOUBLE_EQ(res.service_cost, 3.0);
+  EXPECT_DOUBLE_EQ(res.total_cost, 7.0);
+  EXPECT_EQ(res.final_position, Point{2.0});
+}
+
+TEST(Engine, CostAccountingAnswerFirst) {
+  const Instance inst = two_step_instance(ServiceOrder::kServeThenMove);
+  Scripted alg({Point{1.0}, Point{2.0}});
+  const RunResult res = run(inst, alg);
+  // Step 0: serve from 0: 2; move 2. Step 1: serve from 1: 1+3=4; move 2.
+  EXPECT_DOUBLE_EQ(res.service_cost, 6.0);
+  EXPECT_DOUBLE_EQ(res.move_cost, 4.0);
+}
+
+TEST(Engine, PositionsAlwaysRecorded) {
+  const Instance inst = two_step_instance();
+  Scripted alg({Point{1.0}, Point{1.5}});
+  const RunResult res = run(inst, alg);
+  ASSERT_EQ(res.positions.size(), 3u);
+  EXPECT_EQ(res.positions[0], Point{0.0});
+  EXPECT_EQ(res.positions[1], Point{1.0});
+  EXPECT_EQ(res.positions[2], Point{1.5});
+  EXPECT_TRUE(res.trace.empty());  // not requested
+}
+
+TEST(Engine, TraceRecordsStepCosts) {
+  const Instance inst = two_step_instance();
+  Scripted alg({Point{1.0}, Point{2.0}});
+  RunOptions opt;
+  opt.record_trace = true;
+  const RunResult res = run(inst, alg, opt);
+  ASSERT_EQ(res.trace.size(), 2u);
+  EXPECT_EQ(res.trace[0].before, Point{0.0});
+  EXPECT_EQ(res.trace[0].after, Point{1.0});
+  EXPECT_DOUBLE_EQ(res.trace[0].cost.move, 2.0);
+  EXPECT_DOUBLE_EQ(res.trace[0].cost.service, 1.0);
+  EXPECT_DOUBLE_EQ(res.trace[1].cost.total(), 4.0);
+}
+
+TEST(Engine, SpeedViolationThrowsByDefault) {
+  const Instance inst = two_step_instance();  // m = 1
+  Scripted alg({Point{1.1}, Point{2.0}});
+  EXPECT_THROW((void)run(inst, alg), ContractViolation);
+}
+
+TEST(Engine, SpeedViolationClampedWhenRequested) {
+  const Instance inst = two_step_instance();
+  Scripted alg({Point{5.0}, Point{5.0}});
+  RunOptions opt;
+  opt.policy = SpeedLimitPolicy::kClamp;
+  const RunResult res = run(inst, alg, opt);
+  EXPECT_EQ(res.positions[1], Point{1.0});  // clamped to m
+  EXPECT_EQ(res.positions[2], Point{2.0});
+}
+
+TEST(Engine, AugmentationWidensTheLimit) {
+  const Instance inst = two_step_instance();
+  Scripted alg({Point{1.4}, Point{2.0}});
+  RunOptions opt;
+  opt.speed_factor = 1.5;
+  EXPECT_NO_THROW((void)run(inst, alg, opt));
+}
+
+TEST(Engine, ExactLimitMoveAccepted) {
+  const Instance inst = two_step_instance();
+  Scripted alg({Point{1.0}, Point{2.0}});
+  EXPECT_NO_THROW((void)run(inst, alg));
+}
+
+TEST(Engine, SpeedFactorBelowOneRejected) {
+  const Instance inst = two_step_instance();
+  Scripted alg({Point{0.0}, Point{0.0}});
+  RunOptions opt;
+  opt.speed_factor = 0.5;
+  EXPECT_THROW((void)run(inst, alg, opt), ContractViolation);
+}
+
+TEST(Engine, DimensionChangeRejected) {
+  class Saboteur final : public OnlineAlgorithm {
+   public:
+    Point decide(const StepView&) override { return Point{0.0, 0.0}; }
+    std::string name() const override { return "Saboteur"; }
+  };
+  const Instance inst = two_step_instance();
+  Saboteur alg;
+  EXPECT_THROW((void)run(inst, alg), ContractViolation);
+}
+
+TEST(Engine, EmptyInstanceIsZeroCost) {
+  const Instance inst(Point{0.0}, make_params(1.0, 1.0), {});
+  Spy spy;
+  const RunResult res = run(inst, spy);
+  EXPECT_EQ(res.total_cost, 0.0);
+  EXPECT_EQ(res.positions.size(), 1u);
+}
+
+TEST(MovingClient, ValidateAcceptsLegalPaths) {
+  MovingClientInstance mc;
+  mc.start = Point{0.0};
+  mc.server_speed = 1.0;
+  mc.agent_speed = 2.0;
+  mc.move_cost_weight = 3.0;
+  AgentPath path;
+  path.positions = {Point{1.5}, Point{3.0}, Point{3.0}};
+  mc.agents.push_back(path);
+  EXPECT_NO_THROW(mc.validate());
+  EXPECT_EQ(mc.horizon(), 3u);
+}
+
+TEST(MovingClient, ValidateRejectsSpeeding) {
+  MovingClientInstance mc;
+  mc.start = Point{0.0};
+  mc.server_speed = 1.0;
+  mc.agent_speed = 1.0;
+  AgentPath path;
+  path.positions = {Point{1.5}};  // jump of 1.5 > m_a = 1
+  mc.agents.push_back(path);
+  EXPECT_THROW(mc.validate(), ContractViolation);
+}
+
+TEST(MovingClient, ValidateRejectsMismatchedHorizons) {
+  MovingClientInstance mc;
+  mc.start = Point{0.0};
+  AgentPath a, b;
+  a.positions = {Point{0.5}};
+  b.positions = {Point{0.5}, Point{1.0}};
+  mc.agents = {a, b};
+  EXPECT_THROW(mc.validate(), ContractViolation);
+}
+
+TEST(MovingClient, ConversionProducesOneRequestPerAgent) {
+  MovingClientInstance mc;
+  mc.start = Point{0.0, 0.0};
+  mc.server_speed = 2.0;
+  mc.agent_speed = 1.0;
+  mc.move_cost_weight = 5.0;
+  AgentPath a, b;
+  a.positions = {Point{1.0, 0.0}, Point{2.0, 0.0}};
+  b.positions = {Point{0.0, 1.0}, Point{0.0, 2.0}};
+  mc.agents = {a, b};
+  const Instance inst = to_instance(mc);
+  EXPECT_EQ(inst.horizon(), 2u);
+  EXPECT_EQ(inst.params().max_step, 2.0);
+  EXPECT_EQ(inst.params().move_cost_weight, 5.0);
+  EXPECT_EQ(inst.params().order, ServiceOrder::kMoveThenServe);
+  ASSERT_EQ(inst.step(0).size(), 2u);
+  EXPECT_EQ(inst.step(0).requests[0], (Point{1.0, 0.0}));
+  EXPECT_EQ(inst.step(0).requests[1], (Point{0.0, 1.0}));
+}
+
+TEST(MovingClient, CostMatchesPaperFormula) {
+  // Section 5: cost = Σ (D·d(P_{t-1},P_t) + d(P_t, A_t)) — exactly the
+  // Move-First accounting on the converted instance.
+  MovingClientInstance mc;
+  mc.start = Point{0.0};
+  mc.server_speed = 1.0;
+  mc.agent_speed = 1.0;
+  mc.move_cost_weight = 2.0;
+  AgentPath a;
+  a.positions = {Point{1.0}, Point{2.0}};
+  mc.agents = {a};
+  const Instance inst = to_instance(mc);
+  // Server trajectory: 0 -> 1 -> 2 (rides with the agent).
+  const std::vector<Point> traj{Point{0.0}, Point{1.0}, Point{2.0}};
+  EXPECT_DOUBLE_EQ(trajectory_cost(inst, traj), 2.0 + 0.0 + 2.0 + 0.0);
+}
+
+}  // namespace
+}  // namespace mobsrv::sim

@@ -1,0 +1,229 @@
+// Unit tests for the exploratory extensions: the multi-server substrate
+// (ext/multi_server.hpp, the paper's Section-6 open question) and the
+// ParametricChaser damping ablation knob.
+#include "ext/multi_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/move_to_center.hpp"
+#include "algorithms/parametric.hpp"
+#include "sim/engine.hpp"
+
+namespace mobsrv::ext {
+namespace {
+
+using geo::Point;
+
+sim::ModelParams make_params(double d_weight, double m) {
+  sim::ModelParams p;
+  p.move_cost_weight = d_weight;
+  p.max_step = m;
+  return p;
+}
+
+TEST(NearestServiceCost, PicksNearestServer) {
+  const std::vector<Point> servers{{0.0, 0.0}, {10.0, 0.0}};
+  sim::RequestBatch batch;
+  batch.requests = {Point{1.0, 0.0}, Point{9.0, 0.0}, Point{5.0, 0.0}};
+  // 1 (to server 0) + 1 (to server 1) + 5 (tie, both at 5).
+  EXPECT_DOUBLE_EQ(nearest_service_cost(servers, batch), 7.0);
+}
+
+TEST(NearestServiceCost, SingleServerMatchesSimCost) {
+  const std::vector<Point> one{Point{2.0, 2.0}};
+  sim::RequestBatch batch;
+  batch.requests = {Point{5.0, 6.0}, Point{-1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(nearest_service_cost(one, batch), sim::service_cost(one[0], batch));
+}
+
+TEST(NearestServiceCost, RequiresServers) {
+  EXPECT_THROW((void)nearest_service_cost({}, sim::RequestBatch{}), ContractViolation);
+}
+
+sim::Instance two_cluster_instance(std::size_t horizon = 60) {
+  // Static demand at two distant points.
+  std::vector<sim::RequestBatch> steps(horizon);
+  for (auto& s : steps) s.requests = {Point{-10.0, 0.0}, Point{10.0, 0.0}};
+  return sim::Instance(Point{0.0, 0.0}, make_params(4.0, 1.0), std::move(steps));
+}
+
+TEST(RunMulti, StaticServersPayPureService) {
+  const sim::Instance inst = two_cluster_instance();
+  StaticServers still;
+  const MultiRunResult res = run_multi(inst, {Point{-10.0, 0.0}, Point{10.0, 0.0}}, still);
+  EXPECT_EQ(res.move_cost, 0.0);
+  EXPECT_EQ(res.service_cost, 0.0);  // servers sit exactly on the demand
+}
+
+TEST(RunMulti, TwoServersBeatOneOnTwoClusters) {
+  const sim::Instance inst = two_cluster_instance();
+  AssignAndChase chase1, chase2;
+  const double one = run_multi(inst, spread_starts(inst, 1, 0.0), chase1).total_cost;
+  const double two = run_multi(inst, spread_starts(inst, 2, 2.0), chase2).total_cost;
+  EXPECT_LT(two, one);
+}
+
+TEST(RunMulti, SingleServerAssignAndChaseMatchesMtcCosts) {
+  // With k = 1 the extension reduces to the core model; compare against the
+  // core engine running MtC on the same instance.
+  const sim::Instance inst = two_cluster_instance();
+  AssignAndChase chase;
+  const MultiRunResult multi = run_multi(inst, {inst.start()}, chase);
+  alg::MoveToCenter mtc;
+  const sim::RunResult single = sim::run(inst, mtc);
+  EXPECT_NEAR(multi.total_cost, single.total_cost, 1e-9 * (1.0 + single.total_cost));
+}
+
+TEST(RunMulti, SpeedLimitEnforcedPerServer) {
+  // A strategy that tries to teleport: the engine must clamp each server to
+  // the limit.
+  class Teleporter final : public MultiServerAlgorithm {
+   public:
+    std::vector<sim::Point> decide(const MultiStepView& view) override {
+      std::vector<sim::Point> out = view.servers;
+      for (auto& p : out) p = p + Point{100.0, 0.0};
+      return out;
+    }
+    std::string name() const override { return "Teleporter"; }
+  };
+  const sim::Instance inst = two_cluster_instance(5);
+  Teleporter tp;
+  const MultiRunResult res = run_multi(inst, {inst.start()}, tp);
+  // 5 steps of at most m = 1 → at most x = 5.
+  EXPECT_LE(res.final_positions[0][0], 5.0 + 1e-9);
+  EXPECT_NEAR(res.move_cost, 4.0 * 5.0, 1e-9);  // D·(5 moves of length 1)
+}
+
+TEST(RunMulti, FleetSizeChangeRejected) {
+  class Shrinker final : public MultiServerAlgorithm {
+   public:
+    std::vector<sim::Point> decide(const MultiStepView& view) override {
+      return {view.servers[0]};
+    }
+    std::string name() const override { return "Shrinker"; }
+  };
+  const sim::Instance inst = two_cluster_instance(2);
+  Shrinker bad;
+  EXPECT_THROW((void)run_multi(inst, spread_starts(inst, 2, 1.0), bad), ContractViolation);
+}
+
+TEST(SpreadStarts, CountRadiusDimensions) {
+  const sim::Instance inst = two_cluster_instance(1);
+  const auto starts = spread_starts(inst, 4, 3.0);
+  ASSERT_EQ(starts.size(), 4u);
+  for (const auto& s : starts) EXPECT_NEAR(geo::distance(s, inst.start()), 3.0, 1e-9);
+  const auto one = spread_starts(inst, 1, 3.0);
+  EXPECT_EQ(one[0], inst.start());  // k = 1 stays at the start
+}
+
+TEST(SpreadStarts, OneDimensionalSpread) {
+  std::vector<sim::RequestBatch> steps(1);
+  steps[0].requests = {Point{0.0}};
+  const sim::Instance inst(Point{0.0}, make_params(1.0, 1.0), std::move(steps));
+  const auto starts = spread_starts(inst, 3, 2.0);
+  EXPECT_NEAR(starts[0][0], -2.0, 1e-9);
+  EXPECT_NEAR(starts[1][0], 0.0, 1e-9);
+  EXPECT_NEAR(starts[2][0], 2.0, 1e-9);
+}
+
+TEST(MultiHotspot, GeneratesClustersTimesRequests) {
+  MultiHotspotParams p;
+  p.horizon = 50;
+  p.clusters = 3;
+  p.requests_per_cluster = 2;
+  stats::Rng rng(1);
+  const sim::Instance inst = make_multi_hotspot(p, rng);
+  EXPECT_EQ(inst.horizon(), 50u);
+  for (const auto& step : inst.steps()) EXPECT_EQ(step.size(), 6u);
+}
+
+TEST(MultiHotspot, Deterministic) {
+  MultiHotspotParams p;
+  stats::Rng a(7), b(7);
+  const sim::Instance ia = make_multi_hotspot(p, a);
+  const sim::Instance ib = make_multi_hotspot(p, b);
+  EXPECT_EQ(ia.step(10).requests[0], ib.step(10).requests[0]);
+}
+
+TEST(MultiHotspot, MarginalServerValueDiminishes) {
+  MultiHotspotParams p;
+  p.horizon = 300;
+  p.clusters = 4;
+  stats::Rng rng(3);
+  const sim::Instance inst = make_multi_hotspot(p, rng);
+  std::vector<double> costs;
+  for (const int k : {1, 2, 4, 8}) {
+    AssignAndChase chase;
+    costs.push_back(run_multi(inst, spread_starts(inst, k, 5.0), chase).total_cost);
+  }
+  // More servers never hurt much and the big win comes early.
+  EXPECT_LT(costs[2], costs[0]);                       // 4 servers beat 1
+  const double gain_1_to_4 = costs[0] - costs[2];
+  const double gain_4_to_8 = costs[2] - costs[3];
+  EXPECT_LT(gain_4_to_8, gain_1_to_4);                 // diminishing returns
+}
+
+}  // namespace
+}  // namespace mobsrv::ext
+
+namespace mobsrv::alg {
+namespace {
+
+using geo::Point;
+
+sim::StepView make_view(const Point& server, const sim::RequestBatch& batch,
+                        const sim::ModelParams& params, double limit) {
+  sim::StepView v;
+  v.batch = &batch;
+  v.server = server;
+  v.speed_limit = limit;
+  v.params = &params;
+  return v;
+}
+
+TEST(ParametricChaser, GammaZeroIsUndamped) {
+  sim::ModelParams params;
+  params.move_cost_weight = 8.0;
+  sim::RequestBatch batch;
+  batch.requests = {Point{10.0}};
+  ParametricChaser greedy(0.0);
+  // (r/D)^0 = 1 → full distance, capped at the limit.
+  EXPECT_NEAR(greedy.decide(make_view(Point{0.0}, batch, params, 1.0))[0], 1.0, 1e-12);
+}
+
+TEST(ParametricChaser, GammaOneMatchesMtc) {
+  sim::ModelParams params;
+  params.move_cost_weight = 4.0;
+  sim::RequestBatch batch;
+  batch.requests = {Point{8.0}};
+  ParametricChaser chaser(1.0);
+  MoveToCenter mtc;
+  const auto view = make_view(Point{0.0}, batch, params, 100.0);
+  EXPECT_NEAR(chaser.decide(view)[0], mtc.decide(view)[0], 1e-12);
+}
+
+TEST(ParametricChaser, LargerGammaMovesLess) {
+  sim::ModelParams params;
+  params.move_cost_weight = 4.0;  // r/D = 1/4 < 1
+  sim::RequestBatch batch;
+  batch.requests = {Point{8.0}};
+  const auto view = make_view(Point{0.0}, batch, params, 100.0);
+  double prev = 1e300;
+  for (const double gamma : {0.0, 0.5, 1.0, 2.0}) {
+    ParametricChaser chaser(gamma);
+    const double moved = chaser.decide(view)[0];
+    EXPECT_LT(moved, prev + 1e-12);
+    prev = moved;
+  }
+}
+
+TEST(ParametricChaser, RejectsNegativeGamma) {
+  EXPECT_THROW(ParametricChaser(-0.1), ContractViolation);
+}
+
+TEST(ParametricChaser, NameEncodesGamma) {
+  EXPECT_EQ(ParametricChaser(0.5).name(), "Chaser(gamma=0.5)");
+}
+
+}  // namespace
+}  // namespace mobsrv::alg

@@ -1,0 +1,171 @@
+// Unit + property tests for median/geometric_median.hpp: the median *set*
+// (point vs segment) and MtC's closest-center tie-break — Section 4's "if c
+// is not unique, pick the one minimising d(P_Alg, c)".
+#include "median/geometric_median.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace mobsrv::med {
+namespace {
+
+using geo::Point;
+
+TEST(MedianSet, SingleRequestIsThePoint) {
+  const std::vector<Point> pts{{3.0, 4.0}};
+  const MedianSet s = median_set(pts);
+  EXPECT_TRUE(s.unique());
+  EXPECT_EQ(s.segment.a, pts[0]);
+  EXPECT_EQ(s.method, MedianMethod::kSinglePoint);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(MedianSet, TwoRequestsSpanSegment) {
+  const std::vector<Point> pts{{0.0, 0.0}, {4.0, 0.0}};
+  const MedianSet s = median_set(pts);
+  EXPECT_FALSE(s.unique());
+  EXPECT_EQ(s.method, MedianMethod::kCollinear);
+  // Minimiser set = the segment between the two points; objective = their
+  // distance everywhere on it.
+  EXPECT_DOUBLE_EQ(s.objective, 4.0);
+  EXPECT_NEAR(s.segment.length(), 4.0, 1e-12);
+}
+
+TEST(MedianSet, CollinearOddCountUniquePoint) {
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 1.0}, {3.0, 3.0}};
+  const MedianSet s = median_set(pts);
+  EXPECT_TRUE(s.unique());
+  EXPECT_NEAR(geo::distance(s.segment.a, Point{1.0, 1.0}), 0.0, 1e-9);
+  EXPECT_EQ(s.method, MedianMethod::kCollinear);
+}
+
+TEST(MedianSet, CollinearEvenCountSegmentBetweenMiddleTwo) {
+  const std::vector<Point> pts{{0.0}, {1.0}, {5.0}, {9.0}};
+  const MedianSet s = median_set(pts);
+  EXPECT_FALSE(s.unique());
+  EXPECT_NEAR(s.segment.a[0], 1.0, 1e-12);
+  EXPECT_NEAR(s.segment.b[0], 5.0, 1e-12);
+}
+
+TEST(MedianSet, AllCoincidentIsSinglePoint) {
+  const std::vector<Point> pts{{2.0, 2.0}, {2.0, 2.0}, {2.0, 2.0}, {2.0, 2.0}};
+  const MedianSet s = median_set(pts);
+  EXPECT_TRUE(s.unique());
+  EXPECT_EQ(s.segment.a, pts[0]);
+}
+
+TEST(MedianSet, NonCollinearUsesWeiszfeld) {
+  const std::vector<Point> pts{{0.0, 0.0}, {2.0, 0.0}, {1.0, 2.0}};
+  const MedianSet s = median_set(pts);
+  EXPECT_TRUE(s.unique());
+  EXPECT_EQ(s.method, MedianMethod::kWeiszfeld);
+  EXPECT_GT(s.iterations, 0);
+}
+
+TEST(MedianSet, WeightsRespectedInCollinearCase) {
+  const std::vector<Point> pts{{0.0, 0.0}, {10.0, 0.0}};
+  const std::vector<double> w{5.0, 1.0};
+  const MedianSet s = median_set(pts, w);
+  EXPECT_TRUE(s.unique());
+  EXPECT_EQ(s.segment.a, pts[0]);
+}
+
+TEST(ClosestCenter, UniqueMedianIgnoresAnchor) {
+  const std::vector<Point> pts{{0.0, 0.0}, {2.0, 0.0}, {1.0, 2.0}};
+  const Point far_anchor{100.0, 100.0};
+  const Point near_anchor{1.0, 0.5};
+  EXPECT_NEAR(geo::distance(closest_center(pts, far_anchor), closest_center(pts, near_anchor)),
+              0.0, 1e-7);
+}
+
+TEST(ClosestCenter, TwoRequestsProjectAnchorOntoSegment) {
+  const std::vector<Point> pts{{0.0, 0.0}, {10.0, 0.0}};
+  // Anchor above the middle: projection lands inside.
+  EXPECT_NEAR(geo::distance(closest_center(pts, Point{4.0, 3.0}), Point{4.0, 0.0}), 0.0, 1e-12);
+  // Anchor beyond an endpoint: clamps to it.
+  EXPECT_EQ(closest_center(pts, Point{-5.0, 1.0}), pts[0]);
+  EXPECT_EQ(closest_center(pts, Point{50.0, -2.0}), pts[1]);
+}
+
+TEST(ClosestCenter, AnchorInsideMedianIntervalStaysPut) {
+  // 1-D even batch: median interval [1, 5]; a server already inside it
+  // should not be asked to move at all (this is what makes MtC "lazy" when
+  // it is already central).
+  const std::vector<Point> pts{{0.0}, {1.0}, {5.0}, {9.0}};
+  const Point anchor{3.0};
+  EXPECT_EQ(closest_center(pts, anchor), anchor);
+}
+
+TEST(ClosestCenter, DimensionMismatchThrows) {
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_THROW((void)closest_center(pts, Point{0.0}), mobsrv::ContractViolation);
+}
+
+TEST(BruteForceMedian, RejectsHighDimension) {
+  std::vector<Point> pts;
+  Point p(5);
+  pts.push_back(p);
+  EXPECT_THROW((void)brute_force_median(pts), mobsrv::ContractViolation);
+}
+
+// Property: the closest center (a) achieves the minimal objective and (b)
+// no other minimiser is closer to the anchor. Verified against dense
+// sampling of candidate minimisers.
+class ClosestCenterProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosestCenterProperty, IsMinimiserAndClosest) {
+  const int dim = GetParam();
+  stats::Rng rng({stats::hash_name("closest-center"), static_cast<std::uint64_t>(dim)});
+  for (int rep = 0; rep < 30; ++rep) {
+    const int r = static_cast<int>(rng.uniform_int(1, 6));
+    std::vector<Point> pts;
+    for (int i = 0; i < r; ++i) {
+      Point p(dim);
+      for (int d = 0; d < dim; ++d) p[d] = rng.uniform(-5.0, 5.0);
+      // Half the reps use collinear batches (duplicate a 1-D pattern).
+      pts.push_back(p);
+    }
+    Point anchor(dim);
+    for (int d = 0; d < dim; ++d) anchor[d] = rng.uniform(-8.0, 8.0);
+
+    const MedianSet set = median_set(pts);
+    const Point c = closest_center(pts, anchor);
+
+    // (a) optimality of the objective at c.
+    const double obj_c = sum_distances(c, pts);
+    EXPECT_LE(obj_c, set.objective + 1e-6 * (1.0 + set.objective));
+
+    // (b) among dense samples of the median set, none is closer to the
+    // anchor than c.
+    for (int k = 0; k <= 20; ++k) {
+      const Point cand = set.segment.at(k / 20.0);
+      EXPECT_LE(geo::distance(anchor, c), geo::distance(anchor, cand) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ClosestCenterProperty, ::testing::Values(1, 2, 3));
+
+// Property: for collinear batches the segment reduction agrees with the
+// exact 1-D weighted median computed directly on coordinates.
+TEST(MedianSetProperty, CollinearMatchesExplicit1D) {
+  stats::Rng rng(stats::hash_name("collinear-1d"));
+  for (int rep = 0; rep < 100; ++rep) {
+    const int r = static_cast<int>(rng.uniform_int(1, 8));
+    std::vector<Point> pts;
+    for (int i = 0; i < r; ++i) pts.push_back(Point{rng.uniform(-10.0, 10.0)});
+    const MedianSet s = median_set(pts);
+    // Objective at both segment ends must equal the dense-scan minimum.
+    double scan_min = 1e300;
+    for (double x = -10.0; x <= 10.0; x += 0.01)
+      scan_min = std::min(scan_min, sum_distances(Point{x}, pts));
+    EXPECT_NEAR(s.objective, scan_min, 1e-2 * (1.0 + scan_min));
+    EXPECT_LE(s.objective, scan_min + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mobsrv::med

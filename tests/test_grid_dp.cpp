@@ -1,0 +1,198 @@
+// Unit + cross-validation tests for opt/grid_dp.hpp: the near-exact 1-D
+// offline optimum every upper-bound experiment measures ratios against.
+#include "opt/grid_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/brute_force.hpp"
+#include "sim/cost.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::opt {
+namespace {
+
+using geo::Point;
+
+sim::ModelParams make_params(double d_weight, double m,
+                             sim::ServiceOrder order = sim::ServiceOrder::kMoveThenServe) {
+  sim::ModelParams p;
+  p.move_cost_weight = d_weight;
+  p.max_step = m;
+  p.order = order;
+  return p;
+}
+
+sim::Instance line_instance(std::vector<std::vector<double>> reqs, double d_weight = 2.0,
+                            double m = 1.0,
+                            sim::ServiceOrder order = sim::ServiceOrder::kMoveThenServe) {
+  std::vector<sim::RequestBatch> steps(reqs.size());
+  for (std::size_t t = 0; t < reqs.size(); ++t)
+    for (const double v : reqs[t]) steps[t].requests.push_back(Point{v});
+  return sim::Instance(Point{0.0}, make_params(d_weight, m, order), std::move(steps));
+}
+
+TEST(GridDp, RejectsNon1D) {
+  std::vector<sim::RequestBatch> steps(1);
+  steps[0].requests = {Point{0.0, 0.0}};
+  const sim::Instance inst(Point{0.0, 0.0}, make_params(1.0, 1.0), steps);
+  EXPECT_THROW((void)solve_grid_dp_1d(inst), ContractViolation);
+}
+
+TEST(GridDp, EmptyInstanceCostsNothing) {
+  const sim::Instance inst(Point{0.0}, make_params(1.0, 1.0), {});
+  const GridDpResult res = solve_grid_dp_1d(inst);
+  EXPECT_EQ(res.solution.cost, 0.0);
+}
+
+TEST(GridDp, StationaryRequestsOnStartAreFree) {
+  const sim::Instance inst = line_instance({{0.0}, {0.0}, {0.0}});
+  const GridDpResult res = solve_grid_dp_1d(inst);
+  EXPECT_NEAR(res.solution.cost, 0.0, 1e-12);
+  EXPECT_EQ(res.solution.opt_lower_bound, 0.0);  // max(0, 0 − err)
+}
+
+TEST(GridDp, SingleFarRequestTradeoff) {
+  // One request at 10, one step, m = 1, D = 2: moving costs 2/unit but only
+  // saves 1/unit of service — OPT stays and pays 10. With two requests per
+  // step the saving rate doubles and moving the full step wins: 2·1 + 2·9.
+  const sim::Instance one = line_instance({{10.0}});
+  EXPECT_NEAR(solve_grid_dp_1d(one).solution.cost, 10.0, 1e-9);
+  const sim::Instance two = line_instance({{10.0, 10.0}});
+  EXPECT_NEAR(solve_grid_dp_1d(two).solution.cost, 20.0, 1e-9);
+}
+
+TEST(GridDp, StaysPutWhenMovingTooExpensive) {
+  // D = 8 but only one request of service saving 1 per unit: best to stay.
+  const sim::Instance inst = line_instance({{3.0}}, 8.0);
+  const GridDpResult res = solve_grid_dp_1d(inst);
+  EXPECT_NEAR(res.solution.cost, 3.0, 1e-9);
+}
+
+TEST(GridDp, BracketContainsFeasibleCost) {
+  stats::Rng rng(3);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<std::vector<double>> reqs(30);
+    for (auto& r : reqs) r = {rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+    const sim::Instance inst = line_instance(std::move(reqs));
+    const GridDpResult res = solve_grid_dp_1d(inst);
+    EXPECT_GT(res.solution.cost, 0.0);
+    EXPECT_LE(res.solution.opt_lower_bound, res.solution.cost + 1e-9);
+    EXPECT_LE(res.relaxed_cost, res.solution.cost + 1e-9);  // wider window can't cost more
+    EXPECT_GT(res.rounding_error, 0.0);
+  }
+}
+
+TEST(GridDp, FinerGridTightensTheBracket) {
+  stats::Rng rng(4);
+  std::vector<std::vector<double>> reqs(40);
+  for (auto& r : reqs) r = {rng.uniform(-8.0, 8.0)};
+  const sim::Instance inst = line_instance(std::move(reqs));
+  GridDpOptions coarse, fine;
+  coarse.cells_per_step = 2.0;
+  fine.cells_per_step = 16.0;
+  const GridDpResult rc = solve_grid_dp_1d(inst, coarse);
+  const GridDpResult rf = solve_grid_dp_1d(inst, fine);
+  const double coarse_width = rc.solution.cost - rc.solution.opt_lower_bound;
+  const double fine_width = rf.solution.cost - rf.solution.opt_lower_bound;
+  EXPECT_LT(fine_width, coarse_width);
+  EXPECT_LE(rf.solution.cost, rc.solution.cost + 1e-9);
+}
+
+TEST(GridDp, TrajectoryIsFeasibleAndMatchesCost) {
+  stats::Rng rng(5);
+  std::vector<std::vector<double>> reqs(25);
+  for (auto& r : reqs) r = {rng.uniform(-4.0, 4.0)};
+  const sim::Instance inst = line_instance(std::move(reqs));
+  GridDpOptions opt;
+  opt.want_trajectory = true;
+  const GridDpResult res = solve_grid_dp_1d(inst, opt);
+  ASSERT_EQ(res.solution.positions.size(), inst.horizon() + 1);
+  EXPECT_EQ(sim::first_speed_violation(inst, res.solution.positions), -1);
+  EXPECT_NEAR(sim::trajectory_cost(inst, res.solution.positions), res.solution.cost,
+              1e-9 * (1.0 + res.solution.cost));
+}
+
+TEST(GridDp, MaxCellsCapCoarsensInsteadOfExploding) {
+  std::vector<std::vector<double>> reqs(10);
+  for (auto& r : reqs) r = {1000.0};  // huge extent
+  const sim::Instance inst = line_instance(std::move(reqs));
+  GridDpOptions opt;
+  opt.max_cells = 512;
+  const GridDpResult res = solve_grid_dp_1d(inst, opt);
+  EXPECT_LE(res.cells, 512u);
+  EXPECT_GT(res.spacing, 1.0 / 4.0);  // coarsened beyond the default m/4
+}
+
+TEST(GridDp, AnswerFirstCostsAtLeastMoveFirst) {
+  // Serving before moving can never be cheaper for the same instance
+  // (the optimum has strictly less flexibility) — and on a chasing workload
+  // it is strictly worse.
+  std::vector<std::vector<double>> reqs(20);
+  for (std::size_t t = 0; t < reqs.size(); ++t) reqs[t] = {0.5 * static_cast<double>(t + 1)};
+  const sim::Instance move_first = line_instance(reqs);
+  const sim::Instance answer_first =
+      line_instance(reqs, 2.0, 1.0, sim::ServiceOrder::kServeThenMove);
+  const double mf = solve_grid_dp_1d(move_first).solution.cost;
+  const double af = solve_grid_dp_1d(answer_first).solution.cost;
+  EXPECT_GT(af, mf);
+}
+
+// Cross-validation against exhaustive enumeration on tiny instances: the DP
+// recurrence itself.
+class GridDpVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridDpVsBruteForce, AgreesWithinDiscretisation) {
+  const int seed = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::vector<double>> reqs(4);
+  for (auto& r : reqs) r = {rng.uniform(-2.0, 2.0)};
+  const double D = rng.uniform(1.0, 4.0);
+  const sim::Instance inst = line_instance(std::move(reqs), D);
+
+  // Brute force over the same resolution grid the DP uses (h = m/4).
+  std::vector<Point> candidates;
+  for (double x = -3.0; x <= 3.0; x += 0.25) candidates.push_back(Point{x});
+  const OfflineSolution bf = brute_force_offline(inst, candidates);
+
+  GridDpOptions opt;
+  opt.cells_per_step = 8.0;
+  const GridDpResult dp = solve_grid_dp_1d(inst, opt);
+  // The DP (finer grid, wider coverage) must not be worse than brute force,
+  // and the certified lower bound must stay below it.
+  EXPECT_LE(dp.solution.cost, bf.cost + 1e-9);
+  EXPECT_LE(dp.solution.opt_lower_bound, bf.cost + 1e-9);
+  // And they agree up to the coarse grid's resolution-induced slack.
+  EXPECT_NEAR(dp.solution.cost, bf.cost, 0.5 * (1.0 + bf.cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridDpVsBruteForce, ::testing::Range(1, 9));
+
+TEST(BruteForce, RespectsMovementLimit) {
+  const sim::Instance inst = line_instance({{5.0}, {5.0}});
+  std::vector<Point> candidates{Point{0.0}, Point{5.0}};  // jump of 5 > m=1 forbidden
+  const OfflineSolution sol = brute_force_offline(inst, candidates);
+  // Can't reach 5; must stay at 0 and pay 5+5.
+  EXPECT_NEAR(sol.cost, 10.0, 1e-12);
+  ASSERT_EQ(sol.positions.size(), 3u);
+  EXPECT_EQ(sol.positions[1], Point{0.0});
+}
+
+TEST(BruteForce, GuardsStateExplosion) {
+  std::vector<std::vector<double>> reqs(30, {1.0});
+  const sim::Instance inst = line_instance(std::move(reqs));
+  std::vector<Point> candidates;
+  for (double x = 0.0; x < 10.0; x += 0.5) candidates.push_back(Point{x});
+  EXPECT_THROW((void)brute_force_offline(inst, candidates), ContractViolation);
+}
+
+TEST(BruteForce, PicksCheapestPath) {
+  // Requests alternate 1, -1; staying at 0 costs 1/step = 4. With D=2 any
+  // movement adds >= 2 per unit and saves at most 1 — staying is optimal.
+  const sim::Instance inst = line_instance({{1.0}, {-1.0}, {1.0}, {-1.0}});
+  std::vector<Point> candidates{Point{-1.0}, Point{0.0}, Point{1.0}};
+  const OfflineSolution sol = brute_force_offline(inst, candidates);
+  EXPECT_NEAR(sol.cost, 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mobsrv::opt

@@ -1,0 +1,253 @@
+// Integration tests: small-scale versions of the E1–E8 experiments. Each
+// checks the *shape* a theorem predicts (growth with T, growth with 1/δ,
+// boundedness, constants) end-to-end through generators, engine, oracles
+// and the ratio estimator. The bench binaries run the full-scale versions.
+#include <gtest/gtest.h>
+
+#include "adversary/lower_bounds.hpp"
+#include "adversary/mobility.hpp"
+#include "adversary/moving_client_lb.hpp"
+#include "adversary/workloads.hpp"
+#include "algorithms/move_to_center.hpp"
+#include "algorithms/registry.hpp"
+#include "core/ratio.hpp"
+
+namespace mobsrv::core {
+namespace {
+
+AlgorithmFn mtc() {
+  return [](std::uint64_t) { return alg::make_algorithm("MtC"); };
+}
+
+double theorem1_ratio(par::ThreadPool& pool, std::size_t horizon, double speed_factor) {
+  RatioOptions opt;
+  opt.trials = 4;
+  opt.speed_factor = speed_factor;
+  opt.oracle = OptOracle::kAdversaryCost;
+  opt.seed_key = stats::mix_keys({stats::hash_name("it-thm1"), horizon});
+  const RatioEstimate est = estimate_ratio(
+      pool, mtc(),
+      [horizon](std::size_t, stats::Rng& rng) {
+        adv::Theorem1Params p;
+        p.horizon = horizon;
+        adv::AdversarialInstance a = adv::make_theorem1(p, rng);
+        return PreparedSample{std::move(a.instance), a.adversary_cost, {}};
+      },
+      opt);
+  return est.ratio.mean();
+}
+
+// Theorem 1: without augmentation the ratio grows ~√T; quadrupling T
+// should roughly double it. (We assert a generous 1.5x to stay robust.)
+TEST(TheoremShapes, T1_RatioGrowsWithHorizonWithoutAugmentation) {
+  par::ThreadPool pool(2);
+  const double small = theorem1_ratio(pool, 256, 1.0);
+  const double large = theorem1_ratio(pool, 4096, 1.0);
+  EXPECT_GT(small, 1.0);
+  EXPECT_GT(large, small * 1.5) << "expected √T-style growth";
+}
+
+// Theorem 4 (flat in T): with augmentation the same sequence yields a
+// ratio that does NOT keep growing.
+TEST(TheoremShapes, T4_AugmentationBoundsTheRatioInT) {
+  par::ThreadPool pool(2);
+  const double small = theorem1_ratio(pool, 256, 1.5);  // δ = 0.5
+  const double large = theorem1_ratio(pool, 4096, 1.5);
+  EXPECT_LT(large, small * 1.3 + 1.0) << "ratio must not grow with T under augmentation";
+}
+
+double theorem2_ratio(par::ThreadPool& pool, double delta, std::size_t r_min, std::size_t r_max) {
+  RatioOptions opt;
+  opt.trials = 4;
+  opt.speed_factor = 1.0 + delta;
+  opt.oracle = OptOracle::kAdversaryCost;
+  opt.seed_key = stats::mix_keys(
+      {stats::hash_name("it-thm2"), static_cast<std::uint64_t>(delta * 1000), r_min, r_max});
+  const RatioEstimate est = estimate_ratio(
+      pool, mtc(),
+      [=](std::size_t, stats::Rng& rng) {
+        adv::Theorem2Params p;
+        p.horizon = 2048;
+        p.delta = delta;
+        p.r_min = r_min;
+        p.r_max = r_max;
+        adv::AdversarialInstance a = adv::make_theorem2(p, rng);
+        return PreparedSample{std::move(a.instance), a.adversary_cost, {}};
+      },
+      opt);
+  return est.ratio.mean();
+}
+
+// Theorem 2: the lower-bound sequence forces a ratio growing like 1/δ...
+TEST(TheoremShapes, T2_SmallerDeltaForcesLargerRatio) {
+  par::ThreadPool pool(2);
+  const double at_1 = theorem2_ratio(pool, 1.0, 1, 1);
+  const double at_quarter = theorem2_ratio(pool, 0.25, 1, 1);
+  EXPECT_GT(at_quarter, at_1 * 1.5);
+}
+
+// ... and like Rmax/Rmin.
+TEST(TheoremShapes, T2_RequestImbalanceForcesLargerRatio) {
+  par::ThreadPool pool(2);
+  const double balanced = theorem2_ratio(pool, 0.5, 2, 2);
+  const double imbalanced = theorem2_ratio(pool, 0.5, 2, 16);
+  EXPECT_GT(imbalanced, balanced * 1.5);
+}
+
+double theorem3_ratio(par::ThreadPool& pool, std::size_t r) {
+  RatioOptions opt;
+  opt.trials = 6;
+  opt.speed_factor = 1.5;  // augmentation does not help in the Answer-First LB
+  opt.oracle = OptOracle::kAdversaryCost;
+  opt.seed_key = stats::mix_keys({stats::hash_name("it-thm3"), r});
+  const RatioEstimate est = estimate_ratio(
+      pool, mtc(),
+      [r](std::size_t, stats::Rng& rng) {
+        adv::Theorem3Params p;
+        p.horizon = 512;
+        p.requests_per_step = r;
+        adv::AdversarialInstance a = adv::make_theorem3(p, rng);
+        return PreparedSample{std::move(a.instance), a.adversary_cost, {}};
+      },
+      opt);
+  return est.ratio.mean();
+}
+
+// Theorem 3: in the Answer-First variant the ratio scales with r even under
+// augmentation.
+TEST(TheoremShapes, T3_AnswerFirstRatioScalesWithBatchSize) {
+  par::ThreadPool pool(2);
+  const double r4 = theorem3_ratio(pool, 4);
+  const double r32 = theorem3_ratio(pool, 32);
+  EXPECT_GT(r32, r4 * 3.0);  // linear in r predicts 8x; allow 3x slack
+}
+
+// Theorem 8: moving client with a faster agent and no augmentation —
+// ratio grows with T.
+TEST(TheoremShapes, T8_FasterAgentUnboundedRatio) {
+  par::ThreadPool pool(2);
+  auto ratio_at = [&](std::size_t horizon) {
+    RatioOptions opt;
+    opt.trials = 4;
+    opt.oracle = OptOracle::kAdversaryCost;
+    opt.seed_key = stats::mix_keys({stats::hash_name("it-thm8"), horizon});
+    const RatioEstimate est = estimate_ratio(
+        pool, mtc(),
+        [horizon](std::size_t, stats::Rng& rng) {
+          adv::Theorem8Params p;
+          p.horizon = horizon;
+          p.epsilon = 1.0;
+          adv::MovingClientAdversarial a = adv::make_theorem8(p, rng);
+          return PreparedSample{sim::to_instance(a.mc), a.adversary_cost, {}};
+        },
+        opt);
+    return est.ratio.mean();
+  };
+  const double small = ratio_at(256);
+  const double large = ratio_at(4096);
+  EXPECT_GT(large, small * 1.5);
+}
+
+// Theorem 10: equal speeds — MtC is O(1)-competitive WITHOUT augmentation.
+// The paper's constants are ≤ 36; empirically the ratio is tiny. We assert
+// a conservative bound and boundedness in T.
+TEST(TheoremShapes, T10_EqualSpeedConstantRatio) {
+  par::ThreadPool pool(2);
+  auto ratio_at = [&](std::size_t horizon) {
+    RatioOptions opt;
+    opt.trials = 4;
+    opt.oracle = OptOracle::kGridDp1D;
+    opt.seed_key = stats::mix_keys({stats::hash_name("it-thm10"), horizon});
+    const RatioEstimate est = estimate_ratio(
+        pool, mtc(),
+        [horizon](std::size_t, stats::Rng& rng) {
+          sim::MovingClientInstance mc;
+          mc.start = geo::Point{0.0};
+          mc.server_speed = 1.0;
+          mc.agent_speed = 1.0;
+          mc.move_cost_weight = 4.0;
+          adv::RandomWaypointParams p;
+          p.horizon = horizon;
+          p.dim = 1;
+          p.speed = 1.0;
+          p.half_width = 30.0;
+          mc.agents.push_back(adv::make_random_waypoint(p, mc.start, rng));
+          return PreparedSample{sim::to_instance(mc), 0.0, {}};
+        },
+        opt);
+    return est.ratio.mean();
+  };
+  const double small = ratio_at(256);
+  const double large = ratio_at(1024);
+  EXPECT_LT(small, 36.0);  // the paper's constant, very loose in practice
+  EXPECT_LT(large, 36.0);
+  EXPECT_LT(large, small * 1.5 + 1.0);  // flat in T
+}
+
+// Corollary 9 / Theorem 4 applied to the moving client: with augmentation,
+// even the Theorem-8 adversary cannot force growth.
+TEST(TheoremShapes, C9_AugmentationTamesTheMovingClientAdversary) {
+  par::ThreadPool pool(2);
+  auto ratio_at = [&](std::size_t horizon) {
+    RatioOptions opt;
+    opt.trials = 4;
+    opt.speed_factor = 2.0;  // (1+δ)·m_s with δ=1: server speed 2 = agent speed
+    opt.oracle = OptOracle::kAdversaryCost;
+    opt.seed_key = stats::mix_keys({stats::hash_name("it-c9"), horizon});
+    const RatioEstimate est = estimate_ratio(
+        pool, mtc(),
+        [horizon](std::size_t, stats::Rng& rng) {
+          adv::Theorem8Params p;
+          p.horizon = horizon;
+          p.epsilon = 1.0;  // agent speed 2·m_s
+          adv::MovingClientAdversarial a = adv::make_theorem8(p, rng);
+          return PreparedSample{sim::to_instance(a.mc), a.adversary_cost, {}};
+        },
+        opt);
+    return est.ratio.mean();
+  };
+  const double small = ratio_at(256);
+  const double large = ratio_at(4096);
+  EXPECT_LT(large, small * 1.3 + 1.0);
+}
+
+// Answer-First MtC (Theorem 7): on the same request sequence, switching to
+// Answer-First costs at most a factor ~2·max(1, r/D) more (the proof's
+// relation), and stays bounded.
+TEST(TheoremShapes, T7_AnswerFirstCostRelation) {
+  stats::Rng rng(stats::hash_name("it-thm7"));
+  adv::DriftingHotspotParams p;
+  p.horizon = 300;
+  p.dim = 2;
+  p.move_cost_weight = 2.0;
+  p.r_min = 4;
+  p.r_max = 4;  // fixed r = 4 > D = 2
+  const sim::Instance move_first = adv::make_drifting_hotspot(p, rng);
+  const sim::Instance answer_first = move_first.with_order(sim::ServiceOrder::kServeThenMove);
+
+  alg::MoveToCenter mtc_alg;
+  sim::RunOptions run_opt;
+  run_opt.speed_factor = 1.5;
+  const double cost_mf = sim::run(move_first, mtc_alg, run_opt).total_cost;
+  const double cost_af = sim::run(answer_first, mtc_alg, run_opt).total_cost;
+  const double r_over_d = 4.0 / 2.0;
+  EXPECT_LE(cost_af, 2.0 * r_over_d * cost_mf * 1.2);  // Theorem 7's 2·r/D, 20% slack
+  EXPECT_GE(cost_af, cost_mf * 0.5);                   // sanity: same order of magnitude
+}
+
+// Cross-check of the two oracles on the same 1-D instances: the convex
+// solver must land inside (or near) the DP bracket.
+TEST(OracleConsistency, ConvexWithinDpBracket) {
+  stats::Rng rng(stats::hash_name("it-oracle"));
+  adv::DriftingHotspotParams p;
+  p.horizon = 120;
+  p.dim = 1;
+  const sim::Instance inst = adv::make_drifting_hotspot(p, rng);
+  const opt::GridDpResult dp = opt::solve_grid_dp_1d(inst);
+  const opt::OfflineSolution cv = opt::solve_convex_descent(inst);
+  EXPECT_GE(cv.cost, dp.solution.opt_lower_bound - 1e-9);
+  EXPECT_LE(cv.cost, dp.solution.cost * 1.3);
+}
+
+}  // namespace
+}  // namespace mobsrv::core

@@ -1,0 +1,142 @@
+// Unit tests for io/: table rendering (markdown + CSV), number formatting,
+// and flag parsing used by every bench and example binary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "io/args.hpp"
+#include "io/table.hpp"
+
+namespace mobsrv::io {
+namespace {
+
+TEST(FormatDouble, SignificantDigitsAndSpecials) {
+  EXPECT_EQ(format_double(3.14159265, 4), "3.142");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(120000.0, 6), "120000");
+  EXPECT_EQ(format_double(120000.0, 4), "1.2e+05");
+  EXPECT_EQ(format_double(1.0 / 0.0), "inf");
+  EXPECT_EQ(format_double(-1.0 / 0.0), "-inf");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+  EXPECT_EQ(format_double(1234567.0, 2), "1.2e+06");
+  EXPECT_THROW((void)format_double(1.0, 0), ContractViolation);
+}
+
+TEST(Table, RowConstructionAndAccess) {
+  Table t("demo", {"a", "b"});
+  t.row().cell("x").cell(1.5).done();
+  t.add_row({"y", "2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "1.5");
+  EXPECT_EQ(t.at(1, 1), "2");
+  EXPECT_THROW((void)t.at(2, 0), ContractViolation);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("demo", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, EmptyColumnListThrows) {
+  EXPECT_THROW(Table("demo", {}), ContractViolation);
+}
+
+TEST(Table, MarkdownIsAlignedAndTitled) {
+  Table t("My Title", {"col", "value"});
+  t.row().cell("first").cell(1).done();
+  t.row().cell("x").cell(12345).done();
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("**My Title**"), std::string::npos);
+  EXPECT_NE(md.find("| col   | value |"), std::string::npos);
+  EXPECT_NE(md.find("| first | 1     |"), std::string::npos);
+  EXPECT_NE(md.find("| x     | 12345 |"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(md.find("|-------|"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t("", {"name", "note"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain,\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, PrintWritesMarkdown) {
+  Table t("T", {"c"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_markdown() + "\n");
+}
+
+TEST(Table, CellTypesFormat) {
+  Table t("", {"a", "b", "c", "d"});
+  t.row().cell(std::size_t{7}).cell(-3).cell(2.25, 3).cell("s").done();
+  EXPECT_EQ(t.at(0, 0), "7");
+  EXPECT_EQ(t.at(0, 1), "-3");
+  EXPECT_EQ(t.at(0, 2), "2.25");
+  EXPECT_EQ(t.at(0, 3), "s");
+}
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args a = parse({"prog", "--x=5", "--name=hello"});
+  EXPECT_EQ(a.get_int("x", 0), 5);
+  EXPECT_EQ(a.get_string("name", ""), "hello");
+  EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(Args, SpaceSyntax) {
+  const Args a = parse({"prog", "--x", "5", "--flag"});
+  EXPECT_EQ(a.get_int("x", 0), 5);
+  EXPECT_TRUE(a.get_bool("flag", false));
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args a = parse({"prog"});
+  EXPECT_EQ(a.get_int("missing", 42), 42);
+  EXPECT_EQ(a.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(a.get_string("missing", "d"), "d");
+  EXPECT_FALSE(a.get_bool("missing", false));
+  EXPECT_FALSE(a.has("missing"));
+}
+
+TEST(Args, BooleanSpellings) {
+  const Args a = parse({"prog", "--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(a.get_bool("a", false));
+  EXPECT_FALSE(a.get_bool("b", true));
+  EXPECT_TRUE(a.get_bool("c", false));
+  EXPECT_FALSE(a.get_bool("d", true));
+  const Args bad = parse({"prog", "--e=maybe"});
+  EXPECT_THROW((void)bad.get_bool("e", false), ContractViolation);
+}
+
+TEST(Args, PositionalsCollected) {
+  const Args a = parse({"prog", "pos1", "--x=1", "pos2"});
+  ASSERT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.positionals()[0], "pos1");
+  EXPECT_EQ(a.positionals()[1], "pos2");
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const Args a = parse({"prog", "--x=abc"});
+  EXPECT_THROW((void)a.get_int("x", 0), ContractViolation);
+  EXPECT_THROW((void)a.get_double("x", 0.0), ContractViolation);
+}
+
+TEST(Args, NegativeNumberAsValue) {
+  const Args a = parse({"prog", "--x=-3.5"});
+  EXPECT_DOUBLE_EQ(a.get_double("x", 0.0), -3.5);
+}
+
+}  // namespace
+}  // namespace mobsrv::io

@@ -1,0 +1,140 @@
+// Unit tests for median/median1d.hpp: the exact weighted median interval —
+// the object MtC's tie-break is defined on for collinear batches.
+#include "median/median1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace mobsrv::med {
+namespace {
+
+TEST(Median1D, SinglePoint) {
+  const std::vector<double> v{3.0};
+  const Interval1D i = median_interval(v);
+  EXPECT_EQ(i.lo, 3.0);
+  EXPECT_EQ(i.hi, 3.0);
+  EXPECT_TRUE(i.is_point());
+}
+
+TEST(Median1D, OddCountIsMiddleValue) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  const Interval1D i = median_interval(v);
+  EXPECT_EQ(i.lo, 3.0);
+  EXPECT_EQ(i.hi, 3.0);
+}
+
+TEST(Median1D, EvenCountIsInterval) {
+  const std::vector<double> v{1.0, 2.0, 8.0, 9.0};
+  const Interval1D i = median_interval(v);
+  EXPECT_EQ(i.lo, 2.0);
+  EXPECT_EQ(i.hi, 8.0);
+  EXPECT_FALSE(i.is_point());
+}
+
+TEST(Median1D, TwoPointsSpanInterval) {
+  const std::vector<double> v{-1.0, 4.0};
+  const Interval1D i = median_interval(v);
+  EXPECT_EQ(i.lo, -1.0);
+  EXPECT_EQ(i.hi, 4.0);
+}
+
+TEST(Median1D, DuplicatesCollapseInterval) {
+  // {1, 5, 5, 9}: between 5 and 9 the subgradient is 3−1 > 0, so the
+  // minimiser set is exactly {5} even though the cumulative weight hits
+  // half right at the first 5.
+  const std::vector<double> v{1.0, 5.0, 5.0, 9.0};
+  const Interval1D i = median_interval(v);
+  EXPECT_EQ(i.lo, 5.0);
+  EXPECT_EQ(i.hi, 5.0);
+}
+
+TEST(Median1D, UnsortedInputHandled) {
+  const std::vector<double> v{9.0, 1.0, 5.0, 5.0};
+  const Interval1D i = median_interval(v);
+  EXPECT_EQ(i.lo, 5.0);
+  EXPECT_EQ(i.hi, 5.0);
+}
+
+TEST(Median1D, WeightsShiftTheMedian) {
+  const std::vector<double> v{0.0, 10.0};
+  const std::vector<double> heavy_left{3.0, 1.0};
+  const Interval1D i = weighted_median_interval(v, heavy_left);
+  EXPECT_EQ(i.lo, 0.0);
+  EXPECT_EQ(i.hi, 0.0);
+}
+
+TEST(Median1D, EqualWeightsSameAsUnweighted) {
+  const std::vector<double> v{1.0, 2.0, 7.0};
+  const std::vector<double> w{2.0, 2.0, 2.0};
+  const Interval1D a = weighted_median_interval(v, w);
+  const Interval1D b = median_interval(v);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(Median1D, ExactHalfSplitWithWeights) {
+  // weight 1 at 0, weight 1 at 10: minimisers = [0, 10].
+  const std::vector<double> v{0.0, 10.0};
+  const std::vector<double> w{1.0, 1.0};
+  const Interval1D i = weighted_median_interval(v, w);
+  EXPECT_EQ(i.lo, 0.0);
+  EXPECT_EQ(i.hi, 10.0);
+}
+
+TEST(Median1D, RejectsEmptyAndBadWeights) {
+  EXPECT_THROW((void)median_interval({}), mobsrv::ContractViolation);
+  const std::vector<double> v{1.0, 2.0};
+  const std::vector<double> short_w{1.0};
+  EXPECT_THROW((void)weighted_median_interval(v, short_w), mobsrv::ContractViolation);
+  const std::vector<double> zero_w{1.0, 0.0};
+  EXPECT_THROW((void)weighted_median_interval(v, zero_w), mobsrv::ContractViolation);
+}
+
+TEST(Interval1D, ClampPicksClosestPoint) {
+  const Interval1D i{2.0, 8.0};
+  EXPECT_EQ(i.clamp(0.0), 2.0);
+  EXPECT_EQ(i.clamp(10.0), 8.0);
+  EXPECT_EQ(i.clamp(5.0), 5.0);
+}
+
+TEST(SumAbsDeviation, KnownValues) {
+  const std::vector<double> v{1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(sum_abs_deviation(3.0, v), 4.0);
+  EXPECT_DOUBLE_EQ(sum_abs_deviation(0.0, v), 9.0);
+  const std::vector<double> w{2.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(sum_abs_deviation(1.0, v, w), 6.0);
+}
+
+// Property: every point of the returned interval achieves the same minimal
+// objective, and points strictly outside do strictly worse.
+TEST(Median1DProperty, IntervalIsExactlyTheMinimiserSet) {
+  stats::Rng rng(42);
+  for (int rep = 0; rep < 200; ++rep) {
+    const int n = static_cast<int>(rng.uniform_int(1, 9));
+    std::vector<double> v, w;
+    for (int i = 0; i < n; ++i) {
+      v.push_back(rng.uniform(-10.0, 10.0));
+      w.push_back(rng.uniform(0.1, 3.0));
+    }
+    const Interval1D iv = weighted_median_interval(v, w);
+    const double at_lo = sum_abs_deviation(iv.lo, v, w);
+    const double at_hi = sum_abs_deviation(iv.hi, v, w);
+    const double at_mid = sum_abs_deviation((iv.lo + iv.hi) / 2.0, v, w);
+    EXPECT_NEAR(at_lo, at_hi, 1e-9 * (1.0 + at_lo));
+    EXPECT_NEAR(at_lo, at_mid, 1e-9 * (1.0 + at_lo));
+    // Strictly outside must be strictly worse (minimum total weight 0.1
+    // gives slope at least 0.1 beyond the interval).
+    const double eps = 0.05;
+    EXPECT_GT(sum_abs_deviation(iv.lo - eps, v, w), at_lo + 1e-12);
+    EXPECT_GT(sum_abs_deviation(iv.hi + eps, v, w), at_hi + 1e-12);
+    // And a dense scan never beats the interval value.
+    for (double x = -10.0; x <= 10.0; x += 0.37)
+      EXPECT_GE(sum_abs_deviation(x, v, w), at_lo - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mobsrv::med

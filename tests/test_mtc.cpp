@@ -1,0 +1,175 @@
+// Unit + property tests for algorithms/move_to_center.hpp: the paper's
+// algorithm. The step rule min{1, r/D}·d(P,c) capped at (1+δ)m, the
+// closest-center tie-break, and the Theorem-10 specialisation for r = 1.
+#include "algorithms/move_to_center.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::alg {
+namespace {
+
+using geo::Point;
+
+sim::ModelParams make_params(double d_weight, double m) {
+  sim::ModelParams p;
+  p.move_cost_weight = d_weight;
+  p.max_step = m;
+  return p;
+}
+
+sim::StepView make_view(const Point& server, const sim::RequestBatch& batch,
+                        const sim::ModelParams& params, double speed_limit) {
+  sim::StepView v;
+  v.t = 0;
+  v.batch = &batch;
+  v.server = server;
+  v.speed_limit = speed_limit;
+  v.params = &params;
+  return v;
+}
+
+TEST(DampedStep, Formula) {
+  // r >= D: full distance. r < D: scaled by r/D.
+  EXPECT_DOUBLE_EQ(MoveToCenter::damped_step(4, 2.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(MoveToCenter::damped_step(2, 2.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(MoveToCenter::damped_step(1, 2.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(MoveToCenter::damped_step(1, 4.0, 10.0), 2.5);
+  EXPECT_DOUBLE_EQ(MoveToCenter::damped_step(0, 4.0, 10.0), 0.0);
+}
+
+TEST(MoveToCenter, EmptyBatchStaysPut) {
+  MoveToCenter mtc;
+  const auto params = make_params(2.0, 1.0);
+  sim::RequestBatch empty;
+  const Point server{3.0, 4.0};
+  EXPECT_EQ(mtc.decide(make_view(server, empty, params, 1.0)), server);
+}
+
+TEST(MoveToCenter, SingleRequestMovesDOverDistance) {
+  // r=1, D=4: step = d/4 when below the cap (Theorem 10's rule).
+  MoveToCenter mtc;
+  const auto params = make_params(4.0, 100.0);  // cap far away
+  sim::RequestBatch batch;
+  batch.requests = {Point{8.0}};
+  const Point next = mtc.decide(make_view(Point{0.0}, batch, params, 100.0));
+  EXPECT_NEAR(next[0], 2.0, 1e-12);  // 8/4
+}
+
+TEST(MoveToCenter, CapsAtSpeedLimit) {
+  MoveToCenter mtc;
+  const auto params = make_params(1.0, 1.0);
+  sim::RequestBatch batch;
+  batch.requests = {Point{100.0}};
+  // r/D = 1 → wants the full 100; capped at (1+δ)m = 1.5.
+  const Point next = mtc.decide(make_view(Point{0.0}, batch, params, 1.5));
+  EXPECT_NEAR(next[0], 1.5, 1e-12);
+}
+
+TEST(MoveToCenter, ReachesCenterWhenCloseAndRGeqD) {
+  MoveToCenter mtc;
+  const auto params = make_params(2.0, 1.0);
+  sim::RequestBatch batch;
+  batch.requests = {Point{0.5}, Point{0.5}, Point{0.5}};  // r=3 > D=2
+  const Point next = mtc.decide(make_view(Point{0.0}, batch, params, 1.5));
+  EXPECT_NEAR(next[0], 0.5, 1e-12);
+}
+
+TEST(MoveToCenter, UsesClosestCenterForEvenCollinearBatch) {
+  // Median interval [1, 5]; server at 3 is already a minimiser — MtC must
+  // not move (the tie-break picks the center nearest the server).
+  MoveToCenter mtc;
+  const auto params = make_params(1.0, 1.0);
+  sim::RequestBatch batch;
+  batch.requests = {Point{0.0}, Point{1.0}, Point{5.0}, Point{9.0}};
+  const Point server{3.0};
+  EXPECT_EQ(mtc.decide(make_view(server, batch, params, 1.0)), server);
+}
+
+TEST(MoveToCenter, TwoRequestsInPlaneProjectOntoSegment) {
+  MoveToCenter mtc;
+  const auto params = make_params(2.0, 10.0);
+  sim::RequestBatch batch;
+  batch.requests = {Point{0.0, 0.0}, Point{10.0, 0.0}};
+  // Server above the segment: center = its projection (4, 0); r=2 = D → full step.
+  const Point next = mtc.decide(make_view(Point{4.0, 3.0}, batch, params, 100.0));
+  EXPECT_NEAR(next[0], 4.0, 1e-9);
+  EXPECT_NEAR(next[1], 0.0, 1e-9);
+}
+
+TEST(MoveToCenter, MovesAlongStraightLineTowardCenter) {
+  MoveToCenter mtc;
+  const auto params = make_params(4.0, 1.0);
+  sim::RequestBatch batch;
+  batch.requests = {Point{6.0, 8.0}};
+  const Point server{0.0, 0.0};
+  const Point next = mtc.decide(make_view(server, batch, params, 1.0));
+  // Step = min(10/4, 1) = 1, direction (0.6, 0.8).
+  EXPECT_NEAR(next[0], 0.6, 1e-12);
+  EXPECT_NEAR(next[1], 0.8, 1e-12);
+}
+
+TEST(MoveToCenter, NameIsStable) {
+  EXPECT_EQ(MoveToCenter().name(), "MtC");
+}
+
+TEST(MoveToCenter, NeverExceedsSpeedLimitThroughEngine) {
+  // End-to-end through the engine with the throwing policy: any violation
+  // of the movement contract would abort the run.
+  stats::Rng rng(7);
+  std::vector<sim::RequestBatch> steps(100);
+  for (auto& s : steps) {
+    const int r = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < r; ++i)
+      s.requests.push_back(Point{rng.uniform(-50.0, 50.0), rng.uniform(-50.0, 50.0)});
+  }
+  const sim::Instance inst(Point{0.0, 0.0}, make_params(3.0, 1.0), steps);
+  MoveToCenter mtc;
+  sim::RunOptions opt;
+  opt.speed_factor = 1.25;
+  opt.policy = sim::SpeedLimitPolicy::kThrow;
+  EXPECT_NO_THROW((void)sim::run(inst, mtc, opt));
+}
+
+// Property sweep: the realised step length is exactly
+// min(min(1, r/D)·d(P,c), limit) and the move is toward the center.
+class MtcStepProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MtcStepProperty, StepLengthContract) {
+  const auto [dim, r] = GetParam();
+  stats::Rng rng({stats::hash_name("mtc-step"), static_cast<std::uint64_t>(dim),
+                  static_cast<std::uint64_t>(r)});
+  MoveToCenter mtc;
+  for (int rep = 0; rep < 40; ++rep) {
+    const double D = rng.uniform(1.0, 8.0);
+    const double limit = rng.uniform(0.5, 3.0);
+    const auto params = make_params(D, limit);
+    sim::RequestBatch batch;
+    for (int i = 0; i < r; ++i) {
+      Point v(dim);
+      for (int d = 0; d < dim; ++d) v[d] = rng.uniform(-20.0, 20.0);
+      batch.requests.push_back(v);
+    }
+    Point server(dim);
+    for (int d = 0; d < dim; ++d) server[d] = rng.uniform(-20.0, 20.0);
+
+    const Point next = mtc.decide(make_view(server, batch, params, limit));
+    const Point center = med::closest_center(batch.requests, server);
+    const double dist = geo::distance(server, center);
+    const double expected =
+        std::min(std::min(1.0, static_cast<double>(r) / D) * dist, limit);
+    EXPECT_NEAR(geo::distance(server, next), expected, 1e-7 * (1.0 + dist));
+    // Collinear with the center direction: walking further along must reach c.
+    EXPECT_NEAR(geo::distance(server, next) + geo::distance(next, center), dist,
+                1e-6 * (1.0 + dist));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndSizes, MtcStepProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 8),
+                                            ::testing::Values(1, 2, 3, 7)));
+
+}  // namespace
+}  // namespace mobsrv::alg

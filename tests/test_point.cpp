@@ -1,0 +1,195 @@
+// Unit tests for geometry/point.hpp: construction, arithmetic, norms,
+// distances, move_toward — the primitive every algorithm builds on.
+#include "geometry/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mobsrv::geo {
+namespace {
+
+TEST(Point, DefaultConstructedIsEmpty) {
+  const Point p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.dim(), 0);
+}
+
+TEST(Point, ZeroHasAllZeroCoordinates) {
+  const Point p = Point::zero(3);
+  EXPECT_EQ(p.dim(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(p[i], 0.0);
+}
+
+TEST(Point, InitializerListSetsCoordinates) {
+  const Point p{1.0, -2.5, 3.0};
+  EXPECT_EQ(p.dim(), 3);
+  EXPECT_EQ(p[0], 1.0);
+  EXPECT_EQ(p[1], -2.5);
+  EXPECT_EQ(p[2], 3.0);
+}
+
+TEST(Point, DimensionOutOfRangeThrows) {
+  EXPECT_THROW(Point(0), ContractViolation);
+  EXPECT_THROW(Point(Point::kMaxDim + 1), ContractViolation);
+  EXPECT_NO_THROW(Point(Point::kMaxDim));
+}
+
+TEST(Point, UnitVector) {
+  const Point e1 = Point::unit(3, 1);
+  EXPECT_EQ(e1[0], 0.0);
+  EXPECT_EQ(e1[1], 1.0);
+  EXPECT_EQ(e1[2], 0.0);
+  EXPECT_DOUBLE_EQ(e1.norm(), 1.0);
+  EXPECT_THROW((void)Point::unit(2, 2), ContractViolation);
+}
+
+TEST(Point, OnAxisEmbedsScalar) {
+  const Point p = Point::on_axis(4, -7.5, 2);
+  EXPECT_EQ(p[2], -7.5);
+  EXPECT_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.norm(), 7.5);
+}
+
+TEST(Point, AdditionAndSubtraction) {
+  const Point a{1.0, 2.0};
+  const Point b{-3.0, 5.0};
+  const Point sum = a + b;
+  EXPECT_EQ(sum[0], -2.0);
+  EXPECT_EQ(sum[1], 7.0);
+  const Point diff = a - b;
+  EXPECT_EQ(diff[0], 4.0);
+  EXPECT_EQ(diff[1], -3.0);
+}
+
+TEST(Point, ScalarMultiplicationBothSides) {
+  const Point a{1.0, -2.0};
+  EXPECT_EQ((a * 3.0)[1], -6.0);
+  EXPECT_EQ((3.0 * a)[0], 3.0);
+  EXPECT_EQ((a / 2.0)[0], 0.5);
+  EXPECT_EQ((-a)[1], 2.0);
+}
+
+TEST(Point, CompoundAssignment) {
+  Point a{1.0, 1.0};
+  a += Point{1.0, 2.0};
+  a -= Point{0.5, 0.0};
+  a *= 2.0;
+  a /= 4.0;
+  EXPECT_DOUBLE_EQ(a[0], 0.75);
+  EXPECT_DOUBLE_EQ(a[1], 1.5);
+}
+
+TEST(Point, EqualityRequiresSameDimension) {
+  EXPECT_NE(Point({1.0}), Point({1.0, 0.0}));
+  EXPECT_EQ(Point({1.0, 2.0}), Point({1.0, 2.0}));
+  EXPECT_NE(Point({1.0, 2.0}), Point({1.0, 2.1}));
+}
+
+TEST(Point, DotProduct) {
+  EXPECT_DOUBLE_EQ(Point({1.0, 2.0, 3.0}).dot(Point{4.0, -5.0, 6.0}), 12.0);
+}
+
+TEST(Point, NormAndNorm2) {
+  const Point p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(p.norm(), 5.0);
+}
+
+TEST(Point, NormalizedHasUnitLength) {
+  const Point p = Point{3.0, 4.0}.normalized();
+  EXPECT_DOUBLE_EQ(p.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.6);
+}
+
+TEST(Point, NormalizedZeroStaysZero) {
+  const Point z = Point::zero(2).normalized();
+  EXPECT_EQ(z, Point::zero(2));
+}
+
+TEST(Point, DistanceIsSymmetricAndPositive) {
+  const Point a{0.0, 0.0};
+  const Point b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_DOUBLE_EQ(distance(a, b), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(distance2(a, b), 2.0);
+  EXPECT_EQ(distance(a, a), 0.0);
+}
+
+TEST(Point, LerpEndpointsAndMidpoint) {
+  const Point a{0.0};
+  const Point b{10.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), Point{5.0});
+}
+
+TEST(MoveToward, ReachesTargetWhenStepSuffices) {
+  const Point from{0.0, 0.0};
+  const Point to{1.0, 0.0};
+  EXPECT_EQ(move_toward(from, to, 2.0), to);
+  EXPECT_EQ(move_toward(from, to, 1.0), to);
+}
+
+TEST(MoveToward, NeverOvershoots) {
+  const Point from{0.0, 0.0};
+  const Point to{10.0, 0.0};
+  const Point result = move_toward(from, to, 3.0);
+  EXPECT_DOUBLE_EQ(result[0], 3.0);
+  EXPECT_DOUBLE_EQ(result[1], 0.0);
+}
+
+TEST(MoveToward, ZeroStepStaysPut) {
+  const Point from{1.0, 2.0};
+  EXPECT_EQ(move_toward(from, Point{5.0, 5.0}, 0.0), from);
+}
+
+TEST(MoveToward, NegativeStepThrows) {
+  EXPECT_THROW((void)move_toward(Point{0.0}, Point{1.0}, -0.1), ContractViolation);
+}
+
+TEST(MoveToward, CoincidentPointsStay) {
+  const Point p{1.0, 1.0};
+  EXPECT_EQ(move_toward(p, p, 5.0), p);
+}
+
+TEST(MoveToward, StepExactlyDistance) {
+  const Point from{0.0};
+  const Point to{4.0};
+  EXPECT_EQ(move_toward(from, to, 4.0), to);
+}
+
+TEST(Point, StreamFormat) {
+  std::ostringstream os;
+  os << Point{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+  EXPECT_EQ(Point({3.0}).to_string(), "(3)");
+}
+
+// Property sweep: move_toward moves exactly min(step, distance) and lands on
+// the segment, in every dimension.
+class MoveTowardProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MoveTowardProperty, DistanceContract) {
+  const int dim = GetParam();
+  // Deterministic pseudo-random-ish sweep without an RNG dependency.
+  for (int k = 1; k <= 50; ++k) {
+    Point from(dim), to(dim);
+    for (int d = 0; d < dim; ++d) {
+      from[d] = std::sin(0.7 * k + d);
+      to[d] = 3.0 * std::cos(1.3 * k - d);
+    }
+    const double dist = distance(from, to);
+    for (const double step : {0.0, 0.1, 0.5 * dist, dist, 2.0 * dist}) {
+      const Point got = move_toward(from, to, step);
+      EXPECT_NEAR(distance(from, got), std::min(step, dist), 1e-9);
+      // Collinearity: distance(from,got) + distance(got,to) == distance(from,to).
+      EXPECT_NEAR(distance(from, got) + distance(got, to), dist, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, MoveTowardProperty, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace mobsrv::geo

@@ -1,0 +1,203 @@
+// Unit tests for stats/rng.hpp: determinism (the property the whole
+// experiment harness rests on), distribution sanity, and key mixing.
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace mobsrv::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, KeyListConstructorIsOrderSensitive) {
+  Rng ab({1, 2}), ba({2, 1});
+  EXPECT_NE(ab(), ba());
+}
+
+TEST(Rng, SplitProducesIndependentChild) {
+  Rng parent(99);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent() == child()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(MixKeys, Deterministic) {
+  EXPECT_EQ(mix_keys({1, 2, 3}), mix_keys({1, 2, 3}));
+  EXPECT_NE(mix_keys({1, 2, 3}), mix_keys({1, 2, 4}));
+  EXPECT_NE(mix_keys({1, 2}), mix_keys({2, 1}));
+}
+
+TEST(HashName, StableAndDistinct) {
+  EXPECT_EQ(hash_name("theorem1"), hash_name("theorem1"));
+  EXPECT_NE(hash_name("theorem1"), hash_name("theorem2"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    s.add(u);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(7);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++counts[static_cast<std::size_t>(v - 10)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntInvalidRangeThrows) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.uniform_int(3, 2), ContractViolation);
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(10);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.coin()) ++heads;
+  EXPECT_NEAR(heads, 10000, 300);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.bernoulli(0.2)) ++hits;
+  EXPECT_NEAR(hits, 4000, 250);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  Summary s;
+  for (int i = 0; i < 40000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(13);
+  Summary s;
+  for (int i = 0; i < 40000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(14);
+  Summary s;
+  for (int i = 0; i < 40000; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(15);
+  EXPECT_THROW((void)rng.exponential(0.0), ContractViolation);
+  EXPECT_THROW((void)rng.exponential(-1.0), ContractViolation);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(16);
+  Summary s;
+  for (int i = 0; i < 40000; ++i) s.add(rng.poisson(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.06);
+  EXPECT_NEAR(s.variance(), 3.0, 0.15);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(17);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) {
+    const int x = rng.poisson(100.0);
+    ASSERT_GE(x, 0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(18);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+// Keyed construction: the (experiment, row, trial) scheme used everywhere
+// must give distinct, reproducible streams.
+TEST(Rng, KeyedStreamsAreReproducibleAndDistinct) {
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t row = 0; row < 10; ++row) {
+    for (std::uint64_t trial = 0; trial < 10; ++trial) {
+      Rng a({hash_name("e1"), row, trial});
+      Rng b({hash_name("e1"), row, trial});
+      const auto v = a();
+      EXPECT_EQ(v, b());
+      firsts.insert(v);
+    }
+  }
+  EXPECT_EQ(firsts.size(), 100u);  // no collisions across keys
+}
+
+}  // namespace
+}  // namespace mobsrv::stats

@@ -1,0 +1,145 @@
+// Unit tests for geometry/segment.hpp and geometry/aabb.hpp: closest-point
+// queries (MtC's tie-break primitive), collinearity detection, and the
+// bounding boxes the offline solvers rely on.
+#include "geometry/aabb.hpp"
+#include "geometry/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mobsrv::geo {
+namespace {
+
+TEST(Segment, LengthAndAt) {
+  const Segment s{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_EQ(s.at(0.0), s.a);
+  EXPECT_EQ(s.at(1.0), s.b);
+  EXPECT_EQ(s.at(-0.5), s.a);  // clamped
+  EXPECT_EQ(s.at(2.0), s.b);   // clamped
+  EXPECT_NEAR(distance(s.at(0.5), Point{1.5, 2.0}), 0.0, 1e-12);
+}
+
+TEST(ClosestPointOnSegment, ProjectionInside) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  const Point q{4.0, 3.0};
+  const Point c = closest_point_on_segment(s, q);
+  EXPECT_NEAR(c[0], 4.0, 1e-12);
+  EXPECT_NEAR(c[1], 0.0, 1e-12);
+  EXPECT_NEAR(distance_to_segment(s, q), 3.0, 1e-12);
+}
+
+TEST(ClosestPointOnSegment, ClampsToEndpoints) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_EQ(closest_point_on_segment(s, Point{-5.0, 2.0}), s.a);
+  EXPECT_EQ(closest_point_on_segment(s, Point{15.0, -2.0}), s.b);
+}
+
+TEST(ClosestPointOnSegment, DegenerateSegment) {
+  const Segment s{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(closest_point_on_segment(s, Point{9.0, 9.0}), s.a);
+  EXPECT_DOUBLE_EQ(distance_to_segment(s, Point{1.0, 2.0}), 1.0);
+}
+
+TEST(ClosestPointOnSegment, PointOnSegmentIsItself) {
+  const Segment s{{0.0, 0.0}, {10.0, 10.0}};
+  const Point q{3.0, 3.0};
+  EXPECT_NEAR(distance(closest_point_on_segment(s, q), q), 0.0, 1e-12);
+}
+
+TEST(Collinear, TwoPointsAlwaysCollinear) {
+  const std::vector<Point> pts{{0.0, 0.0}, {5.0, 7.0}};
+  EXPECT_TRUE(collinear(pts.data(), 2));
+}
+
+TEST(Collinear, PointsOnLineDetected) {
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 2.0}, {2.0, 4.0}, {-3.0, -6.0}};
+  EXPECT_TRUE(collinear(pts.data(), static_cast<int>(pts.size())));
+}
+
+TEST(Collinear, OffLinePointDetected) {
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 2.0}, {2.0, 4.1}};
+  EXPECT_FALSE(collinear(pts.data(), static_cast<int>(pts.size())));
+}
+
+TEST(Collinear, CoincidentPointsAreCollinear) {
+  const std::vector<Point> pts{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_TRUE(collinear(pts.data(), static_cast<int>(pts.size())));
+}
+
+TEST(Collinear, OneDimensionalAlwaysCollinear) {
+  const std::vector<Point> pts{{0.0}, {3.0}, {-7.0}, {2.5}};
+  EXPECT_TRUE(collinear(pts.data(), static_cast<int>(pts.size())));
+}
+
+TEST(Collinear, ToleranceScalesWithSpread) {
+  // Deviation tiny relative to a huge spread: still collinear.
+  const std::vector<Point> pts{{0.0, 0.0}, {1e6, 1e-4}, {2e6, 0.0}};
+  EXPECT_TRUE(collinear(pts.data(), static_cast<int>(pts.size()), 1e-9));
+}
+
+TEST(CollinearDirection, UnitAlongLine) {
+  const std::vector<Point> pts{{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}};
+  const Point u = collinear_direction(pts.data(), static_cast<int>(pts.size()));
+  EXPECT_NEAR(std::abs(u.dot(Point{0.6, 0.8})), 1.0, 1e-12);
+}
+
+TEST(CollinearDirection, AllCoincidentGivesZero) {
+  const std::vector<Point> pts{{2.0, 2.0}, {2.0, 2.0}};
+  EXPECT_EQ(collinear_direction(pts.data(), 2).norm(), 0.0);
+}
+
+TEST(Aabb, StartsEmpty) {
+  Aabb box;
+  EXPECT_TRUE(box.empty());
+  box.extend(Point{1.0, 2.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.lo(), box.hi());
+}
+
+TEST(Aabb, ExtendGrowsBox) {
+  Aabb box;
+  box.extend(Point{0.0, 0.0});
+  box.extend(Point{2.0, -1.0});
+  box.extend(Point{-1.0, 3.0});
+  EXPECT_EQ(box.lo(), (Point{-1.0, -1.0}));
+  EXPECT_EQ(box.hi(), (Point{2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(box.extent(), 4.0);
+  EXPECT_EQ(box.center(), (Point{0.5, 1.0}));
+}
+
+TEST(Aabb, ContainsAndClamp) {
+  Aabb box;
+  box.extend(Point{0.0, 0.0});
+  box.extend(Point{10.0, 10.0});
+  EXPECT_TRUE(box.contains(Point{5.0, 5.0}));
+  EXPECT_FALSE(box.contains(Point{11.0, 5.0}));
+  EXPECT_TRUE(box.contains(Point{10.0 + 1e-12, 5.0}, 1e-9));
+  EXPECT_EQ(box.clamp(Point{-5.0, 20.0}), (Point{0.0, 10.0}));
+  EXPECT_EQ(box.clamp(Point{3.0, 4.0}), (Point{3.0, 4.0}));
+}
+
+TEST(Aabb, InflateAddsMargin) {
+  Aabb box;
+  box.extend(Point{0.0});
+  box.inflate(2.0);
+  EXPECT_EQ(box.lo(), Point{-2.0});
+  EXPECT_EQ(box.hi(), Point{2.0});
+}
+
+TEST(Aabb, OfPointSet) {
+  const Aabb box = Aabb::of({{1.0}, {5.0}, {-2.0}});
+  EXPECT_EQ(box.lo(), Point{-2.0});
+  EXPECT_EQ(box.hi(), Point{5.0});
+  EXPECT_THROW((void)Aabb::of({}), ContractViolation);
+}
+
+TEST(Aabb, DimensionMismatchThrows) {
+  Aabb box;
+  box.extend(Point{0.0, 0.0});
+  EXPECT_THROW(box.extend(Point{1.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mobsrv::geo

@@ -1,0 +1,226 @@
+// Unit tests for stats/: Welford summaries (incl. parallel merge),
+// quantiles, OLS / log-log fits (the growth-exponent machinery every
+// experiment's verdict relies on) and bootstrap CIs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/regression.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace mobsrv::stats {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stderr_mean(), s.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Rng rng(3);
+  Summary whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptyIsNoop) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  const double mean = s.mean();
+  Summary empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.mean(), mean);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(median_of(xs), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStats) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW((void)quantile({}, 0.5), ContractViolation);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)quantile(xs, 1.5), ContractViolation);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope_stderr, 0.0, 1e-10);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 2.0 + rng.normal(0.0, 0.5));
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_GT(fit.r2, 0.99);
+  EXPECT_GT(fit.slope_stderr, 0.0);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)linear_fit(one, one), ContractViolation);
+  const std::vector<double> same{2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW((void)linear_fit(same, y), ContractViolation);
+  const std::vector<double> x2{1.0, 2.0};
+  const std::vector<double> y3{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)linear_fit(x2, y3), ContractViolation);
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+  // y = 3·x^1.5 — the kind of growth law Theorems 1/4 predict.
+  std::vector<double> x, y;
+  for (const double v : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.5));
+  }
+  const LinearFit fit = loglog_fit(x, y);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(LogLogFit, RejectsNonPositive) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{0.0, 1.0};
+  EXPECT_THROW((void)loglog_fit(x, y), ContractViolation);
+}
+
+TEST(TheilSen, ExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  EXPECT_NEAR(theil_sen_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(TheilSen, RobustToSingleOutlier) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i);
+  }
+  y[19] = 1000.0;  // gross outlier at the end: pulls the OLS slope hard
+  EXPECT_NEAR(theil_sen_slope(x, y), 2.0, 0.1);
+  // OLS, by contrast, is pulled far off.
+  EXPECT_GT(std::abs(linear_fit(x, y).slope - 2.0), 1.0);
+}
+
+TEST(TheilSen, RejectsAllEqualX) {
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW((void)theil_sen_slope(x, y), ContractViolation);
+}
+
+TEST(Bootstrap, CiContainsTrueMeanUsually) {
+  Rng data_rng(5);
+  int covered = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<double> xs;
+    for (int i = 0; i < 40; ++i) xs.push_back(data_rng.normal(10.0, 2.0));
+    Rng boot_rng({6u, static_cast<std::uint64_t>(rep)});
+    const Interval ci = bootstrap_mean_ci(xs, 0.95, 400, boot_rng);
+    EXPECT_LT(ci.lo, ci.hi + 1e-12);
+    if (ci.contains(10.0)) ++covered;
+  }
+  EXPECT_GE(covered, 40);  // ~95% nominal; generous slack for 50 reps
+}
+
+TEST(Bootstrap, SingleSampleDegenerates) {
+  Rng rng(7);
+  const std::vector<double> xs{3.0};
+  const Interval ci = bootstrap_mean_ci(xs, 0.95, 100, rng);
+  EXPECT_EQ(ci.lo, 3.0);
+  EXPECT_EQ(ci.hi, 3.0);
+  EXPECT_EQ(ci.width(), 0.0);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  Rng rng(8);
+  EXPECT_THROW((void)bootstrap_mean_ci({}, 0.95, 100, rng), ContractViolation);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 1.0, 100, rng), ContractViolation);
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 0.95, 0, rng), ContractViolation);
+}
+
+// Parameterized sweep: log-log fit recovers a range of exponents through the
+// exact pipeline the benches use.
+class ExponentRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentRecovery, SlopeMatches) {
+  const double exponent = GetParam();
+  std::vector<double> x, y;
+  for (int k = 0; k < 8; ++k) {
+    const double v = std::pow(2.0, k);
+    x.push_back(v);
+    y.push_back(7.0 * std::pow(v, exponent));
+  }
+  EXPECT_NEAR(loglog_fit(x, y).slope, exponent, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperExponents, ExponentRecovery,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, -1.0, -1.5));
+
+}  // namespace
+}  // namespace mobsrv::stats

@@ -1,0 +1,142 @@
+// Unit tests for median/weiszfeld.hpp: convergence to the Fermat–Weber
+// point, the Vardi–Zhang anchor rule, weights, and agreement with brute
+// force — the numerical core that MtC's center computation stands on.
+#include "median/weiszfeld.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "median/geometric_median.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::med {
+namespace {
+
+using geo::Point;
+
+TEST(SumDistances, KnownValue) {
+  const std::vector<Point> pts{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(sum_distances(Point{0.0, 0.0}, pts), 5.0);
+  const std::vector<double> w{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(sum_distances(Point{3.0, 4.0}, pts, w), 10.0);
+}
+
+TEST(Centroid, EqualWeights) {
+  const std::vector<Point> pts{{0.0, 0.0}, {2.0, 0.0}, {1.0, 3.0}};
+  const Point c = centroid(pts);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  EXPECT_NEAR(c[1], 1.0, 1e-12);
+}
+
+TEST(Centroid, WeightsShift) {
+  const std::vector<Point> pts{{0.0}, {10.0}};
+  const std::vector<double> w{3.0, 1.0};
+  EXPECT_NEAR(centroid(pts, w)[0], 2.5, 1e-12);
+}
+
+TEST(Weiszfeld, SinglePointIsItsOwnMedian) {
+  const std::vector<Point> pts{{2.0, -1.0}};
+  const WeiszfeldResult r = weiszfeld(pts);
+  EXPECT_NEAR(geo::distance(r.median, pts[0]), 0.0, 1e-9);
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Weiszfeld, EquilateralTriangleCenter) {
+  // For an equilateral triangle the Fermat point is the centroid.
+  const std::vector<Point> pts{
+      {0.0, 0.0}, {1.0, 0.0}, {0.5, std::sqrt(3.0) / 2.0}};
+  const WeiszfeldResult r = weiszfeld(pts);
+  const Point c = centroid(pts);
+  EXPECT_NEAR(geo::distance(r.median, c), 0.0, 1e-7);
+}
+
+TEST(Weiszfeld, ObtuseTriangleMedianIsObtuseVertex) {
+  // If one vertex angle is >= 120°, the Fermat point IS that vertex — the
+  // case the plain Weiszfeld iteration famously mishandles without the
+  // Vardi–Zhang rule.
+  const std::vector<Point> pts{{0.0, 0.0}, {10.0, 0.1}, {-10.0, 0.1}};
+  const WeiszfeldResult r = weiszfeld(pts);
+  EXPECT_NEAR(geo::distance(r.median, pts[0]), 0.0, 1e-6);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Weiszfeld, StartingExactlyOnNonOptimalDataPointEscapes) {
+  const std::vector<Point> pts{{0.0, 0.0}, {10.0, 0.0}, {10.0, 1.0}, {10.0, -1.0}};
+  // The optimum is near (10, 0); start the iteration exactly on (0,0).
+  const WeiszfeldResult r = weiszfeld(pts, {}, Point{0.0, 0.0});
+  EXPECT_LT(geo::distance(r.median, Point{10.0, 0.0}), 0.1);
+}
+
+TEST(Weiszfeld, DominantWeightPinsMedianToPoint) {
+  // With weight(v0) > sum of the rest, v0 is the exact median (Vardi–Zhang
+  // optimality test at the anchor).
+  const std::vector<Point> pts{{1.0, 1.0}, {5.0, 5.0}, {-3.0, 2.0}};
+  const std::vector<double> w{10.0, 1.0, 1.0};
+  const WeiszfeldResult r = weiszfeld(pts, w, pts[0]);
+  EXPECT_NEAR(geo::distance(r.median, pts[0]), 0.0, 1e-9);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Weiszfeld, AllPointsCoincide) {
+  const std::vector<Point> pts{{2.0, 2.0}, {2.0, 2.0}, {2.0, 2.0}};
+  const WeiszfeldResult r = weiszfeld(pts);
+  EXPECT_NEAR(geo::distance(r.median, pts[0]), 0.0, 1e-9);
+}
+
+TEST(Weiszfeld, FourCornersOfSquare) {
+  // Symmetric configuration: median is the center.
+  const std::vector<Point> pts{{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}};
+  const WeiszfeldResult r = weiszfeld(pts);
+  EXPECT_NEAR(geo::distance(r.median, Point{1.0, 1.0}), 0.0, 1e-7);
+}
+
+TEST(Weiszfeld, RespectsMaxIterations) {
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 0.0}, {0.5, 0.9}};
+  WeiszfeldOptions opt;
+  opt.max_iterations = 2;
+  const WeiszfeldResult r = weiszfeld(pts, {}, opt);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(Weiszfeld, RejectsBadInput) {
+  EXPECT_THROW((void)weiszfeld({}), mobsrv::ContractViolation);
+  const std::vector<Point> mixed{{0.0, 0.0}, {1.0}};
+  EXPECT_THROW((void)weiszfeld(mixed), mobsrv::ContractViolation);
+  const std::vector<Point> pts{{0.0}, {1.0}};
+  const std::vector<double> bad_w{1.0, -1.0};
+  EXPECT_THROW((void)weiszfeld(pts, bad_w), mobsrv::ContractViolation);
+}
+
+// Property: Weiszfeld's objective never exceeds brute force by more than
+// the grid accuracy, across dimensions and batch sizes.
+class WeiszfeldVsBruteForce : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WeiszfeldVsBruteForce, ObjectiveMatches) {
+  const auto [dim, r] = GetParam();
+  stats::Rng rng({stats::hash_name("weiszfeld-vs-bf"), static_cast<std::uint64_t>(dim),
+                  static_cast<std::uint64_t>(r)});
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<Point> pts;
+    for (int i = 0; i < r; ++i) {
+      Point p(dim);
+      for (int d = 0; d < dim; ++d) p[d] = rng.uniform(-5.0, 5.0);
+      pts.push_back(p);
+    }
+    const WeiszfeldResult w = weiszfeld(pts);
+    const Point bf = brute_force_median(pts, {}, 12, 10);
+    const double bf_obj = sum_distances(bf, pts);
+    // Weiszfeld must be at least as good as the grid search (up to tiny
+    // numerical slack).
+    EXPECT_LE(w.objective, bf_obj + 1e-6 * (1.0 + bf_obj));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndSizes, WeiszfeldVsBruteForce,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2, 3, 5, 9)));
+
+}  // namespace
+}  // namespace mobsrv::med

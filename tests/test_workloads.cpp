@@ -1,0 +1,237 @@
+// Unit tests for adversary/workloads.hpp and adversary/mobility.hpp: the
+// realistic request/agent generators behind experiments E4, E7, E8, E12.
+#include "adversary/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/mobility.hpp"
+#include "geometry/aabb.hpp"
+
+namespace mobsrv::adv {
+namespace {
+
+using geo::Point;
+
+TEST(GaussianAround, CentersAndSpreads) {
+  stats::Rng rng(1);
+  stats::Rng rng2(1);
+  const Point c{5.0, -5.0};
+  // Determinism.
+  EXPECT_EQ(gaussian_around(c, 1.0, rng), gaussian_around(c, 1.0, rng2));
+  // Statistical center.
+  Point mean = Point::zero(2);
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) mean += gaussian_around(c, 2.0, rng);
+  mean /= n;
+  EXPECT_NEAR(mean[0], 5.0, 0.15);
+  EXPECT_NEAR(mean[1], -5.0, 0.15);
+}
+
+TEST(RandomUnitVector, UnitNormAllDims) {
+  stats::Rng rng(2);
+  for (const int dim : {1, 2, 3, 8}) {
+    for (int i = 0; i < 20; ++i)
+      EXPECT_NEAR(random_unit_vector(dim, rng).norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(RandomUnitVector, OneDimensionalIsSignOnly) {
+  stats::Rng rng(3);
+  bool plus = false, minus = false;
+  for (int i = 0; i < 50; ++i) {
+    const double v = random_unit_vector(1, rng)[0];
+    EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+    (v > 0 ? plus : minus) = true;
+  }
+  EXPECT_TRUE(plus && minus);
+}
+
+TEST(DriftingHotspot, RespectsBatchBounds) {
+  DriftingHotspotParams p;
+  p.horizon = 200;
+  p.r_min = 2;
+  p.r_max = 5;
+  stats::Rng rng(4);
+  const sim::Instance inst = make_drifting_hotspot(p, rng);
+  EXPECT_EQ(inst.horizon(), 200u);
+  const auto [lo, hi] = inst.request_bounds();
+  EXPECT_GE(lo, 2u);
+  EXPECT_LE(hi, 5u);
+  EXPECT_EQ(inst.dim(), 2);
+  EXPECT_EQ(inst.params().order, sim::ServiceOrder::kMoveThenServe);
+}
+
+TEST(DriftingHotspot, HotspotActuallyDrifts) {
+  DriftingHotspotParams p;
+  p.horizon = 400;
+  p.drift_speed = 1.0;
+  p.spread = 0.1;
+  stats::Rng rng(5);
+  const sim::Instance inst = make_drifting_hotspot(p, rng);
+  // Requests late in the sequence should be far from the start (a random
+  // walk of 400 unit-ish steps wanders).
+  geo::Aabb box;
+  for (const auto& v : inst.step(inst.horizon() - 1).requests) box.extend(v);
+  // Not a sharp statement — just that the cloud left the origin.
+  EXPECT_GT(geo::distance(box.center(), inst.start()), 1.0);
+}
+
+TEST(DriftingHotspot, Deterministic) {
+  DriftingHotspotParams p;
+  stats::Rng a(6), b(6);
+  const sim::Instance ia = make_drifting_hotspot(p, a);
+  const sim::Instance ib = make_drifting_hotspot(p, b);
+  for (std::size_t t = 0; t < ia.horizon(); ++t) {
+    ASSERT_EQ(ia.step(t).size(), ib.step(t).size());
+    for (std::size_t i = 0; i < ia.step(t).size(); ++i)
+      EXPECT_EQ(ia.step(t).requests[i], ib.step(t).requests[i]);
+  }
+}
+
+TEST(Commute, AlternatesBetweenSites) {
+  CommuteParams p;
+  p.horizon = 128;
+  p.period = 32;
+  p.site_distance = 20.0;
+  p.spread = 0.01;
+  stats::Rng rng(7);
+  const sim::Instance inst = make_commute(p, rng);
+  // First block near site A (x = −10), second near B (x = +10).
+  EXPECT_NEAR(inst.step(0).requests[0][0], -10.0, 1.0);
+  EXPECT_NEAR(inst.step(32).requests[0][0], 10.0, 1.0);
+  EXPECT_NEAR(inst.step(64).requests[0][0], -10.0, 1.0);
+  EXPECT_NEAR(inst.step(96).requests[0][0], 10.0, 1.0);
+}
+
+TEST(Bursts, BetweenRminAndRmax) {
+  BurstParams p;
+  p.horizon = 500;
+  p.r_min = 1;
+  p.r_max = 16;
+  p.burst_probability = 0.25;
+  stats::Rng rng(8);
+  const sim::Instance inst = make_bursts(p, rng);
+  int bursts = 0;
+  for (const auto& step : inst.steps()) {
+    EXPECT_TRUE(step.size() == 1 || step.size() == 16);
+    if (step.size() == 16) ++bursts;
+  }
+  EXPECT_NEAR(bursts, 125, 40);  // ~25% of 500
+}
+
+TEST(UniformNoise, StaysInBox) {
+  UniformNoiseParams p;
+  p.horizon = 100;
+  p.half_width = 4.0;
+  stats::Rng rng(9);
+  const sim::Instance inst = make_uniform_noise(p, rng);
+  for (const auto& step : inst.steps())
+    for (const auto& v : step.requests)
+      for (int d = 0; d < v.dim(); ++d) {
+        EXPECT_GE(v[d], -4.0);
+        EXPECT_LE(v[d], 4.0);
+      }
+}
+
+TEST(RandomWaypoint, RespectsSpeedLimit) {
+  RandomWaypointParams p;
+  p.horizon = 500;
+  p.speed = 1.5;
+  stats::Rng rng(10);
+  const Point start = Point::zero(2);
+  const sim::AgentPath path = make_random_waypoint(p, start, rng);
+  ASSERT_EQ(path.positions.size(), 500u);
+  Point prev = start;
+  for (const auto& pos : path.positions) {
+    EXPECT_LE(geo::distance(prev, pos), 1.5 * (1.0 + 1e-9));
+    prev = pos;
+  }
+}
+
+TEST(RandomWaypoint, ActuallyMovesAndPauses) {
+  RandomWaypointParams p;
+  p.horizon = 400;
+  p.max_pause = 4;
+  stats::Rng rng(11);
+  const sim::AgentPath path = make_random_waypoint(p, Point::zero(2), rng);
+  int moves = 0, stays = 0;
+  Point prev = Point::zero(2);
+  for (const auto& pos : path.positions) {
+    (geo::distance(prev, pos) > 1e-12 ? moves : stays)++;
+    prev = pos;
+  }
+  EXPECT_GT(moves, 100);
+  EXPECT_GT(stays, 5);
+}
+
+TEST(GaussMarkov, RespectsSpeedLimit) {
+  GaussMarkovParams p;
+  p.horizon = 500;
+  p.speed = 2.0;
+  stats::Rng rng(12);
+  const sim::AgentPath path = make_gauss_markov(p, Point::zero(2), rng);
+  Point prev = Point::zero(2);
+  for (const auto& pos : path.positions) {
+    EXPECT_LE(geo::distance(prev, pos), 2.0 * (1.0 + 1e-9));
+    prev = pos;
+  }
+}
+
+TEST(GaussMarkov, VelocityHasMemory) {
+  // With alpha near 1 the heading changes slowly: consecutive step vectors
+  // correlate positively on average.
+  GaussMarkovParams p;
+  p.horizon = 400;
+  p.alpha = 0.95;
+  p.noise_fraction = 0.2;
+  stats::Rng rng(13);
+  const sim::AgentPath path = make_gauss_markov(p, Point::zero(2), rng);
+  double corr = 0.0;
+  int count = 0;
+  Point prev_step = path.positions[0];
+  for (std::size_t t = 1; t < path.positions.size(); ++t) {
+    const Point step = path.positions[t] - path.positions[t - 1];
+    if (prev_step.norm() > 1e-9 && step.norm() > 1e-9) {
+      corr += prev_step.normalized().dot(step.normalized());
+      ++count;
+    }
+    prev_step = step;
+  }
+  EXPECT_GT(corr / count, 0.5);
+}
+
+TEST(ZigZag, PeriodicReversals) {
+  ZigZagParams p;
+  p.horizon = 64;
+  p.half_period = 8;
+  p.speed = 1.0;
+  const sim::AgentPath path = make_zigzag(p, Point::zero(1));
+  // Walks +1 for 8 steps, then −1 for 8 steps, returning to the origin.
+  EXPECT_NEAR(path.positions[7][0], 8.0, 1e-12);
+  EXPECT_NEAR(path.positions[15][0], 0.0, 1e-12);
+  EXPECT_NEAR(path.positions[23][0], 8.0, 1e-12);
+}
+
+TEST(MobilityPaths, ComposeIntoValidMovingClientInstances) {
+  stats::Rng rng(14);
+  const Point start = Point::zero(2);
+  sim::MovingClientInstance mc;
+  mc.start = start;
+  mc.server_speed = 1.0;
+  mc.agent_speed = 1.0;
+  mc.move_cost_weight = 2.0;
+  RandomWaypointParams rw;
+  rw.horizon = 200;
+  rw.speed = 1.0;
+  GaussMarkovParams gm;
+  gm.horizon = 200;
+  gm.speed = 1.0;
+  mc.agents.push_back(make_random_waypoint(rw, start, rng));
+  mc.agents.push_back(make_gauss_markov(gm, start, rng));
+  EXPECT_NO_THROW(mc.validate());
+  const sim::Instance inst = sim::to_instance(mc);
+  EXPECT_EQ(inst.step(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mobsrv::adv
