@@ -1,10 +1,6 @@
 #include "bench_common.hpp"
 
-#include <benchmark/benchmark.h>
-
-#include <cstring>
 #include <iostream>
-#include <vector>
 
 namespace mobsrv::bench {
 
@@ -35,28 +31,3 @@ std::string mean_pm(const stats::Summary& s, int digits) {
 }
 
 }  // namespace mobsrv::bench
-
-int main(int argc, char** argv) {
-  const mobsrv::io::Args args(argc, argv);
-  mobsrv::bench::Options options;
-  options.trials = args.get_int("trials", 6);
-  options.scale = args.get_double("scale", 1.0);
-
-  if (!args.get_bool("no-table", false)) {
-    mobsrv::par::ThreadPool pool;
-    options.pool = &pool;
-    mobsrv::bench::run_reproduction(options);
-  }
-
-  if (args.get_bool("no-bench", false)) return 0;
-
-  // Forward only google-benchmark flags (it rejects unknown ones).
-  std::vector<char*> bench_argv{argv[0]};
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--benchmark", 11) == 0) bench_argv.push_back(argv[i]);
-  int bench_argc = static_cast<int>(bench_argv.size());
-  benchmark::Initialize(&bench_argc, bench_argv.data());
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}

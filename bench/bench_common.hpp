@@ -1,13 +1,12 @@
 /// \file bench_common.hpp
-/// Shared main() and helpers for the experiment bench binaries.
+/// Shared option struct and helpers for the experiment scenarios.
 ///
-/// Every bench binary is a *reproduction artifact*: running it prints the
+/// Every experiment is a *reproduction artifact*: running it prints the
 /// markdown table(s) for its experiment (the analogue of a table/figure in
-/// the paper's evaluation, which this theory paper does not have — see
-/// DESIGN.md), followed by google-benchmark timings of the hot kernels.
-///
-/// Flags: --trials=N (per sweep row), --scale=F (horizon scale), --no-table,
-/// --benchmark_* (forwarded to google-benchmark).
+/// the paper's evaluation, which this theory paper does not have), followed
+/// by google-benchmark timings of the hot kernels. Experiments register
+/// themselves in the scenario registry (see registry.hpp) and run through
+/// the single `mobsrv_bench` driver binary.
 #pragma once
 
 #include <span>
@@ -17,20 +16,17 @@
 
 namespace mobsrv::bench {
 
-/// Options handed to each binary's run_reproduction().
+/// Options handed to each experiment's runner.
 struct Options {
   int trials = 6;      ///< trials per sweep row
   double scale = 1.0;  ///< multiply default horizons (use < 1 for smoke runs)
-  par::ThreadPool* pool = nullptr;  ///< never null inside run_reproduction
+  par::ThreadPool* pool = nullptr;  ///< never null inside an experiment runner
 
   [[nodiscard]] std::size_t horizon(std::size_t base) const {
     const auto h = static_cast<std::size_t>(static_cast<double>(base) * scale);
     return h < 16 ? 16 : h;
   }
 };
-
-/// Implemented by each bench binary: prints its experiment tables.
-void run_reproduction(const Options& options);
 
 /// Prints "fitted exponent" verdict line: fits y ~ x^p on log-log, compares
 /// p against [expected_lo, expected_hi].

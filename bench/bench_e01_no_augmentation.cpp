@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -36,7 +37,7 @@ core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double d
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e01, "Theorem 1: lower bound Ω(√T/D) without augmentation") {
   std::cout << "# E1 — Theorem 1: lower bound Ω(√T/D) without augmentation\n"
             << "Claim: every online algorithm's ratio grows with √T when it has no\n"
             << "speed advantage; the construction separates server and requests by √T·m.\n\n";

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -38,7 +39,7 @@ core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double d
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e02, "Theorem 2: lower bound Ω((1/δ)·Rmax/Rmin) with augmentation") {
   std::cout << "# E2 — Theorem 2: lower bound Ω((1/δ)·Rmax/Rmin) with augmentation\n"
             << "Claim: the adversary alternates a pin-down phase (Rmin requests) with a\n"
             << "chase phase (Rmax requests riding away) calibrated so the augmented\n"

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -36,7 +37,7 @@ core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, std::siz
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e03, "Theorem 3: Answer-First lower bound Ω(r/D)") {
   std::cout << "# E3 — Theorem 3: Answer-First lower bound Ω(r/D)\n"
             << "Claim: when requests must be answered before moving, a two-step\n"
             << "coin-flip cycle costs the online server r·m per cycle (in expectation\n"

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -46,7 +47,7 @@ core::RatioEstimate measure(par::ThreadPool& pool, const core::SampleFn& sampler
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e04, "Theorem 4: MtC upper bounds under augmentation") {
   std::cout << "# E4 — Theorem 4: MtC upper bounds under augmentation\n"
             << "Claim: O((1/δ)·Rmax/Rmin) on the line, O((1/δ^{3/2})·Rmax/Rmin) in the\n"
             << "plane; in particular the ratio is independent of T.\n\n";

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -28,7 +29,7 @@ sim::Instance hotspot(std::size_t horizon, std::size_t r, double d_weight, stats
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e05, "Theorem 7: MtC in the Answer-First variant") {
   std::cout << "# E5 — Theorem 7: MtC in the Answer-First variant\n"
             << "Claim: O((1/δ^{3/2})·r/D) for fixed r ≥ D; proof relates the two\n"
             << "service orders by a factor 2·max(1, r/D) on the same sequence.\n\n";

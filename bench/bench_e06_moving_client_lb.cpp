@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -36,7 +37,7 @@ core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double e
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e06, "Theorem 8: Moving Client lower bound Ω(√T·ε/(1+ε))") {
   std::cout << "# E6 — Theorem 8: Moving Client lower bound Ω(√T·ε/(1+ε))\n"
             << "Claim: a client moving at (1+ε)·m_s can lure a wrong-guessing server\n"
             << "√T·ε·m_s behind and outrun it forever; no augmentation, ratio grows with T.\n\n";

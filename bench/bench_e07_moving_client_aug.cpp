@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -37,7 +38,7 @@ core::RatioEstimate measure_adversarial(par::ThreadPool& pool, std::size_t horiz
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e07, "Corollary 9: augmentation tames the Moving Client adversary") {
   std::cout << "# E7 — Corollary 9: augmentation tames the Moving Client adversary\n"
             << "Claim: with speed (1+δ)·m_s, MtC is O(1/δ^{3/2})-competitive against a\n"
             << "moving client — the E6 growth disappears.\n\n";

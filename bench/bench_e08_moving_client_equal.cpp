@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -68,7 +69,7 @@ core::RatioEstimate measure(par::ThreadPool& pool, const std::string& model, std
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e08, "Theorem 10: equal speeds ⇒ O(1)-competitive without augmentation") {
   std::cout << "# E8 — Theorem 10: equal speeds ⇒ O(1)-competitive without augmentation\n"
             << "Claim: MtC's rule (move min(m_s, d/D) toward the agent) yields a constant\n"
             << "ratio — the paper's constants are ≤ 36, measured values are far below.\n\n";

@@ -9,10 +9,11 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e09, "Lemmas 5 & 6 / Figures 1 & 2: geometric proof machinery") {
   std::cout << "# E9 — Lemmas 5 & 6 / Figures 1 & 2: geometric proof machinery\n"
             << "Claim (L6): s2 ≤ √δ/(1+δ/2)·a2 ⇒ h−q ≥ (1+δ/2)/(1+δ)·a1.\n"
             << "Claim (L5): point-reduction loses ≤ factor 4+1; median optimality.\n\n"

@@ -10,10 +10,11 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e10, "potential-function audit (Theorem 4's engine)") {
   std::cout << "# E10 — potential-function audit (Theorem 4's engine)\n"
             << "Claim: for every configuration and every feasible OPT move, one MtC\n"
             << "step satisfies C_Alg + Δφ ≤ K(δ)·C_Opt with K(δ) = O(1/δ^{3/2}).\n\n";

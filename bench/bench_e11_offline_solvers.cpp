@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -25,7 +26,7 @@ sim::Instance workload(std::size_t horizon, std::uint64_t seed) {
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e11, "offline solver quality (the OPT oracles)") {
   std::cout << "# E11 — offline solver quality (the OPT oracles)\n"
             << "The DP brackets OPT between a feasible cost and a certified lower\n"
             << "bound; the convex solver must land inside that bracket.\n\n";

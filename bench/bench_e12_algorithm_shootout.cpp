@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
@@ -51,7 +52,7 @@ core::SampleFn make_workload(const std::string& name, std::size_t horizon) {
 
 }  // namespace
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e12, "algorithm shootout on edge-computing workloads") {
   std::cout << "# E12 — algorithm shootout on edge-computing workloads\n"
             << "All algorithms share each sampled instance and are scored against the\n"
             << "same feasible offline solution (convex descent), at δ = 0.5.\n\n";

@@ -8,10 +8,11 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "registry.hpp"
 
 namespace mobsrv::bench {
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e13, "engine & harness throughput") {
   std::cout << "# E13 — engine & harness throughput\n\n";
 
   // Quick wall-clock summary of engine throughput at varying batch size.

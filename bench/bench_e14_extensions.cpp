@@ -13,11 +13,12 @@
 
 #include "algorithms/parametric.hpp"
 #include "bench_common.hpp"
+#include "registry.hpp"
 #include "ext/multi_server.hpp"
 
 namespace mobsrv::bench {
 
-void run_reproduction(const Options& options) {
+MOBSRV_BENCH_EXPERIMENT(e14, "ablations: MtC damping exponent; multi-server extension") {
   std::cout << "# E14 — ablations: MtC damping exponent; multi-server extension\n\n";
 
   // (a) damping ablation. γ = 1 is MtC's *worst-case* choice: heavier

@@ -1,0 +1,156 @@
+/// \file main.cpp
+/// The single experiment driver. Replaces the 14 standalone bench binaries.
+///
+///   mobsrv_bench --list                 # enumerate registered experiments
+///   mobsrv_bench                        # run every experiment, full scale
+///   mobsrv_bench --only=e01,e12         # run a subset, in the given order
+///   mobsrv_bench --smoke                # fast end-to-end check (CI)
+///   mobsrv_bench --trials=N --scale=F   # override sweep parameters
+///   mobsrv_bench --no-table             # skip reproduction tables
+///   mobsrv_bench --no-bench             # skip google-benchmark timings
+///   mobsrv_bench --benchmark_filter=... # forwarded to google-benchmark
+///
+/// Kernel timings are registered per translation unit, not per experiment,
+/// so --only does not scope them; subset runs skip timings unless an
+/// explicit --benchmark_* flag asks for them.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "core/mobsrv.hpp"
+#include "registry.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: mobsrv_bench [--list] [--only=e01,e05,...] [--trials=N] [--scale=F]\n"
+        "                    [--smoke] [--no-table] [--no-bench] [--benchmark_*...]\n"
+        "With --only, kernel timings run only when a --benchmark_* flag is given\n"
+        "(they are registered per binary and cannot be scoped to a selection).\n";
+}
+
+void print_list(std::ostream& os) {
+  os << "registered experiments:\n";
+  for (const mobsrv::bench::Experiment& e : mobsrv::bench::Registry::instance().experiments())
+    os << "  " << e.id << "  " << e.title << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mobsrv::io::Args args(argc, argv);
+
+  // Reject typo'd flags and stray positionals up front — a silently ignored
+  // `--smok` (or `smoke` without dashes) would run the full-scale sweeps
+  // instead of the smoke subset.
+  static const char* known_flags[] = {"help",  "list",  "only",     "trials",
+                                      "scale", "smoke", "no-table", "no-bench"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.rfind("--benchmark", 0) == 0) continue;
+    const std::string name = arg.substr(2, arg.find('=') - 2);
+    bool known = false;
+    for (const char* flag : known_flags) known = known || name == flag;
+    if (!known) {
+      std::cerr << "mobsrv_bench: unknown flag --" << name << "\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+  }
+  if (!args.positionals().empty()) {
+    std::cerr << "mobsrv_bench: unexpected argument '" << args.positionals().front()
+              << "' (flags start with --)\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  bool explicit_benchmark_flags = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) explicit_benchmark_flags = true;
+
+  // Args getters throw ContractViolation on malformed values ("--trials=abc").
+  bool no_table = false;
+  bool run_kernels = false;
+  mobsrv::bench::Options options;
+  std::vector<mobsrv::bench::Experiment> selected;
+  try {
+    if (args.get_bool("help", false)) {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (args.get_bool("list", false)) {
+      print_list(std::cout);
+      return 0;
+    }
+
+    const bool smoke = args.get_bool("smoke", false);
+    options.trials = args.get_int("trials", smoke ? 2 : 6);
+    options.scale = args.get_double("scale", smoke ? 0.05 : 1.0);
+    if (options.trials < 1) throw mobsrv::ContractViolation("flag --trials must be >= 1");
+    if (options.scale <= 0.0) throw mobsrv::ContractViolation("flag --scale must be > 0");
+    no_table = args.get_bool("no-table", false);
+
+    const std::vector<std::string> only_ids =
+        mobsrv::bench::parse_only_list(args.get_string("only", ""));
+    try {
+      selected = mobsrv::bench::Registry::instance().select(only_ids);
+    } catch (const mobsrv::ContractViolation& error) {
+      std::cerr << "mobsrv_bench: " << error.what() << "\n";
+      print_list(std::cerr);
+      return 2;
+    }
+
+    // Smoke runs are a table-level end-to-end check, and kernel timings
+    // cannot be scoped to an --only subset; in both cases run them only on
+    // explicit request.
+    run_kernels = !args.get_bool("no-bench", false) &&
+                  (explicit_benchmark_flags || (!smoke && only_ids.empty()));
+  } catch (const mobsrv::ContractViolation& error) {
+    std::cerr << "mobsrv_bench: " << error.what() << "\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  if (!no_table) {
+    mobsrv::par::ThreadPool pool;
+    options.pool = &pool;
+    for (const mobsrv::bench::Experiment& experiment : selected) {
+      std::cout << "== " << experiment.id << " — " << experiment.title << " ==\n";
+      try {
+        experiment.run(options);
+      } catch (const std::exception& error) {
+        std::cerr << "mobsrv_bench: experiment " << experiment.id << " failed: " << error.what()
+                  << "\n";
+        return 1;
+      }
+    }
+  }
+
+  if (!run_kernels) {
+    if (no_table)
+      std::cerr << "mobsrv_bench: nothing to do — tables disabled by --no-table and kernel "
+                   "timings need an explicit --benchmark_* flag with --only/--smoke\n";
+    return 0;
+  }
+
+  // Forward only google-benchmark flags (it rejects unknown ones),
+  // re-joining "--flag value" pairs into the "--flag=value" form it expects.
+  std::vector<std::string> bench_flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) != 0) continue;
+    std::string flag = argv[i];
+    if (flag.find('=') == std::string::npos && i + 1 < argc &&
+        std::strncmp(argv[i + 1], "--", 2) != 0)
+      flag += std::string("=") + argv[++i];
+    bench_flags.push_back(std::move(flag));
+  }
+  std::vector<char*> bench_argv{argv[0]};
+  for (std::string& flag : bench_flags) bench_argv.push_back(flag.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "registry.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::bench {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+bool Registry::add(Experiment experiment) {
+  for (const Experiment& existing : experiments_)
+    if (existing.id == experiment.id)
+      throw ContractViolation("duplicate experiment id: " + experiment.id);
+  experiments_.push_back(std::move(experiment));
+  return true;
+}
+
+std::vector<Experiment> Registry::experiments() const {
+  std::vector<Experiment> sorted = experiments_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Experiment& a, const Experiment& b) { return a.id < b.id; });
+  return sorted;
+}
+
+std::vector<Experiment> Registry::select(const std::vector<std::string>& only_ids) const {
+  const std::vector<Experiment> all = experiments();
+  if (only_ids.empty()) return all;
+  std::vector<Experiment> selected;
+  for (const std::string& id : only_ids) {
+    const auto it = std::find_if(all.begin(), all.end(),
+                                 [&id](const Experiment& e) { return e.id == id; });
+    if (it == all.end()) throw ContractViolation("unknown experiment id: " + id);
+    selected.push_back(*it);
+  }
+  return selected;
+}
+
+std::vector<std::string> parse_only_list(const std::string& value) {
+  std::vector<std::string> ids;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    std::size_t end = value.find(',', begin);
+    if (end == std::string::npos) end = value.size();
+    std::string id = value.substr(begin, end - begin);
+    const auto first = id.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      id.clear();
+    } else {
+      const auto last = id.find_last_not_of(" \t");
+      id = id.substr(first, last - first + 1);
+    }
+    if (!id.empty() && std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+    begin = end + 1;
+  }
+  return ids;
+}
+
+}  // namespace mobsrv::bench

@@ -1,0 +1,62 @@
+/// \file registry.hpp
+/// Scenario registry for the experiment driver.
+///
+/// Each experiment translation unit self-registers an (id, title, runner)
+/// triple via MOBSRV_BENCH_EXPERIMENT; the single `mobsrv_bench` binary
+/// lists, selects (`--only=e01,e05`) and runs them. Registration order is
+/// irrelevant — experiments() always returns ids sorted ascending, so the
+/// driver's output order is stable regardless of link order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace mobsrv::bench {
+
+/// One self-registered experiment.
+struct Experiment {
+  std::string id;     ///< short selector, e.g. "e01"
+  std::string title;  ///< one-line description shown by --list
+  std::function<void(const Options&)> run;
+};
+
+/// Process-wide experiment table.
+class Registry {
+ public:
+  /// The singleton used by MOBSRV_BENCH_EXPERIMENT.
+  [[nodiscard]] static Registry& instance();
+
+  /// Registers an experiment. Throws ContractViolation on a duplicate id.
+  /// Returns true so registration can initialise a static.
+  bool add(Experiment experiment);
+
+  /// All experiments, sorted by id.
+  [[nodiscard]] std::vector<Experiment> experiments() const;
+
+  /// Experiments matching \p only_ids (all of them when the list is empty).
+  /// Throws ContractViolation when an id in the list is not registered.
+  [[nodiscard]] std::vector<Experiment> select(const std::vector<std::string>& only_ids) const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+/// Splits a `--only` value ("e01,e05, e12") into trimmed, de-duplicated ids,
+/// preserving first-occurrence order. Empty segments are dropped.
+[[nodiscard]] std::vector<std::string> parse_only_list(const std::string& value);
+
+}  // namespace mobsrv::bench
+
+/// Defines and registers an experiment runner. Usage:
+///
+///   MOBSRV_BENCH_EXPERIMENT(e01, "Theorem 1: ...") {
+///     ... body using `options` ...
+///   }
+#define MOBSRV_BENCH_EXPERIMENT(id, title)                                            \
+  static void mobsrv_bench_run_##id(const ::mobsrv::bench::Options& options);         \
+  [[maybe_unused]] static const bool mobsrv_bench_reg_##id =                          \
+      ::mobsrv::bench::Registry::instance().add({#id, (title), &mobsrv_bench_run_##id}); \
+  static void mobsrv_bench_run_##id(const ::mobsrv::bench::Options& options)

@@ -1,0 +1,97 @@
+// Unit tests for the two registries: name-based algorithm construction
+// (algorithms/registry.hpp) and the bench scenario registry + --only
+// selection parsing (bench/registry.hpp).
+#include "algorithms/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "registry.hpp"
+
+namespace mobsrv {
+namespace {
+
+TEST(AlgorithmRegistry, MakesEveryRegisteredName) {
+  for (const std::string& name : alg::algorithm_names()) {
+    const sim::AlgorithmPtr algorithm = alg::make_algorithm(name, /*seed=*/7);
+    ASSERT_NE(algorithm, nullptr) << name;
+  }
+}
+
+TEST(AlgorithmRegistry, UnknownNameThrows) {
+  EXPECT_THROW(alg::make_algorithm("NoSuchAlgorithm"), ContractViolation);
+  EXPECT_THROW(alg::make_algorithm(""), ContractViolation);
+  EXPECT_THROW(alg::make_algorithm("mtc"), ContractViolation);  // names are case-sensitive
+}
+
+TEST(AlgorithmRegistry, NamesAreInShootoutDisplayOrder) {
+  const std::vector<std::string> expected{"MtC", "GreedyCenter", "MoveToMin", "CoinFlip", "Lazy"};
+  EXPECT_EQ(alg::algorithm_names(), expected);
+}
+
+TEST(OnlyListParsing, SplitsTrimsAndDeduplicates) {
+  using bench::parse_only_list;
+  EXPECT_TRUE(parse_only_list("").empty());
+  EXPECT_EQ(parse_only_list("e01"), (std::vector<std::string>{"e01"}));
+  EXPECT_EQ(parse_only_list("e01,e05"), (std::vector<std::string>{"e01", "e05"}));
+  EXPECT_EQ(parse_only_list(" e01 , e05 "), (std::vector<std::string>{"e01", "e05"}));
+  EXPECT_EQ(parse_only_list("e01,,e05,"), (std::vector<std::string>{"e01", "e05"}));
+  EXPECT_EQ(parse_only_list("e05,e01,e05"), (std::vector<std::string>{"e05", "e01"}));
+}
+
+bench::Registry make_registry() {
+  bench::Registry registry;
+  registry.add({"e02", "second", [](const bench::Options&) {}});
+  registry.add({"e01", "first", [](const bench::Options&) {}});
+  registry.add({"e10", "tenth", [](const bench::Options&) {}});
+  return registry;
+}
+
+TEST(BenchRegistry, ExperimentsAreSortedById) {
+  const bench::Registry registry = make_registry();
+  const std::vector<bench::Experiment> all = registry.experiments();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, "e01");
+  EXPECT_EQ(all[1].id, "e02");
+  EXPECT_EQ(all[2].id, "e10");
+}
+
+TEST(BenchRegistry, DuplicateIdThrows) {
+  bench::Registry registry = make_registry();
+  EXPECT_THROW(registry.add({"e01", "again", [](const bench::Options&) {}}), ContractViolation);
+}
+
+TEST(BenchRegistry, EmptySelectionReturnsEverything) {
+  const bench::Registry registry = make_registry();
+  EXPECT_EQ(registry.select({}).size(), 3u);
+}
+
+TEST(BenchRegistry, SelectionPreservesRequestOrder) {
+  const bench::Registry registry = make_registry();
+  const std::vector<bench::Experiment> selected = registry.select({"e10", "e01"});
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].id, "e10");
+  EXPECT_EQ(selected[0].title, "tenth");
+  EXPECT_EQ(selected[1].id, "e01");
+}
+
+TEST(BenchRegistry, UnknownSelectionThrows) {
+  const bench::Registry registry = make_registry();
+  EXPECT_THROW(registry.select({"e99"}), ContractViolation);
+  EXPECT_THROW(registry.select({"e01", "bogus"}), ContractViolation);
+}
+
+TEST(BenchRegistry, EndToEndOnlyFlagSelection) {
+  const bench::Registry registry = make_registry();
+  const std::vector<bench::Experiment> selected =
+      registry.select(bench::parse_only_list("e01, e10"));
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].id, "e01");
+  EXPECT_EQ(selected[1].id, "e10");
+}
+
+}  // namespace
+}  // namespace mobsrv
