@@ -1,29 +1,185 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iostream>
+
+namespace {
+
+/// JSON cannot hold inf/NaN; degenerate sweeps (e.g. a zero minimum ratio
+/// at smoke scale) must yield null, not a serialisation abort.
+mobsrv::io::Json finite_or_null(double v) {
+  return std::isfinite(v) ? mobsrv::io::Json(v) : mobsrv::io::Json(nullptr);
+}
+
+}  // namespace
 
 namespace mobsrv::bench {
 
-void print_fit(const std::string& label, std::span<const double> x, std::span<const double> y,
-               double expected_lo, double expected_hi) {
+// ---------------------------------------------------------------------------
+// Report.
+// ---------------------------------------------------------------------------
+
+void Report::begin_experiment(const std::string& id, const std::string& title) {
+  ExperimentReport experiment;
+  experiment.id = id;
+  experiment.title = title;
+  experiments_.push_back(std::move(experiment));
+}
+
+void Report::end_experiment(double seconds) {
+  MOBSRV_CHECK_MSG(!experiments_.empty(), "end_experiment without begin_experiment");
+  experiments_.back().seconds = seconds;
+}
+
+void Report::add_table(const io::Table& table) {
+  MOBSRV_CHECK_MSG(!experiments_.empty(), "add_table outside an experiment");
+  experiments_.back().tables.push_back(table);
+}
+
+void Report::add_check(CheckResult check) {
+  MOBSRV_CHECK_MSG(!experiments_.empty(), "add_check outside an experiment");
+  experiments_.back().checks.push_back(std::move(check));
+}
+
+io::Json Report::to_json() const {
+  io::Json root = io::Json::object();
+  root.set("tool", "mobsrv_bench");
+  root.set("format_version", 1);
+  root.set("trials", trials);
+  root.set("scale", scale);
+  root.set("seed", seed);
+
+  io::Json experiments = io::Json::array();
+  for (const ExperimentReport& e : experiments_) {
+    io::Json experiment = io::Json::object();
+    experiment.set("id", e.id);
+    experiment.set("title", e.title);
+    experiment.set("seconds", e.seconds);
+
+    io::Json tables = io::Json::array();
+    for (const io::Table& t : e.tables) {
+      io::Json table = io::Json::object();
+      table.set("title", t.title());
+      io::Json columns = io::Json::array();
+      for (const std::string& c : t.columns()) columns.push_back(c);
+      table.set("columns", std::move(columns));
+      io::Json rows = io::Json::array();
+      for (std::size_t r = 0; r < t.num_rows(); ++r) {
+        io::Json row = io::Json::array();
+        for (std::size_t c = 0; c < t.num_columns(); ++c) row.push_back(t.at(r, c));
+        rows.push_back(std::move(row));
+      }
+      table.set("rows", std::move(rows));
+      tables.push_back(std::move(table));
+    }
+    experiment.set("tables", std::move(tables));
+
+    io::Json checks = io::Json::array();
+    for (const CheckResult& c : e.checks) {
+      io::Json check = io::Json::object();
+      check.set("kind", c.kind);
+      check.set("label", c.label);
+      check.set("measured", finite_or_null(c.measured));
+      check.set("bound_lo", finite_or_null(c.bound_lo));
+      check.set("bound_hi", finite_or_null(c.bound_hi));
+      check.set("pass", c.pass);
+      checks.push_back(std::move(check));
+    }
+    experiment.set("checks", std::move(checks));
+
+    experiments.push_back(std::move(experiment));
+  }
+  root.set("experiments", std::move(experiments));
+  if (replay) root.set("replay", *replay);
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// Options.
+// ---------------------------------------------------------------------------
+
+std::uint64_t Options::seed_key(std::string_view stream,
+                                std::initializer_list<std::uint64_t> keys) const {
+  std::uint64_t key = stats::mix_keys({seed, stats::hash_name(stream)});
+  for (const std::uint64_t k : keys) key = stats::mix_keys({key, k});
+  return key;
+}
+
+stats::Rng Options::rng(std::string_view stream, std::initializer_list<std::uint64_t> keys) const {
+  return stats::Rng(seed_key(stream, keys));
+}
+
+core::RatioOptions Options::ratio_options(std::string_view stream,
+                                          std::initializer_list<std::uint64_t> keys) const {
+  core::RatioOptions opt;
+  opt.trials = trials;
+  opt.seed_key = seed_key(stream, keys);
+  if (recorder != nullptr) {
+    // Snapshot one representative run per sweep row (trial 0): the full
+    // instance plus the observed engine run, replayable bit-identically.
+    trace::Recorder* rec = recorder;
+    std::string name(stream);
+    const std::uint64_t row_key = opt.seed_key;
+    opt.observe = [rec, name, row_key](const core::TrialObservation& obs) {
+      if (obs.trial != 0) return;
+      char key_hex[32];
+      std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                    static_cast<unsigned long long>(row_key));
+      trace::TraceFile file(trace::TraceMeta{name + "-" + key_hex, "mobsrv_bench", row_key},
+                            obs.sample->instance);
+      if (obs.sample->adversary_cost > 0.0)
+        file.adversary =
+            trace::AdversaryInfo{obs.sample->adversary_cost, obs.sample->adversary_positions};
+      file.runs.push_back(trace::to_recorded_run(obs.algorithm->name(), obs.algo_seed,
+                                                 obs.speed_factor, obs.policy, *obs.run));
+      rec->write(file);
+    };
+  }
+  return opt;
+}
+
+void Options::emit(const io::Table& table) const {
+  table.print(std::cout);
+  if (report != nullptr) report->add_table(table);
+}
+
+// ---------------------------------------------------------------------------
+// Verdict helpers.
+// ---------------------------------------------------------------------------
+
+void check_fit(const Options& options, const std::string& label, std::span<const double> x,
+               std::span<const double> y, double expected_lo, double expected_hi) {
   const stats::LinearFit fit = stats::loglog_fit(x, y);
   const bool pass = fit.slope >= expected_lo && fit.slope <= expected_hi;
   std::cout << "  fit[" << label << "]: measured exponent " << io::format_double(fit.slope, 3)
             << " (stderr " << io::format_double(fit.slope_stderr, 2) << ", R² "
             << io::format_double(fit.r2, 3) << "); claim range [" << expected_lo << ", "
             << expected_hi << "] → " << (pass ? "PASS" : "CHECK") << "\n";
+  if (options.report != nullptr)
+    options.report->add_check({"fit", label, fit.slope, expected_lo, expected_hi, pass});
 }
 
-void print_flatness(const std::string& label, std::span<const double> y, double max_factor) {
+void check_flatness(const Options& options, const std::string& label, std::span<const double> y,
+                    double max_factor) {
   double lo = y[0], hi = y[0];
   for (const double v : y) {
     lo = std::min(lo, v);
     hi = std::max(hi, v);
   }
   const double factor = hi / lo;
+  const bool pass = factor <= max_factor;
   std::cout << "  flat[" << label << "]: max/min over sweep = " << io::format_double(factor, 3)
-            << " (bound " << max_factor << ") → " << (factor <= max_factor ? "PASS" : "CHECK")
-            << "\n";
+            << " (bound " << max_factor << ") → " << (pass ? "PASS" : "CHECK") << "\n";
+  if (options.report != nullptr)
+    options.report->add_check({"flatness", label, factor, 1.0, max_factor, pass});
+}
+
+void record_check(const Options& options, const std::string& label, double measured,
+                  double bound_lo, double bound_hi, bool pass) {
+  if (options.report != nullptr)
+    options.report->add_check({"bound", label, measured, bound_lo, bound_hi, pass});
 }
 
 std::string mean_pm(const stats::Summary& s, int digits) {

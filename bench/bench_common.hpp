@@ -1,5 +1,6 @@
 /// \file bench_common.hpp
-/// Shared option struct and helpers for the experiment scenarios.
+/// Shared option struct, result report and helpers for the experiment
+/// scenarios.
 ///
 /// Every experiment is a *reproduction artifact*: running it prints the
 /// markdown table(s) for its experiment (the analogue of a table/figure in
@@ -7,35 +8,117 @@
 /// by google-benchmark timings of the hot kernels. Experiments register
 /// themselves in the scenario registry (see registry.hpp) and run through
 /// the single `mobsrv_bench` driver binary.
+///
+/// All per-experiment plumbing lives here so experiment files contain only
+/// science: Options derives every RNG stream from the global --seed, emit()
+/// both prints a table and captures it for --json, check_fit/check_flatness
+/// print verdicts and record them, and ratio_options() wires the --record-dir
+/// trace capture into the ratio harness.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/mobsrv.hpp"
 
 namespace mobsrv::bench {
 
+/// One PASS/CHECK verdict printed by an experiment.
+struct CheckResult {
+  std::string kind;   ///< "fit" or "flatness"
+  std::string label;
+  double measured = 0.0;
+  double bound_lo = 0.0;
+  double bound_hi = 0.0;
+  bool pass = false;
+};
+
+/// Structured results of one driver invocation; serialised by --json. The
+/// driver brackets each experiment with begin/end; emit()/check helpers
+/// append to the current experiment.
+class Report {
+ public:
+  void begin_experiment(const std::string& id, const std::string& title);
+  void end_experiment(double seconds);
+
+  void add_table(const io::Table& table);
+  void add_check(CheckResult check);
+
+  /// Driver-level context echoed into the JSON root.
+  int trials = 0;
+  double scale = 1.0;
+  std::uint64_t seed = 0;
+
+  /// Replay summary (set by --replay), spliced into the root when present.
+  std::optional<io::Json> replay;
+
+  [[nodiscard]] io::Json to_json() const;
+
+ private:
+  struct ExperimentReport {
+    std::string id;
+    std::string title;
+    double seconds = 0.0;
+    std::vector<io::Table> tables;
+    std::vector<CheckResult> checks;
+  };
+  std::vector<ExperimentReport> experiments_;
+};
+
 /// Options handed to each experiment's runner.
 struct Options {
   int trials = 6;      ///< trials per sweep row
   double scale = 1.0;  ///< multiply default horizons (use < 1 for smoke runs)
-  par::ThreadPool* pool = nullptr;  ///< never null inside an experiment runner
+  std::uint64_t seed = 0;  ///< global --seed; 0 is the default stream
+  par::ThreadPool* pool = nullptr;      ///< never null inside an experiment runner
+  Report* report = nullptr;             ///< never null inside an experiment runner
+  trace::Recorder* recorder = nullptr;  ///< non-null iff --record-dir was given
 
   [[nodiscard]] std::size_t horizon(std::size_t base) const {
     const auto h = static_cast<std::size_t>(static_cast<double>(base) * scale);
     return h < 16 ? 16 : h;
   }
+
+  /// Stable seed key for a named stream, derived from the global seed. Two
+  /// runs with the same --seed produce identical keys (and therefore
+  /// identical results); different --seed values decorrelate every stream.
+  [[nodiscard]] std::uint64_t seed_key(std::string_view stream,
+                                      std::initializer_list<std::uint64_t> keys = {}) const;
+
+  /// A fresh generator for the named stream.
+  [[nodiscard]] stats::Rng rng(std::string_view stream,
+                               std::initializer_list<std::uint64_t> keys = {}) const;
+
+  /// Ratio-harness options pre-wired with trials, the stream's seed key and
+  /// (when recording) a trace-capture observer that snapshots trial 0 of
+  /// this sweep row into the --record-dir.
+  [[nodiscard]] core::RatioOptions ratio_options(
+      std::string_view stream, std::initializer_list<std::uint64_t> keys = {}) const;
+
+  /// Prints the table to stdout and captures it into the report.
+  void emit(const io::Table& table) const;
 };
 
-/// Prints "fitted exponent" verdict line: fits y ~ x^p on log-log, compares
-/// p against [expected_lo, expected_hi].
-void print_fit(const std::string& label, std::span<const double> x, std::span<const double> y,
-               double expected_lo, double expected_hi);
+/// Prints and records a "fitted exponent" verdict line: fits y ~ x^p on
+/// log-log, compares p against [expected_lo, expected_hi].
+void check_fit(const Options& options, const std::string& label, std::span<const double> x,
+               std::span<const double> y, double expected_lo, double expected_hi);
 
-/// Prints a boundedness verdict: max(y)/min(y) across the sweep must stay
-/// below `max_factor`.
-void print_flatness(const std::string& label, std::span<const double> y, double max_factor);
+/// Prints and records a boundedness verdict: max(y)/min(y) across the sweep
+/// must stay below `max_factor`.
+void check_flatness(const Options& options, const std::string& label, std::span<const double> y,
+                    double max_factor);
+
+/// Records a custom verdict into the report WITHOUT printing — for checks
+/// whose console formatting doesn't fit check_fit/check_flatness. Keeps
+/// --json complete: every printed PASS/CHECK must also land here.
+void record_check(const Options& options, const std::string& label, double measured,
+                  double bound_lo, double bound_hi, bool pass);
 
 /// Formats "mean ± stderr".
 [[nodiscard]] std::string mean_pm(const stats::Summary& s, int digits = 3);

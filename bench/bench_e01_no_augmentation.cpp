@@ -15,16 +15,13 @@ namespace mobsrv::bench {
 
 namespace {
 
-core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double d_weight,
-                            int trials) {
-  core::RatioOptions opt;
-  opt.trials = trials;
+core::RatioEstimate measure(const Options& options, std::size_t horizon, double d_weight) {
+  core::RatioOptions opt =
+      options.ratio_options("e01", {horizon, static_cast<std::uint64_t>(d_weight)});
   opt.speed_factor = 1.0;  // NO augmentation — the point of Theorem 1
   opt.oracle = core::OptOracle::kAdversaryCost;
-  opt.seed_key = stats::mix_keys({stats::hash_name("e01"), horizon,
-                                  static_cast<std::uint64_t>(d_weight)});
   return core::estimate_ratio(
-      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
       [horizon, d_weight](std::size_t, stats::Rng& rng) {
         adv::Theorem1Params p;
         p.horizon = horizon;
@@ -48,7 +45,7 @@ MOBSRV_BENCH_EXPERIMENT(e01, "Theorem 1: lower bound Ω(√T/D) without augmenta
   for (const double d_weight : {1.0, 4.0, 16.0}) {
     for (const std::size_t base : {256u, 1024u, 4096u, 16384u}) {
       const std::size_t horizon = options.horizon(base);
-      const core::RatioEstimate est = measure(*options.pool, horizon, d_weight, options.trials);
+      const core::RatioEstimate est = measure(options, horizon, d_weight);
       table.row()
           .cell(horizon)
           .cell(d_weight, 3)
@@ -62,8 +59,8 @@ MOBSRV_BENCH_EXPERIMENT(e01, "Theorem 1: lower bound Ω(√T/D) without augmenta
       }
     }
   }
-  table.print(std::cout);
-  print_fit("ratio vs T at D=1 (claim √T ⇒ 0.5)", horizons, ratios_d1, 0.35, 0.65);
+  options.emit(table);
+  check_fit(options, "ratio vs T at D=1 (claim √T ⇒ 0.5)", horizons, ratios_d1, 0.35, 0.65);
   std::cout << "\n";
 }
 

@@ -15,16 +15,14 @@ namespace mobsrv::bench {
 
 namespace {
 
-core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double delta,
-                            std::size_t r_min, std::size_t r_max, int trials) {
-  core::RatioOptions opt;
-  opt.trials = trials;
+core::RatioEstimate measure(const Options& options, std::size_t horizon, double delta,
+                            std::size_t r_min, std::size_t r_max) {
+  core::RatioOptions opt = options.ratio_options(
+      "e02", {horizon, static_cast<std::uint64_t>(delta * 1e6), r_min, r_max});
   opt.speed_factor = 1.0 + delta;
   opt.oracle = core::OptOracle::kAdversaryCost;
-  opt.seed_key = stats::mix_keys({stats::hash_name("e02"), horizon,
-                                  static_cast<std::uint64_t>(delta * 1e6), r_min, r_max});
   return core::estimate_ratio(
-      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
       [=](std::size_t, stats::Rng& rng) {
         adv::Theorem2Params p;
         p.horizon = horizon;
@@ -51,7 +49,7 @@ MOBSRV_BENCH_EXPERIMENT(e02, "Theorem 2: lower bound Ω((1/δ)·Rmax/Rmin) with 
                      {"delta", "1/delta", "ratio", "adversary cost"});
   std::vector<double> inv_delta, ratios;
   for (const double delta : {1.0, 0.5, 0.25, 0.125, 0.0625}) {
-    const core::RatioEstimate est = measure(*options.pool, horizon, delta, 1, 1, options.trials);
+    const core::RatioEstimate est = measure(options, horizon, delta, 1, 1);
     by_delta.row()
         .cell(delta, 4)
         .cell(1.0 / delta, 4)
@@ -61,21 +59,20 @@ MOBSRV_BENCH_EXPERIMENT(e02, "Theorem 2: lower bound Ω((1/δ)·Rmax/Rmin) with 
     inv_delta.push_back(1.0 / delta);
     ratios.push_back(est.ratio.mean());
   }
-  by_delta.print(std::cout);
-  print_fit("ratio vs 1/δ (claim linear ⇒ 1.0)", inv_delta, ratios, 0.7, 1.3);
+  options.emit(by_delta);
+  check_fit(options, "ratio vs 1/δ (claim linear ⇒ 1.0)", inv_delta, ratios, 0.7, 1.3);
 
   io::Table by_imbalance("Sweep 2: ratio vs Rmax/Rmin (δ = 0.5, Rmin = 1)",
                          {"Rmax/Rmin", "ratio"});
   std::vector<double> imbalance, ratios2;
   for (const std::size_t r_max : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    const core::RatioEstimate est =
-        measure(*options.pool, horizon, 0.5, 1, r_max, options.trials);
+    const core::RatioEstimate est = measure(options, horizon, 0.5, 1, r_max);
     by_imbalance.row().cell(r_max).cell(mean_pm(est.ratio)).done();
     imbalance.push_back(static_cast<double>(r_max));
     ratios2.push_back(est.ratio.mean());
   }
-  by_imbalance.print(std::cout);
-  print_fit("ratio vs Rmax/Rmin (claim linear ⇒ 1.0)", imbalance, ratios2, 0.7, 1.2);
+  options.emit(by_imbalance);
+  check_fit(options, "ratio vs Rmax/Rmin (claim linear ⇒ 1.0)", imbalance, ratios2, 0.7, 1.2);
   std::cout << "\n";
 }
 

@@ -14,16 +14,14 @@ namespace mobsrv::bench {
 
 namespace {
 
-core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, std::size_t r,
-                            double d_weight, int trials) {
-  core::RatioOptions opt;
-  opt.trials = trials;
+core::RatioEstimate measure(const Options& options, std::size_t horizon, std::size_t r,
+                            double d_weight) {
+  core::RatioOptions opt =
+      options.ratio_options("e03", {horizon, r, static_cast<std::uint64_t>(d_weight)});
   opt.speed_factor = 1.5;  // augmentation cannot rescue Answer-First
   opt.oracle = core::OptOracle::kAdversaryCost;
-  opt.seed_key = stats::mix_keys({stats::hash_name("e03"), horizon, r,
-                                  static_cast<std::uint64_t>(d_weight)});
   return core::estimate_ratio(
-      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
       [=](std::size_t, stats::Rng& rng) {
         adv::Theorem3Params p;
         p.horizon = horizon;
@@ -50,8 +48,7 @@ MOBSRV_BENCH_EXPERIMENT(e03, "Theorem 3: Answer-First lower bound Ω(r/D)") {
   std::vector<double> rs, ratios_d1;
   for (const double d_weight : {1.0, 4.0}) {
     for (const std::size_t r : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-      const core::RatioEstimate est =
-          measure(*options.pool, horizon, r, d_weight, options.trials);
+      const core::RatioEstimate est = measure(options, horizon, r, d_weight);
       table.row()
           .cell(r)
           .cell(d_weight, 3)
@@ -64,8 +61,8 @@ MOBSRV_BENCH_EXPERIMENT(e03, "Theorem 3: Answer-First lower bound Ω(r/D)") {
       }
     }
   }
-  table.print(std::cout);
-  print_fit("ratio vs r at D=1 (claim linear ⇒ 1.0)", rs, ratios_d1, 0.7, 1.2);
+  options.emit(table);
+  check_fit(options, "ratio vs r at D=1 (claim linear ⇒ 1.0)", rs, ratios_d1, 0.7, 1.2);
   std::cout << "\n";
 }
 

@@ -34,15 +34,14 @@ core::SampleFn theorem2_sampler(std::size_t horizon, double delta, std::size_t r
   };
 }
 
-core::RatioEstimate measure(par::ThreadPool& pool, const core::SampleFn& sampler, double delta,
-                            core::OptOracle oracle, int trials, std::uint64_t key) {
-  core::RatioOptions opt;
-  opt.trials = trials;
+core::RatioEstimate measure(const Options& options, const core::SampleFn& sampler, double delta,
+                            core::OptOracle oracle, std::string_view stream,
+                            std::initializer_list<std::uint64_t> keys) {
+  core::RatioOptions opt = options.ratio_options(stream, keys);
   opt.speed_factor = 1.0 + delta;
   opt.oracle = oracle;
-  opt.seed_key = key;
   return core::estimate_ratio(
-      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); }, sampler, opt);
+      *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); }, sampler, opt);
 }
 
 }  // namespace
@@ -60,10 +59,8 @@ MOBSRV_BENCH_EXPERIMENT(e04, "Theorem 4: MtC upper bounds under augmentation") {
   std::vector<double> flat_upper, flat_lower;
   for (const std::size_t base : {512u, 1024u, 2048u, 4096u}) {
     const std::size_t horizon = options.horizon(base);
-    const core::RatioEstimate est =
-        measure(*options.pool, theorem2_sampler(horizon, 0.5, 1, 1), 0.5,
-                core::OptOracle::kBestAvailable, options.trials,
-                stats::mix_keys({stats::hash_name("e04a"), horizon}));
+    const core::RatioEstimate est = measure(options, theorem2_sampler(horizon, 0.5, 1, 1), 0.5,
+                                            core::OptOracle::kBestAvailable, "e04a", {horizon});
     flat.row()
         .cell(horizon)
         .cell(mean_pm(est.ratio))
@@ -72,9 +69,9 @@ MOBSRV_BENCH_EXPERIMENT(e04, "Theorem 4: MtC upper bounds under augmentation") {
     flat_upper.push_back(est.ratio.mean());
     flat_lower.push_back(est.ratio_vs_lower.mean());
   }
-  flat.print(std::cout);
-  print_flatness("ratio vs T (vs DP upper)", flat_upper, 1.6);
-  print_flatness("ratio vs T (vs certified lower)", flat_lower, 1.6);
+  options.emit(flat);
+  check_flatness(options, "ratio vs T (vs DP upper)", flat_upper, 1.6);
+  check_flatness(options, "ratio vs T (vs certified lower)", flat_lower, 1.6);
 
   // (b) δ sweep on the adversary's own worst case.
   io::Table by_delta("Sweep (b): ratio vs δ on the Theorem-2 adversary (line)",
@@ -83,16 +80,16 @@ MOBSRV_BENCH_EXPERIMENT(e04, "Theorem 4: MtC upper bounds under augmentation") {
   const std::size_t horizon_b = options.horizon(4096);
   for (const double delta : {1.0, 0.5, 0.25, 0.125}) {
     const core::RatioEstimate est =
-        measure(*options.pool, theorem2_sampler(horizon_b, delta, 1, 1), delta,
-                core::OptOracle::kAdversaryCost, options.trials,
-                stats::mix_keys({stats::hash_name("e04b"),
-                                 static_cast<std::uint64_t>(delta * 1e6)}));
+        measure(options, theorem2_sampler(horizon_b, delta, 1, 1), delta,
+                core::OptOracle::kAdversaryCost, "e04b",
+                {static_cast<std::uint64_t>(delta * 1e6)});
     by_delta.row().cell(delta, 4).cell(mean_pm(est.ratio)).done();
     inv_delta.push_back(1.0 / delta);
     delta_ratios.push_back(est.ratio.mean());
   }
-  by_delta.print(std::cout);
-  print_fit("ratio vs 1/δ (claim: exponent in [1, 3/2])", inv_delta, delta_ratios, 0.75, 1.6);
+  options.emit(by_delta);
+  check_fit(options, "ratio vs 1/δ (claim: exponent in [1, 3/2])", inv_delta, delta_ratios, 0.75,
+            1.6);
 
   // (c) Dimension sweep on a realistic workload with the convex oracle.
   io::Table by_dim("Sweep (c): drifting hotspot across dimensions (δ = 0.5, D = 4)",
@@ -101,20 +98,19 @@ MOBSRV_BENCH_EXPERIMENT(e04, "Theorem 4: MtC upper bounds under augmentation") {
   for (const int dim : {1, 2, 3}) {
     const std::size_t horizon = options.horizon(512);
     const core::RatioEstimate est = measure(
-        *options.pool,
+        options,
         [dim, horizon](std::size_t, stats::Rng& rng) {
           adv::DriftingHotspotParams p;
           p.horizon = horizon;
           p.dim = dim;
           return core::PreparedSample{adv::make_drifting_hotspot(p, rng), 0.0, {}};
         },
-        0.5, core::OptOracle::kBestAvailable, options.trials,
-        stats::mix_keys({stats::hash_name("e04c"), static_cast<std::uint64_t>(dim)}));
+        0.5, core::OptOracle::kBestAvailable, "e04c", {static_cast<std::uint64_t>(dim)});
     by_dim.row().cell(dim).cell(mean_pm(est.ratio)).done();
     dim_ratios.push_back(est.ratio.mean());
   }
-  by_dim.print(std::cout);
-  print_flatness("ratio vs dimension", dim_ratios, 2.0);
+  options.emit(by_dim);
+  check_flatness(options, "ratio vs dimension", dim_ratios, 2.0);
 
   // (d) Rmax/Rmin dependence, line, DP bracket.
   io::Table by_imbalance("Sweep (d): ratio vs Rmax/Rmin on the Theorem-2 adversary (δ=0.5)",
@@ -122,16 +118,15 @@ MOBSRV_BENCH_EXPERIMENT(e04, "Theorem 4: MtC upper bounds under augmentation") {
   std::vector<double> imbalance, imbalance_ratios;
   const std::size_t horizon_d = options.horizon(2048);
   for (const std::size_t r_max : {1u, 4u, 16u}) {
-    const core::RatioEstimate est =
-        measure(*options.pool, theorem2_sampler(horizon_d, 0.5, 1, r_max), 0.5,
-                core::OptOracle::kAdversaryCost, options.trials,
-                stats::mix_keys({stats::hash_name("e04d"), r_max}));
+    const core::RatioEstimate est = measure(options, theorem2_sampler(horizon_d, 0.5, 1, r_max),
+                                            0.5, core::OptOracle::kAdversaryCost, "e04d", {r_max});
     by_imbalance.row().cell(r_max).cell(mean_pm(est.ratio)).done();
     imbalance.push_back(static_cast<double>(r_max));
     imbalance_ratios.push_back(est.ratio.mean());
   }
-  by_imbalance.print(std::cout);
-  print_fit("ratio vs Rmax/Rmin (claim at most linear)", imbalance, imbalance_ratios, 0.5, 1.2);
+  options.emit(by_imbalance);
+  check_fit(options, "ratio vs Rmax/Rmin (claim at most linear)", imbalance, imbalance_ratios, 0.5,
+            1.2);
   std::cout << "\n";
 }
 

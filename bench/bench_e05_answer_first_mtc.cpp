@@ -45,7 +45,7 @@ MOBSRV_BENCH_EXPERIMENT(e05, "Theorem 7: MtC in the Answer-First variant") {
   for (const std::size_t r : {1u, 2u, 4u, 8u, 16u, 32u}) {
     stats::Summary af_ratio, quotient;
     for (int trial = 0; trial < options.trials; ++trial) {
-      stats::Rng rng({stats::hash_name("e05"), r, static_cast<std::uint64_t>(trial)});
+      stats::Rng rng = options.rng("e05", {r, static_cast<std::uint64_t>(trial)});
       const sim::Instance mf_inst = hotspot(horizon, r, d_weight, rng);
       const sim::Instance af_inst = mf_inst.with_order(sim::ServiceOrder::kServeThenMove);
 
@@ -71,17 +71,23 @@ MOBSRV_BENCH_EXPERIMENT(e05, "Theorem 7: MtC in the Answer-First variant") {
     af_ratios.push_back(af_ratio.mean());
     quotients.push_back(quotient.mean());
   }
-  table.print(std::cout);
+  options.emit(table);
 
   // Verdicts: quotient below the Theorem-7 factor everywhere; AF ratio
   // grows at most linearly in r/D (here it is in fact nearly flat because
   // the hotspot workload is far from the worst case).
   bool quotient_ok = true;
-  for (std::size_t i = 0; i < quotients.size(); ++i)
-    quotient_ok = quotient_ok && quotients[i] <= 2.0 * std::max(1.0, r_over_d[i]) + 0.2;
+  double worst_excess = -1e300;  // worst (quotient − Thm-7 factor) over the sweep
+  for (std::size_t i = 0; i < quotients.size(); ++i) {
+    const double excess = quotients[i] - 2.0 * std::max(1.0, r_over_d[i]);
+    worst_excess = std::max(worst_excess, excess);
+    quotient_ok = quotient_ok && excess <= 0.2;
+  }
   std::cout << "  bound[AF/MF quotient ≤ 2·max(1, r/D)]: "
             << (quotient_ok ? "PASS" : "CHECK") << "\n";
-  print_fit("AF ratio vs r/D (claim at most linear)", r_over_d, af_ratios, -0.3, 1.1);
+  record_check(options, "AF/MF quotient minus Thm-7 factor", worst_excess, -1e300, 0.2,
+               quotient_ok);
+  check_fit(options, "AF ratio vs r/D (claim at most linear)", r_over_d, af_ratios, -0.3, 1.1);
 
   // Flatness in T at fixed r.
   io::Table flat("Answer-First MtC ratio vs T (r = 4, D = 2, δ = 0.5)", {"T", "ratio"});
@@ -90,7 +96,7 @@ MOBSRV_BENCH_EXPERIMENT(e05, "Theorem 7: MtC in the Answer-First variant") {
     const std::size_t h = options.horizon(base);
     stats::Summary ratio;
     for (int trial = 0; trial < options.trials; ++trial) {
-      stats::Rng rng({stats::hash_name("e05T"), h, static_cast<std::uint64_t>(trial)});
+      stats::Rng rng = options.rng("e05T", {h, static_cast<std::uint64_t>(trial)});
       const sim::Instance inst =
           hotspot(h, 4, d_weight, rng).with_order(sim::ServiceOrder::kServeThenMove);
       alg::MoveToCenter mtc;
@@ -102,8 +108,8 @@ MOBSRV_BENCH_EXPERIMENT(e05, "Theorem 7: MtC in the Answer-First variant") {
     flat.row().cell(h).cell(mean_pm(ratio)).done();
     flat_ratios.push_back(ratio.mean());
   }
-  flat.print(std::cout);
-  print_flatness("AF ratio vs T", flat_ratios, 1.6);
+  options.emit(flat);
+  check_flatness(options, "AF ratio vs T", flat_ratios, 1.6);
   std::cout << "\n";
 }
 

@@ -15,16 +15,13 @@ namespace mobsrv::bench {
 
 namespace {
 
-core::RatioEstimate measure(par::ThreadPool& pool, std::size_t horizon, double epsilon,
-                            int trials) {
-  core::RatioOptions opt;
-  opt.trials = trials;
+core::RatioEstimate measure(const Options& options, std::size_t horizon, double epsilon) {
+  core::RatioOptions opt =
+      options.ratio_options("e06", {horizon, static_cast<std::uint64_t>(epsilon * 1e6)});
   opt.speed_factor = 1.0;  // no augmentation — the regime of the theorem
   opt.oracle = core::OptOracle::kAdversaryCost;
-  opt.seed_key = stats::mix_keys({stats::hash_name("e06"), horizon,
-                                  static_cast<std::uint64_t>(epsilon * 1e6)});
   return core::estimate_ratio(
-      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
       [=](std::size_t, stats::Rng& rng) {
         adv::Theorem8Params p;
         p.horizon = horizon;
@@ -45,28 +42,32 @@ MOBSRV_BENCH_EXPERIMENT(e06, "Theorem 8: Moving Client lower bound Ω(√T·ε/(
   io::Table table("MtC on the Theorem-8 agent (ratio = C_MtC / C_adversary)",
                   {"T", "epsilon", "ratio"});
   std::vector<double> horizons, ratios_eps1;
+  double r_small = 0.0, r_large = 0.0;  // ratios at T = horizon(4096) for the mono check
   for (const double epsilon : {0.25, 0.5, 1.0}) {
     for (const std::size_t base : {1024u, 4096u, 16384u}) {
       const std::size_t horizon = options.horizon(base);
-      const core::RatioEstimate est = measure(*options.pool, horizon, epsilon, options.trials);
+      const core::RatioEstimate est = measure(options, horizon, epsilon);
       table.row().cell(horizon).cell(epsilon, 3).cell(mean_pm(est.ratio)).done();
       if (epsilon == 1.0) {
         horizons.push_back(static_cast<double>(horizon));
         ratios_eps1.push_back(est.ratio.mean());
       }
+      if (base == 4096u) {
+        if (epsilon == 0.25) r_small = est.ratio.mean();
+        if (epsilon == 1.0) r_large = est.ratio.mean();
+      }
     }
   }
-  table.print(std::cout);
-  print_fit("ratio vs T at ε=1 (claim √T ⇒ 0.5)", horizons, ratios_eps1, 0.3, 0.7);
+  options.emit(table);
+  check_fit(options, "ratio vs T at ε=1 (claim √T ⇒ 0.5)", horizons, ratios_eps1, 0.3, 0.7);
 
-  // Monotonicity in ε at fixed T.
-  const std::size_t h = options.horizon(4096);
-  const double r_small = measure(*options.pool, h, 0.25, options.trials).ratio.mean();
-  const double r_large = measure(*options.pool, h, 1.0, options.trials).ratio.mean();
+  // Monotonicity in ε at fixed T (values captured from the sweep above).
   std::cout << "  mono[ratio increases with ε]: ratio(ε=0.25) = "
             << io::format_double(r_small, 3) << " < ratio(ε=1) = "
             << io::format_double(r_large, 3) << " → " << (r_small < r_large ? "PASS" : "CHECK")
             << "\n\n";
+  record_check(options, "ratio(ε=1) minus ratio(ε=0.25)", r_large - r_small, 0.0, 1e300,
+               r_small < r_large);
 }
 
 namespace {

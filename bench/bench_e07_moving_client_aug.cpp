@@ -16,16 +16,14 @@ namespace mobsrv::bench {
 
 namespace {
 
-core::RatioEstimate measure_adversarial(par::ThreadPool& pool, std::size_t horizon, double delta,
-                                        int trials) {
-  core::RatioOptions opt;
-  opt.trials = trials;
+core::RatioEstimate measure_adversarial(const Options& options, std::size_t horizon,
+                                        double delta) {
+  core::RatioOptions opt =
+      options.ratio_options("e07", {horizon, static_cast<std::uint64_t>(delta * 1e6)});
   opt.speed_factor = 1.0 + delta;
   opt.oracle = core::OptOracle::kAdversaryCost;
-  opt.seed_key = stats::mix_keys({stats::hash_name("e07"), horizon,
-                                  static_cast<std::uint64_t>(delta * 1e6)});
   return core::estimate_ratio(
-      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
       [horizon](std::size_t, stats::Rng& rng) {
         adv::Theorem8Params p;
         p.horizon = horizon;
@@ -49,26 +47,23 @@ MOBSRV_BENCH_EXPERIMENT(e07, "Corollary 9: augmentation tames the Moving Client 
   for (const double delta : {0.5, 1.0}) {
     for (const std::size_t base : {1024u, 4096u, 16384u}) {
       const std::size_t horizon = options.horizon(base);
-      const core::RatioEstimate est =
-          measure_adversarial(*options.pool, horizon, delta, options.trials);
+      const core::RatioEstimate est = measure_adversarial(options, horizon, delta);
       table.row().cell(horizon).cell(delta, 3).cell(mean_pm(est.ratio)).done();
       (delta == 0.5 ? flat_05 : flat_10).push_back(est.ratio.mean());
     }
   }
-  table.print(std::cout);
-  print_flatness("ratio vs T at δ=0.5", flat_05, 1.6);
-  print_flatness("ratio vs T at δ=1.0", flat_10, 1.6);
+  options.emit(table);
+  check_flatness(options, "ratio vs T at δ=0.5", flat_05, 1.6);
+  check_flatness(options, "ratio vs T at δ=1.0", flat_10, 1.6);
 
   // Realistic mobility: random-waypoint agent, certified DP bracket.
   io::Table realistic("MtC (δ = 0.5) chasing a random-waypoint agent (1-D, D = 4)",
                       {"T", "ratio (vs DP upper)", "ratio (vs certified lower)"});
   for (const std::size_t base : {512u, 2048u}) {
     const std::size_t horizon = options.horizon(base);
-    core::RatioOptions opt;
-    opt.trials = options.trials;
+    core::RatioOptions opt = options.ratio_options("e07rw", {horizon});
     opt.speed_factor = 1.5;
     opt.oracle = core::OptOracle::kGridDp1D;
-    opt.seed_key = stats::mix_keys({stats::hash_name("e07rw"), horizon});
     const core::RatioEstimate est = core::estimate_ratio(
         *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
         [horizon](std::size_t, stats::Rng& rng) {
@@ -92,7 +87,7 @@ MOBSRV_BENCH_EXPERIMENT(e07, "Corollary 9: augmentation tames the Moving Client 
         .cell(mean_pm(est.ratio_vs_lower))
         .done();
   }
-  realistic.print(std::cout);
+  options.emit(realistic);
   std::cout << "\n";
 }
 

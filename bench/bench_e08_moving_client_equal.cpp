@@ -43,17 +43,15 @@ sim::AgentPath make_agent(const std::string& model, std::size_t horizon, const g
   return adv::make_zigzag(p, start);
 }
 
-core::RatioEstimate measure(par::ThreadPool& pool, const std::string& model, std::size_t horizon,
-                            double d_weight, int agents, int trials) {
-  core::RatioOptions opt;
-  opt.trials = trials;
+core::RatioEstimate measure(const Options& options, const std::string& model,
+                            std::size_t horizon, double d_weight, int agents) {
+  core::RatioOptions opt = options.ratio_options(
+      "e08", {stats::hash_name(model), horizon, static_cast<std::uint64_t>(d_weight),
+              static_cast<std::uint64_t>(agents)});
   opt.speed_factor = 1.0;  // Theorem 10: NO augmentation
   opt.oracle = core::OptOracle::kGridDp1D;
-  opt.seed_key = stats::mix_keys({stats::hash_name("e08"), stats::hash_name(model), horizon,
-                                  static_cast<std::uint64_t>(d_weight),
-                                  static_cast<std::uint64_t>(agents)});
   return core::estimate_ratio(
-      pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
+      *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
       [=](std::size_t, stats::Rng& rng) {
         sim::MovingClientInstance mc;
         mc.start = geo::Point{0.0};
@@ -80,8 +78,7 @@ MOBSRV_BENCH_EXPERIMENT(e08, "Theorem 10: equal speeds ⇒ O(1)-competitive with
   for (const std::string model : {"waypoint", "gauss-markov", "zigzag"}) {
     for (const double d_weight : {1.0, 4.0, 16.0}) {
       const std::size_t horizon = options.horizon(1024);
-      const core::RatioEstimate est =
-          measure(*options.pool, model, horizon, d_weight, 1, options.trials);
+      const core::RatioEstimate est = measure(options, model, horizon, d_weight, 1);
       // The certified lower bound can degenerate to 0 on short zig-zag
       // instances (DP rounding error exceeds the relaxed cost); the
       // bracket column is then unavailable, not zero.
@@ -96,37 +93,38 @@ MOBSRV_BENCH_EXPERIMENT(e08, "Theorem 10: equal speeds ⇒ O(1)-competitive with
       if (has_lower) all_ratios.push_back(est.ratio_vs_lower.mean());
     }
   }
-  table.print(std::cout);
+  options.emit(table);
 
   double worst = 0.0;
   for (const double r : all_ratios) worst = std::max(worst, r);
   std::cout << "  const[worst certified ratio ≤ 36 (paper's constant)]: measured "
             << io::format_double(worst, 3) << " → " << (worst <= 36.0 ? "PASS" : "CHECK")
             << "\n";
+  record_check(options, "worst certified ratio vs paper constant", worst, 0.0, 36.0,
+               worst <= 36.0);
 
   // Flatness in T.
   io::Table flat("Ratio vs T (waypoint, D = 4)", {"T", "ratio"});
   std::vector<double> flat_ratios;
   for (const std::size_t base : {256u, 1024u, 4096u}) {
     const std::size_t horizon = options.horizon(base);
-    const core::RatioEstimate est =
-        measure(*options.pool, "waypoint", horizon, 4.0, 1, options.trials);
+    const core::RatioEstimate est = measure(options, "waypoint", horizon, 4.0, 1);
     flat.row().cell(horizon).cell(mean_pm(est.ratio)).done();
     flat_ratios.push_back(est.ratio.mean());
   }
-  flat.print(std::cout);
-  print_flatness("ratio vs T", flat_ratios, 1.6);
+  options.emit(flat);
+  check_flatness(options, "ratio vs T", flat_ratios, 1.6);
 
   // Multi-agent extension (paper Section 5: "can be modified to also work
   // for multiple agents"): MtC chases the batch median.
   io::Table multi("Extension: multiple agents (waypoint, D = 4, T = 1024)",
                   {"agents", "ratio (vs DP upper)"});
   for (const int agents : {1, 2, 4, 8}) {
-    const core::RatioEstimate est = measure(*options.pool, "waypoint", options.horizon(1024),
-                                            4.0, agents, options.trials);
+    const core::RatioEstimate est =
+        measure(options, "waypoint", options.horizon(1024), 4.0, agents);
     multi.row().cell(agents).cell(mean_pm(est.ratio)).done();
   }
-  multi.print(std::cout);
+  options.emit(multi);
   std::cout << "\n";
 }
 

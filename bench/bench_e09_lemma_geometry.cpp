@@ -31,8 +31,8 @@ MOBSRV_BENCH_EXPERIMENT(e09, "Lemmas 5 & 6 / Figures 1 & 2: geometric proof mach
   int amended_total = 0;
   for (const int dim : {1, 2, 3, 8}) {
     for (const double delta : {0.1, 0.5, 1.0}) {
-      stats::Rng rng({stats::hash_name("e09-l6"), static_cast<std::uint64_t>(dim),
-                      static_cast<std::uint64_t>(delta * 1000)});
+      stats::Rng rng = options.rng(
+          "e09-l6", {static_cast<std::uint64_t>(dim), static_cast<std::uint64_t>(delta * 1000)});
       int literal = 0, amended = 0;
       std::vector<double> margins;
       margins.reserve(static_cast<std::size_t>(samples));
@@ -54,16 +54,18 @@ MOBSRV_BENCH_EXPERIMENT(e09, "Lemmas 5 & 6 / Figures 1 & 2: geometric proof mach
           .done();
     }
   }
-  lemma6.print(std::cout);
+  options.emit(lemma6);
   std::cout << "  audit[amended Lemma 6, zero violations]: "
             << (amended_total == 0 ? "PASS" : "CHECK") << "\n";
+  record_check(options, "amended Lemma 6 violations", amended_total, 0.0, 0.0,
+               amended_total == 0);
 
   io::Table lemma5("Lemma 5 sampling (violations must be 0)",
                    {"dim", "r", "samples", "median-opt violations", "reduction violations",
                     "max r·d(o,c)/Σd(o,v)"});
   for (const int dim : {1, 2, 3}) {
     for (const std::size_t r : {2u, 5u, 9u}) {
-      stats::Rng rng({stats::hash_name("e09-l5"), static_cast<std::uint64_t>(dim), r});
+      stats::Rng rng = options.rng("e09-l5", {static_cast<std::uint64_t>(dim), r});
       int bad_median = 0, bad_reduction = 0;
       double worst_quotient = 0.0;
       for (int i = 0; i < samples / 4; ++i) {
@@ -83,7 +85,7 @@ MOBSRV_BENCH_EXPERIMENT(e09, "Lemmas 5 & 6 / Figures 1 & 2: geometric proof mach
           .done();
     }
   }
-  lemma5.print(std::cout);
+  options.emit(lemma5);
   std::cout << "  note: the worst observed quotient stays below the lemma's factor 4,\n"
             << "  and is near 2 — the paper's constant is loose, as expected.\n\n";
 }

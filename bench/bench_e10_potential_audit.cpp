@@ -32,9 +32,9 @@ MOBSRV_BENCH_EXPERIMENT(e10, "potential-function audit (Theorem 4's engine)") {
         cfg.delta = delta;
         cfg.move_cost_weight = 4.0;
         cfg.requests = big_r ? 16 : 2;  // r > D vs r ≤ D
-        stats::Rng rng({stats::hash_name("e10"), static_cast<std::uint64_t>(big_r),
-                        static_cast<std::uint64_t>(dim),
-                        static_cast<std::uint64_t>(delta * 1000)});
+        stats::Rng rng =
+            options.rng("e10", {static_cast<std::uint64_t>(big_r), static_cast<std::uint64_t>(dim),
+                                static_cast<std::uint64_t>(delta * 1000)});
         const double k = core::audit_bound(delta);
         int violations = 0;
         double worst = 0.0;
@@ -55,7 +55,7 @@ MOBSRV_BENCH_EXPERIMENT(e10, "potential-function audit (Theorem 4's engine)") {
       }
     }
   }
-  table.print(std::cout);
+  options.emit(table);
   std::cout << "  note: worst observed constants sit far below K(δ) — the paper's\n"
             << "  case analysis does not optimise constants (it says so explicitly).\n\n";
 }

@@ -36,7 +36,7 @@ MOBSRV_BENCH_EXPERIMENT(e11, "offline solver quality (the OPT oracles)") {
   io::Table bracket("DP bracket vs grid resolution (drifting hotspot, T = " +
                         std::to_string(horizon) + ")",
                     {"cells per m", "feasible cost (UB)", "certified LB", "bracket width %"});
-  const sim::Instance inst = workload(horizon, 1);
+  const sim::Instance inst = workload(horizon, options.seed_key("e11", {1}));
   for (const double cells : {2.0, 4.0, 8.0, 16.0}) {
     opt::GridDpOptions dp_opt;
     dp_opt.cells_per_step = cells;
@@ -50,14 +50,14 @@ MOBSRV_BENCH_EXPERIMENT(e11, "offline solver quality (the OPT oracles)") {
         .cell(width, 3)
         .done();
   }
-  bracket.print(std::cout);
+  options.emit(bracket);
 
   io::Table agreement(
       "General-dimension solvers vs DP bracket (5 instances)",
       {"instance", "subgradient", "+CD polish", "DP UB", "DP LB", "polish inside 10% of DP"});
   int inside = 0;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    const sim::Instance w = workload(horizon, seed);
+    const sim::Instance w = workload(horizon, options.seed_key("e11", {seed}));
     const opt::OfflineSolution cv = opt::solve_convex_descent(w);
     const opt::OfflineSolution best = opt::solve_best_offline(w);
     const opt::GridDpResult dp = opt::solve_grid_dp_1d(w);
@@ -73,9 +73,11 @@ MOBSRV_BENCH_EXPERIMENT(e11, "offline solver quality (the OPT oracles)") {
         .cell(ok ? "yes" : "NO")
         .done();
   }
-  agreement.print(std::cout);
+  options.emit(agreement);
   std::cout << "  bracket[shaping+polish within 10% of DP on all instances]: "
             << (inside == 5 ? "PASS" : "CHECK") << "\n";
+  record_check(options, "instances with polish inside the DP bracket", inside, 5.0, 5.0,
+               inside == 5);
 
   // Reachability bound sanity across dimensions.
   io::Table reach("Reachability lower bound vs best feasible (chasing hotspot)",
@@ -92,7 +94,7 @@ MOBSRV_BENCH_EXPERIMENT(e11, "offline solver quality (the OPT oracles)") {
     const double ub = opt::solve_convex_descent(chase).cost;
     reach.row().cell(dim).cell(lb, 5).cell(ub, 5).cell(lb / ub, 3).done();
   }
-  reach.print(std::cout);
+  options.emit(reach);
   std::cout << "\n";
 }
 

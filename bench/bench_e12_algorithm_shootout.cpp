@@ -60,11 +60,9 @@ MOBSRV_BENCH_EXPERIMENT(e12, "algorithm shootout on edge-computing workloads") {
   const std::vector<std::string> algorithms = alg::algorithm_names();
   for (const std::string workload :
        {"drifting-hotspot", "commute", "bursts", "uniform-noise"}) {
-    core::RatioOptions opt;
-    opt.trials = options.trials;
+    core::RatioOptions opt = options.ratio_options("e12", {stats::hash_name(workload)});
     opt.speed_factor = 1.5;
     opt.oracle = core::OptOracle::kConvexDescent;
-    opt.seed_key = stats::mix_keys({stats::hash_name("e12"), stats::hash_name(workload)});
     const auto rows = core::shootout(*options.pool, algorithms,
                                      make_workload(workload, options.horizon(768)), opt);
     io::Table table("Workload: " + workload, {"algorithm", "mean cost", "ratio", "wins"});
@@ -75,7 +73,7 @@ MOBSRV_BENCH_EXPERIMENT(e12, "algorithm shootout on edge-computing workloads") {
           .cell(mean_pm(row.ratio))
           .cell(row.wins)
           .done();
-    table.print(std::cout);
+    options.emit(table);
   }
   std::cout << "  expected shape: MtC (or MoveToMin) wins the drifting/commute/burst\n"
             << "  workloads; Lazy wins uniform-noise where chasing is pure waste.\n\n";

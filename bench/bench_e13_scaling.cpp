@@ -19,7 +19,7 @@ MOBSRV_BENCH_EXPERIMENT(e13, "engine & harness throughput") {
   io::Table table("Engine throughput (MtC, 2-D, T = 4096)",
                   {"requests/step", "steps/second"});
   for (const std::size_t r : {1u, 4u, 16u, 64u}) {
-    stats::Rng rng({stats::hash_name("e13"), r});
+    stats::Rng rng = options.rng("e13", {r});
     adv::DriftingHotspotParams p;
     p.horizon = options.horizon(4096);
     p.r_min = r;
@@ -36,17 +36,16 @@ MOBSRV_BENCH_EXPERIMENT(e13, "engine & harness throughput") {
         .cell(static_cast<double>(inst.horizon()) / elapsed, 4)
         .done();
   }
-  table.print(std::cout);
+  options.emit(table);
 
   // Parallel harness: trials/second with the pool (on a single-core host
   // this documents overhead is negligible rather than speedup).
   io::Table harness("Ratio-estimator throughput (Theorem-1, T = 1024)",
                     {"trials", "wall seconds"});
   for (const int trials : {4, 16}) {
-    core::RatioOptions opt;
+    core::RatioOptions opt = options.ratio_options("e13-harness");
     opt.trials = trials;
     opt.oracle = core::OptOracle::kAdversaryCost;
-    opt.seed_key = stats::hash_name("e13-harness");
     const auto start = std::chrono::steady_clock::now();
     const core::RatioEstimate est = core::estimate_ratio(
         *options.pool, [](std::uint64_t) { return alg::make_algorithm("MtC"); },
@@ -62,7 +61,7 @@ MOBSRV_BENCH_EXPERIMENT(e13, "engine & harness throughput") {
         std::chrono::steady_clock::now() - start).count();
     harness.row().cell(trials).cell(elapsed, 3).done();
   }
-  harness.print(std::cout);
+  options.emit(harness);
   std::cout << "\n";
 }
 

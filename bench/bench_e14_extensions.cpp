@@ -30,8 +30,8 @@ MOBSRV_BENCH_EXPERIMENT(e14, "ablations: MtC damping exponent; multi-server exte
   auto hotspot_ratio = [&](double gamma) {
     stats::Summary ratio;
     for (int trial = 0; trial < options.trials; ++trial) {
-      stats::Rng rng({stats::hash_name("e14a-h"), static_cast<std::uint64_t>(gamma * 1000),
-                      static_cast<std::uint64_t>(trial)});
+      stats::Rng rng = options.rng(
+          "e14a-h", {static_cast<std::uint64_t>(gamma * 1000), static_cast<std::uint64_t>(trial)});
       adv::DriftingHotspotParams p;
       p.horizon = horizon;
       p.move_cost_weight = 8.0;
@@ -50,8 +50,8 @@ MOBSRV_BENCH_EXPERIMENT(e14, "ablations: MtC damping exponent; multi-server exte
   auto adversarial_ratio = [&](double gamma) {
     stats::Summary ratio;
     for (int trial = 0; trial < options.trials; ++trial) {
-      stats::Rng rng({stats::hash_name("e14a-a"), static_cast<std::uint64_t>(gamma * 1000),
-                      static_cast<std::uint64_t>(trial)});
+      stats::Rng rng = options.rng(
+          "e14a-a", {static_cast<std::uint64_t>(gamma * 1000), static_cast<std::uint64_t>(trial)});
       adv::Theorem2Params p;
       p.horizon = horizon;
       p.delta = 0.5;
@@ -84,11 +84,13 @@ MOBSRV_BENCH_EXPERIMENT(e14, "ablations: MtC damping exponent; multi-server exte
     }
     if (gamma == 1.0) mtc_max = robust;
   }
-  damping.print(std::cout);
+  options.emit(damping);
   std::cout << "  ablation[γ=1 (MtC) within 15% of the minimax damping]: best γ = "
             << io::format_double(best_gamma, 3) << ", MtC max-ratio / best max-ratio = "
             << io::format_double(mtc_max / best_max, 3) << " → "
             << (mtc_max <= best_max * 1.15 ? "PASS" : "CHECK") << "\n\n";
+  record_check(options, "MtC max-ratio over minimax damping", mtc_max / best_max, 0.0, 1.15,
+               mtc_max <= best_max * 1.15);
 
   // (b) fleet-size ablation.
   io::Table fleet("Extension (b): k mobile servers on 4 drifting hotspots",
@@ -97,8 +99,8 @@ MOBSRV_BENCH_EXPERIMENT(e14, "ablations: MtC damping exponent; multi-server exte
   for (const int k : {1, 2, 4, 8, 16}) {
     stats::Summary chase_cost, static_cost;
     for (int trial = 0; trial < options.trials; ++trial) {
-      stats::Rng rng({stats::hash_name("e14b"), static_cast<std::uint64_t>(k),
-                      static_cast<std::uint64_t>(trial)});
+      stats::Rng rng = options.rng(
+          "e14b", {static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(trial)});
       ext::MultiHotspotParams p;
       p.horizon = options.horizon(512);
       p.clusters = 4;
@@ -117,13 +119,15 @@ MOBSRV_BENCH_EXPERIMENT(e14, "ablations: MtC damping exponent; multi-server exte
         .done();
     chase_costs.push_back(chase_cost.mean());
   }
-  fleet.print(std::cout);
+  options.emit(fleet);
   const double gain_1_to_4 = chase_costs[0] - chase_costs[2];
   const double gain_4_to_16 = chase_costs[2] - chase_costs[4];
   std::cout << "  shape[diminishing returns after k ≈ #hotspots]: gain(1→4) = "
             << io::format_double(gain_1_to_4, 4) << " vs gain(4→16) = "
             << io::format_double(gain_4_to_16, 4) << " → "
             << (gain_1_to_4 > gain_4_to_16 ? "PASS" : "CHECK") << "\n\n";
+  record_check(options, "fleet gain(1→4) minus gain(4→16)", gain_1_to_4 - gain_4_to_16, 0.0,
+               1e300, gain_1_to_4 > gain_4_to_16);
 }
 
 namespace {

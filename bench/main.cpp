@@ -6,6 +6,11 @@
 ///   mobsrv_bench --only=e01,e12         # run a subset, in the given order
 ///   mobsrv_bench --smoke                # fast end-to-end check (CI)
 ///   mobsrv_bench --trials=N --scale=F   # override sweep parameters
+///   mobsrv_bench --seed=S               # reseed every RNG stream (default 0)
+///   mobsrv_bench --json=out.json        # machine-readable results report
+///   mobsrv_bench --record-dir=D         # snapshot one trace per sweep row
+///   mobsrv_bench --record-codec=binary  # trace codec for --record-dir
+///   mobsrv_bench --replay=D             # batch-replay a trace dir instead
 ///   mobsrv_bench --no-table             # skip reproduction tables
 ///   mobsrv_bench --no-bench             # skip google-benchmark timings
 ///   mobsrv_bench --benchmark_filter=... # forwarded to google-benchmark
@@ -15,7 +20,9 @@
 /// explicit --benchmark_* flag asks for them.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -26,15 +33,58 @@ namespace {
 
 void print_usage(std::ostream& os) {
   os << "usage: mobsrv_bench [--list] [--only=e01,e05,...] [--trials=N] [--scale=F]\n"
+        "                    [--seed=S] [--json=PATH] [--record-dir=DIR]\n"
+        "                    [--record-codec=jsonl|binary] [--replay=DIR]\n"
         "                    [--smoke] [--no-table] [--no-bench] [--benchmark_*...]\n"
         "With --only, kernel timings run only when a --benchmark_* flag is given\n"
-        "(they are registered per binary and cannot be scoped to a selection).\n";
+        "(they are registered per binary and cannot be scoped to a selection).\n"
+        "--replay runs the batch trace replayer over DIR instead of experiments.\n";
 }
 
 void print_list(std::ostream& os) {
   os << "registered experiments:\n";
   for (const mobsrv::bench::Experiment& e : mobsrv::bench::Registry::instance().experiments())
     os << "  " << e.id << "  " << e.title << "\n";
+}
+
+/// Writes the report to \p path; returns false (after printing) on failure.
+/// Never throws — a JSON failure must exit 1 with a message, not terminate.
+bool write_json(const std::string& path, const mobsrv::bench::Report& report) {
+  try {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "mobsrv_bench: cannot open --json path '" << path << "' for writing\n";
+      return false;
+    }
+    out << report.to_json().dump() << "\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "mobsrv_bench: writing --json path '" << path << "' failed\n";
+      return false;
+    }
+    return true;
+  } catch (const std::exception& error) {
+    std::cerr << "mobsrv_bench: serialising --json report failed: " << error.what() << "\n";
+    return false;
+  }
+}
+
+/// Replays a trace directory across the pool and prints a summary table.
+int run_replay(const std::string& dir, mobsrv::par::ThreadPool& pool,
+               mobsrv::bench::Report& report) {
+  namespace trace = mobsrv::trace;
+  const std::vector<std::filesystem::path> files = trace::list_trace_files(dir);
+  trace::BatchOptions options;
+  const trace::BatchResult result = trace::run_batch(pool, files, options);
+  trace::print_batch_summary(std::cout, dir, result, options, pool.size());
+
+  report.replay = trace::batch_to_json(result);
+  if (result.replay_mismatches != 0) {
+    std::cerr << "mobsrv_bench: " << result.replay_mismatches
+              << " recorded runs did not replay bit-identically\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -45,8 +95,10 @@ int main(int argc, char** argv) {
   // Reject typo'd flags and stray positionals up front — a silently ignored
   // `--smok` (or `smoke` without dashes) would run the full-scale sweeps
   // instead of the smoke subset.
-  static const char* known_flags[] = {"help",  "list",  "only",     "trials",
-                                      "scale", "smoke", "no-table", "no-bench"};
+  static const char* known_flags[] = {"help",  "list",     "only",       "trials",
+                                      "scale", "smoke",    "no-table",   "no-bench",
+                                      "seed",  "json",     "record-dir", "record-codec",
+                                      "replay"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0 || arg.rfind("--benchmark", 0) == 0) continue;
@@ -73,6 +125,9 @@ int main(int argc, char** argv) {
   // Args getters throw ContractViolation on malformed values ("--trials=abc").
   bool no_table = false;
   bool run_kernels = false;
+  std::string json_path;
+  std::string replay_dir;
+  std::optional<mobsrv::trace::Recorder> recorder;
   mobsrv::bench::Options options;
   std::vector<mobsrv::bench::Experiment> selected;
   try {
@@ -88,9 +143,24 @@ int main(int argc, char** argv) {
     const bool smoke = args.get_bool("smoke", false);
     options.trials = args.get_int("trials", smoke ? 2 : 6);
     options.scale = args.get_double("scale", smoke ? 0.05 : 1.0);
+    options.seed = args.get_uint64("seed", 0);
     if (options.trials < 1) throw mobsrv::ContractViolation("flag --trials must be >= 1");
     if (options.scale <= 0.0) throw mobsrv::ContractViolation("flag --scale must be > 0");
     no_table = args.get_bool("no-table", false);
+    json_path = args.get_string("json", "");
+    replay_dir = args.get_string("replay", "");
+    if (!replay_dir.empty() && args.has("record-dir"))
+      throw mobsrv::ContractViolation(
+          "--record-dir cannot be combined with --replay (replay never records)");
+    if (args.has("record-codec") && !args.has("record-dir"))
+      throw mobsrv::ContractViolation("--record-codec requires --record-dir");
+
+    if (const std::string dir = args.get_string("record-dir", ""); !dir.empty()) {
+      mobsrv::trace::RecorderOptions rec;
+      rec.dir = dir;
+      rec.codec = mobsrv::trace::codec_from_name(args.get_string("record-codec", "jsonl"));
+      recorder.emplace(rec);
+    }
 
     const std::vector<std::string> only_ids =
         mobsrv::bench::parse_only_list(args.get_string("only", ""));
@@ -105,7 +175,7 @@ int main(int argc, char** argv) {
     // Smoke runs are a table-level end-to-end check, and kernel timings
     // cannot be scoped to an --only subset; in both cases run them only on
     // explicit request.
-    run_kernels = !args.get_bool("no-bench", false) &&
+    run_kernels = !args.get_bool("no-bench", false) && replay_dir.empty() &&
                   (explicit_benchmark_flags || (!smoke && only_ids.empty()));
   } catch (const mobsrv::ContractViolation& error) {
     std::cerr << "mobsrv_bench: " << error.what() << "\n";
@@ -113,11 +183,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  mobsrv::bench::Report report;
+  report.trials = options.trials;
+  report.scale = options.scale;
+  report.seed = options.seed;
+
+  if (!replay_dir.empty()) {
+    // --replay: batch-replay a recorded trace directory instead of running
+    // the generator-backed experiments.
+    mobsrv::par::ThreadPool pool;
+    int status = 0;
+    try {
+      status = run_replay(replay_dir, pool, report);
+    } catch (const std::exception& error) {
+      std::cerr << "mobsrv_bench: replay failed: " << error.what() << "\n";
+      return 1;
+    }
+    if (!json_path.empty() && !write_json(json_path, report)) return 1;
+    return status;
+  }
+
   if (!no_table) {
     mobsrv::par::ThreadPool pool;
     options.pool = &pool;
+    options.report = &report;
+    options.recorder = recorder ? &*recorder : nullptr;
     for (const mobsrv::bench::Experiment& experiment : selected) {
       std::cout << "== " << experiment.id << " — " << experiment.title << " ==\n";
+      report.begin_experiment(experiment.id, experiment.title);
+      const auto start = std::chrono::steady_clock::now();
       try {
         experiment.run(options);
       } catch (const std::exception& error) {
@@ -125,8 +219,22 @@ int main(int argc, char** argv) {
                   << "\n";
         return 1;
       }
+      report.end_experiment(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+    }
+    if (recorder) {
+      // Recording hooks live in the ratio/shootout harnesses; experiments
+      // that measure by hand (e.g. e09's lemma sampling) record nothing, so
+      // say what actually landed on disk.
+      std::cout << "recorded " << recorder->files_written() << " trace(s) to "
+                << recorder->dir().string() << "\n";
+      if (recorder->files_written() == 0)
+        std::cerr << "mobsrv_bench: warning: --record-dir captured no traces — the selected "
+                     "experiments do not use the ratio/shootout harness\n";
     }
   }
+
+  if (!json_path.empty() && !write_json(json_path, report)) return 1;
 
   if (!run_kernels) {
     if (no_table)

@@ -40,23 +40,7 @@ std::vector<Experiment> Registry::select(const std::vector<std::string>& only_id
 }
 
 std::vector<std::string> parse_only_list(const std::string& value) {
-  std::vector<std::string> ids;
-  std::size_t begin = 0;
-  while (begin <= value.size()) {
-    std::size_t end = value.find(',', begin);
-    if (end == std::string::npos) end = value.size();
-    std::string id = value.substr(begin, end - begin);
-    const auto first = id.find_first_not_of(" \t");
-    if (first == std::string::npos) {
-      id.clear();
-    } else {
-      const auto last = id.find_last_not_of(" \t");
-      id = id.substr(first, last - first + 1);
-    }
-    if (!id.empty() && std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
-    begin = end + 1;
-  }
-  return ids;
+  return io::split_list(value);
 }
 
 }  // namespace mobsrv::bench

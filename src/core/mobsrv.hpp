@@ -17,6 +17,7 @@
 #include "geometry/point.hpp"             // IWYU pragma: export
 #include "geometry/segment.hpp"           // IWYU pragma: export
 #include "io/args.hpp"                    // IWYU pragma: export
+#include "io/json.hpp"                    // IWYU pragma: export
 #include "io/table.hpp"                   // IWYU pragma: export
 #include "median/geometric_median.hpp"    // IWYU pragma: export
 #include "opt/brute_force.hpp"            // IWYU pragma: export
@@ -28,3 +29,9 @@
 #include "sim/moving_client.hpp"          // IWYU pragma: export
 #include "stats/bootstrap.hpp"            // IWYU pragma: export
 #include "stats/regression.hpp"           // IWYU pragma: export
+#include "trace/batch_runner.hpp"         // IWYU pragma: export
+#include "trace/codec.hpp"                // IWYU pragma: export
+#include "trace/corpus.hpp"               // IWYU pragma: export
+#include "trace/recorder.hpp"             // IWYU pragma: export
+#include "trace/replay.hpp"               // IWYU pragma: export
+#include "trace/trace.hpp"                // IWYU pragma: export

@@ -61,11 +61,11 @@ std::pair<double, double> resolve_proxy(const PreparedSample& sample,
 }  // namespace
 
 TrialResult run_trial(const PreparedSample& sample, sim::OnlineAlgorithm& algorithm,
-                      const RatioOptions& options) {
+                      const RatioOptions& options, sim::RunResult* run_out) {
   sim::RunOptions run_options;
   run_options.speed_factor = options.speed_factor;
   run_options.policy = options.policy;
-  const sim::RunResult run = sim::run(sample.instance, algorithm, run_options);
+  sim::RunResult run = sim::run(sample.instance, algorithm, run_options);
 
   const auto [proxy, lower] = resolve_proxy(sample, options);
   MOBSRV_CHECK_MSG(proxy > 0.0, "OPT proxy must be positive; degenerate instance?");
@@ -74,6 +74,7 @@ TrialResult run_trial(const PreparedSample& sample, sim::OnlineAlgorithm& algori
   out.online_cost = run.total_cost;
   out.proxy_cost = proxy;
   out.opt_lower = lower;
+  if (run_out) *run_out = std::move(run);
   return out;
 }
 
@@ -86,9 +87,22 @@ RatioEstimate estimate_ratio(par::ThreadPool& pool, const AlgorithmFn& make_algo
     // Seed derived from (experiment key, trial); independent of scheduling.
     stats::Rng rng({options.seed_key, 0xA11CE5ULL, static_cast<std::uint64_t>(i)});
     const PreparedSample prepared = sample(i, rng);
-    const sim::AlgorithmPtr algorithm =
-        make_algorithm(stats::mix_keys({options.seed_key, 0xA190ULL, static_cast<std::uint64_t>(i)}));
-    results[i] = run_trial(prepared, *algorithm, options);
+    const std::uint64_t algo_seed =
+        stats::mix_keys({options.seed_key, 0xA190ULL, static_cast<std::uint64_t>(i)});
+    const sim::AlgorithmPtr algorithm = make_algorithm(algo_seed);
+    sim::RunResult run;
+    results[i] = run_trial(prepared, *algorithm, options, options.observe ? &run : nullptr);
+    if (options.observe) {
+      TrialObservation observation;
+      observation.trial = i;
+      observation.sample = &prepared;
+      observation.algorithm = algorithm.get();
+      observation.run = &run;
+      observation.speed_factor = options.speed_factor;
+      observation.policy = options.policy;
+      observation.algo_seed = algo_seed;
+      options.observe(observation);
+    }
   });
 
   RatioEstimate estimate;

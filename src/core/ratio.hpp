@@ -54,6 +54,22 @@ using SampleFn = std::function<PreparedSample(std::size_t trial, stats::Rng& rng
 /// randomized strategies).
 using AlgorithmFn = std::function<sim::AlgorithmPtr(std::uint64_t seed)>;
 
+/// Everything an observer may look at after one trial's engine run (all
+/// pointers outlive the callback invocation only).
+struct TrialObservation {
+  std::size_t trial = 0;
+  const PreparedSample* sample = nullptr;
+  const sim::OnlineAlgorithm* algorithm = nullptr;
+  const sim::RunResult* run = nullptr;
+  double speed_factor = 1.0;
+  sim::SpeedLimitPolicy policy = sim::SpeedLimitPolicy::kThrow;
+  std::uint64_t algo_seed = 0;
+};
+
+/// Per-trial instrumentation hook; called from worker threads, so it must
+/// be thread-safe. Used by the bench driver's --record-dir trace capture.
+using ObserveFn = std::function<void(const TrialObservation&)>;
+
 /// Estimation settings.
 struct RatioOptions {
   int trials = 8;
@@ -64,6 +80,8 @@ struct RatioOptions {
   opt::ConvexDescentOptions convex;
   /// Stable key distinguishing experiments/rows in the seed derivation.
   std::uint64_t seed_key = 0;
+  /// Optional per-trial observer (see ObserveFn); empty = no instrumentation.
+  ObserveFn observe;
 };
 
 /// Aggregated measurement.
@@ -90,7 +108,10 @@ struct TrialResult {
   double opt_lower = 0.0;
   [[nodiscard]] double ratio() const { return online_cost / proxy_cost; }
 };
+/// \p run_out, when non-null, receives the full engine result (used by the
+/// observer plumbing in estimate_ratio).
 [[nodiscard]] TrialResult run_trial(const PreparedSample& sample, sim::OnlineAlgorithm& algorithm,
-                                    const RatioOptions& options);
+                                    const RatioOptions& options,
+                                    sim::RunResult* run_out = nullptr);
 
 }  // namespace mobsrv::core

@@ -21,10 +21,22 @@ std::vector<ShootoutRow> shootout(par::ThreadPool& pool, const std::vector<std::
     stats::Rng rng({options.seed_key, 0x5400700ULL, static_cast<std::uint64_t>(i)});
     const PreparedSample prepared = sample(i, rng);
     for (std::size_t a = 0; a < n_algorithms; ++a) {
-      const sim::AlgorithmPtr algorithm = alg::make_algorithm(
-          names[a], stats::mix_keys({options.seed_key, static_cast<std::uint64_t>(i),
-                                     static_cast<std::uint64_t>(a)}));
-      results[i][a] = run_trial(prepared, *algorithm, options);
+      const std::uint64_t algo_seed = stats::mix_keys(
+          {options.seed_key, static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(a)});
+      const sim::AlgorithmPtr algorithm = alg::make_algorithm(names[a], algo_seed);
+      sim::RunResult run;
+      results[i][a] = run_trial(prepared, *algorithm, options, options.observe ? &run : nullptr);
+      if (options.observe) {
+        TrialObservation observation;
+        observation.trial = i;
+        observation.sample = &prepared;
+        observation.algorithm = algorithm.get();
+        observation.run = &run;
+        observation.speed_factor = options.speed_factor;
+        observation.policy = options.policy;
+        observation.algo_seed = algo_seed;
+        options.observe(observation);
+      }
     }
   });
 

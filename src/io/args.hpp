@@ -6,6 +6,7 @@
 /// can forward them to google-benchmark untouched.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -31,15 +32,24 @@ class Args {
   [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
   [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& name, std::uint64_t fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
   /// Arguments that did not look like --flags, in order.
   [[nodiscard]] const std::vector<std::string>& positionals() const noexcept { return positionals_; }
+
+  /// Names of every --flag that was passed (sorted; for allowlist checks).
+  [[nodiscard]] std::vector<std::string> flag_names() const;
 
  private:
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positionals_;
 };
+
+/// Splits a comma-separated flag value ("MtC, Lazy,, e01") into trimmed,
+/// de-duplicated items preserving first-occurrence order; empty segments
+/// are dropped. Shared by every list-valued CLI flag (`--only`, `--algos`).
+[[nodiscard]] std::vector<std::string> split_list(const std::string& value);
 
 }  // namespace mobsrv::io

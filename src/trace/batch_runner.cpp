@@ -1,0 +1,175 @@
+#include "trace/batch_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <ostream>
+
+#include "algorithms/registry.hpp"
+#include "io/table.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace mobsrv::trace {
+
+namespace {
+
+/// Everything one worker computes for one file.
+struct FileOutcome {
+  std::string file;
+  std::string scenario;
+  std::vector<double> costs;  ///< one per algorithm, input order
+  double adversary_cost = 0.0;
+  std::size_t replay_checks = 0;
+  std::size_t replay_mismatches = 0;
+};
+
+}  // namespace
+
+std::vector<std::filesystem::path> list_trace_files(const std::filesystem::path& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec))
+    throw TraceError(dir.string() + ": not a directory");
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".jsonl" || ext == ".mtb") files.push_back(entry.path());
+  }
+  if (files.empty())
+    throw TraceError(dir.string() + ": no trace files (*.jsonl, *.mtb) found");
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+BatchResult run_batch(par::ThreadPool& pool, const std::vector<std::filesystem::path>& files,
+                      const BatchOptions& options) {
+  MOBSRV_CHECK_MSG(!files.empty(), "batch replay needs at least one trace file");
+  const std::vector<std::string> algorithms =
+      options.algorithms.empty() ? alg::algorithm_names() : options.algorithms;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Shard whole files across the pool: one slot per file, no shared state.
+  std::vector<FileOutcome> outcomes(files.size());
+  par::parallel_for(pool, 0, files.size(), 1, [&](std::size_t i) {
+    const TraceFile trace = read_trace(files[i]);
+    FileOutcome out;
+    out.file = files[i].filename().string();
+    out.scenario = trace.meta.name;
+    out.costs.reserve(algorithms.size());
+    for (const std::string& name : algorithms) {
+      const sim::RunResult run =
+          run_on_trace(trace, name, options.algo_seed, options.speed_factor);
+      out.costs.push_back(run.total_cost);
+    }
+    if (trace.adversary) out.adversary_cost = trace.adversary->cost;
+    if (options.verify_recorded) {
+      const ReplayReport report = replay(trace);
+      out.replay_checks = report.outcomes.size();
+      for (const ReplayOutcome& o : report.outcomes)
+        if (!o.match) ++out.replay_mismatches;
+    }
+    outcomes[i] = std::move(out);
+  });
+
+  BatchResult result;
+  result.files = files.size();
+  result.summaries.resize(algorithms.size());
+  for (std::size_t a = 0; a < algorithms.size(); ++a)
+    result.summaries[a].algorithm = algorithms[a];
+
+  for (const FileOutcome& out : outcomes) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const double c : out.costs) best = std::min(best, c);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      BatchEntry entry;
+      entry.file = out.file;
+      entry.scenario = out.scenario;
+      entry.algorithm = algorithms[a];
+      entry.cost = out.costs[a];
+      // best == 0 admits no finite ratio for a nonzero cost; record 0
+      // ("unavailable", same convention as ratio_vs_adversary) rather than
+      // silently calling an expensive algorithm tied-for-best.
+      if (best > 0.0)
+        entry.ratio_vs_best = out.costs[a] / best;
+      else
+        entry.ratio_vs_best = out.costs[a] == 0.0 ? 1.0 : 0.0;
+      entry.ratio_vs_adversary =
+          out.adversary_cost > 0.0 ? out.costs[a] / out.adversary_cost : 0.0;
+
+      BatchAlgoSummary& summary = result.summaries[a];
+      summary.cost.add(entry.cost);
+      if (entry.ratio_vs_best > 0.0) summary.ratio_vs_best.add(entry.ratio_vs_best);
+      if (entry.ratio_vs_adversary > 0.0)
+        summary.ratio_vs_adversary.add(entry.ratio_vs_adversary);
+      bool strictly_best = true;
+      for (std::size_t b = 0; b < out.costs.size(); ++b)
+        if (b != a && out.costs[b] <= out.costs[a]) strictly_best = false;
+      if (strictly_best) ++summary.wins;
+
+      result.entries.push_back(std::move(entry));
+    }
+    result.replay_checks += out.replay_checks;
+    result.replay_mismatches += out.replay_mismatches;
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+io::Json batch_to_json(const BatchResult& result) {
+  io::Json root = io::Json::object();
+  root.set("files", result.files);
+  root.set("replay_checks", result.replay_checks);
+  root.set("replay_mismatches", result.replay_mismatches);
+  root.set("wall_seconds", result.wall_seconds);
+
+  io::Json summaries = io::Json::array();
+  for (const BatchAlgoSummary& s : result.summaries) {
+    io::Json row = io::Json::object();
+    row.set("algorithm", s.algorithm);
+    row.set("mean_cost", s.cost.mean());
+    row.set("mean_ratio_vs_best", s.ratio_vs_best.mean());
+    if (s.ratio_vs_adversary.count() > 0)
+      row.set("mean_ratio_vs_adversary", s.ratio_vs_adversary.mean());
+    row.set("wins", s.wins);
+    summaries.push_back(std::move(row));
+  }
+  root.set("algorithms", std::move(summaries));
+
+  io::Json entries = io::Json::array();
+  for (const BatchEntry& e : result.entries) {
+    io::Json row = io::Json::object();
+    row.set("file", e.file);
+    row.set("scenario", e.scenario);
+    row.set("algorithm", e.algorithm);
+    row.set("cost", e.cost);
+    row.set("ratio_vs_best", e.ratio_vs_best);
+    if (e.ratio_vs_adversary > 0.0) row.set("ratio_vs_adversary", e.ratio_vs_adversary);
+    entries.push_back(std::move(row));
+  }
+  root.set("entries", std::move(entries));
+  return root;
+}
+
+void print_batch_summary(std::ostream& os, const std::string& source, const BatchResult& result,
+                         const BatchOptions& options, unsigned threads) {
+  io::Table table("Batch replay of " + source + " (" + std::to_string(result.files) +
+                      " traces, speed factor " + io::format_double(options.speed_factor) + ")",
+                  {"algorithm", "mean cost", "mean ratio vs best", "wins"});
+  for (const BatchAlgoSummary& s : result.summaries)
+    table.row()
+        .cell(s.algorithm)
+        .cell(s.cost.mean(), 5)
+        .cell(s.ratio_vs_best.mean(), 4)
+        .cell(s.wins)
+        .done();
+  table.print(os);
+  os << "  replayed " << result.files << " trace(s) in "
+     << io::format_double(result.wall_seconds, 3) << " s on " << threads
+     << " thread(s); recorded-run checks: " << result.replay_checks << " ("
+     << result.replay_mismatches << " mismatches)\n";
+}
+
+}  // namespace mobsrv::trace

@@ -1,0 +1,737 @@
+#include "trace/codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "io/json.hpp"
+
+static_assert(std::endian::native == std::endian::little,
+              "the binary trace codec assumes a little-endian host");
+
+namespace mobsrv::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'T', 'R', 'C', 'B', '1', '\n'};
+
+enum SectionTag : std::uint8_t {
+  kSectionMeta = 1,
+  kSectionInstance = 2,
+  kSectionMovingClient = 3,
+  kSectionAdversary = 4,
+  kSectionRun = 5,
+  kSectionEnd = 0xFF,
+};
+
+[[noreturn]] void fail(const std::string& origin, const std::string& message) {
+  throw TraceError(origin + ": " + message);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL codec.
+// ---------------------------------------------------------------------------
+
+io::Json point_to_json(const sim::Point& p) {
+  io::Json arr = io::Json::array();
+  for (int i = 0; i < p.dim(); ++i) arr.push_back(p[i]);
+  return arr;
+}
+
+io::Json points_to_json(const std::vector<sim::Point>& points) {
+  io::Json arr = io::Json::array();
+  for (const sim::Point& p : points) arr.push_back(point_to_json(p));
+  return arr;
+}
+
+sim::Point point_from_json(const io::Json& j, int dim, const std::string& origin,
+                           const char* what) {
+  const io::Json::Array& coords = j.as_array();
+  if (static_cast<int>(coords.size()) != dim)
+    fail(origin, std::string(what) + ": point has " + std::to_string(coords.size()) +
+                     " coordinates, expected " + std::to_string(dim));
+  sim::Point p(dim);
+  for (int i = 0; i < dim; ++i) p[i] = coords[static_cast<std::size_t>(i)].as_double();
+  return p;
+}
+
+std::vector<sim::Point> points_from_json(const io::Json& j, int dim, const std::string& origin,
+                                         const char* what) {
+  std::vector<sim::Point> out;
+  out.reserve(j.as_array().size());
+  for (const io::Json& pj : j.as_array()) out.push_back(point_from_json(pj, dim, origin, what));
+  return out;
+}
+
+std::string encode_jsonl(const TraceFile& file) {
+  std::string out;
+
+  io::Json header = io::Json::object();
+  header.set("format", "mobsrv-trace");
+  header.set("version", kFormatVersion);
+  header.set("name", file.meta.name);
+  header.set("source", file.meta.source);
+  header.set("seed", file.meta.seed);
+  header.set("dim", file.instance.dim());
+  header.set("horizon", file.instance.horizon());
+  header.set("D", file.instance.params().move_cost_weight);
+  header.set("m", file.instance.params().max_step);
+  header.set("order", order_name(file.instance.params().order));
+  header.set("start", point_to_json(file.instance.start()));
+  header.dump_to(out);
+  out.push_back('\n');
+
+  for (const sim::RequestBatch& batch : file.instance.steps()) {
+    points_to_json(batch.requests).dump_to(out);
+    out.push_back('\n');
+  }
+
+  if (file.moving_client) {
+    const sim::MovingClientInstance& mc = *file.moving_client;
+    io::Json agents = io::Json::array();
+    for (const sim::AgentPath& agent : mc.agents) agents.push_back(points_to_json(agent.positions));
+    io::Json body = io::Json::object();
+    body.set("server_speed", mc.server_speed);
+    body.set("agent_speed", mc.agent_speed);
+    body.set("D", mc.move_cost_weight);
+    body.set("start", point_to_json(mc.start));
+    body.set("agents", std::move(agents));
+    io::Json line = io::Json::object();
+    line.set("moving_client", std::move(body));
+    line.dump_to(out);
+    out.push_back('\n');
+  }
+
+  if (file.adversary) {
+    io::Json body = io::Json::object();
+    body.set("cost", file.adversary->cost);
+    body.set("positions", points_to_json(file.adversary->positions));
+    io::Json line = io::Json::object();
+    line.set("adversary", std::move(body));
+    line.dump_to(out);
+    out.push_back('\n');
+  }
+
+  for (const RecordedRun& run : file.runs) {
+    io::Json body = io::Json::object();
+    body.set("algorithm", run.algorithm);
+    body.set("algo_seed", run.algo_seed);
+    body.set("speed_factor", run.speed_factor);
+    body.set("policy", policy_name(run.policy));
+    body.set("total_cost", run.total_cost);
+    body.set("move_cost", run.move_cost);
+    body.set("service_cost", run.service_cost);
+    body.set("positions", points_to_json(run.positions));
+    if (!run.step_costs.empty()) {
+      io::Json costs = io::Json::array();
+      for (const sim::StepCost& c : run.step_costs)
+        costs.push_back(io::Json(io::Json::Array{io::Json(c.move), io::Json(c.service)}));
+      body.set("step_costs", std::move(costs));
+    }
+    io::Json line = io::Json::object();
+    line.set("run", std::move(body));
+    line.dump_to(out);
+    out.push_back('\n');
+  }
+
+  io::Json end = io::Json::object();
+  end.set("end", true);
+  end.set("steps", file.instance.horizon());
+  end.set("runs", file.runs.size());
+  end.dump_to(out);
+  out.push_back('\n');
+  return out;
+}
+
+TraceFile decode_jsonl(const std::string& bytes, const std::string& origin) {
+  // Split into non-empty lines.
+  std::vector<std::string_view> lines;
+  std::string_view rest(bytes);
+  while (!rest.empty()) {
+    const std::size_t nl = rest.find('\n');
+    const std::string_view line = rest.substr(0, nl);
+    if (!line.empty()) lines.push_back(line);
+    if (nl == std::string_view::npos) break;
+    rest.remove_prefix(nl + 1);
+  }
+  if (lines.empty()) fail(origin, "empty trace file");
+
+  std::size_t cursor = 0;
+  auto next_line = [&](const char* what) -> std::string_view {
+    if (cursor >= lines.size())
+      fail(origin, std::string("truncated: unexpected end of file while reading ") + what);
+    return lines[cursor++];
+  };
+  auto parse_line = [&](const char* what) {
+    const std::string_view line = next_line(what);
+    try {
+      return io::Json::parse(line);
+    } catch (const io::JsonError& error) {
+      fail(origin, std::string("corrupt ") + what + " line " + std::to_string(cursor) + ": " +
+                       error.what());
+    }
+  };
+
+  const io::Json header = parse_line("header");
+  if (const io::Json* format = header.find("format"); !format || format->as_string() != "mobsrv-trace")
+    fail(origin, "not a mobsrv trace file (bad or missing \"format\" in header)");
+  const std::uint64_t version = header.at("version").as_uint64();
+  if (version != kFormatVersion)
+    fail(origin, "unsupported trace format version " + std::to_string(version) + " (this build reads version " +
+                     std::to_string(kFormatVersion) + ")");
+
+  TraceMeta meta;
+  meta.name = header.at("name").as_string();
+  meta.source = header.at("source").as_string();
+  meta.seed = header.at("seed").as_uint64();
+
+  const int dim = static_cast<int>(header.at("dim").as_int64());
+  if (dim < 1 || dim > sim::Point::kMaxDim)
+    fail(origin, "header dim " + std::to_string(dim) + " out of range [1, " +
+                     std::to_string(sim::Point::kMaxDim) + "]");
+  const std::uint64_t horizon = header.at("horizon").as_uint64();
+  if (horizon > lines.size())
+    fail(origin, "truncated: header announces " + std::to_string(horizon) +
+                     " steps but the file has only " + std::to_string(lines.size()) + " lines");
+  sim::ModelParams params;
+  params.move_cost_weight = header.at("D").as_double();
+  params.max_step = header.at("m").as_double();
+  params.order = order_from_name(header.at("order").as_string());
+  const sim::Point start = point_from_json(header.at("start"), dim, origin, "header start");
+
+  std::vector<sim::RequestBatch> steps;
+  steps.reserve(horizon);
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    if (cursor >= lines.size())
+      fail(origin, "truncated: expected " + std::to_string(horizon) + " batch lines, found " +
+                       std::to_string(t));
+    const io::Json batch = parse_line("batch");
+    steps.push_back(sim::RequestBatch{points_from_json(batch, dim, origin, "request")});
+  }
+
+  TraceFile file(std::move(meta), sim::Instance(start, params, std::move(steps)));
+
+  bool saw_end = false;
+  while (cursor < lines.size()) {
+    const io::Json line = parse_line("trailer");
+    const io::Json::Object& obj = line.as_object();
+    if (obj.empty()) fail(origin, "corrupt trailer: empty object");
+    const std::string& key = obj.front().first;
+    const io::Json& body = obj.front().second;
+    if (key == "end") {
+      if (body.as_bool() != true) fail(origin, "corrupt end marker");
+      if (line.at("steps").as_uint64() != horizon)
+        fail(origin, "corrupt end marker: step count disagrees with header");
+      const std::uint64_t runs = line.at("runs").as_uint64();
+      if (runs != file.runs.size())
+        fail(origin, "corrupt end marker: announces " + std::to_string(runs) + " runs, found " +
+                         std::to_string(file.runs.size()));
+      saw_end = true;
+      if (cursor != lines.size()) fail(origin, "trailing data after end marker");
+      break;
+    }
+    if (key == "moving_client") {
+      sim::MovingClientInstance mc;
+      mc.server_speed = body.at("server_speed").as_double();
+      mc.agent_speed = body.at("agent_speed").as_double();
+      mc.move_cost_weight = body.at("D").as_double();
+      mc.start = point_from_json(body.at("start"), dim, origin, "moving_client start");
+      for (const io::Json& path : body.at("agents").as_array())
+        mc.agents.push_back(
+            sim::AgentPath{points_from_json(path, dim, origin, "moving_client path")});
+      file.moving_client = std::move(mc);
+      continue;
+    }
+    if (key == "adversary") {
+      AdversaryInfo adv;
+      adv.cost = body.at("cost").as_double();
+      adv.positions = points_from_json(body.at("positions"), dim, origin, "adversary position");
+      file.adversary = std::move(adv);
+      continue;
+    }
+    if (key == "run") {
+      RecordedRun run;
+      run.algorithm = body.at("algorithm").as_string();
+      run.algo_seed = body.at("algo_seed").as_uint64();
+      run.speed_factor = body.at("speed_factor").as_double();
+      run.policy = policy_from_name(body.at("policy").as_string());
+      run.total_cost = body.at("total_cost").as_double();
+      run.move_cost = body.at("move_cost").as_double();
+      run.service_cost = body.at("service_cost").as_double();
+      run.positions = points_from_json(body.at("positions"), dim, origin, "run position");
+      if (const io::Json* costs = body.find("step_costs")) {
+        for (const io::Json& c : costs->as_array()) {
+          const io::Json::Array& pair = c.as_array();
+          if (pair.size() != 2) fail(origin, "corrupt step_costs entry");
+          run.step_costs.push_back(sim::StepCost{pair[0].as_double(), pair[1].as_double()});
+        }
+      }
+      file.runs.push_back(std::move(run));
+      continue;
+    }
+    fail(origin, "unknown trailer record \"" + key + "\"");
+  }
+  if (!saw_end)
+    fail(origin, "truncated: missing end marker (file was cut off after the batch lines)");
+  return file;
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec: length-prefixed little-endian sections.
+// ---------------------------------------------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_f64(std::string& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+void put_point(std::string& out, const sim::Point& p) {
+  for (int i = 0; i < p.dim(); ++i) put_f64(out, p[i]);
+}
+
+void put_points(std::string& out, const std::vector<sim::Point>& points) {
+  put_u64(out, points.size());
+  for (const sim::Point& p : points) put_point(out, p);
+}
+
+void put_section(std::string& out, std::uint8_t tag, const std::string& payload) {
+  put_u8(out, tag);
+  put_u64(out, payload.size());
+  out += payload;
+}
+
+std::string encode_binary(const TraceFile& file) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kFormatVersion);
+
+  std::string payload;
+  put_str(payload, file.meta.name);
+  put_str(payload, file.meta.source);
+  put_u64(payload, file.meta.seed);
+  put_section(out, kSectionMeta, payload);
+
+  payload.clear();
+  const sim::Instance& inst = file.instance;
+  put_u8(payload, static_cast<std::uint8_t>(inst.dim()));
+  put_u8(payload, inst.params().order == sim::ServiceOrder::kMoveThenServe ? 0 : 1);
+  put_f64(payload, inst.params().move_cost_weight);
+  put_f64(payload, inst.params().max_step);
+  put_point(payload, inst.start());
+  put_u64(payload, inst.horizon());
+  for (const sim::RequestBatch& batch : inst.steps()) {
+    put_u32(payload, static_cast<std::uint32_t>(batch.size()));
+    for (const sim::Point& v : batch.requests) put_point(payload, v);
+  }
+  put_section(out, kSectionInstance, payload);
+
+  if (file.moving_client) {
+    const sim::MovingClientInstance& mc = *file.moving_client;
+    payload.clear();
+    put_f64(payload, mc.server_speed);
+    put_f64(payload, mc.agent_speed);
+    put_f64(payload, mc.move_cost_weight);
+    put_point(payload, mc.start);
+    put_u32(payload, static_cast<std::uint32_t>(mc.agents.size()));
+    put_u64(payload, mc.horizon());
+    for (const sim::AgentPath& agent : mc.agents)
+      for (const sim::Point& p : agent.positions) put_point(payload, p);
+    put_section(out, kSectionMovingClient, payload);
+  }
+
+  if (file.adversary) {
+    payload.clear();
+    put_f64(payload, file.adversary->cost);
+    put_points(payload, file.adversary->positions);
+    put_section(out, kSectionAdversary, payload);
+  }
+
+  for (const RecordedRun& run : file.runs) {
+    payload.clear();
+    put_str(payload, run.algorithm);
+    put_u64(payload, run.algo_seed);
+    put_f64(payload, run.speed_factor);
+    put_u8(payload, run.policy == sim::SpeedLimitPolicy::kThrow ? 0 : 1);
+    put_f64(payload, run.total_cost);
+    put_f64(payload, run.move_cost);
+    put_f64(payload, run.service_cost);
+    put_points(payload, run.positions);
+    put_u8(payload, run.step_costs.empty() ? 0 : 1);
+    if (!run.step_costs.empty()) {
+      put_u64(payload, run.step_costs.size());
+      for (const sim::StepCost& c : run.step_costs) {
+        put_f64(payload, c.move);
+        put_f64(payload, c.service);
+      }
+    }
+    put_section(out, kSectionRun, payload);
+  }
+
+  put_u8(out, kSectionEnd);
+  put_u64(out, 0);
+  return out;
+}
+
+/// Bounds-checked cursor over the binary payload; every read names the
+/// section being decoded so truncation errors are actionable.
+class BinReader {
+ public:
+  BinReader(const std::string& bytes, std::string origin)
+      : bytes_(bytes), origin_(std::move(origin)) {}
+
+  void set_context(const char* what) { context_ = what; }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  double f64() {
+    need(8);
+    double v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  sim::Point point(int dim) {
+    sim::Point p(dim);
+    for (int i = 0; i < dim; ++i) p[i] = f64();
+    return p;
+  }
+  std::vector<sim::Point> points(int dim) {
+    const std::uint64_t n = u64();
+    // Guard against a corrupt count asking for more points than the file
+    // could possibly hold (8 bytes per coordinate).
+    if (n > bytes_.size() / (8 * static_cast<std::uint64_t>(dim)) + 1)
+      fail(origin_, std::string("corrupt ") + context_ + ": implausible point count " +
+                        std::to_string(n));
+    std::vector<sim::Point> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(point(dim));
+    return out;
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > bytes_.size())
+      fail(origin_, std::string("truncated: unexpected end of file while reading ") + context_ +
+                        " (at byte " + std::to_string(pos_) + " of " +
+                        std::to_string(bytes_.size()) + ")");
+  }
+
+  const std::string& bytes_;
+  std::string origin_;
+  const char* context_ = "header";
+  std::size_t pos_ = 0;
+};
+
+TraceFile decode_binary(const std::string& bytes, const std::string& origin) {
+  BinReader r(bytes, origin);
+  r.set_context("magic");
+  if (bytes.size() < sizeof(kMagic) || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    fail(origin, "not a mobsrv binary trace file (bad magic)");
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) (void)r.u8();
+  r.set_context("version");
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion)
+    fail(origin, "unsupported trace format version " + std::to_string(version) +
+                     " (this build reads version " + std::to_string(kFormatVersion) + ")");
+
+  std::optional<TraceMeta> meta;
+  std::optional<TraceFile> file;
+  int dim = 0;
+  bool saw_end = false;
+
+  while (!saw_end) {
+    r.set_context("section header");
+    const std::uint8_t tag = r.u8();
+    const std::uint64_t size = r.u64();
+    // The declared size feeds every downstream plausibility guard, so it
+    // must itself be bounded by what the file actually holds.
+    if (size > r.size() - r.pos())
+      fail(origin, "truncated: section (tag " + std::to_string(tag) + ") declares " +
+                       std::to_string(size) + " bytes but only " +
+                       std::to_string(r.size() - r.pos()) + " remain");
+    const std::size_t section_start = r.pos();
+    switch (tag) {
+      case kSectionMeta: {
+        r.set_context("meta section");
+        TraceMeta m;
+        m.name = r.str();
+        m.source = r.str();
+        m.seed = r.u64();
+        meta = std::move(m);
+        break;
+      }
+      case kSectionInstance: {
+        r.set_context("instance section");
+        if (!meta) fail(origin, "corrupt file: instance section before meta section");
+        dim = r.u8();
+        if (dim < 1 || dim > sim::Point::kMaxDim)
+          fail(origin, "instance dim " + std::to_string(dim) + " out of range [1, " +
+                           std::to_string(sim::Point::kMaxDim) + "]");
+        sim::ModelParams params;
+        params.order = r.u8() == 0 ? sim::ServiceOrder::kMoveThenServe
+                                   : sim::ServiceOrder::kServeThenMove;
+        params.move_cost_weight = r.f64();
+        params.max_step = r.f64();
+        const sim::Point start = r.point(dim);
+        const std::uint64_t horizon = r.u64();
+        if (horizon > size / 4 + 1)
+          fail(origin, "corrupt instance section: implausible horizon " + std::to_string(horizon));
+        std::vector<sim::RequestBatch> steps;
+        steps.reserve(horizon);
+        for (std::uint64_t t = 0; t < horizon; ++t) {
+          const std::uint32_t nreq = r.u32();
+          // Each request needs 8·dim payload bytes; a larger count is a
+          // corrupt field, not a short file — reject before reserving.
+          if (nreq > size / 8 + 1)
+            fail(origin,
+                 "corrupt instance section: implausible batch size " + std::to_string(nreq));
+          sim::RequestBatch batch;
+          batch.requests.reserve(nreq);
+          for (std::uint32_t i = 0; i < nreq; ++i) batch.requests.push_back(r.point(dim));
+          steps.push_back(std::move(batch));
+        }
+        file.emplace(*meta, sim::Instance(start, params, std::move(steps)));
+        break;
+      }
+      case kSectionMovingClient: {
+        r.set_context("moving_client section");
+        if (!file) fail(origin, "corrupt file: moving_client section before instance section");
+        sim::MovingClientInstance mc;
+        mc.server_speed = r.f64();
+        mc.agent_speed = r.f64();
+        mc.move_cost_weight = r.f64();
+        mc.start = r.point(dim);
+        const std::uint32_t nagents = r.u32();
+        const std::uint64_t horizon = r.u64();
+        if (nagents > size / 8 + 1 || horizon > size / 8 + 1)
+          fail(origin, "corrupt moving_client section: implausible shape " +
+                           std::to_string(nagents) + " agents x " + std::to_string(horizon) +
+                           " rounds");
+        for (std::uint32_t a = 0; a < nagents; ++a) {
+          sim::AgentPath path;
+          path.positions.reserve(horizon);
+          for (std::uint64_t t = 0; t < horizon; ++t) path.positions.push_back(r.point(dim));
+          mc.agents.push_back(std::move(path));
+        }
+        file->moving_client = std::move(mc);
+        break;
+      }
+      case kSectionAdversary: {
+        r.set_context("adversary section");
+        if (!file) fail(origin, "corrupt file: adversary section before instance section");
+        AdversaryInfo adv;
+        adv.cost = r.f64();
+        adv.positions = r.points(dim);
+        file->adversary = std::move(adv);
+        break;
+      }
+      case kSectionRun: {
+        r.set_context("run section");
+        if (!file) fail(origin, "corrupt file: run section before instance section");
+        RecordedRun run;
+        run.algorithm = r.str();
+        run.algo_seed = r.u64();
+        run.speed_factor = r.f64();
+        run.policy =
+            r.u8() == 0 ? sim::SpeedLimitPolicy::kThrow : sim::SpeedLimitPolicy::kClamp;
+        run.total_cost = r.f64();
+        run.move_cost = r.f64();
+        run.service_cost = r.f64();
+        run.positions = r.points(dim);
+        if (r.u8() != 0) {
+          const std::uint64_t n = r.u64();
+          if (n > size / 16 + 1)
+            fail(origin, "corrupt run section: implausible step count " + std::to_string(n));
+          run.step_costs.reserve(n);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            const double move = r.f64();
+            const double service = r.f64();
+            run.step_costs.push_back(sim::StepCost{move, service});
+          }
+        }
+        file->runs.push_back(std::move(run));
+        break;
+      }
+      case kSectionEnd:
+        if (size != 0) fail(origin, "corrupt end section");
+        saw_end = true;
+        break;
+      default:
+        fail(origin, "unknown section tag " + std::to_string(tag) +
+                         " (corrupt file or newer format)");
+    }
+    if (tag != kSectionEnd && r.pos() - section_start != size)
+      fail(origin, "corrupt section (tag " + std::to_string(tag) + "): payload declares " +
+                       std::to_string(size) + " bytes, decoder consumed " +
+                       std::to_string(r.pos() - section_start));
+  }
+  if (r.pos() != r.size()) fail(origin, "trailing data after end section");
+  if (!file) fail(origin, "truncated: file ends before the instance section");
+  return std::move(*file);
+}
+
+/// Shared invariants enforced on BOTH directions: decoding rejects corrupt
+/// files, and encoding refuses to write a file that could never be read
+/// back (e.g. unequal agent path lengths).
+void validate_trace_file(const TraceFile& file, const std::string& origin) {
+  const std::size_t horizon = file.instance.horizon();
+  if (file.moving_client) {
+    if (file.moving_client->horizon() != horizon)
+      fail(origin, "moving_client horizon " + std::to_string(file.moving_client->horizon()) +
+                       " does not match instance horizon " + std::to_string(horizon));
+    try {
+      file.moving_client->validate();
+    } catch (const ContractViolation& error) {
+      fail(origin, std::string("invalid moving_client section: ") + error.what());
+    }
+  }
+  for (const RecordedRun& run : file.runs) {
+    if (!run.positions.empty() && run.positions.size() != horizon + 1)
+      fail(origin, "run \"" + run.algorithm + "\" has " + std::to_string(run.positions.size()) +
+                       " positions, expected " + std::to_string(horizon + 1));
+    if (!run.step_costs.empty() && run.step_costs.size() != horizon)
+      fail(origin, "run \"" + run.algorithm + "\" has " + std::to_string(run.step_costs.size()) +
+                       " step costs, expected " + std::to_string(horizon));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+std::string to_string(Codec codec) { return codec == Codec::kJsonl ? "jsonl" : "binary"; }
+
+std::string extension(Codec codec) { return codec == Codec::kJsonl ? ".jsonl" : ".mtb"; }
+
+Codec codec_from_name(const std::string& name) {
+  if (name == "jsonl") return Codec::kJsonl;
+  if (name == "binary") return Codec::kBinary;
+  throw TraceError("unknown codec \"" + name + "\" (expected jsonl or binary)");
+}
+
+Codec codec_for_path(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  if (ext == ".jsonl") return Codec::kJsonl;
+  if (ext == ".mtb") return Codec::kBinary;
+  throw TraceError(path.string() + ": unknown trace extension \"" + ext +
+                   "\" (expected .jsonl or .mtb)");
+}
+
+std::string encode_trace(const TraceFile& file, Codec codec) {
+  try {
+    validate_trace_file(file, "encode");
+  } catch (const ContractViolation& error) {
+    throw TraceError(std::string("encode: invalid trace contents: ") + error.what());
+  }
+  return codec == Codec::kJsonl ? encode_jsonl(file) : encode_binary(file);
+}
+
+TraceFile decode_trace(const std::string& bytes, const std::string& origin) {
+  // Sniff the codec on the first non-whitespace byte, so hand-edited JSONL
+  // with a leading newline is still routed to the JSONL decoder.
+  const std::size_t first = bytes.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) fail(origin, "empty trace file");
+  try {
+    TraceFile file =
+        bytes[first] == '{' ? decode_jsonl(bytes, origin) : decode_binary(bytes, origin);
+    validate_trace_file(file, origin);
+    return file;
+  } catch (const TraceError&) {
+    throw;
+  } catch (const io::JsonError& error) {
+    fail(origin, std::string("corrupt JSON: ") + error.what());
+  } catch (const ContractViolation& error) {
+    // Instance/params validation rejected decoded values (e.g. D < 1).
+    fail(origin, std::string("invalid trace contents: ") + error.what());
+  }
+}
+
+void write_trace(const std::filesystem::path& path, const TraceFile& file, Codec codec) {
+  const std::string bytes = encode_trace(file, codec);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw TraceError(path.string() + ": cannot open for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw TraceError(path.string() + ": write failed");
+}
+
+void write_trace(const std::filesystem::path& path, const TraceFile& file) {
+  write_trace(path, file, codec_for_path(path));
+}
+
+TraceFile read_trace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError(path.string() + ": cannot open (missing file?)");
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw TraceError(path.string() + ": read failed");
+  return decode_trace(bytes, path.string());
+}
+
+std::string policy_name(sim::SpeedLimitPolicy policy) {
+  return policy == sim::SpeedLimitPolicy::kThrow ? "throw" : "clamp";
+}
+
+sim::SpeedLimitPolicy policy_from_name(const std::string& name) {
+  if (name == "throw") return sim::SpeedLimitPolicy::kThrow;
+  if (name == "clamp") return sim::SpeedLimitPolicy::kClamp;
+  throw TraceError("unknown speed-limit policy \"" + name + "\"");
+}
+
+std::string order_name(sim::ServiceOrder order) {
+  return order == sim::ServiceOrder::kMoveThenServe ? "move-then-serve" : "serve-then-move";
+}
+
+sim::ServiceOrder order_from_name(const std::string& name) {
+  if (name == "move-then-serve") return sim::ServiceOrder::kMoveThenServe;
+  if (name == "serve-then-move") return sim::ServiceOrder::kServeThenMove;
+  throw TraceError("unknown service order \"" + name + "\"");
+}
+
+}  // namespace mobsrv::trace

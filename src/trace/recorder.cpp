@@ -1,0 +1,52 @@
+#include "trace/recorder.hpp"
+
+namespace mobsrv::trace {
+
+Recorder::Recorder(RecorderOptions options) : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    std::string message = options_.dir.string();
+    message += ": cannot create record directory: ";
+    message += ec.message();
+    throw TraceError(message);
+  }
+}
+
+std::filesystem::path Recorder::write(const TraceFile& file) {
+  std::string base = sanitize_name(file.meta.name);
+  if (base.empty()) base = "trace";
+
+  std::filesystem::path path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int n = ++used_names_[base];
+    std::string stem = base;
+    if (n > 1) {
+      stem += '-';
+      stem += std::to_string(n);
+    }
+    path = options_.dir / (stem + extension(options_.codec));
+    ++files_written_;
+  }
+  write_trace(path, file, options_.codec);
+  return path;
+}
+
+std::size_t Recorder::files_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_written_;
+}
+
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_' || c == '-';
+    out.push_back(ok ? c : '-');
+  }
+  return out;
+}
+
+}  // namespace mobsrv::trace

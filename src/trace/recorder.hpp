@@ -1,0 +1,54 @@
+/// \file recorder.hpp
+/// Captures engine runs into trace files on disk.
+///
+/// A Recorder owns an output directory and a codec and hands out unique
+/// file names; it is thread-safe, so parallel trial harnesses (the bench
+/// driver's --record-dir instrumentation) can record from worker threads.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "trace/codec.hpp"
+
+namespace mobsrv::trace {
+
+struct RecorderOptions {
+  std::filesystem::path dir;      ///< created if missing
+  Codec codec = Codec::kJsonl;
+};
+
+class Recorder {
+ public:
+  /// Creates the directory (recursively) if needed; throws TraceError when
+  /// that fails.
+  explicit Recorder(RecorderOptions options);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return options_.dir; }
+  [[nodiscard]] Codec codec() const noexcept { return options_.codec; }
+
+  /// Writes \p file as `<sanitised meta.name><ext>` inside the directory,
+  /// suffixing `-2`, `-3`, ... when the name is already taken this session.
+  /// Thread-safe; returns the path written.
+  std::filesystem::path write(const TraceFile& file);
+
+  /// Number of files written through this recorder so far. Thread-safe.
+  [[nodiscard]] std::size_t files_written() const;
+
+ private:
+  RecorderOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, int> used_names_;
+  std::size_t files_written_ = 0;
+};
+
+/// Replaces every character outside [A-Za-z0-9._-] with '-' (file-system
+/// safe scenario names).
+[[nodiscard]] std::string sanitize_name(const std::string& name);
+
+}  // namespace mobsrv::trace

@@ -1,0 +1,45 @@
+#include "trace/replay.hpp"
+
+#include "algorithms/registry.hpp"
+
+namespace mobsrv::trace {
+
+ReplayOutcome replay_run(const sim::Instance& instance, const RecordedRun& run) {
+  const sim::AlgorithmPtr algo = alg::make_algorithm(run.algorithm, run.algo_seed);
+  sim::RunOptions options;
+  options.speed_factor = run.speed_factor;
+  options.policy = run.policy;
+  const sim::RunResult result = sim::run(instance, *algo, options);
+
+  ReplayOutcome outcome;
+  outcome.algorithm = run.algorithm;
+  outcome.algo_seed = run.algo_seed;
+  outcome.recorded_total = run.total_cost;
+  outcome.replayed_total = result.total_cost;
+  outcome.recorded_move = run.move_cost;
+  outcome.replayed_move = result.move_cost;
+  outcome.recorded_service = run.service_cost;
+  outcome.replayed_service = result.service_cost;
+  outcome.match = result.total_cost == run.total_cost && result.move_cost == run.move_cost &&
+                  result.service_cost == run.service_cost;
+  return outcome;
+}
+
+ReplayReport replay(const TraceFile& file) {
+  ReplayReport report;
+  report.outcomes.reserve(file.runs.size());
+  for (const RecordedRun& run : file.runs) report.outcomes.push_back(replay_run(file.instance, run));
+  return report;
+}
+
+sim::RunResult run_on_trace(const TraceFile& file, const std::string& algorithm,
+                            std::uint64_t algo_seed, double speed_factor,
+                            sim::SpeedLimitPolicy policy) {
+  const sim::AlgorithmPtr algo = alg::make_algorithm(algorithm, algo_seed);
+  sim::RunOptions options;
+  options.speed_factor = speed_factor;
+  options.policy = policy;
+  return sim::run(file.instance, *algo, options);
+}
+
+}  // namespace mobsrv::trace

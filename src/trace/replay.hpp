@@ -1,0 +1,57 @@
+/// \file replay.hpp
+/// Re-runs recorded traces and verifies them bit-identically.
+///
+/// Replaying reconstructs the algorithm from the registry (name + seed),
+/// runs it through the engine on the stored instance under the stored
+/// speed factor and policy, and compares the resulting cost split against
+/// the recorded one with EXACT double equality. The whole stack is
+/// deterministic (engine, algorithms, RNG), so any mismatch means the
+/// file, the algorithm or the engine changed — which is precisely what the
+/// check is for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mobsrv::trace {
+
+/// Result of replaying one recorded run.
+struct ReplayOutcome {
+  std::string algorithm;
+  std::uint64_t algo_seed = 0;
+  double recorded_total = 0.0;
+  double replayed_total = 0.0;
+  double recorded_move = 0.0;
+  double replayed_move = 0.0;
+  double recorded_service = 0.0;
+  double replayed_service = 0.0;
+  bool match = false;  ///< all three cost components exactly equal
+};
+
+struct ReplayReport {
+  std::vector<ReplayOutcome> outcomes;
+  [[nodiscard]] bool all_match() const {
+    for (const ReplayOutcome& o : outcomes)
+      if (!o.match) return false;
+    return true;
+  }
+};
+
+/// Replays one recorded run against \p instance.
+[[nodiscard]] ReplayOutcome replay_run(const sim::Instance& instance, const RecordedRun& run);
+
+/// Replays every recorded run in the file. Files without recorded runs
+/// yield an empty (trivially matching) report.
+[[nodiscard]] ReplayReport replay(const TraceFile& file);
+
+/// Runs a (possibly different) algorithm against a stored workload and
+/// returns the full engine result — the "re-run any registered algorithm"
+/// half of the replay path, used by the batch runner and the tools.
+[[nodiscard]] sim::RunResult run_on_trace(const TraceFile& file, const std::string& algorithm,
+                                          std::uint64_t algo_seed = 0, double speed_factor = 1.0,
+                                          sim::SpeedLimitPolicy policy =
+                                              sim::SpeedLimitPolicy::kThrow);
+
+}  // namespace mobsrv::trace

@@ -1,0 +1,99 @@
+#include "trace/trace.hpp"
+
+#include "algorithms/registry.hpp"
+
+namespace mobsrv::trace {
+
+RecordedRun record_run(const sim::Instance& instance, const std::string& algorithm,
+                       std::uint64_t algo_seed, double speed_factor,
+                       sim::SpeedLimitPolicy policy) {
+  const sim::AlgorithmPtr algo = alg::make_algorithm(algorithm, algo_seed);
+  sim::RunOptions options;
+  options.speed_factor = speed_factor;
+  options.policy = policy;
+  options.record_trace = true;
+  const sim::RunResult result = sim::run(instance, *algo, options);
+  return to_recorded_run(algorithm, algo_seed, speed_factor, policy, result);
+}
+
+RecordedRun to_recorded_run(std::string algorithm, std::uint64_t algo_seed, double speed_factor,
+                            sim::SpeedLimitPolicy policy, const sim::RunResult& result) {
+  RecordedRun run;
+  run.algorithm = std::move(algorithm);
+  run.algo_seed = algo_seed;
+  run.speed_factor = speed_factor;
+  run.policy = policy;
+  run.total_cost = result.total_cost;
+  run.move_cost = result.move_cost;
+  run.service_cost = result.service_cost;
+  run.positions = result.positions;
+  run.step_costs.reserve(result.trace.size());
+  for (const sim::TraceStep& step : result.trace) run.step_costs.push_back(step.cost);
+  return run;
+}
+
+namespace {
+
+bool identical_points(const std::vector<sim::Point>& a, const std::vector<sim::Point>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;  // Point::operator== compares doubles exactly
+  return true;
+}
+
+}  // namespace
+
+bool identical(const sim::Instance& a, const sim::Instance& b) {
+  if (a.dim() != b.dim() || a.horizon() != b.horizon()) return false;
+  if (a.start() != b.start()) return false;
+  if (a.params().move_cost_weight != b.params().move_cost_weight) return false;
+  if (a.params().max_step != b.params().max_step) return false;
+  if (a.params().order != b.params().order) return false;
+  for (std::size_t t = 0; t < a.horizon(); ++t)
+    if (!identical_points(a.step(t).requests, b.step(t).requests)) return false;
+  return true;
+}
+
+bool identical(const RecordedRun& a, const RecordedRun& b) {
+  if (a.algorithm != b.algorithm || a.algo_seed != b.algo_seed) return false;
+  if (a.speed_factor != b.speed_factor || a.policy != b.policy) return false;
+  if (a.total_cost != b.total_cost || a.move_cost != b.move_cost ||
+      a.service_cost != b.service_cost)
+    return false;
+  if (!identical_points(a.positions, b.positions)) return false;
+  if (a.step_costs.size() != b.step_costs.size()) return false;
+  for (std::size_t i = 0; i < a.step_costs.size(); ++i)
+    if (a.step_costs[i].move != b.step_costs[i].move ||
+        a.step_costs[i].service != b.step_costs[i].service)
+      return false;
+  return true;
+}
+
+bool identical(const TraceFile& a, const TraceFile& b) {
+  if (a.meta.name != b.meta.name || a.meta.source != b.meta.source ||
+      a.meta.seed != b.meta.seed)
+    return false;
+  if (!identical(a.instance, b.instance)) return false;
+  if (a.moving_client.has_value() != b.moving_client.has_value()) return false;
+  if (a.moving_client) {
+    const sim::MovingClientInstance& x = *a.moving_client;
+    const sim::MovingClientInstance& y = *b.moving_client;
+    if (x.start != y.start || x.server_speed != y.server_speed ||
+        x.agent_speed != y.agent_speed || x.move_cost_weight != y.move_cost_weight)
+      return false;
+    if (x.agents.size() != y.agents.size()) return false;
+    for (std::size_t i = 0; i < x.agents.size(); ++i)
+      if (!identical_points(x.agents[i].positions, y.agents[i].positions)) return false;
+  }
+  if (a.adversary.has_value() != b.adversary.has_value()) return false;
+  if (a.adversary) {
+    if (a.adversary->cost != b.adversary->cost) return false;
+    if (!identical_points(a.adversary->positions, b.adversary->positions)) return false;
+  }
+  if (a.runs.size() != b.runs.size()) return false;
+  for (std::size_t i = 0; i < a.runs.size(); ++i)
+    if (!identical(a.runs[i], b.runs[i])) return false;
+  return true;
+}
+
+}  // namespace mobsrv::trace

@@ -1,0 +1,144 @@
+// Unit tests for io/json: exact round-trip of doubles and 64-bit
+// integers, object/array access, and parse-error reporting — the
+// foundations of the JSONL trace codec and the --json bench report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "io/json.hpp"
+
+namespace mobsrv::io {
+namespace {
+
+TEST(Json, ScalarDumpForms) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(0).dump(), "0");
+  EXPECT_EQ(Json(-42).dump(), "-42");
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ULL}).dump(), "18446744073709551615");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd\te").dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+  // UTF-8 passes through verbatim.
+  EXPECT_EQ(Json("héllo").dump(), "\"héllo\"");
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           1e-300,
+                           1e300,
+                           3.141592653589793,
+                           -0.0,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           123456789.123456789};
+  for (const double v : values) {
+    const Json parsed = Json::parse(Json(v).dump());
+    const double back = parsed.as_double();
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << "value " << v << " did not round-trip";
+  }
+}
+
+TEST(Json, NonFiniteDoublesAreRejectedOnDump) {
+  EXPECT_THROW((void)Json(std::nan("")).dump(), ContractViolation);
+  EXPECT_THROW((void)Json(std::numeric_limits<double>::infinity()).dump(), ContractViolation);
+}
+
+TEST(Json, Uint64RoundTripsExactly) {
+  // 2^64 - 1 is not representable as a double; it must survive as an int.
+  const std::uint64_t big = 18446744073709551615ULL;
+  EXPECT_EQ(Json::parse(Json(big).dump()).as_uint64(), big);
+  const std::uint64_t seed = 0xfeedfacecafebeefULL;
+  EXPECT_EQ(Json::parse(Json(seed).dump()).as_uint64(), seed);
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int64(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Json, IntegralDoubleComesBackValueEqual) {
+  // 1.0 dumps as "1" and reparses as an integer — as_double must still
+  // return exactly 1.0 (JSON has a single number type).
+  EXPECT_EQ(Json::parse(Json(1.0).dump()).as_double(), 1.0);
+  EXPECT_EQ(Json::parse(Json(-3.0).dump()).as_double(), -3.0);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("z", 1);
+  obj.set("a", 2);
+  obj.set("m", 3);
+  EXPECT_EQ(obj.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+  obj.set("a", 9);  // replace keeps position
+  EXPECT_EQ(obj.dump(), "{\"z\":1,\"a\":9,\"m\":3}");
+}
+
+TEST(Json, ObjectAccess) {
+  const Json obj = Json::parse("{\"x\": 1, \"y\": [true, null]}");
+  EXPECT_EQ(obj.at("x").as_int64(), 1);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW((void)obj.at("missing"), JsonError);
+  EXPECT_EQ(obj.at("y").as_array().size(), 2u);
+  EXPECT_TRUE(obj.at("y").as_array()[0].as_bool());
+  EXPECT_TRUE(obj.at("y").as_array()[1].is_null());
+}
+
+TEST(Json, NestedRoundTrip) {
+  const std::string text =
+      "{\"name\":\"trace\",\"seed\":123,\"points\":[[0.1,0.2],[1,2]],\"nested\":{\"a\":[]}}";
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(Json, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "é");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::parse("\"\\uD83D\\uDE00\"").as_string(), "😀");
+  EXPECT_THROW((void)Json::parse("\"\\uD83D\""), JsonError);  // unpaired
+}
+
+TEST(Json, ParseErrorsCarryOffsets) {
+  try {
+    (void)Json::parse("{\"a\": }");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_GT(error.offset(), 0u);
+    EXPECT_NE(std::string(error.what()).find("byte"), std::string::npos);
+  }
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("tru"), JsonError);
+  EXPECT_THROW((void)Json::parse("[1,2"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW((void)Json::parse("1e999999x"), JsonError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json v = Json::parse("\"text\"");
+  EXPECT_THROW((void)v.as_double(), JsonError);
+  EXPECT_THROW((void)v.as_array(), JsonError);
+  EXPECT_THROW((void)Json(1.5).as_int64(), JsonError);
+  EXPECT_THROW((void)Json(-1).as_uint64(), JsonError);
+}
+
+TEST(Json, DeepNestingIsBounded) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW((void)Json::parse(deep), JsonError);
+}
+
+TEST(Json, NegativeZeroKeepsSign) {
+  const double back = Json::parse("-0").as_double();
+  EXPECT_TRUE(std::signbit(back));
+}
+
+}  // namespace
+}  // namespace mobsrv::io

@@ -93,5 +93,63 @@ TEST(BenchRegistry, EndToEndOnlyFlagSelection) {
   EXPECT_EQ(selected[1].id, "e10");
 }
 
+TEST(BenchOptions, GlobalSeedThreadsIntoEveryStream) {
+  bench::Options a, b, c;
+  a.seed = 0;
+  b.seed = 0;
+  c.seed = 1;
+  // Same --seed: identical keys (and thus identical experiment results).
+  EXPECT_EQ(a.seed_key("e01", {128}), b.seed_key("e01", {128}));
+  // Different --seed: every stream decorrelates.
+  EXPECT_NE(a.seed_key("e01", {128}), c.seed_key("e01", {128}));
+  // Streams and row keys stay distinct under a fixed seed.
+  EXPECT_NE(a.seed_key("e01", {128}), a.seed_key("e02", {128}));
+  EXPECT_NE(a.seed_key("e01", {128}), a.seed_key("e01", {256}));
+  // rng() derives from the same key: identical draws for identical seeds.
+  stats::Rng ra = a.rng("e05", {4});
+  stats::Rng rb = b.rng("e05", {4});
+  EXPECT_EQ(ra(), rb());
+  // ratio_options carries trials + key.
+  a.trials = 9;
+  const core::RatioOptions opt = a.ratio_options("e01", {128});
+  EXPECT_EQ(opt.trials, 9);
+  EXPECT_EQ(opt.seed_key, a.seed_key("e01", {128}));
+  EXPECT_FALSE(static_cast<bool>(opt.observe));  // no recorder configured
+}
+
+TEST(BenchReport, CapturesTablesAndChecksAsJson) {
+  bench::Report report;
+  report.trials = 2;
+  report.scale = 0.5;
+  report.seed = 42;
+  report.begin_experiment("e01", "first experiment");
+  io::Table table("demo", {"a", "b"});
+  table.row().cell("x").cell(1.5).done();
+  report.add_table(table);
+  report.add_check({"fit", "slope", 0.5, 0.35, 0.65, true});
+  report.end_experiment(1.25);
+
+  const io::Json json = io::Json::parse(report.to_json().dump());
+  EXPECT_EQ(json.at("tool").as_string(), "mobsrv_bench");
+  EXPECT_EQ(json.at("seed").as_uint64(), 42u);
+  const auto& experiments = json.at("experiments").as_array();
+  ASSERT_EQ(experiments.size(), 1u);
+  EXPECT_EQ(experiments[0].at("id").as_string(), "e01");
+  EXPECT_EQ(experiments[0].at("tables").as_array().size(), 1u);
+  const auto& rows = experiments[0].at("tables").as_array()[0].at("rows").as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].as_array()[1].as_string(), "1.5");
+  const auto& checks = experiments[0].at("checks").as_array();
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_TRUE(checks[0].at("pass").as_bool());
+}
+
+TEST(BenchReport, AddingOutsideAnExperimentThrows) {
+  bench::Report report;
+  io::Table table("demo", {"a"});
+  EXPECT_THROW(report.add_table(table), ContractViolation);
+  EXPECT_THROW(report.end_experiment(1.0), ContractViolation);
+}
+
 }  // namespace
 }  // namespace mobsrv

@@ -1,0 +1,113 @@
+// Record -> serialize -> deserialize -> replay determinism: the costs of a
+// recorded run must reproduce bit-identically through either codec, for
+// the paper's algorithm and baselines, on 1-D and 2-D instances — and for
+// a seeded randomized strategy.
+#include <gtest/gtest.h>
+
+#include "adversary/lower_bounds.hpp"
+#include "adversary/workloads.hpp"
+#include "algorithms/registry.hpp"
+#include "trace/codec.hpp"
+#include "trace/replay.hpp"
+
+namespace mobsrv::trace {
+namespace {
+
+sim::Instance one_dim_instance() {
+  stats::Rng rng(11);
+  adv::Theorem1Params p;
+  p.horizon = 96;
+  return adv::make_theorem1(p, rng).instance;
+}
+
+sim::Instance two_dim_instance() {
+  stats::Rng rng(12);
+  adv::DriftingHotspotParams p;
+  p.horizon = 96;
+  p.dim = 2;
+  return adv::make_drifting_hotspot(p, rng);
+}
+
+void expect_replay_identical(const sim::Instance& instance, const std::string& algorithm,
+                             std::uint64_t algo_seed) {
+  TraceFile file(TraceMeta{"replay-test", "test", 1}, instance);
+  file.runs.push_back(record_run(instance, algorithm, algo_seed, 1.5));
+
+  for (const Codec codec : {Codec::kJsonl, Codec::kBinary}) {
+    const TraceFile loaded = decode_trace(encode_trace(file, codec), "mem");
+    const ReplayReport report = replay(loaded);
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    const ReplayOutcome& o = report.outcomes.front();
+    // Exact equality, not EXPECT_DOUBLE_EQ: the contract is bit-identity.
+    EXPECT_EQ(o.replayed_total, o.recorded_total)
+        << algorithm << " via " << to_string(codec) << " (total)";
+    EXPECT_EQ(o.replayed_move, o.recorded_move)
+        << algorithm << " via " << to_string(codec) << " (move)";
+    EXPECT_EQ(o.replayed_service, o.recorded_service)
+        << algorithm << " via " << to_string(codec) << " (service)";
+    EXPECT_TRUE(o.match);
+    EXPECT_TRUE(report.all_match());
+  }
+}
+
+TEST(TraceReplay, MtcReplaysBitIdentically1D) { expect_replay_identical(one_dim_instance(), "MtC", 0); }
+
+TEST(TraceReplay, MtcReplaysBitIdentically2D) { expect_replay_identical(two_dim_instance(), "MtC", 0); }
+
+TEST(TraceReplay, LazyBaselineReplaysBitIdentically1D) {
+  expect_replay_identical(one_dim_instance(), "Lazy", 0);
+}
+
+TEST(TraceReplay, LazyBaselineReplaysBitIdentically2D) {
+  expect_replay_identical(two_dim_instance(), "Lazy", 0);
+}
+
+TEST(TraceReplay, SeededRandomizedStrategyReplaysBitIdentically) {
+  // CoinFlip is randomized; the recorded algo_seed must fully determine it.
+  expect_replay_identical(two_dim_instance(), "CoinFlip", 0xabcdef12345ULL);
+}
+
+TEST(TraceReplay, EveryRegisteredAlgorithmReplaysBitIdentically) {
+  const sim::Instance instance = two_dim_instance();
+  TraceFile file(TraceMeta{"all-algos", "test", 1}, instance);
+  for (const std::string& name : alg::algorithm_names())
+    file.runs.push_back(record_run(instance, name, 99, 1.5));
+  for (const Codec codec : {Codec::kJsonl, Codec::kBinary}) {
+    const ReplayReport report = replay(decode_trace(encode_trace(file, codec), "mem"));
+    EXPECT_EQ(report.outcomes.size(), alg::algorithm_names().size());
+    EXPECT_TRUE(report.all_match()) << to_string(codec);
+  }
+}
+
+TEST(TraceReplay, MismatchIsDetected) {
+  const sim::Instance instance = one_dim_instance();
+  TraceFile file(TraceMeta{"tamper", "test", 1}, instance);
+  file.runs.push_back(record_run(instance, "MtC", 0, 1.5));
+  file.runs.front().total_cost += 1e-9;  // tamper with the recorded cost
+  const ReplayReport report = replay(file);
+  EXPECT_FALSE(report.all_match());
+  EXPECT_FALSE(report.outcomes.front().match);
+}
+
+TEST(TraceReplay, RunOnTraceMatchesDirectEngineRun) {
+  const sim::Instance instance = two_dim_instance();
+  TraceFile file(TraceMeta{"direct", "test", 1}, instance);
+  const sim::RunResult direct = run_on_trace(file, "GreedyCenter", 0, 1.25);
+  const RecordedRun recorded = record_run(instance, "GreedyCenter", 0, 1.25);
+  EXPECT_EQ(direct.total_cost, recorded.total_cost);
+  EXPECT_EQ(direct.move_cost, recorded.move_cost);
+  EXPECT_EQ(direct.service_cost, recorded.service_cost);
+}
+
+TEST(TraceReplay, UnknownAlgorithmInTraceThrows) {
+  const sim::Instance instance = one_dim_instance();
+  TraceFile file(TraceMeta{"unknown", "test", 1}, instance);
+  RecordedRun run;
+  run.algorithm = "NoSuchAlgorithm";
+  run.positions.assign(instance.horizon() + 1, instance.start());
+  file.runs.push_back(run);
+  EXPECT_THROW((void)replay(file), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mobsrv::trace

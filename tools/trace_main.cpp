@@ -1,0 +1,359 @@
+/// \file trace_main.cpp
+/// mobsrv_trace — record, replay, inspect, convert, import and batch-replay
+/// on-disk workload traces.
+///
+///   mobsrv_trace list                                     # corpus scenarios
+///   mobsrv_trace record  --scenario=N [--seed=S] [--scale=F] [--algos=A,B]
+///                        [--speed-factor=X] --out=FILE     # generate + run + save
+///   mobsrv_trace replay  --in=FILE|DIR [--quiet]           # verify bit-identically
+///   mobsrv_trace inspect --in=FILE [--json]                # describe a trace
+///   mobsrv_trace convert --in=FILE --out=FILE              # transcode jsonl <-> mtb
+///   mobsrv_trace corpus  --dir=DIR [--seed=S] [--scale=F] [--codec=C]
+///                        [--algos=A,B]                     # snapshot every scenario
+///   mobsrv_trace batch   --dir=DIR [--algos=A,B] [--threads=N] [--speed-factor=X]
+///                        [--json=PATH] [--baseline]        # sharded batch replay
+///   mobsrv_trace import  --in=CSV --format=demand|waypoints --out=FILE
+///                        [--d=D] [--m=M] [--server-speed=S] [--agent-speed=A]
+///
+/// Codecs are chosen by file extension: .jsonl (JSON Lines) or .mtb
+/// (binary). Reading sniffs the codec, so any command accepts either.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/mobsrv.hpp"
+
+namespace {
+
+using namespace mobsrv;
+
+void print_usage(std::ostream& os) {
+  os << "usage: mobsrv_trace <command> [flags]\n"
+        "commands:\n"
+        "  list     print the corpus scenario names\n"
+        "  record   --scenario=N [--seed=S] [--scale=F] [--algos=A,B] [--speed-factor=X]\n"
+        "           --out=FILE           generate a scenario, run algorithms, save all\n"
+        "  replay   --in=FILE|DIR        re-run recorded runs, verify costs bit-identically\n"
+        "  inspect  --in=FILE [--json]   describe a trace file\n"
+        "  convert  --in=FILE --out=FILE transcode between .jsonl and .mtb\n"
+        "  corpus   --dir=DIR [--seed=S] [--scale=F] [--codec=jsonl|binary] [--algos=A,B]\n"
+        "           snapshot every generator into DIR (optionally with recorded runs)\n"
+        "  batch    --dir=DIR [--algos=A,B] [--threads=N] [--speed-factor=X]\n"
+        "           [--json=PATH] [--baseline]   sharded batch replay + summary\n"
+        "  import   --in=CSV --format=demand|waypoints --out=FILE [--d=D] [--m=M]\n"
+        "           [--server-speed=S] [--agent-speed=A]   import an external trace\n";
+}
+
+std::vector<std::string> parse_algos(const std::string& value) { return io::split_list(value); }
+
+std::string require_flag(const io::Args& args, const std::string& name) {
+  const std::string value = args.get_string(name, "");
+  if (value.empty()) throw ContractViolation("missing required flag --" + name);
+  return value;
+}
+
+/// Rejects typo'd flags up front — a silently ignored `--sede=7` would
+/// record seed 0 while the user believes the trace encodes seed 7.
+void reject_unknown_flags(const io::Args& args, const std::string& command,
+                          std::initializer_list<const char*> known) {
+  for (const std::string& name : args.flag_names()) {
+    if (name == "help") continue;
+    bool ok = false;
+    for (const char* flag : known) ok = ok || name == flag;
+    if (!ok)
+      throw ContractViolation("unknown flag --" + name + " for command '" + command + "'");
+  }
+}
+
+/// Appends recorded runs of the named algorithms (default: all registered).
+void append_runs(trace::TraceFile& file, const std::vector<std::string>& algos,
+                 double speed_factor, std::uint64_t seed) {
+  const std::vector<std::string> names = algos.empty() ? alg::algorithm_names() : algos;
+  for (const std::string& name : names)
+    file.runs.push_back(trace::record_run(file.instance, name, seed, speed_factor));
+}
+
+int cmd_list() {
+  std::cout << "corpus scenarios:\n";
+  for (const trace::CorpusScenario& s : trace::corpus_scenarios())
+    std::cout << "  " << s.name << "  —  " << s.description << "\n";
+  return 0;
+}
+
+int cmd_record(const io::Args& args) {
+  const std::string scenario = require_flag(args, "scenario");
+  const std::string out = require_flag(args, "out");
+  const std::uint64_t seed = args.get_uint64("seed", 0);
+  const double scale = args.get_double("scale", 1.0);
+  const double speed_factor = args.get_double("speed-factor", 1.5);
+
+  trace::TraceFile file = trace::make_corpus_trace(scenario, seed, scale);
+  append_runs(file, parse_algos(args.get_string("algos", "")), speed_factor, seed);
+  trace::write_trace(out, file);
+  std::cout << "recorded " << file.meta.name << " (T = " << file.instance.horizon() << ", dim "
+            << file.instance.dim() << ", " << file.runs.size() << " runs) -> " << out << "\n";
+  return 0;
+}
+
+int replay_one(const std::filesystem::path& path, bool quiet, std::size_t& checks,
+               std::size_t& mismatches) {
+  const trace::TraceFile file = trace::read_trace(path);
+  const trace::ReplayReport report = trace::replay(file);
+  checks += report.outcomes.size();
+  for (const trace::ReplayOutcome& o : report.outcomes) {
+    if (!o.match) ++mismatches;
+    if (quiet && o.match) continue;
+    std::cout << "  " << path.filename().string() << "  " << o.algorithm << ": recorded "
+              << io::format_double(o.recorded_total, 17) << ", replayed "
+              << io::format_double(o.replayed_total, 17) << " → "
+              << (o.match ? "MATCH" : "MISMATCH") << "\n";
+  }
+  if (report.outcomes.empty() && !quiet)
+    std::cout << "  " << path.filename().string() << ": no recorded runs (nothing to verify)\n";
+  return report.all_match() ? 0 : 1;
+}
+
+int cmd_replay(const io::Args& args) {
+  const std::string in = require_flag(args, "in");
+  const bool quiet = args.get_bool("quiet", false);
+  std::vector<std::filesystem::path> files;
+  if (std::filesystem::is_directory(in))
+    files = trace::list_trace_files(in);
+  else
+    files.push_back(in);
+
+  std::size_t checks = 0, mismatches = 0;
+  int status = 0;
+  for (const std::filesystem::path& path : files)
+    status |= replay_one(path, quiet, checks, mismatches);
+  std::cout << "replay: " << files.size() << " file(s), " << checks << " recorded run(s), "
+            << mismatches << " mismatch(es) → " << (status == 0 ? "OK" : "FAILED") << "\n";
+  return status;
+}
+
+io::Json inspect_json(const std::filesystem::path& path, const trace::TraceFile& file) {
+  io::Json root = io::Json::object();
+  root.set("path", path.string());
+  root.set("name", file.meta.name);
+  root.set("source", file.meta.source);
+  root.set("seed", file.meta.seed);
+  root.set("dim", file.instance.dim());
+  root.set("horizon", file.instance.horizon());
+  root.set("requests", file.instance.total_requests());
+  root.set("D", file.instance.params().move_cost_weight);
+  root.set("m", file.instance.params().max_step);
+  root.set("order", trace::order_name(file.instance.params().order));
+  root.set("has_moving_client", file.moving_client.has_value());
+  if (file.moving_client) root.set("agents", file.moving_client->agents.size());
+  root.set("has_adversary", file.adversary.has_value());
+  if (file.adversary) root.set("adversary_cost", file.adversary->cost);
+  io::Json runs = io::Json::array();
+  for (const trace::RecordedRun& run : file.runs) {
+    io::Json r = io::Json::object();
+    r.set("algorithm", run.algorithm);
+    r.set("algo_seed", run.algo_seed);
+    r.set("speed_factor", run.speed_factor);
+    r.set("total_cost", run.total_cost);
+    r.set("move_cost", run.move_cost);
+    r.set("service_cost", run.service_cost);
+    runs.push_back(std::move(r));
+  }
+  root.set("runs", std::move(runs));
+  return root;
+}
+
+int cmd_inspect(const io::Args& args) {
+  const std::filesystem::path in = require_flag(args, "in");
+  const trace::TraceFile file = trace::read_trace(in);
+  if (args.get_bool("json", false)) {
+    std::cout << inspect_json(in, file).dump() << "\n";
+    return 0;
+  }
+  std::cout << in.string() << ":\n"
+            << "  scenario : " << file.meta.name << " (source " << file.meta.source << ", seed "
+            << file.meta.seed << ")\n"
+            << "  instance : dim " << file.instance.dim() << ", T = " << file.instance.horizon()
+            << ", " << file.instance.total_requests() << " requests, D = "
+            << io::format_double(file.instance.params().move_cost_weight) << ", m = "
+            << io::format_double(file.instance.params().max_step) << ", "
+            << trace::order_name(file.instance.params().order) << "\n";
+  if (file.moving_client)
+    std::cout << "  moving client: " << file.moving_client->agents.size()
+              << " agent(s), agent speed "
+              << io::format_double(file.moving_client->agent_speed) << "\n";
+  if (file.adversary)
+    std::cout << "  adversary: feasible solution of cost "
+              << io::format_double(file.adversary->cost, 6) << "\n";
+  for (const trace::RecordedRun& run : file.runs)
+    std::cout << "  run: " << run.algorithm << " @ (1+δ) = "
+              << io::format_double(run.speed_factor) << " → total "
+              << io::format_double(run.total_cost, 6) << " (move "
+              << io::format_double(run.move_cost, 6) << " + service "
+              << io::format_double(run.service_cost, 6) << ")\n";
+  return 0;
+}
+
+int cmd_convert(const io::Args& args) {
+  const std::filesystem::path in = require_flag(args, "in");
+  const std::filesystem::path out = require_flag(args, "out");
+  const trace::TraceFile file = trace::read_trace(in);
+  trace::write_trace(out, file);
+  std::cout << "converted " << in.string() << " -> " << out.string() << " ("
+            << trace::to_string(trace::codec_for_path(out)) << ")\n";
+  return 0;
+}
+
+int cmd_corpus(const io::Args& args) {
+  const std::string dir = require_flag(args, "dir");
+  const std::uint64_t seed = args.get_uint64("seed", 0);
+  const double scale = args.get_double("scale", 1.0);
+  const std::string codec_name = args.get_string("codec", "jsonl");
+  const std::vector<std::string> algos = parse_algos(args.get_string("algos", ""));
+  const double speed_factor = args.get_double("speed-factor", 1.5);
+
+  trace::RecorderOptions rec_options;
+  rec_options.dir = dir;
+  rec_options.codec = trace::codec_from_name(codec_name);
+  trace::Recorder recorder(rec_options);
+  const std::vector<std::filesystem::path> paths =
+      trace::write_corpus(recorder, seed, scale, algos, speed_factor);
+  for (const std::filesystem::path& path : paths) std::cout << "  " << path.string() << "\n";
+  std::cout << "corpus: wrote " << paths.size() << " scenario files to " << dir << "\n";
+  return 0;
+}
+
+int cmd_batch(const io::Args& args) {
+  const std::string dir = require_flag(args, "dir");
+  const int threads_raw = args.get_int("threads", 0);
+  if (threads_raw < 0)
+    throw ContractViolation("flag --threads must be >= 0 (0 = hardware concurrency)");
+  const auto threads = static_cast<unsigned>(threads_raw);
+  trace::BatchOptions options;
+  options.algorithms = parse_algos(args.get_string("algos", ""));
+  options.speed_factor = args.get_double("speed-factor", 1.5);
+
+  const std::vector<std::filesystem::path> files = trace::list_trace_files(dir);
+  par::ThreadPool pool(threads);
+  const trace::BatchResult result = trace::run_batch(pool, files, options);
+  trace::print_batch_summary(std::cout, dir, result, options, pool.size());
+
+  if (args.get_bool("baseline", false)) {
+    // Sequential baseline for the sharding speedup measurement.
+    par::ThreadPool sequential(1);
+    const trace::BatchResult base = trace::run_batch(sequential, files, options);
+    std::cout << "  sequential baseline: " << io::format_double(base.wall_seconds, 3)
+              << " s → speedup " << io::format_double(base.wall_seconds / result.wall_seconds, 3)
+              << "× on " << pool.size() << " threads\n";
+  }
+
+  if (const std::string json_path = args.get_string("json", ""); !json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "mobsrv_trace: cannot open --json path '" << json_path << "'\n";
+      return 1;
+    }
+    out << trace::batch_to_json(result).dump() << "\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "mobsrv_trace: writing --json path '" << json_path << "' failed\n";
+      return 1;
+    }
+  }
+  return result.replay_mismatches == 0 ? 0 : 1;
+}
+
+int cmd_import(const io::Args& args) {
+  const std::filesystem::path in = require_flag(args, "in");
+  const std::string out = require_flag(args, "out");
+  const std::string format = require_flag(args, "format");
+
+  trace::TraceFile file = [&] {
+    if (format == "demand") {
+      // Flags that only the waypoints format consumes must not be silently
+      // dropped — the written trace would encode a different model than
+      // the user asked for.
+      for (const char* flag : {"server-speed", "agent-speed"})
+        if (args.has(flag))
+          throw ContractViolation(std::string("flag --") + flag +
+                                  " applies only to --format=waypoints (demand uses --m)");
+      trace::DemandImportOptions options;
+      options.move_cost_weight = args.get_double("d", 1.0);
+      options.max_step = args.get_double("m", 1.0);
+      return trace::import_demand(in, options);
+    }
+    if (format == "waypoints") {
+      if (args.has("m"))
+        throw ContractViolation(
+            "flag --m applies only to --format=demand (waypoints uses --server-speed)");
+      trace::WaypointImportOptions options;
+      options.move_cost_weight = args.get_double("d", 1.0);
+      options.server_speed = args.get_double("server-speed", 1.0);
+      options.agent_speed = args.get_double("agent-speed", 1.0);
+      return trace::import_waypoints(in, options);
+    }
+    throw ContractViolation("flag --format expects demand or waypoints");
+  }();
+
+  trace::write_trace(out, file);
+  std::cout << "imported " << in.string() << " -> " << out << " (T = " << file.instance.horizon()
+            << ", dim " << file.instance.dim() << ", " << file.instance.total_requests()
+            << " requests)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  if (args.get_bool("help", false) || args.positionals().empty()) {
+    print_usage(args.positionals().empty() && !args.has("help") ? std::cerr : std::cout);
+    return args.positionals().empty() && !args.has("help") ? 2 : 0;
+  }
+  const std::string command = args.positionals().front();
+  try {
+    if (command == "list") {
+      reject_unknown_flags(args, command, {});
+      return cmd_list();
+    }
+    if (command == "record") {
+      reject_unknown_flags(args, command,
+                           {"scenario", "seed", "scale", "algos", "speed-factor", "out"});
+      return cmd_record(args);
+    }
+    if (command == "replay") {
+      reject_unknown_flags(args, command, {"in", "quiet"});
+      return cmd_replay(args);
+    }
+    if (command == "inspect") {
+      reject_unknown_flags(args, command, {"in", "json"});
+      return cmd_inspect(args);
+    }
+    if (command == "convert") {
+      reject_unknown_flags(args, command, {"in", "out"});
+      return cmd_convert(args);
+    }
+    if (command == "corpus") {
+      reject_unknown_flags(args, command,
+                           {"dir", "seed", "scale", "codec", "algos", "speed-factor"});
+      return cmd_corpus(args);
+    }
+    if (command == "batch") {
+      reject_unknown_flags(args, command,
+                           {"dir", "algos", "threads", "speed-factor", "json", "baseline"});
+      return cmd_batch(args);
+    }
+    if (command == "import") {
+      reject_unknown_flags(args, command,
+                           {"in", "out", "format", "d", "m", "server-speed", "agent-speed"});
+      return cmd_import(args);
+    }
+    std::cerr << "mobsrv_trace: unknown command '" << command << "'\n";
+    print_usage(std::cerr);
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "mobsrv_trace: " << error.what() << "\n";
+    return 1;
+  }
+}
