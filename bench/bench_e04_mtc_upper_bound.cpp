@@ -146,7 +146,7 @@ void BM_MtcDecide(benchmark::State& state) {
   }
   alg::MoveToCenter mtc;
   sim::StepView view;
-  view.batch = &batch;
+  view.batch = batch;
   view.server = geo::Point::zero(dim);
   view.speed_limit = 1.5;
   view.params = &params;

@@ -7,6 +7,7 @@
 ///   mobsrv_bench --smoke                # fast end-to-end check (CI)
 ///   mobsrv_bench --trials=N --scale=F   # override sweep parameters
 ///   mobsrv_bench --seed=S               # reseed every RNG stream (default 0)
+///   mobsrv_bench --threads=N            # worker threads (0 = hardware)
 ///   mobsrv_bench --json=out.json        # machine-readable results report
 ///   mobsrv_bench --record-dir=D         # snapshot one trace per sweep row
 ///   mobsrv_bench --record-codec=binary  # trace codec for --record-dir
@@ -33,7 +34,7 @@ namespace {
 
 void print_usage(std::ostream& os) {
   os << "usage: mobsrv_bench [--list] [--only=e01,e05,...] [--trials=N] [--scale=F]\n"
-        "                    [--seed=S] [--json=PATH] [--record-dir=DIR]\n"
+        "                    [--seed=S] [--threads=N] [--json=PATH] [--record-dir=DIR]\n"
         "                    [--record-codec=jsonl|binary] [--replay=DIR]\n"
         "                    [--smoke] [--no-table] [--no-bench] [--benchmark_*...]\n"
         "With --only, kernel timings run only when a --benchmark_* flag is given\n"
@@ -98,7 +99,7 @@ int main(int argc, char** argv) {
   static const char* known_flags[] = {"help",  "list",     "only",       "trials",
                                       "scale", "smoke",    "no-table",   "no-bench",
                                       "seed",  "json",     "record-dir", "record-codec",
-                                      "replay"};
+                                      "replay", "threads"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0 || arg.rfind("--benchmark", 0) == 0) continue;
@@ -125,6 +126,7 @@ int main(int argc, char** argv) {
   // Args getters throw ContractViolation on malformed values ("--trials=abc").
   bool no_table = false;
   bool run_kernels = false;
+  unsigned threads = 0;  // 0 = hardware concurrency
   std::string json_path;
   std::string replay_dir;
   std::optional<mobsrv::trace::Recorder> recorder;
@@ -146,6 +148,9 @@ int main(int argc, char** argv) {
     options.seed = args.get_uint64("seed", 0);
     if (options.trials < 1) throw mobsrv::ContractViolation("flag --trials must be >= 1");
     if (options.scale <= 0.0) throw mobsrv::ContractViolation("flag --scale must be > 0");
+    const int threads_flag = args.get_int("threads", 0);
+    if (threads_flag < 0) throw mobsrv::ContractViolation("flag --threads must be >= 0");
+    threads = static_cast<unsigned>(threads_flag);
     no_table = args.get_bool("no-table", false);
     json_path = args.get_string("json", "");
     replay_dir = args.get_string("replay", "");
@@ -190,8 +195,9 @@ int main(int argc, char** argv) {
 
   if (!replay_dir.empty()) {
     // --replay: batch-replay a recorded trace directory instead of running
-    // the generator-backed experiments.
-    mobsrv::par::ThreadPool pool;
+    // the generator-backed experiments. The pool feeds the session
+    // multiplexer, so --threads bounds the whole replay's parallelism.
+    mobsrv::par::ThreadPool pool(threads);
     int status = 0;
     try {
       status = run_replay(replay_dir, pool, report);
@@ -204,7 +210,7 @@ int main(int argc, char** argv) {
   }
 
   if (!no_table) {
-    mobsrv::par::ThreadPool pool;
+    mobsrv::par::ThreadPool pool(threads);
     options.pool = &pool;
     options.report = &report;
     options.recorder = recorder ? &*recorder : nullptr;

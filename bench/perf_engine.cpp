@@ -1,0 +1,257 @@
+/// \file perf_engine.cpp
+/// Engine microbenchmarks: the `mobsrv_perf` binary.
+///
+/// Measures steps/second of the simulation core and pins the SoA refactor's
+/// speedup to a number:
+///   * engine/aos_baseline     — a frozen copy of the PRE-refactor inner loop
+///                               (vector<RequestBatch> of 72-byte Points,
+///                               Point-arithmetic service costs);
+///   * engine/session_soa      — sim::Session streaming BatchViews over the
+///                               flat RequestStore (the current hot path);
+///   * engine/run_wrapper      — sim::run(), showing the wrapper adds nothing;
+///   * mux/drain               — core::SessionMultiplexer throughput over
+///                               many concurrent sessions.
+/// Each engine benchmark runs at dim 1, 2 and 8 so the dead-coordinate cost
+/// of the AoS layout is visible: at dim 1 the old layout reads 72 bytes per
+/// request for 8 useful ones.
+///
+///   mobsrv_perf                         # full measurement
+///   mobsrv_perf --smoke                 # small workloads, short timings (CI)
+///   mobsrv_perf --out=BENCH_perf.json   # also write google-benchmark JSON
+///   mobsrv_perf --benchmark_filter=...  # forwarded to google-benchmark
+///
+/// The per-second `steps` counter is the comparison metric; the acceptance
+/// bar for the refactor is session_soa/dim:1 >= 2x aos_baseline/dim:1.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mobsrv.hpp"
+
+namespace {
+
+using mobsrv::geo::Point;
+namespace sim = mobsrv::sim;
+namespace core = mobsrv::core;
+namespace par = mobsrv::par;
+namespace stats = mobsrv::stats;
+
+// ---------------------------------------------------------------------------
+// Frozen pre-refactor baseline. This reproduces the seed engine verbatim:
+// AoS request storage, Point-temporary distance math in the service-cost
+// accumulation, and virtual dispatch into the policy — so the comparison
+// against sim::Session isolates the storage layout, not the harness.
+// ---------------------------------------------------------------------------
+
+struct AosWorkload {
+  Point start;
+  sim::ModelParams params;
+  std::vector<sim::RequestBatch> steps;  // the old nested layout
+};
+
+struct AosPolicy {
+  virtual ~AosPolicy() = default;
+  virtual Point decide(const sim::RequestBatch& batch, const Point& server) = 0;
+};
+
+/// Never moves — the accounting loop dominates, which is what we measure.
+struct AosLazy final : AosPolicy {
+  Point decide(const sim::RequestBatch&, const Point& server) override { return server; }
+};
+
+double run_aos(const AosWorkload& workload, AosPolicy& policy) {
+  const sim::ModelParams& params = workload.params;
+  Point server = workload.start;
+  double move_cost = 0.0, service_cost = 0.0;
+  for (const sim::RequestBatch& batch : workload.steps) {
+    const Point proposal = policy.decide(batch, server);
+    move_cost += params.move_cost_weight * mobsrv::geo::distance(server, proposal);
+    const Point& serve_from =
+        params.order == sim::ServiceOrder::kMoveThenServe ? proposal : server;
+    double s = 0.0;
+    for (const auto& v : batch.requests) s += mobsrv::geo::distance(serve_from, v);
+    service_cost += s;
+    server = proposal;
+  }
+  return move_cost + service_cost;
+}
+
+// ---------------------------------------------------------------------------
+// Shared workload generation (identical request streams for every variant).
+// ---------------------------------------------------------------------------
+
+AosWorkload make_workload(int dim, std::size_t horizon, std::size_t requests_per_step) {
+  stats::Rng rng({0xBE7Cu, static_cast<std::uint64_t>(dim)});
+  AosWorkload workload;
+  workload.start = Point::zero(dim);
+  workload.params.move_cost_weight = 4.0;
+  workload.params.max_step = 1.0;
+  workload.steps.resize(horizon);
+  for (auto& step : workload.steps) {
+    step.requests.reserve(requests_per_step);
+    for (std::size_t i = 0; i < requests_per_step; ++i) {
+      Point v(dim);
+      for (int d = 0; d < dim; ++d) v[d] = rng.uniform(-10.0, 10.0);
+      step.requests.push_back(v);
+    }
+  }
+  return workload;
+}
+
+sim::Instance to_instance(const AosWorkload& workload) {
+  return sim::Instance(workload.start, workload.params, workload.steps);
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks. All report a per-second `steps` counter (engine rounds) and,
+// for the engine loops, `requests` (distance evaluations).
+// ---------------------------------------------------------------------------
+
+struct Sizes {
+  std::size_t horizon;
+  std::size_t requests_per_step;
+  std::size_t mux_sessions;
+  std::size_t mux_horizon;
+};
+
+void set_throughput(benchmark::State& state, const Sizes& sizes) {
+  const auto steps = static_cast<std::int64_t>(state.iterations() * sizes.horizon);
+  state.counters["steps"] = benchmark::Counter(static_cast<double>(steps),
+                                               benchmark::Counter::kIsRate);
+  state.counters["requests"] = benchmark::Counter(
+      static_cast<double>(steps) * static_cast<double>(sizes.requests_per_step),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_AosBaseline(benchmark::State& state, Sizes sizes) {
+  const auto dim = static_cast<int>(state.range(0));
+  const AosWorkload workload = make_workload(dim, sizes.horizon, sizes.requests_per_step);
+  AosLazy lazy;
+  for (auto _ : state) benchmark::DoNotOptimize(run_aos(workload, lazy));
+  set_throughput(state, sizes);
+}
+
+void BM_SessionSoa(benchmark::State& state, Sizes sizes) {
+  const auto dim = static_cast<int>(state.range(0));
+  const sim::Instance instance =
+      to_instance(make_workload(dim, sizes.horizon, sizes.requests_per_step));
+  sim::RunOptions options;
+  options.record_positions = false;  // a streaming tenant keeps no history
+  for (auto _ : state) {
+    mobsrv::alg::Lazy lazy;
+    sim::Session session(instance.start(), instance.params(), lazy, options);
+    for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+    benchmark::DoNotOptimize(session.total_cost());
+  }
+  set_throughput(state, sizes);
+}
+
+void BM_RunWrapper(benchmark::State& state, Sizes sizes) {
+  const auto dim = static_cast<int>(state.range(0));
+  const sim::Instance instance =
+      to_instance(make_workload(dim, sizes.horizon, sizes.requests_per_step));
+  for (auto _ : state) {
+    mobsrv::alg::Lazy lazy;
+    const sim::RunResult result = sim::run(instance, lazy);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+  set_throughput(state, sizes);
+}
+
+void BM_MuxDrain(benchmark::State& state, Sizes sizes) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto workload = std::make_shared<const sim::Instance>(
+      to_instance(make_workload(1, sizes.mux_horizon, 4)));
+  par::ThreadPool pool(threads);
+  for (auto _ : state) {
+    core::SessionMultiplexer mux(pool);
+    for (std::size_t s = 0; s < sizes.mux_sessions; ++s) {
+      core::SessionSpec spec;
+      spec.workload = workload;
+      spec.algorithm = "Lazy";
+      mux.add(std::move(spec));
+    }
+    mux.drain();
+    benchmark::DoNotOptimize(mux.totals().total_cost);
+  }
+  const auto steps =
+      static_cast<double>(state.iterations() * sizes.mux_sessions * sizes.mux_horizon);
+  state.counters["steps"] = benchmark::Counter(steps, benchmark::Counter::kIsRate);
+  state.counters["sessions"] = static_cast<double>(sizes.mux_sessions);
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: mobsrv_perf [--smoke] [--out=PATH] [--benchmark_*...]\n"
+        "  --smoke      small workloads + short timings (CI smoke artifact)\n"
+        "  --out=PATH   write google-benchmark JSON to PATH\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  std::vector<std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--benchmark", 0) == 0) {
+      flags.push_back(arg);
+    } else {
+      std::cerr << "mobsrv_perf: unknown argument '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+  }
+  if (!out_path.empty()) {
+    flags.push_back("--benchmark_out=" + out_path);
+    flags.push_back("--benchmark_out_format=json");
+  }
+
+  // Full runs size the hot loop well past L2 so the AoS-vs-SoA comparison is
+  // a memory-bandwidth statement, not a cache accident; smoke runs just
+  // prove the binary and its JSON artifact end-to-end.
+  const Sizes sizes = smoke ? Sizes{64, 16, 256, 16} : Sizes{512, 64, 2048, 64};
+  const double min_time = smoke ? 0.02 : 0.25;
+
+  for (const int dim : {1, 2, 8}) {
+    benchmark::RegisterBenchmark("engine/aos_baseline", BM_AosBaseline, sizes)
+        ->Arg(dim)
+        ->ArgName("dim")
+        ->MinTime(min_time);
+    benchmark::RegisterBenchmark("engine/session_soa", BM_SessionSoa, sizes)
+        ->Arg(dim)
+        ->ArgName("dim")
+        ->MinTime(min_time);
+    benchmark::RegisterBenchmark("engine/run_wrapper", BM_RunWrapper, sizes)
+        ->Arg(dim)
+        ->ArgName("dim")
+        ->MinTime(min_time);
+  }
+  for (const int threads : {1, 4}) {
+    benchmark::RegisterBenchmark("mux/drain", BM_MuxDrain, sizes)
+        ->Arg(threads)
+        ->ArgName("threads")
+        ->MinTime(min_time)
+        ->UseRealTime();
+  }
+
+  std::vector<char*> bench_argv{argv[0]};
+  for (std::string& flag : flags) bench_argv.push_back(flag.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 2;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,10 +6,10 @@
 namespace mobsrv::alg {
 
 sim::Point GreedyCenter::decide(const sim::StepView& view) {
-  const auto& requests = view.batch->requests;
-  if (requests.empty()) return view.server;
+  if (view.batch.empty()) return view.server;
+  view.batch.copy_to(scratch_);
   const geo::Point center =
-      med::closest_center(requests, view.server, /*weights=*/{}, median_options_);
+      med::closest_center(scratch_, view.server, /*weights=*/{}, median_options_);
   return geo::move_toward(view.server, center, view.speed_limit);
 }
 
@@ -22,15 +22,14 @@ void MoveToMin::reset(const sim::Point& start, const sim::ModelParams& params) {
 }
 
 sim::Point MoveToMin::decide(const sim::StepView& view) {
-  window_.push_back(*view.batch);
+  window_.push_back(view.batch.to_points());
   if (window_.size() > window_size_) window_.pop_front();
   ++steps_since_retarget_;
 
   if (steps_since_retarget_ >= window_size_) {
     steps_since_retarget_ = 0;
     std::vector<geo::Point> all;
-    for (const auto& batch : window_)
-      all.insert(all.end(), batch.requests.begin(), batch.requests.end());
+    for (const auto& batch : window_) all.insert(all.end(), batch.begin(), batch.end());
     if (!all.empty()) target_ = med::closest_center(all, view.server);
   }
   return geo::move_toward(view.server, target_, view.speed_limit);
@@ -42,10 +41,10 @@ void CoinFlip::reset(const sim::Point& start, const sim::ModelParams&) {
 }
 
 sim::Point CoinFlip::decide(const sim::StepView& view) {
-  const auto& requests = view.batch->requests;
-  if (!requests.empty() &&
+  if (!view.batch.empty() &&
       rng_.bernoulli(1.0 / (2.0 * view.params->move_cost_weight))) {
-    target_ = med::closest_center(requests, view.server);
+    view.batch.copy_to(scratch_);
+    target_ = med::closest_center(scratch_, view.server);
   }
   return geo::move_toward(view.server, target_, view.speed_limit);
 }

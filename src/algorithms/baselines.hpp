@@ -14,6 +14,7 @@
 #pragma once
 
 #include <deque>
+#include <vector>
 
 #include "median/geometric_median.hpp"
 #include "sim/online_algorithm.hpp"
@@ -42,6 +43,7 @@ class GreedyCenter final : public sim::OnlineAlgorithm {
 
  private:
   med::WeiszfeldOptions median_options_;
+  std::vector<sim::Point> scratch_;  ///< batch materialised for the median kernel
 };
 
 /// Westbrook's Move-To-Min adapted to bounded movement: every ceil(D)
@@ -55,7 +57,7 @@ class MoveToMin final : public sim::OnlineAlgorithm {
   [[nodiscard]] std::string name() const override { return "MoveToMin"; }
 
  private:
-  std::deque<sim::RequestBatch> window_;
+  std::deque<std::vector<sim::Point>> window_;  ///< last ceil(D) batches, materialised
   sim::Point target_;
   std::size_t window_size_ = 1;
   std::size_t steps_since_retarget_ = 0;
@@ -77,6 +79,7 @@ class CoinFlip final : public sim::OnlineAlgorithm {
   std::uint64_t seed_;
   stats::Rng rng_;
   sim::Point target_;
+  std::vector<sim::Point> scratch_;
 };
 
 }  // namespace mobsrv::alg

@@ -3,15 +3,14 @@
 namespace mobsrv::alg {
 
 sim::Point MoveToCenter::decide(const sim::StepView& view) {
-  const auto& requests = view.batch->requests;
-  if (requests.empty()) return view.server;  // nothing to chase this round
+  if (view.batch.empty()) return view.server;  // nothing to chase this round
 
+  view.batch.copy_to(scratch_);
   const geo::Point center =
-      med::closest_center(requests, view.server, /*weights=*/{}, median_options_);
+      med::closest_center(scratch_, view.server, /*weights=*/{}, median_options_);
   const double dist = geo::distance(view.server, center);
-  const double step =
-      std::min(damped_step(requests.size(), view.params->move_cost_weight, dist),
-               view.speed_limit);
+  const double step = std::min(
+      damped_step(view.batch.size(), view.params->move_cost_weight, dist), view.speed_limit);
   return geo::move_toward(view.server, center, step);
 }
 

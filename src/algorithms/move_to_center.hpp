@@ -13,6 +13,8 @@
 /// number of agents, whose median it then chases).
 #pragma once
 
+#include <vector>
+
 #include "median/geometric_median.hpp"
 #include "sim/online_algorithm.hpp"
 
@@ -35,6 +37,7 @@ class MoveToCenter final : public sim::OnlineAlgorithm {
 
  private:
   med::WeiszfeldOptions median_options_;
+  std::vector<sim::Point> scratch_;  ///< batch materialised for the median kernel
 };
 
 }  // namespace mobsrv::alg

@@ -7,12 +7,12 @@
 namespace mobsrv::alg {
 
 sim::Point ParametricChaser::decide(const sim::StepView& view) {
-  const auto& requests = view.batch->requests;
-  if (requests.empty()) return view.server;
-  const geo::Point center = med::closest_center(requests, view.server);
+  if (view.batch.empty()) return view.server;
+  view.batch.copy_to(scratch_);
+  const geo::Point center = med::closest_center(scratch_, view.server);
   const double dist = geo::distance(view.server, center);
   const double ratio =
-      static_cast<double>(requests.size()) / view.params->move_cost_weight;
+      static_cast<double>(view.batch.size()) / view.params->move_cost_weight;
   const double damping = std::min(1.0, std::pow(ratio, gamma_));
   const double step = std::min(damping * dist, view.speed_limit);
   return geo::move_toward(view.server, center, step);

@@ -10,6 +10,8 @@
 /// sweet spot.
 #pragma once
 
+#include <vector>
+
 #include "median/geometric_median.hpp"
 #include "sim/online_algorithm.hpp"
 
@@ -29,6 +31,7 @@ class ParametricChaser final : public sim::OnlineAlgorithm {
 
  private:
   double gamma_;
+  std::vector<sim::Point> scratch_;  ///< batch materialised for the median kernel
 };
 
 }  // namespace mobsrv::alg

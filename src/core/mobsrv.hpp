@@ -12,6 +12,7 @@
 #include "algorithms/registry.hpp"        // IWYU pragma: export
 #include "core/audit.hpp"                 // IWYU pragma: export
 #include "core/ratio.hpp"                 // IWYU pragma: export
+#include "core/session_multiplexer.hpp"   // IWYU pragma: export
 #include "core/shootout.hpp"              // IWYU pragma: export
 #include "geometry/aabb.hpp"              // IWYU pragma: export
 #include "geometry/point.hpp"             // IWYU pragma: export
@@ -27,6 +28,7 @@
 #include "parallel/parallel_for.hpp"      // IWYU pragma: export
 #include "sim/engine.hpp"                 // IWYU pragma: export
 #include "sim/moving_client.hpp"          // IWYU pragma: export
+#include "sim/session.hpp"                // IWYU pragma: export
 #include "stats/bootstrap.hpp"            // IWYU pragma: export
 #include "stats/regression.hpp"           // IWYU pragma: export
 #include "trace/batch_runner.hpp"         // IWYU pragma: export

@@ -65,7 +65,14 @@ TrialResult run_trial(const PreparedSample& sample, sim::OnlineAlgorithm& algori
   sim::RunOptions run_options;
   run_options.speed_factor = options.speed_factor;
   run_options.policy = options.policy;
-  sim::RunResult run = sim::run(sample.instance, algorithm, run_options);
+  // Stream the workload through the incremental session engine — one step
+  // revealed per push, exactly the online model (sim::run wraps the same
+  // Session, so costs are bit-identical either way).
+  sim::Session session(sample.instance.start(), sample.instance.params(), algorithm, run_options);
+  session.reserve(sample.instance.horizon());
+  for (std::size_t t = 0; t < sample.instance.horizon(); ++t)
+    session.push(sample.instance.step(t));
+  sim::RunResult run = std::move(session).result();
 
   const auto [proxy, lower] = resolve_proxy(sample, options);
   MOBSRV_CHECK_MSG(proxy > 0.0, "OPT proxy must be positive; degenerate instance?");

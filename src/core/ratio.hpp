@@ -24,7 +24,7 @@
 #include "opt/coordinate_descent.hpp"
 #include "opt/grid_dp.hpp"
 #include "parallel/thread_pool.hpp"
-#include "sim/engine.hpp"
+#include "sim/session.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
 

@@ -1,0 +1,112 @@
+#include "core/session_multiplexer.hpp"
+
+#include "algorithms/registry.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace mobsrv::core {
+
+/// All state of one live session. Owned via unique_ptr so slot addresses are
+/// stable (Session keeps a pointer to the algorithm; workers touch only
+/// their own slots).
+struct SessionMultiplexer::Slot {
+  Slot(SessionSpec spec_in, sim::AlgorithmPtr algorithm_in, const sim::RunOptions& options)
+      : spec(std::move(spec_in)),
+        algorithm(std::move(algorithm_in)),
+        session(spec.workload->start(), spec.workload->params(), *algorithm, options) {}
+
+  SessionSpec spec;
+  sim::AlgorithmPtr algorithm;
+  sim::Session session;
+  std::size_t cursor = 0;  ///< next workload step to reveal
+
+  [[nodiscard]] bool done() const noexcept { return cursor >= spec.workload->horizon(); }
+
+  void advance(std::size_t max_steps) {
+    const std::size_t horizon = spec.workload->horizon();
+    for (std::size_t k = 0; k < max_steps && cursor < horizon; ++k, ++cursor)
+      session.push(spec.workload->step(cursor));
+  }
+};
+
+SessionMultiplexer::SessionMultiplexer(par::ThreadPool& pool, std::size_t grain)
+    : pool_(pool), grain_(grain == 0 ? 1 : grain) {}
+
+SessionMultiplexer::~SessionMultiplexer() = default;
+
+std::size_t SessionMultiplexer::add(SessionSpec spec) {
+  MOBSRV_CHECK_MSG(spec.workload != nullptr, "session needs a workload");
+  sim::AlgorithmPtr algorithm = alg::make_algorithm(spec.algorithm, spec.algo_seed);
+  sim::RunOptions options;
+  options.speed_factor = spec.speed_factor;
+  options.policy = spec.policy;
+  options.record_positions = false;  // O(1) memory per session
+  const bool live_on_add = spec.workload->horizon() > 0;
+  slots_.push_back(std::make_unique<Slot>(std::move(spec), std::move(algorithm), options));
+  if (live_on_add) ++live_;
+  return slots_.size() - 1;
+}
+
+std::size_t SessionMultiplexer::size() const noexcept { return slots_.size(); }
+
+std::size_t SessionMultiplexer::live() const noexcept { return live_; }
+
+std::size_t SessionMultiplexer::step(std::size_t max_steps) {
+  MOBSRV_CHECK(max_steps >= 1);
+  if (live_ == 0) return 0;
+  par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
+    Slot& slot = *slots_[i];
+    if (!slot.done()) slot.advance(max_steps);
+  });
+  // Recount after the join (workers never touch shared state).
+  live_ = 0;
+  for (const auto& slot : slots_)
+    if (!slot->done()) ++live_;
+  return live_;
+}
+
+void SessionMultiplexer::drain() {
+  if (live_ == 0) return;
+  par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
+    Slot& slot = *slots_[i];
+    if (!slot.done()) slot.advance(slot.spec.workload->horizon() - slot.cursor);
+  });
+  live_ = 0;
+}
+
+SessionStats SessionMultiplexer::stats(std::size_t id) const {
+  MOBSRV_CHECK(id < slots_.size());
+  const Slot& slot = *slots_[id];
+  SessionStats stats;
+  stats.tenant = slot.spec.tenant;
+  stats.algorithm = slot.spec.algorithm;
+  stats.steps = slot.cursor;
+  stats.horizon = slot.spec.workload->horizon();
+  stats.done = slot.done();
+  stats.total_cost = slot.session.total_cost();
+  stats.move_cost = slot.session.move_cost();
+  stats.service_cost = slot.session.service_cost();
+  stats.position = slot.session.position();
+  return stats;
+}
+
+std::vector<SessionStats> SessionMultiplexer::snapshot() const {
+  std::vector<SessionStats> all;
+  all.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) all.push_back(stats(i));
+  return all;
+}
+
+MuxTotals SessionMultiplexer::totals() const {
+  MuxTotals totals;
+  totals.sessions = slots_.size();
+  totals.live = live_;
+  for (const auto& slot : slots_) {
+    totals.steps += slot->cursor;
+    totals.total_cost += slot->session.total_cost();
+    totals.move_cost += slot->session.move_cost();
+    totals.service_cost += slot->session.service_cost();
+  }
+  return totals;
+}
+
+}  // namespace mobsrv::core

@@ -1,0 +1,102 @@
+/// \file session_multiplexer.hpp
+/// Concurrent driver for thousands of live simulation sessions.
+///
+/// Production framing (ROADMAP north star): every tenant/workload is one
+/// sim::Session streaming its own request sequence; the multiplexer shards
+/// the live sessions across a parallel::ThreadPool and advances them in
+/// rounds. The API is drain/step/snapshot:
+///   * step(k)   — advance every live session by up to k steps;
+///   * drain()   — run every session to the end of its workload;
+///   * snapshot()— per-session accounting (costs, progress, position).
+///
+/// Determinism: each session's state lives in its own slot and is touched
+/// only by whichever worker drew that slot; no cross-session state exists,
+/// and every algorithm is seeded explicitly. Results are therefore
+/// bit-identical for ANY thread count, including 1 — covered by tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sim/session.hpp"
+
+namespace mobsrv::core {
+
+/// One tenant's workload: which algorithm serves which request sequence
+/// under which engine options. The instance is shared (read-only) so a
+/// corpus replayed by k algorithms stores its coordinates once.
+struct SessionSpec {
+  std::shared_ptr<const sim::Instance> workload;  ///< never null
+  std::string algorithm;                          ///< alg::make_algorithm name
+  std::uint64_t algo_seed = 0;
+  double speed_factor = 1.0;
+  sim::SpeedLimitPolicy policy = sim::SpeedLimitPolicy::kThrow;
+  std::string tenant;  ///< free-form accounting label (may be empty)
+};
+
+/// Per-session accounting snapshot.
+struct SessionStats {
+  std::string tenant;
+  std::string algorithm;
+  std::size_t steps = 0;    ///< steps consumed so far
+  std::size_t horizon = 0;  ///< workload length
+  bool done = false;        ///< steps == horizon
+  double total_cost = 0.0;
+  double move_cost = 0.0;
+  double service_cost = 0.0;
+  sim::Point position;  ///< current server position
+};
+
+/// Aggregate accounting over all sessions.
+struct MuxTotals {
+  std::size_t sessions = 0;
+  std::size_t live = 0;
+  std::size_t steps = 0;  ///< total steps consumed across sessions
+  double total_cost = 0.0;
+  double move_cost = 0.0;
+  double service_cost = 0.0;
+};
+
+class SessionMultiplexer {
+ public:
+  /// \p grain is the number of consecutive sessions one pool task advances
+  /// (scheduling only — results never depend on it).
+  explicit SessionMultiplexer(par::ThreadPool& pool, std::size_t grain = 16);
+  ~SessionMultiplexer();
+
+  SessionMultiplexer(const SessionMultiplexer&) = delete;
+  SessionMultiplexer& operator=(const SessionMultiplexer&) = delete;
+
+  /// Registers a session (constructing its algorithm from the registry) and
+  /// returns its dense id. Sessions never record position/trace history —
+  /// memory stays O(1) per session regardless of horizon.
+  std::size_t add(SessionSpec spec);
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Sessions that have not yet consumed their whole workload.
+  [[nodiscard]] std::size_t live() const noexcept;
+
+  /// Advances every live session by up to \p max_steps steps, in parallel.
+  /// Returns the number of sessions still live afterwards. Exceptions from
+  /// any session (e.g. a kThrow speed violation) propagate to the caller.
+  std::size_t step(std::size_t max_steps = 1);
+
+  /// Runs every session to completion.
+  void drain();
+
+  [[nodiscard]] SessionStats stats(std::size_t id) const;
+  [[nodiscard]] std::vector<SessionStats> snapshot() const;
+  [[nodiscard]] MuxTotals totals() const;
+
+ private:
+  struct Slot;
+  par::ThreadPool& pool_;
+  std::size_t grain_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mobsrv::core

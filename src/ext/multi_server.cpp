@@ -9,11 +9,10 @@
 
 namespace mobsrv::ext {
 
-double nearest_service_cost(const std::vector<sim::Point>& servers,
-                            const sim::RequestBatch& batch) {
+double nearest_service_cost(const std::vector<sim::Point>& servers, sim::BatchView batch) {
   MOBSRV_CHECK_MSG(!servers.empty(), "need at least one server");
   double total = 0.0;
-  for (const auto& v : batch.requests) {
+  for (const sim::Point v : batch) {
     double best = std::numeric_limits<double>::infinity();
     for (const auto& s : servers) best = std::min(best, geo::distance(s, v));
     total += best;
@@ -36,7 +35,7 @@ MultiRunResult run_multi(const sim::Instance& instance, std::vector<sim::Point> 
   for (std::size_t t = 0; t < instance.horizon(); ++t) {
     MultiStepView view;
     view.t = t;
-    view.batch = &instance.step(t);
+    view.batch = instance.step(t);
     view.servers = servers;
     view.speed_limit = limit;
     view.params = &params;
@@ -57,13 +56,12 @@ MultiRunResult run_multi(const sim::Instance& instance, std::vector<sim::Point> 
 }
 
 std::vector<sim::Point> AssignAndChase::decide(const MultiStepView& view) {
-  const auto& requests = view.batch->requests;
   std::vector<sim::Point> next = view.servers;
-  if (requests.empty()) return next;
+  if (view.batch.empty()) return next;
 
   // Assign each request to its nearest server (by pre-move positions).
   std::vector<std::vector<geo::Point>> assigned(view.servers.size());
-  for (const auto& v : requests) {
+  for (const sim::Point v : view.batch) {
     std::size_t best = 0;
     double best_d = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < view.servers.size(); ++i) {

@@ -24,7 +24,7 @@ namespace mobsrv::ext {
 /// Everything a multi-server strategy may look at when deciding step t.
 struct MultiStepView {
   std::size_t t = 0;
-  const sim::RequestBatch* batch = nullptr;
+  sim::BatchView batch;             ///< requests of this step (non-owning span)
   std::vector<sim::Point> servers;  ///< current positions
   double speed_limit = 0.0;         ///< per-server movement limit this round
   const sim::ModelParams* params = nullptr;
@@ -44,7 +44,7 @@ class MultiServerAlgorithm {
 
 /// Nearest-server service cost: Σ_v min_i d(P_i, v).
 [[nodiscard]] double nearest_service_cost(const std::vector<sim::Point>& servers,
-                                          const sim::RequestBatch& batch);
+                                          sim::BatchView batch);
 
 /// Result of a multi-server run.
 struct MultiRunResult {

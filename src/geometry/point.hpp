@@ -141,10 +141,18 @@ class Point {
   /// Human-readable "(x, y, …)".
   [[nodiscard]] std::string to_string() const;
 
+  /// Raw coordinate storage (dim() leading doubles are meaningful). The flat
+  /// request storage (sim::BatchView) builds strided views over Point arrays
+  /// through this accessor.
+  [[nodiscard]] const double* data() const noexcept { return x_.data(); }
+
  private:
   int dim_;
   std::array<double, kMaxDim> x_;
 };
+
+static_assert(sizeof(Point) % sizeof(double) == 0,
+              "BatchView strides over Point arrays in units of double");
 
 /// Euclidean distance between two points.
 [[nodiscard]] inline double distance(const Point& a, const Point& b) { return (a - b).norm(); }

@@ -33,7 +33,7 @@ void gradient(const sim::Instance& instance, const std::vector<Point>& x, double
 
     const std::size_t s = serve_index(params, t);
     if (s == 0) continue;  // service at the fixed start costs nothing to optimise
-    for (const auto& v : instance.step(t).requests) grad[s] += smooth_norm_grad(x[s] - v, mu);
+    for (const geo::Point v : instance.step(t)) grad[s] += smooth_norm_grad(x[s] - v, mu);
   }
 }
 
@@ -135,7 +135,7 @@ double reachability_lower_bound(const sim::Instance& instance) {
   double lb = 0.0;
   for (std::size_t t = 0; t < instance.horizon(); ++t) {
     const double reach = static_cast<double>(serve_index(params, t)) * m;
-    for (const auto& v : instance.step(t).requests)
+    for (const geo::Point v : instance.step(t))
       lb += std::max(0.0, geo::distance(instance.start(), v) - reach);
   }
   return lb;

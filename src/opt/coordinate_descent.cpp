@@ -25,16 +25,16 @@ Point project_ball(const Point& y, const Point& center, double radius) {
 /// The local objective of position index t: movement to/from its neighbours
 /// plus the service cost of the batch served there.
 struct Subproblem {
-  const Point* prev = nullptr;          // P_{t-1}, always present
-  const Point* next = nullptr;          // P_{t+1}, absent for the last position
-  const sim::RequestBatch* batch = nullptr;  // batch served at this index (may be null)
+  const Point* prev = nullptr;  // P_{t-1}, always present
+  const Point* next = nullptr;  // P_{t+1}, absent for the last position
+  sim::BatchView batch;         // batch served at this index (may be empty)
   double d_weight = 1.0;
   double m = 1.0;
 
   [[nodiscard]] double value(const Point& p) const {
     double v = d_weight * geo::distance(*prev, p);
     if (next != nullptr) v += d_weight * geo::distance(p, *next);
-    if (batch != nullptr) v += sim::service_cost(p, *batch);
+    v += sim::service_cost(p, batch);
     return v;
   }
 
@@ -59,11 +59,9 @@ Point improve_position(const Subproblem& sub, const Point& current, int projecti
     points.push_back(*sub.next);
     weights.push_back(sub.d_weight);
   }
-  if (sub.batch != nullptr) {
-    for (const auto& v : sub.batch->requests) {
-      points.push_back(v);
-      weights.push_back(1.0);
-    }
+  for (const Point v : sub.batch) {
+    points.push_back(v);
+    weights.push_back(1.0);
   }
 
   med::WeiszfeldOptions weiszfeld_options;
@@ -114,9 +112,9 @@ OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
 
   // Which batch is served at position index t? Move-First: batch t−1;
   // Answer-First: batch t (the last position serves nothing then).
-  auto batch_at = [&](std::size_t t) -> const sim::RequestBatch* {
-    if (params.order == sim::ServiceOrder::kMoveThenServe) return &instance.step(t - 1);
-    return t < T ? &instance.step(t) : nullptr;
+  auto batch_at = [&](std::size_t t) -> sim::BatchView {
+    if (params.order == sim::ServiceOrder::kMoveThenServe) return instance.step(t - 1);
+    return t < T ? instance.step(t) : sim::BatchView{};
   };
 
   double cost = sim::trajectory_cost(instance, x);

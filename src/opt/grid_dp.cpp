@@ -99,9 +99,10 @@ DpRun run_dp(const sim::Instance& instance, double origin, double h, std::size_t
   dp[start_index] = 0.0;
 
   for (std::size_t t = 0; t < T; ++t) {
+    const sim::BatchView batch = instance.step(t);
     std::vector<double> coords;
-    coords.reserve(instance.step(t).size());
-    for (const auto& v : instance.step(t).requests) coords.push_back(v[0]);
+    coords.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) coords.push_back(batch.coord(i, 0));
     service_costs(origin, h, cells, std::move(coords), service);
 
     if (params.order == sim::ServiceOrder::kServeThenMove) {
@@ -149,11 +150,12 @@ GridDpResult solve_grid_dp_1d(const sim::Instance& instance, const GridDpOptions
   // OPT never profits from leaving the bounding interval of requests+start
   // (1-D projection onto it is non-expansive); margin is pure safety.
   double lo = start, hi = start;
-  for (const auto& step : instance.steps())
-    for (const auto& v : step.requests) {
-      lo = std::min(lo, v[0]);
-      hi = std::max(hi, v[0]);
-    }
+  // The store's coordinate buffer IS the sorted-by-step list of 1-D request
+  // positions — one dense scan finds the bounding interval.
+  for (const double v : instance.store().coords()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
   lo -= options.margin_steps * m;
   hi += options.margin_steps * m;
 
@@ -188,8 +190,8 @@ GridDpResult solve_grid_dp_1d(const sim::Instance& instance, const GridDpOptions
   result.relaxed_cost = relax.cost;
 
   double err = 0.0;
-  for (const auto& step : instance.steps())
-    err += params.move_cost_weight * h + static_cast<double>(step.size()) * h / 2.0;
+  for (std::size_t t = 0; t < instance.horizon(); ++t)
+    err += params.move_cost_weight * h + static_cast<double>(instance.step(t).size()) * h / 2.0;
   result.rounding_error = err;
   result.solution.opt_lower_bound = std::max(0.0, relax.cost - err);
   return result;

@@ -13,12 +13,14 @@ std::vector<sim::Point> chase_init(const sim::Instance& instance, bool damped) {
   x.push_back(instance.start());
   const double m = instance.params().max_step;
   const double D = instance.params().move_cost_weight;
+  std::vector<Point> reqs;  // scratch for the point-based median kernel
   for (std::size_t t = 0; t < instance.horizon(); ++t) {
-    const auto& reqs = instance.step(t).requests;
-    if (reqs.empty()) {
+    const sim::BatchView batch = instance.step(t);
+    if (batch.empty()) {
       x.push_back(x.back());
       continue;
     }
+    batch.copy_to(reqs);
     const Point center = med::closest_center(reqs, x.back());
     double step = m;
     if (damped) {

@@ -1,5 +1,7 @@
 #include "sim/cost.hpp"
 
+#include <cmath>
+
 namespace mobsrv::sim {
 
 std::string to_string(ServiceOrder order) {
@@ -12,14 +14,30 @@ std::string to_string(ServiceOrder order) {
   return "unknown";
 }
 
-double service_cost(const Point& server, const RequestBatch& batch) {
-  double s = 0.0;
-  for (const auto& v : batch.requests) s += geo::distance(server, v);
-  return s;
+double service_cost(const Point& server, BatchView batch) {
+  if (batch.empty()) return 0.0;
+  MOBSRV_DCHECK(server.dim() == batch.dim());
+  const int dim = batch.dim();
+  const double* s = server.data();
+  const double* v = batch.data();
+  const std::size_t stride = batch.stride();
+  double total = 0.0;
+  // Same operation sequence as geo::distance(server, v_i) — componentwise
+  // difference, squares summed in axis order, then sqrt — so costs are
+  // bit-identical to the AoS path and to recorded traces.
+  for (std::size_t i = 0; i < batch.size(); ++i, v += stride) {
+    double s2 = 0.0;
+    for (int k = 0; k < dim; ++k) {
+      const double d = s[k] - v[k];
+      s2 += d * d;
+    }
+    total += std::sqrt(s2);
+  }
+  return total;
 }
 
 StepCost step_cost(const ModelParams& params, const Point& before, const Point& after,
-                   const RequestBatch& batch) {
+                   BatchView batch) {
   StepCost cost;
   cost.move = params.move_cost_weight * geo::distance(before, after);
   const Point& serve_from = params.order == ServiceOrder::kMoveThenServe ? after : before;

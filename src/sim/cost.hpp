@@ -19,13 +19,16 @@ struct StepCost {
   [[nodiscard]] double total() const noexcept { return move + service; }
 };
 
-/// Cost of serving \p batch from position \p server.
-[[nodiscard]] double service_cost(const Point& server, const RequestBatch& batch);
+/// Cost of serving \p batch from position \p server. Operates on the view's
+/// raw coordinate buffer — the engine's hot loop touches dense doubles, never
+/// Point temporaries. (RequestBatch converts implicitly, so owning batches
+/// still flow through the same function.)
+[[nodiscard]] double service_cost(const Point& server, BatchView batch);
 
 /// Cost of step t when the server moves \p before → \p after while \p batch
 /// arrives, under the given model parameters/service order.
 [[nodiscard]] StepCost step_cost(const ModelParams& params, const Point& before,
-                                 const Point& after, const RequestBatch& batch);
+                                 const Point& after, BatchView batch);
 
 /// Total cost of a full trajectory against an instance. \p positions must
 /// hold horizon()+1 points: positions[0] is the start (must equal

@@ -1,58 +1,14 @@
 #include "sim/engine.hpp"
 
-#include <sstream>
+#include "sim/session.hpp"
 
 namespace mobsrv::sim {
 
 RunResult run(const Instance& instance, OnlineAlgorithm& algorithm, const RunOptions& options) {
-  options.validate();
-  const ModelParams& params = instance.params();
-  const double limit = params.max_step * options.speed_factor;
-  // Numerical slack: algorithms move exactly at the limit along computed
-  // directions, so allow relative rounding error before calling foul.
-  const double hard_limit = limit * (1.0 + 1e-9);
-
-  RunResult result;
-  result.positions.reserve(instance.horizon() + 1);
-  result.positions.push_back(instance.start());
-  if (options.record_trace) result.trace.reserve(instance.horizon());
-
-  algorithm.reset(instance.start(), params);
-  Point server = instance.start();
-
-  for (std::size_t t = 0; t < instance.horizon(); ++t) {
-    const RequestBatch& batch = instance.step(t);
-    StepView view;
-    view.t = t;
-    view.batch = &batch;
-    view.server = server;
-    view.speed_limit = limit;
-    view.params = &params;
-
-    Point proposal = algorithm.decide(view);
-    MOBSRV_CHECK_MSG(proposal.dim() == server.dim(), "algorithm changed dimension");
-    const double moved = geo::distance(server, proposal);
-    if (moved > hard_limit) {
-      if (options.policy == SpeedLimitPolicy::kThrow) {
-        std::ostringstream os;
-        os << algorithm.name() << " proposed a move of " << moved << " > limit " << limit
-           << " at step " << t;
-        throw ContractViolation(os.str());
-      }
-      proposal = geo::move_toward(server, proposal, limit);
-    }
-
-    const StepCost cost = step_cost(params, server, proposal, batch);
-    result.move_cost += cost.move;
-    result.service_cost += cost.service;
-    if (options.record_trace) result.trace.push_back({t, server, proposal, cost});
-    server = proposal;
-    result.positions.push_back(server);
-  }
-
-  result.total_cost = result.move_cost + result.service_cost;
-  result.final_position = server;
-  return result;
+  Session session(instance.start(), instance.params(), algorithm, options);
+  session.reserve(instance.horizon());
+  for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+  return std::move(session).result();
 }
 
 }  // namespace mobsrv::sim

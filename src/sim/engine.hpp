@@ -30,6 +30,10 @@ struct RunOptions {
   double speed_factor = 1.0;
   SpeedLimitPolicy policy = SpeedLimitPolicy::kThrow;
   bool record_trace = false;
+  /// Keep the P_0..P_T history. On by default (cheap, and audits need it);
+  /// long-lived streaming sessions (the multiplexer) turn it off so memory
+  /// stays O(1) per session.
+  bool record_positions = true;
 
   void validate() const { MOBSRV_CHECK_MSG(speed_factor >= 1.0, "speed factor must be >= 1"); }
 };
@@ -45,9 +49,11 @@ struct RunResult {
   std::vector<Point> positions;
 };
 
-/// Runs \p algorithm over \p instance from its start position. The engine
-/// reveals batches one step at a time, enforces the movement limit under the
-/// given policy, and accounts costs per the instance's service order.
+/// Runs \p algorithm over \p instance from its start position: a thin loop
+/// over sim::Session (see session.hpp) that reveals batches one step at a
+/// time, enforces the movement limit under the given policy, and accounts
+/// costs per the instance's service order. Costs are bit-identical to
+/// streaming the same batches through a Session by hand.
 [[nodiscard]] RunResult run(const Instance& instance, OnlineAlgorithm& algorithm,
                             const RunOptions& options = {});
 

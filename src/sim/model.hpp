@@ -9,17 +9,20 @@
 ///     server moves, requests are served from the *new* position;
 ///   * kServeThenMove (the "Answer-First" variant): requests are served from
 ///     the *old* position, then the server may move (still knowing them).
+///
+/// Requests live in a flat SoA RequestStore (see request_store.hpp);
+/// `step(t)` hands out BatchView spans into it. Validation (D, m, request
+/// dimensions) happens exactly once, when the store is built — copying an
+/// Instance (e.g. with_order) is a plain buffer copy.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
-#include "geometry/point.hpp"
+#include "sim/request_store.hpp"
 
 namespace mobsrv::sim {
-
-using geo::Point;
 
 /// Which side of the move the service cost is charged on.
 enum class ServiceOrder {
@@ -41,67 +44,62 @@ struct ModelParams {
   }
 };
 
-/// Requests appearing in one time step (possibly none).
-struct RequestBatch {
-  std::vector<Point> requests;
-
-  [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
-  [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
-};
-
 /// A full problem instance: start position plus the request sequence.
 class Instance {
  public:
-  Instance(Point start, ModelParams params, std::vector<RequestBatch> steps)
-      : start_(std::move(start)), params_(params), steps_(std::move(steps)) {
+  /// Builds from owning AoS batches; validates every request's dimension
+  /// against the start (once — copies never re-validate) and sizes the flat
+  /// buffer with a single exact reservation.
+  Instance(Point start, ModelParams params, const std::vector<RequestBatch>& steps)
+      : Instance(std::move(start), params, RequestStore::from_batches(steps)) {}
+
+  /// Adopts an already-built (and therefore already-validated) store. The
+  /// store's dimension must match the start's unless it is still
+  /// dimensionless (no requests yet).
+  Instance(Point start, ModelParams params, RequestStore store)
+      : start_(std::move(start)), params_(params), store_(std::move(store)) {
     params_.validate();
     MOBSRV_CHECK_MSG(!start_.empty(), "start position must have a dimension");
-    for (const auto& step : steps_)
-      for (const auto& v : step.requests)
-        MOBSRV_CHECK_MSG(v.dim() == start_.dim(), "request dimension mismatch");
+    MOBSRV_CHECK_MSG(store_.dim() == 0 || store_.dim() == start_.dim(),
+                     "request dimension mismatch");
   }
 
   [[nodiscard]] int dim() const noexcept { return start_.dim(); }
   [[nodiscard]] const Point& start() const noexcept { return start_; }
   [[nodiscard]] const ModelParams& params() const noexcept { return params_; }
-  [[nodiscard]] std::size_t horizon() const noexcept { return steps_.size(); }
-  [[nodiscard]] const std::vector<RequestBatch>& steps() const noexcept { return steps_; }
-  [[nodiscard]] const RequestBatch& step(std::size_t t) const {
-    MOBSRV_CHECK(t < steps_.size());
-    return steps_[t];
+  [[nodiscard]] std::size_t horizon() const noexcept { return store_.horizon(); }
+  [[nodiscard]] const RequestStore& store() const noexcept { return store_; }
+  [[nodiscard]] BatchView step(std::size_t t) const { return store_.batch(t); }
+
+  /// Appends one step to the request sequence (the streaming build path;
+  /// dimension-checked against the start).
+  void push_step(BatchView batch) {
+    MOBSRV_CHECK_MSG(batch.empty() || batch.dim() == start_.dim(), "request dimension mismatch");
+    store_.push_batch(batch);
   }
 
   /// Minimum and maximum batch size over the sequence (Rmin, Rmax in the
   /// paper). Returns {0, 0} for an empty sequence.
   [[nodiscard]] std::pair<std::size_t, std::size_t> request_bounds() const noexcept {
-    if (steps_.empty()) return {0, 0};
-    std::size_t lo = steps_[0].size(), hi = steps_[0].size();
-    for (const auto& s : steps_) {
-      lo = std::min(lo, s.size());
-      hi = std::max(hi, s.size());
-    }
-    return {lo, hi};
+    return store_.request_bounds();
   }
 
   /// Total number of requests over the whole sequence.
-  [[nodiscard]] std::size_t total_requests() const noexcept {
-    std::size_t n = 0;
-    for (const auto& s : steps_) n += s.size();
-    return n;
-  }
+  [[nodiscard]] std::size_t total_requests() const noexcept { return store_.total_requests(); }
 
   /// Returns a copy with the service order flipped (used to replay the same
   /// request sequence under the Answer-First variant, as in Theorem 7).
+  /// A flat buffer copy: no per-request re-validation.
   [[nodiscard]] Instance with_order(ServiceOrder order) const {
     ModelParams p = params_;
     p.order = order;
-    return Instance(start_, p, steps_);
+    return Instance(start_, p, store_);
   }
 
  private:
   Point start_;
   ModelParams params_;
-  std::vector<RequestBatch> steps_;
+  RequestStore store_;
 };
 
 }  // namespace mobsrv::sim

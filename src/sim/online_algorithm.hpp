@@ -18,7 +18,7 @@ namespace mobsrv::sim {
 /// the current batch.)
 struct StepView {
   std::size_t t = 0;                ///< step index, 0-based
-  const RequestBatch* batch = nullptr;  ///< requests of this step (never null)
+  BatchView batch;                  ///< requests of this step (non-owning span)
   Point server;                     ///< current server position P_t
   double speed_limit = 0.0;         ///< (1+δ)·m for this run
   const ModelParams* params = nullptr;  ///< D, m, service order (never null)

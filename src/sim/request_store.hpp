@@ -1,0 +1,241 @@
+/// \file request_store.hpp
+/// Flat structure-of-arrays request storage and the BatchView span over it.
+///
+/// The engine's inner loop is cost accounting: for every request of every
+/// step, one Euclidean distance from the server. Storing requests as
+/// `std::vector<RequestBatch>` of 72-byte `Point`s (runtime dim + an 8-wide
+/// inline array) made that loop stride over mostly-dead coordinates; the
+/// RequestStore keeps ONE contiguous `double` buffer holding only the live
+/// coordinates (request i of the store occupies `[i·dim, (i+1)·dim)`) plus a
+/// per-step offset table, so a 1-D workload reads 8 bytes per request instead
+/// of 72. Every consumer — the Session engine, cost.cpp, the offline oracles,
+/// the trace codecs — sees batches through `BatchView`, a non-owning span.
+///
+/// BatchView is *strided* so the same view type can also wrap an AoS
+/// `RequestBatch` (stride = sizeof(Point)/sizeof(double)); the SoA fast path
+/// has stride == dim, i.e. a dense buffer. This keeps single-batch call sites
+/// (tests, algorithm unit benches, ad-hoc StepViews) working on owning
+/// RequestBatch values without a copy while the engine path stays flat.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace mobsrv::sim {
+
+using geo::Point;
+
+/// Requests appearing in one time step (possibly none). The *owning* AoS
+/// batch type: workload generators and importers build these; the engine
+/// stores them flat (RequestStore) and reads them through BatchView.
+struct RequestBatch {
+  std::vector<Point> requests;
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+};
+
+/// Non-owning view of one step's requests. Cheap to copy (pointer + sizes).
+/// The backing storage (RequestStore or RequestBatch) must outlive the view.
+class BatchView {
+ public:
+  /// Empty view (no requests, dimension 0).
+  constexpr BatchView() noexcept = default;
+
+  /// View over raw coordinates: request i's k-th coordinate is
+  /// `base[i·stride + k]`. A dense buffer has stride == dim.
+  BatchView(const double* base, std::size_t count, int dim, std::size_t stride)
+      : base_(base), count_(count), dim_(dim), stride_(stride) {
+    MOBSRV_DCHECK(count == 0 || (base != nullptr && dim >= 1 && stride >= static_cast<std::size_t>(dim)));
+  }
+
+  /// Wraps an owning AoS batch (stride = sizeof(Point) in doubles). Validates
+  /// that all requests share one dimension — the one O(batch) check the SoA
+  /// path pays at build time instead.
+  BatchView(const RequestBatch& batch)  // NOLINT(google-explicit-constructor)
+      : count_(batch.requests.size()) {
+    if (count_ == 0) return;
+    dim_ = batch.requests.front().dim();
+    for (const Point& v : batch.requests)
+      MOBSRV_CHECK_MSG(v.dim() == dim_, "request dimension mismatch");
+    base_ = batch.requests.front().data();
+    stride_ = sizeof(Point) / sizeof(double);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Dimension of the requests; 0 for an empty view.
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  /// First coordinate of the first request (nullptr when empty).
+  [[nodiscard]] const double* data() const noexcept { return base_; }
+  /// Doubles between consecutive requests (== dim() on the dense SoA path).
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  /// Coordinate k of request i, unchecked beyond debug asserts.
+  [[nodiscard]] double coord(std::size_t i, int k) const {
+    MOBSRV_DCHECK(i < count_ && k >= 0 && k < dim_);
+    return base_[i * stride_ + static_cast<std::size_t>(k)];
+  }
+
+  /// Materialises request i as a Point.
+  [[nodiscard]] Point operator[](std::size_t i) const {
+    MOBSRV_DCHECK(i < count_);
+    Point p(dim_);
+    const double* v = base_ + i * stride_;
+    for (int k = 0; k < dim_; ++k) p[k] = v[k];
+    return p;
+  }
+
+  /// Replaces the contents of \p out with the materialised requests.
+  /// Call sites that feed point-based kernels (Weiszfeld, median sets) keep a
+  /// scratch vector so capacity is reused across steps.
+  void copy_to(std::vector<Point>& out) const {
+    out.clear();
+    out.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i) out.push_back((*this)[i]);
+  }
+
+  /// Materialises the whole view (convenience for cold paths and tests).
+  [[nodiscard]] std::vector<Point> to_points() const {
+    std::vector<Point> out;
+    copy_to(out);
+    return out;
+  }
+
+  /// Forward iteration yielding Points by value.
+  class iterator {
+   public:
+    iterator(const BatchView* view, std::size_t i) : view_(view), i_(i) {}
+    [[nodiscard]] Point operator*() const { return (*view_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    [[nodiscard]] bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const BatchView* view_;
+    std::size_t i_;
+  };
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const { return {this, count_}; }
+
+ private:
+  const double* base_ = nullptr;
+  std::size_t count_ = 0;
+  int dim_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Owning flat SoA storage for a request sequence: one contiguous coordinate
+/// buffer plus per-step offsets. Dimension checks happen ONCE, on insertion;
+/// copying a store (and therefore an Instance) is a plain buffer copy with no
+/// re-validation.
+class RequestStore {
+ public:
+  /// Empty store of unspecified dimension (fixed by the first non-empty
+  /// batch pushed).
+  RequestStore() = default;
+
+  /// Empty store of fixed dimension \p dim.
+  explicit RequestStore(int dim) : dim_(dim) {
+    MOBSRV_CHECK_MSG(dim >= 1 && dim <= Point::kMaxDim, "RequestStore dimension out of range");
+  }
+
+  /// Builds a store from AoS batches (validating every request's dimension).
+  [[nodiscard]] static RequestStore from_batches(int dim, const std::vector<RequestBatch>& steps) {
+    RequestStore store(dim);
+    store.fill(steps);
+    return store;
+  }
+
+  /// As above, adopting the dimension from the first non-empty batch
+  /// (dimensionless when all batches are empty).
+  [[nodiscard]] static RequestStore from_batches(const std::vector<RequestBatch>& steps) {
+    RequestStore store;
+    for (const RequestBatch& batch : steps)
+      if (!batch.empty()) {
+        store.dim_ = batch.requests.front().dim();
+        MOBSRV_CHECK_MSG(store.dim_ >= 1 && store.dim_ <= Point::kMaxDim,
+                         "RequestStore dimension out of range");
+        break;
+      }
+    store.fill(steps);
+    return store;
+  }
+
+  void reserve(std::size_t steps, std::size_t requests) {
+    offsets_.reserve(steps + 1);
+    coords_.reserve(requests * static_cast<std::size_t>(dim_ > 0 ? dim_ : 1));
+  }
+
+  /// Appends one step. The view's dimension must match the store's (an empty
+  /// batch always matches); a dimensionless store adopts the first non-empty
+  /// batch's dimension.
+  void push_batch(BatchView batch) {
+    if (!batch.empty()) {
+      if (dim_ == 0) {
+        MOBSRV_CHECK_MSG(batch.dim() >= 1 && batch.dim() <= Point::kMaxDim,
+                         "RequestStore dimension out of range");
+        dim_ = batch.dim();
+      }
+      MOBSRV_CHECK_MSG(batch.dim() == dim_, "request dimension mismatch");
+      const std::size_t d = static_cast<std::size_t>(dim_);
+      const double* base = batch.data();
+      if (batch.stride() == d) {
+        coords_.insert(coords_.end(), base, base + batch.size() * d);
+      } else {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+          coords_.insert(coords_.end(), base + i * batch.stride(), base + i * batch.stride() + d);
+      }
+    }
+    offsets_.push_back(coords_.size() / std::max<std::size_t>(1, static_cast<std::size_t>(dim_)));
+  }
+
+  /// Dimension; 0 until fixed by a constructor or the first non-empty batch.
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t horizon() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t total_requests() const noexcept { return offsets_.back(); }
+
+  [[nodiscard]] BatchView batch(std::size_t t) const {
+    MOBSRV_CHECK(t < horizon());
+    const std::size_t begin = offsets_[t], end = offsets_[t + 1];
+    if (begin == end) return {};
+    const std::size_t d = static_cast<std::size_t>(dim_);
+    return {coords_.data() + begin * d, end - begin, dim_, d};
+  }
+
+  /// {Rmin, Rmax} over the sequence; {0, 0} when empty.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> request_bounds() const noexcept {
+    if (horizon() == 0) return {0, 0};
+    std::size_t lo = offsets_[1] - offsets_[0], hi = lo;
+    for (std::size_t t = 1; t < horizon(); ++t) {
+      const std::size_t n = offsets_[t + 1] - offsets_[t];
+      lo = std::min(lo, n);
+      hi = std::max(hi, n);
+    }
+    return {lo, hi};
+  }
+
+  /// The dense coordinate buffer (total_requests()·dim() doubles).
+  [[nodiscard]] const std::vector<double>& coords() const noexcept { return coords_; }
+
+ private:
+  /// Appends every batch with one exact up-front reservation.
+  void fill(const std::vector<RequestBatch>& steps) {
+    std::size_t total = 0;
+    for (const RequestBatch& batch : steps) total += batch.size();
+    reserve(steps.size(), total);
+    for (const RequestBatch& batch : steps) push_batch(batch);
+  }
+
+  int dim_ = 0;
+  std::vector<double> coords_;
+  std::vector<std::size_t> offsets_ = {0};  ///< size horizon()+1, cumulative requests
+};
+
+}  // namespace mobsrv::sim

@@ -1,0 +1,86 @@
+#include "sim/session.hpp"
+
+#include <sstream>
+
+namespace mobsrv::sim {
+
+Session::Session(Point start, ModelParams params, OnlineAlgorithm& algorithm,
+                 const RunOptions& options)
+    : params_(params), options_(options), algorithm_(&algorithm), server_(std::move(start)) {
+  options_.validate();
+  params_.validate();
+  MOBSRV_CHECK_MSG(!server_.empty(), "start position must have a dimension");
+  limit_ = params_.max_step * options_.speed_factor;
+  // Numerical slack: algorithms move exactly at the limit along computed
+  // directions, so allow relative rounding error before calling foul.
+  hard_limit_ = limit_ * (1.0 + 1e-9);
+  algorithm_->reset(server_, params_);
+  if (options_.record_positions) positions_.push_back(server_);
+}
+
+void Session::reserve(std::size_t horizon) {
+  if (options_.record_positions) positions_.reserve(horizon + 1);
+  if (options_.record_trace) trace_.reserve(horizon);
+}
+
+StepOutcome Session::push(BatchView batch) {
+  StepView view;
+  view.t = t_;
+  view.batch = batch;
+  view.server = server_;
+  view.speed_limit = limit_;
+  view.params = &params_;
+
+  Point proposal = algorithm_->decide(view);
+  MOBSRV_CHECK_MSG(proposal.dim() == server_.dim(), "algorithm changed dimension");
+  const double moved = geo::distance(server_, proposal);
+  bool clamped = false;
+  if (moved > hard_limit_) {
+    if (options_.policy == SpeedLimitPolicy::kThrow) {
+      std::ostringstream os;
+      os << algorithm_->name() << " proposed a move of " << moved << " > limit " << limit_
+         << " at step " << t_;
+      throw ContractViolation(os.str());
+    }
+    proposal = geo::move_toward(server_, proposal, limit_);
+    clamped = true;
+  }
+
+  const StepCost cost = step_cost(params_, server_, proposal, batch);
+  move_cost_ += cost.move;
+  service_cost_ += cost.service;
+  if (options_.record_trace) trace_.push_back({t_, server_, proposal, cost});
+  server_ = proposal;
+  if (options_.record_positions) positions_.push_back(server_);
+
+  StepOutcome outcome;
+  outcome.t = t_++;
+  outcome.cost = cost;
+  outcome.position = server_;
+  outcome.clamped = clamped;
+  return outcome;
+}
+
+RunResult Session::result() const& {
+  RunResult result;
+  result.move_cost = move_cost_;
+  result.service_cost = service_cost_;
+  result.total_cost = move_cost_ + service_cost_;
+  result.final_position = server_;
+  result.positions = positions_;
+  result.trace = trace_;
+  return result;
+}
+
+RunResult Session::result() && {
+  RunResult result;
+  result.move_cost = move_cost_;
+  result.service_cost = service_cost_;
+  result.total_cost = move_cost_ + service_cost_;
+  result.final_position = server_;
+  result.positions = std::move(positions_);
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace mobsrv::sim

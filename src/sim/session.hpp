@@ -1,0 +1,79 @@
+/// \file session.hpp
+/// The incremental (streaming) simulation engine.
+///
+/// The paper's model is online: requests are revealed one step at a time and
+/// the server must commit to a move before seeing the next batch. Session is
+/// that model as an object — `push(batch)` reveals one step, enforces the
+/// (possibly augmented) movement limit, charges costs per the service order,
+/// and returns the step's outcome. `sim::run()` is a thin loop over a
+/// Session (bit-identical costs); core::SessionMultiplexer drives thousands
+/// of Sessions concurrently for live multi-tenant traffic.
+///
+/// Accounting matches the batch engine exactly: move/service components are
+/// accumulated per step in push order and `total = move + service`, so a
+/// workload streamed through a Session reproduces a recorded `run()` of the
+/// same algorithm bit-identically.
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mobsrv::sim {
+
+/// What one push() produced.
+struct StepOutcome {
+  std::size_t t = 0;     ///< index of the step just consumed (0-based)
+  StepCost cost;         ///< this step's cost split
+  Point position;        ///< server position after the move (P_{t+1})
+  bool clamped = false;  ///< the proposal exceeded the limit (kClamp only)
+};
+
+/// An in-flight run of one online algorithm. The algorithm is reset on
+/// construction and must outlive the session; the session owns all engine
+/// state (position, accumulated costs, optional position/trace history).
+class Session {
+ public:
+  Session(Point start, ModelParams params, OnlineAlgorithm& algorithm,
+          const RunOptions& options = {});
+
+  /// Pre-sizes the history buffers for a known horizon (optional).
+  void reserve(std::size_t horizon);
+
+  /// Reveals the next step's requests, moves the server, charges costs.
+  /// Throws ContractViolation under SpeedLimitPolicy::kThrow when the
+  /// algorithm proposes a move beyond the limit.
+  StepOutcome push(BatchView batch);
+
+  /// Number of steps consumed so far.
+  [[nodiscard]] std::size_t steps() const noexcept { return t_; }
+  [[nodiscard]] double move_cost() const noexcept { return move_cost_; }
+  [[nodiscard]] double service_cost() const noexcept { return service_cost_; }
+  [[nodiscard]] double total_cost() const noexcept { return move_cost_ + service_cost_; }
+  /// Current server position P_t.
+  [[nodiscard]] const Point& position() const noexcept { return server_; }
+  /// P_0..P_t — filled iff options.record_positions.
+  [[nodiscard]] const std::vector<Point>& positions() const noexcept { return positions_; }
+  /// Per-step records — filled iff options.record_trace.
+  [[nodiscard]] const std::vector<TraceStep>& trace() const noexcept { return trace_; }
+
+  /// Snapshot of the accumulated run as a RunResult.
+  [[nodiscard]] RunResult result() const&;
+  /// Moving form: hands the history buffers to the result.
+  [[nodiscard]] RunResult result() &&;
+
+ private:
+  ModelParams params_;
+  RunOptions options_;
+  OnlineAlgorithm* algorithm_;
+  double limit_ = 0.0;       ///< (1+δ)·m
+  double hard_limit_ = 0.0;  ///< limit with relative rounding slack
+  Point server_;
+  std::size_t t_ = 0;
+  double move_cost_ = 0.0;
+  double service_cost_ = 0.0;
+  std::vector<Point> positions_;
+  std::vector<TraceStep> trace_;
+};
+
+}  // namespace mobsrv::sim

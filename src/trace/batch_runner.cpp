@@ -3,27 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 #include <ostream>
 
 #include "algorithms/registry.hpp"
+#include "core/session_multiplexer.hpp"
 #include "io/table.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace mobsrv::trace {
-
-namespace {
-
-/// Everything one worker computes for one file.
-struct FileOutcome {
-  std::string file;
-  std::string scenario;
-  std::vector<double> costs;  ///< one per algorithm, input order
-  double adversary_cost = 0.0;
-  std::size_t replay_checks = 0;
-  std::size_t replay_mismatches = 0;
-};
-
-}  // namespace
 
 std::vector<std::filesystem::path> list_trace_files(const std::filesystem::path& dir) {
   std::error_code ec;
@@ -49,28 +37,47 @@ BatchResult run_batch(par::ThreadPool& pool, const std::vector<std::filesystem::
 
   const auto wall_start = std::chrono::steady_clock::now();
 
-  // Shard whole files across the pool: one slot per file, no shared state.
-  std::vector<FileOutcome> outcomes(files.size());
-  par::parallel_for(pool, 0, files.size(), 1, [&](std::size_t i) {
-    const TraceFile trace = read_trace(files[i]);
-    FileOutcome out;
-    out.file = files[i].filename().string();
-    out.scenario = trace.meta.name;
-    out.costs.reserve(algorithms.size());
+  // Phase 1 — load: decode whole files across the pool (one slot per file;
+  // decoding dominates I/O).
+  std::vector<std::optional<TraceFile>> traces(files.size());
+  par::parallel_for(pool, 0, files.size(), 1,
+                    [&](std::size_t i) { traces[i].emplace(read_trace(files[i])); });
+
+  // Phase 2 — run: one live session per (file, algorithm), all advanced by
+  // the session multiplexer. Each file's workload (flat SoA store) is shared
+  // read-only across its k algorithm sessions, and sharding happens at
+  // session granularity — finer than the old file-level sharding, so a
+  // corpus with one huge trace no longer serialises on a single worker.
+  // Grain 1: sessions are whole-workload units of work, and small corpora
+  // must still spread across the pool.
+  core::SessionMultiplexer mux(pool, /*grain=*/1);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    // Non-owning share: `traces` outlives the multiplexer (both are local,
+    // mux is declared after and destroyed first), so no instance copy.
+    const std::shared_ptr<const sim::Instance> workload(std::shared_ptr<void>(),
+                                                        &traces[i]->instance);
     for (const std::string& name : algorithms) {
-      const sim::RunResult run =
-          run_on_trace(trace, name, options.algo_seed, options.speed_factor);
-      out.costs.push_back(run.total_cost);
+      core::SessionSpec spec;
+      spec.workload = workload;
+      spec.algorithm = name;
+      spec.algo_seed = options.algo_seed;
+      spec.speed_factor = options.speed_factor;
+      spec.tenant = files[i].filename().string();
+      mux.add(std::move(spec));
     }
-    if (trace.adversary) out.adversary_cost = trace.adversary->cost;
-    if (options.verify_recorded) {
-      const ReplayReport report = replay(trace);
-      out.replay_checks = report.outcomes.size();
+  }
+  mux.drain();
+
+  // Phase 3 — verify recorded runs bit-identically (per file, in parallel).
+  std::vector<std::pair<std::size_t, std::size_t>> checks(files.size(), {0, 0});
+  if (options.verify_recorded) {
+    par::parallel_for(pool, 0, files.size(), 1, [&](std::size_t i) {
+      const ReplayReport report = replay(*traces[i]);
+      checks[i].first = report.outcomes.size();
       for (const ReplayOutcome& o : report.outcomes)
-        if (!o.match) ++out.replay_mismatches;
-    }
-    outcomes[i] = std::move(out);
-  });
+        if (!o.match) ++checks[i].second;
+    });
+  }
 
   BatchResult result;
   result.files = files.size();
@@ -78,24 +85,28 @@ BatchResult run_batch(par::ThreadPool& pool, const std::vector<std::filesystem::
   for (std::size_t a = 0; a < algorithms.size(); ++a)
     result.summaries[a].algorithm = algorithms[a];
 
-  for (const FileOutcome& out : outcomes) {
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::vector<double> costs(algorithms.size());
+    for (std::size_t a = 0; a < algorithms.size(); ++a)
+      costs[a] = mux.stats(i * algorithms.size() + a).total_cost;
+    const double adversary_cost = traces[i]->adversary ? traces[i]->adversary->cost : 0.0;
+
     double best = std::numeric_limits<double>::infinity();
-    for (const double c : out.costs) best = std::min(best, c);
+    for (const double c : costs) best = std::min(best, c);
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
       BatchEntry entry;
-      entry.file = out.file;
-      entry.scenario = out.scenario;
+      entry.file = files[i].filename().string();
+      entry.scenario = traces[i]->meta.name;
       entry.algorithm = algorithms[a];
-      entry.cost = out.costs[a];
+      entry.cost = costs[a];
       // best == 0 admits no finite ratio for a nonzero cost; record 0
       // ("unavailable", same convention as ratio_vs_adversary) rather than
       // silently calling an expensive algorithm tied-for-best.
       if (best > 0.0)
-        entry.ratio_vs_best = out.costs[a] / best;
+        entry.ratio_vs_best = costs[a] / best;
       else
-        entry.ratio_vs_best = out.costs[a] == 0.0 ? 1.0 : 0.0;
-      entry.ratio_vs_adversary =
-          out.adversary_cost > 0.0 ? out.costs[a] / out.adversary_cost : 0.0;
+        entry.ratio_vs_best = costs[a] == 0.0 ? 1.0 : 0.0;
+      entry.ratio_vs_adversary = adversary_cost > 0.0 ? costs[a] / adversary_cost : 0.0;
 
       BatchAlgoSummary& summary = result.summaries[a];
       summary.cost.add(entry.cost);
@@ -103,14 +114,14 @@ BatchResult run_batch(par::ThreadPool& pool, const std::vector<std::filesystem::
       if (entry.ratio_vs_adversary > 0.0)
         summary.ratio_vs_adversary.add(entry.ratio_vs_adversary);
       bool strictly_best = true;
-      for (std::size_t b = 0; b < out.costs.size(); ++b)
-        if (b != a && out.costs[b] <= out.costs[a]) strictly_best = false;
+      for (std::size_t b = 0; b < costs.size(); ++b)
+        if (b != a && costs[b] <= costs[a]) strictly_best = false;
       if (strictly_best) ++summary.wins;
 
       result.entries.push_back(std::move(entry));
     }
-    result.replay_checks += out.replay_checks;
-    result.replay_mismatches += out.replay_mismatches;
+    result.replay_checks += checks[i].first;
+    result.replay_mismatches += checks[i].second;
   }
 
   result.wall_seconds =

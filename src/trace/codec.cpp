@@ -81,8 +81,8 @@ std::string encode_jsonl(const TraceFile& file) {
   header.dump_to(out);
   out.push_back('\n');
 
-  for (const sim::RequestBatch& batch : file.instance.steps()) {
-    points_to_json(batch.requests).dump_to(out);
+  for (std::size_t t = 0; t < file.instance.horizon(); ++t) {
+    points_to_json(file.instance.step(t).to_points()).dump_to(out);
     out.push_back('\n');
   }
 
@@ -339,9 +339,10 @@ std::string encode_binary(const TraceFile& file) {
   put_f64(payload, inst.params().max_step);
   put_point(payload, inst.start());
   put_u64(payload, inst.horizon());
-  for (const sim::RequestBatch& batch : inst.steps()) {
+  for (std::size_t t = 0; t < inst.horizon(); ++t) {
+    const sim::BatchView batch = inst.step(t);
     put_u32(payload, static_cast<std::uint32_t>(batch.size()));
-    for (const sim::Point& v : batch.requests) put_point(payload, v);
+    for (const sim::Point v : batch) put_point(payload, v);
   }
   put_section(out, kSectionInstance, payload);
 

@@ -1,15 +1,30 @@
 #include "trace/replay.hpp"
 
 #include "algorithms/registry.hpp"
+#include "sim/session.hpp"
 
 namespace mobsrv::trace {
 
+namespace {
+
+/// Streams the stored workload through an incremental sim::Session — the
+/// replay path exercises the same engine object a live deployment would.
+sim::RunResult run_session(const sim::Instance& instance, sim::OnlineAlgorithm& algorithm,
+                           double speed_factor, sim::SpeedLimitPolicy policy) {
+  sim::RunOptions options;
+  options.speed_factor = speed_factor;
+  options.policy = policy;
+  sim::Session session(instance.start(), instance.params(), algorithm, options);
+  session.reserve(instance.horizon());
+  for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+  return std::move(session).result();
+}
+
+}  // namespace
+
 ReplayOutcome replay_run(const sim::Instance& instance, const RecordedRun& run) {
   const sim::AlgorithmPtr algo = alg::make_algorithm(run.algorithm, run.algo_seed);
-  sim::RunOptions options;
-  options.speed_factor = run.speed_factor;
-  options.policy = run.policy;
-  const sim::RunResult result = sim::run(instance, *algo, options);
+  const sim::RunResult result = run_session(instance, *algo, run.speed_factor, run.policy);
 
   ReplayOutcome outcome;
   outcome.algorithm = run.algorithm;
@@ -36,10 +51,7 @@ sim::RunResult run_on_trace(const TraceFile& file, const std::string& algorithm,
                             std::uint64_t algo_seed, double speed_factor,
                             sim::SpeedLimitPolicy policy) {
   const sim::AlgorithmPtr algo = alg::make_algorithm(algorithm, algo_seed);
-  sim::RunOptions options;
-  options.speed_factor = speed_factor;
-  options.policy = policy;
-  return sim::run(file.instance, *algo, options);
+  return run_session(file.instance, *algo, speed_factor, policy);
 }
 
 }  // namespace mobsrv::trace

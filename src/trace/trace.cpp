@@ -49,8 +49,13 @@ bool identical(const sim::Instance& a, const sim::Instance& b) {
   if (a.params().move_cost_weight != b.params().move_cost_weight) return false;
   if (a.params().max_step != b.params().max_step) return false;
   if (a.params().order != b.params().order) return false;
-  for (std::size_t t = 0; t < a.horizon(); ++t)
-    if (!identical_points(a.step(t).requests, b.step(t).requests)) return false;
+  for (std::size_t t = 0; t < a.horizon(); ++t) {
+    const sim::BatchView x = a.step(t), y = b.step(t);
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      for (int k = 0; k < a.dim(); ++k)
+        if (x.coord(i, k) != y.coord(i, k)) return false;  // exact double compare
+  }
   return true;
 }
 

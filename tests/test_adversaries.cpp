@@ -23,10 +23,10 @@ TEST(Theorem1, StructureMatchesProof) {
   ASSERT_EQ(a.adversary_positions.size(), 101u);
   // Phase 1: requests pinned to the start.
   for (std::size_t t = 0; t < 10; ++t)
-    EXPECT_EQ(a.instance.step(t).requests[0], a.instance.start());
+    EXPECT_EQ(a.instance.step(t)[0], a.instance.start());
   // Phase 2: requests ride on the adversary's post-move position.
   for (std::size_t t = 10; t < 100; ++t)
-    EXPECT_EQ(a.instance.step(t).requests[0], a.adversary_positions[t + 1]);
+    EXPECT_EQ(a.instance.step(t)[0], a.adversary_positions[t + 1]);
   // Adversary walks at exactly m every round, in one fixed direction.
   for (std::size_t t = 0; t < 100; ++t)
     EXPECT_NEAR(geo::distance(a.adversary_positions[t], a.adversary_positions[t + 1]), 1.0,
@@ -68,8 +68,8 @@ TEST(Theorem1, CustomXAndDimension) {
   const AdversarialInstance a = make_theorem1(p, rng);
   EXPECT_EQ(a.instance.dim(), 3);
   EXPECT_EQ(a.instance.step(0).size(), 4u);
-  EXPECT_EQ(a.instance.step(4).requests[0], a.instance.start());
-  EXPECT_EQ(a.instance.step(5).requests[0], a.adversary_positions[6]);
+  EXPECT_EQ(a.instance.step(4)[0], a.instance.start());
+  EXPECT_EQ(a.instance.step(5)[0], a.adversary_positions[6]);
 }
 
 TEST(Theorem2, PhaseLayoutAndRequestCounts) {
@@ -84,15 +84,15 @@ TEST(Theorem2, PhaseLayoutAndRequestCounts) {
   // First cycle: steps 0..9 have Rmin requests at the anchor (start).
   for (std::size_t t = 0; t < 10; ++t) {
     EXPECT_EQ(a.instance.step(t).size(), 2u);
-    EXPECT_EQ(a.instance.step(t).requests[0], a.instance.start());
+    EXPECT_EQ(a.instance.step(t)[0], a.instance.start());
   }
   // Steps 10..29: Rmax requests riding the adversary.
   for (std::size_t t = 10; t < 30; ++t) {
     EXPECT_EQ(a.instance.step(t).size(), 8u);
-    EXPECT_EQ(a.instance.step(t).requests[0], a.adversary_positions[t + 1]);
+    EXPECT_EQ(a.instance.step(t)[0], a.adversary_positions[t + 1]);
   }
   // Second cycle anchors at the adversary's position after step 29.
-  EXPECT_EQ(a.instance.step(30).requests[0], a.adversary_positions[30]);
+  EXPECT_EQ(a.instance.step(30)[0], a.adversary_positions[30]);
 }
 
 TEST(Theorem2, DefaultXSatisfiesProofConstraints) {
@@ -106,7 +106,7 @@ TEST(Theorem2, DefaultXSatisfiesProofConstraints) {
   // x >= 2/δ = 8 and x >= D(1+1/δ)/(2Rmin) = 10 → x >= 10: the first phase
   // must pin requests to the start for at least 10 steps.
   for (std::size_t t = 0; t < 10; ++t)
-    EXPECT_EQ(a.instance.step(t).requests[0], a.instance.start());
+    EXPECT_EQ(a.instance.step(t)[0], a.instance.start());
 }
 
 TEST(Theorem2, AdversaryCostWithinPaperBound) {
@@ -144,14 +144,14 @@ TEST(Theorem3, TwoStepCycleStructure) {
   EXPECT_EQ(a.instance.params().order, sim::ServiceOrder::kServeThenMove);
   for (std::size_t t = 0; t < 20; t += 2) {
     // Step t: requests at the adversary's pre-hop position.
-    EXPECT_EQ(a.instance.step(t).requests[0], a.adversary_positions[t]);
+    EXPECT_EQ(a.instance.step(t)[0], a.adversary_positions[t]);
     EXPECT_EQ(a.instance.step(t).size(), 5u);
     // Hop of exactly m, then a resting step.
     EXPECT_NEAR(geo::distance(a.adversary_positions[t], a.adversary_positions[t + 1]), 1.0,
                 1e-12);
     EXPECT_EQ(a.adversary_positions[t + 1], a.adversary_positions[t + 2]);
     // Step t+1: requests at the post-hop position.
-    EXPECT_EQ(a.instance.step(t + 1).requests[0], a.adversary_positions[t + 1]);
+    EXPECT_EQ(a.instance.step(t + 1)[0], a.adversary_positions[t + 1]);
   }
 }
 

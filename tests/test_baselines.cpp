@@ -50,7 +50,7 @@ TEST(GreedyCenter, MovesFullSpeedTowardSingleRequest) {
   sim::RequestBatch batch;
   batch.requests = {Point{10.0, 0.0}};
   sim::StepView view;
-  view.batch = &batch;
+  view.batch = batch;
   view.server = Point{0.0, 0.0};
   view.speed_limit = 1.0;
   view.params = &params;
@@ -64,7 +64,7 @@ TEST(GreedyCenter, StopsAtCenter) {
   sim::RequestBatch batch;
   batch.requests = {Point{2.0, 0.0}};
   sim::StepView view;
-  view.batch = &batch;
+  view.batch = batch;
   view.server = Point{0.0, 0.0};
   view.speed_limit = 5.0;
   view.params = &params;
@@ -76,7 +76,7 @@ TEST(GreedyCenter, EmptyBatchStays) {
   const auto params = make_params(1.0, 1.0);
   sim::RequestBatch empty;
   sim::StepView view;
-  view.batch = &empty;
+  view.batch = empty;
   view.server = Point{3.0, 3.0};
   view.speed_limit = 1.0;
   view.params = &params;
@@ -92,7 +92,7 @@ TEST(MoveToMin, RetargetsEveryCeilDSteps) {
   sim::RequestBatch batch;
   batch.requests = {Point{10.0}};
   sim::StepView view;
-  view.batch = &batch;
+  view.batch = batch;
   view.server = Point{0.0};
   view.speed_limit = 1.0;
   view.params = &params;

@@ -45,7 +45,7 @@ sim::Instance random_instance(std::uint64_t seed, int dim, std::size_t horizon,
 }
 
 TEST(CoordinateDescent, EmptyInstance) {
-  const sim::Instance inst(Point{0.0}, make_params(1.0, 1.0), {});
+  const sim::Instance inst(Point{0.0}, make_params(1.0, 1.0), std::vector<sim::RequestBatch>{});
   const OfflineSolution sol = solve_coordinate_descent(inst);
   EXPECT_EQ(sol.cost, 0.0);
   EXPECT_EQ(sol.positions.size(), 1u);

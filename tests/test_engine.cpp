@@ -41,7 +41,7 @@ class Spy final : public OnlineAlgorithm {
   }
   Point decide(const StepView& view) override {
     limits.push_back(view.speed_limit);
-    batch_sizes.push_back(view.batch->size());
+    batch_sizes.push_back(view.batch.size());
     servers.push_back(view.server);
     return view.server;  // never moves
   }
@@ -172,7 +172,7 @@ TEST(Engine, DimensionChangeRejected) {
 }
 
 TEST(Engine, EmptyInstanceIsZeroCost) {
-  const Instance inst(Point{0.0}, make_params(1.0, 1.0), {});
+  const Instance inst(Point{0.0}, make_params(1.0, 1.0), std::vector<RequestBatch>{});
   Spy spy;
   const RunResult res = run(inst, spy);
   EXPECT_EQ(res.total_cost, 0.0);
@@ -229,8 +229,8 @@ TEST(MovingClient, ConversionProducesOneRequestPerAgent) {
   EXPECT_EQ(inst.params().move_cost_weight, 5.0);
   EXPECT_EQ(inst.params().order, ServiceOrder::kMoveThenServe);
   ASSERT_EQ(inst.step(0).size(), 2u);
-  EXPECT_EQ(inst.step(0).requests[0], (Point{1.0, 0.0}));
-  EXPECT_EQ(inst.step(0).requests[1], (Point{0.0, 1.0}));
+  EXPECT_EQ(inst.step(0)[0], (Point{1.0, 0.0}));
+  EXPECT_EQ(inst.step(0)[1], (Point{0.0, 1.0}));
 }
 
 TEST(MovingClient, CostMatchesPaperFormula) {

@@ -134,7 +134,7 @@ TEST(MultiHotspot, GeneratesClustersTimesRequests) {
   stats::Rng rng(1);
   const sim::Instance inst = make_multi_hotspot(p, rng);
   EXPECT_EQ(inst.horizon(), 50u);
-  for (const auto& step : inst.steps()) EXPECT_EQ(step.size(), 6u);
+  for (std::size_t t = 0; t < inst.horizon(); ++t) EXPECT_EQ(inst.step(t).size(), 6u);
 }
 
 TEST(MultiHotspot, Deterministic) {
@@ -142,7 +142,7 @@ TEST(MultiHotspot, Deterministic) {
   stats::Rng a(7), b(7);
   const sim::Instance ia = make_multi_hotspot(p, a);
   const sim::Instance ib = make_multi_hotspot(p, b);
-  EXPECT_EQ(ia.step(10).requests[0], ib.step(10).requests[0]);
+  EXPECT_EQ(ia.step(10)[0], ib.step(10)[0]);
 }
 
 TEST(MultiHotspot, MarginalServerValueDiminishes) {
@@ -174,7 +174,7 @@ using geo::Point;
 sim::StepView make_view(const Point& server, const sim::RequestBatch& batch,
                         const sim::ModelParams& params, double limit) {
   sim::StepView v;
-  v.batch = &batch;
+  v.batch = batch;
   v.server = server;
   v.speed_limit = limit;
   v.params = &params;

@@ -39,7 +39,7 @@ TEST(GridDp, RejectsNon1D) {
 }
 
 TEST(GridDp, EmptyInstanceCostsNothing) {
-  const sim::Instance inst(Point{0.0}, make_params(1.0, 1.0), {});
+  const sim::Instance inst(Point{0.0}, make_params(1.0, 1.0), std::vector<sim::RequestBatch>{});
   const GridDpResult res = solve_grid_dp_1d(inst);
   EXPECT_EQ(res.solution.cost, 0.0);
 }

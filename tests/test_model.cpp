@@ -44,7 +44,7 @@ TEST(Instance, BasicAccessors) {
 }
 
 TEST(Instance, EmptySequenceAllowed) {
-  const Instance inst(Point{0.0}, params(1.0, 1.0), {});
+  const Instance inst(Point{0.0}, params(1.0, 1.0), std::vector<RequestBatch>{});
   EXPECT_EQ(inst.horizon(), 0u);
   const auto [rmin, rmax] = inst.request_bounds();
   EXPECT_EQ(rmin, 0u);
@@ -65,7 +65,8 @@ TEST(Instance, RejectsDimensionMismatch) {
 }
 
 TEST(Instance, RejectsEmptyStart) {
-  EXPECT_THROW(Instance(Point{}, params(1.0, 1.0), {}), ContractViolation);
+  EXPECT_THROW(Instance(Point{}, params(1.0, 1.0), std::vector<RequestBatch>{}),
+               ContractViolation);
 }
 
 TEST(Instance, WithOrderFlipsOnlyTheOrder) {

@@ -24,7 +24,7 @@ sim::StepView make_view(const Point& server, const sim::RequestBatch& batch,
                         const sim::ModelParams& params, double speed_limit) {
   sim::StepView v;
   v.t = 0;
-  v.batch = &batch;
+  v.batch = batch;
   v.server = server;
   v.speed_limit = speed_limit;
   v.params = &params;

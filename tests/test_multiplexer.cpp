@@ -1,0 +1,172 @@
+// Tests for core::SessionMultiplexer: determinism for any thread count at
+// >= 1000 concurrent sessions, accounting parity with individual engine
+// runs, step/drain/snapshot semantics, and error propagation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/workloads.hpp"
+#include "algorithms/registry.hpp"
+#include "core/session_multiplexer.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv {
+namespace {
+
+using core::SessionMultiplexer;
+using core::SessionSpec;
+using core::SessionStats;
+
+std::shared_ptr<const sim::Instance> sample_workload(std::uint64_t seed, std::size_t horizon) {
+  adv::DriftingHotspotParams params;
+  params.horizon = horizon;
+  params.dim = 2;
+  stats::Rng rng(seed);
+  return std::make_shared<const sim::Instance>(adv::make_drifting_hotspot(params, rng));
+}
+
+/// Builds the same 1000-session mix every time: a handful of shared
+/// workloads, heterogeneous horizons, all registered algorithms round-robin.
+void populate(SessionMultiplexer& mux, std::size_t sessions) {
+  const std::vector<std::string> names = alg::algorithm_names();
+  std::vector<std::shared_ptr<const sim::Instance>> workloads;
+  for (std::uint64_t w = 0; w < 5; ++w)
+    workloads.push_back(sample_workload(w, 16 + 7 * w));  // horizons 16..44
+  for (std::size_t s = 0; s < sessions; ++s) {
+    SessionSpec spec;
+    spec.workload = workloads[s % workloads.size()];
+    spec.algorithm = names[s % names.size()];
+    spec.algo_seed = s;
+    spec.speed_factor = 1.5;
+    spec.tenant = "tenant-" + std::to_string(s);
+    mux.add(std::move(spec));
+  }
+}
+
+TEST(SessionMultiplexer, ThousandSessionsDeterministicForAnyThreadCount) {
+  constexpr std::size_t kSessions = 1000;
+  std::vector<std::vector<SessionStats>> snapshots;
+  for (const unsigned threads : {1u, 3u, 8u}) {
+    par::ThreadPool pool(threads);
+    SessionMultiplexer mux(pool, /*grain=*/7);
+    populate(mux, kSessions);
+    EXPECT_EQ(mux.size(), kSessions);
+    mux.drain();
+    EXPECT_EQ(mux.live(), 0u);
+    snapshots.push_back(mux.snapshot());
+  }
+  ASSERT_EQ(snapshots[0].size(), kSessions);
+  for (std::size_t v = 1; v < snapshots.size(); ++v) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      // EXACT equality across thread counts — scheduling must be invisible.
+      EXPECT_EQ(snapshots[v][s].total_cost, snapshots[0][s].total_cost) << s;
+      EXPECT_EQ(snapshots[v][s].move_cost, snapshots[0][s].move_cost) << s;
+      EXPECT_EQ(snapshots[v][s].service_cost, snapshots[0][s].service_cost) << s;
+      EXPECT_EQ(snapshots[v][s].position, snapshots[0][s].position) << s;
+      EXPECT_EQ(snapshots[v][s].steps, snapshots[0][s].steps) << s;
+    }
+  }
+}
+
+TEST(SessionMultiplexer, MatchesIndividualEngineRunsBitIdentically) {
+  par::ThreadPool pool(4);
+  SessionMultiplexer mux(pool);
+  const auto workload = sample_workload(21, 40);
+  const std::vector<std::string> names = alg::algorithm_names();
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    SessionSpec spec;
+    spec.workload = workload;
+    spec.algorithm = names[a];
+    spec.algo_seed = 9000 + a;
+    spec.speed_factor = 1.5;
+    mux.add(std::move(spec));
+  }
+  mux.drain();
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const sim::AlgorithmPtr algo = alg::make_algorithm(names[a], 9000 + a);
+    sim::RunOptions options;
+    options.speed_factor = 1.5;
+    const sim::RunResult reference = sim::run(*workload, *algo, options);
+    const SessionStats stats = mux.stats(a);
+    EXPECT_EQ(stats.total_cost, reference.total_cost) << names[a];
+    EXPECT_EQ(stats.move_cost, reference.move_cost) << names[a];
+    EXPECT_EQ(stats.service_cost, reference.service_cost) << names[a];
+    EXPECT_EQ(stats.position, reference.final_position) << names[a];
+  }
+}
+
+TEST(SessionMultiplexer, StepAdvancesHeterogeneousHorizonsToCompletion) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  const auto short_workload = sample_workload(1, 10);
+  const auto long_workload = sample_workload(2, 35);
+  for (const auto& workload : {short_workload, long_workload}) {
+    SessionSpec spec;
+    spec.workload = workload;
+    spec.algorithm = "MtC";
+    spec.speed_factor = 1.5;
+    mux.add(std::move(spec));
+  }
+  EXPECT_EQ(mux.live(), 2u);
+
+  EXPECT_EQ(mux.step(10), 1u);  // short session finished exactly at its horizon
+  EXPECT_EQ(mux.stats(0).steps, 10u);
+  EXPECT_TRUE(mux.stats(0).done);
+  EXPECT_EQ(mux.stats(1).steps, 10u);
+  EXPECT_FALSE(mux.stats(1).done);
+
+  EXPECT_EQ(mux.step(100), 0u);  // capped at the remaining workload
+  EXPECT_EQ(mux.stats(1).steps, 35u);
+
+  const core::MuxTotals totals = mux.totals();
+  EXPECT_EQ(totals.sessions, 2u);
+  EXPECT_EQ(totals.live, 0u);
+  EXPECT_EQ(totals.steps, 45u);
+  EXPECT_DOUBLE_EQ(totals.total_cost, mux.stats(0).total_cost + mux.stats(1).total_cost);
+}
+
+TEST(SessionMultiplexer, SnapshotCarriesTenantAndProgress) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  SessionSpec spec;
+  spec.workload = sample_workload(3, 12);
+  spec.algorithm = "Lazy";
+  spec.tenant = "edge-eu-1";
+  mux.add(std::move(spec));
+  mux.step(5);
+  const std::vector<SessionStats> snapshot = mux.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].tenant, "edge-eu-1");
+  EXPECT_EQ(snapshot[0].algorithm, "Lazy");
+  EXPECT_EQ(snapshot[0].steps, 5u);
+  EXPECT_EQ(snapshot[0].horizon, 12u);
+  EXPECT_FALSE(snapshot[0].done);
+}
+
+TEST(SessionMultiplexer, UnknownAlgorithmThrowsOnAdd) {
+  par::ThreadPool pool(1);
+  SessionMultiplexer mux(pool);
+  SessionSpec spec;
+  spec.workload = sample_workload(4, 8);
+  spec.algorithm = "NoSuchAlgorithm";
+  EXPECT_THROW(mux.add(std::move(spec)), ContractViolation);
+  EXPECT_EQ(mux.size(), 0u);
+}
+
+TEST(SessionMultiplexer, InvalidSpecRejectedOnAdd) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  SessionSpec bad;
+  bad.workload = sample_workload(5, 8);
+  bad.algorithm = "MtC";
+  bad.speed_factor = 0.5;  // < 1 violates the run-options contract
+  EXPECT_THROW(mux.add(std::move(bad)), ContractViolation);
+
+  SessionSpec null_workload;
+  null_workload.algorithm = "MtC";
+  EXPECT_THROW(mux.add(std::move(null_workload)), ContractViolation);
+  EXPECT_EQ(mux.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mobsrv

@@ -1,0 +1,171 @@
+// Unit tests for the flat SoA request storage (sim/request_store.hpp):
+// BatchView semantics over both layouts (dense store and strided AoS
+// RequestBatch), dimension validation at build time, and the Instance
+// integration (views, cheap copies, streaming build).
+#include <gtest/gtest.h>
+
+#include "sim/cost.hpp"
+#include "sim/model.hpp"
+
+namespace mobsrv::sim {
+namespace {
+
+RequestBatch batch_of(std::initializer_list<Point> points) {
+  RequestBatch batch;
+  batch.requests = points;
+  return batch;
+}
+
+TEST(BatchView, EmptyByDefault) {
+  const BatchView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.dim(), 0);
+  EXPECT_TRUE(view.to_points().empty());
+}
+
+TEST(BatchView, WrapsAosBatchStrided) {
+  const RequestBatch batch = batch_of({Point{1.0, 2.0}, Point{3.0, 4.0}, Point{5.0, 6.0}});
+  const BatchView view = batch;  // implicit wrap, no copy
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.dim(), 2);
+  EXPECT_EQ(view.stride(), sizeof(Point) / sizeof(double));
+  EXPECT_DOUBLE_EQ(view.coord(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(view.coord(2, 1), 6.0);
+  EXPECT_EQ(view[0], (Point{1.0, 2.0}));
+  EXPECT_EQ(view[2], (Point{5.0, 6.0}));
+}
+
+TEST(BatchView, IterationMaterialisesPoints) {
+  const RequestBatch batch = batch_of({Point{1.0}, Point{2.0}, Point{3.0}});
+  double sum = 0.0;
+  for (const Point v : BatchView(batch)) sum += v[0];
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+TEST(BatchView, RejectsInconsistentDimensions) {
+  RequestBatch bad;
+  bad.requests = {Point{1.0}, Point{1.0, 2.0}};
+  EXPECT_THROW(BatchView{bad}, ContractViolation);
+}
+
+TEST(RequestStore, DenseLayoutAndOffsets) {
+  RequestStore store(2);
+  store.push_batch(batch_of({Point{1.0, 2.0}, Point{3.0, 4.0}}));
+  store.push_batch(RequestBatch{});  // empty step
+  store.push_batch(batch_of({Point{5.0, 6.0}}));
+
+  EXPECT_EQ(store.horizon(), 3u);
+  EXPECT_EQ(store.total_requests(), 3u);
+  const auto [lo, hi] = store.request_bounds();
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 2u);
+
+  // The coordinate buffer is one dense run of the live doubles.
+  ASSERT_EQ(store.coords().size(), 6u);
+  EXPECT_DOUBLE_EQ(store.coords()[0], 1.0);
+  EXPECT_DOUBLE_EQ(store.coords()[5], 6.0);
+
+  const BatchView step0 = store.batch(0);
+  ASSERT_EQ(step0.size(), 2u);
+  EXPECT_EQ(step0.stride(), 2u);  // dense: stride == dim
+  EXPECT_EQ(step0[1], (Point{3.0, 4.0}));
+  EXPECT_TRUE(store.batch(1).empty());
+  EXPECT_EQ(store.batch(2)[0], (Point{5.0, 6.0}));
+}
+
+TEST(RequestStore, AdoptsDimensionFromFirstBatch) {
+  RequestStore store;
+  EXPECT_EQ(store.dim(), 0);
+  store.push_batch(RequestBatch{});  // dimensionless while empty
+  store.push_batch(batch_of({Point{1.0, 2.0, 3.0}}));
+  EXPECT_EQ(store.dim(), 3);
+  EXPECT_THROW(store.push_batch(batch_of({Point{1.0}})), ContractViolation);
+}
+
+TEST(RequestStore, RejectsDimensionMismatch) {
+  RequestStore store(1);
+  EXPECT_THROW(store.push_batch(batch_of({Point{1.0, 2.0}})), ContractViolation);
+}
+
+TEST(RequestStore, FromBatchesRoundTrip) {
+  std::vector<RequestBatch> steps(3);
+  steps[0] = batch_of({Point{1.0}, Point{-2.0}});
+  steps[2] = batch_of({Point{4.0}});
+  const RequestStore store = RequestStore::from_batches(1, steps);
+  ASSERT_EQ(store.horizon(), 3u);
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    ASSERT_EQ(store.batch(t).size(), steps[t].size());
+    for (std::size_t i = 0; i < steps[t].size(); ++i)
+      EXPECT_EQ(store.batch(t)[i], steps[t].requests[i]);
+  }
+}
+
+TEST(RequestStore, FromBatchesAdoptsDimension) {
+  std::vector<RequestBatch> steps(3);
+  steps[1] = batch_of({Point{1.0, 2.0}});
+  const RequestStore store = RequestStore::from_batches(steps);
+  EXPECT_EQ(store.dim(), 2);
+  EXPECT_EQ(store.horizon(), 3u);
+  // All-empty sequences stay dimensionless.
+  EXPECT_EQ(RequestStore::from_batches(std::vector<RequestBatch>(2)).dim(), 0);
+}
+
+TEST(RequestStore, BatchIndexOutOfRangeThrows) {
+  RequestStore store(1);
+  store.push_batch(batch_of({Point{1.0}}));
+  EXPECT_THROW((void)store.batch(1), ContractViolation);
+  EXPECT_THROW((void)store.batch(static_cast<std::size_t>(-1)), ContractViolation);
+}
+
+TEST(ServiceCost, IdenticalOnBothLayouts) {
+  // The engine's objective must not depend on the storage layout: the same
+  // batch viewed AoS (strided) and SoA (dense) yields bit-equal costs.
+  const RequestBatch batch =
+      batch_of({Point{0.3, -1.7}, Point{2.9, 4.1}, Point{-0.01, 0.57}});
+  RequestStore store(2);
+  store.push_batch(batch);
+  const Point server{0.25, 0.75};
+  EXPECT_EQ(service_cost(server, batch), service_cost(server, store.batch(0)));
+}
+
+TEST(Instance, StepViewsMatchBuilderData) {
+  std::vector<RequestBatch> steps(2);
+  steps[0] = batch_of({Point{1.0, 0.0}, Point{0.0, 1.0}});
+  steps[1] = batch_of({Point{2.0, 2.0}});
+  const Instance inst(Point{0.0, 0.0}, ModelParams{}, steps);
+  EXPECT_EQ(inst.step(0)[1], (Point{0.0, 1.0}));
+  EXPECT_EQ(inst.step(1)[0], (Point{2.0, 2.0}));
+  EXPECT_EQ(inst.store().total_requests(), 3u);
+}
+
+TEST(Instance, CopiesAreBitIdenticalWithoutRevalidation) {
+  std::vector<RequestBatch> steps(4);
+  for (auto& s : steps) s = batch_of({Point{0.125}, Point{-3.5}});
+  const Instance inst(Point{0.0}, ModelParams{}, steps);
+  const Instance copy = inst.with_order(ServiceOrder::kServeThenMove);
+  EXPECT_EQ(copy.params().order, ServiceOrder::kServeThenMove);
+  ASSERT_EQ(copy.horizon(), inst.horizon());
+  // The flat buffers are equal element-for-element (a memcpy, not a rebuild).
+  EXPECT_EQ(copy.store().coords(), inst.store().coords());
+}
+
+TEST(Instance, StreamingBuildViaPushStep) {
+  Instance inst(Point{0.0}, ModelParams{}, RequestStore(1));
+  EXPECT_EQ(inst.horizon(), 0u);
+  inst.push_step(batch_of({Point{1.0}}));
+  inst.push_step(RequestBatch{});
+  EXPECT_EQ(inst.horizon(), 2u);
+  EXPECT_EQ(inst.step(0)[0], Point{1.0});
+  EXPECT_THROW(inst.push_step(batch_of({Point{1.0, 2.0}})), ContractViolation);
+}
+
+TEST(Instance, AdoptedStoreMustMatchStartDimension) {
+  RequestStore store(2);
+  store.push_batch(batch_of({Point{1.0, 2.0}}));
+  EXPECT_THROW(Instance(Point{0.0}, ModelParams{}, store), ContractViolation);
+  EXPECT_NO_THROW(Instance(Point{0.0, 0.0}, ModelParams{}, store));
+}
+
+}  // namespace
+}  // namespace mobsrv::sim

@@ -1,0 +1,196 @@
+// Tests for the incremental session engine (sim/session.hpp): streaming a
+// workload step-by-step must reproduce sim::run() bit-identically for every
+// registered algorithm, enforce the speed limit under both policies, and
+// account empty batches correctly.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.hpp"
+#include "sim/session.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv {
+namespace {
+
+using geo::Point;
+
+/// A drifting-hotspot-style stream that also contains EMPTY batches (the
+/// generator forbids r_min = 0, but live traffic has quiet rounds).
+sim::Instance sample_workload(int dim, std::uint64_t seed, std::size_t horizon = 60) {
+  stats::Rng rng(seed);
+  sim::ModelParams params;
+  params.move_cost_weight = 3.0;
+  std::vector<sim::RequestBatch> steps(horizon);
+  Point hotspot = Point::zero(dim);
+  for (auto& step : steps) {
+    for (int d = 0; d < dim; ++d) hotspot[d] += rng.uniform(-0.5, 0.5);
+    const auto r = static_cast<std::size_t>(rng.uniform_int(0, 5));
+    for (std::size_t i = 0; i < r; ++i) {
+      Point v = hotspot;
+      for (int d = 0; d < dim; ++d) v[d] += rng.uniform(-2.0, 2.0);
+      step.requests.push_back(v);
+    }
+  }
+  return sim::Instance(Point::zero(dim), params, std::move(steps));
+}
+
+/// Proposes start + huge on every step — a speed-limit violator.
+class Runaway final : public sim::OnlineAlgorithm {
+ public:
+  Point decide(const sim::StepView& view) override {
+    Point p = view.server;
+    p[0] += 100.0;
+    return p;
+  }
+  std::string name() const override { return "Runaway"; }
+};
+
+TEST(Session, MatchesRunBitIdenticallyForEveryAlgorithm) {
+  for (const std::string& name : alg::algorithm_names()) {
+    for (const int dim : {1, 2}) {
+      const sim::Instance instance = sample_workload(dim, 7);
+      sim::RunOptions options;
+      options.speed_factor = 1.5;
+
+      const sim::AlgorithmPtr batch_algo = alg::make_algorithm(name, 42);
+      const sim::RunResult reference = sim::run(instance, *batch_algo, options);
+
+      const sim::AlgorithmPtr stream_algo = alg::make_algorithm(name, 42);
+      sim::Session session(instance.start(), instance.params(), *stream_algo, options);
+      for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+
+      // EXACT equality: the wrapper and the stream are the same accounting.
+      EXPECT_EQ(session.total_cost(), reference.total_cost) << name << " dim " << dim;
+      EXPECT_EQ(session.move_cost(), reference.move_cost) << name;
+      EXPECT_EQ(session.service_cost(), reference.service_cost) << name;
+      EXPECT_EQ(session.position(), reference.final_position) << name;
+      EXPECT_EQ(session.positions(), reference.positions) << name;
+    }
+  }
+}
+
+TEST(Session, AnswerFirstOrderStreamsIdentically) {
+  const sim::Instance instance =
+      sample_workload(1, 11).with_order(sim::ServiceOrder::kServeThenMove);
+  const sim::AlgorithmPtr a = alg::make_algorithm("MtC");
+  const sim::AlgorithmPtr b = alg::make_algorithm("MtC");
+  const sim::RunResult reference = sim::run(instance, *a);
+  sim::Session session(instance.start(), instance.params(), *b);
+  for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+  EXPECT_EQ(session.total_cost(), reference.total_cost);
+  EXPECT_EQ(session.service_cost(), reference.service_cost);
+}
+
+TEST(Session, OutcomesSumToTotals) {
+  const sim::Instance instance = sample_workload(2, 3);
+  const sim::AlgorithmPtr algo = alg::make_algorithm("GreedyCenter");
+  sim::Session session(instance.start(), instance.params(), *algo);
+  double move = 0.0, service = 0.0;
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    const sim::StepOutcome outcome = session.push(instance.step(t));
+    EXPECT_EQ(outcome.t, t);
+    EXPECT_EQ(outcome.position, session.position());
+    move += outcome.cost.move;
+    service += outcome.cost.service;
+  }
+  EXPECT_EQ(session.steps(), instance.horizon());
+  EXPECT_DOUBLE_EQ(session.move_cost(), move);
+  EXPECT_DOUBLE_EQ(session.service_cost(), service);
+  EXPECT_DOUBLE_EQ(session.total_cost(), move + service);
+}
+
+TEST(Session, EmptyBatchChargesOnlyMovement) {
+  sim::ModelParams params;
+  params.move_cost_weight = 2.0;
+  const sim::AlgorithmPtr lazy = alg::make_algorithm("Lazy");
+  sim::Session session(Point{0.0}, params, *lazy);
+  const sim::StepOutcome outcome = session.push(sim::RequestBatch{});
+  EXPECT_EQ(outcome.cost.move, 0.0);
+  EXPECT_EQ(outcome.cost.service, 0.0);
+  EXPECT_EQ(session.total_cost(), 0.0);
+  EXPECT_EQ(session.steps(), 1u);
+
+  // A chaser also stays put on an empty batch (nothing to chase).
+  const sim::AlgorithmPtr mtc = alg::make_algorithm("MtC");
+  sim::Session chasing(Point{3.0}, params, *mtc);
+  EXPECT_EQ(chasing.push(sim::RequestBatch{}).position, Point{3.0});
+  EXPECT_EQ(chasing.total_cost(), 0.0);
+}
+
+TEST(Session, ThrowPolicyRejectsSpeedViolation) {
+  sim::ModelParams params;  // m = 1
+  Runaway runaway;
+  sim::Session session(Point{0.0}, params, runaway);
+  sim::RequestBatch batch;
+  batch.requests = {Point{50.0}};
+  EXPECT_THROW(session.push(batch), ContractViolation);
+}
+
+TEST(Session, ClampPolicyClampsAndAccounts) {
+  sim::ModelParams params;  // m = 1, D = 1
+  sim::RunOptions options;
+  options.policy = sim::SpeedLimitPolicy::kClamp;
+  Runaway runaway;
+  sim::Session session(Point{0.0}, params, runaway, options);
+
+  sim::RequestBatch batch;
+  batch.requests = {Point{10.0}};
+  const sim::StepOutcome first = session.push(batch);
+  EXPECT_TRUE(first.clamped);
+  EXPECT_NEAR(first.position[0], 1.0, 1e-12);  // clamped to m = 1 toward the proposal
+  EXPECT_NEAR(first.cost.move, 1.0, 1e-12);    // D·1
+  EXPECT_NEAR(first.cost.service, 9.0, 1e-12); // served from the CLAMPED position
+
+  const sim::StepOutcome second = session.push(batch);
+  EXPECT_TRUE(second.clamped);
+  EXPECT_NEAR(second.position[0], 2.0, 1e-12);
+  EXPECT_EQ(session.steps(), 2u);
+
+  // A within-limit proposal is not flagged.
+  const sim::AlgorithmPtr lazy = alg::make_algorithm("Lazy");
+  sim::Session tame(Point{0.0}, params, *lazy, options);
+  EXPECT_FALSE(tame.push(batch).clamped);
+}
+
+TEST(Session, ClampMatchesRunUnderClampPolicy) {
+  const sim::Instance instance = sample_workload(1, 9, 40);
+  sim::RunOptions options;
+  options.policy = sim::SpeedLimitPolicy::kClamp;
+  Runaway a, b;
+  const sim::RunResult reference = sim::run(instance, a, options);
+  sim::Session session(instance.start(), instance.params(), b, options);
+  for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+  EXPECT_EQ(session.total_cost(), reference.total_cost);
+  EXPECT_EQ(session.position(), reference.final_position);
+}
+
+TEST(Session, RecordsTraceAndPositionsOnRequest) {
+  const sim::Instance instance = sample_workload(1, 5, 20);
+  sim::RunOptions options;
+  options.record_trace = true;
+  const sim::AlgorithmPtr a = alg::make_algorithm("MtC");
+  const sim::AlgorithmPtr b = alg::make_algorithm("MtC");
+  const sim::RunResult reference = sim::run(instance, *a, options);
+  sim::Session session(instance.start(), instance.params(), *b, options);
+  for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+  ASSERT_EQ(session.trace().size(), reference.trace.size());
+  for (std::size_t t = 0; t < reference.trace.size(); ++t) {
+    EXPECT_EQ(session.trace()[t].before, reference.trace[t].before);
+    EXPECT_EQ(session.trace()[t].after, reference.trace[t].after);
+    EXPECT_EQ(session.trace()[t].cost.move, reference.trace[t].cost.move);
+    EXPECT_EQ(session.trace()[t].cost.service, reference.trace[t].cost.service);
+  }
+}
+
+TEST(Session, PositionRecordingCanBeDisabled) {
+  const sim::Instance instance = sample_workload(1, 5, 20);
+  sim::RunOptions options;
+  options.record_positions = false;
+  const sim::AlgorithmPtr algo = alg::make_algorithm("MtC");
+  sim::Session session(instance.start(), instance.params(), *algo, options);
+  for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+  EXPECT_TRUE(session.positions().empty());  // O(1) memory for streaming tenants
+  EXPECT_GT(session.total_cost(), 0.0);
+}
+
+}  // namespace
+}  // namespace mobsrv

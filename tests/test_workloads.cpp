@@ -71,7 +71,7 @@ TEST(DriftingHotspot, HotspotActuallyDrifts) {
   // Requests late in the sequence should be far from the start (a random
   // walk of 400 unit-ish steps wanders).
   geo::Aabb box;
-  for (const auto& v : inst.step(inst.horizon() - 1).requests) box.extend(v);
+  for (const geo::Point v : inst.step(inst.horizon() - 1)) box.extend(v);
   // Not a sharp statement — just that the cloud left the origin.
   EXPECT_GT(geo::distance(box.center(), inst.start()), 1.0);
 }
@@ -84,7 +84,7 @@ TEST(DriftingHotspot, Deterministic) {
   for (std::size_t t = 0; t < ia.horizon(); ++t) {
     ASSERT_EQ(ia.step(t).size(), ib.step(t).size());
     for (std::size_t i = 0; i < ia.step(t).size(); ++i)
-      EXPECT_EQ(ia.step(t).requests[i], ib.step(t).requests[i]);
+      EXPECT_EQ(ia.step(t)[i], ib.step(t)[i]);
   }
 }
 
@@ -97,10 +97,10 @@ TEST(Commute, AlternatesBetweenSites) {
   stats::Rng rng(7);
   const sim::Instance inst = make_commute(p, rng);
   // First block near site A (x = −10), second near B (x = +10).
-  EXPECT_NEAR(inst.step(0).requests[0][0], -10.0, 1.0);
-  EXPECT_NEAR(inst.step(32).requests[0][0], 10.0, 1.0);
-  EXPECT_NEAR(inst.step(64).requests[0][0], -10.0, 1.0);
-  EXPECT_NEAR(inst.step(96).requests[0][0], 10.0, 1.0);
+  EXPECT_NEAR(inst.step(0)[0][0], -10.0, 1.0);
+  EXPECT_NEAR(inst.step(32)[0][0], 10.0, 1.0);
+  EXPECT_NEAR(inst.step(64)[0][0], -10.0, 1.0);
+  EXPECT_NEAR(inst.step(96)[0][0], 10.0, 1.0);
 }
 
 TEST(Bursts, BetweenRminAndRmax) {
@@ -112,7 +112,8 @@ TEST(Bursts, BetweenRminAndRmax) {
   stats::Rng rng(8);
   const sim::Instance inst = make_bursts(p, rng);
   int bursts = 0;
-  for (const auto& step : inst.steps()) {
+  for (std::size_t t = 0; t < inst.horizon(); ++t) {
+    const auto step = inst.step(t);
     EXPECT_TRUE(step.size() == 1 || step.size() == 16);
     if (step.size() == 16) ++bursts;
   }
@@ -125,8 +126,8 @@ TEST(UniformNoise, StaysInBox) {
   p.half_width = 4.0;
   stats::Rng rng(9);
   const sim::Instance inst = make_uniform_noise(p, rng);
-  for (const auto& step : inst.steps())
-    for (const auto& v : step.requests)
+  for (std::size_t t = 0; t < inst.horizon(); ++t)
+    for (const geo::Point v : inst.step(t))
       for (int d = 0; d < v.dim(); ++d) {
         EXPECT_GE(v[d], -4.0);
         EXPECT_LE(v[d], 4.0);
