@@ -10,7 +10,14 @@
 ///                               flat RequestStore (the current hot path);
 ///   * engine/run_wrapper      — sim::run(), showing the wrapper adds nothing;
 ///   * mux/drain               — core::SessionMultiplexer throughput over
-///                               many concurrent sessions.
+///                               many concurrent sessions;
+///   * fleet/copy_baseline     — a frozen copy of the pre-redesign k-server
+///                               loop (per-step servers-vector copy in the
+///                               step view, decide() returning a fresh
+///                               vector);
+///   * fleet/session           — the unified fleet Session (span-based
+///                               FleetStepView, in-place proposals): the
+///                               k-server hot loop after the redesign.
 /// Each engine benchmark runs at dim 1, 2 and 8 so the dead-coordinate cost
 /// of the AoS layout is visible: at dim 1 the old layout reads 72 bytes per
 /// request for 8 useful ones.
@@ -184,6 +191,96 @@ void BM_MuxDrain(benchmark::State& state, Sizes sizes) {
   state.counters["sessions"] = static_cast<double>(sizes.mux_sessions);
 }
 
+// ---------------------------------------------------------------------------
+// Fleet engine: frozen pre-redesign loop vs the unified fleet Session.
+// The baseline reproduces the seed ext::run_multi engine verbatim — its step
+// view OWNED a std::vector<Point> copy of the fleet and decide() returned a
+// fresh vector, so every step paid two O(k) allocations/copies before any
+// real work. The redesigned engine hands out spans and writes proposals in
+// place; a parked fleet isolates exactly that overhead.
+// ---------------------------------------------------------------------------
+
+struct FrozenFleetView {
+  std::size_t t = 0;
+  sim::BatchView batch;
+  std::vector<Point> servers;  // the old copying layout
+  double speed_limit = 0.0;
+  const sim::ModelParams* params = nullptr;
+};
+
+struct FrozenFleetPolicy {
+  virtual ~FrozenFleetPolicy() = default;
+  virtual std::vector<Point> decide(const FrozenFleetView& view) = 0;
+};
+
+struct FrozenFleetStatic final : FrozenFleetPolicy {
+  std::vector<Point> decide(const FrozenFleetView& view) override { return view.servers; }
+};
+
+double run_frozen_fleet(const sim::Instance& instance, std::vector<Point> starts,
+                        FrozenFleetPolicy& policy) {
+  const sim::ModelParams& params = instance.params();
+  const double limit = params.max_step;
+  std::vector<Point> servers = std::move(starts);
+  double move_cost = 0.0, service_cost = 0.0;
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    FrozenFleetView view;
+    view.t = t;
+    view.batch = instance.step(t);
+    view.servers = servers;  // the per-step copy the redesign removed
+    view.speed_limit = limit;
+    view.params = &params;
+    std::vector<Point> proposals = policy.decide(view);
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      const Point next = mobsrv::geo::move_toward(servers[i], proposals[i], limit);
+      move_cost += params.move_cost_weight * mobsrv::geo::distance(servers[i], next);
+      servers[i] = next;
+    }
+    service_cost += mobsrv::sim::nearest_service_cost({servers.data(), servers.size()},
+                                                      instance.step(t));
+  }
+  return move_cost + service_cost;
+}
+
+std::vector<Point> fleet_starts(const sim::Instance& instance, int k) {
+  std::vector<Point> starts;
+  starts.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    Point p = instance.start();
+    p[0] += static_cast<double>(i);
+    starts.push_back(p);
+  }
+  return starts;
+}
+
+void BM_FleetCopyBaseline(benchmark::State& state, Sizes sizes) {
+  const auto k = static_cast<int>(state.range(0));
+  const sim::Instance instance =
+      to_instance(make_workload(2, sizes.horizon, sizes.requests_per_step));
+  const std::vector<Point> starts = fleet_starts(instance, k);
+  FrozenFleetStatic parked;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_frozen_fleet(instance, starts, parked));
+  set_throughput(state, sizes);
+}
+
+void BM_FleetSession(benchmark::State& state, Sizes sizes) {
+  const auto k = static_cast<int>(state.range(0));
+  const sim::Instance instance =
+      to_instance(make_workload(2, sizes.horizon, sizes.requests_per_step));
+  const std::vector<Point> starts = fleet_starts(instance, k);
+  sim::RunOptions options;
+  options.policy = sim::SpeedLimitPolicy::kClamp;
+  options.record_positions = false;
+  for (auto _ : state) {
+    mobsrv::ext::StaticServers parked;
+    sim::Session session(starts, instance.params(), parked, options);
+    for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+    benchmark::DoNotOptimize(session.total_cost());
+  }
+  set_throughput(state, sizes);
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: mobsrv_perf [--smoke] [--out=PATH] [--benchmark_*...]\n"
         "  --smoke      small workloads + short timings (CI smoke artifact)\n"
@@ -236,6 +333,16 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark("engine/run_wrapper", BM_RunWrapper, sizes)
         ->Arg(dim)
         ->ArgName("dim")
+        ->MinTime(min_time);
+  }
+  for (const int k : {4, 16}) {
+    benchmark::RegisterBenchmark("fleet/copy_baseline", BM_FleetCopyBaseline, sizes)
+        ->Arg(k)
+        ->ArgName("k")
+        ->MinTime(min_time);
+    benchmark::RegisterBenchmark("fleet/session", BM_FleetSession, sizes)
+        ->Arg(k)
+        ->ArgName("k")
         ->MinTime(min_time);
   }
   for (const int threads : {1, 4}) {

@@ -35,6 +35,41 @@ sim::Point MoveToMin::decide(const sim::StepView& view) {
   return geo::move_toward(view.server, target_, view.speed_limit);
 }
 
+// State layout (save_state/restore_state must agree; restore runs after
+// reset(), so window_size_ is already re-derived from params):
+//   words  = [batch count, size of each remembered batch..., steps_since_retarget_]
+//   points = [target_, then every remembered request in window order]
+void MoveToMin::save_state(sim::AlgorithmState& state) const {
+  state.words.push_back(window_.size());
+  for (const auto& batch : window_) state.words.push_back(batch.size());
+  state.words.push_back(steps_since_retarget_);
+  state.points.push_back(target_);
+  for (const auto& batch : window_)
+    state.points.insert(state.points.end(), batch.begin(), batch.end());
+}
+
+void MoveToMin::restore_state(const sim::AlgorithmState& state) {
+  MOBSRV_CHECK_MSG(state.words.size() >= 2 && state.reals.empty() && !state.points.empty(),
+                   "corrupt MoveToMin checkpoint state (wrong section shapes)");
+  const std::size_t batches = state.words.front();
+  MOBSRV_CHECK_MSG(state.words.size() == batches + 2,
+                   "corrupt MoveToMin checkpoint state (batch count disagrees)");
+  std::size_t total = 1;  // the target
+  for (std::size_t b = 0; b < batches; ++b) total += state.words[1 + b];
+  MOBSRV_CHECK_MSG(state.points.size() == total,
+                   "corrupt MoveToMin checkpoint state (point count disagrees)");
+  target_ = state.points.front();
+  steps_since_retarget_ = state.words.back();
+  window_.clear();
+  std::size_t cursor = 1;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t n = state.words[1 + b];
+    window_.emplace_back(state.points.begin() + static_cast<std::ptrdiff_t>(cursor),
+                         state.points.begin() + static_cast<std::ptrdiff_t>(cursor + n));
+    cursor += n;
+  }
+}
+
 void CoinFlip::reset(const sim::Point& start, const sim::ModelParams&) {
   rng_.reseed(seed_);
   target_ = start;
@@ -47,6 +82,29 @@ sim::Point CoinFlip::decide(const sim::StepView& view) {
     target_ = med::closest_center(scratch_, view.server);
   }
   return geo::move_toward(view.server, target_, view.speed_limit);
+}
+
+// State layout:
+//   words  = [rng word 0..3, has-cached-normal flag]
+//   reals  = [cached normal deviate]
+//   points = [target_]
+void CoinFlip::save_state(sim::AlgorithmState& state) const {
+  const stats::RngState rng = rng_.state();
+  state.words.insert(state.words.end(), rng.words.begin(), rng.words.end());
+  state.words.push_back(rng.has_cached_normal ? 1 : 0);
+  state.reals.push_back(rng.cached_normal);
+  state.points.push_back(target_);
+}
+
+void CoinFlip::restore_state(const sim::AlgorithmState& state) {
+  MOBSRV_CHECK_MSG(state.words.size() == 5 && state.reals.size() == 1 && state.points.size() == 1,
+                   "corrupt CoinFlip checkpoint state (wrong section shapes)");
+  stats::RngState rng;
+  for (std::size_t i = 0; i < 4; ++i) rng.words[i] = state.words[i];
+  rng.has_cached_normal = state.words[4] != 0;
+  rng.cached_normal = state.reals[0];
+  rng_.set_state(rng);
+  target_ = state.points[0];
 }
 
 }  // namespace mobsrv::alg

@@ -55,6 +55,8 @@ class MoveToMin final : public sim::OnlineAlgorithm {
   void reset(const sim::Point& start, const sim::ModelParams& params) override;
   [[nodiscard]] sim::Point decide(const sim::StepView& view) override;
   [[nodiscard]] std::string name() const override { return "MoveToMin"; }
+  void save_state(sim::AlgorithmState& state) const override;
+  void restore_state(const sim::AlgorithmState& state) override;
 
  private:
   std::deque<std::vector<sim::Point>> window_;  ///< last ceil(D) batches, materialised
@@ -74,6 +76,8 @@ class CoinFlip final : public sim::OnlineAlgorithm {
   void reset(const sim::Point& start, const sim::ModelParams& params) override;
   [[nodiscard]] sim::Point decide(const sim::StepView& view) override;
   [[nodiscard]] std::string name() const override { return "CoinFlip"; }
+  void save_state(sim::AlgorithmState& state) const override;
+  void restore_state(const sim::AlgorithmState& state) override;
 
  private:
   std::uint64_t seed_;

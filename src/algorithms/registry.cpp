@@ -4,6 +4,7 @@
 
 #include "algorithms/baselines.hpp"
 #include "algorithms/move_to_center.hpp"
+#include "ext/multi_server.hpp"
 
 namespace mobsrv::alg {
 
@@ -19,5 +20,21 @@ sim::AlgorithmPtr make_algorithm(const std::string& name, std::uint64_t seed) {
 std::vector<std::string> algorithm_names() {
   return {"MtC", "GreedyCenter", "MoveToMin", "CoinFlip", "Lazy"};
 }
+
+sim::FleetAlgorithmPtr make_fleet_algorithm(const std::string& name, std::uint64_t seed) {
+  if (name == "AssignAndChase") return std::make_unique<ext::AssignAndChase>();
+  if (name == "Static") return std::make_unique<ext::StaticServers>();
+  // Single-server names keep their registry identity through the adapter
+  // (it throws loudly if asked to drive k > 1 servers).
+  return std::make_unique<sim::SingleServerAdapter>(make_algorithm(name, seed));
+}
+
+std::vector<std::string> fleet_algorithm_names() {
+  std::vector<std::string> names = algorithm_names();
+  for (const std::string& name : fleet_native_names()) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> fleet_native_names() { return {"AssignAndChase", "Static"}; }
 
 }  // namespace mobsrv::alg

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fleet.hpp"
 #include "sim/online_algorithm.hpp"
 
 namespace mobsrv::alg {
@@ -16,5 +17,21 @@ namespace mobsrv::alg {
 
 /// All registered names, in shootout display order.
 [[nodiscard]] std::vector<std::string> algorithm_names();
+
+/// Constructs a fleet strategy by name. Every single-server registry name
+/// resolves to the same algorithm lifted through sim::SingleServerAdapter
+/// (usable for fleets of size 1, unchanged behaviour and name); the
+/// fleet-native strategies ("AssignAndChase", "Static") drive any k >= 1.
+/// Throws ContractViolation for unknown names.
+[[nodiscard]] sim::FleetAlgorithmPtr make_fleet_algorithm(const std::string& name,
+                                                          std::uint64_t seed = 0);
+
+/// All names make_fleet_algorithm accepts: the single-server registry plus
+/// the fleet-native strategies.
+[[nodiscard]] std::vector<std::string> fleet_algorithm_names();
+
+/// The subset of fleet names that can drive fleets of ANY size (k >= 1);
+/// the rest are single-server adaptations valid only at k = 1.
+[[nodiscard]] std::vector<std::string> fleet_native_names();
 
 }  // namespace mobsrv::alg

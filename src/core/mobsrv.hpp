@@ -14,6 +14,7 @@
 #include "core/ratio.hpp"                 // IWYU pragma: export
 #include "core/session_multiplexer.hpp"   // IWYU pragma: export
 #include "core/shootout.hpp"              // IWYU pragma: export
+#include "ext/multi_server.hpp"           // IWYU pragma: export
 #include "geometry/aabb.hpp"              // IWYU pragma: export
 #include "geometry/point.hpp"             // IWYU pragma: export
 #include "geometry/segment.hpp"           // IWYU pragma: export
@@ -27,11 +28,13 @@
 #include "opt/grid_dp.hpp"                // IWYU pragma: export
 #include "parallel/parallel_for.hpp"      // IWYU pragma: export
 #include "sim/engine.hpp"                 // IWYU pragma: export
+#include "sim/fleet.hpp"                  // IWYU pragma: export
 #include "sim/moving_client.hpp"          // IWYU pragma: export
 #include "sim/session.hpp"                // IWYU pragma: export
 #include "stats/bootstrap.hpp"            // IWYU pragma: export
 #include "stats/regression.hpp"           // IWYU pragma: export
 #include "trace/batch_runner.hpp"         // IWYU pragma: export
+#include "trace/checkpoint.hpp"           // IWYU pragma: export
 #include "trace/codec.hpp"                // IWYU pragma: export
 #include "trace/corpus.hpp"               // IWYU pragma: export
 #include "trace/recorder.hpp"             // IWYU pragma: export

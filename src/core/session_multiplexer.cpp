@@ -5,17 +5,53 @@
 
 namespace mobsrv::core {
 
+namespace {
+
+/// The start layout a spec describes: explicit positions when given,
+/// otherwise fleet_size copies of the workload's start.
+std::vector<sim::Point> spec_starts(const SessionSpec& spec) {
+  MOBSRV_CHECK_MSG(spec.fleet_size >= 1, "session needs at least one server");
+  if (!spec.starts.empty()) {
+    MOBSRV_CHECK_MSG(spec.starts.size() == spec.fleet_size,
+                     "spec.starts must match spec.fleet_size");
+    for (const sim::Point& start : spec.starts)
+      MOBSRV_CHECK_MSG(start.dim() == spec.workload->dim(),
+                       "spec.starts dimension does not match the workload");
+    return spec.starts;
+  }
+  return std::vector<sim::Point>(spec.fleet_size, spec.workload->start());
+}
+
+sim::RunOptions spec_options(const SessionSpec& spec) {
+  sim::RunOptions options;
+  options.speed_factor = spec.speed_factor;
+  options.policy = spec.policy;
+  options.record_positions = false;  // O(1) memory per session
+  options.record_trace = false;
+  return options;
+}
+
+}  // namespace
+
 /// All state of one live session. Owned via unique_ptr so slot addresses are
 /// stable (Session keeps a pointer to the algorithm; workers touch only
 /// their own slots).
 struct SessionMultiplexer::Slot {
-  Slot(SessionSpec spec_in, sim::AlgorithmPtr algorithm_in, const sim::RunOptions& options)
+  Slot(SessionSpec spec_in, sim::FleetAlgorithmPtr algorithm_in, const sim::RunOptions& options)
       : spec(std::move(spec_in)),
         algorithm(std::move(algorithm_in)),
-        session(spec.workload->start(), spec.workload->params(), *algorithm, options) {}
+        session(spec_starts(spec), spec.workload->params(), *algorithm, options) {}
+
+  /// Restore form: resumes the session from a checkpoint record.
+  Slot(SessionSpec spec_in, sim::FleetAlgorithmPtr algorithm_in,
+       const SessionCheckpointRecord& record)
+      : spec(std::move(spec_in)),
+        algorithm(std::move(algorithm_in)),
+        session(record.engine, *algorithm),
+        cursor(record.cursor) {}
 
   SessionSpec spec;
-  sim::AlgorithmPtr algorithm;
+  sim::FleetAlgorithmPtr algorithm;
   sim::Session session;
   std::size_t cursor = 0;  ///< next workload step to reveal
 
@@ -35,11 +71,8 @@ SessionMultiplexer::~SessionMultiplexer() = default;
 
 std::size_t SessionMultiplexer::add(SessionSpec spec) {
   MOBSRV_CHECK_MSG(spec.workload != nullptr, "session needs a workload");
-  sim::AlgorithmPtr algorithm = alg::make_algorithm(spec.algorithm, spec.algo_seed);
-  sim::RunOptions options;
-  options.speed_factor = spec.speed_factor;
-  options.policy = spec.policy;
-  options.record_positions = false;  // O(1) memory per session
+  sim::FleetAlgorithmPtr algorithm = alg::make_fleet_algorithm(spec.algorithm, spec.algo_seed);
+  const sim::RunOptions options = spec_options(spec);
   const bool live_on_add = spec.workload->horizon() > 0;
   slots_.push_back(std::make_unique<Slot>(std::move(spec), std::move(algorithm), options));
   if (live_on_add) ++live_;
@@ -82,10 +115,15 @@ SessionStats SessionMultiplexer::stats(std::size_t id) const {
   stats.steps = slot.cursor;
   stats.horizon = slot.spec.workload->horizon();
   stats.done = slot.done();
+  stats.fleet_size = slot.session.fleet_size();
   stats.total_cost = slot.session.total_cost();
   stats.move_cost = slot.session.move_cost();
   stats.service_cost = slot.session.service_cost();
   stats.position = slot.session.position();
+  stats.positions = slot.session.fleet();
+  stats.per_server_move_cost.reserve(slot.session.fleet_size());
+  for (std::size_t i = 0; i < slot.session.fleet_size(); ++i)
+    stats.per_server_move_cost.push_back(slot.session.server_move_cost(i));
   return stats;
 }
 
@@ -107,6 +145,71 @@ MuxTotals SessionMultiplexer::totals() const {
     totals.service_cost += slot->session.service_cost();
   }
   return totals;
+}
+
+std::vector<SessionCheckpointRecord> SessionMultiplexer::checkpoint() const {
+  std::vector<SessionCheckpointRecord> records;
+  records.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    SessionCheckpointRecord record;
+    record.tenant = slot->spec.tenant;
+    record.algorithm = slot->spec.algorithm;
+    record.algo_seed = slot->spec.algo_seed;
+    record.cursor = slot->cursor;
+    record.horizon = slot->spec.workload->horizon();
+    record.engine = slot->session.save();
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void SessionMultiplexer::restore(const std::vector<SessionCheckpointRecord>& records) {
+  MOBSRV_CHECK_MSG(records.size() == slots_.size(),
+                   "checkpoint holds " + std::to_string(records.size()) +
+                       " sessions but this multiplexer has " + std::to_string(slots_.size()));
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const SessionCheckpointRecord& record = records[i];
+    const SessionSpec& spec = slots_[i]->spec;
+    const std::string where = "checkpoint session " + std::to_string(i);
+    MOBSRV_CHECK_MSG(record.algorithm == spec.algorithm,
+                     where + " was saved by \"" + record.algorithm + "\" but the slot runs \"" +
+                         spec.algorithm + "\"");
+    MOBSRV_CHECK_MSG(record.algo_seed == spec.algo_seed, where + " algo seed mismatch");
+    MOBSRV_CHECK_MSG(record.tenant == spec.tenant, where + " tenant mismatch");
+    MOBSRV_CHECK_MSG(record.horizon == spec.workload->horizon(),
+                     where + " workload horizon mismatch (different workload supplied?)");
+    MOBSRV_CHECK_MSG(record.cursor <= record.horizon, where + " cursor beyond horizon");
+    MOBSRV_CHECK_MSG(record.cursor == record.engine.step,
+                     where + " cursor disagrees with engine step count");
+    MOBSRV_CHECK_MSG(record.engine.servers.size() == spec.fleet_size,
+                     where + " fleet size mismatch");
+    MOBSRV_CHECK_MSG(record.engine.servers.front().dim() == spec.workload->dim(),
+                     where + " server dimension disagrees with the supplied workload");
+    MOBSRV_CHECK_MSG(record.engine.speed_factor == spec.speed_factor &&
+                         record.engine.policy == spec.policy,
+                     where + " engine options disagree with the slot's spec");
+    const sim::ModelParams& saved = record.engine.params;
+    const sim::ModelParams& live = spec.workload->params();
+    MOBSRV_CHECK_MSG(saved.move_cost_weight == live.move_cost_weight &&
+                         saved.max_step == live.max_step && saved.order == live.order,
+                     where + " model params disagree with the supplied workload "
+                             "(different workload supplied?)");
+  }
+  // All records verified; rebuild into fresh slots and swap in only after
+  // every one constructed, so a restore that fails halfway (e.g. a corrupt
+  // AlgorithmState rejected by restore_state) leaves this multiplexer
+  // exactly as it was.
+  std::vector<std::unique_ptr<Slot>> restored;
+  restored.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    SessionSpec spec = slots_[i]->spec;
+    sim::FleetAlgorithmPtr algorithm = alg::make_fleet_algorithm(spec.algorithm, spec.algo_seed);
+    restored.push_back(std::make_unique<Slot>(std::move(spec), std::move(algorithm), records[i]));
+  }
+  slots_ = std::move(restored);
+  live_ = 0;
+  for (const auto& slot : slots_)
+    if (!slot->done()) ++live_;
 }
 
 }  // namespace mobsrv::core

@@ -2,12 +2,16 @@
 /// Concurrent driver for thousands of live simulation sessions.
 ///
 /// Production framing (ROADMAP north star): every tenant/workload is one
-/// sim::Session streaming its own request sequence; the multiplexer shards
-/// the live sessions across a parallel::ThreadPool and advances them in
-/// rounds. The API is drain/step/snapshot:
-///   * step(k)   — advance every live session by up to k steps;
-///   * drain()   — run every session to the end of its workload;
-///   * snapshot()— per-session accounting (costs, progress, position).
+/// sim::Session — a fleet of k >= 1 servers — streaming its own request
+/// sequence; the multiplexer shards the live sessions across a
+/// parallel::ThreadPool and advances them in rounds. The API is
+/// drain/step/snapshot/checkpoint:
+///   * step(k)     — advance every live session by up to k steps;
+///   * drain()     — run every session to the end of its workload;
+///   * snapshot()  — per-session accounting (costs, progress, positions);
+///   * checkpoint()/restore() — capture/resume every session's full engine
+///     + algorithm state so a long-running service survives restarts
+///     bit-identically (trace/checkpoint.hpp serialises to disk).
 ///
 /// Determinism: each session's state lives in its own slot and is touched
 /// only by whichever worker drew that slot; no cross-session state exists,
@@ -30,24 +34,34 @@ namespace mobsrv::core {
 /// corpus replayed by k algorithms stores its coordinates once.
 struct SessionSpec {
   std::shared_ptr<const sim::Instance> workload;  ///< never null
-  std::string algorithm;                          ///< alg::make_algorithm name
+  std::string algorithm;                          ///< alg::make_fleet_algorithm name
   std::uint64_t algo_seed = 0;
   double speed_factor = 1.0;
   sim::SpeedLimitPolicy policy = sim::SpeedLimitPolicy::kThrow;
   std::string tenant;  ///< free-form accounting label (may be empty)
+  /// Fleet size; single-server names require 1, fleet-native strategies
+  /// accept any k >= 1.
+  std::size_t fleet_size = 1;
+  /// Explicit start layout (size fleet_size, dimensions matching the
+  /// workload). Empty = every server starts at workload->start(); use
+  /// ext::spread_starts for a circular layout.
+  std::vector<sim::Point> starts;
 };
 
 /// Per-session accounting snapshot.
 struct SessionStats {
   std::string tenant;
   std::string algorithm;
-  std::size_t steps = 0;    ///< steps consumed so far
-  std::size_t horizon = 0;  ///< workload length
-  bool done = false;        ///< steps == horizon
+  std::size_t steps = 0;      ///< steps consumed so far
+  std::size_t horizon = 0;    ///< workload length
+  bool done = false;          ///< steps == horizon
+  std::size_t fleet_size = 1;
   double total_cost = 0.0;
   double move_cost = 0.0;
   double service_cost = 0.0;
-  sim::Point position;  ///< current server position
+  sim::Point position;                       ///< first server's position
+  std::vector<sim::Point> positions;         ///< every server's position
+  std::vector<double> per_server_move_cost;  ///< move split by server
 };
 
 /// Aggregate accounting over all sessions.
@@ -60,6 +74,18 @@ struct MuxTotals {
   double service_cost = 0.0;
 };
 
+/// Everything needed to resume one multiplexed session: the spec identity
+/// binding it to its slot (verified on restore — a checkpoint applied to
+/// the wrong spec fails loudly) plus the engine checkpoint.
+struct SessionCheckpointRecord {
+  std::string tenant;
+  std::string algorithm;
+  std::uint64_t algo_seed = 0;
+  std::size_t cursor = 0;   ///< workload steps consumed
+  std::size_t horizon = 0;  ///< workload length at save time
+  sim::SessionCheckpoint engine;
+};
+
 class SessionMultiplexer {
  public:
   /// \p grain is the number of consecutive sessions one pool task advances
@@ -70,9 +96,10 @@ class SessionMultiplexer {
   SessionMultiplexer(const SessionMultiplexer&) = delete;
   SessionMultiplexer& operator=(const SessionMultiplexer&) = delete;
 
-  /// Registers a session (constructing its algorithm from the registry) and
-  /// returns its dense id. Sessions never record position/trace history —
-  /// memory stays O(1) per session regardless of horizon.
+  /// Registers a session (constructing its algorithm from the fleet
+  /// registry) and returns its dense id. Sessions never record
+  /// position/trace history — memory stays O(1) per session regardless of
+  /// horizon.
   std::size_t add(SessionSpec spec);
 
   [[nodiscard]] std::size_t size() const noexcept;
@@ -90,6 +117,18 @@ class SessionMultiplexer {
   [[nodiscard]] SessionStats stats(std::size_t id) const;
   [[nodiscard]] std::vector<SessionStats> snapshot() const;
   [[nodiscard]] MuxTotals totals() const;
+
+  /// Captures every session's full state (one record per slot, in id
+  /// order). Serialise with trace::write_checkpoint to survive restarts.
+  [[nodiscard]] std::vector<SessionCheckpointRecord> checkpoint() const;
+
+  /// Resumes a checkpoint taken from a multiplexer with the SAME sessions
+  /// added in the same order (workloads are re-supplied by the specs — a
+  /// checkpoint stores engine state, not request data). Verifies each
+  /// record against its slot's spec (algorithm, seed, tenant, horizon,
+  /// fleet size) and fails loudly on any mismatch. After restore the mux
+  /// continues bit-identically to one that was never interrupted.
+  void restore(const std::vector<SessionCheckpointRecord>& records);
 
  private:
   struct Slot;

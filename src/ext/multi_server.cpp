@@ -9,58 +9,37 @@
 
 namespace mobsrv::ext {
 
-double nearest_service_cost(const std::vector<sim::Point>& servers, sim::BatchView batch) {
-  MOBSRV_CHECK_MSG(!servers.empty(), "need at least one server");
-  double total = 0.0;
-  for (const sim::Point v : batch) {
-    double best = std::numeric_limits<double>::infinity();
-    for (const auto& s : servers) best = std::min(best, geo::distance(s, v));
-    total += best;
-  }
-  return total;
-}
-
 MultiRunResult run_multi(const sim::Instance& instance, std::vector<sim::Point> starts,
-                         MultiServerAlgorithm& algorithm, double speed_factor) {
+                         sim::FleetAlgorithm& algorithm, double speed_factor) {
   MOBSRV_CHECK_MSG(!starts.empty(), "need at least one server");
   MOBSRV_CHECK(speed_factor >= 1.0);
   for (const auto& s : starts) MOBSRV_CHECK(s.dim() == instance.dim());
-  const sim::ModelParams& params = instance.params();
-  const double limit = params.max_step * speed_factor;
 
-  algorithm.reset(starts, params);
-  std::vector<sim::Point> servers = std::move(starts);
+  sim::RunOptions options;
+  options.speed_factor = speed_factor;
+  options.policy = sim::SpeedLimitPolicy::kClamp;  // robust engine policy for extensions
+  options.record_positions = false;
+  options.record_trace = false;
+  sim::Session session(std::move(starts), instance.params(), algorithm, options);
+  for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
 
   MultiRunResult result;
-  for (std::size_t t = 0; t < instance.horizon(); ++t) {
-    MultiStepView view;
-    view.t = t;
-    view.batch = instance.step(t);
-    view.servers = servers;
-    view.speed_limit = limit;
-    view.params = &params;
-
-    std::vector<sim::Point> proposals = algorithm.decide(view);
-    MOBSRV_CHECK_MSG(proposals.size() == servers.size(), "strategy changed the fleet size");
-    for (std::size_t i = 0; i < servers.size(); ++i) {
-      // Clamp overshoots to the limit (robust engine policy for extensions).
-      const sim::Point next = geo::move_toward(servers[i], proposals[i], limit);
-      result.move_cost += params.move_cost_weight * geo::distance(servers[i], next);
-      servers[i] = next;
-    }
-    result.service_cost += nearest_service_cost(servers, instance.step(t));
-  }
-  result.total_cost = result.move_cost + result.service_cost;
-  result.final_positions = std::move(servers);
+  result.move_cost = session.move_cost();
+  result.service_cost = session.service_cost();
+  result.total_cost = session.total_cost();
+  result.final_positions = session.fleet();
+  result.per_server_move_cost.reserve(session.fleet_size());
+  for (std::size_t i = 0; i < session.fleet_size(); ++i)
+    result.per_server_move_cost.push_back(session.server_move_cost(i));
   return result;
 }
 
-std::vector<sim::Point> AssignAndChase::decide(const MultiStepView& view) {
-  std::vector<sim::Point> next = view.servers;
-  if (view.batch.empty()) return next;
+void AssignAndChase::decide(const sim::FleetStepView& view, std::span<sim::Point> proposals) {
+  if (view.batch.empty()) return;  // proposals are pre-filled with "stay"
 
   // Assign each request to its nearest server (by pre-move positions).
-  std::vector<std::vector<geo::Point>> assigned(view.servers.size());
+  assigned_.resize(view.servers.size());
+  for (auto& bucket : assigned_) bucket.clear();
   for (const sim::Point v : view.batch) {
     std::size_t best = 0;
     double best_d = std::numeric_limits<double>::infinity();
@@ -71,21 +50,20 @@ std::vector<sim::Point> AssignAndChase::decide(const MultiStepView& view) {
         best = i;
       }
     }
-    assigned[best].push_back(v);
+    assigned_[best].push_back(v);
   }
 
   // Each server runs the MtC rule on its own sub-batch.
-  for (std::size_t i = 0; i < next.size(); ++i) {
-    if (assigned[i].empty()) continue;
-    const geo::Point center = med::closest_center(assigned[i], view.servers[i]);
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    if (assigned_[i].empty()) continue;
+    const geo::Point center = med::closest_center(assigned_[i], view.servers[i]);
     const double dist = geo::distance(view.servers[i], center);
     const double step =
-        std::min(alg::MoveToCenter::damped_step(assigned[i].size(),
+        std::min(alg::MoveToCenter::damped_step(assigned_[i].size(),
                                                 view.params->move_cost_weight, dist),
                  view.speed_limit);
-    next[i] = geo::move_toward(view.servers[i], center, step);
+    proposals[i] = geo::move_toward(view.servers[i], center, step);
   }
-  return next;
 }
 
 sim::Instance make_multi_hotspot(const MultiHotspotParams& params, stats::Rng& rng) {

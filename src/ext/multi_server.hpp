@@ -8,43 +8,35 @@
 /// is served by the *nearest* server (after the moves, Move-First
 /// semantics); movement of every server costs D per unit.
 ///
+/// The engine itself lives in sim::Session — fleet strategies implement the
+/// unified sim::FleetAlgorithm interface and `run_multi` is a thin batch
+/// loop over a fleet Session, bit-identical to the historical private loop
+/// here on Move-First instances (every workload this module generates).
+/// One deliberate upgrade over the seed loop: the fleet engine honours the
+/// instance's ServiceOrder — kServeThenMove instances are now served from
+/// the pre-move positions, where the old loop silently ignored the order.
+/// Single-server strategies join fleets of size 1 through
+/// sim::SingleServerAdapter; this header keeps the fleet-native strategies
+/// and the multi-hotspot workload generator.
+///
 /// No competitive bound is claimed here — the point is an executable
 /// substrate for the open question, plus the ablation experiment E14
 /// (marginal value of additional servers on multi-hotspot demand).
 #pragma once
 
-#include <memory>
 #include <vector>
 
-#include "sim/cost.hpp"
+#include "sim/session.hpp"
 #include "stats/rng.hpp"
 
 namespace mobsrv::ext {
 
-/// Everything a multi-server strategy may look at when deciding step t.
-struct MultiStepView {
-  std::size_t t = 0;
-  sim::BatchView batch;             ///< requests of this step (non-owning span)
-  std::vector<sim::Point> servers;  ///< current positions
-  double speed_limit = 0.0;         ///< per-server movement limit this round
-  const sim::ModelParams* params = nullptr;
-};
-
-/// Strategy interface: proposes one new position per server.
-class MultiServerAlgorithm {
- public:
-  virtual ~MultiServerAlgorithm() = default;
-  virtual void reset(const std::vector<sim::Point>& starts, const sim::ModelParams& params) {
-    (void)starts;
-    (void)params;
-  }
-  [[nodiscard]] virtual std::vector<sim::Point> decide(const MultiStepView& view) = 0;
-  [[nodiscard]] virtual std::string name() const = 0;
-};
-
-/// Nearest-server service cost: Σ_v min_i d(P_i, v).
-[[nodiscard]] double nearest_service_cost(const std::vector<sim::Point>& servers,
-                                          sim::BatchView batch);
+/// Nearest-server service cost: Σ_v min_i d(P_i, v). Forwards to the
+/// engine's kernel in sim/cost.hpp (kept here for API continuity).
+[[nodiscard]] inline double nearest_service_cost(const std::vector<sim::Point>& servers,
+                                                 sim::BatchView batch) {
+  return sim::nearest_service_cost({servers.data(), servers.size()}, batch);
+}
 
 /// Result of a multi-server run.
 struct MultiRunResult {
@@ -52,31 +44,38 @@ struct MultiRunResult {
   double move_cost = 0.0;
   double service_cost = 0.0;
   std::vector<sim::Point> final_positions;
+  std::vector<double> per_server_move_cost;  ///< move split by server
 };
 
-/// Runs a multi-server strategy. Starts are spread by the caller; every
-/// server obeys speed_factor·m per round (clamped — extensions favour
-/// robustness over strictness here, and cost accounting is done by the
-/// engine either way).
+/// Runs a fleet strategy over \p instance: a thin loop over sim::Session.
+/// Starts are spread by the caller; every server obeys speed_factor·m per
+/// round (clamped — extensions favour robustness over strictness here, and
+/// cost accounting is done by the engine either way).
 [[nodiscard]] MultiRunResult run_multi(const sim::Instance& instance,
                                        std::vector<sim::Point> starts,
-                                       MultiServerAlgorithm& algorithm,
+                                       sim::FleetAlgorithm& algorithm,
                                        double speed_factor = 1.0);
 
 /// The natural generalisation of MtC: requests are assigned to their
 /// nearest server; each server runs the MtC rule (damped step toward the
-/// closest median of its assigned sub-batch).
-class AssignAndChase final : public MultiServerAlgorithm {
+/// closest median of its assigned sub-batch). Stateless, so checkpoints
+/// carry no algorithm state.
+class AssignAndChase final : public sim::FleetAlgorithm {
  public:
-  [[nodiscard]] std::vector<sim::Point> decide(const MultiStepView& view) override;
+  void decide(const sim::FleetStepView& view, std::span<sim::Point> proposals) override;
   [[nodiscard]] std::string name() const override { return "AssignAndChase"; }
+
+ private:
+  std::vector<std::vector<geo::Point>> assigned_;  ///< scratch reused across steps
 };
 
-/// Baseline: servers never move (a static cache grid).
-class StaticServers final : public MultiServerAlgorithm {
+/// Baseline: servers never move (a static cache grid). The engine pre-fills
+/// proposals with the current positions, so deciding is a no-op.
+class StaticServers final : public sim::FleetAlgorithm {
  public:
-  [[nodiscard]] std::vector<sim::Point> decide(const MultiStepView& view) override {
-    return view.servers;
+  void decide(const sim::FleetStepView& view, std::span<sim::Point> proposals) override {
+    (void)view;
+    (void)proposals;
   }
   [[nodiscard]] std::string name() const override { return "Static"; }
 };

@@ -1,6 +1,8 @@
 #include "sim/cost.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace mobsrv::sim {
 
@@ -32,6 +34,32 @@ double service_cost(const Point& server, BatchView batch) {
       s2 += d * d;
     }
     total += std::sqrt(s2);
+  }
+  return total;
+}
+
+double nearest_service_cost(std::span<const Point> servers, BatchView batch) {
+  MOBSRV_CHECK_MSG(!servers.empty(), "need at least one server");
+  if (batch.empty()) return 0.0;
+  MOBSRV_DCHECK(servers[0].dim() == batch.dim());
+  const int dim = batch.dim();
+  const double* v = batch.data();
+  const std::size_t stride = batch.stride();
+  double total = 0.0;
+  // Same per-distance operation sequence as service_cost / geo::distance,
+  // so a one-server fleet reproduces single-server service bit-identically.
+  for (std::size_t i = 0; i < batch.size(); ++i, v += stride) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point& server : servers) {
+      const double* s = server.data();
+      double s2 = 0.0;
+      for (int k = 0; k < dim; ++k) {
+        const double d = s[k] - v[k];
+        s2 += d * d;
+      }
+      best = std::min(best, std::sqrt(s2));
+    }
+    total += best;
   }
   return total;
 }

@@ -25,6 +25,11 @@ struct StepCost {
 /// still flow through the same function.)
 [[nodiscard]] double service_cost(const Point& server, BatchView batch);
 
+/// Nearest-server service cost for a fleet: Σ_v min_i d(P_i, v). The
+/// k-server generalisation of service_cost (identical operation sequence
+/// per distance, so a one-server fleet charges bit-identical costs).
+[[nodiscard]] double nearest_service_cost(std::span<const Point> servers, BatchView batch);
+
 /// Cost of step t when the server moves \p before → \p after while \p batch
 /// arrives, under the given model parameters/service order.
 [[nodiscard]] StepCost step_cost(const ModelParams& params, const Point& before,

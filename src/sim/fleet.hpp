@@ -1,0 +1,122 @@
+/// \file fleet.hpp
+/// The unified fleet decision interface: every run is over k >= 1 servers.
+///
+/// The paper's Section 6 poses the multi-server generalisation as its open
+/// question; the follow-up literature (Feldkord et al., "Managing Multiple
+/// Mobile Resources"; Ghodselahi & Kuhn, "Serving Online Requests with
+/// Mobile Servers") treats fleets of bounded-movement servers as the real
+/// object of study. The engine therefore speaks ONE interface:
+///
+///   * FleetStepView  — what a strategy may look at: the step's requests,
+///     the current server positions as a NON-OWNING span (no per-step
+///     vector copies), the per-server movement limit and model params;
+///   * FleetAlgorithm — proposes one target per server by writing into a
+///     caller-provided span (pre-filled with the current positions, so
+///     "stay put" is the zero-cost default);
+///   * SingleServerAdapter — lifts any OnlineAlgorithm into a k = 1 fleet,
+///     preserving its behaviour and registry name bit-for-bit. Every
+///     single-server strategy joins the fleet engine through it.
+///
+/// Checkpointing mirrors OnlineAlgorithm: save_state/restore_state round-
+/// trip mutable internals through an AlgorithmState.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "sim/online_algorithm.hpp"
+
+namespace mobsrv::sim {
+
+/// Everything a fleet strategy may look at when deciding step t.
+/// (Oblivious of the future by construction: the engine only ever exposes
+/// the current batch.)
+struct FleetStepView {
+  std::size_t t = 0;                ///< step index, 0-based
+  BatchView batch;                  ///< requests of this step (non-owning span)
+  std::span<const Point> servers;   ///< current positions P_t (non-owning)
+  double speed_limit = 0.0;         ///< per-server movement limit (1+δ)·m
+  const ModelParams* params = nullptr;  ///< D, m, service order (never null)
+};
+
+/// Abstract fleet strategy: proposes one new position per server.
+/// Implementations must be deterministic given their construction arguments
+/// (randomized strategies take an explicit seed).
+class FleetAlgorithm {
+ public:
+  virtual ~FleetAlgorithm() = default;
+
+  /// Called once before a run; resets all internal state.
+  virtual void reset(std::span<const Point> starts, const ModelParams& params) {
+    (void)starts;
+    (void)params;
+  }
+
+  /// Writes the desired positions P_{t+1} into \p proposals (one slot per
+  /// server, pre-filled by the engine with the current positions, so an
+  /// untouched slot means "stay"). Each proposal must satisfy
+  /// d(view.servers[i], proposals[i]) <= view.speed_limit (the engine
+  /// enforces this under the run's SpeedLimitPolicy).
+  virtual void decide(const FleetStepView& view, std::span<Point> proposals) = 0;
+
+  /// Stable display/registry name ("AssignAndChase", or the wrapped
+  /// single-server name for adapters).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Checkpoint hooks; see OnlineAlgorithm for the contract.
+  virtual void save_state(AlgorithmState& state) const { (void)state; }
+  virtual void restore_state(const AlgorithmState& state) {
+    MOBSRV_CHECK_MSG(state.empty(),
+                     "algorithm " + name() + " cannot restore a non-empty checkpoint state");
+  }
+};
+
+using FleetAlgorithmPtr = std::unique_ptr<FleetAlgorithm>;
+
+/// Lifts a single-server OnlineAlgorithm into the fleet interface for
+/// k = 1 runs. The adapter is transparent: the wrapped strategy sees the
+/// exact StepView it always saw, so costs are bit-identical to the
+/// pre-fleet engine, and name()/checkpoint state pass straight through.
+class SingleServerAdapter final : public FleetAlgorithm {
+ public:
+  /// Non-owning: \p inner must outlive the adapter.
+  explicit SingleServerAdapter(OnlineAlgorithm& inner) : inner_(&inner) {}
+
+  /// Owning form (the fleet registry constructs algorithms this way).
+  explicit SingleServerAdapter(AlgorithmPtr inner) : owned_(std::move(inner)) {
+    MOBSRV_CHECK_MSG(owned_ != nullptr, "adapter needs an algorithm");
+    inner_ = owned_.get();
+  }
+
+  void reset(std::span<const Point> starts, const ModelParams& params) override {
+    MOBSRV_CHECK_MSG(starts.size() == 1,
+                     "single-server algorithm " + inner_->name() + " cannot drive a fleet of " +
+                         std::to_string(starts.size()) + " servers");
+    inner_->reset(starts[0], params);
+  }
+
+  void decide(const FleetStepView& view, std::span<Point> proposals) override {
+    StepView single;
+    single.t = view.t;
+    single.batch = view.batch;
+    single.server = view.servers[0];
+    single.speed_limit = view.speed_limit;
+    single.params = view.params;
+    proposals[0] = inner_->decide(single);
+  }
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  void save_state(AlgorithmState& state) const override { inner_->save_state(state); }
+  void restore_state(const AlgorithmState& state) override { inner_->restore_state(state); }
+
+  /// The wrapped strategy (for callers that need the single-server view).
+  [[nodiscard]] OnlineAlgorithm& inner() noexcept { return *inner_; }
+
+ private:
+  AlgorithmPtr owned_;  ///< present only for the owning form
+  OnlineAlgorithm* inner_;
+};
+
+}  // namespace mobsrv::sim

@@ -4,14 +4,37 @@
 /// The engine reveals one step at a time; the algorithm proposes a new
 /// position and the engine enforces the (possibly augmented) movement limit
 /// and does all cost accounting — an algorithm cannot cheat on either.
+///
+/// Checkpointing: a Session snapshot must capture algorithm internals too
+/// (targets, batch windows, RNG streams), so the interface carries
+/// `save_state`/`restore_state` hooks over a typed AlgorithmState container.
+/// Stateless strategies inherit the no-op defaults.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/model.hpp"
 
 namespace mobsrv::sim {
+
+/// Serializable snapshot of an algorithm's mutable internals. A flat,
+/// self-describing container (integers, reals, points) rather than an
+/// opaque byte blob, so the trace checkpoint codec can round-trip it
+/// losslessly and validate it on read. Encoding layout is the algorithm's
+/// own contract: save_state and restore_state must agree on the order.
+struct AlgorithmState {
+  std::vector<std::uint64_t> words;  ///< counters, sizes, RNG state, flags
+  std::vector<double> reals;         ///< scalar state (cached deviates, ...)
+  std::vector<Point> points;         ///< targets, remembered batches, ...
+
+  [[nodiscard]] bool empty() const noexcept {
+    return words.empty() && reals.empty() && points.empty();
+  }
+  friend bool operator==(const AlgorithmState&, const AlgorithmState&) = default;
+};
 
 /// Everything an online algorithm may look at when deciding step t.
 /// (Oblivious of the future by construction: the engine only ever exposes
@@ -41,8 +64,24 @@ class OnlineAlgorithm {
   /// d(view.server, result) <= view.speed_limit (the engine verifies).
   [[nodiscard]] virtual Point decide(const StepView& view) = 0;
 
-  /// Stable display name used in tables ("MtC", "Lazy", ...).
+  /// Stable display name used in tables ("MtC", "Lazy", ...). Registered
+  /// algorithms return their registry name, which checkpoints use to bind a
+  /// saved state to the strategy that produced it.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Appends the algorithm's mutable internals to \p state so a restored
+  /// run continues bit-identically. Stateless strategies save nothing.
+  virtual void save_state(AlgorithmState& state) const { (void)state; }
+
+  /// Restores internals saved by save_state. Called after reset(), which
+  /// re-derives everything reset computes from (start, params); only state
+  /// that evolves during a run needs to round-trip. The default accepts
+  /// only an empty state — a stateful algorithm that forgets to override
+  /// both hooks fails loudly instead of silently diverging after restore.
+  virtual void restore_state(const AlgorithmState& state) {
+    MOBSRV_CHECK_MSG(state.empty(),
+                     "algorithm " + name() + " cannot restore a non-empty checkpoint state");
+  }
 };
 
 using AlgorithmPtr = std::unique_ptr<OnlineAlgorithm>;

@@ -4,83 +4,241 @@
 
 namespace mobsrv::sim {
 
+namespace {
+
+std::vector<Point> single_start(Point start) {
+  std::vector<Point> starts;
+  starts.push_back(std::move(start));
+  return starts;
+}
+
+}  // namespace
+
+Session::Session(std::vector<Point> starts, ModelParams params, FleetAlgorithm& algorithm,
+                 const RunOptions& options)
+    : params_(params), options_(options), algorithm_(&algorithm), servers_(std::move(starts)) {
+  init_fresh();
+}
+
+Session::Session(std::vector<Point> starts, ModelParams params,
+                 std::unique_ptr<FleetAlgorithm> owned_adapter, const RunOptions& options)
+    : params_(params),
+      options_(options),
+      owned_adapter_(std::move(owned_adapter)),
+      algorithm_(owned_adapter_.get()),
+      servers_(std::move(starts)) {
+  init_fresh();
+}
+
 Session::Session(Point start, ModelParams params, OnlineAlgorithm& algorithm,
                  const RunOptions& options)
-    : params_(params), options_(options), algorithm_(&algorithm), server_(std::move(start)) {
+    : Session(single_start(std::move(start)), params,
+              std::make_unique<SingleServerAdapter>(algorithm), options) {}
+
+Session::Session(const SessionCheckpoint& checkpoint, FleetAlgorithm& algorithm)
+    : params_(checkpoint.params), algorithm_(&algorithm) {
+  init_from(checkpoint);
+}
+
+Session::Session(const SessionCheckpoint& checkpoint, std::unique_ptr<FleetAlgorithm> owned_adapter)
+    : params_(checkpoint.params),
+      owned_adapter_(std::move(owned_adapter)),
+      algorithm_(owned_adapter_.get()) {
+  init_from(checkpoint);
+}
+
+Session::Session(const SessionCheckpoint& checkpoint, OnlineAlgorithm& algorithm)
+    : Session(checkpoint, std::make_unique<SingleServerAdapter>(algorithm)) {}
+
+void Session::init_fresh() {
   options_.validate();
   params_.validate();
-  MOBSRV_CHECK_MSG(!server_.empty(), "start position must have a dimension");
+  MOBSRV_CHECK_MSG(!servers_.empty(), "a session needs at least one server");
+  const int dim = servers_.front().dim();
+  MOBSRV_CHECK_MSG(dim >= 1, "start position must have a dimension");
+  for (const Point& start : servers_)
+    MOBSRV_CHECK_MSG(start.dim() == dim, "fleet start positions must share one dimension");
+  MOBSRV_CHECK_MSG(servers_.size() == 1 || (!options_.record_positions && !options_.record_trace),
+                   "fleet sessions (k > 1) keep no history; disable "
+                   "record_positions/record_trace");
   limit_ = params_.max_step * options_.speed_factor;
   // Numerical slack: algorithms move exactly at the limit along computed
   // directions, so allow relative rounding error before calling foul.
   hard_limit_ = limit_ * (1.0 + 1e-9);
-  algorithm_->reset(server_, params_);
-  if (options_.record_positions) positions_.push_back(server_);
+  server_move_.assign(servers_.size(), 0.0);
+  algorithm_->reset({servers_.data(), servers_.size()}, params_);
+  if (options_.record_positions && servers_.size() == 1) positions_.push_back(servers_.front());
+}
+
+void Session::init_from(const SessionCheckpoint& checkpoint) {
+  params_.validate();
+  options_.speed_factor = checkpoint.speed_factor;
+  options_.policy = checkpoint.policy;
+  options_.record_positions = false;  // history is not part of a checkpoint
+  options_.record_trace = false;
+  options_.validate();
+  MOBSRV_CHECK_MSG(!checkpoint.servers.empty(), "checkpoint has no server positions");
+  const int dim = checkpoint.servers.front().dim();
+  MOBSRV_CHECK_MSG(dim >= 1, "checkpoint server position must have a dimension");
+  for (const Point& server : checkpoint.servers)
+    MOBSRV_CHECK_MSG(server.dim() == dim, "checkpoint fleet positions must share one dimension");
+  MOBSRV_CHECK_MSG(checkpoint.server_move.size() == checkpoint.servers.size(),
+                   "checkpoint per-server move split does not match its fleet size");
+  MOBSRV_CHECK_MSG(algorithm_->name() == checkpoint.algorithm,
+                   "checkpoint was saved by algorithm \"" + checkpoint.algorithm +
+                       "\" but \"" + algorithm_->name() + "\" was supplied to restore it");
+  servers_ = checkpoint.servers;
+  server_move_ = checkpoint.server_move;
+  t_ = checkpoint.step;
+  move_cost_ = checkpoint.move_cost;
+  service_cost_ = checkpoint.service_cost;
+  limit_ = params_.max_step * options_.speed_factor;
+  hard_limit_ = limit_ * (1.0 + 1e-9);
+  // reset() re-derives everything the algorithm computes from (start,
+  // params); restore_state then overwrites the state that evolved during
+  // the interrupted run. See the OnlineAlgorithm checkpoint contract.
+  algorithm_->reset({servers_.data(), servers_.size()}, params_);
+  algorithm_->restore_state(checkpoint.algorithm_state);
 }
 
 void Session::reserve(std::size_t horizon) {
-  if (options_.record_positions) positions_.reserve(horizon + 1);
+  if (options_.record_positions && servers_.size() == 1) positions_.reserve(horizon + 1);
   if (options_.record_trace) trace_.reserve(horizon);
 }
 
 StepOutcome Session::push(BatchView batch) {
-  StepView view;
+  const std::size_t k = servers_.size();
+  FleetStepView view;
   view.t = t_;
   view.batch = batch;
-  view.server = server_;
+  view.servers = {servers_.data(), k};
   view.speed_limit = limit_;
   view.params = &params_;
 
-  Point proposal = algorithm_->decide(view);
-  MOBSRV_CHECK_MSG(proposal.dim() == server_.dim(), "algorithm changed dimension");
-  const double moved = geo::distance(server_, proposal);
+  proposals_.assign(servers_.begin(), servers_.end());
+  algorithm_->decide(view, {proposals_.data(), k});
+
+  StepOutcome outcome;
+  StepCost cost;
   bool clamped = false;
-  if (moved > hard_limit_) {
-    if (options_.policy == SpeedLimitPolicy::kThrow) {
+
+  if (k == 1) {
+    // Single-server path. kThrow runs are bit-for-bit the pre-fleet engine
+    // (the corpus bit-identity contract); under kClamp the engine now
+    // clamps to the EXACT limit — the historical multi-server semantics —
+    // where the pre-fleet engine accepted proposals up to the numerical
+    // slack verbatim. Proposals inside the slack band are fp noise riding
+    // the limit, so shortening them is not reported as a clamp.
+    Point& server = servers_[0];
+    Point proposal = proposals_[0];
+    MOBSRV_CHECK_MSG(proposal.dim() == server.dim(), "algorithm changed dimension");
+    const double moved = geo::distance(server, proposal);
+    if (moved > hard_limit_ && options_.policy == SpeedLimitPolicy::kThrow) {
       std::ostringstream os;
       os << algorithm_->name() << " proposed a move of " << moved << " > limit " << limit_
          << " at step " << t_;
       throw ContractViolation(os.str());
     }
-    proposal = geo::move_toward(server_, proposal, limit_);
-    clamped = true;
+    if (moved > limit_ && options_.policy == SpeedLimitPolicy::kClamp) {
+      proposal = geo::move_toward(server, proposal, limit_);
+      clamped = moved > hard_limit_;
+    }
+    cost = step_cost(params_, server, proposal, batch);
+    move_cost_ += cost.move;
+    service_cost_ += cost.service;
+    server_move_[0] += cost.move;
+    if (options_.record_trace) trace_.push_back({t_, server, proposal, cost});
+    server = proposal;
+    if (options_.record_positions) positions_.push_back(server);
+  } else {
+    // Fleet path. Two passes so kThrow rejects a violating step before any
+    // state is mutated (the strong guarantee the k = 1 path has always had).
+    moved_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      MOBSRV_CHECK_MSG(proposals_[i].dim() == servers_[i].dim(), "algorithm changed dimension");
+      moved_[i] = geo::distance(servers_[i], proposals_[i]);
+      if (moved_[i] > hard_limit_ && options_.policy == SpeedLimitPolicy::kThrow) {
+        std::ostringstream os;
+        os << algorithm_->name() << " proposed a move of " << moved_[i] << " > limit " << limit_
+           << " for server " << i << " at step " << t_;
+        throw ContractViolation(os.str());
+      }
+    }
+    if (params_.order == ServiceOrder::kServeThenMove) {
+      cost.service = nearest_service_cost({servers_.data(), k}, batch);
+      service_cost_ += cost.service;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      Point& server = servers_[i];
+      Point proposal = proposals_[i];
+      double travelled = moved_[i];
+      if (travelled > limit_ && options_.policy == SpeedLimitPolicy::kClamp) {
+        proposal = geo::move_toward(server, proposal, limit_);
+        travelled = geo::distance(server, proposal);
+        if (moved_[i] > hard_limit_) clamped = true;
+      }
+      const double move_i = params_.move_cost_weight * travelled;
+      cost.move += move_i;
+      // Accumulate per server straight into the running totals (not via the
+      // step sum): floating-point addition is order-sensitive and this is
+      // the order the pre-fleet ext::run_multi loop used.
+      move_cost_ += move_i;
+      server_move_[i] += move_i;
+      server = proposal;
+    }
+    if (params_.order == ServiceOrder::kMoveThenServe) {
+      cost.service = nearest_service_cost({servers_.data(), k}, batch);
+      service_cost_ += cost.service;
+    }
   }
 
-  const StepCost cost = step_cost(params_, server_, proposal, batch);
-  move_cost_ += cost.move;
-  service_cost_ += cost.service;
-  if (options_.record_trace) trace_.push_back({t_, server_, proposal, cost});
-  server_ = proposal;
-  if (options_.record_positions) positions_.push_back(server_);
-
-  StepOutcome outcome;
   outcome.t = t_++;
   outcome.cost = cost;
-  outcome.position = server_;
+  outcome.position = servers_[0];
   outcome.clamped = clamped;
   return outcome;
 }
 
 RunResult Session::result() const& {
+  MOBSRV_CHECK_MSG(servers_.size() == 1, "RunResult is the single-server outcome (k = 1)");
   RunResult result;
   result.move_cost = move_cost_;
   result.service_cost = service_cost_;
   result.total_cost = move_cost_ + service_cost_;
-  result.final_position = server_;
+  result.final_position = servers_[0];
   result.positions = positions_;
   result.trace = trace_;
   return result;
 }
 
 RunResult Session::result() && {
+  MOBSRV_CHECK_MSG(servers_.size() == 1, "RunResult is the single-server outcome (k = 1)");
   RunResult result;
   result.move_cost = move_cost_;
   result.service_cost = service_cost_;
   result.total_cost = move_cost_ + service_cost_;
-  result.final_position = server_;
+  result.final_position = servers_[0];
   result.positions = std::move(positions_);
   result.trace = std::move(trace_);
   return result;
+}
+
+SessionCheckpoint Session::save() const {
+  MOBSRV_CHECK_MSG(!options_.record_positions && !options_.record_trace,
+                   "checkpointing targets streaming sessions: history buffers are not "
+                   "serialised, so disable record_positions/record_trace");
+  SessionCheckpoint checkpoint;
+  checkpoint.params = params_;
+  checkpoint.speed_factor = options_.speed_factor;
+  checkpoint.policy = options_.policy;
+  checkpoint.step = t_;
+  checkpoint.move_cost = move_cost_;
+  checkpoint.service_cost = service_cost_;
+  checkpoint.servers = servers_;
+  checkpoint.server_move = server_move_;
+  checkpoint.algorithm = algorithm_->name();
+  algorithm_->save_state(checkpoint.algorithm_state);
+  return checkpoint;
 }
 
 }  // namespace mobsrv::sim

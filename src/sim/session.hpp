@@ -1,48 +1,103 @@
 /// \file session.hpp
-/// The incremental (streaming) simulation engine.
+/// The incremental (streaming) simulation engine over a fleet of k >= 1
+/// mobile servers.
 ///
 /// The paper's model is online: requests are revealed one step at a time and
-/// the server must commit to a move before seeing the next batch. Session is
-/// that model as an object — `push(batch)` reveals one step, enforces the
-/// (possibly augmented) movement limit, charges costs per the service order,
-/// and returns the step's outcome. `sim::run()` is a thin loop over a
-/// Session (bit-identical costs); core::SessionMultiplexer drives thousands
-/// of Sessions concurrently for live multi-tenant traffic.
+/// the servers must commit to their moves before seeing the next batch.
+/// Session is that model as an object — `push(batch)` reveals one step,
+/// enforces the (possibly augmented) per-server movement limit, charges
+/// costs per the service order, and returns the step's outcome. Every
+/// driver is a thin loop over it: `sim::run()` (k = 1, bit-identical to the
+/// pre-fleet engine), `ext::run_multi()` (k >= 1, bit-identical to the old
+/// private batch loop), and `core::SessionMultiplexer` (thousands of
+/// concurrent fleet sessions).
 ///
-/// Accounting matches the batch engine exactly: move/service components are
-/// accumulated per step in push order and `total = move + service`, so a
-/// workload streamed through a Session reproduces a recorded `run()` of the
-/// same algorithm bit-identically.
+/// Accounting:
+///   * k = 1 — exactly the single-server engine: move = D·d(P_t, P_{t+1}),
+///     service per the instance's service order, accumulated per step in
+///     push order (total = move + service);
+///   * k > 1 — each server pays D per unit moved (accumulated per server in
+///     fleet order), every request is served by its NEAREST server
+///     (Σ_v min_i d(P_i, v)), from the post-move positions under
+///     kMoveThenServe and the pre-move positions under kServeThenMove.
+/// A per-server move split is kept either way (`server_move_cost(i)`).
+///
+/// Checkpoint/restore: `save()` captures the full engine state — positions,
+/// accumulated cost split, step index, and the algorithm's internals via
+/// its save_state hook — as a SessionCheckpoint; the restore constructor
+/// resumes a run that continues bit-identically to one that was never
+/// interrupted. trace/checkpoint.hpp serialises checkpoints to disk.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/fleet.hpp"
 
 namespace mobsrv::sim {
 
 /// What one push() produced.
 struct StepOutcome {
   std::size_t t = 0;     ///< index of the step just consumed (0-based)
-  StepCost cost;         ///< this step's cost split
-  Point position;        ///< server position after the move (P_{t+1})
-  bool clamped = false;  ///< the proposal exceeded the limit (kClamp only)
+  StepCost cost;         ///< this step's cost split (summed over the fleet)
+  Point position;        ///< first server's position after the move (P_{t+1})
+  /// kClamp only: some proposal exceeded the limit beyond the numerical
+  /// slack. (Proposals riding the limit within rounding error are clamped
+  /// to it too, but that is fp noise, not an algorithm violation, and is
+  /// not flagged.)
+  bool clamped = false;
 };
 
-/// An in-flight run of one online algorithm. The algorithm is reset on
-/// construction and must outlive the session; the session owns all engine
-/// state (position, accumulated costs, optional position/trace history).
+/// Complete serializable state of a live Session: everything needed to
+/// resume the run bit-identically. Produced by Session::save(), consumed by
+/// the restore constructor; trace::encode_checkpoint round-trips it to disk.
+struct SessionCheckpoint {
+  ModelParams params;
+  double speed_factor = 1.0;
+  SpeedLimitPolicy policy = SpeedLimitPolicy::kThrow;
+  std::size_t step = 0;                 ///< steps consumed so far
+  double move_cost = 0.0;               ///< accumulated move component
+  double service_cost = 0.0;            ///< accumulated service component
+  std::vector<Point> servers;           ///< current fleet positions
+  std::vector<double> server_move;      ///< per-server move split
+  std::string algorithm;                ///< FleetAlgorithm::name() that produced this
+  AlgorithmState algorithm_state;       ///< the strategy's mutable internals
+};
+
+/// An in-flight run of one strategy over a fleet of k >= 1 servers. The
+/// algorithm must outlive the session (it is reset on construction); the
+/// session owns all engine state (positions, accumulated costs, optional
+/// history). Sessions pin internal pointers, so they are neither copyable
+/// nor movable — construct them in place.
 class Session {
  public:
+  /// Fleet form: k = starts.size() servers driven by a FleetAlgorithm.
+  Session(std::vector<Point> starts, ModelParams params, FleetAlgorithm& algorithm,
+          const RunOptions& options = {});
+
+  /// Single-server convenience: wraps \p algorithm in an internal
+  /// SingleServerAdapter. Behaviour and costs are bit-identical to the
+  /// pre-fleet single-server engine.
   Session(Point start, ModelParams params, OnlineAlgorithm& algorithm,
           const RunOptions& options = {});
+
+  /// Restores a checkpointed run. The algorithm must match the checkpoint
+  /// (same name()); it is reset with the checkpointed positions/params and
+  /// then handed its saved internals, after which push() continues exactly
+  /// where the saved session left off.
+  Session(const SessionCheckpoint& checkpoint, FleetAlgorithm& algorithm);
+  Session(const SessionCheckpoint& checkpoint, OnlineAlgorithm& algorithm);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   /// Pre-sizes the history buffers for a known horizon (optional).
   void reserve(std::size_t horizon);
 
-  /// Reveals the next step's requests, moves the server, charges costs.
-  /// Throws ContractViolation under SpeedLimitPolicy::kThrow when the
-  /// algorithm proposes a move beyond the limit.
+  /// Reveals the next step's requests, moves the fleet, charges costs.
+  /// Throws ContractViolation under SpeedLimitPolicy::kThrow when any
+  /// proposal exceeds the limit (before any state is mutated).
   StepOutcome push(BatchView batch);
 
   /// Number of steps consumed so far.
@@ -50,25 +105,62 @@ class Session {
   [[nodiscard]] double move_cost() const noexcept { return move_cost_; }
   [[nodiscard]] double service_cost() const noexcept { return service_cost_; }
   [[nodiscard]] double total_cost() const noexcept { return move_cost_ + service_cost_; }
-  /// Current server position P_t.
-  [[nodiscard]] const Point& position() const noexcept { return server_; }
-  /// P_0..P_t — filled iff options.record_positions.
+
+  /// Number of servers in the fleet.
+  [[nodiscard]] std::size_t fleet_size() const noexcept { return servers_.size(); }
+  /// Current position of server \p i.
+  [[nodiscard]] const Point& position(std::size_t i) const {
+    MOBSRV_CHECK(i < servers_.size());
+    return servers_[i];
+  }
+  /// Current position of the first server (the server, for k = 1).
+  [[nodiscard]] const Point& position() const noexcept { return servers_[0]; }
+  /// All current fleet positions.
+  [[nodiscard]] const std::vector<Point>& fleet() const noexcept { return servers_; }
+  /// Move cost accumulated by server \p i alone (Σ over i equals move_cost
+  /// up to the accumulation order; the engine sums per server in fleet
+  /// order, so for k = 1 the split IS move_cost()).
+  [[nodiscard]] double server_move_cost(std::size_t i) const {
+    MOBSRV_CHECK(i < server_move_.size());
+    return server_move_[i];
+  }
+
+  /// P_0..P_t of the first server — filled iff options.record_positions
+  /// (k = 1 only).
   [[nodiscard]] const std::vector<Point>& positions() const noexcept { return positions_; }
-  /// Per-step records — filled iff options.record_trace.
+  /// Per-step records — filled iff options.record_trace (k = 1 only).
   [[nodiscard]] const std::vector<TraceStep>& trace() const noexcept { return trace_; }
 
-  /// Snapshot of the accumulated run as a RunResult.
+  /// Snapshot of the accumulated run as a RunResult (k = 1 only).
   [[nodiscard]] RunResult result() const&;
   /// Moving form: hands the history buffers to the result.
   [[nodiscard]] RunResult result() &&;
 
+  /// Captures the full engine + algorithm state for a bit-identical resume.
+  /// History buffers are not part of a checkpoint (checkpointing targets
+  /// long-lived streaming sessions, which keep none), so saving requires
+  /// record_positions/record_trace off.
+  [[nodiscard]] SessionCheckpoint save() const;
+
  private:
+  /// Owning-adapter form backing the OnlineAlgorithm constructors.
+  Session(std::vector<Point> starts, ModelParams params,
+          std::unique_ptr<FleetAlgorithm> owned_adapter, const RunOptions& options);
+  Session(const SessionCheckpoint& checkpoint, std::unique_ptr<FleetAlgorithm> owned_adapter);
+
+  void init_fresh();
+  void init_from(const SessionCheckpoint& checkpoint);
+
   ModelParams params_;
   RunOptions options_;
-  OnlineAlgorithm* algorithm_;
+  std::unique_ptr<FleetAlgorithm> owned_adapter_;  ///< set iff built from an OnlineAlgorithm
+  FleetAlgorithm* algorithm_;
   double limit_ = 0.0;       ///< (1+δ)·m
   double hard_limit_ = 0.0;  ///< limit with relative rounding slack
-  Point server_;
+  std::vector<Point> servers_;
+  std::vector<double> server_move_;  ///< per-server move-cost split
+  std::vector<Point> proposals_;     ///< scratch reused across steps
+  std::vector<double> moved_;        ///< scratch: proposal distances (k > 1)
   std::size_t t_ = 0;
   double move_cost_ = 0.0;
   double service_cost_ = 0.0;

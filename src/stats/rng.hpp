@@ -9,6 +9,7 @@
 /// across standard libraries.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -44,6 +45,15 @@ namespace mobsrv::stats {
   }
   return h;
 }
+
+/// Raw serializable Rng state: the four xoshiro words plus the Box–Muller
+/// cache. Restoring it resumes the stream bit-identically — checkpointed
+/// randomized algorithms depend on this.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
 
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
@@ -130,6 +140,18 @@ class Rng {
   /// Poisson-distributed count with the given mean (Knuth for small means,
   /// normal approximation above 64).
   [[nodiscard]] int poisson(double mean);
+
+  /// Snapshot of the full generator state (checkpoint support).
+  [[nodiscard]] RngState state() const noexcept {
+    return {{s_[0], s_[1], s_[2], s_[3]}, cached_normal_, has_cached_normal_};
+  }
+
+  /// Resumes the stream captured by state() bit-identically.
+  void set_state(const RngState& state) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = state.words[static_cast<std::size_t>(i)];
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

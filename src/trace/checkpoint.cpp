@@ -1,0 +1,312 @@
+#include "trace/checkpoint.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+static_assert(std::endian::native == std::endian::little,
+              "the checkpoint codec assumes a little-endian host");
+
+namespace mobsrv::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'C', 'K', 'P', 'T', '1', '\n'};
+
+enum RecordTag : std::uint8_t {
+  kRecordSession = 1,
+  kRecordEnd = 0xFF,
+};
+
+[[noreturn]] void fail(const std::string& origin, const std::string& message) {
+  throw TraceError(origin + ": " + message);
+}
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_f64(std::string& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+void put_point(std::string& out, const sim::Point& p) {
+  put_u8(out, static_cast<std::uint8_t>(p.dim()));
+  for (int i = 0; i < p.dim(); ++i) put_f64(out, p[i]);
+}
+
+void put_points(std::string& out, const std::vector<sim::Point>& points) {
+  put_u64(out, points.size());
+  for (const sim::Point& p : points) put_point(out, p);
+}
+
+void encode_record(std::string& payload, const core::SessionCheckpointRecord& record) {
+  put_str(payload, record.tenant);
+  put_str(payload, record.algorithm);
+  put_u64(payload, record.algo_seed);
+  put_u64(payload, record.cursor);
+  put_u64(payload, record.horizon);
+
+  const sim::SessionCheckpoint& engine = record.engine;
+  put_u8(payload, engine.params.order == sim::ServiceOrder::kMoveThenServe ? 0 : 1);
+  put_f64(payload, engine.params.move_cost_weight);
+  put_f64(payload, engine.params.max_step);
+  put_f64(payload, engine.speed_factor);
+  put_u8(payload, engine.policy == sim::SpeedLimitPolicy::kThrow ? 0 : 1);
+  put_u64(payload, engine.step);
+  put_f64(payload, engine.move_cost);
+  put_f64(payload, engine.service_cost);
+  put_points(payload, engine.servers);
+  put_u64(payload, engine.server_move.size());
+  for (double move : engine.server_move) put_f64(payload, move);
+  put_str(payload, engine.algorithm);
+  const sim::AlgorithmState& state = engine.algorithm_state;
+  put_u64(payload, state.words.size());
+  for (std::uint64_t w : state.words) put_u64(payload, w);
+  put_u64(payload, state.reals.size());
+  for (double r : state.reals) put_f64(payload, r);
+  put_points(payload, state.points);
+}
+
+/// Bounds-checked cursor over the payload; every read names the field being
+/// decoded so truncation errors are actionable.
+class Reader {
+ public:
+  Reader(const std::string& bytes, std::string origin)
+      : bytes_(bytes), origin_(std::move(origin)) {}
+
+  void set_context(const char* what) { context_ = what; }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  double f64() {
+    need(8);
+    double v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > bytes_.size() - pos_)
+      fail(origin_, std::string("corrupt ") + context_ + ": implausible string length " +
+                        std::to_string(n));
+    std::string s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  sim::Point point() {
+    const int dim = u8();
+    if (dim < 1 || dim > sim::Point::kMaxDim)
+      fail(origin_, std::string("corrupt ") + context_ + ": point dimension " +
+                        std::to_string(dim) + " out of range [1, " +
+                        std::to_string(sim::Point::kMaxDim) + "]");
+    sim::Point p(dim);
+    for (int i = 0; i < dim; ++i) p[i] = f64();
+    return p;
+  }
+  std::uint64_t count(const char* what, std::size_t bytes_per_item) {
+    const std::uint64_t n = u64();
+    if (n > bytes_.size() / bytes_per_item + 1)
+      fail(origin_, std::string("corrupt ") + context_ + ": implausible " + what + " count " +
+                        std::to_string(n));
+    return n;
+  }
+  std::vector<sim::Point> points() {
+    const std::uint64_t n = count("point", 9);
+    std::vector<sim::Point> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(point());
+    return out;
+  }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > bytes_.size())
+      fail(origin_, std::string("truncated: unexpected end of file while reading ") + context_ +
+                        " (at byte " + std::to_string(pos_) + " of " +
+                        std::to_string(bytes_.size()) + ")");
+  }
+
+  const std::string& bytes_;
+  std::string origin_;
+  const char* context_ = "header";
+  std::size_t pos_ = 0;
+};
+
+core::SessionCheckpointRecord decode_record(Reader& r) {
+  core::SessionCheckpointRecord record;
+  record.tenant = r.str();
+  record.algorithm = r.str();
+  record.algo_seed = r.u64();
+  record.cursor = r.u64();
+  record.horizon = r.u64();
+  if (record.cursor > record.horizon)
+    fail(r.origin(), "corrupt session record: cursor " + std::to_string(record.cursor) +
+                         " beyond horizon " + std::to_string(record.horizon));
+
+  sim::SessionCheckpoint& engine = record.engine;
+  engine.params.order =
+      r.u8() == 0 ? sim::ServiceOrder::kMoveThenServe : sim::ServiceOrder::kServeThenMove;
+  engine.params.move_cost_weight = r.f64();
+  engine.params.max_step = r.f64();
+  engine.speed_factor = r.f64();
+  engine.policy = r.u8() == 0 ? sim::SpeedLimitPolicy::kThrow : sim::SpeedLimitPolicy::kClamp;
+  engine.step = r.u64();
+  engine.move_cost = r.f64();
+  engine.service_cost = r.f64();
+  engine.servers = r.points();
+  const std::uint64_t splits = r.count("move-split", 8);
+  engine.server_move.reserve(splits);
+  for (std::uint64_t i = 0; i < splits; ++i) engine.server_move.push_back(r.f64());
+  engine.algorithm = r.str();
+  sim::AlgorithmState& state = engine.algorithm_state;
+  const std::uint64_t words = r.count("state word", 8);
+  state.words.reserve(words);
+  for (std::uint64_t i = 0; i < words; ++i) state.words.push_back(r.u64());
+  const std::uint64_t reals = r.count("state real", 8);
+  state.reals.reserve(reals);
+  for (std::uint64_t i = 0; i < reals; ++i) state.reals.push_back(r.f64());
+  state.points = r.points();
+
+  if (engine.servers.empty())
+    fail(r.origin(), "corrupt session record: no server positions");
+  if (engine.server_move.size() != engine.servers.size())
+    fail(r.origin(), "corrupt session record: per-server move split holds " +
+                         std::to_string(engine.server_move.size()) + " entries for " +
+                         std::to_string(engine.servers.size()) + " servers");
+  if (engine.step != record.cursor)
+    fail(r.origin(), "corrupt session record: engine step " + std::to_string(engine.step) +
+                         " disagrees with cursor " + std::to_string(record.cursor));
+  return record;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const std::vector<core::SessionCheckpointRecord>& records) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kCheckpointVersion);
+  put_u64(out, records.size());
+
+  std::string payload;
+  for (const core::SessionCheckpointRecord& record : records) {
+    payload.clear();
+    encode_record(payload, record);
+    put_u8(out, kRecordSession);
+    put_u64(out, payload.size());
+    out += payload;
+  }
+  put_u8(out, kRecordEnd);
+  put_u64(out, 0);
+  return out;
+}
+
+std::vector<core::SessionCheckpointRecord> decode_checkpoint(const std::string& bytes,
+                                                             const std::string& origin) {
+  Reader r(bytes, origin);
+  r.set_context("magic");
+  if (bytes.size() < sizeof(kMagic) || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    fail(origin, "not a mobsrv checkpoint file (bad magic)");
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) (void)r.u8();
+  r.set_context("version");
+  const std::uint32_t version = r.u32();
+  if (version != kCheckpointVersion)
+    fail(origin, "unsupported checkpoint format version " + std::to_string(version) +
+                     " (this build reads version " + std::to_string(kCheckpointVersion) + ")");
+  r.set_context("record count");
+  const std::uint64_t expected = r.u64();
+  if (expected > bytes.size())
+    fail(origin, "corrupt header: implausible record count " + std::to_string(expected));
+
+  std::vector<core::SessionCheckpointRecord> records;
+  records.reserve(expected);
+  bool saw_end = false;
+  while (!saw_end) {
+    r.set_context("record header");
+    const std::uint8_t tag = r.u8();
+    const std::uint64_t size = r.u64();
+    if (size > r.size() - r.pos())
+      fail(origin, "truncated: record (tag " + std::to_string(tag) + ") declares " +
+                       std::to_string(size) + " bytes but only " +
+                       std::to_string(r.size() - r.pos()) + " remain");
+    const std::size_t record_start = r.pos();
+    switch (tag) {
+      case kRecordSession:
+        r.set_context("session record");
+        records.push_back(decode_record(r));
+        break;
+      case kRecordEnd:
+        if (size != 0) fail(origin, "corrupt end record");
+        saw_end = true;
+        break;
+      default:
+        fail(origin, "unknown record tag " + std::to_string(tag) +
+                         " (corrupt file or newer format)");
+    }
+    if (tag != kRecordEnd && r.pos() - record_start != size)
+      fail(origin, "corrupt session record: payload declares " + std::to_string(size) +
+                       " bytes, decoder consumed " + std::to_string(r.pos() - record_start));
+  }
+  if (r.pos() != r.size()) fail(origin, "trailing data after end record");
+  if (records.size() != expected)
+    fail(origin, "corrupt file: header announces " + std::to_string(expected) +
+                     " sessions, found " + std::to_string(records.size()));
+  return records;
+}
+
+void write_checkpoint(const std::filesystem::path& path,
+                      const std::vector<core::SessionCheckpointRecord>& records) {
+  const std::string bytes = encode_checkpoint(records);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw TraceError(path.string() + ": cannot open for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) throw TraceError(path.string() + ": write failed");
+}
+
+std::vector<core::SessionCheckpointRecord> read_checkpoint(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError(path.string() + ": cannot open (missing file?)");
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw TraceError(path.string() + ": read failed");
+  return decode_checkpoint(bytes, path.string());
+}
+
+}  // namespace mobsrv::trace

@@ -1,0 +1,51 @@
+/// \file checkpoint.hpp
+/// Versioned on-disk codec for session checkpoints.
+///
+/// A checkpoint file captures the full resumable state of a
+/// core::SessionMultiplexer (or a single session — a one-record file):
+/// per slot, the spec identity (tenant, algorithm, seed), the workload
+/// cursor, and the engine's sim::SessionCheckpoint (fleet positions,
+/// accumulated cost split, step index, algorithm internals). Workload
+/// request data is NOT stored — checkpoints reference workloads by
+/// identity (horizon + slot order), which the restoring process re-supplies
+/// from its specs/trace files; this keeps checkpoints small and restart
+/// cheap.
+///
+/// Format: little-endian binary framing ("MSCKPT1\n" magic, format
+/// version, record count, length-prefixed records, end tag). Every double
+/// round-trips bit-exactly, so `checkpoint → write → read → restore`
+/// resumes bit-identically. Truncated, corrupt or version-mismatched files
+/// fail loudly with a TraceError naming the offending path and field.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/session_multiplexer.hpp"
+#include "trace/codec.hpp"
+
+namespace mobsrv::trace {
+
+/// Checkpoint format version written by this build; readers accept only
+/// this version (a version bump is a deliberate compatibility break).
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// In-memory encode/decode (the file functions are thin wrappers; these
+/// exist for tests and for streaming over other transports). decode throws
+/// TraceError on corrupt/truncated input or version mismatch.
+[[nodiscard]] std::string encode_checkpoint(
+    const std::vector<core::SessionCheckpointRecord>& records);
+[[nodiscard]] std::vector<core::SessionCheckpointRecord> decode_checkpoint(
+    const std::string& bytes, const std::string& origin);
+
+/// Serialises \p records to \p path. Throws TraceError on I/O failure.
+void write_checkpoint(const std::filesystem::path& path,
+                      const std::vector<core::SessionCheckpointRecord>& records);
+
+/// Reads a checkpoint file. Throws TraceError on missing/corrupt/truncated
+/// input or version mismatch.
+[[nodiscard]] std::vector<core::SessionCheckpointRecord> read_checkpoint(
+    const std::filesystem::path& path);
+
+}  // namespace mobsrv::trace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "algorithms/move_to_center.hpp"
 #include "algorithms/parametric.hpp"
 #include "sim/engine.hpp"
@@ -37,7 +39,8 @@ TEST(NearestServiceCost, SingleServerMatchesSimCost) {
 }
 
 TEST(NearestServiceCost, RequiresServers) {
-  EXPECT_THROW((void)nearest_service_cost({}, sim::RequestBatch{}), ContractViolation);
+  const std::vector<Point> none;
+  EXPECT_THROW((void)nearest_service_cost(none, sim::RequestBatch{}), ContractViolation);
 }
 
 sim::Instance two_cluster_instance(std::size_t horizon = 60) {
@@ -77,12 +80,11 @@ TEST(RunMulti, SingleServerAssignAndChaseMatchesMtcCosts) {
 TEST(RunMulti, SpeedLimitEnforcedPerServer) {
   // A strategy that tries to teleport: the engine must clamp each server to
   // the limit.
-  class Teleporter final : public MultiServerAlgorithm {
+  class Teleporter final : public sim::FleetAlgorithm {
    public:
-    std::vector<sim::Point> decide(const MultiStepView& view) override {
-      std::vector<sim::Point> out = view.servers;
-      for (auto& p : out) p = p + Point{100.0, 0.0};
-      return out;
+    void decide(const sim::FleetStepView& view, std::span<sim::Point> proposals) override {
+      for (std::size_t i = 0; i < proposals.size(); ++i)
+        proposals[i] = view.servers[i] + Point{100.0, 0.0};
     }
     std::string name() const override { return "Teleporter"; }
   };
@@ -94,17 +96,30 @@ TEST(RunMulti, SpeedLimitEnforcedPerServer) {
   EXPECT_NEAR(res.move_cost, 4.0 * 5.0, 1e-9);  // D·(5 moves of length 1)
 }
 
-TEST(RunMulti, FleetSizeChangeRejected) {
-  class Shrinker final : public MultiServerAlgorithm {
+TEST(RunMulti, DimensionChangeRejected) {
+  // The span interface makes shrinking the fleet structurally impossible;
+  // the remaining way to corrupt the fleet is proposing a different
+  // dimension, which the engine rejects loudly.
+  class Warper final : public sim::FleetAlgorithm {
    public:
-    std::vector<sim::Point> decide(const MultiStepView& view) override {
-      return {view.servers[0]};
+    void decide(const sim::FleetStepView&, std::span<sim::Point> proposals) override {
+      proposals[0] = Point{0.0};  // 1-D proposal in a 2-D world
     }
-    std::string name() const override { return "Shrinker"; }
+    std::string name() const override { return "Warper"; }
   };
   const sim::Instance inst = two_cluster_instance(2);
-  Shrinker bad;
+  Warper bad;
   EXPECT_THROW((void)run_multi(inst, spread_starts(inst, 2, 1.0), bad), ContractViolation);
+}
+
+TEST(RunMulti, PerServerMoveSplitSumsToMoveCost) {
+  const sim::Instance inst = two_cluster_instance(40);
+  AssignAndChase chase;
+  const MultiRunResult res = run_multi(inst, spread_starts(inst, 4, 2.0), chase);
+  ASSERT_EQ(res.per_server_move_cost.size(), 4u);
+  double sum = 0.0;
+  for (double move : res.per_server_move_cost) sum += move;
+  EXPECT_NEAR(sum, res.move_cost, 1e-9 * (1.0 + res.move_cost));
 }
 
 TEST(SpreadStarts, CountRadiusDimensions) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff two google-benchmark JSON files.
+
+Compares the per-second `steps` counter (the engine's comparison metric —
+see bench/perf_engine.cpp) of every benchmark present in BOTH files and
+fails when any of them regressed by more than --threshold (default 10%).
+
+    python3 tools/perf_diff.py --baseline prev/BENCH_perf.json \
+        --current build/BENCH_perf.json [--threshold 0.10] [--metric steps]
+
+Exit codes:
+    0  no regression beyond the threshold (or nothing comparable)
+    1  at least one benchmark regressed beyond the threshold
+    2  bad invocation / unreadable current file
+
+A missing baseline is NOT an error (exit 0): the first run of a trajectory
+has nothing to diff against, and CI restores the baseline from the previous
+run's cache, which may not exist yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_metrics(path: Path, metric: str) -> dict[str, float]:
+    """Maps benchmark name -> metric rate, skipping aggregate rows."""
+    with path.open() as handle:
+        doc = json.load(handle)
+    metrics: dict[str, float] = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        value = row.get(metric)
+        if isinstance(value, (int, float)) and value > 0:
+            metrics[row["name"]] = float(value)
+    return metrics
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="previous BENCH_perf.json (missing file = nothing to diff)")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="this build's BENCH_perf.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed fractional steps/sec drop (default 0.10)")
+    parser.add_argument("--metric", default="steps",
+                        help="per-second counter to compare (default: steps)")
+    args = parser.parse_args()
+
+    if not 0.0 < args.threshold < 1.0:
+        print(f"perf_diff: --threshold must be in (0, 1), got {args.threshold}",
+              file=sys.stderr)
+        return 2
+    if not args.current.is_file():
+        print(f"perf_diff: current file {args.current} does not exist", file=sys.stderr)
+        return 2
+    if not args.baseline.is_file():
+        print(f"perf_diff: no baseline at {args.baseline} — first trajectory point, "
+              "nothing to diff")
+        return 0
+
+    try:
+        baseline = load_metrics(args.baseline, args.metric)
+    except (json.JSONDecodeError, KeyError) as error:
+        # A corrupt cached baseline must not wedge CI forever; report and pass.
+        print(f"perf_diff: unreadable baseline {args.baseline} ({error}) — skipping diff")
+        return 0
+    try:
+        current = load_metrics(args.current, args.metric)
+    except (json.JSONDecodeError, KeyError) as error:
+        # A half-written current file is a broken invocation, not a regression.
+        print(f"perf_diff: unreadable current file {args.current} ({error})", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("perf_diff: no common benchmarks between baseline and current — "
+              "nothing to diff")
+        return 0
+
+    regressions = []
+    width = max(len(name) for name in shared)
+    print(f"perf_diff: comparing {len(shared)} benchmark(s), "
+          f"metric '{args.metric}', threshold {args.threshold:.0%}")
+    for name in shared:
+        old, new = baseline[name], current[name]
+        change = new / old - 1.0
+        flag = ""
+        if change < -args.threshold:
+            regressions.append((name, old, new, change))
+            flag = "  << REGRESSION"
+        print(f"  {name:<{width}}  {old:14.0f} -> {new:14.0f}  {change:+8.1%}{flag}")
+
+    only_new = sorted(set(current) - set(baseline))
+    if only_new:
+        print(f"perf_diff: {len(only_new)} new benchmark(s) without a baseline: "
+              + ", ".join(only_new))
+
+    if regressions:
+        print(f"perf_diff: FAILED — {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, old, new, change in regressions:
+            print(f"  {name}: {old:.0f} -> {new:.0f} {args.metric}/s ({change:+.1%})",
+                  file=sys.stderr)
+        return 1
+    print("perf_diff: OK — no regression beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

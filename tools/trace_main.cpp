@@ -14,9 +14,12 @@
 ///                        [--json=PATH] [--baseline]        # sharded batch replay
 ///   mobsrv_trace import  --in=CSV --format=demand|waypoints --out=FILE
 ///                        [--d=D] [--m=M] [--server-speed=S] [--agent-speed=A]
+///   mobsrv_trace checkpoint --in=FILE [--fleet=K] [--algos=A,B] [--at=FRAC]
+///                        [--ckpt=PATH] [--threads=N]  # save→restore→verify
 ///
 /// Codecs are chosen by file extension: .jsonl (JSON Lines) or .mtb
 /// (binary). Reading sniffs the codec, so any command accepts either.
+/// Checkpoint files use their own versioned binary format (.msck).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -43,7 +46,11 @@ void print_usage(std::ostream& os) {
         "  batch    --dir=DIR [--algos=A,B] [--threads=N] [--speed-factor=X]\n"
         "           [--json=PATH] [--baseline]   sharded batch replay + summary\n"
         "  import   --in=CSV --format=demand|waypoints --out=FILE [--d=D] [--m=M]\n"
-        "           [--server-speed=S] [--agent-speed=A]   import an external trace\n";
+        "           [--server-speed=S] [--agent-speed=A]   import an external trace\n"
+        "  checkpoint --in=FILE [--fleet=K] [--algos=A,B] [--at=FRAC] [--ckpt=PATH]\n"
+        "           [--threads=N]   run the trace's workload to FRAC of its horizon,\n"
+        "           checkpoint the multiplexer to disk, restore into a fresh one,\n"
+        "           drain, and verify bit-identity against an uninterrupted run\n";
 }
 
 std::vector<std::string> parse_algos(const std::string& value) { return io::split_list(value); }
@@ -303,6 +310,80 @@ int cmd_import(const io::Args& args) {
   return 0;
 }
 
+/// End-to-end checkpoint proof over a recorded workload: run every
+/// requested algorithm as a multiplexed session (fleet size --fleet), stop
+/// at --at of the horizon, write the checkpoint THROUGH the on-disk codec,
+/// restore it into a fresh multiplexer, drain both, and require exact
+/// equality with a never-interrupted reference. Exit 0 only on bit-identity.
+int cmd_checkpoint(const io::Args& args) {
+  const std::filesystem::path in = require_flag(args, "in");
+  const int fleet_raw = args.get_int("fleet", 1);
+  if (fleet_raw < 1) throw ContractViolation("flag --fleet must be >= 1");
+  const auto fleet = static_cast<std::size_t>(fleet_raw);
+  const double at = args.get_double("at", 0.5);
+  if (at <= 0.0 || at >= 1.0) throw ContractViolation("flag --at must be in (0, 1)");
+  const int threads_raw = args.get_int("threads", 2);
+  if (threads_raw < 0)
+    throw ContractViolation("flag --threads must be >= 0 (0 = hardware concurrency)");
+  const std::string ckpt_path = args.get_string("ckpt", "checkpoint.msck");
+
+  const trace::TraceFile file = trace::read_trace(in);
+  const auto workload = std::make_shared<const sim::Instance>(file.instance);
+  // Default roster: everything that can drive the requested fleet size.
+  std::vector<std::string> algos = parse_algos(args.get_string("algos", ""));
+  if (algos.empty()) algos = fleet == 1 ? alg::fleet_algorithm_names() : alg::fleet_native_names();
+
+  auto populate = [&](core::SessionMultiplexer& mux) {
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      core::SessionSpec spec;
+      spec.workload = workload;
+      spec.algorithm = algos[a];
+      spec.algo_seed = 1000 + a;
+      spec.speed_factor = 1.5;
+      spec.fleet_size = fleet;
+      if (fleet > 1) spec.starts = ext::spread_starts(*workload, static_cast<int>(fleet), 2.0);
+      spec.tenant = algos[a] + "@k" + std::to_string(fleet);
+      mux.add(std::move(spec));
+    }
+  };
+
+  par::ThreadPool pool(static_cast<unsigned>(threads_raw));
+
+  core::SessionMultiplexer reference(pool);
+  populate(reference);
+  reference.drain();
+
+  core::SessionMultiplexer interrupted(pool);
+  populate(interrupted);
+  const auto cut = static_cast<std::size_t>(at * static_cast<double>(workload->horizon()));
+  if (cut > 0) interrupted.step(cut);
+  trace::write_checkpoint(ckpt_path, interrupted.checkpoint());
+
+  core::SessionMultiplexer restored(pool);
+  populate(restored);
+  restored.restore(trace::read_checkpoint(ckpt_path));
+  restored.drain();
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    const core::SessionStats a = reference.stats(i);
+    const core::SessionStats b = restored.stats(i);
+    const bool match = a.total_cost == b.total_cost && a.move_cost == b.move_cost &&
+                       a.service_cost == b.service_cost && a.positions == b.positions &&
+                       a.steps == b.steps;
+    if (!match) ++mismatches;
+    std::cout << "  " << a.tenant << ": uninterrupted "
+              << io::format_double(a.total_cost, 17) << ", checkpointed+restored "
+              << io::format_double(b.total_cost, 17) << " → "
+              << (match ? "MATCH" : "MISMATCH") << "\n";
+  }
+  std::cout << "checkpoint: " << restored.size() << " session(s), fleet size " << fleet
+            << ", cut at step " << cut << "/" << workload->horizon() << ", file " << ckpt_path
+            << " (" << std::filesystem::file_size(ckpt_path) << " bytes), " << mismatches
+            << " mismatch(es) → " << (mismatches == 0 ? "OK" : "FAILED") << "\n";
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -348,6 +429,10 @@ int main(int argc, char** argv) {
       reject_unknown_flags(args, command,
                            {"in", "out", "format", "d", "m", "server-speed", "agent-speed"});
       return cmd_import(args);
+    }
+    if (command == "checkpoint") {
+      reject_unknown_flags(args, command, {"in", "fleet", "algos", "at", "ckpt", "threads"});
+      return cmd_checkpoint(args);
     }
     std::cerr << "mobsrv_trace: unknown command '" << command << "'\n";
     print_usage(std::cerr);
