@@ -18,9 +18,21 @@
 ///   * fleet/session           — the unified fleet Session (span-based
 ///                               FleetStepView, in-place proposals): the
 ///                               k-server hot loop after the redesign.
+///   * solver/descent_aos_baseline — a frozen copy of the PRE-refactor
+///                               convex-descent offline solver (AoS
+///                               vector<Point> trajectories, Point-temporary
+///                               gradient math, fresh clamp/cost vectors per
+///                               iteration);
+///   * solver/descent_soa      — the same solve on flat TrajectoryStore
+///                               buffers with dimension-specialized kernels
+///                               and a zero-allocation iteration loop;
+///   * solver/grid_dp          — the 1-D DP oracle (flat request scan,
+///                               caller-owned service-cost scratch).
 /// Each engine benchmark runs at dim 1, 2 and 8 so the dead-coordinate cost
 /// of the AoS layout is visible: at dim 1 the old layout reads 72 bytes per
-/// request for 8 useful ones.
+/// request for 8 useful ones. Solver benchmarks run at dim 1 and 2 (the
+/// paper's embedding dimensions, where e11 lives); the acceptance bar for
+/// the trajectory refactor is descent_soa/dim:1 >= 2x descent_aos_baseline.
 ///
 ///   mobsrv_perf                         # full measurement
 ///   mobsrv_perf --smoke                 # small workloads, short timings (CI)
@@ -31,9 +43,13 @@
 /// bar for the refactor is session_soa/dim:1 >= 2x aos_baseline/dim:1.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -281,6 +297,199 @@ void BM_FleetSession(benchmark::State& state, Sizes sizes) {
   set_throughput(state, sizes);
 }
 
+// ---------------------------------------------------------------------------
+// Offline solver: frozen pre-refactor convex descent vs the flat-buffer
+// solver. The baseline reproduces the seed solver verbatim — trajectories as
+// vector<Point> (72 bytes/position), Point-temporary arithmetic in the
+// gradient/projection loops, and a fresh clamp vector + cost pass allocated
+// every iteration — so the comparison isolates the trajectory storage
+// refactor, not solver logic: both sides run the identical operation
+// sequence (including the final reachability_lower_bound pass).
+// tests/test_offline_parity.cpp freezes this same pre-refactor
+// implementation and asserts the library solver reproduces it bit-
+// identically.
+// ---------------------------------------------------------------------------
+
+namespace frozen_descent {
+
+namespace med = mobsrv::med;
+namespace opt = mobsrv::opt;
+namespace geo = mobsrv::geo;
+
+std::size_t serve_index(const sim::ModelParams& params, std::size_t t) {
+  return params.order == sim::ServiceOrder::kMoveThenServe ? t + 1 : t;
+}
+
+std::vector<Point> chase_init(const sim::Instance& instance, bool damped) {
+  std::vector<Point> x;
+  x.reserve(instance.horizon() + 1);
+  x.push_back(instance.start());
+  const double m = instance.params().max_step;
+  const double D = instance.params().move_cost_weight;
+  std::vector<Point> reqs;
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    const sim::BatchView batch = instance.step(t);
+    if (batch.empty()) {
+      x.push_back(x.back());
+      continue;
+    }
+    batch.copy_to(reqs);
+    const Point center = med::closest_center(reqs, x.back());
+    double step = m;
+    if (damped) {
+      const double dist = geo::distance(x.back(), center);
+      step = std::min(m, dist * std::min(1.0, static_cast<double>(reqs.size()) / D));
+    }
+    x.push_back(geo::move_toward(x.back(), center, step));
+  }
+  return x;
+}
+
+std::vector<Point> forward_clamp(const sim::Instance& instance, const std::vector<Point>& x) {
+  std::vector<Point> y(x.size());
+  y[0] = instance.start();
+  const double m = instance.params().max_step;
+  for (std::size_t t = 0; t + 1 < x.size(); ++t) y[t + 1] = geo::move_toward(y[t], x[t + 1], m);
+  return y;
+}
+
+Point smooth_norm_grad(const Point& u, double mu) {
+  return u / std::sqrt(u.norm2() + mu * mu);
+}
+
+void gradient(const sim::Instance& instance, const std::vector<Point>& x, double mu,
+              std::vector<Point>& grad) {
+  const auto& params = instance.params();
+  const double D = params.move_cost_weight;
+  for (auto& g : grad) g = Point::zero(instance.dim());
+
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    const Point move_grad = smooth_norm_grad(x[t + 1] - x[t], mu) * D;
+    grad[t + 1] += move_grad;
+    if (t > 0) grad[t] -= move_grad;
+
+    const std::size_t s = serve_index(params, t);
+    if (s == 0) continue;
+    for (const Point v : instance.step(t)) grad[s] += smooth_norm_grad(x[s] - v, mu);
+  }
+}
+
+void projection_sweeps(std::vector<Point>& x, double m, int sweeps) {
+  const std::size_t n = x.size();
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::size_t t = 0; t + 1 < n; ++t) {
+      const double d = geo::distance(x[t], x[t + 1]);
+      if (d <= m || d == 0.0) continue;
+      const double excess = d - m;
+      const Point dir = (x[t + 1] - x[t]) / d;
+      if (t == 0) {
+        x[t + 1] -= dir * excess;
+      } else {
+        x[t] += dir * (excess / 2.0);
+        x[t + 1] -= dir * (excess / 2.0);
+      }
+    }
+  }
+}
+
+double solve(const sim::Instance& instance, const opt::ConvexDescentOptions& options) {
+  const double m = instance.params().max_step;
+  const double mu = options.smoothing * m;
+
+  double best_cost = 0.0;
+  std::vector<Point> best_positions;
+  if (instance.horizon() == 0) return 0.0;
+
+  std::vector<std::vector<Point>> candidates;
+  candidates.push_back(chase_init(instance, /*damped=*/false));
+  candidates.push_back(chase_init(instance, /*damped=*/true));
+
+  std::vector<Point> x;
+  best_cost = std::numeric_limits<double>::infinity();
+  for (auto& candidate : candidates) {
+    std::vector<Point> feasible = forward_clamp(instance, candidate);
+    const double cost =
+        sim::trajectory_cost(instance, std::span<const Point>(feasible));
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_positions = std::move(feasible);
+      x = std::move(candidate);
+    }
+  }
+
+  const double r_max = static_cast<double>(instance.request_bounds().second);
+  const double lipschitz = 2.0 * instance.params().move_cost_weight + r_max;
+
+  std::vector<Point> grad(x.size(), Point::zero(instance.dim()));
+  for (int k = 0; k < options.iterations; ++k) {
+    gradient(instance, x, mu, grad);
+    const double step =
+        options.initial_step * m / (lipschitz * std::sqrt(static_cast<double>(k) + 1.0));
+    for (std::size_t t = 1; t < x.size(); ++t) x[t] -= grad[t] * step;
+    projection_sweeps(x, m, options.projection_sweeps);
+    std::vector<Point> candidate = forward_clamp(instance, x);
+    const double cost =
+        sim::trajectory_cost(instance, std::span<const Point>(candidate));
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_positions = std::move(candidate);
+    }
+  }
+  // The production solver ends every solve with this pass; charge it here
+  // too so the benchmarked work is identical on both sides.
+  benchmark::DoNotOptimize(opt::reachability_lower_bound(instance));
+  return best_cost;
+}
+
+}  // namespace frozen_descent
+
+/// Descent iterations per solve: enough for the step schedule and
+/// improvement bookkeeping to matter, small enough that one solve is a
+/// reasonable benchmark iteration at e11 scale (T = 512).
+constexpr int kDescentIterations = 40;
+
+void set_solver_throughput(benchmark::State& state, const Sizes& sizes, int iters_per_solve) {
+  const auto steps = static_cast<std::int64_t>(state.iterations()) *
+                     static_cast<std::int64_t>(sizes.horizon) *
+                     static_cast<std::int64_t>(iters_per_solve);
+  state.counters["steps"] = benchmark::Counter(static_cast<double>(steps),
+                                               benchmark::Counter::kIsRate);
+  state.counters["requests"] = benchmark::Counter(
+      static_cast<double>(steps) * static_cast<double>(sizes.requests_per_step),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_DescentAosBaseline(benchmark::State& state, Sizes sizes) {
+  const auto dim = static_cast<int>(state.range(0));
+  const sim::Instance instance =
+      to_instance(make_workload(dim, sizes.horizon, sizes.requests_per_step));
+  mobsrv::opt::ConvexDescentOptions options;
+  options.iterations = kDescentIterations;
+  for (auto _ : state) benchmark::DoNotOptimize(frozen_descent::solve(instance, options));
+  set_solver_throughput(state, sizes, kDescentIterations);
+}
+
+void BM_DescentSoa(benchmark::State& state, Sizes sizes) {
+  const auto dim = static_cast<int>(state.range(0));
+  const sim::Instance instance =
+      to_instance(make_workload(dim, sizes.horizon, sizes.requests_per_step));
+  mobsrv::opt::ConvexDescentOptions options;
+  options.iterations = kDescentIterations;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mobsrv::opt::solve_convex_descent(instance, options).cost);
+  set_solver_throughput(state, sizes, kDescentIterations);
+}
+
+void BM_GridDp(benchmark::State& state, Sizes sizes) {
+  const sim::Instance instance =
+      to_instance(make_workload(1, sizes.horizon, sizes.requests_per_step));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mobsrv::opt::solve_grid_dp_1d(instance).solution.cost);
+  const auto steps = static_cast<std::int64_t>(state.iterations() * sizes.horizon);
+  state.counters["steps"] = benchmark::Counter(static_cast<double>(steps),
+                                               benchmark::Counter::kIsRate);
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: mobsrv_perf [--smoke] [--out=PATH] [--benchmark_*...]\n"
         "  --smoke      small workloads + short timings (CI smoke artifact)\n"
@@ -345,6 +554,17 @@ int main(int argc, char** argv) {
         ->ArgName("k")
         ->MinTime(min_time);
   }
+  for (const int dim : {1, 2}) {
+    benchmark::RegisterBenchmark("solver/descent_aos_baseline", BM_DescentAosBaseline, sizes)
+        ->Arg(dim)
+        ->ArgName("dim")
+        ->MinTime(min_time);
+    benchmark::RegisterBenchmark("solver/descent_soa", BM_DescentSoa, sizes)
+        ->Arg(dim)
+        ->ArgName("dim")
+        ->MinTime(min_time);
+  }
+  benchmark::RegisterBenchmark("solver/grid_dp", BM_GridDp, sizes)->MinTime(min_time);
   for (const int threads : {1, 4}) {
     benchmark::RegisterBenchmark("mux/drain", BM_MuxDrain, sizes)
         ->Arg(threads)

@@ -15,7 +15,7 @@ using geo::Point;
 /// (independently per cycle), exactly as in the proofs.
 double coin_direction(stats::Rng& rng) { return rng.coin() ? 1.0 : -1.0; }
 
-AdversarialInstance finish(sim::Instance instance, std::vector<Point> adversary) {
+AdversarialInstance finish(sim::Instance instance, sim::TrajectoryStore adversary) {
   AdversarialInstance out{std::move(instance), std::move(adversary), 0.0};
   MOBSRV_CHECK_MSG(sim::first_speed_violation(out.instance, out.adversary_positions) == -1,
                    "adversary trajectory violates its own speed limit");
@@ -37,13 +37,13 @@ AdversarialInstance make_theorem1(const Theorem1Params& params, stats::Rng& rng)
   const Point start = Point::zero(params.dim);
   const Point step_vec = Point::unit(params.dim, 0) * (coin_direction(rng) * m);
 
-  std::vector<Point> adversary;
+  sim::TrajectoryStore adversary(params.dim);
   adversary.reserve(T + 1);
   adversary.push_back(start);
   std::vector<sim::RequestBatch> steps(T);
   for (std::size_t t = 0; t < T; ++t) {
     adversary.push_back(adversary.back() + step_vec);
-    const Point& request_at = t < x ? start : adversary.back();
+    const Point request_at = t < x ? start : adversary.back();
     steps[t].requests.assign(params.requests_per_step, request_at);
   }
 
@@ -76,7 +76,7 @@ AdversarialInstance make_theorem2(const Theorem2Params& params, stats::Rng& rng)
   const auto chase = static_cast<std::size_t>(std::ceil(static_cast<double>(x) / delta));
 
   const Point start = Point::zero(params.dim);
-  std::vector<Point> adversary;
+  sim::TrajectoryStore adversary(params.dim);
   adversary.reserve(T + 1);
   adversary.push_back(start);
   std::vector<sim::RequestBatch> steps(T);
@@ -112,7 +112,7 @@ AdversarialInstance make_theorem3(const Theorem3Params& params, stats::Rng& rng)
   const double m = params.max_step;
 
   const Point start = Point::zero(params.dim);
-  std::vector<Point> adversary;
+  sim::TrajectoryStore adversary(params.dim);
   adversary.reserve(T + 1);
   adversary.push_back(start);
   std::vector<sim::RequestBatch> steps(T);

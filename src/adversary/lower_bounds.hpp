@@ -12,15 +12,19 @@
 #pragma once
 
 #include "sim/model.hpp"
+#include "sim/trajectory_store.hpp"
 #include "stats/rng.hpp"
 
 namespace mobsrv::adv {
 
-/// An instance bundled with the adversary's own solution.
+/// An instance bundled with the adversary's own solution. The trajectory
+/// lives in flat SoA storage (sim::TrajectoryStore) like every other
+/// solution path in the library; `adversary_positions[t]` materialises a
+/// Point for AoS consumers.
 struct AdversarialInstance {
   sim::Instance instance;
-  std::vector<sim::Point> adversary_positions;  ///< P_0..P_T, feasible at speed m
-  double adversary_cost = 0.0;                  ///< cost of that trajectory (>= OPT)
+  sim::TrajectoryStore adversary_positions;  ///< P_0..P_T, feasible at speed m
+  double adversary_cost = 0.0;               ///< cost of that trajectory (>= OPT)
 };
 
 /// Theorem 1 — no augmentation, ratio Ω(√T/D).

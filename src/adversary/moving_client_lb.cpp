@@ -33,7 +33,7 @@ MovingClientAdversarial make_theorem8(const Theorem8Params& params, stats::Rng& 
   const geo::Point adv_step = geo::Point::unit(params.dim, 0) * (sigma * ms);
   const geo::Point phase1_end = start + adv_step * static_cast<double>(L);
 
-  std::vector<geo::Point> adversary;
+  sim::TrajectoryStore adversary(params.dim);
   adversary.reserve(T + 1);
   adversary.push_back(start);
   sim::AgentPath agent;

@@ -11,15 +11,17 @@
 #pragma once
 
 #include "sim/moving_client.hpp"
+#include "sim/trajectory_store.hpp"
 #include "stats/rng.hpp"
 
 namespace mobsrv::adv {
 
-/// A Moving Client instance bundled with the adversary's server trajectory.
+/// A Moving Client instance bundled with the adversary's server trajectory
+/// (flat SoA storage, like every solution path in the library).
 struct MovingClientAdversarial {
   sim::MovingClientInstance mc;
-  std::vector<sim::Point> adversary_positions;  ///< P_0..P_T at speed m_s
-  double adversary_cost = 0.0;                  ///< >= OPT of the instance
+  sim::TrajectoryStore adversary_positions;  ///< P_0..P_T at speed m_s
+  double adversary_cost = 0.0;               ///< >= OPT of the instance
 };
 
 struct Theorem8Params {

@@ -23,7 +23,7 @@ std::pair<double, double> resolve_proxy(const PreparedSample& sample,
   };
   auto run_convex = [&]() {
     // Full pipeline: subgradient shaping + coordinate-descent polish.
-    const std::vector<sim::Point>* warm =
+    const sim::TrajectoryStore* warm =
         sample.adversary_positions.empty() ? nullptr : &sample.adversary_positions;
     const opt::OfflineSolution sol = opt::solve_best_offline(sample.instance, warm);
     return std::pair{sol.cost, sol.opt_lower_bound};

@@ -43,8 +43,9 @@ struct PreparedSample {
   sim::Instance instance;
   /// Adversary trajectory cost if the generator provides one; 0 otherwise.
   double adversary_cost = 0.0;
-  /// Adversary positions (used to warm-start the convex oracle).
-  std::vector<sim::Point> adversary_positions;
+  /// Adversary positions in flat SoA storage (used to warm-start the
+  /// convex oracle without a conversion copy).
+  sim::TrajectoryStore adversary_positions;
 };
 
 /// Samples an instance for trial \p trial using the given seeded Rng.

@@ -1,0 +1,84 @@
+/// \file kernels.hpp
+/// Dimension-specialized geometric kernels over raw coordinate rows.
+///
+/// The flat trajectory/request buffers (sim::TrajectoryStore,
+/// sim::RequestStore) hand out dense `double` rows; these kernels are the
+/// point-pair primitives the solvers run on them. Each is templated on a
+/// compile-time dimension (`Dim == 1` / `Dim == 2` are the paper's embedding
+/// dimensions and become fixed-trip-count loops the compiler unrolls and
+/// vectorizes; `Dim == 0` is the generic runtime-dimension fallback).
+///
+/// CONTRACT: every kernel performs the exact floating-point operation
+/// sequence of its geo::Point counterpart (componentwise difference, squares
+/// summed in axis order, then sqrt; scale factors applied in the same
+/// association). Costs computed through these kernels are bit-identical to
+/// the Point-arithmetic path — the offline-solver parity tests depend on it.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "geometry/point.hpp"
+
+namespace mobsrv::geo::kern {
+
+/// Loop bound: the compile-time dimension when specialized, else the runtime
+/// one. `Dim == 0` means "not specialized".
+template <int Dim>
+[[nodiscard]] constexpr int bound(int dim) noexcept {
+  return Dim > 0 ? Dim : dim;
+}
+
+/// Squared Euclidean distance between two dense rows; same accumulation
+/// order as (a - b).norm2().
+template <int Dim>
+[[nodiscard]] inline double distance2(const double* a, const double* b, int dim) {
+  double s2 = 0.0;
+  for (int k = 0; k < bound<Dim>(dim); ++k) {
+    const double d = a[k] - b[k];
+    s2 += d * d;
+  }
+  return s2;
+}
+
+/// Euclidean distance between two dense rows; bit-identical to
+/// geo::distance on the same coordinates.
+template <int Dim>
+[[nodiscard]] inline double distance(const double* a, const double* b, int dim) {
+  return std::sqrt(distance2<Dim>(a, b, dim));
+}
+
+/// Moves \p from toward \p to by at most \p step into \p out (dense rows,
+/// `out` may alias either input). Bit-identical to geo::move_toward:
+///   d <= step or d == 0  ->  out = to
+///   otherwise            ->  out[k] = from[k] + (to[k] - from[k]) * (step/d)
+template <int Dim>
+inline void move_toward(const double* from, const double* to, int dim, double step, double* out) {
+  MOBSRV_DCHECK(step >= 0.0);
+  const double d = distance<Dim>(from, to, dim);
+  if (d <= step || d == 0.0) {
+    if (out != to) std::memmove(out, to, sizeof(double) * static_cast<std::size_t>(dim));
+    return;
+  }
+  const double scale = step / d;
+  for (int k = 0; k < bound<Dim>(dim); ++k) out[k] = from[k] + (to[k] - from[k]) * scale;
+}
+
+/// Invokes `fn(std::integral_constant<int, Dim>{})` with Dim specialized for
+/// the paper's low-dimensional embeddings (1 and 2) and 0 (generic) for
+/// everything else. The single dispatch point hot loops branch through once
+/// per call instead of once per coordinate.
+template <class Fn>
+decltype(auto) dispatch_dim(int dim, Fn&& fn) {
+  switch (dim) {
+    case 1:
+      return std::forward<Fn>(fn)(std::integral_constant<int, 1>{});
+    case 2:
+      return std::forward<Fn>(fn)(std::integral_constant<int, 2>{});
+    default:
+      return std::forward<Fn>(fn)(std::integral_constant<int, 0>{});
+  }
+}
+
+}  // namespace mobsrv::geo::kern

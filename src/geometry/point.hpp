@@ -142,9 +142,10 @@ class Point {
   [[nodiscard]] std::string to_string() const;
 
   /// Raw coordinate storage (dim() leading doubles are meaningful). The flat
-  /// request storage (sim::BatchView) builds strided views over Point arrays
-  /// through this accessor.
+  /// request/trajectory storage (sim::BatchView, sim::TrajectoryView) builds
+  /// strided views over Point arrays through these accessors.
   [[nodiscard]] const double* data() const noexcept { return x_.data(); }
+  [[nodiscard]] double* data() noexcept { return x_.data(); }
 
  private:
   int dim_;

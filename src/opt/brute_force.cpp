@@ -54,7 +54,7 @@ OfflineSolution brute_force_offline(const sim::Instance& instance,
 
   OfflineSolution out;
   out.cost = e.best_cost;
-  out.positions = e.best;
+  out.positions = sim::TrajectoryStore::from_points(e.best);
   return out;
 }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "geometry/kernels.hpp"
 #include "opt/warm_starts.hpp"
 #include "sim/cost.hpp"
 
@@ -12,47 +14,81 @@ namespace mobsrv::opt {
 namespace {
 
 using geo::Point;
+using geo::kern::bound;
 
-/// ∇ of the smoothed norm ‖u‖_μ = √(‖u‖²+μ²) − μ.
-Point smooth_norm_grad(const Point& u, double mu) {
-  return u / std::sqrt(u.norm2() + mu * mu);
-}
-
-/// Smoothed objective gradient w.r.t. X[1..T] (slot 0 of `grad` stays zero —
-/// the start is fixed).
-void gradient(const sim::Instance& instance, const std::vector<Point>& x, double mu,
-              std::vector<Point>& grad) {
+/// Smoothed objective gradient w.r.t. X[1..T], written into the dense
+/// buffer \p grad (x.size()·dim doubles; row 0 stays zero — the start is
+/// fixed). Per-coordinate operation sequence matches the Point-arithmetic
+/// original exactly: u/√(‖u‖²+μ²) scaled by D for the movement terms,
+/// w/√(‖w‖²+μ²) for the service terms, accumulated in axis order.
+template <int Dim>
+void gradient_k(const sim::Instance& instance, sim::ConstTrajectoryView x, double mu,
+                double* grad) {
   const auto& params = instance.params();
   const double D = params.move_cost_weight;
-  for (auto& g : grad) g = Point::zero(instance.dim());
+  const int dim = instance.dim();
+  std::fill(grad, grad + x.size() * static_cast<std::size_t>(dim), 0.0);
 
   for (std::size_t t = 0; t < instance.horizon(); ++t) {
-    const Point move_grad = smooth_norm_grad(x[t + 1] - x[t], mu) * D;
-    grad[t + 1] += move_grad;
-    if (t > 0) grad[t] -= move_grad;
+    const double* xt = x.row(t);
+    const double* xt1 = x.row(t + 1);
+    double u[Point::kMaxDim];
+    double u_norm2 = 0.0;
+    for (int k = 0; k < bound<Dim>(dim); ++k) {
+      u[k] = xt1[k] - xt[k];
+      u_norm2 += u[k] * u[k];
+    }
+    const double u_denom = std::sqrt(u_norm2 + mu * mu);
+    double* gt1 = grad + (t + 1) * static_cast<std::size_t>(dim);
+    double* gt = grad + t * static_cast<std::size_t>(dim);
+    for (int k = 0; k < bound<Dim>(dim); ++k) {
+      const double move_grad = (u[k] / u_denom) * D;
+      gt1[k] += move_grad;
+      if (t > 0) gt[k] -= move_grad;
+    }
 
     const std::size_t s = serve_index(params, t);
     if (s == 0) continue;  // service at the fixed start costs nothing to optimise
-    for (const geo::Point v : instance.step(t)) grad[s] += smooth_norm_grad(x[s] - v, mu);
+    const sim::BatchView batch = instance.step(t);
+    const double* xs = x.row(s);
+    double* gs = grad + s * static_cast<std::size_t>(dim);
+    const double* v = batch.data();
+    for (std::size_t i = 0; i < batch.size(); ++i, v += batch.stride()) {
+      double w[Point::kMaxDim];
+      double w_norm2 = 0.0;
+      for (int k = 0; k < bound<Dim>(dim); ++k) {
+        w[k] = xs[k] - v[k];
+        w_norm2 += w[k] * w[k];
+      }
+      const double w_denom = std::sqrt(w_norm2 + mu * mu);
+      for (int k = 0; k < bound<Dim>(dim); ++k) gs[k] += w[k] / w_denom;
+    }
   }
 }
 
 /// Symmetric pairwise projection toward the movement constraints; X[0]
 /// never moves. Not an exact projection onto the intersection, only a cheap
-/// contraction — the forward clamp below guarantees final feasibility.
-void projection_sweeps(std::vector<Point>& x, double m, int sweeps) {
+/// contraction — the forward clamp guarantees final feasibility. Operates
+/// fully in place on the view.
+template <int Dim>
+void projection_sweeps_k(sim::TrajectoryView x, double m, int sweeps) {
+  const int dim = x.dim();
   const std::size_t n = x.size();
   for (int s = 0; s < sweeps; ++s) {
     for (std::size_t t = 0; t + 1 < n; ++t) {
-      const double d = geo::distance(x[t], x[t + 1]);
+      double* a = x.row(t);
+      double* b = x.row(t + 1);
+      const double d = geo::kern::distance<Dim>(a, b, dim);
       if (d <= m || d == 0.0) continue;
       const double excess = d - m;
-      const Point dir = (x[t + 1] - x[t]) / d;
+      double dir[Point::kMaxDim];
+      for (int k = 0; k < bound<Dim>(dim); ++k) dir[k] = (b[k] - a[k]) / d;
       if (t == 0) {
-        x[t + 1] -= dir * excess;
+        for (int k = 0; k < bound<Dim>(dim); ++k) b[k] -= dir[k] * excess;
       } else {
-        x[t] += dir * (excess / 2.0);
-        x[t + 1] -= dir * (excess / 2.0);
+        const double half = excess / 2.0;
+        for (int k = 0; k < bound<Dim>(dim); ++k) a[k] += dir[k] * half;
+        for (int k = 0; k < bound<Dim>(dim); ++k) b[k] -= dir[k] * half;
       }
     }
   }
@@ -62,38 +98,44 @@ void projection_sweeps(std::vector<Point>& x, double m, int sweeps) {
 
 OfflineSolution solve_convex_descent(const sim::Instance& instance,
                                      const ConvexDescentOptions& options,
-                                     const std::vector<sim::Point>* warm_start) {
+                                     const sim::TrajectoryStore* warm_start) {
   MOBSRV_CHECK(options.iterations >= 1 && options.projection_sweeps >= 0);
   const double m = instance.params().max_step;
   const double mu = options.smoothing * m;
+  const int dim = instance.dim();
 
   OfflineSolution best;
   if (instance.horizon() == 0) {
-    best.positions = {instance.start()};
+    best.positions.push_back(instance.start());
     best.cost = 0.0;
     return best;
   }
 
   // Candidate starting trajectories; descent starts from the cheapest, so
   // the result is never worse than any candidate.
-  std::vector<std::vector<Point>> candidates;
+  std::vector<sim::TrajectoryStore> candidates;
   if (warm_start != nullptr) {
     MOBSRV_CHECK_MSG(warm_start->size() == instance.horizon() + 1,
                      "warm start must have horizon()+1 positions");
     MOBSRV_CHECK_MSG((*warm_start)[0] == instance.start(), "warm start must begin at the start");
     candidates.push_back(*warm_start);
   }
-  candidates.push_back(chase_init(instance, /*damped=*/false));
-  candidates.push_back(chase_init(instance, /*damped=*/true));
+  candidates.emplace_back();
+  chase_init(instance, /*damped=*/false, candidates.back());
+  candidates.emplace_back();
+  chase_init(instance, /*damped=*/true, candidates.back());
 
-  std::vector<Point> x;
+  // One clamp scratch reused by every candidate evaluation AND every descent
+  // iteration — the loop below performs no allocations at all.
+  sim::TrajectoryStore clamped(dim, instance.horizon() + 1);
+  sim::TrajectoryStore x;
   best.cost = std::numeric_limits<double>::infinity();
   for (auto& candidate : candidates) {
-    std::vector<Point> feasible = forward_clamp(instance, candidate);
-    const double cost = sim::trajectory_cost(instance, feasible);
+    forward_clamp(instance, candidate, clamped.view());
+    const double cost = sim::trajectory_cost(instance, clamped);
     if (cost < best.cost) {
       best.cost = cost;
-      best.positions = std::move(feasible);
+      best.positions.assign_from(clamped);
       x = std::move(candidate);
     }
   }
@@ -106,27 +148,42 @@ OfflineSolution solve_convex_descent(const sim::Instance& instance,
   const double r_max = static_cast<double>(instance.request_bounds().second);
   const double lipschitz = 2.0 * instance.params().move_cost_weight + r_max;
 
-  std::vector<Point> grad(x.size(), Point::zero(instance.dim()));
-  for (int k = 0; k < options.iterations; ++k) {
-    gradient(instance, x, mu, grad);
+  std::vector<double> grad(x.size() * static_cast<std::size_t>(dim), 0.0);
+  geo::kern::dispatch_dim(dim, [&](auto d) {
+    constexpr int Dim = decltype(d)::value;
+    for (int k = 0; k < options.iterations; ++k) {
+      gradient_k<Dim>(instance, x, mu, grad.data());
 
-    // Diminishing-step subgradient method (classic nonsmooth guarantee).
-    const double step =
-        options.initial_step * m / (lipschitz * std::sqrt(static_cast<double>(k) + 1.0));
-    for (std::size_t t = 1; t < x.size(); ++t) x[t] -= grad[t] * step;
+      // Diminishing-step subgradient method (classic nonsmooth guarantee).
+      const double step =
+          options.initial_step * m / (lipschitz * std::sqrt(static_cast<double>(k) + 1.0));
+      for (std::size_t t = 1; t < x.size(); ++t) {
+        double* xt = x.row(t);
+        const double* gt = grad.data() + t * static_cast<std::size_t>(dim);
+        for (int c = 0; c < bound<Dim>(dim); ++c) xt[c] -= gt[c] * step;
+      }
 
-    projection_sweeps(x, m, options.projection_sweeps);
+      projection_sweeps_k<Dim>(x.view(), m, options.projection_sweeps);
 
-    std::vector<Point> candidate = forward_clamp(instance, x);
-    const double cost = sim::trajectory_cost(instance, candidate);
-    if (cost < best.cost) {
-      best.cost = cost;
-      best.positions = std::move(candidate);
+      forward_clamp(instance, x, clamped.view());
+      const double cost = sim::trajectory_cost(instance, clamped);
+      if (cost < best.cost) {
+        best.cost = cost;
+        best.positions.assign_from(clamped);
+      }
     }
-  }
+  });
 
   best.opt_lower_bound = reachability_lower_bound(instance);
   return best;
+}
+
+OfflineSolution solve_convex_descent(const sim::Instance& instance,
+                                     const ConvexDescentOptions& options,
+                                     const std::vector<sim::Point>* warm_start) {
+  if (warm_start == nullptr) return solve_convex_descent(instance, options);
+  const sim::TrajectoryStore warm = sim::TrajectoryStore::from_points(*warm_start);
+  return solve_convex_descent(instance, options, &warm);
 }
 
 double reachability_lower_bound(const sim::Instance& instance) {

@@ -32,9 +32,17 @@ struct ConvexDescentOptions {
 /// hold horizon()+1 feasible-or-not positions beginning at the start
 /// position; otherwise the solver initialises with a greedy feasible chase
 /// of the per-step batch centroids.
+///
+/// The whole descent runs on flat trajectory buffers (sim::TrajectoryStore)
+/// with dimension-specialized kernels and performs zero allocations inside
+/// the iteration loop; the std::vector<Point> warm-start overload is a
+/// conversion shim producing bit-identical results.
 [[nodiscard]] OfflineSolution solve_convex_descent(const sim::Instance& instance,
                                                    const ConvexDescentOptions& options = {},
-                                                   const std::vector<sim::Point>* warm_start = nullptr);
+                                                   const sim::TrajectoryStore* warm_start = nullptr);
+[[nodiscard]] OfflineSolution solve_convex_descent(const sim::Instance& instance,
+                                                   const ConvexDescentOptions& options,
+                                                   const std::vector<sim::Point>* warm_start);
 
 /// Cheap certified lower bound on OPT in any dimension: the server starts at
 /// P_0 and can be at distance at most (t+1)·m_serve from it when serving

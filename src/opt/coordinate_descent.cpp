@@ -45,14 +45,25 @@ struct Subproblem {
   }
 };
 
+/// Scratch for the Weber-problem assembly, hoisted out of the sweep loops so
+/// a full solve allocates the point/weight arrays once, not once per
+/// position per sweep.
+struct WeberScratch {
+  std::vector<Point> points;
+  std::vector<double> weights;
+};
+
 /// Solves one subproblem: weighted Weiszfeld for the unconstrained Weber
 /// point, then alternating projection onto the (nonempty — `current` is in
 /// it) intersection of the movement balls. Returns the incumbent if no
 /// strict improvement was found, so the sweep is monotone.
-Point improve_position(const Subproblem& sub, const Point& current, int projection_rounds) {
+Point improve_position(const Subproblem& sub, const Point& current, int projection_rounds,
+                       WeberScratch& scratch) {
   // Assemble the Weber problem: neighbours with weight D, requests with 1.
-  std::vector<Point> points;
-  std::vector<double> weights;
+  std::vector<Point>& points = scratch.points;
+  std::vector<double>& weights = scratch.weights;
+  points.clear();
+  weights.clear();
   points.push_back(*sub.prev);
   weights.push_back(sub.d_weight);
   if (sub.next != nullptr) {
@@ -85,18 +96,21 @@ Point improve_position(const Subproblem& sub, const Point& current, int projecti
 
 OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
                                          const CoordinateDescentOptions& options,
-                                         const std::vector<sim::Point>* warm_start) {
+                                         const sim::TrajectoryStore* warm_start) {
   MOBSRV_CHECK(options.max_sweeps >= 1 && options.projection_rounds >= 1);
   const auto& params = instance.params();
   const std::size_t T = instance.horizon();
 
   OfflineSolution out;
   if (T == 0) {
-    out.positions = {instance.start()};
+    out.positions.push_back(instance.start());
     return out;
   }
 
-  std::vector<Point> x;
+  // The trajectory lives in one flat buffer; the per-position Weber
+  // subproblems materialise Points on demand (the Weiszfeld kernel is
+  // point-based) but every read/write of the trajectory itself is dense.
+  sim::TrajectoryStore x;
   if (warm_start != nullptr) {
     MOBSRV_CHECK_MSG(warm_start->size() == T + 1, "warm start must have horizon()+1 positions");
     MOBSRV_CHECK_MSG((*warm_start)[0] == instance.start(), "warm start must begin at the start");
@@ -104,10 +118,12 @@ OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
                      "coordinate descent requires a FEASIBLE warm start");
     x = *warm_start;
   } else {
-    const std::vector<Point> eager = chase_init(instance, /*damped=*/false);
-    const std::vector<Point> damped = chase_init(instance, /*damped=*/true);
-    x = sim::trajectory_cost(instance, eager) <= sim::trajectory_cost(instance, damped) ? eager
-                                                                                        : damped;
+    sim::TrajectoryStore eager, damped;
+    chase_init(instance, /*damped=*/false, eager);
+    chase_init(instance, /*damped=*/true, damped);
+    x = sim::trajectory_cost(instance, eager) <= sim::trajectory_cost(instance, damped)
+            ? std::move(eager)
+            : std::move(damped);
   }
 
   // Which batch is served at position index t? Move-First: batch t−1;
@@ -117,6 +133,7 @@ OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
     return t < T ? instance.step(t) : sim::BatchView{};
   };
 
+  WeberScratch scratch;
   double cost = sim::trajectory_cost(instance, x);
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
     // Forward then backward pass (a symmetric sweep propagates slack both
@@ -124,13 +141,17 @@ OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
     for (int dir = 0; dir < 2; ++dir) {
       for (std::size_t k = 1; k <= T; ++k) {
         const std::size_t t = dir == 0 ? k : T + 1 - k;
+        const Point prev = x[t - 1];
+        const Point current = x[t];
+        Point next;
+        if (t < T) next = x[t + 1];
         Subproblem sub;
-        sub.prev = &x[t - 1];
-        sub.next = t < T ? &x[t + 1] : nullptr;
+        sub.prev = &prev;
+        sub.next = t < T ? &next : nullptr;
         sub.batch = batch_at(t);
         sub.d_weight = params.move_cost_weight;
         sub.m = params.max_step;
-        x[t] = improve_position(sub, x[t], options.projection_rounds);
+        x.set(t, improve_position(sub, current, options.projection_rounds, scratch));
       }
     }
     const double new_cost = sim::trajectory_cost(instance, x);
@@ -150,13 +171,28 @@ OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
   return out;
 }
 
+OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
+                                         const CoordinateDescentOptions& options,
+                                         const std::vector<sim::Point>* warm_start) {
+  if (warm_start == nullptr) return solve_coordinate_descent(instance, options);
+  const sim::TrajectoryStore warm = sim::TrajectoryStore::from_points(*warm_start);
+  return solve_coordinate_descent(instance, options, &warm);
+}
+
 OfflineSolution solve_best_offline(const sim::Instance& instance,
-                                   const std::vector<sim::Point>* warm_start) {
+                                   const sim::TrajectoryStore* warm_start) {
   OfflineSolution shaped = solve_convex_descent(instance, {}, warm_start);
   if (instance.horizon() == 0) return shaped;
   OfflineSolution polished = solve_coordinate_descent(instance, {}, &shaped.positions);
   polished.opt_lower_bound = std::max(polished.opt_lower_bound, shaped.opt_lower_bound);
   return polished.cost <= shaped.cost ? polished : shaped;
+}
+
+OfflineSolution solve_best_offline(const sim::Instance& instance,
+                                   const std::vector<sim::Point>* warm_start) {
+  if (warm_start == nullptr) return solve_best_offline(instance);
+  const sim::TrajectoryStore warm = sim::TrajectoryStore::from_points(*warm_start);
+  return solve_best_offline(instance, &warm);
 }
 
 }  // namespace mobsrv::opt

@@ -32,15 +32,22 @@ struct CoordinateDescentOptions {
 /// Solves an instance of any dimension. If \p warm_start is given it must be
 /// a feasible trajectory (horizon()+1 positions starting at the start); the
 /// result is never worse than it. Without a warm start the solver seeds
-/// itself from the library's standard chase inits.
+/// itself from the library's standard chase inits. The trajectory lives in
+/// flat SoA storage throughout; the std::vector<Point> warm-start overload
+/// is a conversion shim producing bit-identical results.
 [[nodiscard]] OfflineSolution solve_coordinate_descent(
     const sim::Instance& instance, const CoordinateDescentOptions& options = {},
-    const std::vector<sim::Point>* warm_start = nullptr);
+    const sim::TrajectoryStore* warm_start = nullptr);
+[[nodiscard]] OfflineSolution solve_coordinate_descent(const sim::Instance& instance,
+                                                       const CoordinateDescentOptions& options,
+                                                       const std::vector<sim::Point>* warm_start);
 
 /// Best general-purpose offline pipeline: subgradient descent to shape the
 /// trajectory globally, then coordinate descent to polish it. Used by the
 /// experiment oracles.
 [[nodiscard]] OfflineSolution solve_best_offline(const sim::Instance& instance,
-                                                 const std::vector<sim::Point>* warm_start = nullptr);
+                                                 const sim::TrajectoryStore* warm_start = nullptr);
+[[nodiscard]] OfflineSolution solve_best_offline(const sim::Instance& instance,
+                                                 const std::vector<sim::Point>* warm_start);
 
 }  // namespace mobsrv::opt

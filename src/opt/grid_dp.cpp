@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 #include <numeric>
+#include <span>
 #include <vector>
 
 namespace mobsrv::opt {
@@ -15,20 +16,22 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Service-cost array: S[j] = Σ_i |x_j − v_i| for the uniform grid
 /// x_j = origin + j·h, computed in O(G + r log r) with a sorted sweep.
-void service_costs(double origin, double h, std::size_t cells, std::vector<double> sorted_requests,
-                   std::vector<double>& out) {
+/// \p requests is sorted in place and \p prefix is caller-owned scratch, so
+/// the per-step call allocates nothing once the scratch has grown — the old
+/// signature took the request vector by value and copied every batch.
+void service_costs(double origin, double h, std::size_t cells, std::span<double> requests,
+                   std::vector<double>& prefix, std::vector<double>& out) {
   out.assign(cells, 0.0);
-  if (sorted_requests.empty()) return;
-  std::sort(sorted_requests.begin(), sorted_requests.end());
-  std::vector<double> prefix(sorted_requests.size() + 1, 0.0);
-  for (std::size_t i = 0; i < sorted_requests.size(); ++i)
-    prefix[i + 1] = prefix[i] + sorted_requests[i];
+  if (requests.empty()) return;
+  std::sort(requests.begin(), requests.end());
+  prefix.assign(requests.size() + 1, 0.0);
+  for (std::size_t i = 0; i < requests.size(); ++i) prefix[i + 1] = prefix[i] + requests[i];
   const double total = prefix.back();
-  const auto r = sorted_requests.size();
+  const auto r = requests.size();
   std::size_t below = 0;  // number of requests <= current grid point
   for (std::size_t j = 0; j < cells; ++j) {
     const double x = origin + static_cast<double>(j) * h;
-    while (below < r && sorted_requests[below] <= x) ++below;
+    while (below < r && requests[below] <= x) ++below;
     const auto nb = static_cast<double>(below);
     out[j] = x * nb - prefix[below] + (total - prefix[below]) - x * (static_cast<double>(r) - nb);
   }
@@ -78,7 +81,7 @@ void windowed_minplus(const std::vector<double>& src, long w, double unit,
 
 struct DpRun {
   double cost = kInf;
-  std::vector<sim::Point> positions;  // empty unless trajectory requested
+  sim::TrajectoryStore positions;  // empty unless trajectory requested
 };
 
 DpRun run_dp(const sim::Instance& instance, double origin, double h, std::size_t cells,
@@ -96,14 +99,15 @@ DpRun run_dp(const sim::Instance& instance, double origin, double h, std::size_t
   }
 
   std::vector<double> dp(cells, kInf), next, service, shifted;
+  std::vector<double> coords, prefix;  // per-step scratch, reused across the horizon
   dp[start_index] = 0.0;
 
   for (std::size_t t = 0; t < T; ++t) {
     const sim::BatchView batch = instance.step(t);
-    std::vector<double> coords;
+    coords.clear();
     coords.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) coords.push_back(batch.coord(i, 0));
-    service_costs(origin, h, cells, std::move(coords), service);
+    service_costs(origin, h, cells, coords, prefix, service);
 
     if (params.order == sim::ServiceOrder::kServeThenMove) {
       shifted.resize(cells);
@@ -130,6 +134,7 @@ DpRun run_dp(const sim::Instance& instance, double origin, double h, std::size_t
       MOBSRV_CHECK_MSG(p >= 0, "broken DP parent chain");
       idx[t - 1] = static_cast<std::size_t>(p);
     }
+    out.positions = sim::TrajectoryStore(1);
     out.positions.reserve(T + 1);
     for (std::size_t t = 0; t <= T; ++t)
       out.positions.push_back(
@@ -180,10 +185,10 @@ GridDpResult solve_grid_dp_1d(const sim::Instance& instance, const GridDpOptions
   result.spacing = h;
   result.cells = cells;
 
-  const DpRun feas = run_dp(instance, origin, h, cells, start_index, w_feas,
-                            options.want_trajectory, options.max_parent_entries);
+  DpRun feas = run_dp(instance, origin, h, cells, start_index, w_feas,
+                      options.want_trajectory, options.max_parent_entries);
   result.solution.cost = feas.cost;
-  result.solution.positions = feas.positions;
+  result.solution.positions = std::move(feas.positions);
 
   const DpRun relax =
       run_dp(instance, origin, h, cells, start_index, w_relax, false, options.max_parent_entries);

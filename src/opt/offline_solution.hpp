@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/model.hpp"
+#include "sim/trajectory_store.hpp"
 
 namespace mobsrv::opt {
 
@@ -19,10 +20,12 @@ struct OfflineSolution {
   double cost = 0.0;
   /// Certified lower bound on OPT, or 0 when the method provides none.
   double opt_lower_bound = 0.0;
-  /// Feasible positions P_0..P_T; may be empty when the caller requested
-  /// cost-only operation (trajectory reconstruction needs O(T·G) memory in
-  /// the DP solver).
-  std::vector<sim::Point> positions;
+  /// Feasible positions P_0..P_T in flat SoA storage (one dense double
+  /// buffer — see sim/trajectory_store.hpp); may be empty when the caller
+  /// requested cost-only operation (trajectory reconstruction needs O(T·G)
+  /// memory in the DP solver). `positions[t]` materialises a Point;
+  /// `positions.to_points()` converts for AoS consumers.
+  sim::TrajectoryStore positions;
 };
 
 }  // namespace mobsrv::opt

@@ -2,43 +2,70 @@
 
 #include <algorithm>
 
+#include "geometry/kernels.hpp"
 #include "median/geometric_median.hpp"
 
 namespace mobsrv::opt {
 
-std::vector<sim::Point> chase_init(const sim::Instance& instance, bool damped) {
+void chase_init(const sim::Instance& instance, bool damped, sim::TrajectoryStore& out) {
   using geo::Point;
-  std::vector<Point> x;
-  x.reserve(instance.horizon() + 1);
-  x.push_back(instance.start());
+  // Fix the dimension before reserving so the buffer is sized in one
+  // allocation (a dimensionless store reserves in units of one double).
+  if (out.dim() != instance.dim()) out = sim::TrajectoryStore(instance.dim());
+  out.clear_positions();
+  out.reserve(instance.horizon() + 1);
   const double m = instance.params().max_step;
   const double D = instance.params().move_cost_weight;
+  // The chase itself is a cold O(T) init pass, so it keeps the Point-based
+  // median kernel; only the storage is flat.
+  Point current = instance.start();
+  out.push_back(current);
   std::vector<Point> reqs;  // scratch for the point-based median kernel
   for (std::size_t t = 0; t < instance.horizon(); ++t) {
     const sim::BatchView batch = instance.step(t);
     if (batch.empty()) {
-      x.push_back(x.back());
+      out.push_back(current);
       continue;
     }
     batch.copy_to(reqs);
-    const Point center = med::closest_center(reqs, x.back());
+    const Point center = med::closest_center(reqs, current);
     double step = m;
     if (damped) {
-      const double dist = geo::distance(x.back(), center);
+      const double dist = geo::distance(current, center);
       step = std::min(m, dist * std::min(1.0, static_cast<double>(reqs.size()) / D));
     }
-    x.push_back(geo::move_toward(x.back(), center, step));
+    current = geo::move_toward(current, center, step);
+    out.push_back(current);
   }
-  return x;
+}
+
+std::vector<sim::Point> chase_init(const sim::Instance& instance, bool damped) {
+  sim::TrajectoryStore store;
+  chase_init(instance, damped, store);
+  return store.to_points();
+}
+
+void forward_clamp(const sim::Instance& instance, sim::ConstTrajectoryView x,
+                   sim::TrajectoryView y) {
+  MOBSRV_CHECK_MSG(x.size() == y.size() && !x.empty(), "clamp target must match the input length");
+  MOBSRV_CHECK_MSG(x.dim() == instance.dim() && y.dim() == instance.dim(),
+                   "trajectory dimension mismatch");
+  const int dim = instance.dim();
+  const double m = instance.params().max_step;
+  y.set(0, instance.start());
+  geo::kern::dispatch_dim(dim, [&](auto d) {
+    constexpr int Dim = decltype(d)::value;
+    for (std::size_t t = 0; t + 1 < x.size(); ++t)
+      geo::kern::move_toward<Dim>(y.row(t), x.row(t + 1), dim, m, y.row(t + 1));
+  });
 }
 
 std::vector<sim::Point> forward_clamp(const sim::Instance& instance,
                                       const std::vector<sim::Point>& x) {
-  std::vector<sim::Point> y(x.size());
-  y[0] = instance.start();
-  const double m = instance.params().max_step;
-  for (std::size_t t = 0; t + 1 < x.size(); ++t) y[t + 1] = geo::move_toward(y[t], x[t + 1], m);
-  return y;
+  sim::TrajectoryStore in = sim::TrajectoryStore::from_points(x);
+  sim::TrajectoryStore out(instance.dim(), x.size());
+  forward_clamp(instance, in, out.view());
+  return out.to_points();
 }
 
 std::size_t serve_index(const sim::ModelParams& params, std::size_t t) {

@@ -1,10 +1,15 @@
 /// \file warm_starts.hpp
 /// Feasible starting trajectories shared by the offline solvers.
+///
+/// The store-based entry points are the hot path (the descent solvers call
+/// forward_clamp once per iteration); the std::vector<Point> overloads are
+/// conversion shims that produce bit-identical positions for AoS callers.
 #pragma once
 
 #include <vector>
 
 #include "sim/model.hpp"
+#include "sim/trajectory_store.hpp"
 
 namespace mobsrv::opt {
 
@@ -12,11 +17,17 @@ namespace mobsrv::opt {
 /// when service dominates). damped == true: by min(m, min(1, r/D)·d) —
 /// exactly the online MtC rule at speed factor 1, which guarantees offline
 /// solutions seeded from it are never worse than the online algorithm.
+/// Fills \p out with the horizon()+1 positions (previous contents dropped).
+void chase_init(const sim::Instance& instance, bool damped, sim::TrajectoryStore& out);
 [[nodiscard]] std::vector<sim::Point> chase_init(const sim::Instance& instance, bool damped);
 
 /// Greedy feasibility repair: follows \p x as closely as the movement limit
 /// allows, starting from the instance's start position. The result is
-/// always strictly feasible.
+/// always strictly feasible. The view form writes into \p y (same length as
+/// \p x; \p y may alias \p x for a fully in-place repair) and performs no
+/// allocations — the descent loop calls it every iteration.
+void forward_clamp(const sim::Instance& instance, sim::ConstTrajectoryView x,
+                   sim::TrajectoryView y);
 [[nodiscard]] std::vector<sim::Point> forward_clamp(const sim::Instance& instance,
                                                     const std::vector<sim::Point>& x);
 

@@ -9,6 +9,7 @@
 #include <span>
 
 #include "sim/model.hpp"
+#include "sim/trajectory_store.hpp"
 
 namespace mobsrv::sim {
 
@@ -41,11 +42,20 @@ struct StepCost {
 /// move of step t. Movement limits are NOT checked here (see
 /// validate_trajectory) because offline solvers call this on intermediate,
 /// possibly infeasible iterates.
+///
+/// The view overload is the hot path: it walks raw coordinate rows through
+/// the dimension-specialized kernels (geometry/kernels.hpp) with zero
+/// allocations and charges bit-identical costs to the Point overload —
+/// TrajectoryStore converts implicitly, and std::vector<Point> call sites
+/// keep hitting the span overload unchanged.
+[[nodiscard]] double trajectory_cost(const Instance& instance, ConstTrajectoryView positions);
 [[nodiscard]] double trajectory_cost(const Instance& instance, std::span<const Point> positions);
 
 /// Checks a trajectory's feasibility: correct length, correct start, every
 /// step within max_step·(1+tolerance). Returns the index of the first
 /// violating move, or -1 if feasible.
+[[nodiscard]] long first_speed_violation(const Instance& instance, ConstTrajectoryView positions,
+                                         double speed_factor = 1.0, double tolerance = 1e-9);
 [[nodiscard]] long first_speed_violation(const Instance& instance,
                                          std::span<const Point> positions,
                                          double speed_factor = 1.0, double tolerance = 1e-9);

@@ -1,0 +1,325 @@
+/// \file trajectory_store.hpp
+/// Flat structure-of-arrays trajectory storage and the TrajectoryView spans
+/// over it — the offline twin of request_store.hpp.
+///
+/// A trajectory is P_0..P_T: `horizon+1` positions of one dimension. Stored
+/// as `std::vector<Point>` every position paid the 72-byte Point layout
+/// (4-byte dim + padding + 8 inline doubles, ~8x waste at d = 1), and the
+/// descent/DP/brute-force oracles strode over mostly-dead coordinates in
+/// their hottest loops. TrajectoryStore keeps ONE contiguous `double` buffer
+/// of `size() * dim()` live coordinates (position t occupies
+/// `[t*dim, (t+1)*dim)`), so the solver side of the library reads and writes
+/// dense rows — mirroring what RequestStore/BatchView did for requests.
+///
+/// Two non-owning spans expose the buffer: `TrajectoryView` (mutable — the
+/// descent loops update positions in place) and `ConstTrajectoryView`. Both
+/// are *strided* like BatchView, so the same view types can also alias an
+/// AoS `Point` array (stride = sizeof(Point)/sizeof(double)) — that is how
+/// the `std::vector<Point>` shims run through the exact same kernels without
+/// a copy. The dense fast path has stride == dim.
+///
+/// TrajectoryStore deliberately speaks most of the `std::vector<Point>`
+/// surface (size/empty/operator[]/back/push_back/reserve/assign/iteration)
+/// so call sites that carried trajectories as point vectors keep compiling
+/// — only the storage underneath changed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace mobsrv::sim {
+
+using geo::Point;
+
+/// Non-owning read-only view of a trajectory: position t's k-th coordinate
+/// is `base[t*stride + k]`. Cheap to copy; the backing storage
+/// (TrajectoryStore or a Point array) must outlive the view.
+class ConstTrajectoryView {
+ public:
+  /// Empty view (no positions, dimension 0).
+  constexpr ConstTrajectoryView() noexcept = default;
+
+  ConstTrajectoryView(const double* base, std::size_t count, int dim, std::size_t stride)
+      : base_(base), count_(count), dim_(dim), stride_(stride) {
+    MOBSRV_DCHECK(count == 0 ||
+                  (base != nullptr && dim >= 1 && stride >= static_cast<std::size_t>(dim)));
+  }
+
+  /// Aliases an AoS Point array (stride = sizeof(Point) in doubles).
+  /// Validates that all positions share one dimension — the one O(T) check
+  /// the strided path pays at wrap time.
+  [[nodiscard]] static ConstTrajectoryView of(std::span<const Point> points) {
+    if (points.empty()) return {};
+    const int dim = points.front().dim();
+    for (const Point& p : points) MOBSRV_CHECK_MSG(p.dim() == dim, "position dimension mismatch");
+    return {points.front().data(), points.size(), dim, sizeof(Point) / sizeof(double)};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Dimension of the positions; 0 for an empty view.
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  /// Doubles between consecutive positions (== dim() on the dense path).
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  /// First coordinate of position t.
+  [[nodiscard]] const double* row(std::size_t t) const {
+    MOBSRV_DCHECK(t < count_);
+    return base_ + t * stride_;
+  }
+
+  /// Coordinate k of position t, unchecked beyond debug asserts.
+  [[nodiscard]] double coord(std::size_t t, int k) const {
+    MOBSRV_DCHECK(t < count_ && k >= 0 && k < dim_);
+    return base_[t * stride_ + static_cast<std::size_t>(k)];
+  }
+
+  /// Materialises position t as a Point.
+  [[nodiscard]] Point operator[](std::size_t t) const {
+    MOBSRV_DCHECK(t < count_);
+    Point p(dim_);
+    const double* v = row(t);
+    for (int k = 0; k < dim_; ++k) p[k] = v[k];
+    return p;
+  }
+
+  /// Materialises the whole view (cold paths and tests).
+  [[nodiscard]] std::vector<Point> to_points() const {
+    std::vector<Point> out;
+    out.reserve(count_);
+    for (std::size_t t = 0; t < count_; ++t) out.push_back((*this)[t]);
+    return out;
+  }
+
+ private:
+  const double* base_ = nullptr;
+  std::size_t count_ = 0;
+  int dim_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Mutable counterpart: the descent/projection/clamp loops write positions
+/// in place through it.
+class TrajectoryView {
+ public:
+  constexpr TrajectoryView() noexcept = default;
+
+  TrajectoryView(double* base, std::size_t count, int dim, std::size_t stride)
+      : base_(base), count_(count), dim_(dim), stride_(stride) {
+    MOBSRV_DCHECK(count == 0 ||
+                  (base != nullptr && dim >= 1 && stride >= static_cast<std::size_t>(dim)));
+  }
+
+  /// Aliases a mutable AoS Point array; writes through the view land in the
+  /// Points' coordinate storage (their dims are untouched, so all positions
+  /// must already share one dimension — checked).
+  [[nodiscard]] static TrajectoryView of(std::span<Point> points) {
+    if (points.empty()) return {};
+    const int dim = points.front().dim();
+    for (const Point& p : points) MOBSRV_CHECK_MSG(p.dim() == dim, "position dimension mismatch");
+    return {points.front().data(), points.size(), dim, sizeof(Point) / sizeof(double)};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  [[nodiscard]] double* row(std::size_t t) const {
+    MOBSRV_DCHECK(t < count_);
+    return base_ + t * stride_;
+  }
+
+  [[nodiscard]] double coord(std::size_t t, int k) const {
+    MOBSRV_DCHECK(t < count_ && k >= 0 && k < dim_);
+    return base_[t * stride_ + static_cast<std::size_t>(k)];
+  }
+
+  [[nodiscard]] Point operator[](std::size_t t) const {
+    MOBSRV_DCHECK(t < count_);
+    Point p(dim_);
+    const double* v = row(t);
+    for (int k = 0; k < dim_; ++k) p[k] = v[k];
+    return p;
+  }
+
+  /// Overwrites position t with \p p (dimension-checked).
+  void set(std::size_t t, const Point& p) const {
+    MOBSRV_DCHECK(t < count_);
+    MOBSRV_DCHECK(p.dim() == dim_);
+    double* v = row(t);
+    for (int k = 0; k < dim_; ++k) v[k] = p[k];
+  }
+
+  /// Read-only aliasing view of the same storage.
+  operator ConstTrajectoryView() const noexcept {  // NOLINT(google-explicit-constructor)
+    return {base_, count_, dim_, stride_};
+  }
+
+ private:
+  double* base_ = nullptr;
+  std::size_t count_ = 0;
+  int dim_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Owning flat SoA storage for one trajectory: `size() * dim()` doubles in
+/// one dense buffer. The dimension is fixed by a constructor or the first
+/// push_back, exactly like RequestStore.
+class TrajectoryStore {
+ public:
+  /// Empty store of unspecified dimension (fixed by the first push_back).
+  TrajectoryStore() = default;
+
+  /// Empty store of fixed dimension \p dim.
+  explicit TrajectoryStore(int dim) : dim_(dim) {
+    MOBSRV_CHECK_MSG(dim >= 1 && dim <= Point::kMaxDim, "TrajectoryStore dimension out of range");
+  }
+
+  /// Store of \p count positions, all at the origin of R^dim.
+  TrajectoryStore(int dim, std::size_t count) : TrajectoryStore(dim) {
+    coords_.assign(count * static_cast<std::size_t>(dim), 0.0);
+  }
+
+  /// Builds a store from an AoS point array (validating every dimension).
+  [[nodiscard]] static TrajectoryStore from_points(std::span<const Point> points) {
+    if (points.empty()) return {};
+    TrajectoryStore store(points.front().dim());  // size the buffer in one allocation
+    store.reserve(points.size());
+    for (const Point& p : points) store.push_back(p);
+    return store;
+  }
+  [[nodiscard]] static TrajectoryStore from_points(const std::vector<Point>& points) {
+    return from_points(std::span<const Point>(points.data(), points.size()));
+  }
+
+  /// Dimension; 0 until fixed by a constructor or the first push_back.
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return dim_ == 0 ? 0 : coords_.size() / static_cast<std::size_t>(dim_);
+  }
+  [[nodiscard]] bool empty() const noexcept { return coords_.empty(); }
+
+  void reserve(std::size_t count) {
+    coords_.reserve(count * static_cast<std::size_t>(dim_ > 0 ? dim_ : 1));
+  }
+
+  /// Appends one position; a dimensionless store adopts its dimension.
+  void push_back(const Point& p) {
+    if (dim_ == 0) {
+      MOBSRV_CHECK_MSG(p.dim() >= 1 && p.dim() <= Point::kMaxDim,
+                       "TrajectoryStore dimension out of range");
+      dim_ = p.dim();
+    }
+    MOBSRV_CHECK_MSG(p.dim() == dim_, "position dimension mismatch");
+    coords_.insert(coords_.end(), p.data(), p.data() + dim_);
+  }
+
+  /// Replaces the contents with \p count copies of \p p.
+  void assign(std::size_t count, const Point& p) {
+    clear_positions();
+    reserve(count);
+    for (std::size_t t = 0; t < count; ++t) push_back(p);
+  }
+
+  /// Drops all positions (the dimension is kept).
+  void clear_positions() noexcept { coords_.clear(); }
+
+  /// Grows/shrinks to \p count positions (new positions at the origin).
+  void resize(std::size_t count) {
+    MOBSRV_CHECK_MSG(dim_ > 0 || count == 0, "cannot size a dimensionless store");
+    coords_.resize(count * static_cast<std::size_t>(dim_), 0.0);
+  }
+
+  /// Bulk overwrite from any view of matching dimension — a plain buffer
+  /// copy on the dense path, reusing this store's capacity.
+  void assign_from(ConstTrajectoryView view) {
+    if (view.empty()) {
+      coords_.clear();
+      return;
+    }
+    MOBSRV_CHECK_MSG(dim_ == 0 || dim_ == view.dim(), "position dimension mismatch");
+    dim_ = view.dim();
+    const std::size_t d = static_cast<std::size_t>(dim_);
+    if (view.stride() == d) {
+      coords_.assign(view.row(0), view.row(0) + view.size() * d);
+    } else {
+      coords_.clear();
+      coords_.reserve(view.size() * d);
+      for (std::size_t t = 0; t < view.size(); ++t)
+        coords_.insert(coords_.end(), view.row(t), view.row(t) + d);
+    }
+  }
+
+  [[nodiscard]] Point operator[](std::size_t t) const { return cview()[t]; }
+  [[nodiscard]] Point back() const {
+    MOBSRV_CHECK(!empty());
+    return (*this)[size() - 1];
+  }
+  void set(std::size_t t, const Point& p) { view().set(t, p); }
+
+  [[nodiscard]] const double* row(std::size_t t) const {
+    MOBSRV_DCHECK(t < size());
+    return coords_.data() + t * static_cast<std::size_t>(dim_);
+  }
+  [[nodiscard]] double* row(std::size_t t) {
+    MOBSRV_DCHECK(t < size());
+    return coords_.data() + t * static_cast<std::size_t>(dim_);
+  }
+
+  /// Dense mutable/const views over the whole buffer (stride == dim).
+  [[nodiscard]] TrajectoryView view() {
+    return {coords_.data(), size(), dim_, static_cast<std::size_t>(dim_)};
+  }
+  [[nodiscard]] ConstTrajectoryView cview() const {
+    return {coords_.data(), size(), dim_, static_cast<std::size_t>(dim_)};
+  }
+  operator ConstTrajectoryView() const { return cview(); }  // NOLINT(google-explicit-constructor)
+
+  /// The dense coordinate buffer (size()*dim() doubles).
+  [[nodiscard]] const std::vector<double>& coords() const noexcept { return coords_; }
+
+  [[nodiscard]] std::vector<Point> to_points() const { return cview().to_points(); }
+
+  /// IEEE-equality compare (same semantics as comparing Point vectors:
+  /// coordinate-wise operator==, so -0.0 == 0.0 and NaN != NaN).
+  [[nodiscard]] friend bool operator==(const TrajectoryStore& a, const TrajectoryStore& b) {
+    if (a.size() != b.size()) return false;
+    if (a.empty()) return true;
+    if (a.dim_ != b.dim_) return false;
+    for (std::size_t i = 0; i < a.coords_.size(); ++i)
+      if (a.coords_[i] != b.coords_[i]) return false;
+    return true;
+  }
+  [[nodiscard]] friend bool operator!=(const TrajectoryStore& a, const TrajectoryStore& b) {
+    return !(a == b);
+  }
+
+  /// Forward iteration yielding Points by value (mirrors BatchView).
+  class iterator {
+   public:
+    iterator(const TrajectoryStore* store, std::size_t t) : store_(store), t_(t) {}
+    [[nodiscard]] Point operator*() const { return (*store_)[t_]; }
+    iterator& operator++() {
+      ++t_;
+      return *this;
+    }
+    [[nodiscard]] bool operator!=(const iterator& o) const { return t_ != o.t_; }
+
+   private:
+    const TrajectoryStore* store_;
+    std::size_t t_;
+  };
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const { return {this, size()}; }
+
+ private:
+  int dim_ = 0;
+  std::vector<double> coords_;
+};
+
+}  // namespace mobsrv::sim

@@ -44,6 +44,15 @@ io::Json points_to_json(const std::vector<sim::Point>& points) {
   return arr;
 }
 
+/// Flat-trajectory overload: serialises identically to the Point-vector
+/// form (same per-point JSON), so files written from TrajectoryStore paths
+/// are byte-compatible with the format as first shipped.
+io::Json points_to_json(const sim::TrajectoryStore& points) {
+  io::Json arr = io::Json::array();
+  for (std::size_t t = 0; t < points.size(); ++t) arr.push_back(point_to_json(points[t]));
+  return arr;
+}
+
 sim::Point point_from_json(const io::Json& j, int dim, const std::string& origin,
                            const char* what) {
   const io::Json::Array& coords = j.as_array();
@@ -245,7 +254,8 @@ TraceFile decode_jsonl(const std::string& bytes, const std::string& origin) {
     if (key == "adversary") {
       AdversaryInfo adv;
       adv.cost = body.at("cost").as_double();
-      adv.positions = points_from_json(body.at("positions"), dim, origin, "adversary position");
+      adv.positions = sim::TrajectoryStore::from_points(
+          points_from_json(body.at("positions"), dim, origin, "adversary position"));
       file.adversary = std::move(adv);
       continue;
     }
@@ -312,6 +322,11 @@ void put_point(std::string& out, const sim::Point& p) {
 void put_points(std::string& out, const std::vector<sim::Point>& points) {
   put_u64(out, points.size());
   for (const sim::Point& p : points) put_point(out, p);
+}
+
+void put_points(std::string& out, const sim::TrajectoryStore& points) {
+  put_u64(out, points.size());
+  for (std::size_t t = 0; t < points.size(); ++t) put_point(out, points[t]);
 }
 
 void put_section(std::string& out, std::uint8_t tag, const std::string& payload) {
@@ -567,7 +582,7 @@ TraceFile decode_binary(const std::string& bytes, const std::string& origin) {
         if (!file) fail(origin, "corrupt file: adversary section before instance section");
         AdversaryInfo adv;
         adv.cost = r.f64();
-        adv.positions = r.points(dim);
+        adv.positions = sim::TrajectoryStore::from_points(r.points(dim));
         file->adversary = std::move(adv);
         break;
       }

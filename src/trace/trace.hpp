@@ -33,9 +33,12 @@ struct TraceMeta {
 /// The adversary's own feasible solution, when the generator provides one
 /// (lower-bound constructions). Its cost upper-bounds OPT, so replays can
 /// report conservative competitive ratios without re-running a solver.
+/// Positions are flat SoA storage (sim::TrajectoryStore) like every other
+/// solution path; both codecs serialise them identically to the original
+/// Point-vector representation.
 struct AdversaryInfo {
   double cost = 0.0;
-  std::vector<sim::Point> positions;  ///< P_0..P_T, feasible at speed m
+  sim::TrajectoryStore positions;  ///< P_0..P_T, feasible at speed m
 };
 
 /// One recorded engine run: enough to reconstruct the algorithm (registry

@@ -1,0 +1,659 @@
+// Bit-identity of the flat-buffer offline stack against the pre-refactor
+// oracles.
+//
+// The `frozen` namespace below is a verbatim copy of the offline solvers as
+// they existed BEFORE trajectories moved to sim::TrajectoryStore: AoS
+// std::vector<Point> storage, Point-temporary arithmetic in the descent
+// loops, by-value service-cost requests in the DP. The refactor's contract
+// is that the new dense-row kernels perform the exact same floating-point
+// operation sequence, so every solver must reproduce the frozen costs,
+// lower bounds and positions EXACTLY (EXPECT_EQ on doubles, no tolerance)
+// on an e11-style corpus covering both service orders and d in {1, 2}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "adversary/lower_bounds.hpp"
+#include "adversary/workloads.hpp"
+#include "median/geometric_median.hpp"
+#include "median/weiszfeld.hpp"
+#include "opt/brute_force.hpp"
+#include "opt/convex_descent.hpp"
+#include "opt/coordinate_descent.hpp"
+#include "opt/grid_dp.hpp"
+#include "opt/warm_starts.hpp"
+#include "sim/cost.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::opt {
+namespace frozen {
+
+// ---------------------------------------------------------------------------
+// Pre-refactor warm starts (warm_starts.cpp before the flat-buffer rewire).
+// ---------------------------------------------------------------------------
+
+using geo::Point;
+
+std::vector<sim::Point> chase_init(const sim::Instance& instance, bool damped) {
+  std::vector<Point> x;
+  x.reserve(instance.horizon() + 1);
+  x.push_back(instance.start());
+  const double m = instance.params().max_step;
+  const double D = instance.params().move_cost_weight;
+  std::vector<Point> reqs;
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    const sim::BatchView batch = instance.step(t);
+    if (batch.empty()) {
+      x.push_back(x.back());
+      continue;
+    }
+    batch.copy_to(reqs);
+    const Point center = med::closest_center(reqs, x.back());
+    double step = m;
+    if (damped) {
+      const double dist = geo::distance(x.back(), center);
+      step = std::min(m, dist * std::min(1.0, static_cast<double>(reqs.size()) / D));
+    }
+    x.push_back(geo::move_toward(x.back(), center, step));
+  }
+  return x;
+}
+
+std::vector<sim::Point> forward_clamp(const sim::Instance& instance,
+                                      const std::vector<sim::Point>& x) {
+  std::vector<sim::Point> y(x.size());
+  y[0] = instance.start();
+  const double m = instance.params().max_step;
+  for (std::size_t t = 0; t + 1 < x.size(); ++t) y[t + 1] = geo::move_toward(y[t], x[t + 1], m);
+  return y;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor convex descent (convex_descent.cpp before the rewire).
+// ---------------------------------------------------------------------------
+
+struct FrozenSolution {
+  double cost = 0.0;
+  double opt_lower_bound = 0.0;
+  std::vector<sim::Point> positions;
+};
+
+Point smooth_norm_grad(const Point& u, double mu) {
+  return u / std::sqrt(u.norm2() + mu * mu);
+}
+
+void gradient(const sim::Instance& instance, const std::vector<Point>& x, double mu,
+              std::vector<Point>& grad) {
+  const auto& params = instance.params();
+  const double D = params.move_cost_weight;
+  for (auto& g : grad) g = Point::zero(instance.dim());
+
+  for (std::size_t t = 0; t < instance.horizon(); ++t) {
+    const Point move_grad = smooth_norm_grad(x[t + 1] - x[t], mu) * D;
+    grad[t + 1] += move_grad;
+    if (t > 0) grad[t] -= move_grad;
+
+    const std::size_t s = serve_index(params, t);
+    if (s == 0) continue;
+    for (const geo::Point v : instance.step(t)) grad[s] += smooth_norm_grad(x[s] - v, mu);
+  }
+}
+
+void projection_sweeps(std::vector<Point>& x, double m, int sweeps) {
+  const std::size_t n = x.size();
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::size_t t = 0; t + 1 < n; ++t) {
+      const double d = geo::distance(x[t], x[t + 1]);
+      if (d <= m || d == 0.0) continue;
+      const double excess = d - m;
+      const Point dir = (x[t + 1] - x[t]) / d;
+      if (t == 0) {
+        x[t + 1] -= dir * excess;
+      } else {
+        x[t] += dir * (excess / 2.0);
+        x[t + 1] -= dir * (excess / 2.0);
+      }
+    }
+  }
+}
+
+FrozenSolution solve_convex_descent(const sim::Instance& instance,
+                                    const ConvexDescentOptions& options,
+                                    const std::vector<sim::Point>* warm_start) {
+  const double m = instance.params().max_step;
+  const double mu = options.smoothing * m;
+
+  FrozenSolution best;
+  if (instance.horizon() == 0) {
+    best.positions = {instance.start()};
+    best.cost = 0.0;
+    return best;
+  }
+
+  std::vector<std::vector<Point>> candidates;
+  if (warm_start != nullptr) candidates.push_back(*warm_start);
+  candidates.push_back(chase_init(instance, /*damped=*/false));
+  candidates.push_back(chase_init(instance, /*damped=*/true));
+
+  std::vector<Point> x;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (auto& candidate : candidates) {
+    std::vector<Point> feasible = forward_clamp(instance, candidate);
+    const double cost = sim::trajectory_cost(instance, feasible);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.positions = std::move(feasible);
+      x = std::move(candidate);
+    }
+  }
+
+  const double r_max = static_cast<double>(instance.request_bounds().second);
+  const double lipschitz = 2.0 * instance.params().move_cost_weight + r_max;
+
+  std::vector<Point> grad(x.size(), Point::zero(instance.dim()));
+  for (int k = 0; k < options.iterations; ++k) {
+    gradient(instance, x, mu, grad);
+
+    const double step =
+        options.initial_step * m / (lipschitz * std::sqrt(static_cast<double>(k) + 1.0));
+    for (std::size_t t = 1; t < x.size(); ++t) x[t] -= grad[t] * step;
+
+    projection_sweeps(x, m, options.projection_sweeps);
+
+    std::vector<Point> candidate = forward_clamp(instance, x);
+    const double cost = sim::trajectory_cost(instance, candidate);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.positions = std::move(candidate);
+    }
+  }
+
+  best.opt_lower_bound = reachability_lower_bound(instance);
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor coordinate descent (coordinate_descent.cpp before the
+// rewire; per-position scratch vectors allocated fresh, as the old code
+// did).
+// ---------------------------------------------------------------------------
+
+Point project_ball(const Point& y, const Point& center, double radius) {
+  const double d = geo::distance(center, y);
+  if (d <= radius) return y;
+  return center + (y - center) * (radius / d);
+}
+
+struct Subproblem {
+  const Point* prev = nullptr;
+  const Point* next = nullptr;
+  sim::BatchView batch;
+  double d_weight = 1.0;
+  double m = 1.0;
+
+  [[nodiscard]] double value(const Point& p) const {
+    double v = d_weight * geo::distance(*prev, p);
+    if (next != nullptr) v += d_weight * geo::distance(p, *next);
+    v += sim::service_cost(p, batch);
+    return v;
+  }
+
+  [[nodiscard]] bool feasible(const Point& p, double tol = 1e-9) const {
+    if (geo::distance(*prev, p) > m * (1.0 + tol)) return false;
+    if (next != nullptr && geo::distance(p, *next) > m * (1.0 + tol)) return false;
+    return true;
+  }
+};
+
+Point improve_position(const Subproblem& sub, const Point& current, int projection_rounds) {
+  std::vector<Point> points;
+  std::vector<double> weights;
+  points.push_back(*sub.prev);
+  weights.push_back(sub.d_weight);
+  if (sub.next != nullptr) {
+    points.push_back(*sub.next);
+    weights.push_back(sub.d_weight);
+  }
+  for (const Point v : sub.batch) {
+    points.push_back(v);
+    weights.push_back(1.0);
+  }
+
+  med::WeiszfeldOptions weiszfeld_options;
+  weiszfeld_options.max_iterations = 60;
+  Point candidate = med::weiszfeld(points, weights, current, weiszfeld_options).median;
+
+  if (!sub.feasible(candidate)) {
+    for (int k = 0; k < projection_rounds; ++k) {
+      candidate = project_ball(candidate, *sub.prev, sub.m);
+      if (sub.next != nullptr) candidate = project_ball(candidate, *sub.next, sub.m);
+      if (sub.feasible(candidate)) break;
+    }
+    if (!sub.feasible(candidate)) return current;
+  }
+  return sub.value(candidate) < sub.value(current) ? candidate : current;
+}
+
+FrozenSolution solve_coordinate_descent(const sim::Instance& instance,
+                                        const CoordinateDescentOptions& options,
+                                        const std::vector<sim::Point>* warm_start) {
+  const auto& params = instance.params();
+  const std::size_t T = instance.horizon();
+
+  FrozenSolution out;
+  if (T == 0) {
+    out.positions = {instance.start()};
+    return out;
+  }
+
+  std::vector<Point> x;
+  if (warm_start != nullptr) {
+    x = *warm_start;
+  } else {
+    const std::vector<Point> eager = chase_init(instance, /*damped=*/false);
+    const std::vector<Point> damped = chase_init(instance, /*damped=*/true);
+    x = sim::trajectory_cost(instance, eager) <= sim::trajectory_cost(instance, damped) ? eager
+                                                                                        : damped;
+  }
+
+  auto batch_at = [&](std::size_t t) -> sim::BatchView {
+    if (params.order == sim::ServiceOrder::kMoveThenServe) return instance.step(t - 1);
+    return t < T ? instance.step(t) : sim::BatchView{};
+  };
+
+  double cost = sim::trajectory_cost(instance, x);
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    for (int dir = 0; dir < 2; ++dir) {
+      for (std::size_t k = 1; k <= T; ++k) {
+        const std::size_t t = dir == 0 ? k : T + 1 - k;
+        Subproblem sub;
+        sub.prev = &x[t - 1];
+        sub.next = t < T ? &x[t + 1] : nullptr;
+        sub.batch = batch_at(t);
+        sub.d_weight = params.move_cost_weight;
+        sub.m = params.max_step;
+        x[t] = improve_position(sub, x[t], options.projection_rounds);
+      }
+    }
+    const double new_cost = sim::trajectory_cost(instance, x);
+    if (cost - new_cost <= options.rel_tol * std::max(1.0, cost)) {
+      cost = new_cost;
+      break;
+    }
+    cost = new_cost;
+  }
+
+  out.cost = cost;
+  out.positions = std::move(x);
+  out.opt_lower_bound = reachability_lower_bound(instance);
+  return out;
+}
+
+FrozenSolution solve_best_offline(const sim::Instance& instance,
+                                  const std::vector<sim::Point>* warm_start) {
+  FrozenSolution shaped = solve_convex_descent(instance, {}, warm_start);
+  if (instance.horizon() == 0) return shaped;
+  FrozenSolution polished = solve_coordinate_descent(instance, {}, &shaped.positions);
+  polished.opt_lower_bound = std::max(polished.opt_lower_bound, shaped.opt_lower_bound);
+  return polished.cost <= shaped.cost ? polished : shaped;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor grid DP (grid_dp.cpp before the scratch-reuse rewrite; note
+// the by-value sorted_requests copy per batch).
+// ---------------------------------------------------------------------------
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void service_costs(double origin, double h, std::size_t cells, std::vector<double> sorted_requests,
+                   std::vector<double>& out) {
+  out.assign(cells, 0.0);
+  if (sorted_requests.empty()) return;
+  std::sort(sorted_requests.begin(), sorted_requests.end());
+  std::vector<double> prefix(sorted_requests.size() + 1, 0.0);
+  for (std::size_t i = 0; i < sorted_requests.size(); ++i)
+    prefix[i + 1] = prefix[i] + sorted_requests[i];
+  const double total = prefix.back();
+  const auto r = sorted_requests.size();
+  std::size_t below = 0;
+  for (std::size_t j = 0; j < cells; ++j) {
+    const double x = origin + static_cast<double>(j) * h;
+    while (below < r && sorted_requests[below] <= x) ++below;
+    const auto nb = static_cast<double>(below);
+    out[j] = x * nb - prefix[below] + (total - prefix[below]) - x * (static_cast<double>(r) - nb);
+  }
+}
+
+void windowed_minplus(const std::vector<double>& src, long w, double unit,
+                      std::vector<double>& dst, std::vector<std::int32_t>* parent) {
+  const long n = static_cast<long>(src.size());
+  dst.assign(src.size(), kInf);
+  if (parent) parent->assign(src.size(), -1);
+  {
+    std::deque<long> q;
+    auto key = [&](long k) { return src[static_cast<std::size_t>(k)] - unit * static_cast<double>(k); };
+    for (long j = 0; j < n; ++j) {
+      while (!q.empty() && key(q.back()) >= key(j)) q.pop_back();
+      q.push_back(j);
+      while (q.front() < j - w) q.pop_front();
+      const long k = q.front();
+      const double val = key(k) + unit * static_cast<double>(j);
+      if (val < dst[static_cast<std::size_t>(j)]) {
+        dst[static_cast<std::size_t>(j)] = val;
+        if (parent) (*parent)[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(k);
+      }
+    }
+  }
+  {
+    std::deque<long> q;
+    auto key = [&](long k) { return src[static_cast<std::size_t>(k)] + unit * static_cast<double>(k); };
+    for (long j = n - 1; j >= 0; --j) {
+      while (!q.empty() && key(q.back()) >= key(j)) q.pop_back();
+      q.push_back(j);
+      while (q.front() > j + w) q.pop_front();
+      const long k = q.front();
+      const double val = key(k) - unit * static_cast<double>(j);
+      if (val < dst[static_cast<std::size_t>(j)]) {
+        dst[static_cast<std::size_t>(j)] = val;
+        if (parent) (*parent)[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(k);
+      }
+    }
+  }
+}
+
+struct DpRun {
+  double cost = kInf;
+  std::vector<sim::Point> positions;
+};
+
+DpRun run_dp(const sim::Instance& instance, double origin, double h, std::size_t cells,
+             std::size_t start_index, long window, bool want_trajectory) {
+  const auto& params = instance.params();
+  const double unit = params.move_cost_weight * h;
+  const std::size_t T = instance.horizon();
+
+  std::vector<std::vector<std::int32_t>> parents;
+  if (want_trajectory) parents.resize(T);
+
+  std::vector<double> dp(cells, kInf), next, service, shifted;
+  dp[start_index] = 0.0;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const sim::BatchView batch = instance.step(t);
+    std::vector<double> coords;
+    coords.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) coords.push_back(batch.coord(i, 0));
+    service_costs(origin, h, cells, std::move(coords), service);
+
+    if (params.order == sim::ServiceOrder::kServeThenMove) {
+      shifted.resize(cells);
+      for (std::size_t j = 0; j < cells; ++j) shifted[j] = dp[j] + service[j];
+      windowed_minplus(shifted, window, unit, next, want_trajectory ? &parents[t] : nullptr);
+    } else {
+      windowed_minplus(dp, window, unit, next, want_trajectory ? &parents[t] : nullptr);
+      for (std::size_t j = 0; j < cells; ++j) next[j] += service[j];
+    }
+    dp.swap(next);
+  }
+
+  DpRun out;
+  std::size_t best = 0;
+  for (std::size_t j = 0; j < cells; ++j)
+    if (dp[j] < dp[best]) best = j;
+  out.cost = dp[best];
+
+  if (want_trajectory) {
+    std::vector<std::size_t> idx(T + 1);
+    idx[T] = best;
+    for (std::size_t t = T; t > 0; --t) idx[t - 1] = static_cast<std::size_t>(parents[t - 1][idx[t]]);
+    out.positions.reserve(T + 1);
+    for (std::size_t t = 0; t <= T; ++t)
+      out.positions.push_back(geo::Point{origin + static_cast<double>(idx[t]) * h});
+  }
+  return out;
+}
+
+struct FrozenDpResult {
+  FrozenSolution solution;
+  double relaxed_cost = 0.0;
+  double rounding_error = 0.0;
+  double spacing = 0.0;
+  std::size_t cells = 0;
+};
+
+FrozenDpResult solve_grid_dp_1d(const sim::Instance& instance, const GridDpOptions& options) {
+  const auto& params = instance.params();
+  const double m = params.max_step;
+  const double start = instance.start()[0];
+
+  double lo = start, hi = start;
+  for (const double v : instance.store().coords()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  lo -= options.margin_steps * m;
+  hi += options.margin_steps * m;
+
+  double h = m / options.cells_per_step;
+  auto cell_count = [&](double spacing) {
+    const double below = std::ceil((start - lo) / spacing);
+    const double above = std::ceil((hi - start) / spacing);
+    return static_cast<std::size_t>(below + above) + 1;
+  };
+  while (cell_count(h) > options.max_cells) h *= 2.0;
+
+  const auto below = static_cast<long>(std::ceil((start - lo) / h));
+  const auto above = static_cast<long>(std::ceil((hi - start) / h));
+  const std::size_t cells = static_cast<std::size_t>(below + above) + 1;
+  const double origin = start - static_cast<double>(below) * h;
+  const auto start_index = static_cast<std::size_t>(below);
+
+  const long w_feas = std::max<long>(1, static_cast<long>(std::floor(m / h + 1e-12)));
+  const long w_relax = w_feas + 1;
+
+  FrozenDpResult result;
+  result.spacing = h;
+  result.cells = cells;
+
+  const DpRun feas = run_dp(instance, origin, h, cells, start_index, w_feas,
+                            options.want_trajectory);
+  result.solution.cost = feas.cost;
+  result.solution.positions = feas.positions;
+
+  const DpRun relax = run_dp(instance, origin, h, cells, start_index, w_relax, false);
+  result.relaxed_cost = relax.cost;
+
+  double err = 0.0;
+  for (std::size_t t = 0; t < instance.horizon(); ++t)
+    err += params.move_cost_weight * h + static_cast<double>(instance.step(t).size()) * h / 2.0;
+  result.rounding_error = err;
+  result.solution.opt_lower_bound = std::max(0.0, relax.cost - err);
+  return result;
+}
+
+}  // namespace frozen
+
+namespace {
+
+using geo::Point;
+
+/// The e11 experiment's workload shape (bench_e11_offline_solvers.cpp).
+sim::Instance e11_workload(std::size_t horizon, int dim, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  adv::DriftingHotspotParams p;
+  p.horizon = horizon;
+  p.dim = dim;
+  p.move_cost_weight = 4.0;
+  return adv::make_drifting_hotspot(p, rng);
+}
+
+/// An instance with empty batches mixed in (exercises the empty-step paths
+/// in the gradient and chase kernels) under the Answer-First order.
+sim::Instance sparse_answer_first(std::size_t horizon, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<sim::RequestBatch> steps(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    if (rng.coin()) continue;  // empty step
+    const int r = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < r; ++i) steps[t].requests.push_back(Point{rng.uniform(-8.0, 8.0)});
+  }
+  sim::ModelParams params;
+  params.move_cost_weight = 2.0;
+  params.max_step = 1.0;
+  params.order = sim::ServiceOrder::kServeThenMove;
+  return sim::Instance(Point{0.0}, params, std::move(steps));
+}
+
+void expect_positions_identical(const sim::TrajectoryStore& got,
+                                const std::vector<Point>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t t = 0; t < want.size(); ++t) EXPECT_EQ(got[t], want[t]) << what << " t=" << t;
+}
+
+std::vector<sim::Instance> parity_corpus() {
+  std::vector<sim::Instance> corpus;
+  corpus.push_back(e11_workload(96, 1, 1));
+  corpus.push_back(e11_workload(96, 1, 2));
+  corpus.push_back(e11_workload(64, 2, 3));
+  corpus.push_back(sparse_answer_first(80, 4));
+  return corpus;
+}
+
+TEST(OfflineParity, WarmStartHelpersBitIdentical) {
+  for (const sim::Instance& inst : parity_corpus()) {
+    for (const bool damped : {false, true}) {
+      const std::vector<Point> want = frozen::chase_init(inst, damped);
+      EXPECT_EQ(chase_init(inst, damped), want);
+      sim::TrajectoryStore store;
+      chase_init(inst, damped, store);
+      expect_positions_identical(store, want, "chase_init");
+
+      // Clamp an infeasible scaled-up copy of the chase.
+      std::vector<Point> wild = want;
+      for (Point& p : wild) p *= 3.0;
+      wild[0] = inst.start();
+      EXPECT_EQ(forward_clamp(inst, wild), frozen::forward_clamp(inst, wild));
+    }
+  }
+}
+
+TEST(OfflineParity, ConvexDescentBitIdentical) {
+  ConvexDescentOptions options;
+  options.iterations = 120;  // full shape of the loop, test-sized
+  for (const sim::Instance& inst : parity_corpus()) {
+    const frozen::FrozenSolution want = frozen::solve_convex_descent(inst, options, nullptr);
+    const OfflineSolution got = solve_convex_descent(inst, options);
+    EXPECT_EQ(got.cost, want.cost);
+    EXPECT_EQ(got.opt_lower_bound, want.opt_lower_bound);
+    expect_positions_identical(got.positions, want.positions, "convex");
+
+    // Warm-started path (the ratio oracle's configuration).
+    const std::vector<Point> warm_vec = frozen::chase_init(inst, true);
+    const frozen::FrozenSolution want_warm =
+        frozen::solve_convex_descent(inst, options, &warm_vec);
+    const sim::TrajectoryStore warm_store = sim::TrajectoryStore::from_points(warm_vec);
+    const OfflineSolution got_warm = solve_convex_descent(inst, options, &warm_store);
+    EXPECT_EQ(got_warm.cost, want_warm.cost);
+    expect_positions_identical(got_warm.positions, want_warm.positions, "convex warm");
+    // The vector shim produces the same results as the store path.
+    const OfflineSolution got_shim = solve_convex_descent(inst, options, &warm_vec);
+    EXPECT_EQ(got_shim.cost, got_warm.cost);
+  }
+}
+
+TEST(OfflineParity, CoordinateDescentBitIdentical) {
+  CoordinateDescentOptions options;
+  options.max_sweeps = 6;  // enough sweeps to exercise both pass directions
+  for (const sim::Instance& inst : parity_corpus()) {
+    const frozen::FrozenSolution want = frozen::solve_coordinate_descent(inst, options, nullptr);
+    const OfflineSolution got = solve_coordinate_descent(inst, options);
+    EXPECT_EQ(got.cost, want.cost);
+    EXPECT_EQ(got.opt_lower_bound, want.opt_lower_bound);
+    expect_positions_identical(got.positions, want.positions, "coordinate");
+  }
+}
+
+TEST(OfflineParity, BestOfflinePipelineBitIdentical) {
+  // The full oracle pipeline (subgradient shaping + polish) as run by
+  // core::ratio — the heaviest consumer of the refactor.
+  const sim::Instance inst = e11_workload(48, 1, 9);
+  const frozen::FrozenSolution want = frozen::solve_best_offline(inst, nullptr);
+  const OfflineSolution got = solve_best_offline(inst);
+  EXPECT_EQ(got.cost, want.cost);
+  EXPECT_EQ(got.opt_lower_bound, want.opt_lower_bound);
+  expect_positions_identical(got.positions, want.positions, "best_offline");
+
+  // Adversary-warm-started, as kConvexDescent does on lower-bound rows.
+  stats::Rng rng(11);
+  adv::Theorem1Params t1;
+  t1.horizon = 64;
+  const adv::AdversarialInstance a = adv::make_theorem1(t1, rng);
+  const std::vector<Point> warm_vec = a.adversary_positions.to_points();
+  const frozen::FrozenSolution want_warm = frozen::solve_best_offline(a.instance, &warm_vec);
+  const OfflineSolution got_warm = solve_best_offline(a.instance, &a.adversary_positions);
+  EXPECT_EQ(got_warm.cost, want_warm.cost);
+  expect_positions_identical(got_warm.positions, want_warm.positions, "best_offline warm");
+}
+
+TEST(OfflineParity, GridDpBitIdentical) {
+  GridDpOptions options;
+  options.want_trajectory = true;
+  for (const sim::Instance& inst : parity_corpus()) {
+    if (inst.dim() != 1) continue;
+    const frozen::FrozenDpResult want = frozen::solve_grid_dp_1d(inst, options);
+    const GridDpResult got = solve_grid_dp_1d(inst, options);
+    EXPECT_EQ(got.solution.cost, want.solution.cost);
+    EXPECT_EQ(got.solution.opt_lower_bound, want.solution.opt_lower_bound);
+    EXPECT_EQ(got.relaxed_cost, want.relaxed_cost);
+    EXPECT_EQ(got.rounding_error, want.rounding_error);
+    EXPECT_EQ(got.spacing, want.spacing);
+    EXPECT_EQ(got.cells, want.cells);
+    expect_positions_identical(got.solution.positions, want.solution.positions, "grid_dp");
+  }
+}
+
+TEST(OfflineParity, AdversaryTrajectoriesBitIdenticalCosts) {
+  // The lower-bound builders now accumulate their trajectories in flat
+  // storage; their self-reported costs must equal the Point-path
+  // trajectory_cost of the materialised positions exactly.
+  stats::Rng rng1(3), rng2(4), rng3(5);
+  adv::Theorem1Params t1;
+  t1.horizon = 128;
+  adv::Theorem2Params t2;
+  t2.horizon = 128;
+  adv::Theorem3Params t3;
+  t3.horizon = 128;
+  const adv::AdversarialInstance a1 = adv::make_theorem1(t1, rng1);
+  const adv::AdversarialInstance a2 = adv::make_theorem2(t2, rng2);
+  const adv::AdversarialInstance a3 = adv::make_theorem3(t3, rng3);
+  for (const adv::AdversarialInstance* a : {&a1, &a2, &a3}) {
+    const std::vector<Point> aos = a->adversary_positions.to_points();
+    EXPECT_EQ(sim::trajectory_cost(a->instance, aos), a->adversary_cost);
+    EXPECT_EQ(sim::first_speed_violation(a->instance, a->adversary_positions), -1);
+  }
+}
+
+TEST(OfflineParity, BruteForceBitIdentical) {
+  // Tiny instance; the enumeration itself is unchanged, the result storage
+  // moved to the flat store.
+  std::vector<sim::RequestBatch> steps(5);
+  stats::Rng rng(6);
+  for (auto& s : steps) s.requests.push_back(Point{rng.uniform(-2.0, 2.0)});
+  sim::ModelParams params;
+  params.move_cost_weight = 1.0;
+  params.max_step = 1.0;
+  const sim::Instance inst(Point{0.0}, params, std::move(steps));
+
+  std::vector<Point> candidates;
+  for (double v = -2.0; v <= 2.0; v += 1.0) candidates.push_back(Point{v});
+  const OfflineSolution sol = brute_force_offline(inst, candidates);
+  ASSERT_EQ(sol.positions.size(), inst.horizon() + 1);
+  EXPECT_EQ(sim::trajectory_cost(inst, sol.positions), sol.cost);
+  EXPECT_EQ(sim::trajectory_cost(inst, sol.positions.to_points()), sol.cost);
+}
+
+}  // namespace
+}  // namespace mobsrv::opt

@@ -1,0 +1,198 @@
+// Unit tests for sim/trajectory_store.hpp and the kernels that run on it:
+// round-trips against std::vector<Point>, strided-view aliasing over AoS
+// Point arrays, and bit-identity of the view-based cost/feasibility/clamp
+// paths against their Point-arithmetic originals.
+#include "sim/trajectory_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "geometry/kernels.hpp"
+#include "opt/warm_starts.hpp"
+#include "sim/cost.hpp"
+#include "stats/rng.hpp"
+
+namespace mobsrv::sim {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> random_points(std::uint64_t seed, int dim, std::size_t count) {
+  stats::Rng rng(seed);
+  std::vector<Point> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Point p(dim);
+    for (int k = 0; k < dim; ++k) p[k] = rng.uniform(-10.0, 10.0);
+    out.push_back(p);
+  }
+  return out;
+}
+
+Instance random_instance(std::uint64_t seed, int dim, std::size_t horizon) {
+  stats::Rng rng(seed);
+  std::vector<RequestBatch> steps(horizon);
+  for (auto& s : steps) {
+    const int r = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < r; ++i) {
+      Point v(dim);
+      for (int k = 0; k < dim; ++k) v[k] = rng.uniform(-5.0, 5.0);
+      s.requests.push_back(v);
+    }
+  }
+  ModelParams params;
+  params.move_cost_weight = 4.0;
+  params.max_step = 1.0;
+  return Instance(Point::zero(dim), params, std::move(steps));
+}
+
+TEST(TrajectoryStore, RoundTripsAgainstPointVector) {
+  for (const int dim : {1, 2, 5}) {
+    const std::vector<Point> points = random_points(7, dim, 33);
+    const TrajectoryStore store = TrajectoryStore::from_points(points);
+    EXPECT_EQ(store.dim(), dim);
+    ASSERT_EQ(store.size(), points.size());
+    EXPECT_EQ(store.coords().size(), points.size() * static_cast<std::size_t>(dim));
+    for (std::size_t t = 0; t < points.size(); ++t) EXPECT_EQ(store[t], points[t]);
+    EXPECT_EQ(store.back(), points.back());
+    EXPECT_EQ(store.to_points(), points);
+  }
+}
+
+TEST(TrajectoryStore, PushBackAdoptsDimensionAndChecksIt) {
+  TrajectoryStore store;
+  EXPECT_EQ(store.dim(), 0);
+  EXPECT_TRUE(store.empty());
+  store.push_back(Point{1.0, 2.0});
+  EXPECT_EQ(store.dim(), 2);
+  store.push_back(Point{3.0, 4.0});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_THROW(store.push_back(Point{1.0}), ContractViolation);
+}
+
+TEST(TrajectoryStore, AssignAndIteration) {
+  TrajectoryStore store(2);
+  store.assign(4, Point{1.5, -2.5});
+  EXPECT_EQ(store.size(), 4u);
+  std::size_t seen = 0;
+  for (const Point p : store) {
+    EXPECT_EQ(p, (Point{1.5, -2.5}));
+    ++seen;
+  }
+  EXPECT_EQ(seen, 4u);
+}
+
+TEST(TrajectoryStore, EqualityUsesIeeeSemantics) {
+  TrajectoryStore a, b;
+  a.push_back(Point{0.0});
+  b.push_back(Point{-0.0});
+  EXPECT_TRUE(a == b);  // -0.0 == 0.0, matching Point::operator==
+  b.set(0, Point{1.0});
+  EXPECT_TRUE(a != b);
+  const TrajectoryStore empty1, empty2;
+  EXPECT_TRUE(empty1 == empty2);
+}
+
+TEST(TrajectoryView, StridedViewAliasesPointArray) {
+  std::vector<Point> points = random_points(11, 3, 8);
+  const std::vector<Point> original = points;
+
+  // Const view: reads through the stride land on the Points' coordinates.
+  const ConstTrajectoryView cview = ConstTrajectoryView::of(points);
+  ASSERT_EQ(cview.size(), points.size());
+  EXPECT_EQ(cview.dim(), 3);
+  EXPECT_EQ(cview.stride(), sizeof(Point) / sizeof(double));
+  for (std::size_t t = 0; t < points.size(); ++t) {
+    EXPECT_EQ(cview[t], points[t]);
+    for (int k = 0; k < 3; ++k) EXPECT_EQ(cview.coord(t, k), points[t][k]);
+  }
+
+  // Mutable view: writes through the stride mutate the Points in place.
+  const TrajectoryView view = TrajectoryView::of(points);
+  view.row(2)[1] = 99.5;
+  view.set(5, Point{1.0, 2.0, 3.0});
+  EXPECT_EQ(points[2][1], 99.5);
+  EXPECT_EQ(points[2][0], original[2][0]);  // neighbours untouched
+  EXPECT_EQ(points[5], (Point{1.0, 2.0, 3.0}));
+  EXPECT_EQ(points[2].dim(), 3);  // dims survive raw writes
+}
+
+TEST(TrajectoryView, MixedDimensionPointArrayIsRejected) {
+  std::vector<Point> points{Point{1.0, 2.0}, Point{3.0}};
+  EXPECT_THROW((void)ConstTrajectoryView::of(points), ContractViolation);
+}
+
+TEST(TrajectoryStore, AssignFromStridedViewDensifies) {
+  std::vector<Point> points = random_points(13, 2, 6);
+  TrajectoryStore store;
+  store.assign_from(ConstTrajectoryView::of(points));
+  EXPECT_EQ(store.dim(), 2);
+  EXPECT_EQ(store.to_points(), points);
+  // Dense view over the store has stride == dim.
+  EXPECT_EQ(store.cview().stride(), 2u);
+}
+
+TEST(Kernels, DistanceAndMoveTowardMatchPointOpsBitwise) {
+  stats::Rng rng(21);
+  for (const int dim : {1, 2, 5, 8}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      Point a(dim), b(dim);
+      for (int k = 0; k < dim; ++k) {
+        a[k] = rng.uniform(-100.0, 100.0);
+        b[k] = rng.uniform(-100.0, 100.0);
+      }
+      const auto run = [&](auto dtag) {
+        constexpr int Dim = decltype(dtag)::value;
+        EXPECT_EQ(geo::kern::distance<Dim>(a.data(), b.data(), dim), geo::distance(a, b));
+        EXPECT_EQ(geo::kern::distance2<Dim>(a.data(), b.data(), dim), geo::distance2(a, b));
+        const double step = rng.uniform(0.0, 50.0);
+        const Point expected = geo::move_toward(a, b, step);
+        Point raw(dim);
+        geo::kern::move_toward<Dim>(a.data(), b.data(), dim, step, raw.data());
+        EXPECT_EQ(raw, expected);
+      };
+      geo::kern::dispatch_dim(dim, run);
+      run(std::integral_constant<int, 0>{});  // generic path too
+    }
+  }
+}
+
+TEST(TrajectoryCost, ViewPathBitIdenticalToSpanPath) {
+  for (const int dim : {1, 2, 3}) {
+    const Instance inst = random_instance(31 + static_cast<std::uint64_t>(dim), dim, 40);
+    std::vector<Point> positions = random_points(77, dim, inst.horizon() + 1);
+    positions[0] = inst.start();
+    const TrajectoryStore store = TrajectoryStore::from_points(positions);
+
+    const double via_span = trajectory_cost(inst, positions);
+    EXPECT_EQ(trajectory_cost(inst, store), via_span);
+    EXPECT_EQ(trajectory_cost(inst, ConstTrajectoryView::of(positions)), via_span);
+
+    EXPECT_EQ(first_speed_violation(inst, store),
+              first_speed_violation(inst, std::span<const Point>(positions)));
+    // Feasible trajectory: both paths agree on -1.
+    TrajectoryStore feasible(dim, inst.horizon() + 1);
+    opt::forward_clamp(inst, store, feasible.view());
+    EXPECT_EQ(first_speed_violation(inst, feasible), -1);
+    EXPECT_EQ(first_speed_violation(inst, feasible.to_points()), -1);
+    EXPECT_EQ(trajectory_cost(inst, feasible), trajectory_cost(inst, feasible.to_points()));
+  }
+}
+
+TEST(ForwardClamp, ViewAndVectorShimsAgreeBitwiseAndAllowInPlace) {
+  const Instance inst = random_instance(41, 2, 32);
+  std::vector<Point> wild = random_points(43, 2, inst.horizon() + 1);
+  const std::vector<Point> clamped_vec = opt::forward_clamp(inst, wild);
+
+  TrajectoryStore store = TrajectoryStore::from_points(wild);
+  TrajectoryStore out(2, wild.size());
+  opt::forward_clamp(inst, store, out.view());
+  EXPECT_EQ(out.to_points(), clamped_vec);
+
+  // In-place repair: y aliasing x is supported.
+  opt::forward_clamp(inst, store, store.view());
+  EXPECT_EQ(store.to_points(), clamped_vec);
+}
+
+}  // namespace
+}  // namespace mobsrv::sim

@@ -6,7 +6,16 @@ see bench/perf_engine.cpp) of every benchmark present in BOTH files and
 fails when any of them regressed by more than --threshold (default 10%).
 
     python3 tools/perf_diff.py --baseline prev/BENCH_perf.json \
-        --current build/BENCH_perf.json [--threshold 0.10] [--metric steps]
+        --current build/BENCH_perf.json [--threshold 0.10] [--metric steps] \
+        [--baseline-out next/BENCH_perf.json]
+
+Benchmarks present only in the current file (a freshly added scenario) are
+*baselined, not silently skipped*: each is reported by name with its value,
+and when --baseline-out is given the current file is written there — before
+the gate verdict, so even a failing run rolls the trajectory forward and the
+new metrics are gated from their very next run onward. Benchmarks present
+only in the baseline (renamed/removed scenarios) are reported too, so a
+rename cannot quietly drop gate coverage.
 
 Exit codes:
     0  no regression beyond the threshold (or nothing comparable)
@@ -15,7 +24,7 @@ Exit codes:
 
 A missing baseline is NOT an error (exit 0): the first run of a trajectory
 has nothing to diff against, and CI restores the baseline from the previous
-run's cache, which may not exist yet.
+run's cache, which may not exist yet — every metric is simply baselined.
 """
 
 from __future__ import annotations
@@ -40,6 +49,21 @@ def load_metrics(path: Path, metric: str) -> dict[str, float]:
     return metrics
 
 
+def report_baselined(names: list[str], current: dict[str, float], metric: str,
+                     wrote_baseline: bool) -> None:
+    """Names every first-appearance benchmark with its value — the explicit
+    record that it entered the trajectory rather than being skipped."""
+    if not names:
+        return
+    followup = ("gated from the next" if wrote_baseline
+                else "pass --baseline-out to gate it from the next")
+    print(f"perf_diff: {len(names)} benchmark(s) without a baseline — first appearance "
+          f"(no gate this run, {followup}):")
+    for name in names:
+        print(f"  {name}: {current[name]:.0f} {metric}/s  "
+              f"[{'baselined' if wrote_baseline else 'new'}]")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, type=Path,
@@ -50,6 +74,10 @@ def main() -> int:
                         help="max allowed fractional steps/sec drop (default 0.10)")
     parser.add_argument("--metric", default="steps",
                         help="per-second counter to compare (default: steps)")
+    parser.add_argument("--baseline-out", type=Path, default=None,
+                        help="write the current file here as the next run's baseline "
+                             "(written before the gate verdict, so new metrics are "
+                             "baselined even when the gate fails; may equal --baseline)")
     args = parser.parse_args()
 
     if not 0.0 < args.threshold < 1.0:
@@ -59,17 +87,7 @@ def main() -> int:
     if not args.current.is_file():
         print(f"perf_diff: current file {args.current} does not exist", file=sys.stderr)
         return 2
-    if not args.baseline.is_file():
-        print(f"perf_diff: no baseline at {args.baseline} — first trajectory point, "
-              "nothing to diff")
-        return 0
 
-    try:
-        baseline = load_metrics(args.baseline, args.metric)
-    except (json.JSONDecodeError, KeyError) as error:
-        # A corrupt cached baseline must not wedge CI forever; report and pass.
-        print(f"perf_diff: unreadable baseline {args.baseline} ({error}) — skipping diff")
-        return 0
     try:
         current = load_metrics(args.current, args.metric)
     except (json.JSONDecodeError, KeyError) as error:
@@ -77,10 +95,54 @@ def main() -> int:
         print(f"perf_diff: unreadable current file {args.current} ({error})", file=sys.stderr)
         return 2
 
+    baseline: dict[str, float] | None = None
+    baseline_existed = args.baseline.is_file()
+    if baseline_existed:
+        try:
+            baseline = load_metrics(args.baseline, args.metric)
+        except (json.JSONDecodeError, KeyError) as error:
+            # A corrupt cached baseline must not wedge CI forever; report,
+            # re-baseline everything, and pass.
+            print(f"perf_diff: unreadable baseline {args.baseline} ({error}) — skipping diff")
+
+    # Roll the trajectory forward FIRST: the baseline must advance (and new
+    # metrics must enter it) regardless of the gate verdict below — keeping
+    # an anomalously fast run as a sticky baseline would wedge every
+    # subsequent run red on heterogeneous runners.
+    wrote_baseline = False
+    if args.baseline_out is not None:
+        try:
+            args.baseline_out.write_bytes(args.current.read_bytes())
+        except OSError as error:
+            # A bad output path is a usage/tooling error, not a regression.
+            print(f"perf_diff: cannot write baseline to {args.baseline_out} ({error})",
+                  file=sys.stderr)
+            return 2
+        wrote_baseline = True
+        print(f"perf_diff: wrote next baseline ({len(current)} benchmark(s)) "
+              f"to {args.baseline_out}")
+
+    if baseline is None:
+        if not baseline_existed:  # else: corrupt baseline, already reported
+            print(f"perf_diff: no baseline at {args.baseline} — first trajectory point")
+        report_baselined(sorted(current), current, args.metric, wrote_baseline)
+        return 0
+
     shared = sorted(set(baseline) & set(current))
+    only_new = sorted(set(current) - set(baseline))
+    only_old = sorted(set(baseline) - set(current))
+
+    def warn_disappeared() -> None:
+        if only_old:
+            print(f"perf_diff: WARNING — {len(only_old)} baseline benchmark(s) missing from "
+                  "the current run (renamed or removed scenarios lose gate coverage): "
+                  + ", ".join(only_old))
+
     if not shared:
         print("perf_diff: no common benchmarks between baseline and current — "
               "nothing to diff")
+        report_baselined(only_new, current, args.metric, wrote_baseline)
+        warn_disappeared()
         return 0
 
     regressions = []
@@ -96,10 +158,8 @@ def main() -> int:
             flag = "  << REGRESSION"
         print(f"  {name:<{width}}  {old:14.0f} -> {new:14.0f}  {change:+8.1%}{flag}")
 
-    only_new = sorted(set(current) - set(baseline))
-    if only_new:
-        print(f"perf_diff: {len(only_new)} new benchmark(s) without a baseline: "
-              + ", ".join(only_new))
+    report_baselined(only_new, current, args.metric, wrote_baseline)
+    warn_disappeared()
 
     if regressions:
         print(f"perf_diff: FAILED — {len(regressions)} benchmark(s) regressed more than "
