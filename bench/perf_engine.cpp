@@ -27,7 +27,12 @@
 ///                               buffers with dimension-specialized kernels
 ///                               and a zero-allocation iteration loop;
 ///   * solver/grid_dp          — the 1-D DP oracle (flat request scan,
-///                               caller-owned service-cost scratch).
+///                               caller-owned service-cost scratch);
+///   * serve/ingest            — the live-ingestion soak: an NDJSON script
+///                               (opens, interleaved req frames, shutdown)
+///                               pushed end-to-end through serve::Service —
+///                               frame parsing, tenant routing, mux stepping
+///                               and outcome emission all on the clock.
 /// Each engine benchmark runs at dim 1, 2 and 8 so the dead-coordinate cost
 /// of the AoS layout is visible: at dim 1 the old layout reads 72 bytes per
 /// request for 8 useful ones. Solver benchmarks run at dim 1 and 2 (the
@@ -50,10 +55,12 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/mobsrv.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -490,6 +497,63 @@ void BM_GridDp(benchmark::State& state, Sizes sizes) {
                                                benchmark::Counter::kIsRate);
 }
 
+// ---------------------------------------------------------------------------
+// Service soak: the whole mobsrv_serve data path on the clock. One NDJSON
+// script — tenant opens, interleaved req frames, shutdown — is built once;
+// each iteration feeds it through a fresh serve::Service, so the measurement
+// covers frame parsing, admission, per-tenant routing, mux stepping and
+// outcome-frame emission end to end. Lean output keeps positions off the
+// wire, matching a high-throughput deployment.
+// ---------------------------------------------------------------------------
+
+std::string make_ingest_script(std::size_t tenants, std::size_t steps_per_tenant, int dim) {
+  stats::Rng rng({0x5E47Eu, static_cast<std::uint64_t>(dim)});
+  std::ostringstream out;
+  for (std::size_t s = 0; s < tenants; ++s)
+    out << R"({"type":"open","v":1,"tenant":"t)" << s
+        << R"(","algorithm":"Lazy","dim":)" << dim << R"(,"speed":1.5})" << '\n';
+  for (std::size_t t = 0; t < steps_per_tenant; ++t) {
+    for (std::size_t s = 0; s < tenants; ++s) {
+      out << R"({"type":"req","tenant":"t)" << s << R"(","batch":[)";
+      for (std::size_t r = 0; r < 4; ++r) {
+        if (r > 0) out << ',';
+        out << '[';
+        for (int d = 0; d < dim; ++d) {
+          if (d > 0) out << ',';
+          out << rng.uniform(-10.0, 10.0);
+        }
+        out << ']';
+      }
+      out << "]}\n";
+    }
+  }
+  out << R"({"type":"shutdown"})" << '\n';
+  return out.str();
+}
+
+void BM_ServeIngest(benchmark::State& state, Sizes sizes) {
+  const auto tenants = static_cast<std::size_t>(state.range(0));
+  const std::string script = make_ingest_script(tenants, sizes.mux_horizon, 2);
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    mobsrv::serve::ServiceOptions options;
+    options.lean = true;
+    mobsrv::serve::Service service(std::move(options));
+    std::istringstream in(script);
+    std::ostringstream out;
+    const mobsrv::serve::ExitReason reason = service.run(in, out);
+    if (reason != mobsrv::serve::ExitReason::kShutdown) state.SkipWithError("bad exit");
+    frames += service.lines_seen();
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  const auto steps =
+      static_cast<double>(state.iterations() * tenants * sizes.mux_horizon);
+  state.counters["steps"] = benchmark::Counter(steps, benchmark::Counter::kIsRate);
+  state.counters["frames"] =
+      benchmark::Counter(static_cast<double>(frames), benchmark::Counter::kIsRate);
+  state.counters["tenants"] = static_cast<double>(tenants);
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: mobsrv_perf [--smoke] [--out=PATH] [--benchmark_*...]\n"
         "  --smoke      small workloads + short timings (CI smoke artifact)\n"
@@ -569,6 +633,13 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark("mux/drain", BM_MuxDrain, sizes)
         ->Arg(threads)
         ->ArgName("threads")
+        ->MinTime(min_time)
+        ->UseRealTime();
+  }
+  for (const int tenants : {1, 32}) {
+    benchmark::RegisterBenchmark("serve/ingest", BM_ServeIngest, sizes)
+        ->Arg(tenants)
+        ->ArgName("tenants")
         ->MinTime(min_time)
         ->UseRealTime();
   }

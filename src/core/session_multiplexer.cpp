@@ -35,32 +35,85 @@ sim::RunOptions spec_options(const SessionSpec& spec) {
 
 /// All state of one live session. Owned via unique_ptr so slot addresses are
 /// stable (Session keeps a pointer to the algorithm; workers touch only
-/// their own slots).
+/// their own slots). The engine half lives behind its own pointer so
+/// close() can release it while the slot keeps its identity and cached
+/// accounting.
 struct SessionMultiplexer::Slot {
+  /// The releasable half: algorithm + session (session pins a pointer to
+  /// the algorithm, so they live and die together).
+  struct Engine {
+    Engine(const SessionSpec& spec, sim::FleetAlgorithmPtr algorithm_in,
+           const sim::RunOptions& options)
+        : algorithm(std::move(algorithm_in)),
+          session(spec_starts(spec), spec.workload->params(), *algorithm, options) {}
+
+    /// Restore form: resumes the session from a checkpoint record.
+    Engine(sim::FleetAlgorithmPtr algorithm_in, const SessionCheckpointRecord& record)
+        : algorithm(std::move(algorithm_in)), session(record.engine, *algorithm) {}
+
+    sim::FleetAlgorithmPtr algorithm;
+    sim::Session session;
+  };
+
   Slot(SessionSpec spec_in, sim::FleetAlgorithmPtr algorithm_in, const sim::RunOptions& options)
       : spec(std::move(spec_in)),
-        algorithm(std::move(algorithm_in)),
-        session(spec_starts(spec), spec.workload->params(), *algorithm, options) {}
-
-  /// Restore form: resumes the session from a checkpoint record.
-  Slot(SessionSpec spec_in, sim::FleetAlgorithmPtr algorithm_in,
-       const SessionCheckpointRecord& record)
-      : spec(std::move(spec_in)),
-        algorithm(std::move(algorithm_in)),
-        session(record.engine, *algorithm),
-        cursor(record.cursor) {}
+        engine(std::make_unique<Engine>(spec, std::move(algorithm_in), options)) {}
 
   SessionSpec spec;
-  sim::FleetAlgorithmPtr algorithm;
-  sim::Session session;
-  std::size_t cursor = 0;  ///< next workload step to reveal
+  std::unique_ptr<Engine> engine;  ///< null once close()d
+  std::size_t cursor = 0;          ///< next workload step to reveal
+  SessionStats final_stats;        ///< cached accounting, set by close()
+  std::string error;               ///< set by a guarded advance on throw
 
-  [[nodiscard]] bool done() const noexcept { return cursor >= spec.workload->horizon(); }
+  [[nodiscard]] bool open() const noexcept { return engine != nullptr; }
+
+  [[nodiscard]] bool done() const noexcept {
+    return !open() || cursor >= spec.workload->horizon();
+  }
 
   void advance(std::size_t max_steps) {
     const std::size_t horizon = spec.workload->horizon();
     for (std::size_t k = 0; k < max_steps && cursor < horizon; ++k, ++cursor)
-      session.push(spec.workload->step(cursor));
+      engine->session.push(spec.workload->step(cursor));
+  }
+
+  /// advance() under a try/catch: a throwing session records its error in
+  /// the slot (collected and closed after the join) instead of unwinding
+  /// through the pool.
+  void advance_guarded(std::size_t max_steps) {
+    try {
+      advance(max_steps);
+    } catch (const std::exception& failure) {
+      error = failure.what();
+    }
+  }
+
+  /// Live accounting snapshot (requires an open engine).
+  [[nodiscard]] SessionStats live_stats() const {
+    SessionStats stats;
+    stats.tenant = spec.tenant;
+    stats.algorithm = spec.algorithm;
+    stats.steps = cursor;
+    stats.horizon = spec.workload->horizon();
+    stats.done = done();
+    stats.fleet_size = engine->session.fleet_size();
+    stats.total_cost = engine->session.total_cost();
+    stats.move_cost = engine->session.move_cost();
+    stats.service_cost = engine->session.service_cost();
+    stats.position = engine->session.position();
+    stats.positions = engine->session.fleet();
+    stats.per_server_move_cost.reserve(engine->session.fleet_size());
+    for (std::size_t i = 0; i < engine->session.fleet_size(); ++i)
+      stats.per_server_move_cost.push_back(engine->session.server_move_cost(i));
+    return stats;
+  }
+
+  /// Caches the final accounting and releases the engine.
+  void close() {
+    if (!open()) return;
+    final_stats = live_stats();
+    final_stats.closed = true;
+    engine.reset();
   }
 };
 
@@ -83,21 +136,47 @@ std::size_t SessionMultiplexer::size() const noexcept { return slots_.size(); }
 
 std::size_t SessionMultiplexer::live() const noexcept { return live_; }
 
+void SessionMultiplexer::refresh_live() {
+  live_ = 0;
+  for (const auto& slot : slots_)
+    if (!slot->done()) ++live_;
+}
+
 std::size_t SessionMultiplexer::step(std::size_t max_steps) {
   MOBSRV_CHECK(max_steps >= 1);
+  refresh_live();  // workloads may have grown since the last round
   if (live_ == 0) return 0;
   par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
     Slot& slot = *slots_[i];
     if (!slot.done()) slot.advance(max_steps);
   });
   // Recount after the join (workers never touch shared state).
-  live_ = 0;
-  for (const auto& slot : slots_)
-    if (!slot->done()) ++live_;
+  refresh_live();
+  return live_;
+}
+
+std::size_t SessionMultiplexer::step_capturing(std::size_t max_steps,
+                                               std::vector<SlotError>& errors) {
+  MOBSRV_CHECK(max_steps >= 1);
+  refresh_live();
+  if (live_ == 0) return 0;
+  par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
+    Slot& slot = *slots_[i];
+    if (!slot.done()) slot.advance_guarded(max_steps);
+  });
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    if (slot.error.empty()) continue;
+    errors.push_back({i, std::move(slot.error)});
+    slot.error.clear();
+    slot.close();
+  }
+  refresh_live();
   return live_;
 }
 
 void SessionMultiplexer::drain() {
+  refresh_live();
   if (live_ == 0) return;
   par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
     Slot& slot = *slots_[i];
@@ -106,25 +185,32 @@ void SessionMultiplexer::drain() {
   live_ = 0;
 }
 
+void SessionMultiplexer::drain(std::size_t id) {
+  MOBSRV_CHECK(id < slots_.size());
+  Slot& slot = *slots_[id];
+  if (slot.done()) return;
+  slot.advance(slot.spec.workload->horizon() - slot.cursor);
+  if (live_ > 0) --live_;
+}
+
+void SessionMultiplexer::close(std::size_t id) {
+  MOBSRV_CHECK(id < slots_.size());
+  Slot& slot = *slots_[id];
+  if (!slot.open()) return;
+  const bool was_live = !slot.done();
+  slot.close();
+  if (was_live && live_ > 0) --live_;
+}
+
+bool SessionMultiplexer::closed(std::size_t id) const {
+  MOBSRV_CHECK(id < slots_.size());
+  return !slots_[id]->open();
+}
+
 SessionStats SessionMultiplexer::stats(std::size_t id) const {
   MOBSRV_CHECK(id < slots_.size());
   const Slot& slot = *slots_[id];
-  SessionStats stats;
-  stats.tenant = slot.spec.tenant;
-  stats.algorithm = slot.spec.algorithm;
-  stats.steps = slot.cursor;
-  stats.horizon = slot.spec.workload->horizon();
-  stats.done = slot.done();
-  stats.fleet_size = slot.session.fleet_size();
-  stats.total_cost = slot.session.total_cost();
-  stats.move_cost = slot.session.move_cost();
-  stats.service_cost = slot.session.service_cost();
-  stats.position = slot.session.position();
-  stats.positions = slot.session.fleet();
-  stats.per_server_move_cost.reserve(slot.session.fleet_size());
-  for (std::size_t i = 0; i < slot.session.fleet_size(); ++i)
-    stats.per_server_move_cost.push_back(slot.session.server_move_cost(i));
-  return stats;
+  return slot.open() ? slot.live_stats() : slot.final_stats;
 }
 
 std::vector<SessionStats> SessionMultiplexer::snapshot() const {
@@ -139,10 +225,18 @@ MuxTotals SessionMultiplexer::totals() const {
   totals.sessions = slots_.size();
   totals.live = live_;
   for (const auto& slot : slots_) {
-    totals.steps += slot->cursor;
-    totals.total_cost += slot->session.total_cost();
-    totals.move_cost += slot->session.move_cost();
-    totals.service_cost += slot->session.service_cost();
+    if (slot->open()) {
+      totals.steps += slot->cursor;
+      totals.total_cost += slot->engine->session.total_cost();
+      totals.move_cost += slot->engine->session.move_cost();
+      totals.service_cost += slot->engine->session.service_cost();
+    } else {
+      ++totals.closed;
+      totals.steps += slot->final_stats.steps;
+      totals.total_cost += slot->final_stats.total_cost;
+      totals.move_cost += slot->final_stats.move_cost;
+      totals.service_cost += slot->final_stats.service_cost;
+    }
   }
   return totals;
 }
@@ -151,26 +245,32 @@ std::vector<SessionCheckpointRecord> SessionMultiplexer::checkpoint() const {
   std::vector<SessionCheckpointRecord> records;
   records.reserve(slots_.size());
   for (const auto& slot : slots_) {
+    if (!slot->open()) continue;
     SessionCheckpointRecord record;
     record.tenant = slot->spec.tenant;
     record.algorithm = slot->spec.algorithm;
     record.algo_seed = slot->spec.algo_seed;
     record.cursor = slot->cursor;
     record.horizon = slot->spec.workload->horizon();
-    record.engine = slot->session.save();
+    record.engine = slot->engine->session.save();
     records.push_back(std::move(record));
   }
   return records;
 }
 
 void SessionMultiplexer::restore(const std::vector<SessionCheckpointRecord>& records) {
-  MOBSRV_CHECK_MSG(records.size() == slots_.size(),
+  std::vector<std::size_t> open_ids;
+  open_ids.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i]->open()) open_ids.push_back(i);
+  MOBSRV_CHECK_MSG(records.size() == open_ids.size(),
                    "checkpoint holds " + std::to_string(records.size()) +
-                       " sessions but this multiplexer has " + std::to_string(slots_.size()));
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    const SessionCheckpointRecord& record = records[i];
-    const SessionSpec& spec = slots_[i]->spec;
-    const std::string where = "checkpoint session " + std::to_string(i);
+                       " sessions but this multiplexer has " + std::to_string(open_ids.size()) +
+                       " open");
+  for (std::size_t r = 0; r < open_ids.size(); ++r) {
+    const SessionCheckpointRecord& record = records[r];
+    const SessionSpec& spec = slots_[open_ids[r]]->spec;
+    const std::string where = "checkpoint session " + std::to_string(r);
     MOBSRV_CHECK_MSG(record.algorithm == spec.algorithm,
                      where + " was saved by \"" + record.algorithm + "\" but the slot runs \"" +
                          spec.algorithm + "\"");
@@ -195,21 +295,24 @@ void SessionMultiplexer::restore(const std::vector<SessionCheckpointRecord>& rec
                      where + " model params disagree with the supplied workload "
                              "(different workload supplied?)");
   }
-  // All records verified; rebuild into fresh slots and swap in only after
+  // All records verified; rebuild engines on the side and swap in only after
   // every one constructed, so a restore that fails halfway (e.g. a corrupt
   // AlgorithmState rejected by restore_state) leaves this multiplexer
-  // exactly as it was.
-  std::vector<std::unique_ptr<Slot>> restored;
-  restored.reserve(slots_.size());
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    SessionSpec spec = slots_[i]->spec;
+  // exactly as it was. Closed slots are untouched — they keep their cached
+  // accounting.
+  std::vector<std::unique_ptr<Slot::Engine>> rebuilt;
+  rebuilt.reserve(open_ids.size());
+  for (std::size_t r = 0; r < open_ids.size(); ++r) {
+    const SessionSpec& spec = slots_[open_ids[r]]->spec;
     sim::FleetAlgorithmPtr algorithm = alg::make_fleet_algorithm(spec.algorithm, spec.algo_seed);
-    restored.push_back(std::make_unique<Slot>(std::move(spec), std::move(algorithm), records[i]));
+    rebuilt.push_back(std::make_unique<Slot::Engine>(std::move(algorithm), records[r]));
   }
-  slots_ = std::move(restored);
-  live_ = 0;
-  for (const auto& slot : slots_)
-    if (!slot->done()) ++live_;
+  for (std::size_t r = 0; r < open_ids.size(); ++r) {
+    Slot& slot = *slots_[open_ids[r]];
+    slot.engine = std::move(rebuilt[r]);
+    slot.cursor = records[r].cursor;
+  }
+  refresh_live();
 }
 
 }  // namespace mobsrv::core

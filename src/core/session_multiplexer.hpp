@@ -7,11 +7,19 @@
 /// parallel::ThreadPool and advances them in rounds. The API is
 /// drain/step/snapshot/checkpoint:
 ///   * step(k)     — advance every live session by up to k steps;
-///   * drain()     — run every session to the end of its workload;
+///   * step_capturing(k, errors) — same, but a throwing session closes only
+///     its own slot (the service front-end's loud-error discipline);
+///   * drain() / drain(id) — run every (or one) session to the end of its
+///     workload;
+///   * close(id)   — release one session, caching its final accounting;
 ///   * snapshot()  — per-session accounting (costs, progress, positions);
 ///   * checkpoint()/restore() — capture/resume every session's full engine
 ///     + algorithm state so a long-running service survives restarts
 ///     bit-identically (trace/checkpoint.hpp serialises to disk).
+///
+/// Workloads may grow in place between rounds (serve/ appends arriving
+/// request batches to each tenant's Instance); step()/drain() re-evaluate
+/// done-ness against the current horizons on entry.
 ///
 /// Determinism: each session's state lives in its own slot and is touched
 /// only by whichever worker drew that slot; no cross-session state exists,
@@ -55,6 +63,7 @@ struct SessionStats {
   std::size_t steps = 0;      ///< steps consumed so far
   std::size_t horizon = 0;    ///< workload length
   bool done = false;          ///< steps == horizon
+  bool closed = false;        ///< slot was close()d (final accounting cached)
   std::size_t fleet_size = 1;
   double total_cost = 0.0;
   double move_cost = 0.0;
@@ -68,7 +77,8 @@ struct SessionStats {
 struct MuxTotals {
   std::size_t sessions = 0;
   std::size_t live = 0;
-  std::size_t steps = 0;  ///< total steps consumed across sessions
+  std::size_t closed = 0;  ///< slots released via close()
+  std::size_t steps = 0;   ///< total steps consumed across sessions
   double total_cost = 0.0;
   double move_cost = 0.0;
   double service_cost = 0.0;
@@ -99,31 +109,63 @@ class SessionMultiplexer {
   /// Registers a session (constructing its algorithm from the fleet
   /// registry) and returns its dense id. Sessions never record
   /// position/trace history — memory stays O(1) per session regardless of
-  /// horizon.
+  /// horizon. Sessions may be added at any time between step() calls.
   std::size_t add(SessionSpec spec);
 
   [[nodiscard]] std::size_t size() const noexcept;
-  /// Sessions that have not yet consumed their whole workload.
+  /// Sessions that have not yet consumed their whole workload, as of the
+  /// last add/step/drain/close. A workload Instance that gained steps since
+  /// then (the streaming ingestion path grows them in place) is re-evaluated
+  /// by the next step()/drain() call, not here.
   [[nodiscard]] std::size_t live() const noexcept;
 
   /// Advances every live session by up to \p max_steps steps, in parallel.
   /// Returns the number of sessions still live afterwards. Exceptions from
   /// any session (e.g. a kThrow speed violation) propagate to the caller.
+  /// Workloads may grow between (never during) calls: done-ness is
+  /// re-evaluated against the current horizons on entry.
   std::size_t step(std::size_t max_steps = 1);
+
+  /// One failure captured by step_capturing.
+  struct SlotError {
+    std::size_t id = 0;
+    std::string message;
+  };
+
+  /// Like step(), but a session that throws (e.g. a kThrow speed violation)
+  /// never takes the whole round down: the offending slot's error is
+  /// appended to \p errors, that slot alone is closed (final accounting
+  /// cached, engine released), and every other session advances normally.
+  /// The service front-end steps through this so one misbehaving tenant
+  /// cannot kill the process.
+  std::size_t step_capturing(std::size_t max_steps, std::vector<SlotError>& errors);
 
   /// Runs every session to completion.
   void drain();
+
+  /// Runs session \p id alone to the end of its current workload on the
+  /// calling thread (the per-tenant drain hook: e.g. a service consuming a
+  /// tenant's queued requests before closing it). No-op on closed slots.
+  void drain(std::size_t id);
+
+  /// Closes session \p id: the engine and algorithm are destroyed (memory
+  /// released), the final accounting is cached so stats()/totals() keep
+  /// reporting it, and the slot is skipped by step/drain/checkpoint from now
+  /// on. Ids of other sessions are unaffected; closing twice is a no-op.
+  void close(std::size_t id);
+  [[nodiscard]] bool closed(std::size_t id) const;
 
   [[nodiscard]] SessionStats stats(std::size_t id) const;
   [[nodiscard]] std::vector<SessionStats> snapshot() const;
   [[nodiscard]] MuxTotals totals() const;
 
-  /// Captures every session's full state (one record per slot, in id
-  /// order). Serialise with trace::write_checkpoint to survive restarts.
+  /// Captures every OPEN session's full state (one record per open slot, in
+  /// id order; closed slots are gone and leave no record). Serialise with
+  /// trace::write_checkpoint to survive restarts.
   [[nodiscard]] std::vector<SessionCheckpointRecord> checkpoint() const;
 
-  /// Resumes a checkpoint taken from a multiplexer with the SAME sessions
-  /// added in the same order (workloads are re-supplied by the specs — a
+  /// Resumes a checkpoint taken from a multiplexer with the SAME open
+  /// sessions in the same order (workloads are re-supplied by the specs — a
   /// checkpoint stores engine state, not request data). Verifies each
   /// record against its slot's spec (algorithm, seed, tenant, horizon,
   /// fleet size) and fails loudly on any mismatch. After restore the mux
@@ -132,6 +174,8 @@ class SessionMultiplexer {
 
  private:
   struct Slot;
+  void refresh_live();
+
   par::ThreadPool& pool_;
   std::size_t grain_;
   std::vector<std::unique_ptr<Slot>> slots_;

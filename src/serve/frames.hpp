@@ -1,0 +1,150 @@
+/// \file frames.hpp
+/// The mobsrv_serve wire protocol: versioned NDJSON frames.
+///
+/// The service speaks newline-delimited JSON in both directions: every line
+/// is one complete JSON object ("frame") with a `type` member. Client
+/// frames open tenants, stream request batches, and control the service;
+/// server frames acknowledge, report per-step outcomes, apply backpressure
+/// (`busy` — never a silent drop) and surface errors with the line number
+/// of the offending input (`error` — one bad tenant never takes the
+/// process down).
+///
+/// Versioning follows the trace-format discipline: an `open` frame must
+/// declare `"v": 1` (the protocol version this build speaks); any frame may
+/// carry `v`, and a mismatch is rejected loudly. Doubles ride through
+/// io::Json, so every cost and coordinate round-trips bit-exactly — the
+/// foundation of the kill/restore bit-identity guarantee.
+///
+/// docs/SERVICE.md is the operator-facing reference for every frame type.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/session_multiplexer.hpp"
+#include "io/json.hpp"
+#include "sim/model.hpp"
+
+namespace mobsrv::serve {
+
+/// Protocol version this build speaks; `open` frames must declare it.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// A tenant's admission contract, declared once by its `open` frame: who it
+/// is, which strategy serves it, the fleet size/geometry, and the engine
+/// options. Everything the service needs to (re)build the session — the
+/// snapshot file persists these so a restarted service re-admits every
+/// tenant without new `open` frames.
+struct TenantSpec {
+  std::string tenant;
+  std::string algorithm;
+  std::uint64_t seed = 0;
+  int dim = 1;
+  std::size_t fleet_size = 1;
+  double speed_factor = 1.0;
+  /// kClamp by default: a live service prefers clamping a misbehaving
+  /// strategy to the speed limit over rejecting its step. `"policy":
+  /// "throw"` restores the strict contract (a violation then closes the
+  /// tenant with an `error` frame).
+  sim::SpeedLimitPolicy policy = sim::SpeedLimitPolicy::kClamp;
+  sim::ModelParams params;
+  /// Start layout, size fleet_size (parse fills it: explicit `starts`,
+  /// a shared `start`, or the origin).
+  std::vector<sim::Point> starts;
+};
+
+/// JSON round-trip for TenantSpec (the snapshot file and the `opened`
+/// acknowledgement both use it). from_json throws FrameError.
+[[nodiscard]] io::Json tenant_spec_to_json(const TenantSpec& spec);
+[[nodiscard]] TenantSpec tenant_spec_from_json(const io::Json& doc);
+
+/// Client frame kinds.
+enum class FrameType {
+  kOpen,        ///< admit a tenant (declares the TenantSpec)
+  kReq,         ///< one step's request batch for a tenant
+  kClose,       ///< drain and close a tenant
+  kStats,       ///< report accounting (one tenant or all)
+  kCheckpoint,  ///< save a snapshot now
+  kShutdown,    ///< drain everything, snapshot, say bye, exit
+  kKill,        ///< exit immediately, no drain/snapshot (crash-test aid)
+};
+
+/// One parsed client frame (a tagged fat struct: only the members relevant
+/// to `type` are meaningful).
+struct ClientFrame {
+  FrameType type = FrameType::kStats;
+  TenantSpec open;            ///< kOpen
+  std::string tenant;         ///< kReq/kClose, optional for kStats
+  sim::RequestBatch batch;    ///< kReq (may be empty — an idle step)
+};
+
+/// Thrown on malformed frames. Carries the tenant the frame named (empty
+/// when the line was too broken to attribute), so the service can close
+/// only the offending tenant.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what, std::string tenant = {})
+      : std::runtime_error(what), tenant_(std::move(tenant)) {}
+
+  /// Tenant named by the offending frame; empty when unattributable.
+  [[nodiscard]] const std::string& tenant() const noexcept { return tenant_; }
+
+ private:
+  std::string tenant_;
+};
+
+/// Parses one NDJSON line into a client frame. Rejects unknown frame
+/// types, unknown members (a typo'd `"batc"` must fail loudly, not be
+/// ignored), missing required members, and protocol-version mismatches.
+/// Throws FrameError, attributed to the frame's tenant when one was named.
+[[nodiscard]] ClientFrame parse_client_frame(std::string_view line);
+
+// ---------------------------------------------------------------------------
+// Server frame builders. Each returns one compact JSON line (no trailing
+// newline); doubles are written in shortest round-trip form.
+// ---------------------------------------------------------------------------
+
+/// Acknowledges an `open`: echoes the admitted spec.
+[[nodiscard]] std::string opened_frame(const TenantSpec& spec);
+
+/// One consumed step. `move`/`service` are this step's deltas of the
+/// session's cost accumulators; `move_total`/`service_total`/`total` are
+/// the exact accumulators (bit-identical across restarts). Positions are
+/// included unless \p lean.
+[[nodiscard]] std::string outcome_frame(const std::string& tenant, std::size_t t,
+                                        double move_delta, double service_delta,
+                                        const core::SessionStats& stats, bool lean);
+
+/// Backpressure: the `req` frame on input line \p line was NOT accepted
+/// (the tenant's in-flight queue is full); the client must re-send it.
+[[nodiscard]] std::string busy_frame(const std::string& tenant, std::uint64_t line,
+                                     std::size_t queued, std::size_t limit);
+
+/// A malformed or failing frame. \p line is the 1-based input line number
+/// (0 when the error is not tied to a line). \p tenant is empty when the
+/// error could not be attributed; \p closed_tenant says whether the
+/// offending tenant was closed as a consequence.
+[[nodiscard]] std::string error_frame(std::uint64_t line, const std::string& message,
+                                      const std::string& tenant, bool closed_tenant);
+
+/// Final accounting of a tenant that was just closed.
+[[nodiscard]] std::string closed_frame(const core::SessionStats& stats);
+
+/// Accounting snapshot: per-tenant rows plus the aggregate.
+[[nodiscard]] std::string stats_frame(const std::vector<core::SessionStats>& stats,
+                                      const core::MuxTotals& totals);
+
+/// Acknowledges a snapshot save.
+[[nodiscard]] std::string checkpointed_frame(const std::string& path, std::size_t sessions,
+                                             std::size_t steps);
+
+/// Farewell frame emitted on graceful exit (shutdown frame, EOF, SIGTERM).
+[[nodiscard]] std::string bye_frame(const std::string& reason, const core::MuxTotals& totals);
+
+/// Per-tenant accounting object shared by stats/closed frames.
+[[nodiscard]] io::Json stats_to_json(const core::SessionStats& stats);
+
+}  // namespace mobsrv::serve

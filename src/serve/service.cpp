@@ -1,0 +1,277 @@
+#include "serve/service.hpp"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::serve {
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), pool_(options_.threads), mux_(pool_) {}
+
+void Service::restore(const std::filesystem::path& path) {
+  MOBSRV_CHECK_MSG(table_.size() == 0 && mux_.size() == 0,
+                   "restore must run before any tenants are admitted");
+  const ServiceSnapshot snapshot = read_snapshot(path);
+  for (std::size_t i = 0; i < snapshot.tenants.size(); ++i)
+    table_.admit_restored(snapshot.tenants[i], snapshot.records[i].cursor, mux_);
+  mux_.restore(snapshot.records);
+  // Sync the emission ledger with the restored accumulators: outcomes up to
+  // the saved cursor were emitted by the previous process.
+  for (const auto& tenant : table_.entries()) {
+    const core::SessionStats stats = mux_.stats(tenant->slot);
+    tenant->emitted = stats.steps;
+    tenant->emitted_move = stats.move_cost;
+    tenant->emitted_service = stats.service_cost;
+  }
+}
+
+ExitReason Service::run(std::istream& in, std::ostream& out) {
+  std::string line;
+  for (;;) {
+    if (options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed))
+      return finish(ExitReason::kSignal, out);
+    // Input pause: nothing buffered means the client is waiting on us, so
+    // consume the queues (and stream outcomes) before blocking on the next
+    // line. During a burst, frames keep landing and consumption batches up.
+    if (in.rdbuf()->in_avail() <= 0) {
+      pump(out);
+      out.flush();
+    }
+    if (!std::getline(in, line)) {
+      // getline also fails when a signal interrupts the read mid-wait.
+      if (options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed))
+        return finish(ExitReason::kSignal, out);
+      return finish(ExitReason::kEof, out);
+    }
+    ++lines_;
+    if (line.empty()) continue;
+    handle_line(line, out);
+    if (killed_) return ExitReason::kKill;
+    if (shutdown_) return finish(ExitReason::kShutdown, out);
+  }
+}
+
+void Service::handle_line(const std::string& line, std::ostream& out) {
+  ClientFrame frame;
+  try {
+    frame = parse_client_frame(line);
+  } catch (const FrameError& error) {
+    // The malformed-frame discipline: close the tenant the frame named (its
+    // stream is now unreliable), never the process. Unattributable garbage
+    // gets an error frame and nothing else.
+    if (!error.tenant().empty() && table_.find(error.tenant()) != nullptr)
+      fail_tenant(error.tenant(), error.what(), out);
+    else
+      out << error_frame(lines_, error.what(), error.tenant(), false) << '\n';
+    return;
+  }
+  switch (frame.type) {
+    case FrameType::kOpen:
+      handle_open(std::move(frame.open), out);
+      break;
+    case FrameType::kReq:
+      handle_req(frame, out);
+      break;
+    case FrameType::kClose:
+      handle_close(frame.tenant, out);
+      break;
+    case FrameType::kStats:
+      handle_stats(frame.tenant, out);
+      break;
+    case FrameType::kCheckpoint:
+      handle_checkpoint(out);
+      break;
+    case FrameType::kShutdown:
+      shutdown_ = true;
+      break;
+    case FrameType::kKill:
+      killed_ = true;
+      break;
+  }
+}
+
+void Service::handle_open(TenantSpec spec, std::ostream& out) {
+  const std::string name = spec.tenant;
+  try {
+    Tenant& tenant = table_.admit(std::move(spec), mux_);
+    out << opened_frame(tenant.spec) << '\n';
+  } catch (const std::exception& error) {
+    // Admission failures (duplicate name, unknown algorithm, k > 1 on a
+    // single-server strategy) reject the candidate; a tenant already open
+    // under this name is untouched.
+    out << error_frame(lines_, error.what(), name, false) << '\n';
+  }
+}
+
+void Service::handle_req(const ClientFrame& frame, std::ostream& out) {
+  Tenant* tenant = table_.find(frame.tenant);
+  if (tenant == nullptr) {
+    out << error_frame(lines_,
+                       "unknown tenant \"" + frame.tenant + "\" (send an \"open\" frame first)",
+                       frame.tenant, false)
+        << '\n';
+    return;
+  }
+  if (!frame.batch.empty() && frame.batch.requests.front().dim() != tenant->spec.dim) {
+    fail_tenant(frame.tenant,
+                "\"batch\" requests have " +
+                    std::to_string(frame.batch.requests.front().dim()) +
+                    " coordinates but tenant \"" + frame.tenant + "\" declared dim " +
+                    std::to_string(tenant->spec.dim),
+                out);
+    return;
+  }
+  const std::size_t queued = tenant->workload->horizon() - mux_.stats(tenant->slot).steps;
+  if (queued >= options_.max_inflight) {
+    // Bounded in-flight queue: the frame is NOT accepted (the client must
+    // re-send it) — an explicit busy beats a silent drop. Consume now so
+    // the retry lands.
+    out << busy_frame(frame.tenant, lines_, queued, options_.max_inflight) << '\n';
+    pump(out);
+    return;
+  }
+  tenant->workload->push_step(frame.batch);
+}
+
+void Service::handle_close(const std::string& name, std::ostream& out) {
+  Tenant* tenant = table_.find(name);
+  if (tenant == nullptr) {
+    out << error_frame(lines_, "unknown tenant \"" + name + "\"", name, false) << '\n';
+    return;
+  }
+  pump(out);  // consume its queue (outcomes still stream) before the final bill
+  if (table_.find(name) == nullptr) return;  // the pump failed and closed it
+  const std::size_t slot = tenant->slot;
+  mux_.close(slot);
+  out << closed_frame(mux_.stats(slot)) << '\n';
+  table_.erase(name);
+}
+
+void Service::handle_stats(const std::string& name, std::ostream& out) {
+  if (name.empty()) {
+    out << stats_frame(mux_.snapshot(), mux_.totals()) << '\n';
+    return;
+  }
+  Tenant* tenant = table_.find(name);
+  if (tenant == nullptr) {
+    out << error_frame(lines_, "unknown tenant \"" + name + "\"", name, false) << '\n';
+    return;
+  }
+  out << stats_frame({mux_.stats(tenant->slot)}, mux_.totals()) << '\n';
+}
+
+void Service::handle_checkpoint(std::ostream& out) {
+  if (options_.snapshot_path.empty()) {
+    out << error_frame(lines_,
+                       "checkpointing is disabled (start mobsrv_serve with --snapshot PATH)", "",
+                       false)
+        << '\n';
+    return;
+  }
+  pump(out);  // snapshots are taken at quiescent points only
+  maybe_snapshot(out, /*force=*/true);
+}
+
+void Service::fail_tenant(const std::string& name, const std::string& message,
+                          std::ostream& out) {
+  pump(out);  // already-accepted steps still produce their outcomes
+  Tenant* tenant = table_.find(name);
+  if (tenant == nullptr) {
+    // The pump itself failed the tenant and already reported it.
+    out << error_frame(lines_, message, name, true) << '\n';
+    return;
+  }
+  const std::size_t slot = tenant->slot;
+  mux_.close(slot);
+  out << error_frame(lines_, message, name, true) << '\n';
+  out << closed_frame(mux_.stats(slot)) << '\n';
+  table_.erase(name);
+}
+
+void Service::pump(std::ostream& out) {
+  std::vector<core::SessionMultiplexer::SlotError> errors;
+  for (;;) {
+    bool pending = false;
+    for (const auto& tenant : table_.entries())
+      if (tenant->workload->horizon() > tenant->emitted) {
+        pending = true;
+        break;
+      }
+    if (!pending) break;
+
+    // One step per round keeps the per-step cost deltas exact: each live
+    // session advances by at most one step between ledger snapshots.
+    errors.clear();
+    mux_.step_capturing(1, errors);
+
+    for (const auto& tenant : table_.entries()) {
+      const core::SessionStats stats = mux_.stats(tenant->slot);
+      if (stats.steps <= tenant->emitted) continue;
+      out << outcome_frame(tenant->spec.tenant, stats.steps - 1,
+                           stats.move_cost - tenant->emitted_move,
+                           stats.service_cost - tenant->emitted_service, stats, options_.lean)
+          << '\n';
+      tenant->emitted = stats.steps;
+      tenant->emitted_move = stats.move_cost;
+      tenant->emitted_service = stats.service_cost;
+      ++steps_since_snapshot_;
+    }
+
+    // Sessions that threw were closed by the mux (their slot alone); report
+    // and drop them — every other tenant keeps streaming.
+    for (const core::SessionMultiplexer::SlotError& error : errors) {
+      for (const auto& tenant : table_.entries()) {
+        if (tenant->slot != error.id) continue;
+        out << error_frame(lines_, error.message, tenant->spec.tenant, true) << '\n';
+        out << closed_frame(mux_.stats(error.id)) << '\n';
+        table_.erase(tenant->spec.tenant);
+        break;
+      }
+    }
+  }
+  maybe_snapshot(out, /*force=*/false);
+}
+
+void Service::maybe_snapshot(std::ostream& out, bool force) {
+  if (options_.snapshot_path.empty()) return;
+  if (!force &&
+      (options_.checkpoint_every == 0 || steps_since_snapshot_ < options_.checkpoint_every))
+    return;
+  try {
+    const ServiceSnapshot snapshot = make_snapshot();
+    write_snapshot(options_.snapshot_path, snapshot);
+    steps_since_snapshot_ = 0;
+    out << checkpointed_frame(options_.snapshot_path.string(), snapshot.tenants.size(),
+                              mux_.totals().steps)
+        << '\n';
+  } catch (const std::exception& error) {
+    // A failed save is loud but not fatal: the service keeps running on the
+    // previous good snapshot (write_bytes_atomic never clobbers it).
+    out << error_frame(0, std::string("snapshot save failed: ") + error.what(), "", false)
+        << '\n';
+  }
+}
+
+ServiceSnapshot Service::make_snapshot() const {
+  ServiceSnapshot snapshot;
+  snapshot.tenants.reserve(table_.size());
+  for (const auto& tenant : table_.entries()) snapshot.tenants.push_back(tenant->spec);
+  snapshot.records = mux_.checkpoint();
+  return snapshot;
+}
+
+ExitReason Service::finish(ExitReason reason, std::ostream& out) {
+  pump(out);
+  maybe_snapshot(out, /*force=*/true);
+  const char* why = reason == ExitReason::kEof        ? "eof"
+                    : reason == ExitReason::kShutdown ? "shutdown"
+                                                      : "signal";
+  out << bye_frame(why, mux_.totals()) << '\n';
+  out.flush();
+  return reason;
+}
+
+}  // namespace mobsrv::serve

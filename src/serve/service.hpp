@@ -1,0 +1,125 @@
+/// \file service.hpp
+/// The mobsrv_serve frame loop: live NDJSON ingestion over the multiplexer.
+///
+/// This is the unglamorous server half the ROADMAP asks for — the layer
+/// that turns the streaming engine into traffic-facing infrastructure:
+///
+///   * admission — every tenant declares fleet size, dimension, speed
+///     limit and strategy in its `open` frame; admission failures reject
+///     the tenant, never the process;
+///   * bounded in-flight queues — each tenant may have at most
+///     max_inflight unconsumed steps queued; a `req` beyond that is
+///     answered with an explicit `busy` frame (never silently dropped);
+///   * batched consumption — frames are read greedily while input is
+///     already buffered, then the multiplexer advances every tenant in
+///     parallel and per-step `outcome` frames stream back;
+///   * loud errors — a malformed frame or a throwing session closes only
+///     the offending tenant (`error` frame with the input line number);
+///   * graceful drain — EOF, a `shutdown` frame, or SIGTERM (via the stop
+///     flag) consumes every queued step, saves a final snapshot and says
+///     `bye`;
+///   * periodic checkpointing — every checkpoint_every consumed steps the
+///     service atomically saves a snapshot (tenant table + engine
+///     checkpoint); a killed service restores from it and continues
+///     bit-identically, proven by the end-to-end kill/restore test.
+///
+/// The loop is transport-agnostic: it speaks std::istream/std::ostream, so
+/// stdin/stdout, a TCP connection and a Unix socket all drive the same
+/// code (tools/serve_main.cpp owns the transports), and tests drive it
+/// in-process over string streams.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "core/session_multiplexer.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/tenant_table.hpp"
+
+namespace mobsrv::serve {
+
+/// Service configuration (the mobsrv_serve flags, see docs/CLI.md).
+struct ServiceOptions {
+  /// Max unconsumed steps a tenant may queue before `req` frames bounce
+  /// with `busy`.
+  std::size_t max_inflight = 64;
+  /// Snapshot every N consumed steps (0 = only on `checkpoint` frames and
+  /// graceful exit). Requires snapshot_path.
+  std::size_t checkpoint_every = 0;
+  /// Snapshot file; empty disables checkpointing entirely.
+  std::filesystem::path snapshot_path;
+  /// Worker threads for the multiplexer (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Omit fleet positions from `outcome` frames (smaller frames).
+  bool lean = false;
+  /// External stop flag (the SIGTERM handler sets it); checked between
+  /// frames. May be null.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// Why Service::run returned.
+enum class ExitReason {
+  kEof,       ///< input ended; queues drained, snapshot saved, bye sent
+  kShutdown,  ///< `shutdown` frame; same graceful path
+  kKill,      ///< `kill` frame: exited immediately, no drain or snapshot
+  kSignal,    ///< stop flag set (SIGTERM/SIGINT); graceful path
+};
+
+/// One long-running ingestion service over a private multiplexer.
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+
+  /// Restores the tenant table and every session from a snapshot file, so
+  /// the next run() continues bit-identically to the saved service. Must
+  /// be called before any frames are processed. Throws trace::TraceError /
+  /// ContractViolation on corrupt or mismatched snapshots.
+  void restore(const std::filesystem::path& path);
+
+  /// Processes frames from \p in, writing response frames to \p out, until
+  /// EOF, a shutdown/kill frame, or the stop flag. Runs the graceful-drain
+  /// path (consume queues, snapshot, bye) for every reason except kKill.
+  ExitReason run(std::istream& in, std::ostream& out);
+
+  /// Accounting access for tests and the soak bench.
+  [[nodiscard]] const core::SessionMultiplexer& mux() const noexcept { return mux_; }
+  [[nodiscard]] std::uint64_t lines_seen() const noexcept { return lines_; }
+
+ private:
+  void handle_line(const std::string& line, std::ostream& out);
+  void handle_open(TenantSpec spec, std::ostream& out);
+  void handle_req(const ClientFrame& frame, std::ostream& out);
+  void handle_close(const std::string& name, std::ostream& out);
+  void handle_stats(const std::string& name, std::ostream& out);
+  void handle_checkpoint(std::ostream& out);
+
+  /// Fails the named tenant: consumes its accepted queue (outcomes still
+  /// stream), closes it, emits error + closed frames. The malformed-frame
+  /// discipline: one bad tenant, never the process.
+  void fail_tenant(const std::string& name, const std::string& message, std::ostream& out);
+
+  /// Consumes every queued step (one parallel round per step) and emits
+  /// per-step outcome frames; sessions that throw are closed and reported.
+  void pump(std::ostream& out);
+
+  /// Saves a snapshot if due (cadence) or \p force. Reports save failures
+  /// as error frames without killing the service.
+  void maybe_snapshot(std::ostream& out, bool force);
+  [[nodiscard]] ServiceSnapshot make_snapshot() const;
+
+  ExitReason finish(ExitReason reason, std::ostream& out);
+
+  ServiceOptions options_;
+  par::ThreadPool pool_;
+  core::SessionMultiplexer mux_;
+  TenantTable table_;
+  std::uint64_t lines_ = 0;             ///< input lines seen (error attribution)
+  std::size_t steps_since_snapshot_ = 0;
+  bool shutdown_ = false;
+  bool killed_ = false;
+};
+
+}  // namespace mobsrv::serve

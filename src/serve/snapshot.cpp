@@ -1,0 +1,157 @@
+#include "serve/snapshot.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+static_assert(std::endian::native == std::endian::little,
+              "the snapshot codec assumes a little-endian host");
+
+namespace mobsrv::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'R', 'V', 'S', 'S', '1', '\n'};
+constexpr std::uint8_t kEndTag = 0xFF;
+
+using trace::TraceError;
+
+[[noreturn]] void fail(const std::string& origin, const std::string& message) {
+  throw TraceError(origin + ": " + message);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+/// Length-prefixed section reader with loud truncation errors.
+class Reader {
+ public:
+  Reader(const std::string& bytes, std::string origin)
+      : bytes_(bytes), origin_(std::move(origin)) {}
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  std::string section(const char* what) {
+    need(8, what);
+    std::uint64_t n;
+    std::memcpy(&n, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    if (n > bytes_.size() - pos_)
+      fail(origin_, std::string("truncated: ") + what + " declares " + std::to_string(n) +
+                        " bytes but only " + std::to_string(bytes_.size() - pos_) + " remain");
+    std::string s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
+
+ private:
+  void need(std::size_t n, const char* what) {
+    if (pos_ + n > bytes_.size())
+      fail(origin_, std::string("truncated: unexpected end of file while reading ") + what);
+  }
+
+  const std::string& bytes_;
+  std::string origin_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_snapshot(const ServiceSnapshot& snapshot) {
+  MOBSRV_CHECK_MSG(snapshot.tenants.size() == snapshot.records.size(),
+                   "snapshot tenant table and checkpoint records disagree");
+  io::Json table = io::Json::object();
+  table.set("v", kSnapshotVersion);
+  io::Json tenants = io::Json::array();
+  for (const TenantSpec& spec : snapshot.tenants) tenants.push_back(tenant_spec_to_json(spec));
+  table.set("tenants", std::move(tenants));
+  const std::string json = table.dump();
+  const std::string checkpoint = trace::encode_checkpoint(snapshot.records);
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kSnapshotVersion);
+  put_u64(out, json.size());
+  out += json;
+  put_u64(out, checkpoint.size());
+  out += checkpoint;
+  out.push_back(static_cast<char>(kEndTag));
+  return out;
+}
+
+ServiceSnapshot decode_snapshot(const std::string& bytes, const std::string& origin) {
+  Reader r(bytes, origin);
+  if (bytes.size() < sizeof(kMagic) || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    fail(origin, "not a mobsrv_serve snapshot file (bad magic)");
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) (void)r.u8("magic");
+  const std::uint32_t version = r.u32("version");
+  if (version != kSnapshotVersion)
+    fail(origin, "unsupported snapshot format version " + std::to_string(version) +
+                     " (this build reads version " + std::to_string(kSnapshotVersion) + ")");
+
+  const std::string json = r.section("tenant table");
+  const std::string checkpoint = r.section("checkpoint section");
+  if (r.u8("end tag") != kEndTag) fail(origin, "corrupt end tag");
+  if (r.pos() != r.size()) fail(origin, "trailing data after end tag");
+
+  ServiceSnapshot snapshot;
+  try {
+    const io::Json table = io::Json::parse(json);
+    const io::Json* v = table.find("v");
+    if (v == nullptr || v->as_uint64() != kSnapshotVersion)
+      fail(origin, "tenant table version disagrees with the file header");
+    for (const io::Json& entry : table.at("tenants").as_array())
+      snapshot.tenants.push_back(tenant_spec_from_json(entry));
+  } catch (const TraceError&) {
+    throw;
+  } catch (const std::exception& error) {
+    fail(origin, std::string("corrupt tenant table: ") + error.what());
+  }
+  snapshot.records = trace::decode_checkpoint(checkpoint, origin);
+
+  if (snapshot.tenants.size() != snapshot.records.size())
+    fail(origin, "tenant table holds " + std::to_string(snapshot.tenants.size()) +
+                     " tenants but the checkpoint holds " +
+                     std::to_string(snapshot.records.size()) + " sessions");
+  for (std::size_t i = 0; i < snapshot.tenants.size(); ++i)
+    if (snapshot.tenants[i].tenant != snapshot.records[i].tenant)
+      fail(origin, "tenant table entry " + std::to_string(i) + " is \"" +
+                       snapshot.tenants[i].tenant + "\" but the checkpoint record is for \"" +
+                       snapshot.records[i].tenant + "\"");
+  return snapshot;
+}
+
+void write_snapshot(const std::filesystem::path& path, const ServiceSnapshot& snapshot) {
+  trace::write_bytes_atomic(path, encode_snapshot(snapshot));
+}
+
+ServiceSnapshot read_snapshot(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError(path.string() + ": cannot open (missing file?)");
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw TraceError(path.string() + ": read failed");
+  return decode_snapshot(bytes, path.string());
+}
+
+}  // namespace mobsrv::serve

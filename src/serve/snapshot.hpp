@@ -1,0 +1,58 @@
+/// \file snapshot.hpp
+/// The mobsrv_serve snapshot file: tenant table + engine checkpoint.
+///
+/// A service restart needs two things the engine checkpoint alone does not
+/// carry: WHO the tenants are (their admission specs — algorithm, fleet
+/// size, engine options, start layout) and the engine state itself. A
+/// snapshot file bundles both: a JSON tenant-table section (one
+/// TenantSpec per open tenant, in slot order) followed by the PR 4
+/// checkpoint codec's bytes for the matching sessions. Restoring re-admits
+/// every tenant from its spec and hands the records to
+/// SessionMultiplexer::restore, after which the service continues
+/// bit-identically — proven end to end by the kill/restore test.
+///
+/// Format: little-endian framing ("MSRVSS1\n" magic, u32 version, two
+/// length-prefixed sections, end tag). Saves go through
+/// trace::write_bytes_atomic (temp file + rename), so a crash mid-save
+/// never clobbers the previous good snapshot. Truncated, corrupt or
+/// version-mismatched files fail loudly with a TraceError.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/frames.hpp"
+#include "trace/checkpoint.hpp"
+
+namespace mobsrv::serve {
+
+/// Snapshot format version written by this build; readers accept only this
+/// version (a bump is a deliberate compatibility break).
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Everything a restarted service needs: the open tenants' admission specs
+/// and the matching engine checkpoint records, both in slot order
+/// (tenants[i] owns records[i]).
+struct ServiceSnapshot {
+  std::vector<TenantSpec> tenants;
+  std::vector<core::SessionCheckpointRecord> records;
+};
+
+/// In-memory encode/decode. decode throws TraceError on corrupt/truncated
+/// input, version mismatch, or a tenant table that disagrees with the
+/// checkpoint records (count or name mismatch).
+[[nodiscard]] std::string encode_snapshot(const ServiceSnapshot& snapshot);
+[[nodiscard]] ServiceSnapshot decode_snapshot(const std::string& bytes,
+                                              const std::string& origin);
+
+/// Atomically serialises \p snapshot to \p path (temp file + rename: the
+/// periodic-save path crashes never corrupt). Throws TraceError on I/O
+/// failure.
+void write_snapshot(const std::filesystem::path& path, const ServiceSnapshot& snapshot);
+
+/// Reads a snapshot file. Throws TraceError on missing/corrupt/truncated
+/// input or version mismatch.
+[[nodiscard]] ServiceSnapshot read_snapshot(const std::filesystem::path& path);
+
+}  // namespace mobsrv::serve

@@ -1,0 +1,71 @@
+#include "serve/tenant_table.hpp"
+
+#include <algorithm>
+
+namespace mobsrv::serve {
+
+namespace {
+
+core::SessionSpec to_session_spec(const Tenant& tenant) {
+  core::SessionSpec spec;
+  spec.workload = tenant.workload;
+  spec.algorithm = tenant.spec.algorithm;
+  spec.algo_seed = tenant.spec.seed;
+  spec.speed_factor = tenant.spec.speed_factor;
+  spec.policy = tenant.spec.policy;
+  spec.tenant = tenant.spec.tenant;
+  spec.fleet_size = tenant.spec.fleet_size;
+  spec.starts = tenant.spec.starts;
+  return spec;
+}
+
+}  // namespace
+
+Tenant& TenantTable::admit(TenantSpec spec, core::SessionMultiplexer& mux) {
+  auto workload = std::make_shared<sim::Instance>(spec.starts.front(), spec.params,
+                                                  sim::RequestStore(spec.dim));
+  return install(std::move(spec), std::move(workload), mux);
+}
+
+Tenant& TenantTable::admit_restored(TenantSpec spec, std::size_t consumed,
+                                    core::SessionMultiplexer& mux) {
+  // Pad the rebuilt workload with the steps the saved session already
+  // consumed: the cursor resumes past them, so their content is never read
+  // again — empty steps keep the restored process's request buffers
+  // compact regardless of how long the tenant had been running.
+  sim::RequestStore store(spec.dim);
+  store.reserve(consumed, 0);
+  for (std::size_t t = 0; t < consumed; ++t) store.push_batch(sim::BatchView{});
+  auto workload =
+      std::make_shared<sim::Instance>(spec.starts.front(), spec.params, std::move(store));
+  return install(std::move(spec), std::move(workload), mux);
+}
+
+Tenant& TenantTable::install(TenantSpec spec, std::shared_ptr<sim::Instance> workload,
+                             core::SessionMultiplexer& mux) {
+  if (find(spec.tenant) != nullptr)
+    throw FrameError("tenant \"" + spec.tenant + "\" is already open", spec.tenant);
+  auto tenant = std::make_unique<Tenant>();
+  tenant->spec = std::move(spec);
+  tenant->workload = std::move(workload);
+  tenant->emitted = tenant->workload->horizon();
+  tenant->slot = mux.add(to_session_spec(*tenant));
+  entries_.push_back(std::move(tenant));
+  return *entries_.back();
+}
+
+Tenant* TenantTable::find(const std::string& name) {
+  for (const auto& tenant : entries_)
+    if (tenant->spec.tenant == name) return tenant.get();
+  return nullptr;
+}
+
+void TenantTable::erase(const std::string& name) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const std::unique_ptr<Tenant>& tenant) {
+                                  return tenant->spec.tenant == name;
+                                }),
+                 entries_.end());
+}
+
+}  // namespace mobsrv::serve

@@ -301,6 +301,34 @@ void write_checkpoint(const std::filesystem::path& path,
   if (!out) throw TraceError(path.string() + ": write failed");
 }
 
+void write_bytes_atomic(const std::filesystem::path& path, const std::string& bytes) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw TraceError(tmp.string() + ": cannot open for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw TraceError(tmp.string() + ": write failed");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw TraceError(path.string() + ": atomic rename failed: " + ec.message());
+  }
+}
+
+void write_checkpoint_atomic(const std::filesystem::path& path,
+                             const std::vector<core::SessionCheckpointRecord>& records) {
+  write_bytes_atomic(path, encode_checkpoint(records));
+}
+
 std::vector<core::SessionCheckpointRecord> read_checkpoint(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw TraceError(path.string() + ": cannot open (missing file?)");

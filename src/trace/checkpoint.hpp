@@ -43,6 +43,19 @@ inline constexpr std::uint32_t kCheckpointVersion = 1;
 void write_checkpoint(const std::filesystem::path& path,
                       const std::vector<core::SessionCheckpointRecord>& records);
 
+/// The periodic-save entry point: writes \p bytes to a sibling temp file
+/// and renames it over \p path, so a crash mid-save never clobbers the
+/// previous good checkpoint — the file at \p path is always either the old
+/// complete save or the new complete save. Throws TraceError on I/O
+/// failure (the temp file is removed). Shared by every periodic saver
+/// (mobsrv_serve snapshots ride on it with their own framing).
+void write_bytes_atomic(const std::filesystem::path& path, const std::string& bytes);
+
+/// write_checkpoint through write_bytes_atomic: what a long-running service
+/// calls on its checkpoint cadence.
+void write_checkpoint_atomic(const std::filesystem::path& path,
+                             const std::vector<core::SessionCheckpointRecord>& records);
+
 /// Reads a checkpoint file. Throws TraceError on missing/corrupt/truncated
 /// input or version mismatch.
 [[nodiscard]] std::vector<core::SessionCheckpointRecord> read_checkpoint(

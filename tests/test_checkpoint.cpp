@@ -320,6 +320,70 @@ TEST_F(CheckpointFileTest, RestoreRejectsMismatchedPopulation) {
   EXPECT_EQ(skewed.live(), 0u);
 }
 
+TEST_F(CheckpointFileTest, ChurnedMuxCheckpointCoversOpenSlotsOnly) {
+  // The service closes tenants between periodic saves; a checkpoint taken
+  // after churn must cover exactly the open slots and restore into a mux
+  // with the same open population — closed slots never block a restart.
+  par::ThreadPool pool(2);
+  core::SessionMultiplexer reference(pool);
+  populate(reference);
+  reference.drain();
+
+  core::SessionMultiplexer churned(pool);
+  populate(churned);
+  churned.step(7);
+  churned.close(3);
+  churned.close(11);
+  const std::vector<core::SessionCheckpointRecord> records = churned.checkpoint();
+  EXPECT_EQ(records.size(), churned.size() - 2);
+
+  // A fresh process re-admits only the open tenants (same specs, same
+  // order) — restore must line records up with the open slots.
+  core::SessionMultiplexer restored(pool);
+  populate(restored);
+  restored.close(3);
+  restored.close(11);
+  restored.restore(records);
+  restored.drain();
+  for (std::size_t s = 0; s < restored.size(); ++s) {
+    if (s == 3 || s == 11) continue;  // closed before any work in `restored`
+    const core::SessionStats got = restored.stats(s);
+    const core::SessionStats want = reference.stats(s);
+    EXPECT_EQ(got.total_cost, want.total_cost) << s;
+    EXPECT_EQ(got.positions, want.positions) << s;
+    EXPECT_EQ(got.steps, want.steps) << s;
+  }
+
+  // A mismatched open population (records from before the churn) is loud.
+  core::SessionMultiplexer stale(pool);
+  populate(stale);
+  EXPECT_THROW(stale.restore(records), ContractViolation);
+}
+
+TEST_F(CheckpointFileTest, AtomicWriteReplacesThePreviousSnapshotCleanly) {
+  par::ThreadPool pool(2);
+  core::SessionMultiplexer mux(pool);
+  populate(mux);
+  const fs::path path = dir_ / "periodic.msck";
+
+  // Two consecutive periodic saves: the later one wins, no temp file
+  // survives, and the result round-trips.
+  mux.step(4);
+  trace::write_checkpoint_atomic(path, mux.checkpoint());
+  mux.step(4);
+  const std::vector<core::SessionCheckpointRecord> latest = mux.checkpoint();
+  trace::write_checkpoint_atomic(path, latest);
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+
+  const std::vector<core::SessionCheckpointRecord> read = trace::read_checkpoint(path);
+  EXPECT_EQ(trace::encode_checkpoint(read), trace::encode_checkpoint(latest));
+
+  // Unwritable destinations fail loudly and leave no temp file either.
+  const fs::path bad = dir_ / "no-such-dir" / "x.msck";
+  EXPECT_THROW(trace::write_checkpoint_atomic(bad, latest), trace::TraceError);
+  EXPECT_FALSE(fs::exists(bad.string() + ".tmp"));
+}
+
 TEST_F(CheckpointFileTest, FailedRestoreMidRebuildLeavesMuxUntouched) {
   // A corrupt AlgorithmState passes the spec-binding verification (which
   // does not inspect state internals) and only throws inside the slot

@@ -143,6 +143,85 @@ TEST(SessionMultiplexer, SnapshotCarriesTenantAndProgress) {
   EXPECT_FALSE(snapshot[0].done);
 }
 
+TEST(SessionMultiplexer, CloseCachesFinalAccountingAndReleasesTheSlot) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  populate(mux, 6);
+  mux.step(5);
+  const SessionStats before = mux.stats(2);
+  mux.close(2);
+  EXPECT_TRUE(mux.closed(2));
+  mux.close(2);  // idempotent
+  const SessionStats cached = mux.stats(2);
+  EXPECT_TRUE(cached.closed);
+  EXPECT_EQ(cached.steps, before.steps);
+  EXPECT_EQ(cached.total_cost, before.total_cost);
+  EXPECT_EQ(cached.positions, before.positions);
+
+  mux.drain();  // a closed slot never advances again
+  EXPECT_EQ(mux.stats(2).steps, before.steps);
+  EXPECT_EQ(mux.live(), 0u);
+
+  // Totals keep the closed slot's accounting on the books.
+  const core::MuxTotals totals = mux.totals();
+  EXPECT_EQ(totals.sessions, 6u);
+  EXPECT_EQ(totals.closed, 1u);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < mux.size(); ++s) sum += mux.stats(s).total_cost;
+  EXPECT_DOUBLE_EQ(totals.total_cost, sum);
+
+  // checkpoint() covers open slots only.
+  EXPECT_EQ(mux.checkpoint().size(), 5u);
+}
+
+TEST(SessionMultiplexer, StepCapturingMatchesStepWhenNothingThrows) {
+  par::ThreadPool pool(3);
+  SessionMultiplexer plain(pool);
+  SessionMultiplexer capturing(pool);
+  populate(plain, 50);
+  populate(capturing, 50);
+  std::vector<SessionMultiplexer::SlotError> errors;
+  while (plain.live() > 0) {
+    const std::size_t a = plain.step(2);
+    const std::size_t b = capturing.step_capturing(2, errors);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_TRUE(errors.empty());
+  for (std::size_t s = 0; s < plain.size(); ++s) {
+    EXPECT_EQ(capturing.stats(s).total_cost, plain.stats(s).total_cost) << s;
+    EXPECT_EQ(capturing.stats(s).steps, plain.stats(s).steps) << s;
+  }
+}
+
+TEST(SessionMultiplexer, GrowingWorkloadWakesFinishedSessions) {
+  // The streaming-ingestion contract: serve/ appends batches to a tenant's
+  // Instance in place, and the next step() re-evaluates done-ness.
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  auto workload = std::make_shared<sim::Instance>(geo::Point{0.0, 0.0}, sim::ModelParams{},
+                                                  sim::RequestStore(2));
+  SessionSpec spec;
+  spec.workload = workload;
+  spec.algorithm = "MtC";
+  spec.speed_factor = 1.5;
+  mux.add(std::move(spec));
+  EXPECT_EQ(mux.live(), 0u);  // empty workload: nothing to do yet
+
+  sim::RequestBatch batch;
+  batch.requests = {geo::Point{1.0, 2.0}, geo::Point{-0.5, 0.25}};
+  workload->push_step(batch);
+  EXPECT_EQ(mux.step(10), 0u);
+  EXPECT_EQ(mux.stats(0).steps, 1u);
+  EXPECT_TRUE(mux.stats(0).done);
+  EXPECT_GT(mux.stats(0).total_cost, 0.0);
+
+  // ...and again after finishing: the session keeps waking up.
+  workload->push_step(batch);
+  workload->push_step(sim::BatchView{});  // idle step
+  mux.drain();
+  EXPECT_EQ(mux.stats(0).steps, 3u);
+}
+
 TEST(SessionMultiplexer, UnknownAlgorithmThrowsOnAdd) {
   par::ThreadPool pool(1);
   SessionMultiplexer mux(pool);

@@ -1,0 +1,552 @@
+// End-to-end tests for the mobsrv_serve service loop (serve/service.hpp):
+//   * the acceptance e2e — two tenants (k = 1 and k = 4) streamed in
+//     batches, periodically checkpointed, killed mid-stream, restored, fed
+//     the remainder: outcome frames and final totals are bit-identical to
+//     an uninterrupted service;
+//   * bounded in-flight queues bounce with explicit `busy` frames;
+//   * malformed frames close only the offending tenant, never the process;
+//   * admission failures reject the candidate only;
+//   * tenant churn (open/close) between periodic saves restores to a
+//     consistent tenant table;
+//   * snapshot corruption/truncation fails loudly on restore.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "algorithms/registry.hpp"
+#include "io/json.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "trace/checkpoint.hpp"
+
+namespace mobsrv {
+namespace {
+
+namespace fs = std::filesystem;
+using geo::Point;
+using serve::ExitReason;
+using serve::Service;
+using serve::ServiceOptions;
+
+std::string open_line(const std::string& tenant, const std::string& algorithm, int dim,
+                      std::size_t k = 1, std::uint64_t seed = 0) {
+  io::Json doc = io::Json::object();
+  doc.set("type", "open");
+  doc.set("v", serve::kProtocolVersion);
+  doc.set("tenant", tenant);
+  doc.set("algorithm", algorithm);
+  doc.set("seed", seed);
+  doc.set("dim", dim);
+  doc.set("k", k);
+  doc.set("speed", 1.5);
+  return doc.dump();
+}
+
+std::string req_line(const std::string& tenant, const std::vector<Point>& requests) {
+  io::Json doc = io::Json::object();
+  doc.set("type", "req");
+  doc.set("tenant", tenant);
+  io::Json batch = io::Json::array();
+  for (const Point& p : requests) {
+    io::Json coords = io::Json::array();
+    for (int i = 0; i < p.dim(); ++i) coords.push_back(p[i]);
+    batch.push_back(std::move(coords));
+  }
+  doc.set("batch", std::move(batch));
+  return doc.dump();
+}
+
+/// Deterministic request stream: step t carries t % 3 requests with awkward
+/// (non-dyadic) coordinates, so costs exercise real floating point.
+std::vector<std::vector<Point>> make_batches(std::uint64_t seed, std::size_t steps, int dim) {
+  std::vector<std::vector<Point>> batches(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t r = 0; r < t % 3; ++r) {
+      Point p(dim);
+      for (int c = 0; c < dim; ++c) {
+        const std::uint64_t h = (seed + 1) * 6364136223846793005ULL +
+                                t * 1442695040888963407ULL + r * 2862933555777941757ULL +
+                                static_cast<std::uint64_t>(c) * 3935559000370003845ULL;
+        p[c] = static_cast<double>(h % 2000) / 300.0 - 3.3;
+      }
+      batches[t].push_back(p);
+    }
+  }
+  return batches;
+}
+
+struct RunOutput {
+  ExitReason reason = ExitReason::kEof;
+  std::vector<io::Json> frames;
+};
+
+RunOutput run_lines(Service& service, const std::vector<std::string>& lines) {
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  RunOutput result;
+  result.reason = service.run(in, out);
+  std::istringstream parse(out.str());
+  std::string line;
+  while (std::getline(parse, line))
+    if (!line.empty()) result.frames.push_back(io::Json::parse(line));
+  return result;
+}
+
+std::vector<io::Json> frames_of_type(const RunOutput& run, const std::string& type) {
+  std::vector<io::Json> out;
+  for (const io::Json& frame : run.frames)
+    if (frame.at("type").as_string() == type) out.push_back(frame);
+  return out;
+}
+
+/// This tenant's outcome frames, re-serialised — exact string equality is
+/// the bit-identity check.
+std::vector<std::string> outcomes_of(const RunOutput& run, const std::string& tenant) {
+  std::vector<std::string> out;
+  for (const io::Json& frame : run.frames)
+    if (frame.at("type").as_string() == "outcome" && frame.at("tenant").as_string() == tenant)
+      out.push_back(frame.dump());
+  return out;
+}
+
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mobsrv_serve_" + std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// The acceptance e2e: checkpoint, kill, restore, bit-identical remainder.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, KillAndRestoreContinuesBitIdentically) {
+  constexpr std::size_t kSteps = 40;
+  constexpr std::size_t kCut = 23;
+  const std::string fleet_algo = alg::fleet_native_names().front();
+  const auto alpha = make_batches(1, kSteps, 2);
+  const auto bravo = make_batches(2, kSteps, 2);
+
+  const auto feed = [&](std::vector<std::string>& lines, std::size_t from, std::size_t to) {
+    for (std::size_t t = from; t < to; ++t) {
+      lines.push_back(req_line("alpha", alpha[t]));
+      lines.push_back(req_line("bravo", bravo[t]));
+    }
+  };
+  const auto opens = [&](std::vector<std::string>& lines) {
+    lines.push_back(open_line("alpha", "MtC", 2, 1, 11));
+    lines.push_back(open_line("bravo", fleet_algo, 2, 4, 22));
+  };
+
+  // Reference: one service, never interrupted.
+  ServiceOptions ref_options;
+  ref_options.threads = 2;
+  Service reference(ref_options);
+  std::vector<std::string> ref_lines;
+  opens(ref_lines);
+  feed(ref_lines, 0, kSteps);
+  ref_lines.push_back(R"({"type":"shutdown"})");
+  const RunOutput ref = run_lines(reference, ref_lines);
+  ASSERT_EQ(ref.reason, ExitReason::kShutdown);
+  ASSERT_EQ(frames_of_type(ref, "error").size(), 0u);
+  ASSERT_EQ(outcomes_of(ref, "alpha").size(), kSteps);
+  ASSERT_EQ(outcomes_of(ref, "bravo").size(), kSteps);
+
+  // Interrupted: half the stream, an explicit checkpoint, then a hard kill.
+  const fs::path snapshot = dir_ / "svc.msrvss";
+  ServiceOptions options;
+  options.threads = 2;
+  options.snapshot_path = snapshot;
+  Service first(options);
+  std::vector<std::string> first_lines;
+  opens(first_lines);
+  feed(first_lines, 0, kCut);
+  first_lines.push_back(R"({"type":"checkpoint"})");
+  first_lines.push_back(R"({"type":"kill"})");
+  const RunOutput half = run_lines(first, first_lines);
+  EXPECT_EQ(half.reason, ExitReason::kKill);
+  EXPECT_EQ(frames_of_type(half, "bye").size(), 0u) << "kill skips the graceful path";
+  ASSERT_EQ(frames_of_type(half, "checkpointed").size(), 1u);
+  ASSERT_TRUE(fs::exists(snapshot));
+
+  // A fresh process restores and consumes the remainder.
+  Service second(options);
+  second.restore(snapshot);
+  EXPECT_EQ(second.mux().size(), 2u);
+  std::vector<std::string> rest_lines;
+  feed(rest_lines, kCut, kSteps);
+  rest_lines.push_back(R"({"type":"shutdown"})");
+  const RunOutput rest = run_lines(second, rest_lines);
+  ASSERT_EQ(rest.reason, ExitReason::kShutdown);
+  ASSERT_EQ(frames_of_type(rest, "error").size(), 0u);
+
+  // Outcome frames concatenate to exactly the uninterrupted stream.
+  for (const std::string tenant : {"alpha", "bravo"}) {
+    std::vector<std::string> stitched = outcomes_of(half, tenant);
+    const std::vector<std::string> tail = outcomes_of(rest, tenant);
+    stitched.insert(stitched.end(), tail.begin(), tail.end());
+    EXPECT_EQ(stitched, outcomes_of(ref, tenant)) << tenant;
+  }
+
+  // And the final engine state agrees bit-for-bit.
+  const std::vector<core::SessionStats> want = reference.mux().snapshot();
+  const std::vector<core::SessionStats> got = second.mux().snapshot();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t s = 0; s < want.size(); ++s) {
+    EXPECT_EQ(got[s].tenant, want[s].tenant);
+    EXPECT_EQ(got[s].steps, want[s].steps);
+    EXPECT_EQ(got[s].total_cost, want[s].total_cost);
+    EXPECT_EQ(got[s].move_cost, want[s].move_cost);
+    EXPECT_EQ(got[s].service_cost, want[s].service_cost);
+    EXPECT_EQ(got[s].positions, want[s].positions);
+  }
+}
+
+TEST_F(ServeServiceTest, PeriodicCheckpointsFireAtQuiescentPoints) {
+  const fs::path snapshot = dir_ / "periodic.msrvss";
+  ServiceOptions options;
+  options.snapshot_path = snapshot;
+  options.checkpoint_every = 3;
+  options.max_inflight = 2;  // small cap forces pumps mid-burst
+  Service service(options);
+
+  const auto batches = make_batches(5, 10, 1);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 1));
+  for (const auto& batch : batches) lines.push_back(req_line("alpha", batch));
+  lines.push_back(R"({"type":"shutdown"})");
+  const RunOutput run = run_lines(service, lines);
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+
+  // Cadence saves during the burst, plus the forced save on shutdown.
+  EXPECT_GE(frames_of_type(run, "checkpointed").size(), 2u);
+  // Every req was either consumed (outcome) or bounced (busy) — no drops.
+  const std::size_t outcomes = outcomes_of(run, "alpha").size();
+  const std::size_t busy = frames_of_type(run, "busy").size();
+  EXPECT_EQ(outcomes + busy, batches.size());
+  EXPECT_GT(busy, 0u);
+
+  // The final snapshot restores to the fully drained state.
+  Service restored(options);
+  restored.restore(snapshot);
+  EXPECT_EQ(restored.mux().stats(0).steps, outcomes);
+  EXPECT_EQ(restored.mux().stats(0).total_cost, service.mux().stats(0).total_cost);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, FullQueueBouncesWithExplicitBusyFrames) {
+  ServiceOptions options;
+  options.max_inflight = 2;
+  Service service(options);
+
+  const auto batches = make_batches(7, 7, 1);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 1));
+  for (const auto& batch : batches) lines.push_back(req_line("alpha", batch));
+  lines.push_back(R"({"type":"shutdown"})");
+  const RunOutput run = run_lines(service, lines);
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+
+  const std::vector<io::Json> busy = frames_of_type(run, "busy");
+  ASSERT_GT(busy.size(), 0u);
+  for (const io::Json& frame : busy) {
+    EXPECT_EQ(frame.at("tenant").as_string(), "alpha");
+    EXPECT_EQ(frame.at("limit").as_uint64(), 2u);
+    EXPECT_GE(frame.at("queued").as_uint64(), 2u);
+    EXPECT_GT(frame.at("line").as_uint64(), 1u);
+  }
+  EXPECT_EQ(outcomes_of(run, "alpha").size() + busy.size(), batches.size());
+}
+
+// ---------------------------------------------------------------------------
+// Error isolation.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, MalformedFrameClosesOnlyTheOffendingTenant) {
+  Service service(ServiceOptions{});
+  const std::vector<std::string> lines = {
+      open_line("alpha", "MtC", 1),                          // line 1
+      open_line("bravo", "Lazy", 1),                         // line 2
+      req_line("alpha", {Point{0.5}}),                       // line 3
+      req_line("bravo", {Point{0.25}}),                      // line 4
+      R"({"type":"req","tenant":"alpha","batc":[[1]]})",     // line 5: typo'd member
+      req_line("alpha", {Point{0.75}}),                      // line 6: alpha is gone now
+      req_line("bravo", {Point{0.125}}),                     // line 7: bravo unaffected
+      R"({"type":"shutdown"})",                              // line 8
+  };
+  const RunOutput run = run_lines(service, lines);
+  ASSERT_EQ(run.reason, ExitReason::kShutdown) << "one bad tenant never kills the process";
+
+  const std::vector<io::Json> errors = frames_of_type(run, "error");
+  ASSERT_EQ(errors.size(), 2u);
+  // The typo closes alpha, with the offending line number.
+  EXPECT_EQ(errors[0].at("line").as_uint64(), 5u);
+  EXPECT_EQ(errors[0].at("tenant").as_string(), "alpha");
+  EXPECT_TRUE(errors[0].at("closed").as_bool());
+  EXPECT_NE(errors[0].at("message").as_string().find("unknown member"), std::string::npos);
+  // The follow-up req to the closed tenant is an unattached error.
+  EXPECT_EQ(errors[1].at("line").as_uint64(), 6u);
+  EXPECT_FALSE(errors[1].at("closed").as_bool());
+
+  // Alpha's accepted step still produced its outcome, then a final bill.
+  EXPECT_EQ(outcomes_of(run, "alpha").size(), 1u);
+  const std::vector<io::Json> closed = frames_of_type(run, "closed");
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].at("tenant").as_string(), "alpha");
+  EXPECT_EQ(closed[0].at("steps").as_uint64(), 1u);
+  // Bravo streamed through untouched.
+  EXPECT_EQ(outcomes_of(run, "bravo").size(), 2u);
+}
+
+TEST_F(ServeServiceTest, UnattributableGarbageClosesNothing) {
+  Service service(ServiceOptions{});
+  const RunOutput run = run_lines(service, {
+                                               open_line("alpha", "MtC", 1),
+                                               "{this is not json",
+                                               req_line("alpha", {Point{1.0}}),
+                                               R"({"type":"shutdown"})",
+                                           });
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+  const std::vector<io::Json> errors = frames_of_type(run, "error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].at("line").as_uint64(), 2u);
+  EXPECT_EQ(errors[0].find("tenant"), nullptr);
+  EXPECT_EQ(outcomes_of(run, "alpha").size(), 1u) << "alpha survived the garbage line";
+  EXPECT_EQ(frames_of_type(run, "closed").size(), 0u);
+}
+
+TEST_F(ServeServiceTest, AdmissionFailuresRejectTheCandidateOnly) {
+  Service service(ServiceOptions{});
+  const RunOutput run = run_lines(service, {
+                                               open_line("alpha", "MtC", 1, 1, 7),
+                                               open_line("alpha", "Lazy", 1),   // duplicate name
+                                               open_line("bad", "NoSuchAlgo", 1),
+                                               open_line("worse", "MtC", 1, 4),  // k=4 needs fleet-native
+                                               req_line("alpha", {Point{2.0}}),
+                                               R"({"type":"shutdown"})",
+                                           });
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+  ASSERT_EQ(frames_of_type(run, "opened").size(), 1u);
+  const std::vector<io::Json> errors = frames_of_type(run, "error");
+  ASSERT_EQ(errors.size(), 3u);
+  for (const io::Json& frame : errors) EXPECT_FALSE(frame.at("closed").as_bool());
+  EXPECT_NE(errors[0].at("message").as_string().find("already open"), std::string::npos);
+  // The original alpha is untouched and still serving.
+  EXPECT_EQ(outcomes_of(run, "alpha").size(), 1u);
+  EXPECT_EQ(service.mux().size(), 1u);
+}
+
+TEST_F(ServeServiceTest, OpenedFrameEchoesTheAdmittedSpecWithDefaults) {
+  Service service(ServiceOptions{});
+  const RunOutput run =
+      run_lines(service, {open_line("alpha", "MtC", 2), R"({"type":"shutdown"})"});
+  const std::vector<io::Json> opened = frames_of_type(run, "opened");
+  ASSERT_EQ(opened.size(), 1u);
+  EXPECT_EQ(opened[0].at("k").as_uint64(), 1u);
+  EXPECT_EQ(opened[0].at("policy").as_string(), "clamp");
+  EXPECT_EQ(opened[0].at("order").as_string(), "move-then-serve");
+  ASSERT_EQ(opened[0].at("starts").as_array().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Close / stats frames.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, CloseDrainsAndReportsTheFinalBill) {
+  Service service(ServiceOptions{});
+  const auto batches = make_batches(3, 4, 1);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 1));
+  for (const auto& batch : batches) lines.push_back(req_line("alpha", batch));
+  lines.push_back(R"({"type":"close","tenant":"alpha"})");
+  lines.push_back(req_line("alpha", {Point{1.0}}));  // closed → unknown tenant
+  lines.push_back(R"({"type":"stats"})");
+  lines.push_back(R"({"type":"shutdown"})");
+  const RunOutput run = run_lines(service, lines);
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+
+  EXPECT_EQ(outcomes_of(run, "alpha").size(), batches.size());
+  const std::vector<io::Json> closed = frames_of_type(run, "closed");
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].at("steps").as_uint64(), batches.size());
+  EXPECT_EQ(closed[0].at("total").as_double(),
+            closed[0].at("move").as_double() + closed[0].at("service").as_double());
+
+  const std::vector<io::Json> errors = frames_of_type(run, "error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].at("message").as_string().find("unknown tenant"), std::string::npos);
+
+  // The closed tenant's accounting survives in stats and the farewell.
+  const std::vector<io::Json> stats = frames_of_type(run, "stats");
+  ASSERT_EQ(stats.size(), 1u);
+  ASSERT_EQ(stats[0].at("tenants").as_array().size(), 1u);
+  EXPECT_TRUE(stats[0].at("tenants").as_array()[0].at("closed").as_bool());
+  EXPECT_EQ(stats[0].at("steps").as_uint64(), batches.size());
+  const std::vector<io::Json> bye = frames_of_type(run, "bye");
+  ASSERT_EQ(bye.size(), 1u);
+  EXPECT_EQ(bye[0].at("reason").as_string(), "shutdown");
+  EXPECT_EQ(bye[0].at("sessions").as_uint64(), 1u);
+}
+
+TEST_F(ServeServiceTest, CheckpointFrameWithoutSnapshotPathIsALoudNoOp) {
+  Service service(ServiceOptions{});
+  const RunOutput run = run_lines(service, {R"({"type":"checkpoint"})"});
+  ASSERT_EQ(run.reason, ExitReason::kEof);
+  const std::vector<io::Json> errors = frames_of_type(run, "error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].at("message").as_string().find("disabled"), std::string::npos);
+}
+
+TEST_F(ServeServiceTest, PresetStopFlagDrainsGracefully) {
+  std::atomic<bool> stop{true};
+  ServiceOptions options;
+  options.stop = &stop;
+  Service service(options);
+  const RunOutput run = run_lines(service, {open_line("alpha", "MtC", 1)});
+  EXPECT_EQ(run.reason, ExitReason::kSignal);
+  ASSERT_EQ(run.frames.size(), 1u) << "nothing processed after the stop flag";
+  EXPECT_EQ(run.frames[0].at("type").as_string(), "bye");
+  EXPECT_EQ(run.frames[0].at("reason").as_string(), "signal");
+}
+
+// ---------------------------------------------------------------------------
+// Tenant churn racing periodic saves (the restart surface stays consistent).
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, ChurnedTenantTableRestoresConsistently) {
+  const fs::path snapshot = dir_ / "churn.msrvss";
+  ServiceOptions options;
+  options.snapshot_path = snapshot;
+  const auto alpha = make_batches(11, 5, 1);
+  const auto bravo = make_batches(12, 7, 1);
+
+  // Reference for bravo: an uninterrupted lone run of the same stream.
+  Service reference(ServiceOptions{});
+  std::vector<std::string> ref_lines;
+  ref_lines.push_back(open_line("bravo", "MoveToMin", 1, 1, 5));
+  for (const auto& batch : bravo) ref_lines.push_back(req_line("bravo", batch));
+  ref_lines.push_back(R"({"type":"shutdown"})");
+  ASSERT_EQ(run_lines(reference, ref_lines).reason, ExitReason::kShutdown);
+
+  // Churn: alpha opens, streams, and closes between saves; bravo persists.
+  Service first(options);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 1, 1, 3));
+  for (const auto& batch : alpha) lines.push_back(req_line("alpha", batch));
+  lines.push_back(R"({"type":"checkpoint"})");  // save #1: alpha only
+  lines.push_back(open_line("bravo", "MoveToMin", 1, 1, 5));
+  for (std::size_t t = 0; t < 3; ++t) lines.push_back(req_line("bravo", bravo[t]));
+  lines.push_back(R"({"type":"close","tenant":"alpha"})");
+  lines.push_back(R"({"type":"checkpoint"})");  // save #2: bravo only
+  lines.push_back(R"({"type":"kill"})");
+  const RunOutput churn = run_lines(first, lines);
+  ASSERT_EQ(churn.reason, ExitReason::kKill);
+  ASSERT_EQ(frames_of_type(churn, "checkpointed").size(), 2u);
+
+  // The restored table holds exactly the tenants open at the last save.
+  Service second(options);
+  second.restore(snapshot);
+  ASSERT_EQ(second.mux().size(), 1u);
+  EXPECT_EQ(second.mux().stats(0).tenant, "bravo");
+  EXPECT_EQ(second.mux().stats(0).steps, 3u);
+
+  // A NEW tenant may reuse the closed name, and bravo finishes bit-identically.
+  std::vector<std::string> rest;
+  rest.push_back(open_line("alpha", "Lazy", 1));
+  for (std::size_t t = 3; t < bravo.size(); ++t) rest.push_back(req_line("bravo", bravo[t]));
+  rest.push_back(R"({"type":"shutdown"})");
+  const RunOutput tail = run_lines(second, rest);
+  ASSERT_EQ(tail.reason, ExitReason::kShutdown);
+  ASSERT_EQ(frames_of_type(tail, "opened").size(), 1u);
+
+  const core::SessionStats got = second.mux().stats(0);
+  const core::SessionStats want = reference.mux().stats(0);
+  EXPECT_EQ(got.steps, want.steps);
+  EXPECT_EQ(got.total_cost, want.total_cost);
+  EXPECT_EQ(got.move_cost, want.move_cost);
+  EXPECT_EQ(got.service_cost, want.service_cost);
+  EXPECT_EQ(got.positions, want.positions);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot integrity.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, CorruptSnapshotsFailLoudlyOnRestore) {
+  const fs::path snapshot = dir_ / "good.msrvss";
+  ServiceOptions options;
+  options.snapshot_path = snapshot;
+  Service service(options);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 2, 1, 9));
+  for (const auto& batch : make_batches(9, 6, 2)) lines.push_back(req_line("alpha", batch));
+  lines.push_back(R"({"type":"shutdown"})");
+  ASSERT_EQ(run_lines(service, lines).reason, ExitReason::kShutdown);
+  ASSERT_TRUE(fs::exists(snapshot));
+
+  std::ifstream in(snapshot, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const auto write_variant = [&](const std::string& name, const std::string& content) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    return path;
+  };
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  std::string bad_version = bytes;
+  bad_version[8] = 99;
+  for (const fs::path& path :
+       {write_variant("magic", bad_magic), write_variant("version", bad_version),
+        write_variant("trunc", bytes.substr(0, bytes.size() / 2)),
+        write_variant("no-tag", bytes.substr(0, bytes.size() - 1)),
+        write_variant("trailing", bytes + "x"), write_variant("empty", "")}) {
+    Service fresh(options);
+    EXPECT_THROW(fresh.restore(path), trace::TraceError) << path;
+  }
+  EXPECT_THROW(Service(options).restore(dir_ / "missing.msrvss"), trace::TraceError);
+
+  // The pristine file still restores.
+  Service fresh(options);
+  fresh.restore(snapshot);
+  EXPECT_EQ(fresh.mux().stats(0).total_cost, service.mux().stats(0).total_cost);
+}
+
+TEST_F(ServeServiceTest, SnapshotSavesAreAtomic) {
+  // Two consecutive saves leave no temp file behind and the second wins.
+  const fs::path snapshot = dir_ / "atomic.msrvss";
+  ServiceOptions options;
+  options.snapshot_path = snapshot;
+  Service service(options);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 1));
+  lines.push_back(req_line("alpha", {Point{1.5}}));
+  lines.push_back(R"({"type":"checkpoint"})");
+  lines.push_back(req_line("alpha", {Point{-2.5}}));
+  lines.push_back(R"({"type":"shutdown"})");
+  ASSERT_EQ(run_lines(service, lines).reason, ExitReason::kShutdown);
+  EXPECT_FALSE(fs::exists(snapshot.string() + ".tmp"));
+
+  Service restored(options);
+  restored.restore(snapshot);
+  EXPECT_EQ(restored.mux().stats(0).steps, 2u) << "the shutdown-time save wins";
+}
+
+}  // namespace
+}  // namespace mobsrv

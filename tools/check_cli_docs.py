@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Cross-check docs/CLI.md against each binary's --help output.
+
+Both directions are enforced:
+  * every flag a binary prints in --help must appear in its docs/CLI.md
+    section (docs drift: a flag was added but never documented);
+  * every flag mentioned in a binary's docs/CLI.md section must appear in
+    its --help output (code drift: a flag was renamed/removed but the docs
+    still advertise it).
+
+Flags are `--name` tokens; `=value` suffixes are ignored. The whole
+`--benchmark_*` family (forwarded verbatim to google-benchmark) is
+normalised to one token, and `--help` itself is exempt. Sections of
+docs/CLI.md are delimited by `## <binary-name>` headers; prose outside a
+binary's section is never scanned, so the rest of the docs can mention
+flags freely.
+
+Usage: check_cli_docs.py --docs docs/CLI.md --bindir build [binary ...]
+Exit: 0 when consistent, 1 with a per-binary report otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+DEFAULT_BINARIES = ["mobsrv_bench", "mobsrv_trace", "mobsrv_perf", "mobsrv_serve"]
+FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9_-]*")
+
+
+def normalize(flag: str) -> str:
+    if flag.startswith("--benchmark"):
+        return "--benchmark_*"
+    return flag
+
+
+def extract_flags(text: str) -> set:
+    flags = {normalize(m.group(0)) for m in FLAG_RE.finditer(text)}
+    flags.discard("--help")
+    return flags
+
+
+def help_output(binary: pathlib.Path) -> str:
+    # Resolve so a bare name like `mobsrv_bench` (from --bindir .) execs the
+    # file rather than being looked up in PATH.
+    result = subprocess.run(
+        [str(binary.resolve()), "--help"], capture_output=True, text=True, timeout=60
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"{binary} --help exited {result.returncode}")
+    return result.stdout + result.stderr
+
+
+def docs_sections(docs_text: str) -> dict:
+    """Map `## <name>` header -> section body (up to the next `## `)."""
+    sections = {}
+    current = None
+    lines = []
+    for line in docs_text.splitlines():
+        header = re.match(r"^##\s+(\S+)\s*$", line)
+        if header:
+            if current is not None:
+                sections[current] = "\n".join(lines)
+            current = header.group(1)
+            lines = []
+        elif current is not None:
+            lines.append(line)
+    if current is not None:
+        sections[current] = "\n".join(lines)
+    return sections
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--docs", default="docs/CLI.md", type=pathlib.Path)
+    parser.add_argument("--bindir", default="build", type=pathlib.Path)
+    parser.add_argument("binaries", nargs="*", default=DEFAULT_BINARIES)
+    args = parser.parse_args()
+
+    if not args.docs.is_file():
+        print(f"check_cli_docs: docs file not found: {args.docs}", file=sys.stderr)
+        return 1
+    sections = docs_sections(args.docs.read_text(encoding="utf-8"))
+
+    failures = []
+    for name in args.binaries:
+        binary = args.bindir / name
+        if not binary.is_file():
+            failures.append(f"{name}: binary not found at {binary}")
+            continue
+        if name not in sections:
+            failures.append(f"{name}: no `## {name}` section in {args.docs}")
+            continue
+        in_help = extract_flags(help_output(binary))
+        in_docs = extract_flags(sections[name])
+        undocumented = sorted(in_help - in_docs)
+        stale = sorted(in_docs - in_help)
+        if undocumented:
+            failures.append(
+                f"{name}: flags in --help but missing from {args.docs}: "
+                + ", ".join(undocumented)
+            )
+        if stale:
+            failures.append(
+                f"{name}: flags documented in {args.docs} but absent from --help: "
+                + ", ".join(stale)
+            )
+
+    if failures:
+        print("check_cli_docs: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_cli_docs: OK ({len(args.binaries)} binaries vs {args.docs})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+/// \file serve_main.cpp
+/// mobsrv_serve — live NDJSON ingestion service over the session multiplexer.
+///
+///   mobsrv_serve [--snapshot=PATH] [--checkpoint-every=N] [--resume]
+///                [--max-inflight=N] [--threads=N] [--lean]
+///                [--tcp=PORT | --unix=PATH]
+///
+/// The service reads client frames (one JSON object per line) from stdin —
+/// or from a single TCP or Unix-socket connection — routes them to
+/// per-tenant sessions inside the SessionMultiplexer, and streams response
+/// frames back. docs/SERVICE.md is the wire-protocol reference;
+/// docs/CLI.md documents the flags.
+///
+/// Lifecycle: EOF, a `shutdown` frame, SIGTERM or SIGINT all drain every
+/// queued step, save a final snapshot (when --snapshot is set) and emit a
+/// `bye` frame. A `kill` frame exits immediately without draining (the
+/// crash-test aid); restarting with `--resume` then continues
+/// bit-identically from the last periodic snapshot.
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <streambuf>
+#include <string>
+
+#include <netinet/in.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/contracts.hpp"
+#include "io/args.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace mobsrv;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+/// Installed WITHOUT SA_RESTART: a signal must interrupt the blocking read
+/// (or accept) so the service notices the stop flag and drains gracefully.
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Read side of a connection fd. showmanyc() asks the kernel how many bytes
+/// are already buffered (FIONREAD), which is what lets the service batch
+/// frame intake during a burst and pump the multiplexer when input pauses.
+class FdInBuf : public std::streambuf {
+ public:
+  explicit FdInBuf(int fd) : fd_(fd) { setg(buf_, buf_, buf_); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, buf_, sizeof(buf_));
+    if (n <= 0) return traits_type::eof();
+    setg(buf_, buf_, buf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  std::streamsize showmanyc() override {
+    int pending = 0;
+    if (::ioctl(fd_, FIONREAD, &pending) == 0 && pending > 0) return pending;
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char buf_[1 << 16];
+};
+
+/// Write side of a connection fd; flushes on sync() (the service flushes
+/// whenever it goes back to waiting for input).
+class FdOutBuf : public std::streambuf {
+ public:
+  explicit FdOutBuf(int fd) : fd_(fd) { setp(buf_, buf_ + sizeof(buf_)); }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (flush() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush(); }
+
+ private:
+  int flush() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      p += n;
+    }
+    setp(buf_, buf_ + sizeof(buf_));
+    return 0;
+  }
+
+  int fd_;
+  char buf_[1 << 16];
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: mobsrv_serve [flags]\n"
+        "  --snapshot=PATH        snapshot file; enables checkpointing (final save on\n"
+        "                         graceful exit, plus `checkpoint` frames)\n"
+        "  --checkpoint-every=N   also save every N consumed steps (0 = off; needs\n"
+        "                         --snapshot)\n"
+        "  --resume               restore tenants + sessions from --snapshot if the\n"
+        "                         file exists, then continue bit-identically\n"
+        "  --max-inflight=N       per-tenant unconsumed-step cap before `req` frames\n"
+        "                         bounce with `busy` (default 64)\n"
+        "  --threads=N            multiplexer worker threads (default 0 = hardware)\n"
+        "  --lean                 omit fleet positions from `outcome` frames\n"
+        "  --tcp=PORT             serve one TCP connection on 127.0.0.1:PORT instead\n"
+        "                         of stdin/stdout\n"
+        "  --unix=PATH            serve one connection on a Unix socket at PATH\n"
+        "  --help                 print this help\n"
+        "\n"
+        "Frames are NDJSON; see docs/SERVICE.md for the wire protocol.\n";
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "mobsrv_serve: " << message << "\n";
+  std::exit(2);
+}
+
+int listen_tcp(int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) die(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    die("bind 127.0.0.1:" + std::to_string(port) + ": " + std::strerror(errno));
+  if (::listen(listener, 1) != 0) die(std::string("listen: ") + std::strerror(errno));
+  return listener;
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) die("--unix path too long: " + path);
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) die(std::string("socket: ") + std::strerror(errno));
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    die("bind " + path + ": " + std::strerror(errno));
+  if (::listen(listener, 1) != 0) die(std::string("listen: ") + std::strerror(errno));
+  return listener;
+}
+
+/// Blocks for one client, tolerating EINTR unless the stop flag is up.
+int accept_one(int listener) {
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR && !g_stop.load(std::memory_order_relaxed)) continue;
+    return -1;
+  }
+}
+
+int exit_code(serve::ExitReason reason) {
+  // `kill` is the crash-test aid: a deliberately unclean exit reports as one.
+  return reason == serve::ExitReason::kKill ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  if (args.has("help")) {
+    print_usage(std::cout);
+    return 0;
+  }
+  for (const std::string& name : args.flag_names()) {
+    static constexpr const char* kKnown[] = {"snapshot", "checkpoint-every", "resume",
+                                             "max-inflight", "threads",          "lean",
+                                             "tcp",      "unix"};
+    bool ok = false;
+    for (const char* flag : kKnown) ok = ok || name == flag;
+    if (!ok) {
+      std::cerr << "mobsrv_serve: unknown flag --" << name << "\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+  }
+  if (!args.positionals().empty()) die("unexpected argument: " + args.positionals().front());
+
+  serve::ServiceOptions options;
+  options.snapshot_path = args.get_string("snapshot", "");
+  options.checkpoint_every = static_cast<std::size_t>(args.get_uint64("checkpoint-every", 0));
+  options.max_inflight = static_cast<std::size_t>(args.get_uint64("max-inflight", 64));
+  options.threads = static_cast<unsigned>(args.get_uint64("threads", 0));
+  options.lean = args.get_bool("lean", false);
+  options.stop = &g_stop;
+  if (options.checkpoint_every > 0 && options.snapshot_path.empty())
+    die("--checkpoint-every needs --snapshot");
+  if (options.max_inflight == 0) die("--max-inflight must be >= 1");
+  if (args.has("tcp") && args.has("unix")) die("--tcp and --unix are mutually exclusive");
+
+  install_signal_handlers();
+
+  try {
+    serve::Service service(options);
+    if (args.get_bool("resume", false)) {
+      if (options.snapshot_path.empty()) die("--resume needs --snapshot");
+      if (std::filesystem::exists(options.snapshot_path)) {
+        service.restore(options.snapshot_path);
+        std::cerr << "mobsrv_serve: resumed " << service.mux().size() << " tenant(s) from "
+                  << options.snapshot_path << "\n";
+      }
+    }
+
+    if (args.has("tcp") || args.has("unix")) {
+      const int listener = args.has("tcp")
+                               ? listen_tcp(args.get_int("tcp", 0))
+                               : listen_unix(args.get_string("unix", ""));
+      const int fd = accept_one(listener);
+      if (fd < 0) {
+        ::close(listener);
+        // SIGTERM while waiting for the client: nothing to drain yet.
+        return g_stop.load(std::memory_order_relaxed) ? 0 : 2;
+      }
+      FdInBuf inbuf(fd);
+      FdOutBuf outbuf(fd);
+      std::istream in(&inbuf);
+      std::ostream out(&outbuf);
+      const serve::ExitReason reason = service.run(in, out);
+      out.flush();
+      ::close(fd);
+      ::close(listener);
+      if (args.has("unix")) ::unlink(args.get_string("unix", "").c_str());
+      return exit_code(reason);
+    }
+
+    return exit_code(service.run(std::cin, std::cout));
+  } catch (const std::exception& error) {
+    std::cerr << "mobsrv_serve: " << error.what() << "\n";
+    return 1;
+  }
+}

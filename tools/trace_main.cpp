@@ -38,7 +38,8 @@ void print_usage(std::ostream& os) {
         "  list     print the corpus scenario names\n"
         "  record   --scenario=N [--seed=S] [--scale=F] [--algos=A,B] [--speed-factor=X]\n"
         "           --out=FILE           generate a scenario, run algorithms, save all\n"
-        "  replay   --in=FILE|DIR        re-run recorded runs, verify costs bit-identically\n"
+        "  replay   --in=FILE|DIR [--quiet]\n"
+        "           re-run recorded runs, verify costs bit-identically\n"
         "  inspect  --in=FILE [--json]   describe a trace file\n"
         "  convert  --in=FILE --out=FILE transcode between .jsonl and .mtb\n"
         "  corpus   --dir=DIR [--seed=S] [--scale=F] [--codec=jsonl|binary] [--algos=A,B]\n"
