@@ -33,6 +33,10 @@ void Report::end_experiment(double seconds) {
   experiments_.back().seconds = seconds;
 }
 
+obs::Histogram* Report::current_trial_latency() {
+  return experiments_.empty() ? nullptr : &experiments_.back().trial_latency;
+}
+
 void Report::add_table(const io::Table& table) {
   MOBSRV_CHECK_MSG(!experiments_.empty(), "add_table outside an experiment");
   experiments_.back().tables.push_back(table);
@@ -57,6 +61,8 @@ io::Json Report::to_json() const {
     experiment.set("id", e.id);
     experiment.set("title", e.title);
     experiment.set("seconds", e.seconds);
+    if (!e.trial_latency.empty())
+      experiment.set("trial_latency_ns", obs::summary_to_json(e.trial_latency.summary()));
 
     io::Json tables = io::Json::array();
     for (const io::Table& t : e.tables) {
@@ -116,6 +122,7 @@ core::RatioOptions Options::ratio_options(std::string_view stream,
   core::RatioOptions opt;
   opt.trials = trials;
   opt.seed_key = seed_key(stream, keys);
+  if (report != nullptr) opt.trial_latency = report->current_trial_latency();
   if (recorder != nullptr) {
     // Snapshot one representative run per sweep row (trial 0): the full
     // instance plus the observed engine run, replayable bit-identically.

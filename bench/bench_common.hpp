@@ -49,6 +49,12 @@ class Report {
   void add_table(const io::Table& table);
   void add_check(CheckResult check);
 
+  /// The current experiment's per-trial latency histogram (filled by the
+  /// ratio harness via Options::ratio_options), or nullptr outside an
+  /// experiment. Serialised as `trial_latency_ns` p50/p90/p99 in --json, so
+  /// driver timings report percentiles, not just one wall-clock total.
+  [[nodiscard]] obs::Histogram* current_trial_latency();
+
   /// Driver-level context echoed into the JSON root.
   int trials = 0;
   double scale = 1.0;
@@ -64,6 +70,7 @@ class Report {
     std::string id;
     std::string title;
     double seconds = 0.0;
+    obs::Histogram trial_latency;  ///< wall ns per ratio-harness trial
     std::vector<io::Table> tables;
     std::vector<CheckResult> checks;
   };

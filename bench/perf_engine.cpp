@@ -33,6 +33,18 @@
 ///                               pushed end-to-end through serve::Service —
 ///                               frame parsing, tenant routing, mux stepping
 ///                               and outcome emission all on the clock.
+///   * obs/overhead            — the telemetry overhead gate: the same mux
+///                               drain stepped one round at a time with
+///                               per-round timing on (lean:0) and off
+///                               (lean:1); the acceptance bar is lean:0
+///                               within 2% of lean:1.
+///   * serve/ingest_p99        — the ingest soak with full telemetry
+///                               (lean=false); reports the accept->outcome
+///                               ingest-latency p50/p99 from the service's
+///                               own serve.ingest_latency_ns histogram.
+///   * engine/step_latency     — sim::Session with the RunOptions
+///                               step_latency hook attached: per-push wall
+///                               time from the histogram the engine fills.
 /// Each engine benchmark runs at dim 1, 2 and 8 so the dead-coordinate cost
 /// of the AoS layout is visible: at dim 1 the old layout reads 72 bytes per
 /// request for 8 useful ones. Solver benchmarks run at dim 1 and 2 (the
@@ -60,6 +72,7 @@
 #include <vector>
 
 #include "core/mobsrv.hpp"
+#include "obs/metrics.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -554,6 +567,84 @@ void BM_ServeIngest(benchmark::State& state, Sizes sizes) {
   state.counters["tenants"] = static_cast<double>(tenants);
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry rows (PR 7). obs/overhead is the 2% gate behind --lean's
+// contract: the identical single-round drain with the per-round clock reads
+// on (lean:0) and off (lean:1). Stepping one round at a time maximises the
+// relative cost of the two obs::now_ns() calls per round, so the gate is
+// conservative. serve/ingest_p99 and engine/step_latency reuse the
+// obs::Histogram machinery the service itself runs, so the percentiles in
+// BENCH_perf.json come from the production code path, not a bench-side
+// timer.
+// ---------------------------------------------------------------------------
+
+void BM_ObsOverhead(benchmark::State& state, Sizes sizes) {
+  const bool lean = state.range(0) != 0;
+  const auto workload = std::make_shared<const sim::Instance>(
+      to_instance(make_workload(1, sizes.mux_horizon, 4)));
+  par::ThreadPool pool(1);
+  for (auto _ : state) {
+    core::SessionMultiplexer mux(pool);
+    mux.set_timing_enabled(!lean);
+    for (std::size_t s = 0; s < sizes.mux_sessions; ++s) {
+      core::SessionSpec spec;
+      spec.workload = workload;
+      spec.algorithm = "Lazy";
+      mux.add(std::move(spec));
+    }
+    while (mux.step(1) > 0) {
+    }
+    benchmark::DoNotOptimize(mux.totals().total_cost);
+  }
+  const auto steps =
+      static_cast<double>(state.iterations() * sizes.mux_sessions * sizes.mux_horizon);
+  state.counters["steps"] = benchmark::Counter(steps, benchmark::Counter::kIsRate);
+  state.counters["sessions"] = static_cast<double>(sizes.mux_sessions);
+}
+
+void BM_ServeIngestP99(benchmark::State& state, Sizes sizes) {
+  const auto tenants = static_cast<std::size_t>(state.range(0));
+  const std::string script = make_ingest_script(tenants, sizes.mux_horizon, 2);
+  mobsrv::obs::Histogram ingest;
+  for (auto _ : state) {
+    mobsrv::serve::ServiceOptions options;
+    options.lean = false;  // full telemetry: the clocked ingest path
+    mobsrv::serve::Service service(std::move(options));
+    std::istringstream in(script);
+    std::ostringstream out;
+    const mobsrv::serve::ExitReason reason = service.run(in, out);
+    if (reason != mobsrv::serve::ExitReason::kShutdown) state.SkipWithError("bad exit");
+    ingest.merge(service.telemetry().ingest_latency);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  const auto steps =
+      static_cast<double>(state.iterations() * tenants * sizes.mux_horizon);
+  state.counters["steps"] = benchmark::Counter(steps, benchmark::Counter::kIsRate);
+  const mobsrv::obs::HistogramSummary summary = ingest.summary();
+  state.counters["p50_ns"] = static_cast<double>(summary.p50);
+  state.counters["p99_ns"] = static_cast<double>(summary.p99);
+  state.counters["tenants"] = static_cast<double>(tenants);
+}
+
+void BM_EngineStepLatency(benchmark::State& state, Sizes sizes) {
+  const sim::Instance instance =
+      to_instance(make_workload(1, sizes.horizon, sizes.requests_per_step));
+  mobsrv::obs::Histogram latency;
+  sim::RunOptions options;
+  options.record_positions = false;
+  options.step_latency = &latency;
+  for (auto _ : state) {
+    mobsrv::alg::Lazy lazy;
+    sim::Session session(instance.start(), instance.params(), lazy, options);
+    for (std::size_t t = 0; t < instance.horizon(); ++t) session.push(instance.step(t));
+    benchmark::DoNotOptimize(session.total_cost());
+  }
+  set_throughput(state, sizes);
+  const mobsrv::obs::HistogramSummary summary = latency.summary();
+  state.counters["p50_ns"] = static_cast<double>(summary.p50);
+  state.counters["p99_ns"] = static_cast<double>(summary.p99);
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: mobsrv_perf [--smoke] [--out=PATH] [--benchmark_*...]\n"
         "  --smoke      small workloads + short timings (CI smoke artifact)\n"
@@ -643,6 +734,22 @@ int main(int argc, char** argv) {
         ->MinTime(min_time)
         ->UseRealTime();
   }
+  for (const int lean : {0, 1}) {
+    benchmark::RegisterBenchmark("obs/overhead", BM_ObsOverhead, sizes)
+        ->Arg(lean)
+        ->ArgName("lean")
+        ->MinTime(min_time)
+        ->UseRealTime();
+  }
+  benchmark::RegisterBenchmark("serve/ingest_p99", BM_ServeIngestP99, sizes)
+      ->Arg(8)
+      ->ArgName("tenants")
+      ->MinTime(min_time)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("engine/step_latency", BM_EngineStepLatency, sizes)
+      ->Arg(1)
+      ->ArgName("dim")
+      ->MinTime(min_time);
 
   std::vector<char*> bench_argv{argv[0]};
   for (std::string& flag : flags) bench_argv.push_back(flag.data());

@@ -22,6 +22,8 @@
 #include "io/json.hpp"                    // IWYU pragma: export
 #include "io/table.hpp"                   // IWYU pragma: export
 #include "median/geometric_median.hpp"    // IWYU pragma: export
+#include "obs/journal.hpp"                // IWYU pragma: export
+#include "obs/metrics.hpp"                // IWYU pragma: export
 #include "opt/brute_force.hpp"            // IWYU pragma: export
 #include "opt/convex_descent.hpp"         // IWYU pragma: export
 #include "opt/coordinate_descent.hpp"     // IWYU pragma: export

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <mutex>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace mobsrv::core {
@@ -89,8 +91,13 @@ RatioEstimate estimate_ratio(par::ThreadPool& pool, const AlgorithmFn& make_algo
                              const SampleFn& sample, const RatioOptions& options) {
   MOBSRV_CHECK(options.trials >= 1);
   std::vector<TrialResult> results(static_cast<std::size_t>(options.trials));
+  // Per-slot trial timings, merged into the caller's histogram after the
+  // join — no locking, and the measurement stays purely observational.
+  std::vector<std::uint64_t> trial_ns(
+      options.trial_latency != nullptr ? results.size() : 0);
 
   par::parallel_for(pool, 0, results.size(), 1, [&](std::size_t i) {
+    const std::uint64_t begin_ns = trial_ns.empty() ? 0 : obs::now_ns();
     // Seed derived from (experiment key, trial); independent of scheduling.
     stats::Rng rng({options.seed_key, 0xA11CE5ULL, static_cast<std::uint64_t>(i)});
     const PreparedSample prepared = sample(i, rng);
@@ -110,7 +117,11 @@ RatioEstimate estimate_ratio(par::ThreadPool& pool, const AlgorithmFn& make_algo
       observation.algo_seed = algo_seed;
       options.observe(observation);
     }
+    if (!trial_ns.empty()) trial_ns[i] = obs::now_ns() - begin_ns;
   });
+
+  if (options.trial_latency != nullptr)
+    for (const std::uint64_t ns : trial_ns) options.trial_latency->record(ns);
 
   RatioEstimate estimate;
   for (const auto& r : results) {

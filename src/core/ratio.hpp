@@ -28,6 +28,10 @@
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
 
+namespace mobsrv::obs {
+class Histogram;  // obs/metrics.hpp — RatioOptions only carries a pointer
+}
+
 namespace mobsrv::core {
 
 /// Which offline solver supplies the OPT proxy.
@@ -83,6 +87,10 @@ struct RatioOptions {
   std::uint64_t seed_key = 0;
   /// Optional per-trial observer (see ObserveFn); empty = no instrumentation.
   ObserveFn observe;
+  /// Optional per-trial wall-time sink (whole trial: sample + engine +
+  /// oracle). Trials write into per-slot storage and merge after the join,
+  /// so the histogram needs no locking and results stay scheduling-free.
+  obs::Histogram* trial_latency = nullptr;
 };
 
 /// Aggregated measurement.

@@ -146,11 +146,13 @@ std::size_t SessionMultiplexer::step(std::size_t max_steps) {
   MOBSRV_CHECK(max_steps >= 1);
   refresh_live();  // workloads may have grown since the last round
   if (live_ == 0) return 0;
+  const std::uint64_t begin = timing_ ? obs::now_ns() : 0;
   par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
     Slot& slot = *slots_[i];
     if (!slot.done()) slot.advance(max_steps);
   });
-  // Recount after the join (workers never touch shared state).
+  // Timing + recount after the join (workers never touch shared state).
+  if (timing_) step_latency_.record(obs::now_ns() - begin);
   refresh_live();
   return live_;
 }
@@ -160,16 +162,18 @@ std::size_t SessionMultiplexer::step_capturing(std::size_t max_steps,
   MOBSRV_CHECK(max_steps >= 1);
   refresh_live();
   if (live_ == 0) return 0;
+  const std::uint64_t begin = timing_ ? obs::now_ns() : 0;
   par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
     Slot& slot = *slots_[i];
     if (!slot.done()) slot.advance_guarded(max_steps);
   });
+  if (timing_) step_latency_.record(obs::now_ns() - begin);
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     Slot& slot = *slots_[i];
     if (slot.error.empty()) continue;
     errors.push_back({i, std::move(slot.error)});
     slot.error.clear();
-    slot.close();
+    close_slot(slot);
   }
   refresh_live();
   return live_;
@@ -178,10 +182,12 @@ std::size_t SessionMultiplexer::step_capturing(std::size_t max_steps,
 void SessionMultiplexer::drain() {
   refresh_live();
   if (live_ == 0) return;
+  const std::uint64_t begin = timing_ ? obs::now_ns() : 0;
   par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
     Slot& slot = *slots_[i];
     if (!slot.done()) slot.advance(slot.spec.workload->horizon() - slot.cursor);
   });
+  if (timing_) step_latency_.record(obs::now_ns() - begin);
   live_ = 0;
 }
 
@@ -193,12 +199,21 @@ void SessionMultiplexer::drain(std::size_t id) {
   if (live_ > 0) --live_;
 }
 
+void SessionMultiplexer::close_slot(Slot& slot) {
+  if (!slot.open()) return;
+  slot.close();
+  // Carry the closed session's activity into the aggregate distribution:
+  // totals().steps_per_session keeps true percentiles across tenant churn
+  // instead of only seeing whoever happens to be open right now.
+  closed_steps_.record(slot.cursor);
+}
+
 void SessionMultiplexer::close(std::size_t id) {
   MOBSRV_CHECK(id < slots_.size());
   Slot& slot = *slots_[id];
   if (!slot.open()) return;
   const bool was_live = !slot.done();
-  slot.close();
+  close_slot(slot);
   if (was_live && live_ > 0) --live_;
 }
 
@@ -224,12 +239,19 @@ MuxTotals SessionMultiplexer::totals() const {
   MuxTotals totals;
   totals.sessions = slots_.size();
   totals.live = live_;
+  // Closed sessions' step counts were folded in at close() time; open
+  // cursors are merged on top here, so the percentiles cover every session
+  // this multiplexer ever ran.
+  obs::Histogram per_session = closed_steps_;
   for (const auto& slot : slots_) {
     if (slot->open()) {
       totals.steps += slot->cursor;
       totals.total_cost += slot->engine->session.total_cost();
       totals.move_cost += slot->engine->session.move_cost();
       totals.service_cost += slot->engine->session.service_cost();
+      const std::size_t horizon = slot->spec.workload->horizon();
+      if (horizon > slot->cursor) totals.queue_depth += horizon - slot->cursor;
+      per_session.record(slot->cursor);
     } else {
       ++totals.closed;
       totals.steps += slot->final_stats.steps;
@@ -238,6 +260,8 @@ MuxTotals SessionMultiplexer::totals() const {
       totals.service_cost += slot->final_stats.service_cost;
     }
   }
+  totals.step_latency = step_latency_.summary();
+  totals.steps_per_session = per_session.summary();
   return totals;
 }
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/session.hpp"
 
@@ -82,6 +83,16 @@ struct MuxTotals {
   double total_cost = 0.0;
   double move_cost = 0.0;
   double service_cost = 0.0;
+  /// Pending workload steps summed over open sessions (horizon - cursor):
+  /// the live queue depth the ROADMAP's million-session item asks for.
+  std::size_t queue_depth = 0;
+  /// Wall time of each step()/step_capturing()/drain() round, ns. Empty
+  /// when timing is disabled (set_timing_enabled(false) / serve --lean).
+  obs::HistogramSummary step_latency;
+  /// Steps consumed per session — open sessions' cursors merged with the
+  /// final step counts of every close()d session, so aggregate percentiles
+  /// survive tenant churn instead of vanishing with the slot's engine.
+  obs::HistogramSummary steps_per_session;
 };
 
 /// Everything needed to resume one multiplexed session: the spec identity
@@ -164,6 +175,24 @@ class SessionMultiplexer {
   /// trace::write_checkpoint to survive restarts.
   [[nodiscard]] std::vector<SessionCheckpointRecord> checkpoint() const;
 
+  /// Round wall-time timing (obs layer). On by default — the cost is two
+  /// clock reads plus one histogram increment per *round*, amortised over
+  /// every session the round advances (the obs/overhead perf row pins it
+  /// within 2% of the lean path even at one session per round). Timing is
+  /// observational only: results are bit-identical either way (§7).
+  void set_timing_enabled(bool enabled) noexcept { timing_ = enabled; }
+  [[nodiscard]] bool timing_enabled() const noexcept { return timing_; }
+
+  /// Distribution of per-round wall times (ns) recorded so far.
+  [[nodiscard]] const obs::Histogram& step_latency_histogram() const noexcept {
+    return step_latency_;
+  }
+  /// Final step counts of close()d sessions (the churn-surviving half of
+  /// MuxTotals::steps_per_session; totals() folds open cursors on top).
+  [[nodiscard]] const obs::Histogram& closed_steps_histogram() const noexcept {
+    return closed_steps_;
+  }
+
   /// Resumes a checkpoint taken from a multiplexer with the SAME open
   /// sessions in the same order (workloads are re-supplied by the specs — a
   /// checkpoint stores engine state, not request data). Verifies each
@@ -175,11 +204,17 @@ class SessionMultiplexer {
  private:
   struct Slot;
   void refresh_live();
+  /// slot.close() + the closed-steps histogram carry (satellite of the
+  /// telemetry layer: per-slot activity must survive close()).
+  void close_slot(Slot& slot);
 
   par::ThreadPool& pool_;
   std::size_t grain_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::size_t live_ = 0;
+  bool timing_ = true;
+  obs::Histogram step_latency_;  ///< per-round wall ns (when timing_)
+  obs::Histogram closed_steps_;  ///< final step count of each closed slot
 };
 
 }  // namespace mobsrv::core

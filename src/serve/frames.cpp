@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contracts.hpp"
+
 namespace mobsrv::serve {
 
 namespace {
@@ -282,6 +284,10 @@ ClientFrame parse_client_frame(std::string_view line) {
     reject_unknown_members(doc, {"type", "v", "tenant"}, type, tenant);
     if (doc.find("tenant") != nullptr)
       frame.tenant = require_string(doc, "tenant", type, tenant);
+  } else if (type == "metrics") {
+    frame.type = FrameType::kMetrics;
+    check_version(doc, /*required=*/false, type, tenant);
+    reject_unknown_members(doc, {"type", "v"}, type, tenant);
   } else if (type == "checkpoint" || type == "shutdown" || type == "kill") {
     frame.type = type == "checkpoint" ? FrameType::kCheckpoint
                  : type == "shutdown" ? FrameType::kShutdown
@@ -351,7 +357,7 @@ std::string error_frame(std::uint64_t line, const std::string& message,
   return doc.dump();
 }
 
-Json stats_to_json(const core::SessionStats& stats) {
+Json stats_to_json(const core::SessionStats& stats, const TenantObsRow* row) {
   Json doc = Json::object();
   doc.set("tenant", stats.tenant);
   doc.set("algorithm", stats.algorithm);
@@ -361,6 +367,16 @@ Json stats_to_json(const core::SessionStats& stats) {
   doc.set("service", stats.service_cost);
   doc.set("total", stats.total_cost);
   doc.set("closed", stats.closed);
+  if (row != nullptr) {
+    // Telemetry members strictly append to the v1 row (byte-compat rule).
+    doc.set("queued", stats.horizon - stats.steps);
+    doc.set("reqs", row->reqs);
+    doc.set("outcomes", row->outcomes);
+    doc.set("busys", row->busys);
+    doc.set("errors", row->errors);
+    doc.set("inflight_hwm", row->inflight_hwm);
+    doc.set("ingest_latency_ns", obs::summary_to_json(row->ingest_latency));
+  }
   return doc;
 }
 
@@ -373,19 +389,51 @@ std::string closed_frame(const core::SessionStats& stats) {
   return doc.dump();
 }
 
+namespace {
+
+/// Per-tenant rows for stats/metrics frames; \p rows (when given) is
+/// indexed by slot id, parallel to \p stats.
+Json tenant_rows(const std::vector<core::SessionStats>& stats,
+                 const std::vector<TenantObsRow>* rows) {
+  if (rows != nullptr)
+    MOBSRV_CHECK_MSG(rows->size() == stats.size(),
+                     "telemetry rows out of sync with mux snapshot");
+  Json tenants = Json::array();
+  for (std::size_t i = 0; i < stats.size(); ++i)
+    tenants.push_back(stats_to_json(stats[i], rows != nullptr ? &(*rows)[i] : nullptr));
+  return tenants;
+}
+
+}  // namespace
+
 std::string stats_frame(const std::vector<core::SessionStats>& stats,
-                        const core::MuxTotals& totals) {
+                        const core::MuxTotals& totals, const std::vector<TenantObsRow>* rows) {
   Json doc = Json::object();
   doc.set("type", "stats");
-  Json tenants = Json::array();
-  for (const core::SessionStats& s : stats) tenants.push_back(stats_to_json(s));
-  doc.set("tenants", std::move(tenants));
+  doc.set("tenants", tenant_rows(stats, rows));
   doc.set("sessions", totals.sessions);
   doc.set("live", totals.live);
   doc.set("steps", totals.steps);
   doc.set("move", totals.move_cost);
   doc.set("service", totals.service_cost);
   doc.set("total", totals.total_cost);
+  if (rows != nullptr) {
+    // Aggregate telemetry, appended after the v1 members (byte-compat).
+    doc.set("queue_depth", totals.queue_depth);
+    doc.set("step_latency_ns", obs::summary_to_json(totals.step_latency));
+    doc.set("steps_per_session", obs::summary_to_json(totals.steps_per_session));
+  }
+  return doc.dump();
+}
+
+std::string metrics_frame(const io::Json::Array& metrics,
+                          const std::vector<core::SessionStats>& stats,
+                          const std::vector<TenantObsRow>& rows) {
+  Json doc = Json::object();
+  doc.set("type", "metrics");
+  doc.set("v", kProtocolVersion);
+  doc.set("metrics", Json(metrics));
+  doc.set("tenants", tenant_rows(stats, &rows));
   return doc.dump();
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/session_multiplexer.hpp"
 #include "io/json.hpp"
+#include "obs/metrics.hpp"
 #include "sim/model.hpp"
 
 namespace mobsrv::serve {
@@ -67,6 +68,7 @@ enum class FrameType {
   kReq,         ///< one step's request batch for a tenant
   kClose,       ///< drain and close a tenant
   kStats,       ///< report accounting (one tenant or all)
+  kMetrics,     ///< dump the full metrics registry + per-tenant telemetry
   kCheckpoint,  ///< save a snapshot now
   kShutdown,    ///< drain everything, snapshot, say bye, exit
   kKill,        ///< exit immediately, no drain/snapshot (crash-test aid)
@@ -133,9 +135,34 @@ class FrameError : public std::runtime_error {
 /// Final accounting of a tenant that was just closed.
 [[nodiscard]] std::string closed_frame(const core::SessionStats& stats);
 
-/// Accounting snapshot: per-tenant rows plus the aggregate.
+/// Per-tenant serve-side telemetry riding the enriched `stats` frame and
+/// the `metrics` frame (docs/OBSERVABILITY.md). Produced by
+/// serve::ServeTelemetry, one row per mux slot (slot ids are dense and
+/// never reused, so rows survive tenant churn).
+struct TenantObsRow {
+  std::uint64_t reqs = 0;      ///< accepted + bounced req frames
+  std::uint64_t outcomes = 0;  ///< outcome frames emitted
+  std::uint64_t busys = 0;     ///< busy bounces
+  std::uint64_t errors = 0;    ///< error frames that closed this tenant
+  std::size_t inflight_hwm = 0;  ///< max queued-but-unconsumed steps seen
+  obs::HistogramSummary ingest_latency;  ///< accept -> outcome wall ns
+};
+
+/// Accounting snapshot: per-tenant rows plus the aggregate. When \p rows is
+/// non-null (size matching \p stats, indexed by slot id) each tenant row is
+/// enriched with the serve-side telemetry and the aggregate gains
+/// queue_depth / step_latency_ns / steps_per_session — all appended after
+/// the v1 members, so old consumers keep working byte-for-byte.
 [[nodiscard]] std::string stats_frame(const std::vector<core::SessionStats>& stats,
-                                      const core::MuxTotals& totals);
+                                      const core::MuxTotals& totals,
+                                      const std::vector<TenantObsRow>* rows = nullptr);
+
+/// Full registry dump: {"type":"metrics","v":1,"metrics":[...],
+/// "tenants":[...]} — every registered metric's current value plus the
+/// per-tenant telemetry rows (same shape as the enriched stats rows).
+[[nodiscard]] std::string metrics_frame(const io::Json::Array& metrics,
+                                        const std::vector<core::SessionStats>& stats,
+                                        const std::vector<TenantObsRow>& rows);
 
 /// Acknowledges a snapshot save.
 [[nodiscard]] std::string checkpointed_frame(const std::string& path, std::size_t sessions,
@@ -144,7 +171,10 @@ class FrameError : public std::runtime_error {
 /// Farewell frame emitted on graceful exit (shutdown frame, EOF, SIGTERM).
 [[nodiscard]] std::string bye_frame(const std::string& reason, const core::MuxTotals& totals);
 
-/// Per-tenant accounting object shared by stats/closed frames.
-[[nodiscard]] io::Json stats_to_json(const core::SessionStats& stats);
+/// Per-tenant accounting object shared by stats/closed frames. With a
+/// non-null \p row the serve-side telemetry members (queued, reqs,
+/// outcomes, busys, errors, inflight_hwm, ingest_latency_ns) are appended.
+[[nodiscard]] io::Json stats_to_json(const core::SessionStats& stats,
+                                     const TenantObsRow* row = nullptr);
 
 }  // namespace mobsrv::serve

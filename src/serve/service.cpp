@@ -5,11 +5,18 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "trace/checkpoint.hpp"
 
 namespace mobsrv::serve {
 
 Service::Service(ServiceOptions options)
-    : options_(std::move(options)), pool_(options_.threads), mux_(pool_) {}
+    : options_(std::move(options)),
+      pool_(options_.threads),
+      mux_(pool_),
+      telemetry_(options_.lean) {
+  // --lean runs the hot loop clock-free; the counters stay live either way.
+  mux_.set_timing_enabled(!options_.lean);
+}
 
 void Service::restore(const std::filesystem::path& path) {
   MOBSRV_CHECK_MSG(table_.size() == 0 && mux_.size() == 0,
@@ -26,6 +33,13 @@ void Service::restore(const std::filesystem::path& path) {
     tenant->emitted_move = stats.move_cost;
     tenant->emitted_service = stats.service_cost;
   }
+  // Telemetry counters are process-local (they start fresh), but the open
+  // set is real: rebuild the gauge and the per-slot rows.
+  for (const auto& tenant : table_.entries()) {
+    telemetry_.tenant_row(tenant->slot, tenant->spec.tenant);
+    telemetry_.tenants_open.add(1);
+  }
+  telemetry_.journal().record(obs::EventType::kRestore, {}, path.string());
 }
 
 ExitReason Service::run(std::istream& in, std::ostream& out) {
@@ -48,6 +62,7 @@ ExitReason Service::run(std::istream& in, std::ostream& out) {
     }
     ++lines_;
     if (line.empty()) continue;
+    telemetry_.frames.inc();
     handle_line(line, out);
     if (killed_) return ExitReason::kKill;
     if (shutdown_) return finish(ExitReason::kShutdown, out);
@@ -81,6 +96,9 @@ void Service::handle_line(const std::string& line, std::ostream& out) {
     case FrameType::kStats:
       handle_stats(frame.tenant, out);
       break;
+    case FrameType::kMetrics:
+      handle_metrics(out);
+      break;
     case FrameType::kCheckpoint:
       handle_checkpoint(out);
       break;
@@ -97,6 +115,10 @@ void Service::handle_open(TenantSpec spec, std::ostream& out) {
   const std::string name = spec.tenant;
   try {
     Tenant& tenant = table_.admit(std::move(spec), mux_);
+    telemetry_.tenant_row(tenant.slot, name);
+    telemetry_.tenants_opened.inc();
+    telemetry_.tenants_open.add(1);
+    telemetry_.journal().record(obs::EventType::kOpen, name, tenant.spec.algorithm);
     out << opened_frame(tenant.spec) << '\n';
   } catch (const std::exception& error) {
     // Admission failures (duplicate name, unknown algorithm, k > 1 on a
@@ -125,15 +147,29 @@ void Service::handle_req(const ClientFrame& frame, std::ostream& out) {
     return;
   }
   const std::size_t queued = tenant->workload->horizon() - mux_.stats(tenant->slot).steps;
+  TenantTelemetry& row = telemetry_.tenant_row(tenant->slot, frame.tenant);
   if (queued >= options_.max_inflight) {
     // Bounded in-flight queue: the frame is NOT accepted (the client must
     // re-send it) — an explicit busy beats a silent drop. Consume now so
-    // the retry lands.
+    // the retry lands. Counted in reqs AND busys, so
+    // reqs == outcomes + busys holds at every quiescent point.
+    telemetry_.reqs.inc();
+    telemetry_.busys.inc();
+    ++row.reqs;
+    ++row.busys;
+    telemetry_.journal().record(obs::EventType::kBusy, frame.tenant,
+                                "queued " + std::to_string(queued) + " >= limit " +
+                                    std::to_string(options_.max_inflight));
     out << busy_frame(frame.tenant, lines_, queued, options_.max_inflight) << '\n';
     pump(out);
     return;
   }
   tenant->workload->push_step(frame.batch);
+  telemetry_.reqs.inc();
+  ++row.reqs;
+  if (queued + 1 > row.inflight_hwm) row.inflight_hwm = queued + 1;
+  telemetry_.inflight_hwm.raise_to(static_cast<std::int64_t>(queued + 1));
+  if (!telemetry_.lean()) row.push_accept(obs::now_ns());
 }
 
 void Service::handle_close(const std::string& name, std::ostream& out) {
@@ -146,13 +182,17 @@ void Service::handle_close(const std::string& name, std::ostream& out) {
   if (table_.find(name) == nullptr) return;  // the pump failed and closed it
   const std::size_t slot = tenant->slot;
   mux_.close(slot);
+  telemetry_.tenants_closed.inc();
+  telemetry_.tenants_open.add(-1);
+  telemetry_.journal().record(obs::EventType::kClose, name);
   out << closed_frame(mux_.stats(slot)) << '\n';
   table_.erase(name);
 }
 
 void Service::handle_stats(const std::string& name, std::ostream& out) {
   if (name.empty()) {
-    out << stats_frame(mux_.snapshot(), mux_.totals()) << '\n';
+    const std::vector<TenantObsRow> rows = telemetry_.rows(mux_.size());
+    out << stats_frame(mux_.snapshot(), mux_.totals(), &rows) << '\n';
     return;
   }
   Tenant* tenant = table_.find(name);
@@ -160,7 +200,18 @@ void Service::handle_stats(const std::string& name, std::ostream& out) {
     out << error_frame(lines_, "unknown tenant \"" + name + "\"", name, false) << '\n';
     return;
   }
-  out << stats_frame({mux_.stats(tenant->slot)}, mux_.totals()) << '\n';
+  const TenantTelemetry* row = telemetry_.row(tenant->slot);
+  const std::vector<TenantObsRow> rows = {row != nullptr ? row->row() : TenantObsRow{}};
+  out << stats_frame({mux_.stats(tenant->slot)}, mux_.totals(), &rows) << '\n';
+}
+
+void Service::handle_metrics(std::ostream& out) {
+  // Quiesce first: with every accepted step consumed, the frame's counters
+  // satisfy reqs == outcomes + busys (barring error-closed tenants).
+  pump(out);
+  out << metrics_frame(telemetry_.collect(mux_), mux_.snapshot(), telemetry_.rows(mux_.size()))
+      << '\n';
+  write_metrics(out, /*force=*/true);
 }
 
 void Service::handle_checkpoint(std::ostream& out) {
@@ -186,9 +237,19 @@ void Service::fail_tenant(const std::string& name, const std::string& message,
   }
   const std::size_t slot = tenant->slot;
   mux_.close(slot);
+  note_tenant_error(slot, name, message);
   out << error_frame(lines_, message, name, true) << '\n';
   out << closed_frame(mux_.stats(slot)) << '\n';
   table_.erase(name);
+}
+
+void Service::note_tenant_error(std::size_t slot, const std::string& name,
+                                const std::string& message) {
+  telemetry_.errors.inc();
+  ++telemetry_.tenant_row(slot, name).errors;
+  telemetry_.tenants_closed.inc();
+  telemetry_.tenants_open.add(-1);
+  telemetry_.journal().record(obs::EventType::kError, name, message);
 }
 
 void Service::pump(std::ostream& out) {
@@ -218,6 +279,16 @@ void Service::pump(std::ostream& out) {
       tenant->emitted_move = stats.move_cost;
       tenant->emitted_service = stats.service_cost;
       ++steps_since_snapshot_;
+      ++steps_since_metrics_;
+      telemetry_.outcomes.inc();
+      TenantTelemetry& row = telemetry_.tenant_row(tenant->slot, tenant->spec.tenant);
+      ++row.outcomes;
+      // Steps restored from a snapshot carry no accept stamp (pop == 0).
+      if (const std::uint64_t accepted = row.pop_accept(); accepted != 0) {
+        const std::uint64_t latency = obs::now_ns() - accepted;
+        row.ingest_latency.record(latency);
+        telemetry_.ingest_latency.record(latency);
+      }
     }
 
     // Sessions that threw were closed by the mux (their slot alone); report
@@ -225,6 +296,7 @@ void Service::pump(std::ostream& out) {
     for (const core::SessionMultiplexer::SlotError& error : errors) {
       for (const auto& tenant : table_.entries()) {
         if (tenant->slot != error.id) continue;
+        note_tenant_error(error.id, tenant->spec.tenant, error.message);
         out << error_frame(lines_, error.message, tenant->spec.tenant, true) << '\n';
         out << closed_frame(mux_.stats(error.id)) << '\n';
         table_.erase(tenant->spec.tenant);
@@ -233,6 +305,7 @@ void Service::pump(std::ostream& out) {
     }
   }
   maybe_snapshot(out, /*force=*/false);
+  write_metrics(out, /*force=*/false);
 }
 
 void Service::maybe_snapshot(std::ostream& out, bool force) {
@@ -244,6 +317,9 @@ void Service::maybe_snapshot(std::ostream& out, bool force) {
     const ServiceSnapshot snapshot = make_snapshot();
     write_snapshot(options_.snapshot_path, snapshot);
     steps_since_snapshot_ = 0;
+    telemetry_.snapshots.inc();
+    telemetry_.journal().record(obs::EventType::kCheckpoint, {},
+                                options_.snapshot_path.string());
     out << checkpointed_frame(options_.snapshot_path.string(), snapshot.tenants.size(),
                               mux_.totals().steps)
         << '\n';
@@ -269,9 +345,28 @@ ExitReason Service::finish(ExitReason reason, std::ostream& out) {
   const char* why = reason == ExitReason::kEof        ? "eof"
                     : reason == ExitReason::kShutdown ? "shutdown"
                                                       : "signal";
+  telemetry_.journal().record(obs::EventType::kDrain, {}, why);
+  write_metrics(out, /*force=*/true);
   out << bye_frame(why, mux_.totals()) << '\n';
   out.flush();
   return reason;
+}
+
+void Service::write_metrics(std::ostream& out, bool force) {
+  if (options_.metrics_path.empty()) return;
+  if (!force &&
+      (options_.metrics_every == 0 || steps_since_metrics_ < options_.metrics_every))
+    return;
+  try {
+    trace::write_bytes_atomic(options_.metrics_path,
+                              telemetry_.snapshot_ndjson(mux_, mux_.snapshot()));
+    steps_since_metrics_ = 0;
+  } catch (const std::exception& error) {
+    // Same discipline as snapshot saves: loud but never fatal, and the
+    // previous good file survives (write_bytes_atomic never clobbers it).
+    out << error_frame(0, std::string("metrics snapshot failed: ") + error.what(), "", false)
+        << '\n';
+  }
 }
 
 }  // namespace mobsrv::serve

@@ -37,6 +37,7 @@
 #include "core/session_multiplexer.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/snapshot.hpp"
+#include "serve/telemetry.hpp"
 #include "serve/tenant_table.hpp"
 
 namespace mobsrv::serve {
@@ -53,8 +54,17 @@ struct ServiceOptions {
   std::filesystem::path snapshot_path;
   /// Worker threads for the multiplexer (0 = hardware concurrency).
   unsigned threads = 0;
-  /// Omit fleet positions from `outcome` frames (smaller frames).
+  /// Omit fleet positions from `outcome` frames (smaller frames), and run
+  /// the telemetry layer clock-free: no round timing, no ingest-latency
+  /// stamps. Counters stay live either way.
   bool lean = false;
+  /// Metrics NDJSON snapshot file (--metrics-out); empty disables the
+  /// periodic dump. Written atomically on graceful exit, on every
+  /// `metrics` frame, and every metrics_every consumed steps.
+  std::filesystem::path metrics_path;
+  /// Snapshot the metrics file every N consumed steps (0 = only on exit
+  /// and `metrics` frames). Requires metrics_path.
+  std::size_t metrics_every = 0;
   /// External stop flag (the SIGTERM handler sets it); checked between
   /// frames. May be null.
   const std::atomic<bool>* stop = nullptr;
@@ -87,6 +97,9 @@ class Service {
   /// Accounting access for tests and the soak bench.
   [[nodiscard]] const core::SessionMultiplexer& mux() const noexcept { return mux_; }
   [[nodiscard]] std::uint64_t lines_seen() const noexcept { return lines_; }
+  /// The telemetry surface (metrics registry, journal, per-tenant rows)
+  /// for tests and the serve/ingest_p99 perf row.
+  [[nodiscard]] const ServeTelemetry& telemetry() const noexcept { return telemetry_; }
 
  private:
   void handle_line(const std::string& line, std::ostream& out);
@@ -94,6 +107,7 @@ class Service {
   void handle_req(const ClientFrame& frame, std::ostream& out);
   void handle_close(const std::string& name, std::ostream& out);
   void handle_stats(const std::string& name, std::ostream& out);
+  void handle_metrics(std::ostream& out);
   void handle_checkpoint(std::ostream& out);
 
   /// Fails the named tenant: consumes its accepted queue (outcomes still
@@ -110,14 +124,25 @@ class Service {
   void maybe_snapshot(std::ostream& out, bool force);
   [[nodiscard]] ServiceSnapshot make_snapshot() const;
 
+  /// Writes the --metrics-out NDJSON snapshot if due (cadence) or \p
+  /// force. Atomic (tmp + rename); failures are loud error frames, never
+  /// fatal.
+  void write_metrics(std::ostream& out, bool force);
+
+  /// Books a tenant's error-close in the telemetry (error counters,
+  /// journal, open-tenant gauge).
+  void note_tenant_error(std::size_t slot, const std::string& name, const std::string& message);
+
   ExitReason finish(ExitReason reason, std::ostream& out);
 
   ServiceOptions options_;
   par::ThreadPool pool_;
   core::SessionMultiplexer mux_;
   TenantTable table_;
+  ServeTelemetry telemetry_;
   std::uint64_t lines_ = 0;             ///< input lines seen (error attribution)
   std::size_t steps_since_snapshot_ = 0;
+  std::size_t steps_since_metrics_ = 0;
   bool shutdown_ = false;
   bool killed_ = false;
 };

@@ -7,6 +7,10 @@
 #include "sim/cost.hpp"
 #include "sim/online_algorithm.hpp"
 
+namespace mobsrv::obs {
+class Histogram;
+}  // namespace mobsrv::obs
+
 namespace mobsrv::sim {
 
 /// What to do when an algorithm proposes a move beyond its speed limit.
@@ -34,6 +38,12 @@ struct RunOptions {
   /// long-lived streaming sessions (the multiplexer) turn it off so memory
   /// stays O(1) per session.
   bool record_positions = true;
+  /// Optional per-push wall-time sink (ns). When set, every push() records
+  /// its duration into this histogram (not owned; must outlive the
+  /// session). Observational only — results are bit-identical either way
+  /// (DESIGN.md §7). Default off: the engine/step_latency perf row carries
+  /// the instrumented path so the plain path stays clock-free.
+  obs::Histogram* step_latency = nullptr;
 
   void validate() const { MOBSRV_CHECK_MSG(speed_factor >= 1.0, "speed factor must be >= 1"); }
 };

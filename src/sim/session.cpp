@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace mobsrv::sim {
 
 namespace {
@@ -107,6 +109,14 @@ void Session::reserve(std::size_t horizon) {
 }
 
 StepOutcome Session::push(BatchView batch) {
+  if (options_.step_latency == nullptr) return push_untimed(batch);
+  const std::uint64_t begin = obs::now_ns();
+  StepOutcome outcome = push_untimed(batch);
+  options_.step_latency->record(obs::now_ns() - begin);
+  return outcome;
+}
+
+StepOutcome Session::push_untimed(BatchView batch) {
   const std::size_t k = servers_.size();
   FleetStepView view;
   view.t = t_;

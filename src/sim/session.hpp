@@ -150,6 +150,8 @@ class Session {
 
   void init_fresh();
   void init_from(const SessionCheckpoint& checkpoint);
+  /// The actual engine step; push() adds the optional timing wrapper.
+  StepOutcome push_untimed(BatchView batch);
 
   ModelParams params_;
   RunOptions options_;

@@ -247,5 +247,82 @@ TEST(SessionMultiplexer, InvalidSpecRejectedOnAdd) {
   EXPECT_EQ(mux.size(), 0u);
 }
 
+TEST(SessionMultiplexer, StepsPerSessionSurvivesTenantChurn) {
+  // The closed-slot carry: totals().steps_per_session must keep counting
+  // every session this mux ever ran, not just whoever is open right now.
+  par::ThreadPool pool(4);
+  SessionMultiplexer mux(pool);
+  populate(mux, 20);  // horizons 16..44
+  mux.drain();
+  const core::MuxTotals before = mux.totals();
+  EXPECT_EQ(before.steps_per_session.count, 20u);
+  EXPECT_EQ(before.steps_per_session.sum, before.steps);
+
+  // Close half the sessions — their step counts must stay in the merge.
+  for (std::size_t id = 0; id < 10; ++id) mux.close(id);
+  const core::MuxTotals after = mux.totals();
+  EXPECT_EQ(after.steps_per_session.count, 20u);
+  EXPECT_EQ(after.steps_per_session.sum, after.steps);
+  EXPECT_EQ(after.steps_per_session.p50, before.steps_per_session.p50);
+  EXPECT_EQ(after.steps_per_session.max, before.steps_per_session.max);
+
+  // Close everything: the distribution is now entirely the closed carry.
+  for (std::size_t id = 10; id < 20; ++id) mux.close(id);
+  const core::MuxTotals closed = mux.totals();
+  EXPECT_EQ(closed.closed, 20u);
+  EXPECT_EQ(closed.steps_per_session.count, 20u);
+  EXPECT_EQ(closed.steps_per_session.sum, closed.steps);
+}
+
+TEST(SessionMultiplexer, QueueDepthTracksPendingSteps) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  const auto workload = sample_workload(3, 12);
+  for (int s = 0; s < 3; ++s) {
+    SessionSpec spec;
+    spec.workload = workload;
+    spec.algorithm = "MtC";
+    spec.algo_seed = static_cast<std::uint64_t>(s);
+    spec.speed_factor = 1.5;
+    mux.add(std::move(spec));
+  }
+  EXPECT_EQ(mux.totals().queue_depth, 3u * 12u);
+  mux.step(5);
+  EXPECT_EQ(mux.totals().queue_depth, 3u * 7u);
+  mux.close(0);  // a closed slot contributes no pending work
+  EXPECT_EQ(mux.totals().queue_depth, 2u * 7u);
+  mux.drain();
+  EXPECT_EQ(mux.totals().queue_depth, 0u);
+}
+
+TEST(SessionMultiplexer, RoundTimingIsObservationalAndSwitchable) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer timed(pool);
+  SessionMultiplexer lean(pool);
+  lean.set_timing_enabled(false);
+  EXPECT_TRUE(timed.timing_enabled());
+  EXPECT_FALSE(lean.timing_enabled());
+  populate(timed, 8);
+  populate(lean, 8);
+
+  std::size_t rounds = 0;
+  while (timed.step(1) > 0) ++rounds;
+  while (lean.step(1) > 0) {
+  }
+  // One histogram entry per round; none on the lean path. The loop's final
+  // call (returning 0) still ran — and timed — a round.
+  EXPECT_EQ(timed.totals().step_latency.count, rounds + 1);
+  EXPECT_EQ(lean.totals().step_latency.count, 0u);
+
+  // Timing is observational only: results are bit-identical either way.
+  const std::vector<SessionStats> a = timed.snapshot();
+  const std::vector<SessionStats> b = lean.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].total_cost, b[s].total_cost) << s;
+    EXPECT_EQ(a[s].position, b[s].position) << s;
+  }
+}
+
 }  // namespace
 }  // namespace mobsrv

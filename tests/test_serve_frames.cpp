@@ -160,6 +160,34 @@ TEST(ServeFrames, ControlFramesParse) {
   EXPECT_EQ(parse(R"({"type":"checkpoint"})").type, FrameType::kCheckpoint);
   EXPECT_EQ(parse(R"({"type":"shutdown"})").type, FrameType::kShutdown);
   EXPECT_EQ(parse(R"({"type":"kill"})").type, FrameType::kKill);
+  EXPECT_EQ(parse(R"({"type":"metrics"})").type, FrameType::kMetrics);
+  EXPECT_EQ(parse(R"({"type":"metrics","v":1})").type, FrameType::kMetrics);
+  EXPECT_THROW(parse(R"({"type":"metrics","tenant":"t"})"), serve::FrameError);
+}
+
+TEST(ServeFrames, MetricsFrameCarriesRegistryAndTenantRows) {
+  obs::Registry registry;
+  registry.counter("serve.reqs_total", "frames", "reqs").inc(3);
+  core::SessionStats stats;
+  stats.tenant = "t1";
+  stats.algorithm = "MtC";
+  stats.steps = 2;
+  stats.horizon = 5;
+  serve::TenantObsRow row;
+  row.reqs = 3;
+  row.outcomes = 2;
+  row.busys = 1;
+  const io::Json doc =
+      io::Json::parse(serve::metrics_frame(registry.to_json(), {stats}, {row}));
+  EXPECT_EQ(doc.at("type").as_string(), "metrics");
+  EXPECT_EQ(doc.at("v").as_uint64(), serve::kProtocolVersion);
+  EXPECT_EQ(doc.at("metrics").as_array().front().at("value").as_uint64(), 3u);
+  const io::Json& tenant = doc.at("tenants").as_array().front();
+  EXPECT_EQ(tenant.at("tenant").as_string(), "t1");
+  EXPECT_EQ(tenant.at("queued").as_uint64(), 3u);  // horizon - steps
+  EXPECT_EQ(tenant.at("reqs").as_uint64(), 3u);
+  EXPECT_EQ(tenant.at("busys").as_uint64(), 1u);
+  EXPECT_EQ(tenant.at("ingest_latency_ns").at("count").as_uint64(), 0u);
 }
 
 // ---------------------------------------------------------------------------

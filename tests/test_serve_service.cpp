@@ -548,5 +548,186 @@ TEST_F(ServeServiceTest, SnapshotSavesAreAtomic) {
   EXPECT_EQ(restored.mux().stats(0).steps, 2u) << "the shutdown-time save wins";
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry: metrics frames, enriched stats, the NDJSON snapshot file.
+// ---------------------------------------------------------------------------
+
+std::uint64_t metric_value(const io::Json& frame, const std::string& name) {
+  for (const io::Json& metric : frame.at("metrics").as_array())
+    if (metric.at("name").as_string() == name) return metric.at("value").as_uint64();
+  ADD_FAILURE() << "metric " << name << " missing from frame";
+  return 0;
+}
+
+/// reqs == outcomes + busys, both service-wide and per tenant — the serve
+/// accounting invariant at any quiescent point (handle_metrics pumps
+/// first, so a metrics frame IS a quiescent point).
+void expect_req_invariant(const io::Json& metrics) {
+  EXPECT_EQ(metric_value(metrics, "serve.reqs_total"),
+            metric_value(metrics, "serve.outcomes_total") +
+                metric_value(metrics, "serve.busys_total"));
+  for (const io::Json& tenant : metrics.at("tenants").as_array())
+    EXPECT_EQ(tenant.at("reqs").as_uint64(),
+              tenant.at("outcomes").as_uint64() + tenant.at("busys").as_uint64())
+        << tenant.at("tenant").as_string();
+}
+
+TEST_F(ServeServiceTest, MetricsFrameInvariantHoldsAcrossKillAndRestore) {
+  constexpr std::size_t kSteps = 30;
+  constexpr std::size_t kCut = 17;
+  const auto alpha = make_batches(7, kSteps, 2);
+  const auto bravo = make_batches(8, kSteps, 2);
+
+  const fs::path snapshot = dir_ / "svc.msrvss";
+  ServiceOptions options;
+  options.snapshot_path = snapshot;
+  options.max_inflight = 2;  // small cap: some reqs bounce, so busys > 0
+  Service first(options);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 2, 1, 31));
+  lines.push_back(open_line("bravo", alg::fleet_native_names().front(), 2, 4, 32));
+  for (std::size_t t = 0; t < kCut; ++t) {
+    lines.push_back(req_line("alpha", alpha[t]));
+    lines.push_back(req_line("bravo", bravo[t]));
+  }
+  lines.push_back(R"({"type":"metrics"})");
+  lines.push_back(R"({"type":"checkpoint"})");
+  lines.push_back(R"({"type":"kill"})");
+  const RunOutput half = run_lines(first, lines);
+  ASSERT_EQ(half.reason, ExitReason::kKill);
+  const auto half_metrics = frames_of_type(half, "metrics");
+  ASSERT_EQ(half_metrics.size(), 1u);
+  expect_req_invariant(half_metrics.front());
+  EXPECT_EQ(metric_value(half_metrics.front(), "serve.tenants_opened_total"), 2u);
+  EXPECT_EQ(metric_value(half_metrics.front(), "serve.tenants_open"), 2u);
+  EXPECT_GT(metric_value(half_metrics.front(), "serve.reqs_total"), 0u);
+
+  // Counters are process-local: the restored service starts fresh, and the
+  // invariant must hold for the second process's own traffic too.
+  Service second(options);
+  second.restore(snapshot);
+  std::vector<std::string> rest;
+  const std::size_t resumed = second.mux().stats(0).steps;
+  for (std::size_t t = resumed; t < kSteps; ++t) {
+    rest.push_back(req_line("alpha", alpha[t]));
+    rest.push_back(req_line("bravo", bravo[t]));
+  }
+  rest.push_back(R"({"type":"metrics"})");
+  rest.push_back(R"({"type":"shutdown"})");
+  const RunOutput done = run_lines(second, rest);
+  ASSERT_EQ(done.reason, ExitReason::kShutdown);
+  const auto done_metrics = frames_of_type(done, "metrics");
+  ASSERT_EQ(done_metrics.size(), 1u);
+  expect_req_invariant(done_metrics.front());
+  // Restored tenants count toward the open gauge but not opened_total.
+  EXPECT_EQ(metric_value(done_metrics.front(), "serve.tenants_opened_total"), 0u);
+  EXPECT_EQ(metric_value(done_metrics.front(), "serve.tenants_open"), 2u);
+  EXPECT_GT(metric_value(done_metrics.front(), "serve.outcomes_total"), 0u);
+}
+
+TEST_F(ServeServiceTest, StatsFrameKeepsV1FieldsAndAppendsTelemetry) {
+  Service service(ServiceOptions{});
+  // First run: accept + consume two steps (EOF drains). Second run: ask for
+  // stats at a quiescent point, so the telemetry shows settled numbers.
+  ASSERT_EQ(run_lines(service, {open_line("alpha", "MtC", 1),
+                                req_line("alpha", {Point{1.5}}),
+                                req_line("alpha", {Point{-0.5}})})
+                .reason,
+            ExitReason::kEof);
+  const RunOutput run = run_lines(service, {R"({"type":"stats"})"});
+  const auto stats = frames_of_type(run, "stats");
+  ASSERT_EQ(stats.size(), 1u);
+  const io::Json& frame = stats.front();
+
+  // v1 members, unchanged names and meaning.
+  for (const char* key : {"tenants", "sessions", "live", "steps", "move", "service", "total"})
+    EXPECT_NE(frame.find(key), nullptr) << key;
+  // Appended aggregate telemetry.
+  EXPECT_NE(frame.find("queue_depth"), nullptr);
+  EXPECT_NE(frame.find("step_latency_ns"), nullptr);
+  EXPECT_NE(frame.find("steps_per_session"), nullptr);
+  EXPECT_GT(frame.at("step_latency_ns").at("count").as_uint64(), 0u);
+
+  const io::Json& row = frame.at("tenants").as_array().front();
+  for (const char* key : {"tenant", "algorithm", "k", "steps", "move", "service", "total",
+                          "closed", "queued", "reqs", "outcomes", "busys", "errors",
+                          "inflight_hwm", "ingest_latency_ns"})
+    EXPECT_NE(row.find(key), nullptr) << key;
+  // stats frames do not quiesce, but by the time stats ran the stream had
+  // paused, so both accepted steps were consumed and measured.
+  EXPECT_EQ(row.at("reqs").as_uint64(), 2u);
+  EXPECT_EQ(row.at("ingest_latency_ns").at("count").as_uint64(), 2u);
+  EXPECT_GT(row.at("ingest_latency_ns").at("p99").as_uint64(), 0u);
+}
+
+TEST_F(ServeServiceTest, LeanModeKeepsCountersButSkipsClocks) {
+  ServiceOptions options;
+  options.lean = true;
+  Service service(options);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 1));
+  lines.push_back(req_line("alpha", {Point{1.5}}));
+  lines.push_back(R"({"type":"metrics"})");
+  lines.push_back(R"({"type":"shutdown"})");
+  const RunOutput run = run_lines(service, lines);
+  const auto metrics = frames_of_type(run, "metrics");
+  ASSERT_EQ(metrics.size(), 1u);
+  expect_req_invariant(metrics.front());
+  EXPECT_EQ(metric_value(metrics.front(), "serve.reqs_total"), 1u);
+  // Clock-free: no round timing, no ingest stamps.
+  for (const io::Json& metric : metrics.front().at("metrics").as_array()) {
+    const std::string name = metric.at("name").as_string();
+    if (name == "serve.ingest_latency_ns" || name == "mux.step_latency_ns") {
+      EXPECT_EQ(metric.at("count").as_uint64(), 0u) << name;
+    }
+  }
+}
+
+TEST_F(ServeServiceTest, MetricsOutWritesAtomicNdjsonSnapshot) {
+  const fs::path metrics_path = dir_ / "metrics.ndjson";
+  ServiceOptions options;
+  options.metrics_path = metrics_path;
+  Service service(options);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 2));
+  for (const auto& batch : make_batches(9, 6, 2)) lines.push_back(req_line("alpha", batch));
+  lines.push_back(R"({"type":"close","tenant":"alpha"})");
+  lines.push_back(R"({"type":"shutdown"})");
+  ASSERT_EQ(run_lines(service, lines).reason, ExitReason::kShutdown);
+  ASSERT_TRUE(fs::exists(metrics_path));
+  EXPECT_FALSE(fs::exists(metrics_path.string() + ".tmp"));
+
+  std::size_t meta = 0, metric = 0, tenant = 0, event = 0;
+  std::ifstream in(metrics_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const io::Json doc = io::Json::parse(line);
+    const std::string kind = doc.at("kind").as_string();
+    if (kind == "meta") {
+      ++meta;
+      EXPECT_EQ(doc.at("v").as_uint64(), 1u);
+      EXPECT_GT(doc.at("unix_ms").as_uint64(), 0u);
+    } else if (kind == "metric") {
+      ++metric;
+    } else if (kind == "tenant") {
+      ++tenant;
+      // The closed tenant's row survives: per-tenant counters + percentiles.
+      EXPECT_EQ(doc.at("tenant").as_string(), "alpha");
+      EXPECT_TRUE(doc.at("closed").as_bool());
+      EXPECT_EQ(doc.at("reqs").as_uint64(), 6u);
+      EXPECT_EQ(doc.at("outcomes").as_uint64(), 6u);
+      EXPECT_GT(doc.at("ingest_latency_ns").at("p50").as_uint64(), 0u);
+    } else if (kind == "event") {
+      ++event;
+    } else {
+      ADD_FAILURE() << "unknown kind " << kind;
+    }
+  }
+  EXPECT_EQ(meta, 1u);
+  EXPECT_GE(metric, 15u) << "every catalogued metric is in the snapshot";
+  EXPECT_EQ(tenant, 1u);
+  EXPECT_GE(event, 3u) << "open, close, drain at minimum";
+}
+
 }  // namespace
 }  // namespace mobsrv

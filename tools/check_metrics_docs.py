@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Cross-check docs/OBSERVABILITY.md against `mobsrv_serve --dump-metrics`.
+
+Both directions are enforced:
+  * every metric the binary emits must appear in the docs' metric catalog
+    (docs drift: a metric was added but never documented);
+  * every metric named in the catalog must exist in the runtime dump
+    (code drift: a metric was renamed/removed but the docs still list it);
+  * for names present on both sides, the documented type (counter / gauge /
+    histogram) must match the runtime type.
+
+The runtime side is the NDJSON catalog printed by `mobsrv_serve
+--dump-metrics` — one {"name","type","unit","help"} object per line. The
+docs side is every markdown table row in docs/OBSERVABILITY.md whose first
+cell is a backticked dotted metric name (`serve.frames_total`); the second
+cell is the type. Rows whose first cell is not a backticked dotted name
+(schema tables, examples) are ignored, so the rest of the document can
+mention metrics freely.
+
+Usage: check_metrics_docs.py --docs docs/OBSERVABILITY.md --serve build/mobsrv_serve
+Exit: 0 when consistent, 1 with a report otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+# A catalog row: | `serve.frames_total` | counter | ... — the name must be
+# backticked and dotted so prose tables elsewhere in the doc are skipped.
+ROW_RE = re.compile(r"^\|\s*`([a-z]+(?:\.[a-z0-9_]+)+)`\s*\|\s*([a-z]+)\s*\|")
+
+
+def runtime_catalog(serve: pathlib.Path) -> dict:
+    result = subprocess.run(
+        [str(serve.resolve()), "--dump-metrics"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"{serve} --dump-metrics exited {result.returncode}")
+    catalog = {}
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        catalog[entry["name"]] = entry["type"]
+    if not catalog:
+        raise RuntimeError(f"{serve} --dump-metrics printed no metrics")
+    return catalog
+
+
+def documented_catalog(docs_text: str) -> dict:
+    catalog = {}
+    for line in docs_text.splitlines():
+        match = ROW_RE.match(line.strip())
+        if match:
+            catalog[match.group(1)] = match.group(2)
+    return catalog
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--docs", default="docs/OBSERVABILITY.md", type=pathlib.Path)
+    parser.add_argument("--serve", default="build/mobsrv_serve", type=pathlib.Path)
+    args = parser.parse_args()
+
+    if not args.docs.is_file():
+        print(f"check_metrics_docs: docs file not found: {args.docs}", file=sys.stderr)
+        return 1
+    if not args.serve.is_file():
+        print(f"check_metrics_docs: binary not found: {args.serve}", file=sys.stderr)
+        return 1
+
+    in_runtime = runtime_catalog(args.serve)
+    in_docs = documented_catalog(args.docs.read_text(encoding="utf-8"))
+
+    failures = []
+    undocumented = sorted(set(in_runtime) - set(in_docs))
+    stale = sorted(set(in_docs) - set(in_runtime))
+    if undocumented:
+        failures.append(
+            f"metrics emitted by --dump-metrics but missing from {args.docs}: "
+            + ", ".join(undocumented)
+        )
+    if stale:
+        failures.append(
+            f"metrics documented in {args.docs} but absent from --dump-metrics: "
+            + ", ".join(stale)
+        )
+    for name in sorted(set(in_runtime) & set(in_docs)):
+        if in_runtime[name] != in_docs[name]:
+            failures.append(
+                f"{name}: documented as {in_docs[name]} but runtime says {in_runtime[name]}"
+            )
+
+    if failures:
+        print("check_metrics_docs: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_metrics_docs: OK ({len(in_runtime)} metrics vs {args.docs})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 ///
 ///   mobsrv_serve [--snapshot=PATH] [--checkpoint-every=N] [--resume]
 ///                [--max-inflight=N] [--threads=N] [--lean]
+///                [--metrics-out=PATH] [--metrics-every=N] [--dump-metrics]
 ///                [--tcp=PORT | --unix=PATH]
 ///
 /// The service reads client frames (one JSON object per line) from stdin —
@@ -127,7 +128,14 @@ void print_usage(std::ostream& os) {
         "  --max-inflight=N       per-tenant unconsumed-step cap before `req` frames\n"
         "                         bounce with `busy` (default 64)\n"
         "  --threads=N            multiplexer worker threads (default 0 = hardware)\n"
-        "  --lean                 omit fleet positions from `outcome` frames\n"
+        "  --lean                 omit fleet positions from `outcome` frames and skip\n"
+        "                         the telemetry clock reads (hot loop stays clock-free)\n"
+        "  --metrics-out=PATH     write an NDJSON metrics snapshot to PATH (atomic;\n"
+        "                         on graceful exit and on every `metrics` frame)\n"
+        "  --metrics-every=N      also snapshot metrics every N consumed steps (0 =\n"
+        "                         off; needs --metrics-out)\n"
+        "  --dump-metrics         print the metric catalog (one JSON object per line:\n"
+        "                         name, type, unit, help) and exit\n"
         "  --tcp=PORT             serve one TCP connection on 127.0.0.1:PORT instead\n"
         "                         of stdin/stdout\n"
         "  --unix=PATH            serve one connection on a Unix socket at PATH\n"
@@ -194,9 +202,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   for (const std::string& name : args.flag_names()) {
-    static constexpr const char* kKnown[] = {"snapshot", "checkpoint-every", "resume",
-                                             "max-inflight", "threads",          "lean",
-                                             "tcp",      "unix"};
+    static constexpr const char* kKnown[] = {"snapshot",     "checkpoint-every",
+                                             "resume",       "max-inflight",
+                                             "threads",      "lean",
+                                             "metrics-out",  "metrics-every",
+                                             "dump-metrics", "tcp",
+                                             "unix"};
     bool ok = false;
     for (const char* flag : kKnown) ok = ok || name == flag;
     if (!ok) {
@@ -207,15 +218,33 @@ int main(int argc, char** argv) {
   }
   if (!args.positionals().empty()) die("unexpected argument: " + args.positionals().front());
 
+  if (args.get_bool("dump-metrics", false)) {
+    // The runtime metric catalog, NDJSON — tools/check_metrics_docs.py
+    // cross-checks it against docs/OBSERVABILITY.md in CI.
+    for (const serve::MetricInfo& metric : serve::metric_catalog()) {
+      io::Json doc = io::Json::object();
+      doc.set("name", metric.name);
+      doc.set("type", metric.type);
+      doc.set("unit", metric.unit);
+      doc.set("help", metric.help);
+      std::cout << doc.dump() << '\n';
+    }
+    return 0;
+  }
+
   serve::ServiceOptions options;
   options.snapshot_path = args.get_string("snapshot", "");
   options.checkpoint_every = static_cast<std::size_t>(args.get_uint64("checkpoint-every", 0));
   options.max_inflight = static_cast<std::size_t>(args.get_uint64("max-inflight", 64));
   options.threads = static_cast<unsigned>(args.get_uint64("threads", 0));
   options.lean = args.get_bool("lean", false);
+  options.metrics_path = args.get_string("metrics-out", "");
+  options.metrics_every = static_cast<std::size_t>(args.get_uint64("metrics-every", 0));
   options.stop = &g_stop;
   if (options.checkpoint_every > 0 && options.snapshot_path.empty())
     die("--checkpoint-every needs --snapshot");
+  if (options.metrics_every > 0 && options.metrics_path.empty())
+    die("--metrics-every needs --metrics-out");
   if (options.max_inflight == 0) die("--max-inflight must be >= 1");
   if (args.has("tcp") && args.has("unix")) die("--tcp and --unix are mutually exclusive");
 
