@@ -45,6 +45,20 @@
 ///   * engine/step_latency     — sim::Session with the RunOptions
 ///                               step_latency hook attached: per-push wall
 ///                               time from the histogram the engine fills.
+///   * mux/soak_1m_uniform     — a frozen copy of the pre-active-set
+///                               scheduler at soak population (10^5 smoke,
+///                               10^6 full; 1% hot): every round sweeps every
+///                               open slot to find the few with work.
+///   * mux/soak_1m_active      — the same soak on the intrusive ready list:
+///                               parked slots cost nothing, rounds are
+///                               O(active). Acceptance: >= 5x the uniform
+///                               row's steps/sec. Also reports round-latency
+///                               p50/p99 from a bench-side histogram.
+///   * mux/soak_1m_ckpt        — the soak with incremental checkpoints: the
+///                               dirty slots are encoded and mark_saved()
+///                               every few rounds; ckpt_bytes is the encode
+///                               throughput and dirty_per_save shows the
+///                               save cost tracking progress, not population.
 /// Each engine benchmark runs at dim 1, 2 and 8 so the dead-coordinate cost
 /// of the AoS layout is visible: at dim 1 the old layout reads 72 bytes per
 /// request for 8 useful ones. Solver benchmarks run at dim 1 and 2 (the
@@ -74,6 +88,7 @@
 #include "core/mobsrv.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
+#include "trace/checkpoint.hpp"
 
 namespace {
 
@@ -159,6 +174,8 @@ struct Sizes {
   std::size_t requests_per_step;
   std::size_t mux_sessions;
   std::size_t mux_horizon;
+  std::size_t soak_sessions;
+  std::size_t soak_horizon;
 };
 
 void set_throughput(benchmark::State& state, const Sizes& sizes) {
@@ -645,6 +662,188 @@ void BM_EngineStepLatency(benchmark::State& state, Sizes sizes) {
   state.counters["p99_ns"] = static_cast<double>(summary.p99);
 }
 
+// ---------------------------------------------------------------------------
+// Million-session soak (PR 8): sparse activity at population scale. One slot
+// in a hundred is hot (soak_horizon pending steps); the other 99% sit open
+// with nothing queued — the shape of a live multiplexer where most tenants
+// are idle between bursts. Session construction is excluded from the clock
+// (PauseTiming) so the rows compare scheduling, not setup.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kSoakHotStride = 100;  // 1% of the population is hot
+constexpr std::size_t kSoakSaveEvery = 32;   // rounds between incremental saves
+
+struct SoakSources {
+  AosWorkload hot;
+  AosWorkload cold;
+};
+
+SoakSources make_soak_sources(std::size_t horizon) {
+  // Hot sessions carry the whole soak horizon; cold ones are open with
+  // nothing queued — a live multiplexer's idle tenants between bursts.
+  // Single-request dim-1 steps keep the per-step engine work small, so the
+  // rows measure the scheduler's visit cost, not distance arithmetic.
+  return {make_workload(1, horizon, 1), make_workload(1, 0, 1)};
+}
+
+/// Every tenant owns its workload object, as in the live service — the
+/// sweep's horizon check dereferences per-slot memory, exactly what the
+/// pre-refactor scheduler paid on every visit.
+std::shared_ptr<const sim::Instance> soak_instance(const SoakSources& sources, std::size_t s) {
+  return std::make_shared<const sim::Instance>(
+      to_instance(s % kSoakHotStride == 0 ? sources.hot : sources.cold));
+}
+
+std::size_t soak_steps(const Sizes& sizes) {
+  return (sizes.soak_sessions / kSoakHotStride) * sizes.soak_horizon;
+}
+
+/// Frozen copy of the pre-refactor scheduler slot: the seed multiplexer kept
+/// one of these per session — the full SessionSpec (tenant/algorithm
+/// strings, workload pointer, start layout) plus engine and cursor — and
+/// every round walked all of them, touching each slot's cachelines just to
+/// discover `cursor == horizon`.
+struct FrozenMuxSlot {
+  core::SessionSpec spec;
+  std::unique_ptr<mobsrv::alg::Lazy> algo;
+  std::unique_ptr<sim::Session> session;
+  std::string error;
+  std::size_t cursor = 0;
+  bool open = true;
+};
+
+std::vector<FrozenMuxSlot> make_frozen_soak(const SoakSources& sources, std::size_t sessions) {
+  sim::RunOptions options;
+  options.record_positions = false;
+  std::vector<FrozenMuxSlot> slots(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    FrozenMuxSlot& slot = slots[s];
+    slot.spec.tenant = "t" + std::to_string(s);
+    slot.spec.algorithm = "Lazy";
+    slot.spec.workload = soak_instance(sources, s);
+    slot.algo = std::make_unique<mobsrv::alg::Lazy>();
+    slot.session = std::make_unique<sim::Session>(
+        slot.spec.workload->start(), slot.spec.workload->params(), *slot.algo, options);
+  }
+  return slots;
+}
+
+/// One pre-refactor round: visit every open slot, advance the ones with
+/// pending steps. Returns how many advanced (0 = drained).
+std::size_t frozen_uniform_round(std::vector<FrozenMuxSlot>& slots) {
+  std::size_t advanced = 0;
+  for (FrozenMuxSlot& slot : slots) {
+    if (!slot.open || slot.cursor >= slot.spec.workload->horizon()) continue;
+    slot.session->push(slot.spec.workload->step(slot.cursor));
+    ++slot.cursor;
+    ++advanced;
+  }
+  return advanced;
+}
+
+void fill_soak_mux(core::SessionMultiplexer& mux, const SoakSources& sources,
+                   std::size_t sessions) {
+  for (std::size_t s = 0; s < sessions; ++s) {
+    core::SessionSpec spec;
+    spec.workload = soak_instance(sources, s);
+    spec.algorithm = "Lazy";
+    mux.add(std::move(spec));
+  }
+}
+
+void BM_MuxSoakUniform(benchmark::State& state, Sizes sizes) {
+  const SoakSources sources = make_soak_sources(sizes.soak_horizon);
+  double total = 0.0;
+  std::vector<FrozenMuxSlot> slots;
+  for (auto _ : state) {
+    state.PauseTiming();
+    slots = make_frozen_soak(sources, sizes.soak_sessions);
+    state.ResumeTiming();
+    while (frozen_uniform_round(slots) > 0) {
+    }
+    state.PauseTiming();
+    for (const FrozenMuxSlot& slot : slots) total += slot.session->total_cost();
+    slots.clear();  // teardown off the clock, like construction
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(total);
+  state.counters["steps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(soak_steps(sizes)),
+      benchmark::Counter::kIsRate);
+  state.counters["sessions"] = static_cast<double>(sizes.soak_sessions);
+}
+
+void BM_MuxSoakActive(benchmark::State& state, Sizes sizes) {
+  const SoakSources sources = make_soak_sources(sizes.soak_horizon);
+  par::ThreadPool pool(1);
+  mobsrv::obs::Histogram round_latency;
+  double total = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mux = std::make_unique<core::SessionMultiplexer>(pool);
+    fill_soak_mux(*mux, sources, sizes.soak_sessions);
+    state.ResumeTiming();
+    for (;;) {
+      const std::uint64_t start = mobsrv::obs::now_ns();
+      const std::size_t live = mux->step(1);
+      round_latency.record(mobsrv::obs::now_ns() - start);
+      if (live == 0) break;
+    }
+    state.PauseTiming();
+    total += mux->totals().total_cost;
+    mux.reset();  // teardown off the clock, like construction
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(total);
+  state.counters["steps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(soak_steps(sizes)),
+      benchmark::Counter::kIsRate);
+  state.counters["sessions"] = static_cast<double>(sizes.soak_sessions);
+  const mobsrv::obs::HistogramSummary summary = round_latency.summary();
+  state.counters["p50_ns"] = static_cast<double>(summary.p50);
+  state.counters["p99_ns"] = static_cast<double>(summary.p99);
+}
+
+void BM_MuxSoakCkpt(benchmark::State& state, Sizes sizes) {
+  const SoakSources sources = make_soak_sources(sizes.soak_horizon);
+  par::ThreadPool pool(1);
+  std::uint64_t bytes = 0, saves = 0, dirty_records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mux = std::make_unique<core::SessionMultiplexer>(pool);
+    fill_soak_mux(*mux, sources, sizes.soak_sessions);
+    // The base save is taken at admission and stays off the clock — the row
+    // measures the incremental steady state, where only hot slots dirty.
+    mux->mark_saved();
+    std::vector<core::SessionCheckpointRecord> records;
+    state.ResumeTiming();
+    std::size_t round = 0;
+    const auto save_dirty = [&] {
+      records.clear();
+      for (const std::size_t slot : mux->dirty_slots())
+        records.push_back(mux->checkpoint_slot(slot));
+      bytes += mobsrv::trace::encode_checkpoint(records).size();
+      dirty_records += records.size();
+      ++saves;
+      mux->mark_saved();
+    };
+    while (mux->step(1) > 0)
+      if (++round % kSoakSaveEvery == 0) save_dirty();
+    save_dirty();
+    state.PauseTiming();
+    mux.reset();  // teardown off the clock, like construction
+    state.ResumeTiming();
+  }
+  state.counters["steps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(soak_steps(sizes)),
+      benchmark::Counter::kIsRate);
+  state.counters["ckpt_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+  state.counters["dirty_per_save"] =
+      saves == 0 ? 0.0 : static_cast<double>(dirty_records) / static_cast<double>(saves);
+  state.counters["sessions"] = static_cast<double>(sizes.soak_sessions);
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: mobsrv_perf [--smoke] [--out=PATH] [--benchmark_*...]\n"
         "  --smoke      small workloads + short timings (CI smoke artifact)\n"
@@ -682,7 +881,8 @@ int main(int argc, char** argv) {
   // Full runs size the hot loop well past L2 so the AoS-vs-SoA comparison is
   // a memory-bandwidth statement, not a cache accident; smoke runs just
   // prove the binary and its JSON artifact end-to-end.
-  const Sizes sizes = smoke ? Sizes{64, 16, 256, 16} : Sizes{512, 64, 2048, 64};
+  const Sizes sizes =
+      smoke ? Sizes{64, 16, 256, 16, 100'000, 256} : Sizes{512, 64, 2048, 64, 1'000'000, 1024};
   const double min_time = smoke ? 0.02 : 0.25;
 
   for (const int dim : {1, 2, 8}) {
@@ -750,6 +950,15 @@ int main(int argc, char** argv) {
       ->Arg(1)
       ->ArgName("dim")
       ->MinTime(min_time);
+  benchmark::RegisterBenchmark("mux/soak_1m_uniform", BM_MuxSoakUniform, sizes)
+      ->MinTime(min_time)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("mux/soak_1m_active", BM_MuxSoakActive, sizes)
+      ->MinTime(min_time)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("mux/soak_1m_ckpt", BM_MuxSoakCkpt, sizes)
+      ->MinTime(min_time)
+      ->UseRealTime();
 
   std::vector<char*> bench_argv{argv[0]};
   for (std::string& flag : flags) bench_argv.push_back(flag.data());

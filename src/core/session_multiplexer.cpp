@@ -1,11 +1,17 @@
 #include "core/session_multiplexer.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "algorithms/registry.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace mobsrv::core {
 
 namespace {
+
+/// Sentinel saved-cursor: a slot that was never checkpointed is dirty.
+constexpr std::size_t kNeverSaved = std::numeric_limits<std::size_t>::max();
 
 /// The start layout a spec describes: explicit positions when given,
 /// otherwise fleet_size copies of the workload's start.
@@ -62,13 +68,30 @@ struct SessionMultiplexer::Slot {
   SessionSpec spec;
   std::unique_ptr<Engine> engine;  ///< null once close()d
   std::size_t cursor = 0;          ///< next workload step to reveal
+  std::size_t saved_cursor = kNeverSaved;  ///< cursor at the last mark_saved()
   SessionStats final_stats;        ///< cached accounting, set by close()
   std::string error;               ///< set by a guarded advance on throw
+  // --- scheduler state (touched only between rounds or by this slot's
+  // worker; never by another slot's) ---
+  bool ready = false;              ///< armed on the ready list
+  std::size_t take = 0;            ///< steps granted for the current round
+  double tokens = 0.0;             ///< rate-limit bucket (meaningful iff limited())
+  double burst = 0.0;              ///< normalised bucket cap (>= 1 iff limited())
+  std::size_t throttled_rounds = 0;
 
   [[nodiscard]] bool open() const noexcept { return engine != nullptr; }
 
+  [[nodiscard]] bool limited() const noexcept { return spec.rate.steps_per_round > 0.0; }
+
   [[nodiscard]] bool done() const noexcept {
     return !open() || cursor >= spec.workload->horizon();
+  }
+
+  /// Pending workload steps right now.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    if (!open()) return 0;
+    const std::size_t horizon = spec.workload->horizon();
+    return horizon > cursor ? horizon - cursor : 0;
   }
 
   void advance(std::size_t max_steps) {
@@ -100,6 +123,7 @@ struct SessionMultiplexer::Slot {
     stats.total_cost = engine->session.total_cost();
     stats.move_cost = engine->session.move_cost();
     stats.service_cost = engine->session.service_cost();
+    stats.throttled_rounds = throttled_rounds;
     stats.position = engine->session.position();
     stats.positions = engine->session.fleet();
     stats.per_server_move_cost.reserve(engine->session.fleet_size());
@@ -115,6 +139,18 @@ struct SessionMultiplexer::Slot {
     final_stats.closed = true;
     engine.reset();
   }
+
+  /// Serialises this slot's resumable state (requires an open engine).
+  [[nodiscard]] SessionCheckpointRecord checkpoint_record() const {
+    SessionCheckpointRecord record;
+    record.tenant = spec.tenant;
+    record.algorithm = spec.algorithm;
+    record.algo_seed = spec.algo_seed;
+    record.cursor = cursor;
+    record.horizon = spec.workload->horizon();
+    record.engine = engine->session.save();
+    return record;
+  }
 };
 
 SessionMultiplexer::SessionMultiplexer(par::ThreadPool& pool, std::size_t grain)
@@ -124,11 +160,22 @@ SessionMultiplexer::~SessionMultiplexer() = default;
 
 std::size_t SessionMultiplexer::add(SessionSpec spec) {
   MOBSRV_CHECK_MSG(spec.workload != nullptr, "session needs a workload");
+  MOBSRV_CHECK_MSG(spec.rate.steps_per_round >= 0.0, "rate limit cannot be negative");
+  if (spec.rate.steps_per_round > 0.0) {
+    MOBSRV_CHECK_MSG(spec.rate.burst == 0.0 || spec.rate.burst >= 1.0,
+                     "rate-limit burst must be >= 1 token (or 0 for the default)");
+  } else {
+    MOBSRV_CHECK_MSG(spec.rate.burst == 0.0, "rate-limit burst needs steps_per_round > 0");
+  }
   sim::FleetAlgorithmPtr algorithm = alg::make_fleet_algorithm(spec.algorithm, spec.algo_seed);
   const sim::RunOptions options = spec_options(spec);
-  const bool live_on_add = spec.workload->horizon() > 0;
+  if (spec.priority != 0.0) has_priority_ = true;
   slots_.push_back(std::make_unique<Slot>(std::move(spec), std::move(algorithm), options));
-  if (live_on_add) ++live_;
+  Slot& slot = *slots_.back();
+  if (slot.limited())
+    slot.burst = slot.spec.rate.burst > 0.0 ? slot.spec.rate.burst
+                                            : std::max(1.0, slot.spec.rate.steps_per_round);
+  arm(slots_.size() - 1);
   return slots_.size() - 1;
 }
 
@@ -136,58 +183,159 @@ std::size_t SessionMultiplexer::size() const noexcept { return slots_.size(); }
 
 std::size_t SessionMultiplexer::live() const noexcept { return live_; }
 
-void SessionMultiplexer::refresh_live() {
-  live_ = 0;
-  for (const auto& slot : slots_)
-    if (!slot->done()) ++live_;
+void SessionMultiplexer::arm(std::size_t id) {
+  Slot& slot = *slots_[id];
+  if (slot.ready || !slot.open() || slot.pending() == 0) return;
+  // Re-armed from parked: the bucket refilled while the slot sat idle.
+  if (slot.limited()) slot.tokens = slot.burst;
+  slot.ready = true;
+  ready_ids_.push_back(id);
+  ++live_;
+}
+
+void SessionMultiplexer::rescan() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) arm(i);
+}
+
+void SessionMultiplexer::poke(std::size_t id) {
+  MOBSRV_CHECK(id < slots_.size());
+  arm(id);
+}
+
+void SessionMultiplexer::set_priority(std::size_t id, double priority) {
+  MOBSRV_CHECK(id < slots_.size());
+  slots_[id]->spec.priority = priority;
+  if (priority != 0.0) has_priority_ = true;
+}
+
+void SessionMultiplexer::prepare_round(std::size_t max_steps) {
+  // Compact entries that went stale since they were armed (closed or
+  // individually drained slots cleared their flag in place).
+  std::size_t keep = 0;
+  for (const std::size_t id : ready_ids_) {
+    Slot& slot = *slots_[id];
+    if (!slot.ready) continue;
+    if (slot.pending() == 0) {
+      slot.ready = false;
+      continue;
+    }
+    ready_ids_[keep++] = id;
+  }
+  ready_ids_.resize(keep);
+  live_ = keep;
+  // Priority orders dispatch only; the id tiebreak keeps the order total,
+  // so the round schedule is deterministic. Skipped entirely while every
+  // priority is the default 0.
+  if (has_priority_) {
+    std::sort(ready_ids_.begin(), ready_ids_.end(), [this](std::size_t a, std::size_t b) {
+      const double pa = slots_[a]->spec.priority;
+      const double pb = slots_[b]->spec.priority;
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+  }
+  // Token math is single-threaded and pre-round: workers only ever read
+  // their own slot's grant.
+  for (const std::size_t id : ready_ids_) {
+    Slot& slot = *slots_[id];
+    const std::size_t desired = std::min(max_steps, slot.pending());
+    if (slot.limited()) {
+      const auto whole = static_cast<std::size_t>(slot.tokens);  // floor, tokens >= 0
+      slot.take = std::min(desired, whole);
+      if (slot.take < desired) {
+        ++slot.throttled_rounds;
+        ++throttled_total_;
+      }
+    } else {
+      slot.take = desired;
+    }
+  }
+}
+
+std::size_t SessionMultiplexer::finish_round() {
+  std::size_t keep = 0;
+  for (const std::size_t id : ready_ids_) {
+    Slot& slot = *slots_[id];
+    if (slot.limited()) {
+      slot.tokens -= static_cast<double>(slot.take);
+      slot.tokens = std::min(slot.burst, slot.tokens + slot.spec.rate.steps_per_round);
+    }
+    if (slot.open() && slot.pending() > 0) {
+      ready_ids_[keep++] = id;  // still hungry (long workload or throttled)
+    } else {
+      slot.ready = false;  // park: consumed its workload (or was closed)
+    }
+  }
+  ready_ids_.resize(keep);
+  live_ = keep;
+  return live_;
 }
 
 std::size_t SessionMultiplexer::step(std::size_t max_steps) {
   MOBSRV_CHECK(max_steps >= 1);
-  refresh_live();  // workloads may have grown since the last round
-  if (live_ == 0) return 0;
+  // Growth fallback: an idle mux rescans so workloads that grew without a
+  // poke() are still noticed (the historical contract).
+  if (ready_ids_.empty()) rescan();
+  prepare_round(max_steps);
+  if (ready_ids_.empty()) return 0;
   const std::uint64_t begin = timing_ ? obs::now_ns() : 0;
-  par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
-    Slot& slot = *slots_[i];
-    if (!slot.done()) slot.advance(max_steps);
+  par::parallel_for(pool_, 0, ready_ids_.size(), grain_, [&](std::size_t i) {
+    Slot& slot = *slots_[ready_ids_[i]];
+    slot.advance(slot.take);
   });
-  // Timing + recount after the join (workers never touch shared state).
+  // Timing + bookkeeping after the join (workers never touch shared state).
   if (timing_) step_latency_.record(obs::now_ns() - begin);
-  refresh_live();
-  return live_;
+  return finish_round();
 }
 
 std::size_t SessionMultiplexer::step_capturing(std::size_t max_steps,
                                                std::vector<SlotError>& errors) {
   MOBSRV_CHECK(max_steps >= 1);
-  refresh_live();
-  if (live_ == 0) return 0;
+  if (ready_ids_.empty()) rescan();
+  prepare_round(max_steps);
+  if (ready_ids_.empty()) return 0;
   const std::uint64_t begin = timing_ ? obs::now_ns() : 0;
-  par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
-    Slot& slot = *slots_[i];
-    if (!slot.done()) slot.advance_guarded(max_steps);
+  par::parallel_for(pool_, 0, ready_ids_.size(), grain_, [&](std::size_t i) {
+    Slot& slot = *slots_[ready_ids_[i]];
+    slot.advance_guarded(slot.take);
   });
   if (timing_) step_latency_.record(obs::now_ns() - begin);
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    Slot& slot = *slots_[i];
+  // Only slots this round touched can have failed.
+  for (const std::size_t id : ready_ids_) {
+    Slot& slot = *slots_[id];
     if (slot.error.empty()) continue;
-    errors.push_back({i, std::move(slot.error)});
+    errors.push_back({id, std::move(slot.error)});
     slot.error.clear();
     close_slot(slot);
   }
-  refresh_live();
-  return live_;
+  return finish_round();
 }
 
 void SessionMultiplexer::drain() {
-  refresh_live();
-  if (live_ == 0) return;
+  rescan();  // every pending slot drains, armed or parked
+  // Compact without the token math: drain ignores rate limits, so no
+  // throttle is counted and no bucket is spent here.
+  std::size_t keep = 0;
+  for (const std::size_t id : ready_ids_) {
+    Slot& slot = *slots_[id];
+    if (!slot.ready) continue;
+    if (slot.pending() == 0) {
+      slot.ready = false;
+      continue;
+    }
+    ready_ids_[keep++] = id;
+  }
+  ready_ids_.resize(keep);
+  live_ = keep;
+  if (ready_ids_.empty()) return;
   const std::uint64_t begin = timing_ ? obs::now_ns() : 0;
-  par::parallel_for(pool_, 0, slots_.size(), grain_, [&](std::size_t i) {
-    Slot& slot = *slots_[i];
-    if (!slot.done()) slot.advance(slot.spec.workload->horizon() - slot.cursor);
+  par::parallel_for(pool_, 0, ready_ids_.size(), grain_, [&](std::size_t i) {
+    Slot& slot = *slots_[ready_ids_[i]];
+    slot.advance(slot.pending());  // rate limits do not apply to drain
   });
   if (timing_) step_latency_.record(obs::now_ns() - begin);
+  for (const std::size_t id : ready_ids_) slots_[id]->ready = false;
+  ready_ids_.clear();
   live_ = 0;
 }
 
@@ -195,8 +343,12 @@ void SessionMultiplexer::drain(std::size_t id) {
   MOBSRV_CHECK(id < slots_.size());
   Slot& slot = *slots_[id];
   if (slot.done()) return;
-  slot.advance(slot.spec.workload->horizon() - slot.cursor);
-  if (live_ > 0) --live_;
+  slot.advance(slot.pending());
+  if (slot.ready) {
+    // The stale ready entry is dropped by the next round's compaction.
+    slot.ready = false;
+    if (live_ > 0) --live_;
+  }
 }
 
 void SessionMultiplexer::close_slot(Slot& slot) {
@@ -212,9 +364,11 @@ void SessionMultiplexer::close(std::size_t id) {
   MOBSRV_CHECK(id < slots_.size());
   Slot& slot = *slots_[id];
   if (!slot.open()) return;
-  const bool was_live = !slot.done();
   close_slot(slot);
-  if (was_live && live_ > 0) --live_;
+  if (slot.ready) {
+    slot.ready = false;
+    if (live_ > 0) --live_;
+  }
 }
 
 bool SessionMultiplexer::closed(std::size_t id) const {
@@ -238,7 +392,8 @@ std::vector<SessionStats> SessionMultiplexer::snapshot() const {
 MuxTotals SessionMultiplexer::totals() const {
   MuxTotals totals;
   totals.sessions = slots_.size();
-  totals.live = live_;
+  totals.active = live_;
+  totals.throttled = throttled_total_;
   // Closed sessions' step counts were folded in at close() time; open
   // cursors are merged on top here, so the percentiles cover every session
   // this multiplexer ever ran.
@@ -249,8 +404,11 @@ MuxTotals SessionMultiplexer::totals() const {
       totals.total_cost += slot->engine->session.total_cost();
       totals.move_cost += slot->engine->session.move_cost();
       totals.service_cost += slot->engine->session.service_cost();
-      const std::size_t horizon = slot->spec.workload->horizon();
-      if (horizon > slot->cursor) totals.queue_depth += horizon - slot->cursor;
+      const std::size_t pending = slot->pending();
+      if (pending > 0) {
+        totals.queue_depth += pending;
+        ++totals.live;  // true pending count, parked-but-grown included
+      }
       per_session.record(slot->cursor);
     } else {
       ++totals.closed;
@@ -270,16 +428,29 @@ std::vector<SessionCheckpointRecord> SessionMultiplexer::checkpoint() const {
   records.reserve(slots_.size());
   for (const auto& slot : slots_) {
     if (!slot->open()) continue;
-    SessionCheckpointRecord record;
-    record.tenant = slot->spec.tenant;
-    record.algorithm = slot->spec.algorithm;
-    record.algo_seed = slot->spec.algo_seed;
-    record.cursor = slot->cursor;
-    record.horizon = slot->spec.workload->horizon();
-    record.engine = slot->engine->session.save();
-    records.push_back(std::move(record));
+    records.push_back(slot->checkpoint_record());
   }
   return records;
+}
+
+SessionCheckpointRecord SessionMultiplexer::checkpoint_slot(std::size_t id) const {
+  MOBSRV_CHECK(id < slots_.size());
+  MOBSRV_CHECK_MSG(slots_[id]->open(), "cannot checkpoint a closed slot");
+  return slots_[id]->checkpoint_record();
+}
+
+std::vector<std::size_t> SessionMultiplexer::dirty_slots() const {
+  std::vector<std::size_t> dirty;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = *slots_[i];
+    if (slot.open() && slot.cursor != slot.saved_cursor) dirty.push_back(i);
+  }
+  return dirty;
+}
+
+void SessionMultiplexer::mark_saved() {
+  for (const auto& slot : slots_)
+    if (slot->open()) slot->saved_cursor = slot->cursor;
 }
 
 void SessionMultiplexer::restore(const std::vector<SessionCheckpointRecord>& records) {
@@ -336,7 +507,11 @@ void SessionMultiplexer::restore(const std::vector<SessionCheckpointRecord>& rec
     slot.engine = std::move(rebuilt[r]);
     slot.cursor = records[r].cursor;
   }
-  refresh_live();
+  // Rebuild the ready list from the restored cursors.
+  for (const auto& slot : slots_) slot->ready = false;
+  ready_ids_.clear();
+  live_ = 0;
+  rescan();
 }
 
 }  // namespace mobsrv::core

@@ -22,6 +22,10 @@ const char* event_name(EventType type) noexcept {
       return "restore";
     case EventType::kDrain:
       return "drain";
+    case EventType::kThrottle:
+      return "throttle";
+    case EventType::kCompact:
+      return "compact";
   }
   return "open";
 }

@@ -35,6 +35,8 @@ enum class EventType {
   kError,       ///< tenant failed (malformed frame / step error)
   kRestore,     ///< service restored from a snapshot
   kDrain,       ///< graceful drain (eof / shutdown / signal)
+  kThrottle,    ///< tenant entered a rate-limit throttle episode
+  kCompact,     ///< snapshot segment chain compacted into a fresh base
 };
 
 [[nodiscard]] const char* event_name(EventType type) noexcept;

@@ -175,6 +175,14 @@ TenantSpec spec_from_members(const Json& doc, const std::string& type) {
     spec.params.order = order_from(order->as_string(), tenant);
   }
 
+  spec.rate = number_or(doc, "rate", 0.0, tenant);
+  if (spec.rate < 0.0) fail("\"rate\" must be >= 0", tenant);
+  spec.rate_burst = number_or(doc, "burst", 0.0, tenant);
+  if (spec.rate_burst != 0.0) {
+    if (spec.rate <= 0.0) fail("\"burst\" requires a positive \"rate\"", tenant);
+    if (spec.rate_burst < 1.0) fail("\"burst\" must be >= 1", tenant);
+  }
+
   const Json* start = doc.find("start");
   const Json* starts = doc.find("starts");
   if (start != nullptr && starts != nullptr)
@@ -215,6 +223,12 @@ Json tenant_spec_to_json(const TenantSpec& spec) {
   doc.set("D", spec.params.move_cost_weight);
   doc.set("m", spec.params.max_step);
   doc.set("order", order_name(spec.params.order));
+  // Rate members are emitted only when set, keeping rate-less specs (and
+  // thus every pre-rate snapshot/`opened` frame) byte-identical to v1.
+  if (spec.rate > 0.0) {
+    doc.set("rate", spec.rate);
+    if (spec.rate_burst > 0.0) doc.set("burst", spec.rate_burst);
+  }
   Json starts = Json::array();
   for (const sim::Point& p : spec.starts) starts.push_back(point_to_json(p));
   doc.set("starts", std::move(starts));
@@ -225,7 +239,7 @@ TenantSpec tenant_spec_from_json(const Json& doc) {
   if (!doc.is_object()) throw FrameError("tenant spec must be a JSON object");
   reject_unknown_members(doc,
                          {"tenant", "algorithm", "seed", "dim", "k", "speed", "policy", "D", "m",
-                          "order", "start", "starts"},
+                          "order", "start", "starts", "rate", "burst"},
                          "tenant spec", sniff_tenant(doc));
   return spec_from_members(doc, "tenant spec");
 }
@@ -250,7 +264,7 @@ ClientFrame parse_client_frame(std::string_view line) {
     check_version(doc, /*required=*/true, type, tenant);
     reject_unknown_members(doc,
                            {"type", "v", "tenant", "algorithm", "seed", "dim", "k", "speed",
-                            "policy", "D", "m", "order", "start", "starts"},
+                            "policy", "D", "m", "order", "start", "starts", "rate", "burst"},
                            type, tenant);
     frame.open = spec_from_members(doc, type);
     frame.tenant = frame.open.tenant;
@@ -375,6 +389,7 @@ Json stats_to_json(const core::SessionStats& stats, const TenantObsRow* row) {
     doc.set("busys", row->busys);
     doc.set("errors", row->errors);
     doc.set("inflight_hwm", row->inflight_hwm);
+    doc.set("throttled", stats.throttled_rounds);
     doc.set("ingest_latency_ns", obs::summary_to_json(row->ingest_latency));
   }
   return doc;
@@ -419,6 +434,8 @@ std::string stats_frame(const std::vector<core::SessionStats>& stats,
   doc.set("total", totals.total_cost);
   if (rows != nullptr) {
     // Aggregate telemetry, appended after the v1 members (byte-compat).
+    doc.set("active_sessions", totals.active);
+    doc.set("throttled", totals.throttled);
     doc.set("queue_depth", totals.queue_depth);
     doc.set("step_latency_ns", obs::summary_to_json(totals.step_latency));
     doc.set("steps_per_session", obs::summary_to_json(totals.steps_per_session));
@@ -437,12 +454,18 @@ std::string metrics_frame(const io::Json::Array& metrics,
   return doc.dump();
 }
 
-std::string checkpointed_frame(const std::string& path, std::size_t sessions, std::size_t steps) {
+std::string checkpointed_frame(const std::string& path, std::size_t sessions, std::size_t steps,
+                               const std::string& mode, std::uint64_t bytes,
+                               std::size_t segments) {
   Json doc = Json::object();
   doc.set("type", "checkpointed");
   doc.set("path", path);
   doc.set("sessions", sessions);
   doc.set("steps", steps);
+  // Segment-chain shape, appended after the v1 members (byte-compat).
+  doc.set("mode", mode);
+  doc.set("bytes", bytes);
+  doc.set("segments", segments);
   return doc.dump();
 }
 

@@ -55,6 +55,14 @@ struct TenantSpec {
   /// Start layout, size fleet_size (parse fills it: explicit `starts`,
   /// a shared `start`, or the origin).
   std::vector<sim::Point> starts;
+  /// Scheduler rate limit: steps this tenant may consume per mux round
+  /// (fractions allowed — 0.5 means a step every other round). 0 = no
+  /// limit. Declared by the `open` frame's `rate` member or the service's
+  /// --default-rate; enforced by core::SessionMultiplexer's token bucket.
+  double rate = 0.0;
+  /// Token-bucket burst capacity (whole steps a tenant may save up).
+  /// 0 = derive from the rate (max(1, rate)); only meaningful with rate>0.
+  double rate_burst = 0.0;
 };
 
 /// JSON round-trip for TenantSpec (the snapshot file and the `opened`
@@ -151,8 +159,9 @@ struct TenantObsRow {
 /// Accounting snapshot: per-tenant rows plus the aggregate. When \p rows is
 /// non-null (size matching \p stats, indexed by slot id) each tenant row is
 /// enriched with the serve-side telemetry and the aggregate gains
-/// queue_depth / step_latency_ns / steps_per_session — all appended after
-/// the v1 members, so old consumers keep working byte-for-byte.
+/// active_sessions / throttled / queue_depth / step_latency_ns /
+/// steps_per_session — all appended after the v1 members, so old consumers
+/// keep working byte-for-byte.
 [[nodiscard]] std::string stats_frame(const std::vector<core::SessionStats>& stats,
                                       const core::MuxTotals& totals,
                                       const std::vector<TenantObsRow>* rows = nullptr);
@@ -164,16 +173,20 @@ struct TenantObsRow {
                                         const std::vector<core::SessionStats>& stats,
                                         const std::vector<TenantObsRow>& rows);
 
-/// Acknowledges a snapshot save.
+/// Acknowledges a snapshot save. \p mode is "base" or "delta" (how the
+/// save was persisted), \p bytes the encoded segment size, \p segments the
+/// chain length after the save — appended after the v1 members.
 [[nodiscard]] std::string checkpointed_frame(const std::string& path, std::size_t sessions,
-                                             std::size_t steps);
+                                             std::size_t steps, const std::string& mode,
+                                             std::uint64_t bytes, std::size_t segments);
 
 /// Farewell frame emitted on graceful exit (shutdown frame, EOF, SIGTERM).
 [[nodiscard]] std::string bye_frame(const std::string& reason, const core::MuxTotals& totals);
 
 /// Per-tenant accounting object shared by stats/closed frames. With a
 /// non-null \p row the serve-side telemetry members (queued, reqs,
-/// outcomes, busys, errors, inflight_hwm, ingest_latency_ns) are appended.
+/// outcomes, busys, errors, inflight_hwm, throttled, ingest_latency_ns)
+/// are appended.
 [[nodiscard]] io::Json stats_to_json(const core::SessionStats& stats,
                                      const TenantObsRow* row = nullptr);
 

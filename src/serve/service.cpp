@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <utility>
@@ -113,6 +114,9 @@ void Service::handle_line(const std::string& line, std::ostream& out) {
 
 void Service::handle_open(TenantSpec spec, std::ostream& out) {
   const std::string name = spec.tenant;
+  // --default-rate fills in an admission rate for tenants that named none;
+  // an explicit "rate" (at any value > 0) always wins.
+  if (spec.rate == 0.0 && options_.default_rate > 0.0) spec.rate = options_.default_rate;
   try {
     Tenant& tenant = table_.admit(std::move(spec), mux_);
     telemetry_.tenant_row(tenant.slot, name);
@@ -146,7 +150,10 @@ void Service::handle_req(const ClientFrame& frame, std::ostream& out) {
                 out);
     return;
   }
-  const std::size_t queued = tenant->workload->horizon() - mux_.stats(tenant->slot).steps;
+  // Outside a pump round the emission ledger equals the session cursor, so
+  // the queue depth needs no mux stats snapshot (which would allocate
+  // position vectors on the req hot path).
+  const std::size_t queued = tenant->workload->horizon() - tenant->emitted;
   TenantTelemetry& row = telemetry_.tenant_row(tenant->slot, frame.tenant);
   if (queued >= options_.max_inflight) {
     // Bounded in-flight queue: the frame is NOT accepted (the client must
@@ -165,6 +172,14 @@ void Service::handle_req(const ClientFrame& frame, std::ostream& out) {
     return;
   }
   tenant->workload->push_step(frame.batch);
+  // Re-arm the (possibly parked) slot and bias dispatch toward the deepest
+  // queues; enqueue the tenant for the pump's O(pending) sweep.
+  mux_.poke(tenant->slot);
+  mux_.set_priority(tenant->slot, static_cast<double>(queued + 1));
+  if (!tenant->pending) {
+    tenant->pending = true;
+    pending_slots_.push_back(tenant->slot);
+  }
   telemetry_.reqs.inc();
   ++row.reqs;
   if (queued + 1 > row.inflight_hwm) row.inflight_hwm = queued + 1;
@@ -253,54 +268,71 @@ void Service::note_tenant_error(std::size_t slot, const std::string& name,
 }
 
 void Service::pump(std::ostream& out) {
-  std::vector<core::SessionMultiplexer::SlotError> errors;
-  for (;;) {
-    bool pending = false;
-    for (const auto& tenant : table_.entries())
-      if (tenant->workload->horizon() > tenant->emitted) {
-        pending = true;
-        break;
+  if (!pending_slots_.empty()) {
+    // Outcomes stream in slot order within a round — the same order the v1
+    // whole-table sweep produced (slot ids are admission-ordered).
+    std::sort(pending_slots_.begin(), pending_slots_.end());
+    std::vector<core::SessionMultiplexer::SlotError> errors;
+    while (!pending_slots_.empty()) {
+      // One step per round keeps the per-step cost deltas exact: each live
+      // session advances by at most one step between ledger snapshots.
+      errors.clear();
+      mux_.step_capturing(1, errors);
+
+      std::size_t keep = 0;
+      for (const std::size_t slot : pending_slots_) {
+        Tenant* tenant = table_.find_slot(slot);
+        if (tenant == nullptr) continue;  // error-closed mid-pump; drop
+        const core::SessionStats stats = mux_.stats(slot);
+        if (stats.steps > tenant->emitted) {
+          tenant->throttling = false;  // the scheduler let it advance again
+          out << outcome_frame(tenant->spec.tenant, stats.steps - 1,
+                               stats.move_cost - tenant->emitted_move,
+                               stats.service_cost - tenant->emitted_service, stats,
+                               options_.lean)
+              << '\n';
+          tenant->emitted = stats.steps;
+          tenant->emitted_move = stats.move_cost;
+          tenant->emitted_service = stats.service_cost;
+          ++steps_since_snapshot_;
+          ++steps_since_metrics_;
+          telemetry_.outcomes.inc();
+          TenantTelemetry& row = telemetry_.tenant_row(slot, tenant->spec.tenant);
+          ++row.outcomes;
+          // Steps restored from a snapshot carry no accept stamp (pop == 0).
+          if (const std::uint64_t accepted = row.pop_accept(); accepted != 0) {
+            const std::uint64_t latency = obs::now_ns() - accepted;
+            row.ingest_latency.record(latency);
+            telemetry_.ingest_latency.record(latency);
+          }
+        } else if (stats.throttled_rounds > tenant->throttled_seen && !tenant->throttling) {
+          // Journal one event per throttle EPISODE (entry only), not per
+          // starved round — the journal is for rare lifecycle events.
+          tenant->throttling = true;
+          telemetry_.throttles.inc();
+          telemetry_.journal().record(
+              obs::EventType::kThrottle, tenant->spec.tenant,
+              "rate " + std::to_string(tenant->spec.rate) + " steps/round, queued " +
+                  std::to_string(tenant->workload->horizon() - tenant->emitted));
+        }
+        tenant->throttled_seen = stats.throttled_rounds;
+        if (tenant->workload->horizon() > tenant->emitted)
+          pending_slots_[keep++] = slot;
+        else
+          tenant->pending = false;
       }
-    if (!pending) break;
+      pending_slots_.resize(keep);
 
-    // One step per round keeps the per-step cost deltas exact: each live
-    // session advances by at most one step between ledger snapshots.
-    errors.clear();
-    mux_.step_capturing(1, errors);
-
-    for (const auto& tenant : table_.entries()) {
-      const core::SessionStats stats = mux_.stats(tenant->slot);
-      if (stats.steps <= tenant->emitted) continue;
-      out << outcome_frame(tenant->spec.tenant, stats.steps - 1,
-                           stats.move_cost - tenant->emitted_move,
-                           stats.service_cost - tenant->emitted_service, stats, options_.lean)
-          << '\n';
-      tenant->emitted = stats.steps;
-      tenant->emitted_move = stats.move_cost;
-      tenant->emitted_service = stats.service_cost;
-      ++steps_since_snapshot_;
-      ++steps_since_metrics_;
-      telemetry_.outcomes.inc();
-      TenantTelemetry& row = telemetry_.tenant_row(tenant->slot, tenant->spec.tenant);
-      ++row.outcomes;
-      // Steps restored from a snapshot carry no accept stamp (pop == 0).
-      if (const std::uint64_t accepted = row.pop_accept(); accepted != 0) {
-        const std::uint64_t latency = obs::now_ns() - accepted;
-        row.ingest_latency.record(latency);
-        telemetry_.ingest_latency.record(latency);
-      }
-    }
-
-    // Sessions that threw were closed by the mux (their slot alone); report
-    // and drop them — every other tenant keeps streaming.
-    for (const core::SessionMultiplexer::SlotError& error : errors) {
-      for (const auto& tenant : table_.entries()) {
-        if (tenant->slot != error.id) continue;
-        note_tenant_error(error.id, tenant->spec.tenant, error.message);
-        out << error_frame(lines_, error.message, tenant->spec.tenant, true) << '\n';
+      // Sessions that threw were closed by the mux (their slot alone);
+      // report and drop them — every other tenant keeps streaming.
+      for (const core::SessionMultiplexer::SlotError& error : errors) {
+        Tenant* tenant = table_.find_slot(error.id);
+        if (tenant == nullptr) continue;
+        const std::string name = tenant->spec.tenant;
+        note_tenant_error(error.id, name, error.message);
+        out << error_frame(lines_, error.message, name, true) << '\n';
         out << closed_frame(mux_.stats(error.id)) << '\n';
-        table_.erase(tenant->spec.tenant);
-        break;
+        table_.erase(name);
       }
     }
   }
@@ -314,29 +346,84 @@ void Service::maybe_snapshot(std::ostream& out, bool force) {
       (options_.checkpoint_every == 0 || steps_since_snapshot_ < options_.checkpoint_every))
     return;
   try {
-    const ServiceSnapshot snapshot = make_snapshot();
-    write_snapshot(options_.snapshot_path, snapshot);
+    // A fresh base when this process has not written one yet (slot ids are
+    // process-local, so appending to a previous process's chain would lie)
+    // or when the delta chain has outgrown the compaction threshold.
+    const bool compacting =
+        have_base_ && delta_bytes_ >= options_.compact_ratio * static_cast<double>(base_bytes_);
+    const bool base = !have_base_ || compacting;
+    std::uint64_t bytes = 0;
+    if (base) {
+      if (compacting)
+        telemetry_.journal().record(
+            obs::EventType::kCompact, {},
+            std::to_string(segments_) + " segments, " + std::to_string(delta_bytes_) +
+                " delta bytes >= " + std::to_string(options_.compact_ratio) + "x base " +
+                std::to_string(base_bytes_));
+      bytes = write_snapshot_base(options_.snapshot_path, collect_base_segment());
+      base_bytes_ = bytes;
+      delta_bytes_ = 0;
+      segments_ = 1;
+      have_base_ = true;
+    } else {
+      bytes = append_snapshot_delta(options_.snapshot_path, collect_delta_segment());
+      delta_bytes_ += bytes;
+      ++segments_;
+    }
+    mux_.mark_saved();
+    saved_slots_.clear();
+    for (const auto& tenant : table_.entries()) saved_slots_.insert(tenant->slot);
     steps_since_snapshot_ = 0;
     telemetry_.snapshots.inc();
+    telemetry_.checkpoint_bytes.inc(bytes);
     telemetry_.journal().record(obs::EventType::kCheckpoint, {},
                                 options_.snapshot_path.string());
-    out << checkpointed_frame(options_.snapshot_path.string(), snapshot.tenants.size(),
-                              mux_.totals().steps)
+    out << checkpointed_frame(options_.snapshot_path.string(), table_.size(),
+                              mux_.totals().steps, base ? "base" : "delta", bytes, segments_)
         << '\n';
   } catch (const std::exception& error) {
     // A failed save is loud but not fatal: the service keeps running on the
-    // previous good snapshot (write_bytes_atomic never clobbers it).
+    // previous good snapshot. A failed APPEND may have left a torn tail
+    // (the reader drops it), but appending after one would corrupt the
+    // chain — force the next save to rewrite a fresh base atomically.
+    have_base_ = false;
     out << error_frame(0, std::string("snapshot save failed: ") + error.what(), "", false)
         << '\n';
   }
 }
 
-ServiceSnapshot Service::make_snapshot() const {
-  ServiceSnapshot snapshot;
-  snapshot.tenants.reserve(table_.size());
-  for (const auto& tenant : table_.entries()) snapshot.tenants.push_back(tenant->spec);
-  snapshot.records = mux_.checkpoint();
-  return snapshot;
+SnapshotSegment Service::collect_base_segment() const {
+  SnapshotSegment segment;
+  segment.opened.reserve(table_.size());
+  for (const auto& tenant : table_.entries()) {
+    segment.opened.push_back(tenant->spec);
+    segment.opened_slots.push_back(tenant->slot);
+    segment.record_slots.push_back(tenant->slot);
+    segment.records.push_back(mux_.checkpoint_slot(tenant->slot));
+  }
+  return segment;
+}
+
+SnapshotSegment Service::collect_delta_segment() const {
+  SnapshotSegment segment;
+  for (const auto& tenant : table_.entries()) {
+    if (saved_slots_.count(tenant->slot) != 0) continue;
+    segment.opened.push_back(tenant->spec);
+    segment.opened_slots.push_back(tenant->slot);
+  }
+  std::unordered_set<std::size_t> current;
+  current.reserve(table_.size());
+  for (const auto& tenant : table_.entries()) current.insert(tenant->slot);
+  for (const std::size_t slot : saved_slots_)
+    if (current.count(slot) == 0) segment.closed_slots.push_back(slot);
+  std::sort(segment.closed_slots.begin(), segment.closed_slots.end());
+  // Only the slots that stepped (or arrived) since mark_saved() are
+  // re-serialised — the O(progress) heart of the incremental save.
+  for (const std::size_t slot : mux_.dirty_slots()) {
+    segment.record_slots.push_back(slot);
+    segment.records.push_back(mux_.checkpoint_slot(slot));
+  }
+  return segment;
 }
 
 ExitReason Service::finish(ExitReason reason, std::ostream& out) {

@@ -19,9 +19,11 @@
 ///     flag) consumes every queued step, saves a final snapshot and says
 ///     `bye`;
 ///   * periodic checkpointing — every checkpoint_every consumed steps the
-///     service atomically saves a snapshot (tenant table + engine
-///     checkpoint); a killed service restores from it and continues
-///     bit-identically, proven by the end-to-end kill/restore test.
+///     service saves a snapshot (tenant table + engine checkpoint) as an
+///     MSRVSS2 segment chain: a fresh base first, then incremental deltas
+///     covering only the progress since the previous save, compacted when
+///     the chain outgrows compact_ratio; a killed service restores from it
+///     and continues bit-identically, proven by the kill/restore tests.
 ///
 /// The loop is transport-agnostic: it speaks std::istream/std::ostream, so
 /// stdin/stdout, a TCP connection and a Unix socket all drive the same
@@ -33,6 +35,8 @@
 #include <filesystem>
 #include <iosfwd>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "core/session_multiplexer.hpp"
 #include "parallel/thread_pool.hpp"
@@ -65,6 +69,12 @@ struct ServiceOptions {
   /// Snapshot the metrics file every N consumed steps (0 = only on exit
   /// and `metrics` frames). Requires metrics_path.
   std::size_t metrics_every = 0;
+  /// Rate limit applied at admission when an `open` frame names none:
+  /// steps per mux round (fractions allowed; 0 = unlimited).
+  double default_rate = 0.0;
+  /// Compact the MSRVSS2 segment chain (rewrite a fresh base) once the
+  /// summed delta bytes exceed this multiple of the base segment's size.
+  double compact_ratio = 4.0;
   /// External stop flag (the SIGTERM handler sets it); checked between
   /// frames. May be null.
   const std::atomic<bool>* stop = nullptr;
@@ -117,12 +127,19 @@ class Service {
 
   /// Consumes every queued step (one parallel round per step) and emits
   /// per-step outcome frames; sessions that throw are closed and reported.
+  /// O(pending tenants) per round — it walks the pending list (fed by
+  /// handle_req), never the whole table.
   void pump(std::ostream& out);
 
-  /// Saves a snapshot if due (cadence) or \p force. Reports save failures
-  /// as error frames without killing the service.
+  /// Saves a snapshot if due (cadence) or \p force. The first save of a
+  /// process writes a fresh MSRVSS2 base; later saves append a delta
+  /// carrying only the tenants opened/closed and the slots stepped since
+  /// the previous save (O(progress)), compacting back into a base when
+  /// the chain outgrows compact_ratio. Reports save failures as error
+  /// frames without killing the service.
   void maybe_snapshot(std::ostream& out, bool force);
-  [[nodiscard]] ServiceSnapshot make_snapshot() const;
+  [[nodiscard]] SnapshotSegment collect_base_segment() const;
+  [[nodiscard]] SnapshotSegment collect_delta_segment() const;
 
   /// Writes the --metrics-out NDJSON snapshot if due (cadence) or \p
   /// force. Atomic (tmp + rename); failures are loud error frames, never
@@ -145,6 +162,20 @@ class Service {
   std::size_t steps_since_metrics_ = 0;
   bool shutdown_ = false;
   bool killed_ = false;
+  /// Mux slots with consumed-but-unemitted or queued steps — the pump's
+  /// work list (deduped by Tenant::pending). Slot ids are never reused, so
+  /// a stale entry for an error-closed tenant is simply skipped.
+  std::vector<std::size_t> pending_slots_;
+  /// MSRVSS2 chain state. have_base_ is false until this process writes
+  /// its base (slot ids are process-local, so a restored service must not
+  /// append to the previous process's chain).
+  bool have_base_ = false;
+  std::uint64_t base_bytes_ = 0;   ///< encoded size of the current base segment
+  std::uint64_t delta_bytes_ = 0;  ///< summed encoded size of appended deltas
+  std::size_t segments_ = 0;       ///< chain length (base + deltas)
+  /// Slots open as of the last successful save (the delta's open/close
+  /// diff base).
+  std::unordered_set<std::size_t> saved_slots_;
 };
 
 }  // namespace mobsrv::serve

@@ -1,8 +1,11 @@
 #include "serve/snapshot.hpp"
 
+#include <array>
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <utility>
 
 static_assert(std::endian::native == std::endian::little,
               "the snapshot codec assumes a little-endian host");
@@ -11,8 +14,15 @@ namespace mobsrv::serve {
 
 namespace {
 
-constexpr char kMagic[8] = {'M', 'S', 'R', 'V', 'S', 'S', '1', '\n'};
+constexpr char kMagicV1[8] = {'M', 'S', 'R', 'V', 'S', 'S', '1', '\n'};
+constexpr char kMagicV2[8] = {'M', 'S', 'R', 'V', 'S', 'S', '2', '\n'};
 constexpr std::uint8_t kEndTag = 0xFF;
+constexpr std::uint8_t kSegmentBase = 1;
+constexpr std::uint8_t kSegmentDelta = 2;
+/// magic + u32 version.
+constexpr std::size_t kHeaderSize = sizeof(kMagicV2) + 4;
+/// u8 tag + u64 payload size + u32 crc.
+constexpr std::size_t kSegmentHeaderSize = 1 + 8 + 4;
 
 using trace::TraceError;
 
@@ -32,6 +42,24 @@ void put_u64(std::string& out, std::uint64_t v) {
   out.append(buf, 8);
 }
 
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven — the segment
+/// integrity check. No zlib dependency: 1 KiB of table built on first use.
+std::uint32_t crc32(const std::string& bytes) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[n] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char byte : bytes)
+    crc = table[(crc ^ static_cast<std::uint8_t>(byte)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
 /// Length-prefixed section reader with loud truncation errors.
 class Reader {
  public:
@@ -49,6 +77,13 @@ class Reader {
     pos_ += 4;
     return v;
   }
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
   std::string section(const char* what) {
     need(8, what);
     std::uint64_t n;
@@ -61,8 +96,16 @@ class Reader {
     pos_ += n;
     return s;
   }
+  /// \p n raw bytes (caller already validated the size against remaining()).
+  std::string take(std::size_t n, const char* what) {
+    need(n, what);
+    std::string s = bytes_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
   [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
   [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
   [[nodiscard]] const std::string& origin() const noexcept { return origin_; }
 
  private:
@@ -75,6 +118,183 @@ class Reader {
   std::string origin_;
   std::size_t pos_ = 0;
 };
+
+/// Segment payload codec, shared by base and delta (a base is "everything
+/// changed"): JSON table changes, the records' slot ids, the checkpoint
+/// bytes, end tag.
+std::string encode_segment_payload(const SnapshotSegment& segment) {
+  MOBSRV_CHECK_MSG(segment.opened.size() == segment.opened_slots.size(),
+                   "segment opened specs and slot ids disagree");
+  MOBSRV_CHECK_MSG(segment.records.size() == segment.record_slots.size(),
+                   "segment records and slot ids disagree");
+  io::Json table = io::Json::object();
+  table.set("v", kSnapshotVersionV2);
+  io::Json opened = io::Json::array();
+  for (std::size_t i = 0; i < segment.opened.size(); ++i) {
+    io::Json entry = tenant_spec_to_json(segment.opened[i]);
+    entry.set("slot", segment.opened_slots[i]);
+    opened.push_back(std::move(entry));
+  }
+  table.set("opened", std::move(opened));
+  io::Json closed = io::Json::array();
+  for (const std::uint64_t slot : segment.closed_slots) closed.push_back(slot);
+  table.set("closed", std::move(closed));
+  const std::string json = table.dump();
+  const std::string checkpoint = trace::encode_checkpoint(segment.records);
+
+  std::string out;
+  put_u64(out, json.size());
+  out += json;
+  put_u64(out, segment.record_slots.size());
+  for (const std::uint64_t slot : segment.record_slots) put_u64(out, slot);
+  put_u64(out, checkpoint.size());
+  out += checkpoint;
+  out.push_back(static_cast<char>(kEndTag));
+  return out;
+}
+
+SnapshotSegment decode_segment_payload(const std::string& payload, const std::string& origin) {
+  Reader r(payload, origin);
+  SnapshotSegment segment;
+  const std::string json = r.section("segment table");
+  try {
+    const io::Json table = io::Json::parse(json);
+    const io::Json* v = table.find("v");
+    if (v == nullptr || v->as_uint64() != kSnapshotVersionV2)
+      fail(origin, "segment table version disagrees with the file header");
+    for (const io::Json& entry : table.at("opened").as_array()) {
+      const io::Json* slot = entry.find("slot");
+      if (slot == nullptr) fail(origin, "opened tenant without a slot id");
+      io::Json spec = entry;  // tenant_spec_from_json rejects unknown members
+      std::erase_if(spec.as_object(),
+                    [](const io::Json::Member& m) { return m.first == "slot"; });
+      segment.opened.push_back(tenant_spec_from_json(spec));
+      segment.opened_slots.push_back(slot->as_uint64());
+    }
+    for (const io::Json& slot : table.at("closed").as_array())
+      segment.closed_slots.push_back(slot.as_uint64());
+  } catch (const TraceError&) {
+    throw;
+  } catch (const std::exception& error) {
+    fail(origin, std::string("corrupt segment table: ") + error.what());
+  }
+  const std::uint64_t n_records = r.u64("record slot count");
+  if (n_records > r.remaining() / 8)
+    fail(origin, "truncated: record slot list longer than the segment");
+  segment.record_slots.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i)
+    segment.record_slots.push_back(r.u64("record slot id"));
+  const std::string checkpoint = r.section("segment checkpoint");
+  if (r.u8("segment end tag") != kEndTag) fail(origin, "corrupt segment end tag");
+  if (r.pos() != r.size()) fail(origin, "trailing data after segment end tag");
+  segment.records = trace::decode_checkpoint(checkpoint, origin);
+  if (segment.records.size() != segment.record_slots.size())
+    fail(origin, "segment lists " + std::to_string(segment.record_slots.size()) +
+                     " record slots but the checkpoint holds " +
+                     std::to_string(segment.records.size()) + " sessions");
+  return segment;
+}
+
+/// Frames one segment: tag + size + crc + payload.
+std::string encode_segment(const SnapshotSegment& segment, bool base) {
+  const std::string payload = encode_segment_payload(segment);
+  std::string out;
+  out.push_back(static_cast<char>(base ? kSegmentBase : kSegmentDelta));
+  put_u64(out, payload.size());
+  put_u32(out, crc32(payload));
+  out += payload;
+  return out;
+}
+
+/// Walks an MSRVSS2 chain, yielding each COMPLETE segment's (tag, payload,
+/// encoded size). A torn trailing segment (header or payload cut short by
+/// a crash mid-append) ends the walk silently; a bad CRC on a complete
+/// segment fails loudly.
+template <typename Visit>
+void walk_segments(Reader& r, Visit&& visit) {
+  while (r.remaining() > 0) {
+    if (r.remaining() < kSegmentHeaderSize) return;  // torn trailing header
+    const std::uint8_t tag = r.u8("segment tag");
+    if (tag != kSegmentBase && tag != kSegmentDelta)
+      fail(r.origin(), "unknown segment tag " + std::to_string(tag));
+    const std::uint64_t size = r.u64("segment size");
+    const std::uint32_t crc = r.u32("segment crc");
+    if (size > r.remaining()) return;  // torn trailing payload
+    const std::string payload = r.take(size, "segment payload");
+    if (crc32(payload) != crc)
+      fail(r.origin(), "segment CRC mismatch (corrupt snapshot chain)");
+    visit(tag, payload, kSegmentHeaderSize + size);
+  }
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError(path.string() + ": cannot open (missing file?)");
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw TraceError(path.string() + ": read failed");
+  return bytes;
+}
+
+bool has_magic(const std::string& bytes, const char (&magic)[8]) {
+  return bytes.size() >= sizeof(magic) && std::memcmp(bytes.data(), magic, sizeof(magic)) == 0;
+}
+
+/// Replays an MSRVSS2 chain into the merged tenant/record state.
+ServiceSnapshot merge_chain(const std::string& bytes, const std::string& origin) {
+  Reader r(bytes, origin);
+  for (std::size_t i = 0; i < sizeof(kMagicV2); ++i) (void)r.u8("magic");
+  const std::uint32_t version = r.u32("version");
+  if (version != kSnapshotVersionV2)
+    fail(origin, "unsupported snapshot format version " + std::to_string(version) +
+                     " (this build reads versions 1 and " +
+                     std::to_string(kSnapshotVersionV2) + ")");
+
+  std::map<std::uint64_t, TenantSpec> specs;
+  std::map<std::uint64_t, core::SessionCheckpointRecord> records;
+  std::size_t index = 0;
+  walk_segments(r, [&](std::uint8_t tag, const std::string& payload, std::uint64_t) {
+    const std::string where = origin + " segment " + std::to_string(index++);
+    if (index == 1 && tag != kSegmentBase)
+      fail(origin, "chain does not start with a base segment");
+    if (tag == kSegmentBase) {
+      specs.clear();
+      records.clear();
+    }
+    const SnapshotSegment segment = decode_segment_payload(payload, where);
+    for (const std::uint64_t slot : segment.closed_slots) {
+      if (specs.erase(slot) == 0)
+        fail(where, "closes slot " + std::to_string(slot) + " which is not open");
+      records.erase(slot);
+    }
+    for (std::size_t i = 0; i < segment.opened.size(); ++i) {
+      const std::uint64_t slot = segment.opened_slots[i];
+      if (!specs.emplace(slot, segment.opened[i]).second)
+        fail(where, "opens slot " + std::to_string(slot) + " twice");
+    }
+    for (std::size_t i = 0; i < segment.records.size(); ++i) {
+      const std::uint64_t slot = segment.record_slots[i];
+      const auto spec = specs.find(slot);
+      if (spec == specs.end())
+        fail(where, "checkpoint record for unknown slot " + std::to_string(slot));
+      if (spec->second.tenant != segment.records[i].tenant)
+        fail(where, "slot " + std::to_string(slot) + " is \"" + spec->second.tenant +
+                        "\" but the record is for \"" + segment.records[i].tenant + "\"");
+      records.insert_or_assign(slot, segment.records[i]);
+    }
+  });
+  if (index == 0) fail(origin, "snapshot chain holds no complete segment");
+
+  ServiceSnapshot snapshot;
+  for (const auto& [slot, spec] : specs) {
+    const auto record = records.find(slot);
+    if (record == records.end())
+      fail(origin, "open tenant \"" + spec.tenant + "\" (slot " + std::to_string(slot) +
+                       ") has no checkpoint record in the chain");
+    snapshot.tenants.push_back(spec);
+    snapshot.records.push_back(record->second);
+  }
+  return snapshot;
+}
 
 }  // namespace
 
@@ -90,7 +310,7 @@ std::string encode_snapshot(const ServiceSnapshot& snapshot) {
   const std::string checkpoint = trace::encode_checkpoint(snapshot.records);
 
   std::string out;
-  out.append(kMagic, sizeof(kMagic));
+  out.append(kMagicV1, sizeof(kMagicV1));
   put_u32(out, kSnapshotVersion);
   put_u64(out, json.size());
   out += json;
@@ -102,9 +322,9 @@ std::string encode_snapshot(const ServiceSnapshot& snapshot) {
 
 ServiceSnapshot decode_snapshot(const std::string& bytes, const std::string& origin) {
   Reader r(bytes, origin);
-  if (bytes.size() < sizeof(kMagic) || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+  if (!has_magic(bytes, kMagicV1))
     fail(origin, "not a mobsrv_serve snapshot file (bad magic)");
-  for (std::size_t i = 0; i < sizeof(kMagic); ++i) (void)r.u8("magic");
+  for (std::size_t i = 0; i < sizeof(kMagicV1); ++i) (void)r.u8("magic");
   const std::uint32_t version = r.u32("version");
   if (version != kSnapshotVersion)
     fail(origin, "unsupported snapshot format version " + std::to_string(version) +
@@ -146,12 +366,73 @@ void write_snapshot(const std::filesystem::path& path, const ServiceSnapshot& sn
   trace::write_bytes_atomic(path, encode_snapshot(snapshot));
 }
 
+std::uint64_t write_snapshot_base(const std::filesystem::path& path,
+                                  const SnapshotSegment& base) {
+  const std::string segment = encode_segment(base, /*base=*/true);
+  std::string out;
+  out.reserve(kHeaderSize + segment.size());
+  out.append(kMagicV2, sizeof(kMagicV2));
+  put_u32(out, kSnapshotVersionV2);
+  out += segment;
+  trace::write_bytes_atomic(path, out);
+  return segment.size();
+}
+
+std::uint64_t append_snapshot_delta(const std::filesystem::path& path,
+                                    const SnapshotSegment& delta) {
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw TraceError(path.string() + ": cannot append a delta (no base written?)");
+    char magic[sizeof(kMagicV2)] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) || std::memcmp(magic, kMagicV2, sizeof(magic)) != 0)
+      fail(path.string(), "cannot append a delta: not an MSRVSS2 snapshot chain");
+  }
+  const std::string segment = encode_segment(delta, /*base=*/false);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw TraceError(path.string() + ": cannot open for append");
+  out.write(segment.data(), static_cast<std::streamsize>(segment.size()));
+  out.flush();
+  if (!out) throw TraceError(path.string() + ": delta append failed");
+  return segment.size();
+}
+
 ServiceSnapshot read_snapshot(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw TraceError(path.string() + ": cannot open (missing file?)");
-  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  if (in.bad()) throw TraceError(path.string() + ": read failed");
+  const std::string bytes = read_file(path);
+  if (has_magic(bytes, kMagicV2)) return merge_chain(bytes, path.string());
   return decode_snapshot(bytes, path.string());
+}
+
+SnapshotFileInfo inspect_snapshot(const std::filesystem::path& path) {
+  const std::string bytes = read_file(path);
+  SnapshotFileInfo info;
+  if (!has_magic(bytes, kMagicV2)) {
+    // v1 (or garbage — decode_snapshot is the loud check): one monolithic
+    // "segment" spanning the whole file.
+    (void)decode_snapshot(bytes, path.string());
+    info.version = kSnapshotVersion;
+    info.segments = 1;
+    info.base_bytes = bytes.size();
+    return info;
+  }
+  Reader r(bytes, path.string());
+  for (std::size_t i = 0; i < sizeof(kMagicV2); ++i) (void)r.u8("magic");
+  info.version = r.u32("version");
+  walk_segments(r, [&](std::uint8_t tag, const std::string&, std::uint64_t size) {
+    ++info.segments;
+    if (tag == kSegmentBase && info.segments == 1) {
+      info.base_bytes = size;
+    } else if (tag == kSegmentBase) {
+      // A mid-chain base (compaction rewrites the file, so this would be
+      // unusual) resets the accounting like the merge does.
+      info.base_bytes = size;
+      info.delta_bytes = 0;
+    } else {
+      info.delta_bytes += size;
+    }
+  });
+  if (info.segments == 0) fail(path.string(), "snapshot chain holds no complete segment");
+  return info;
 }
 
 }  // namespace mobsrv::serve

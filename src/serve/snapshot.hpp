@@ -4,20 +4,39 @@
 /// A service restart needs two things the engine checkpoint alone does not
 /// carry: WHO the tenants are (their admission specs — algorithm, fleet
 /// size, engine options, start layout) and the engine state itself. A
-/// snapshot file bundles both: a JSON tenant-table section (one
-/// TenantSpec per open tenant, in slot order) followed by the PR 4
-/// checkpoint codec's bytes for the matching sessions. Restoring re-admits
-/// every tenant from its spec and hands the records to
-/// SessionMultiplexer::restore, after which the service continues
-/// bit-identically — proven end to end by the kill/restore test.
+/// snapshot file bundles both. Restoring re-admits every tenant from its
+/// spec and hands the records to SessionMultiplexer::restore, after which
+/// the service continues bit-identically — proven end to end by the
+/// kill/restore tests.
 ///
-/// Format: little-endian framing ("MSRVSS1\n" magic, u32 version, two
-/// length-prefixed sections, end tag). Saves go through
-/// trace::write_bytes_atomic (temp file + rename), so a crash mid-save
-/// never clobbers the previous good snapshot. Truncated, corrupt or
-/// version-mismatched files fail loudly with a TraceError.
+/// Two on-disk formats, one reader (read_snapshot sniffs the magic):
+///
+/// * **MSRVSS1** (v1, PR 6): one monolithic image — JSON tenant table +
+///   checkpoint codec bytes, length-prefixed, end tag. Written by
+///   write_snapshot via trace::write_bytes_atomic; every save re-serialises
+///   every session (O(sessions)).
+/// * **MSRVSS2** (v2, this PR): an append-only segment chain. The file is
+///   "MSRVSS2\n" + u32 version, then segments, each framed as
+///   `u8 tag (1=base, 2=delta) | u64 payload_size | u32 crc32 | payload`.
+///   A BASE segment carries the whole state (every open tenant + record);
+///   a DELTA carries only the changes since the previous segment: tenants
+///   opened, slots closed, and the engine records of DIRTY slots (stepped
+///   since the last save). Saves therefore cost O(progress since last
+///   save). Slot ids are the writing process's dense multiplexer ids — an
+///   id space that is only consistent within one process lifetime, which
+///   is why every process writes a fresh base on its first save.
+///
+/// Crash discipline: a base goes through trace::write_bytes_atomic (temp
+/// file + rename); deltas are appended and flushed. A crash mid-append
+/// leaves a TORN TRAILING segment, which the reader silently drops — the
+/// file still resumes from the previous save, a valid quiescent point. A
+/// complete segment with a bad CRC is real corruption and fails loudly
+/// with a TraceError, as do truncated/corrupt v1 files, version
+/// mismatches, and chains whose merged state is inconsistent (a record
+/// for an unknown slot, an open tenant with no record).
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -27,32 +46,72 @@
 
 namespace mobsrv::serve {
 
-/// Snapshot format version written by this build; readers accept only this
-/// version (a bump is a deliberate compatibility break).
+/// Monolithic (v1) format version; v1 readers accept only this version.
 inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Segmented (v2) format version written by write_snapshot_base.
+inline constexpr std::uint32_t kSnapshotVersionV2 = 2;
 
 /// Everything a restarted service needs: the open tenants' admission specs
 /// and the matching engine checkpoint records, both in slot order
-/// (tenants[i] owns records[i]).
+/// (tenants[i] owns records[i]). This is the MERGED view — read_snapshot
+/// returns it for both formats.
 struct ServiceSnapshot {
   std::vector<TenantSpec> tenants;
   std::vector<core::SessionCheckpointRecord> records;
 };
 
-/// In-memory encode/decode. decode throws TraceError on corrupt/truncated
-/// input, version mismatch, or a tenant table that disagrees with the
-/// checkpoint records (count or name mismatch).
+/// One MSRVSS2 segment: the table changes and dirty engine records since
+/// the previous segment. A base is simply "everything changed": every open
+/// tenant in `opened`, every open slot's record, `closed_slots` empty.
+struct SnapshotSegment {
+  std::vector<TenantSpec> opened;           ///< specs admitted since the last segment
+  std::vector<std::uint64_t> opened_slots;  ///< mux slot id per `opened` entry
+  std::vector<std::uint64_t> closed_slots;  ///< slots closed since the last segment
+  std::vector<std::uint64_t> record_slots;  ///< mux slot id per `records` entry
+  std::vector<core::SessionCheckpointRecord> records;  ///< dirty slots' engine state
+};
+
+/// What a segment chain looks like on disk — the compaction policy and the
+/// incremental-bytes tests read this instead of re-parsing the file.
+struct SnapshotFileInfo {
+  std::uint32_t version = 0;     ///< 1 or 2
+  std::size_t segments = 0;      ///< complete segments (v1 counts as 1)
+  std::uint64_t base_bytes = 0;  ///< encoded size of the base segment (v1: whole file)
+  std::uint64_t delta_bytes = 0; ///< summed encoded size of the delta segments
+};
+
+/// In-memory v1 encode/decode. decode throws TraceError on corrupt/
+/// truncated input, version mismatch, or a tenant table that disagrees
+/// with the checkpoint records (count or name mismatch).
 [[nodiscard]] std::string encode_snapshot(const ServiceSnapshot& snapshot);
 [[nodiscard]] ServiceSnapshot decode_snapshot(const std::string& bytes,
                                               const std::string& origin);
 
-/// Atomically serialises \p snapshot to \p path (temp file + rename: the
-/// periodic-save path crashes never corrupt). Throws TraceError on I/O
-/// failure.
+/// Atomically serialises \p snapshot to \p path in the monolithic v1
+/// format (temp file + rename: periodic-save crashes never corrupt).
+/// Throws TraceError on I/O failure.
 void write_snapshot(const std::filesystem::path& path, const ServiceSnapshot& snapshot);
 
-/// Reads a snapshot file. Throws TraceError on missing/corrupt/truncated
-/// input or version mismatch.
+/// Starts a fresh MSRVSS2 chain at \p path: header + one base segment,
+/// written atomically (an existing file — either format — is replaced).
+/// Returns the encoded segment size in bytes (the checkpoint-bytes meter).
+std::uint64_t write_snapshot_base(const std::filesystem::path& path,
+                                  const SnapshotSegment& base);
+
+/// Appends one delta segment to an existing MSRVSS2 chain and flushes.
+/// Returns the encoded segment size in bytes. Throws TraceError if the
+/// file is missing or is not an MSRVSS2 file.
+std::uint64_t append_snapshot_delta(const std::filesystem::path& path,
+                                    const SnapshotSegment& delta);
+
+/// Reads a snapshot file of either format and returns the merged state.
+/// For MSRVSS2 the segment chain is replayed in order (base resets, deltas
+/// open/close/upsert); a torn trailing segment is dropped. Throws
+/// TraceError on missing/corrupt input or an inconsistent chain.
 [[nodiscard]] ServiceSnapshot read_snapshot(const std::filesystem::path& path);
+
+/// Segment-chain shape of a snapshot file (either format), torn trailing
+/// segment excluded. Throws TraceError on missing/unreadable files.
+[[nodiscard]] SnapshotFileInfo inspect_snapshot(const std::filesystem::path& path);
 
 }  // namespace mobsrv::serve

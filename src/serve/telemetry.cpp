@@ -29,6 +29,10 @@ constexpr ExternalMetric kExternal[] = {
      "steps consumed per session, closed sessions included"},
     {"obs.journal_dropped_total", "counter", "events",
      "journal events evicted by the bounded ring"},
+    {"mux.active_sessions", "gauge", "sessions",
+     "sessions on the scheduler's ready list (the open/parked split)"},
+    {"mux.throttled_total", "counter", "rounds",
+     "session-rounds starved by per-tenant rate limits"},
 };
 
 Json metric_header(const ExternalMetric& metric) {
@@ -110,6 +114,10 @@ ServeTelemetry::ServeTelemetry(bool lean)
                                        "tenants closed (graceful or error)")),
       snapshots(registry_.counter("serve.snapshots_total", "snapshots",
                                   "checkpoint snapshots saved")),
+      checkpoint_bytes(registry_.counter("serve.checkpoint_bytes_total", "bytes",
+                                         "encoded snapshot segment bytes written")),
+      throttles(registry_.counter("serve.throttles_total", "episodes",
+                                  "rate-limit throttle episodes entered by tenants")),
       tenants_open(registry_.gauge("serve.tenants_open", "tenants", "tenants open right now")),
       inflight_hwm(registry_.gauge("serve.inflight_hwm", "steps",
                                    "highest in-flight queue depth any tenant reached")),
@@ -153,6 +161,14 @@ io::Json::Array ServeTelemetry::collect(const core::SessionMultiplexer& mux) con
   dropped.set("value", journal_.dropped());
   metrics.push_back(std::move(dropped));
 
+  Json active = metric_header(kExternal[4]);
+  active.set("value", totals.active);
+  metrics.push_back(std::move(active));
+
+  Json throttled = metric_header(kExternal[5]);
+  throttled.set("value", totals.throttled);
+  metrics.push_back(std::move(throttled));
+
   return metrics;
 }
 
@@ -167,6 +183,7 @@ std::string ServeTelemetry::snapshot_ndjson(const core::SessionMultiplexer& mux,
   meta.set("unix_ms", wall_ms());
   meta.set("sessions", totals.sessions);
   meta.set("live", totals.live);
+  meta.set("active", totals.active);
   meta.set("steps", totals.steps);
   out += meta.dump();
   out += '\n';

@@ -92,6 +92,8 @@ class ServeTelemetry {
   obs::Counter& tenants_opened;   ///< serve.tenants_opened_total
   obs::Counter& tenants_closed;   ///< serve.tenants_closed_total
   obs::Counter& snapshots;        ///< serve.snapshots_total
+  obs::Counter& checkpoint_bytes; ///< serve.checkpoint_bytes_total
+  obs::Counter& throttles;        ///< serve.throttles_total
   obs::Gauge& tenants_open;       ///< serve.tenants_open
   obs::Gauge& inflight_hwm;       ///< serve.inflight_hwm
   obs::Histogram& ingest_latency; ///< serve.ingest_latency_ns
@@ -116,7 +118,8 @@ class ServeTelemetry {
 
   /// Full metrics dump: every registry entry's current value plus the
   /// mux/journal-owned metrics (mux.queue_depth, mux.step_latency_ns,
-  /// mux.steps_per_session, obs.journal_dropped_total).
+  /// mux.steps_per_session, obs.journal_dropped_total,
+  /// mux.active_sessions, mux.throttled_total).
   [[nodiscard]] io::Json::Array collect(const core::SessionMultiplexer& mux) const;
 
   /// The --metrics-out NDJSON snapshot: one {"kind":"meta"} header line,

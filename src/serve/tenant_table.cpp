@@ -16,6 +16,8 @@ core::SessionSpec to_session_spec(const Tenant& tenant) {
   spec.tenant = tenant.spec.tenant;
   spec.fleet_size = tenant.spec.fleet_size;
   spec.starts = tenant.spec.starts;
+  spec.rate.steps_per_round = tenant.spec.rate;
+  spec.rate.burst = tenant.spec.rate_burst;
   return spec;
 }
 
@@ -51,16 +53,27 @@ Tenant& TenantTable::install(TenantSpec spec, std::shared_ptr<sim::Instance> wor
   tenant->emitted = tenant->workload->horizon();
   tenant->slot = mux.add(to_session_spec(*tenant));
   entries_.push_back(std::move(tenant));
-  return *entries_.back();
+  Tenant& installed = *entries_.back();
+  by_name_.emplace(installed.spec.tenant, &installed);
+  by_slot_.emplace(installed.slot, &installed);
+  return installed;
 }
 
 Tenant* TenantTable::find(const std::string& name) {
-  for (const auto& tenant : entries_)
-    if (tenant->spec.tenant == name) return tenant.get();
-  return nullptr;
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : nullptr;
+}
+
+Tenant* TenantTable::find_slot(std::size_t slot) {
+  const auto it = by_slot_.find(slot);
+  return it != by_slot_.end() ? it->second : nullptr;
 }
 
 void TenantTable::erase(const std::string& name) {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return;
+  by_slot_.erase(it->second->slot);
+  by_name_.erase(it);
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [&](const std::unique_ptr<Tenant>& tenant) {
                                   return tenant->spec.tenant == name;

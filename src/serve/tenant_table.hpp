@@ -12,8 +12,10 @@
 /// also compacts a long-lived tenant's request history to O(1) bytes/step.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/session_multiplexer.hpp"
@@ -35,6 +37,15 @@ struct Tenant {
   /// Cost-accumulator snapshots at `emitted`, for per-step deltas.
   double emitted_move = 0.0;
   double emitted_service = 0.0;
+  /// True while this tenant sits on the service's pending list (has
+  /// consumed-but-unemitted or queued steps). Owned by serve::Service —
+  /// the pump is O(pending tenants), not O(table).
+  bool pending = false;
+  /// True while the tenant is inside a throttle episode (journaled once on
+  /// entry, cleared when the scheduler lets it advance again).
+  bool throttling = false;
+  /// Mux throttled-round count already attributed to journal episodes.
+  std::size_t throttled_seen = 0;
 };
 
 /// Name → live session bindings, in slot order. Closed tenants leave the
@@ -52,8 +63,13 @@ class TenantTable {
   /// arrives separately via SessionMultiplexer::restore).
   Tenant& admit_restored(TenantSpec spec, std::size_t consumed, core::SessionMultiplexer& mux);
 
-  /// The open tenant with this name, or nullptr.
+  /// The open tenant with this name, or nullptr. O(1) hash lookup —
+  /// admission and the req hot path must not scan a million-tenant table.
   [[nodiscard]] Tenant* find(const std::string& name);
+
+  /// The open tenant bound to this mux slot, or nullptr. O(1); the pump
+  /// uses it to attribute per-slot scheduler state (errors, throttles).
+  [[nodiscard]] Tenant* find_slot(std::size_t slot);
 
   /// Removes a tenant from the table (the caller is responsible for the
   /// mux-side close/drain). No-op if absent.
@@ -71,6 +87,10 @@ class TenantTable {
                   core::SessionMultiplexer& mux);
 
   std::vector<std::unique_ptr<Tenant>> entries_;
+  /// O(1) lookup indexes over entries_ (Tenant addresses are stable —
+  /// entries_ holds unique_ptrs). Rebuilt incrementally on admit/erase.
+  std::unordered_map<std::string, Tenant*> by_name_;
+  std::unordered_map<std::size_t, Tenant*> by_slot_;
 };
 
 }  // namespace mobsrv::serve

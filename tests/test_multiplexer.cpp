@@ -324,5 +324,293 @@ TEST(SessionMultiplexer, RoundTimingIsObservationalAndSwitchable) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Active-set scheduling: parked/ready split, growth wakeups, poke().
+// ---------------------------------------------------------------------------
+
+TEST(SessionMultiplexer, ActiveTracksTheReadySetAcrossRounds) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  populate(mux, 6);
+  EXPECT_EQ(mux.active(), 6u);  // armed on add: every workload has steps
+  mux.step(5);
+  EXPECT_EQ(mux.active(), 6u);  // still pending after 5 of 16+ steps
+  mux.drain();
+  EXPECT_EQ(mux.active(), 0u);  // everyone parked at their horizon
+  EXPECT_EQ(mux.totals().active, 0u);
+}
+
+TEST(SessionMultiplexer, IdleGrowthWakesParkedSessionsAtAnyThreadCount) {
+  // The streaming contract under the active-set scheduler: a parked
+  // session whose Instance gained steps between rounds is re-armed by the
+  // very next step()/step_capturing()/drain() (the empty-ready rescan) —
+  // no poke() required when the mux had nothing else to run.
+  for (const unsigned threads : {1u, 3u, 8u}) {
+    par::ThreadPool pool(threads);
+    SessionMultiplexer mux(pool, /*grain=*/3);
+    std::vector<std::shared_ptr<sim::Instance>> workloads;
+    for (int s = 0; s < 9; ++s) {
+      auto workload = std::make_shared<sim::Instance>(geo::Point{0.0, 0.0}, sim::ModelParams{},
+                                                      sim::RequestStore(2));
+      SessionSpec spec;
+      spec.workload = workload;
+      spec.algorithm = "MtC";
+      spec.speed_factor = 1.5;
+      spec.algo_seed = static_cast<std::uint64_t>(s);
+      mux.add(std::move(spec));
+      workloads.push_back(std::move(workload));
+    }
+    EXPECT_EQ(mux.active(), 0u);  // all parked: empty workloads
+
+    sim::RequestBatch batch;
+    batch.requests = {geo::Point{1.0, 2.0}, geo::Point{-0.5, 0.25}};
+
+    // step(): every grown session advances in the next round.
+    for (auto& workload : workloads) workload->push_step(batch);
+    mux.step(10);
+    for (std::size_t s = 0; s < workloads.size(); ++s)
+      EXPECT_EQ(mux.stats(s).steps, 1u) << "threads=" << threads << " slot=" << s;
+
+    // step_capturing(): same wakeup on the error-capturing path.
+    for (auto& workload : workloads) workload->push_step(batch);
+    std::vector<SessionMultiplexer::SlotError> errors;
+    mux.step_capturing(10, errors);
+    EXPECT_TRUE(errors.empty());
+    for (std::size_t s = 0; s < workloads.size(); ++s)
+      EXPECT_EQ(mux.stats(s).steps, 2u) << "threads=" << threads << " slot=" << s;
+
+    // drain(): always rescans, so growth is consumed to the new horizon.
+    for (auto& workload : workloads) {
+      workload->push_step(batch);
+      workload->push_step(sim::BatchView{});
+    }
+    mux.drain();
+    for (std::size_t s = 0; s < workloads.size(); ++s)
+      EXPECT_EQ(mux.stats(s).steps, 4u) << "threads=" << threads << " slot=" << s;
+    EXPECT_EQ(mux.active(), 0u);
+  }
+}
+
+TEST(SessionMultiplexer, PokeRearmsAParkedSessionWhileOthersRun) {
+  // With other sessions still ready, step() never rescans the whole table
+  // (that would be O(sessions) again) — a busy mux learns about growth
+  // from poke(), the serve layer's job after push_step.
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  auto grower = std::make_shared<sim::Instance>(geo::Point{0.0, 0.0}, sim::ModelParams{},
+                                                sim::RequestStore(2));
+  SessionSpec spec;
+  spec.workload = grower;
+  spec.algorithm = "MtC";
+  spec.speed_factor = 1.5;
+  mux.add(std::move(spec));
+  SessionSpec busy;
+  busy.workload = sample_workload(11, 30);
+  busy.algorithm = "MtC";
+  busy.speed_factor = 1.5;
+  mux.add(std::move(busy));
+  EXPECT_EQ(mux.active(), 1u);  // only the busy session is armed
+
+  sim::RequestBatch batch;
+  batch.requests = {geo::Point{1.0, 2.0}};
+  grower->push_step(batch);
+  mux.step(1);
+  EXPECT_EQ(mux.stats(0).steps, 0u);  // parked: ready list was not empty
+  mux.poke(0);
+  EXPECT_EQ(mux.active(), 2u);
+  mux.step(1);
+  EXPECT_EQ(mux.stats(0).steps, 1u);
+  // poke() on an armed, a done, and a closed slot is a safe no-op.
+  mux.poke(0);
+  mux.poke(0);
+  mux.close(0);
+  mux.poke(0);
+  EXPECT_EQ(mux.active(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant rate limits: token bucket, throttled counters, invariance.
+// ---------------------------------------------------------------------------
+
+TEST(SessionMultiplexer, RateLimitCapsStepsPerRoundAndCountsThrottles) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  SessionSpec spec;
+  spec.workload = sample_workload(7, 6);
+  spec.algorithm = "MtC";
+  spec.speed_factor = 1.5;
+  spec.rate.steps_per_round = 1.0;  // burst derives to 1
+  mux.add(std::move(spec));
+
+  std::size_t rounds = 0;
+  while (mux.live() > 0) {
+    mux.step(10);  // asks for up to 10; the bucket allows 1
+    ++rounds;
+    ASSERT_LE(rounds, 16u);
+  }
+  EXPECT_EQ(rounds, 6u);
+  const SessionStats stats = mux.stats(0);
+  EXPECT_EQ(stats.steps, 6u);
+  // Rounds 1..5 wanted >1 step and got 1; the last round wanted exactly 1.
+  EXPECT_EQ(stats.throttled_rounds, 5u);
+  EXPECT_EQ(mux.totals().throttled, 5u);
+
+  // drain() ignores rate limits (shutdown must finish) and never counts
+  // phantom throttles.
+  SessionMultiplexer draining(pool);
+  SessionSpec limited;
+  limited.workload = sample_workload(7, 6);
+  limited.algorithm = "MtC";
+  limited.speed_factor = 1.5;
+  limited.rate.steps_per_round = 0.25;
+  draining.add(std::move(limited));
+  draining.drain();
+  EXPECT_EQ(draining.stats(0).steps, 6u);
+  EXPECT_EQ(draining.stats(0).throttled_rounds, 0u);
+}
+
+TEST(SessionMultiplexer, FractionalRateStepsEveryOtherRound) {
+  par::ThreadPool pool(1);
+  SessionMultiplexer mux(pool);
+  SessionSpec spec;
+  spec.workload = sample_workload(8, 4);
+  spec.algorithm = "MtC";
+  spec.speed_factor = 1.5;
+  spec.rate.steps_per_round = 0.5;
+  spec.rate.burst = 1.0;
+  mux.add(std::move(spec));
+  std::vector<std::size_t> cursor;
+  for (int round = 0; round < 7 && mux.live() > 0; ++round) {
+    mux.step(1);
+    cursor.push_back(mux.stats(0).steps);
+  }
+  // Burst of 1 on arming, then a step every other round.
+  EXPECT_EQ(cursor, (std::vector<std::size_t>{1, 1, 2, 2, 3, 3, 4}));
+  EXPECT_EQ(mux.stats(0).steps, 4u);
+}
+
+TEST(SessionMultiplexer, RateLimitsNeverChangeResults) {
+  // Scheduling-only: a throttled session takes more rounds but lands on
+  // bit-identical accounting. Token state is deliberately not part of the
+  // checkpoint for the same reason.
+  par::ThreadPool pool(4);
+  SessionMultiplexer plain(pool);
+  SessionMultiplexer limited(pool);
+  const auto workload = sample_workload(13, 25);
+  const std::vector<std::string> names = alg::algorithm_names();
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    SessionSpec spec;
+    spec.workload = workload;
+    spec.algorithm = names[a];
+    spec.algo_seed = 100 + a;
+    spec.speed_factor = 1.5;
+    plain.add(std::move(spec));
+    SessionSpec throttled;
+    throttled.workload = workload;
+    throttled.algorithm = names[a];
+    throttled.algo_seed = 100 + a;
+    throttled.speed_factor = 1.5;
+    throttled.rate.steps_per_round = 0.5 + static_cast<double>(a % 3);
+    limited.add(std::move(throttled));
+  }
+  while (plain.step(3) > 0) {
+  }
+  while (limited.step(3) > 0) {
+  }
+  for (std::size_t s = 0; s < plain.size(); ++s) {
+    EXPECT_EQ(limited.stats(s).total_cost, plain.stats(s).total_cost) << s;
+    EXPECT_EQ(limited.stats(s).position, plain.stats(s).position) << s;
+    EXPECT_EQ(limited.stats(s).steps, plain.stats(s).steps) << s;
+  }
+  EXPECT_GT(limited.totals().throttled, 0u);
+  EXPECT_EQ(plain.totals().throttled, 0u);
+}
+
+TEST(SessionMultiplexer, InvalidRateLimitsRejectedOnAdd) {
+  par::ThreadPool pool(1);
+  SessionMultiplexer mux(pool);
+  SessionSpec negative;
+  negative.workload = sample_workload(5, 8);
+  negative.algorithm = "MtC";
+  negative.rate.steps_per_round = -1.0;
+  EXPECT_THROW(mux.add(std::move(negative)), ContractViolation);
+
+  SessionSpec sub_one_burst;
+  sub_one_burst.workload = sample_workload(5, 8);
+  sub_one_burst.algorithm = "MtC";
+  sub_one_burst.rate.steps_per_round = 2.0;
+  sub_one_burst.rate.burst = 0.5;  // a bucket that can never hold one step
+  EXPECT_THROW(mux.add(std::move(sub_one_burst)), ContractViolation);
+
+  SessionSpec burst_without_rate;
+  burst_without_rate.workload = sample_workload(5, 8);
+  burst_without_rate.algorithm = "MtC";
+  burst_without_rate.rate.burst = 4.0;
+  EXPECT_THROW(mux.add(std::move(burst_without_rate)), ContractViolation);
+  EXPECT_EQ(mux.size(), 0u);
+}
+
+TEST(SessionMultiplexer, PriorityOrdersDispatchWithoutChangingResults) {
+  std::vector<std::vector<SessionStats>> snapshots;
+  for (const unsigned threads : {1u, 3u, 8u}) {
+    par::ThreadPool pool(threads);
+    SessionMultiplexer mux(pool, /*grain=*/5);
+    populate(mux, 200);
+    // Adversarial priorities: reverse of slot order, reassigned mid-run.
+    for (std::size_t s = 0; s < mux.size(); ++s)
+      mux.set_priority(s, static_cast<double>(mux.size() - s));
+    mux.step(4);
+    for (std::size_t s = 0; s < mux.size(); ++s)
+      mux.set_priority(s, static_cast<double>(s % 7));
+    mux.drain();
+    snapshots.push_back(mux.snapshot());
+  }
+  par::ThreadPool pool(4);
+  SessionMultiplexer unprioritised(pool);
+  populate(unprioritised, 200);
+  unprioritised.drain();
+  snapshots.push_back(unprioritised.snapshot());
+  for (std::size_t v = 1; v < snapshots.size(); ++v)
+    for (std::size_t s = 0; s < snapshots[0].size(); ++s) {
+      EXPECT_EQ(snapshots[v][s].total_cost, snapshots[0][s].total_cost) << s;
+      EXPECT_EQ(snapshots[v][s].position, snapshots[0][s].position) << s;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-slot tracking: the incremental-checkpoint building block.
+// ---------------------------------------------------------------------------
+
+TEST(SessionMultiplexer, DirtySlotsTrackStepsSinceMarkSaved) {
+  par::ThreadPool pool(2);
+  SessionMultiplexer mux(pool);
+  populate(mux, 4);
+  // Never-saved slots are dirty even at cursor 0 (a fresh mux must write
+  // everything into its first save).
+  EXPECT_EQ(mux.dirty_slots().size(), 4u);
+  mux.mark_saved();
+  EXPECT_TRUE(mux.dirty_slots().empty());
+
+  mux.step(3);
+  EXPECT_EQ(mux.dirty_slots().size(), 4u);
+  mux.mark_saved();
+  EXPECT_TRUE(mux.dirty_slots().empty());
+
+  // Per-slot records match the bulk checkpoint for the same slot.
+  const auto records = mux.checkpoint();
+  for (std::size_t s = 0; s < mux.size(); ++s) {
+    const core::SessionCheckpointRecord record = mux.checkpoint_slot(s);
+    EXPECT_EQ(record.cursor, records[s].cursor) << s;
+    EXPECT_EQ(record.tenant, records[s].tenant) << s;
+  }
+
+  // A closed slot can never be dirty.
+  mux.close(0);
+  mux.step(2);
+  const std::vector<std::size_t> dirty = mux.dirty_slots();
+  EXPECT_EQ(dirty.size(), 3u);
+  for (const std::size_t id : dirty) EXPECT_NE(id, 0u);
+}
+
 }  // namespace
 }  // namespace mobsrv

@@ -244,6 +244,43 @@ TEST(ServeFrames, TenantSpecRoundTripsThroughJson) {
   EXPECT_EQ(back.starts, spec.starts);
 }
 
+TEST(ServeFrames, RateLimitsParseValidateAndRoundTrip) {
+  const ClientFrame frame = parse(
+      R"({"type":"open","v":1,"tenant":"t","algorithm":"MtC","dim":1,"rate":2.5,"burst":8})");
+  EXPECT_EQ(frame.open.rate, 2.5);
+  EXPECT_EQ(frame.open.rate_burst, 8.0);
+
+  // Unlimited by default — and a rate-less spec serialises without the
+  // members, so v1 snapshot payloads stay byte-identical.
+  const ClientFrame bare =
+      parse(R"({"type":"open","v":1,"tenant":"t","algorithm":"MtC","dim":1})");
+  EXPECT_EQ(bare.open.rate, 0.0);
+  EXPECT_EQ(bare.open.rate_burst, 0.0);
+  io::Json plain = serve::tenant_spec_to_json(bare.open);
+  EXPECT_EQ(plain.find("rate"), nullptr);
+  EXPECT_EQ(plain.find("burst"), nullptr);
+
+  TenantSpec spec = frame.open;
+  spec.tenant = "t";
+  const TenantSpec back = serve::tenant_spec_from_json(serve::tenant_spec_to_json(spec));
+  EXPECT_EQ(back.rate, 2.5);
+  EXPECT_EQ(back.rate_burst, 8.0);
+
+  // Validation names the offending member.
+  EXPECT_NE(error_of(R"({"type":"open","v":1,"tenant":"t","algorithm":"MtC","dim":1,)"
+                     R"("rate":-1})")
+                .find("rate"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"type":"open","v":1,"tenant":"t","algorithm":"MtC","dim":1,)"
+                     R"("burst":4})")
+                .find("burst"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"type":"open","v":1,"tenant":"t","algorithm":"MtC","dim":1,)"
+                     R"("rate":1,"burst":0.5})")
+                .find("burst"),
+            std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Server frame builders.
 // ---------------------------------------------------------------------------
@@ -264,7 +301,8 @@ TEST(ServeFrames, ServerFramesAreOneJsonObjectWithAType) {
        {serve::outcome_frame("t", 2, 0.25, 0.5, stats, false),
         serve::busy_frame("t", 7, 64, 64), serve::error_frame(3, "boom", "t", true),
         serve::closed_frame(stats), serve::stats_frame({stats}, totals),
-        serve::checkpointed_frame("/tmp/s.msrvss", 2, 100), serve::bye_frame("eof", totals)}) {
+        serve::checkpointed_frame("/tmp/s.msrvss", 2, 100, "base", 512, 1),
+        serve::bye_frame("eof", totals)}) {
     const io::Json doc = io::Json::parse(line);
     ASSERT_TRUE(doc.is_object()) << line;
     EXPECT_NE(doc.find("type"), nullptr) << line;

@@ -18,6 +18,7 @@
 
 #include "algorithms/registry.hpp"
 #include "io/json.hpp"
+#include "obs/journal.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
 #include "trace/checkpoint.hpp"
@@ -512,15 +513,27 @@ TEST_F(ServeServiceTest, CorruptSnapshotsFailLoudlyOnRestore) {
   bad_magic[0] = 'X';
   std::string bad_version = bytes;
   bad_version[8] = 99;
+  // Flip one payload byte of the (complete) base segment: the size fields
+  // stay intact, so the reader sees a whole segment whose CRC lies.
+  std::string bad_crc = bytes;
+  bad_crc[bytes.size() / 2] ^= 0x01;
   for (const fs::path& path :
        {write_variant("magic", bad_magic), write_variant("version", bad_version),
         write_variant("trunc", bytes.substr(0, bytes.size() / 2)),
         write_variant("no-tag", bytes.substr(0, bytes.size() - 1)),
-        write_variant("trailing", bytes + "x"), write_variant("empty", "")}) {
+        write_variant("bad-crc", bad_crc), write_variant("empty", "")}) {
     Service fresh(options);
     EXPECT_THROW(fresh.restore(path), trace::TraceError) << path;
   }
   EXPECT_THROW(Service(options).restore(dir_ / "missing.msrvss"), trace::TraceError);
+
+  // Trailing bytes that do not form a complete segment are a torn append
+  // (a crash mid-delta), dropped by design: the chain up to them restores.
+  {
+    Service fresh(options);
+    fresh.restore(write_variant("torn-append", bytes + "x"));
+    EXPECT_EQ(fresh.mux().stats(0).total_cost, service.mux().stats(0).total_cost);
+  }
 
   // The pristine file still restores.
   Service fresh(options);
@@ -727,6 +740,154 @@ TEST_F(ServeServiceTest, MetricsOutWritesAtomicNdjsonSnapshot) {
   EXPECT_GE(metric, 15u) << "every catalogued metric is in the snapshot";
   EXPECT_EQ(tenant, 1u);
   EXPECT_GE(event, 3u) << "open, close, drain at minimum";
+}
+
+// ---------------------------------------------------------------------------
+// Incremental checkpoints: base + delta segments, compaction, resume.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, IncrementalCheckpointsAppendDeltasAndCompact) {
+  const fs::path snapshot = dir_ / "incremental.msrvss";
+  ServiceOptions options;
+  options.snapshot_path = snapshot;
+  options.compact_ratio = 0.1;  // any appended delta triggers compaction
+  Service service(options);
+
+  const auto batches = make_batches(13, 12, 2);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 2, 1, 5));
+  for (std::size_t t = 0; t < 4; ++t) lines.push_back(req_line("alpha", batches[t]));
+  lines.push_back(R"({"type":"checkpoint"})");  // first save of the process: base
+  for (std::size_t t = 4; t < 8; ++t) lines.push_back(req_line("alpha", batches[t]));
+  lines.push_back(R"({"type":"checkpoint"})");  // incremental: delta append
+  for (std::size_t t = 8; t < 12; ++t) lines.push_back(req_line("alpha", batches[t]));
+  lines.push_back(R"({"type":"checkpoint"})");  // chain too long: compacts to a base
+  lines.push_back(R"({"type":"shutdown"})");
+  const RunOutput run = run_lines(service, lines);
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+
+  const std::vector<io::Json> saves = frames_of_type(run, "checkpointed");
+  ASSERT_GE(saves.size(), 4u);  // three explicit + the forced shutdown save
+  EXPECT_EQ(saves[0].at("mode").as_string(), "base");
+  EXPECT_EQ(saves[0].at("segments").as_uint64(), 1u);
+  EXPECT_EQ(saves[1].at("mode").as_string(), "delta");
+  EXPECT_EQ(saves[1].at("segments").as_uint64(), 2u);
+  EXPECT_EQ(saves[2].at("mode").as_string(), "base");
+  EXPECT_EQ(saves[2].at("segments").as_uint64(), 1u);
+  for (const io::Json& save : saves) EXPECT_GT(save.at("bytes").as_uint64(), 0u);
+
+  // The compaction is journaled as a service-wide event.
+  bool compacted = false;
+  for (const obs::Event& event : service.telemetry().journal().events())
+    if (event.type == obs::EventType::kCompact) compacted = true;
+  EXPECT_TRUE(compacted);
+
+  // The compacted chain restores to the exact live state.
+  Service restored(options);
+  restored.restore(snapshot);
+  EXPECT_EQ(restored.mux().stats(0).steps, service.mux().stats(0).steps);
+  EXPECT_EQ(restored.mux().stats(0).total_cost, service.mux().stats(0).total_cost);
+}
+
+TEST_F(ServeServiceTest, ResumeFromBasePlusDeltaChainIsBitIdentical) {
+  const fs::path snapshot = dir_ / "resume.msrvss";
+  ServiceOptions options;
+  options.snapshot_path = snapshot;
+  const auto batches = make_batches(17, 18, 2);
+
+  // Uninterrupted reference run.
+  std::vector<std::string> all;
+  all.push_back(open_line("alpha", "MtC", 2, 1, 3));
+  for (const auto& batch : batches) all.push_back(req_line("alpha", batch));
+  all.push_back(R"({"type":"shutdown"})");
+  Service reference(ServiceOptions{});
+  const RunOutput ref_run = run_lines(reference, all);
+  ASSERT_EQ(outcomes_of(ref_run, "alpha").size(), batches.size());
+
+  // Interrupted run: base save, delta save, then a kill (no shutdown save).
+  Service first(options);
+  std::vector<std::string> head;
+  head.push_back(open_line("alpha", "MtC", 2, 1, 3));
+  for (std::size_t t = 0; t < 6; ++t) head.push_back(req_line("alpha", batches[t]));
+  head.push_back(R"({"type":"checkpoint"})");
+  for (std::size_t t = 6; t < 12; ++t) head.push_back(req_line("alpha", batches[t]));
+  head.push_back(R"({"type":"checkpoint"})");
+  head.push_back(R"({"type":"kill"})");
+  const RunOutput first_run = run_lines(first, head);
+  ASSERT_EQ(first_run.reason, ExitReason::kKill);
+  const auto saves = frames_of_type(first_run, "checkpointed");
+  ASSERT_EQ(saves.size(), 2u);
+  EXPECT_EQ(saves[0].at("mode").as_string(), "base");
+  EXPECT_EQ(saves[1].at("mode").as_string(), "delta");
+  const serve::SnapshotFileInfo info = serve::inspect_snapshot(snapshot);
+  EXPECT_EQ(info.version, serve::kSnapshotVersionV2);
+  EXPECT_EQ(info.segments, 2u) << "resume must replay base + delta";
+
+  // Resume replays the chain; the remainder of the stream is bit-identical.
+  Service second(options);
+  second.restore(snapshot);
+  std::vector<std::string> tail;
+  for (std::size_t t = 12; t < batches.size(); ++t) tail.push_back(req_line("alpha", batches[t]));
+  tail.push_back(R"({"type":"shutdown"})");
+  const RunOutput second_run = run_lines(second, tail);
+
+  std::vector<std::string> combined = outcomes_of(first_run, "alpha");
+  for (const std::string& line : outcomes_of(second_run, "alpha")) combined.push_back(line);
+  EXPECT_EQ(combined, outcomes_of(ref_run, "alpha"));
+  EXPECT_EQ(second.mux().stats(0).total_cost, reference.mux().stats(0).total_cost);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant rate limits at the admission layer.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, RateLimitedTenantThrottlesWithJournalAttribution) {
+  Service service(ServiceOptions{});
+  io::Json open = io::Json::parse(open_line("slow", "MtC", 1, 1, 2));
+  open.set("rate", 0.5);  // one step every other scheduler round
+  std::vector<std::string> lines;
+  lines.push_back(open.dump());
+  for (const auto& batch : make_batches(3, 6, 1)) lines.push_back(req_line("slow", batch));
+  ASSERT_EQ(run_lines(service, lines).reason, ExitReason::kEof);  // EOF drains
+
+  // The opened frame echoes the admitted limit.
+  EXPECT_EQ(service.mux().stats(0).steps, 6u);
+  EXPECT_GT(service.mux().stats(0).throttled_rounds, 0u);
+  EXPECT_GT(service.mux().totals().throttled, 0u);
+
+  bool journaled = false;
+  for (const obs::Event& event : service.telemetry().journal().events())
+    if (event.type == obs::EventType::kThrottle) {
+      journaled = true;
+      EXPECT_EQ(event.tenant, "slow");
+      EXPECT_NE(event.detail.find("rate"), std::string::npos);
+    }
+  EXPECT_TRUE(journaled);
+
+  // The quiescent stats frame reports both new members.
+  const RunOutput stats_run = run_lines(service, {R"({"type":"stats"})"});
+  const auto stats = frames_of_type(stats_run, "stats");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].at("active_sessions").as_uint64(), service.mux().totals().active);
+  EXPECT_EQ(stats[0].at("throttled").as_uint64(), service.mux().totals().throttled);
+  const io::Json& row = stats[0].at("tenants").as_array().front();
+  EXPECT_GT(row.at("throttled").as_uint64(), 0u);
+}
+
+TEST_F(ServeServiceTest, DefaultRateAppliesOnlyWhenOpenOmitsIt) {
+  ServiceOptions options;
+  options.default_rate = 2.0;
+  Service service(options);
+  io::Json custom = io::Json::parse(open_line("custom", "MtC", 1, 1, 1));
+  custom.set("rate", 0.75);
+  const RunOutput run = run_lines(
+      service, {open_line("plain", "MtC", 1), custom.dump(), R"({"type":"shutdown"})"});
+  const std::vector<io::Json> opened = frames_of_type(run, "opened");
+  ASSERT_EQ(opened.size(), 2u);
+  EXPECT_EQ(opened[0].at("tenant").as_string(), "plain");
+  EXPECT_EQ(opened[0].at("rate").as_double(), 2.0);  // admission default applied
+  EXPECT_EQ(opened[1].at("tenant").as_string(), "custom");
+  EXPECT_EQ(opened[1].at("rate").as_double(), 0.75);  // explicit limit wins
 }
 
 }  // namespace

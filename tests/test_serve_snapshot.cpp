@@ -1,0 +1,267 @@
+// Tests for the MSRVSS2 segmented snapshot codec (serve/snapshot.hpp):
+//   * base + delta chains merge in order (open/close/upsert semantics);
+//   * incremental saves cost O(progress): delta bytes scale with the
+//     number of dirty slots, not the population — the acceptance assert;
+//   * a torn trailing segment (crash mid-append) is silently dropped, a
+//     complete segment with a bad CRC fails loudly;
+//   * monolithic v1 snapshot files are still readable;
+//   * inspect_snapshot reports the chain shape the compaction policy uses.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/session_multiplexer.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/tenant_table.hpp"
+#include "trace/checkpoint.hpp"
+
+namespace mobsrv {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::ServiceSnapshot;
+using serve::SnapshotFileInfo;
+using serve::SnapshotSegment;
+
+/// A real tenant table + mux, the way Service drives them: valid specs,
+/// growable workloads, genuine engine checkpoint records.
+struct Harness {
+  par::ThreadPool pool{2};
+  core::SessionMultiplexer mux{pool};
+  serve::TenantTable table;
+
+  serve::Tenant& open(const std::string& name, std::size_t steps) {
+    serve::TenantSpec spec;
+    spec.tenant = name;
+    spec.algorithm = "MtC";
+    spec.dim = 2;
+    spec.speed_factor = 1.5;
+    spec.starts = {sim::Point::zero(2)};
+    serve::Tenant& tenant = table.admit(std::move(spec), mux);
+    feed(tenant, steps);
+    return tenant;
+  }
+
+  void feed(serve::Tenant& tenant, std::size_t steps) {
+    sim::RequestBatch batch;
+    batch.requests = {geo::Point{1.25, -0.5}};
+    for (std::size_t t = 0; t < steps; ++t) tenant.workload->push_step(batch);
+    mux.poke(tenant.slot);
+  }
+
+  [[nodiscard]] SnapshotSegment base_segment() const {
+    SnapshotSegment segment;
+    for (const auto& tenant : table.entries()) {
+      segment.opened.push_back(tenant->spec);
+      segment.opened_slots.push_back(tenant->slot);
+      segment.record_slots.push_back(tenant->slot);
+      segment.records.push_back(mux.checkpoint_slot(tenant->slot));
+    }
+    return segment;
+  }
+
+  [[nodiscard]] SnapshotSegment dirty_delta() const {
+    SnapshotSegment segment;
+    for (const std::size_t slot : mux.dirty_slots()) {
+      segment.record_slots.push_back(slot);
+      segment.records.push_back(mux.checkpoint_slot(slot));
+    }
+    return segment;
+  }
+};
+
+class ServeSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mobsrv_snap_" + std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(ServeSnapshotTest, BaseThenDeltasMergeInOrder) {
+  Harness h;
+  h.open("alpha", 6);
+  h.open("beta", 6);
+  h.mux.drain();
+  h.mux.mark_saved();
+  const fs::path path = dir_ / "chain.msrvss";
+  serve::write_snapshot_base(path, h.base_segment());
+
+  // Only alpha steps: the delta carries exactly one record.
+  h.feed(*h.table.find("alpha"), 3);
+  h.mux.drain();
+  SnapshotSegment delta = h.dirty_delta();
+  ASSERT_EQ(delta.records.size(), 1u);
+  EXPECT_EQ(delta.records[0].tenant, "alpha");
+  h.mux.mark_saved();
+  serve::append_snapshot_delta(path, delta);
+
+  // A newly opened tenant rides a later delta (spec + record together);
+  // beta closes in the same one.
+  serve::Tenant& gamma = h.open("gamma", 4);
+  h.mux.drain();
+  SnapshotSegment churn;
+  churn.opened.push_back(gamma.spec);
+  churn.opened_slots.push_back(gamma.slot);
+  churn.closed_slots.push_back(h.table.find("beta")->slot);
+  h.mux.close(h.table.find("beta")->slot);
+  h.table.erase("beta");
+  for (const std::size_t slot : h.mux.dirty_slots()) {
+    churn.record_slots.push_back(slot);
+    churn.records.push_back(h.mux.checkpoint_slot(slot));
+  }
+  serve::append_snapshot_delta(path, churn);
+
+  const ServiceSnapshot merged = serve::read_snapshot(path);
+  ASSERT_EQ(merged.tenants.size(), 2u);
+  EXPECT_EQ(merged.tenants[0].tenant, "alpha");
+  EXPECT_EQ(merged.tenants[1].tenant, "gamma");
+  EXPECT_EQ(merged.records[0].cursor, 9u);  // 6 base + 3 delta
+  EXPECT_EQ(merged.records[1].cursor, 4u);
+  // The engine state round-trips bit-exactly through the chain.
+  const core::SessionCheckpointRecord live = h.mux.checkpoint_slot(h.table.find("alpha")->slot);
+  EXPECT_EQ(trace::encode_checkpoint({merged.records[0]}), trace::encode_checkpoint({live}));
+}
+
+TEST_F(ServeSnapshotTest, DeltaBytesScaleWithProgressNotPopulation) {
+  // The acceptance assert: an incremental save re-serialises the dirty
+  // slots only, so its size tracks steps-since-save, not session count.
+  Harness h;
+  constexpr std::size_t kTenants = 32;
+  for (std::size_t t = 0; t < kTenants; ++t)
+    h.open("tenant-" + std::to_string(t), 4);
+  h.mux.drain();
+  h.mux.mark_saved();
+  const fs::path path = dir_ / "scale.msrvss";
+  const std::uint64_t base_bytes = serve::write_snapshot_base(path, h.base_segment());
+
+  h.feed(*h.table.find("tenant-0"), 2);
+  h.mux.drain();
+  const SnapshotSegment one_dirty = h.dirty_delta();
+  ASSERT_EQ(one_dirty.records.size(), 1u);
+  const std::uint64_t one_bytes = serve::append_snapshot_delta(path, one_dirty);
+  h.mux.mark_saved();
+
+  for (std::size_t t = 0; t < 8; ++t) h.feed(*h.table.find("tenant-" + std::to_string(t)), 2);
+  h.mux.drain();
+  const SnapshotSegment eight_dirty = h.dirty_delta();
+  ASSERT_EQ(eight_dirty.records.size(), 8u);
+  const std::uint64_t eight_bytes = serve::append_snapshot_delta(path, eight_dirty);
+  h.mux.mark_saved();
+
+  EXPECT_LT(one_bytes, eight_bytes);
+  EXPECT_LT(eight_bytes, base_bytes);
+  EXPECT_LT(one_bytes * 4, base_bytes)
+      << "a one-slot delta must be far smaller than a " << kTenants << "-session base";
+
+  // The merged chain still reflects every save.
+  const ServiceSnapshot merged = serve::read_snapshot(path);
+  ASSERT_EQ(merged.tenants.size(), kTenants);
+  EXPECT_EQ(merged.records[0].cursor, 8u);   // 4 + 2 + 2
+  EXPECT_EQ(merged.records[7].cursor, 6u);   // 4 + 2
+  EXPECT_EQ(merged.records[20].cursor, 4u);  // untouched since the base
+}
+
+TEST_F(ServeSnapshotTest, TornTrailingSegmentIsDroppedBadCrcIsLoud) {
+  Harness h;
+  h.open("alpha", 5);
+  h.mux.drain();
+  h.mux.mark_saved();
+  const fs::path path = dir_ / "torn.msrvss";
+  serve::write_snapshot_base(path, h.base_segment());
+  h.feed(*h.table.find("alpha"), 2);
+  h.mux.drain();
+  serve::append_snapshot_delta(path, h.dirty_delta());
+
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const auto write_variant = [&](const std::string& name, const std::string& content) {
+    const fs::path variant = dir_ / name;
+    std::ofstream out(variant, std::ios::binary);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    return variant;
+  };
+
+  // Chop the delta mid-payload: a crash mid-append. The reader falls back
+  // to the base — the previous save, a valid quiescent point.
+  const ServiceSnapshot fallback =
+      serve::read_snapshot(write_variant("chopped", bytes.substr(0, bytes.size() - 5)));
+  ASSERT_EQ(fallback.tenants.size(), 1u);
+  EXPECT_EQ(fallback.records[0].cursor, 5u);
+
+  // A COMPLETE segment whose CRC lies is corruption, never dropped.
+  std::string corrupt = bytes;
+  corrupt[bytes.size() - 3] ^= 0x40;  // inside the final delta's payload
+  EXPECT_THROW(serve::read_snapshot(write_variant("bad-crc", corrupt)), trace::TraceError);
+
+  // A chain whose first complete segment is a delta has no quiescent point.
+  const std::string headerless = bytes.substr(0, 12);  // magic + version only
+  EXPECT_THROW(serve::read_snapshot(write_variant("no-segment", headerless)),
+               trace::TraceError);
+}
+
+TEST_F(ServeSnapshotTest, MonolithicV1FilesStillReadable) {
+  Harness h;
+  h.open("legacy", 7);
+  h.mux.drain();
+  ServiceSnapshot snapshot;
+  for (const auto& tenant : h.table.entries()) snapshot.tenants.push_back(tenant->spec);
+  snapshot.records = h.mux.checkpoint();
+  const fs::path path = dir_ / "legacy.msrvss";
+  serve::write_snapshot(path, snapshot);  // the v1 writer
+
+  const ServiceSnapshot back = serve::read_snapshot(path);
+  ASSERT_EQ(back.tenants.size(), 1u);
+  EXPECT_EQ(back.tenants[0].tenant, "legacy");
+  EXPECT_EQ(back.records[0].cursor, 7u);
+  const SnapshotFileInfo info = serve::inspect_snapshot(path);
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.segments, 1u);
+  EXPECT_EQ(info.base_bytes, fs::file_size(path));
+  EXPECT_EQ(info.delta_bytes, 0u);
+}
+
+TEST_F(ServeSnapshotTest, InspectReportsChainShape) {
+  Harness h;
+  h.open("alpha", 4);
+  h.mux.drain();
+  h.mux.mark_saved();
+  const fs::path path = dir_ / "shape.msrvss";
+  const std::uint64_t base_bytes = serve::write_snapshot_base(path, h.base_segment());
+  std::uint64_t delta_bytes = 0;
+  for (int saves = 0; saves < 3; ++saves) {
+    h.feed(*h.table.find("alpha"), 1);
+    h.mux.drain();
+    delta_bytes += serve::append_snapshot_delta(path, h.dirty_delta());
+    h.mux.mark_saved();
+  }
+  const SnapshotFileInfo info = serve::inspect_snapshot(path);
+  EXPECT_EQ(info.version, serve::kSnapshotVersionV2);
+  EXPECT_EQ(info.segments, 4u);
+  EXPECT_EQ(info.base_bytes, base_bytes);
+  EXPECT_EQ(info.delta_bytes, delta_bytes);
+
+  // A fresh base (compaction) resets the chain.
+  const std::uint64_t compacted = serve::write_snapshot_base(path, h.base_segment());
+  const SnapshotFileInfo after = serve::inspect_snapshot(path);
+  EXPECT_EQ(after.segments, 1u);
+  EXPECT_EQ(after.base_bytes, compacted);
+  EXPECT_EQ(after.delta_bytes, 0u);
+
+  // Appending to a missing or non-MSRVSS2 file fails loudly.
+  EXPECT_THROW(serve::append_snapshot_delta(dir_ / "missing.msrvss", h.dirty_delta()),
+               trace::TraceError);
+}
+
+}  // namespace
+}  // namespace mobsrv

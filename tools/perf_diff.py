@@ -7,7 +7,16 @@ fails when any of them regressed by more than --threshold (default 10%).
 
     python3 tools/perf_diff.py --baseline prev/BENCH_perf.json \
         --current build/BENCH_perf.json [--threshold 0.10] [--metric steps] \
+        [--only mux/soak] [--exclude mux/soak] \
         [--baseline-out next/BENCH_perf.json]
+
+--only/--exclude restrict the gate to benchmarks whose name starts with the
+given prefix (repeatable). This lets CI run the same JSON through two gates
+with different thresholds — e.g. a loose gate for the soak rows (large
+populations, noisy on shared runners) and a tight gate for everything else.
+The per-row delta table is always printed for whatever survives the filter.
+Note --baseline-out writes the FULL current file, not the filtered view, so
+a filtered gate still rolls the whole trajectory forward.
 
 Benchmarks present only in the current file (a freshly added scenario) are
 *baselined, not silently skipped*: each is reported by name with its value,
@@ -74,6 +83,12 @@ def main() -> int:
                         help="max allowed fractional steps/sec drop (default 0.10)")
     parser.add_argument("--metric", default="steps",
                         help="per-second counter to compare (default: steps)")
+    parser.add_argument("--only", action="append", default=[], metavar="PREFIX",
+                        help="gate only benchmarks whose name starts with PREFIX "
+                             "(repeatable)")
+    parser.add_argument("--exclude", action="append", default=[], metavar="PREFIX",
+                        help="drop benchmarks whose name starts with PREFIX from the "
+                             "gate (repeatable; applied after --only)")
     parser.add_argument("--baseline-out", type=Path, default=None,
                         help="write the current file here as the next run's baseline "
                              "(written before the gate verdict, so new metrics are "
@@ -95,11 +110,23 @@ def main() -> int:
         print(f"perf_diff: unreadable current file {args.current} ({error})", file=sys.stderr)
         return 2
 
+    def keep(name: str) -> bool:
+        if args.only and not any(name.startswith(p) for p in args.only):
+            return False
+        return not any(name.startswith(p) for p in args.exclude)
+
+    filtered_out = sum(1 for name in current if not keep(name))
+    current = {name: value for name, value in current.items() if keep(name)}
+    if filtered_out:
+        print(f"perf_diff: --only/--exclude filtered out {filtered_out} benchmark(s); "
+              f"{len(current)} remain in this gate")
+
     baseline: dict[str, float] | None = None
     baseline_existed = args.baseline.is_file()
     if baseline_existed:
         try:
             baseline = load_metrics(args.baseline, args.metric)
+            baseline = {name: value for name, value in baseline.items() if keep(name)}
         except (json.JSONDecodeError, KeyError) as error:
             # A corrupt cached baseline must not wedge CI forever; report,
             # re-baseline everything, and pass.

@@ -1,10 +1,10 @@
 /// \file serve_main.cpp
 /// mobsrv_serve — live NDJSON ingestion service over the session multiplexer.
 ///
-///   mobsrv_serve [--snapshot=PATH] [--checkpoint-every=N] [--resume]
-///                [--max-inflight=N] [--threads=N] [--lean]
-///                [--metrics-out=PATH] [--metrics-every=N] [--dump-metrics]
-///                [--tcp=PORT | --unix=PATH]
+///   mobsrv_serve [--snapshot=PATH] [--checkpoint-every=N] [--compact-ratio=R]
+///                [--resume] [--max-inflight=N] [--default-rate=R] [--threads=N]
+///                [--lean] [--metrics-out=PATH] [--metrics-every=N]
+///                [--dump-metrics] [--tcp=PORT | --unix=PATH]
 ///
 /// The service reads client frames (one JSON object per line) from stdin —
 /// or from a single TCP or Unix-socket connection — routes them to
@@ -123,6 +123,8 @@ void print_usage(std::ostream& os) {
         "                         graceful exit, plus `checkpoint` frames)\n"
         "  --checkpoint-every=N   also save every N consumed steps (0 = off; needs\n"
         "                         --snapshot)\n"
+        "  --compact-ratio=R      rewrite a fresh snapshot base once the delta\n"
+        "                         segments exceed R x the base size (default 4)\n"
         "  --resume               restore tenants + sessions from --snapshot if the\n"
         "                         file exists, then continue bit-identically\n"
         "  --max-inflight=N       per-tenant unconsumed-step cap before `req` frames\n"
@@ -134,6 +136,8 @@ void print_usage(std::ostream& os) {
         "                         on graceful exit and on every `metrics` frame)\n"
         "  --metrics-every=N      also snapshot metrics every N consumed steps (0 =\n"
         "                         off; needs --metrics-out)\n"
+        "  --default-rate=R       rate limit for tenants whose open frame names none\n"
+        "                         (steps per round, fractions ok; 0 = unlimited)\n"
         "  --dump-metrics         print the metric catalog (one JSON object per line:\n"
         "                         name, type, unit, help) and exit\n"
         "  --tcp=PORT             serve one TCP connection on 127.0.0.1:PORT instead\n"
@@ -202,11 +206,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   for (const std::string& name : args.flag_names()) {
-    static constexpr const char* kKnown[] = {"snapshot",     "checkpoint-every",
-                                             "resume",       "max-inflight",
-                                             "threads",      "lean",
-                                             "metrics-out",  "metrics-every",
-                                             "dump-metrics", "tcp",
+    static constexpr const char* kKnown[] = {"snapshot",      "checkpoint-every",
+                                             "compact-ratio", "resume",
+                                             "max-inflight",  "default-rate",
+                                             "threads",       "lean",
+                                             "metrics-out",   "metrics-every",
+                                             "dump-metrics",  "tcp",
                                              "unix"};
     bool ok = false;
     for (const char* flag : kKnown) ok = ok || name == flag;
@@ -233,19 +238,30 @@ int main(int argc, char** argv) {
   }
 
   serve::ServiceOptions options;
-  options.snapshot_path = args.get_string("snapshot", "");
-  options.checkpoint_every = static_cast<std::size_t>(args.get_uint64("checkpoint-every", 0));
-  options.max_inflight = static_cast<std::size_t>(args.get_uint64("max-inflight", 64));
-  options.threads = static_cast<unsigned>(args.get_uint64("threads", 0));
-  options.lean = args.get_bool("lean", false);
-  options.metrics_path = args.get_string("metrics-out", "");
-  options.metrics_every = static_cast<std::size_t>(args.get_uint64("metrics-every", 0));
+  int tcp_port = 0;
+  try {
+    options.snapshot_path = args.get_string("snapshot", "");
+    options.checkpoint_every = static_cast<std::size_t>(args.get_uint64("checkpoint-every", 0));
+    options.max_inflight = static_cast<std::size_t>(args.get_uint64("max-inflight", 64));
+    options.threads = static_cast<unsigned>(args.get_uint64("threads", 0));
+    options.lean = args.get_bool("lean", false);
+    options.metrics_path = args.get_string("metrics-out", "");
+    options.metrics_every = static_cast<std::size_t>(args.get_uint64("metrics-every", 0));
+    options.default_rate = args.get_double("default-rate", 0.0);
+    options.compact_ratio = args.get_double("compact-ratio", 4.0);
+    if (args.has("tcp")) tcp_port = args.get_int("tcp", 0);
+  } catch (const std::exception& error) {
+    // A malformed flag value is a usage error (exit 2), not a crash.
+    die(error.what());
+  }
   options.stop = &g_stop;
   if (options.checkpoint_every > 0 && options.snapshot_path.empty())
     die("--checkpoint-every needs --snapshot");
   if (options.metrics_every > 0 && options.metrics_path.empty())
     die("--metrics-every needs --metrics-out");
   if (options.max_inflight == 0) die("--max-inflight must be >= 1");
+  if (options.default_rate < 0.0) die("--default-rate must be >= 0");
+  if (options.compact_ratio <= 0.0) die("--compact-ratio must be > 0");
   if (args.has("tcp") && args.has("unix")) die("--tcp and --unix are mutually exclusive");
 
   install_signal_handlers();
@@ -262,9 +278,8 @@ int main(int argc, char** argv) {
     }
 
     if (args.has("tcp") || args.has("unix")) {
-      const int listener = args.has("tcp")
-                               ? listen_tcp(args.get_int("tcp", 0))
-                               : listen_unix(args.get_string("unix", ""));
+      const int listener =
+          args.has("tcp") ? listen_tcp(tcp_port) : listen_unix(args.get_string("unix", ""));
       const int fd = accept_one(listener);
       if (fd < 0) {
         ::close(listener);

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""NDJSON generator for the reduced CI soak of mobsrv_serve.
+
+Emits a deterministic sparse-activity stream: --sessions tenants are opened,
+and only 1 in 100 (the "hot" 1%) ever sends requests — the live-service
+shape the active-set scheduler is built for. Three phases cover the
+crash/recovery acceptance path:
+
+    reference  opens + all six hot request steps + shutdown
+               (the uninterrupted run the resumed run must match)
+    part1      opens + hot steps 0-1 + checkpoint (base) + hot steps 2-3 +
+               checkpoint (delta) + kill  -> mobsrv_serve exits 3
+    part2      hot steps 4-5 + shutdown  (run with --resume)
+
+Request coordinates are a pure function of (tenant, step), so reference and
+part1+part2 feed byte-identical batches and the outcome frames must match
+bit-for-bit (compare sorted, pump boundaries interleave tenants
+differently).
+
+    python3 tools/soak_stream.py --sessions 100000 --phase part1 | mobsrv_serve ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+HOT_STRIDE = 100  # 1% of the population is hot
+STEPS = 6         # hot request steps, split 2 + 2 + 2 around the checkpoints
+
+
+def batch(tenant: int, step: int) -> str:
+    # Awkward (non-dyadic) but exactly representable-in-print coordinates:
+    # repr() round-trips doubles, so the reference and resumed streams are
+    # byte-identical.
+    x = ((tenant * 37 + step * 11) % 400) / 32.0 - 6.25
+    return f'[[{x!r}]]'
+
+
+def emit_opens(out, sessions: int) -> None:
+    for s in range(sessions):
+        out.write(f'{{"type":"open","v":1,"tenant":"t{s}","algorithm":"Lazy","dim":1}}\n')
+
+
+def emit_reqs(out, sessions: int, lo: int, hi: int) -> None:
+    for step in range(lo, hi):
+        for s in range(0, sessions, HOT_STRIDE):
+            out.write(f'{{"type":"req","tenant":"t{s}","batch":{batch(s, step)}}}\n')
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, required=True)
+    parser.add_argument("--phase", choices=["reference", "part1", "part2"], required=True)
+    args = parser.parse_args()
+    if args.sessions < HOT_STRIDE:
+        print(f"soak_stream: --sessions must be >= {HOT_STRIDE}", file=sys.stderr)
+        return 2
+
+    out = sys.stdout
+    if args.phase == "reference":
+        emit_opens(out, args.sessions)
+        emit_reqs(out, args.sessions, 0, STEPS)
+        out.write('{"type":"shutdown"}\n')
+    elif args.phase == "part1":
+        emit_opens(out, args.sessions)
+        emit_reqs(out, args.sessions, 0, 2)
+        out.write('{"type":"checkpoint"}\n')
+        emit_reqs(out, args.sessions, 2, 4)
+        out.write('{"type":"checkpoint"}\n')
+        out.write('{"type":"kill"}\n')
+    else:  # part2, fed to mobsrv_serve --resume
+        emit_reqs(out, args.sessions, 4, STEPS)
+        out.write('{"type":"shutdown"}\n')
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
