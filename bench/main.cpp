@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/mobsrv.hpp"
+#include "io/cli.hpp"
 #include "registry.hpp"
 
 namespace {
@@ -96,27 +97,13 @@ int main(int argc, char** argv) {
   // Reject typo'd flags and stray positionals up front — a silently ignored
   // `--smok` (or `smoke` without dashes) would run the full-scale sweeps
   // instead of the smoke subset.
-  static const char* known_flags[] = {"help",  "list",     "only",       "trials",
-                                      "scale", "smoke",    "no-table",   "no-bench",
-                                      "seed",  "json",     "record-dir", "record-codec",
-                                      "replay", "threads"};
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0 || arg.rfind("--benchmark", 0) == 0) continue;
-    const std::string name = arg.substr(2, arg.find('=') - 2);
-    bool known = false;
-    for (const char* flag : known_flags) known = known || name == flag;
-    if (!known) {
-      std::cerr << "mobsrv_bench: unknown flag --" << name << "\n";
-      print_usage(std::cerr);
-      return 2;
-    }
-  }
-  if (!args.positionals().empty()) {
-    std::cerr << "mobsrv_bench: unexpected argument '" << args.positionals().front()
-              << "' (flags start with --)\n";
-    print_usage(std::cerr);
-    return 2;
+  try {
+    mobsrv::io::require_known_flags(args, {"list", "only", "trials", "scale", "smoke", "no-table",
+                                           "no-bench", "seed", "json", "record-dir",
+                                           "record-codec", "replay", "threads", "benchmark*"});
+    mobsrv::io::require_no_positionals(args);
+  } catch (const mobsrv::ContractViolation& error) {
+    return mobsrv::io::usage_error("mobsrv_bench", error.what(), print_usage);
   }
 
   bool explicit_benchmark_flags = false;
@@ -172,9 +159,7 @@ int main(int argc, char** argv) {
     try {
       selected = mobsrv::bench::Registry::instance().select(only_ids);
     } catch (const mobsrv::ContractViolation& error) {
-      std::cerr << "mobsrv_bench: " << error.what() << "\n";
-      print_list(std::cerr);
-      return 2;
+      return mobsrv::io::usage_error("mobsrv_bench", error.what(), print_list);
     }
 
     // Smoke runs are a table-level end-to-end check, and kernel timings
@@ -183,9 +168,7 @@ int main(int argc, char** argv) {
     run_kernels = !args.get_bool("no-bench", false) && replay_dir.empty() &&
                   (explicit_benchmark_flags || (!smoke && only_ids.empty()));
   } catch (const mobsrv::ContractViolation& error) {
-    std::cerr << "mobsrv_bench: " << error.what() << "\n";
-    print_usage(std::cerr);
-    return 2;
+    return mobsrv::io::usage_error("mobsrv_bench", error.what(), print_usage);
   }
 
   mobsrv::bench::Report report;

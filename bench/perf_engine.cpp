@@ -86,7 +86,9 @@
 #include <vector>
 
 #include "core/mobsrv.hpp"
+#include "io/cli.hpp"
 #include "obs/metrics.hpp"
+#include "scenario/scenario.hpp"
 #include "serve/service.hpp"
 #include "trace/checkpoint.hpp"
 
@@ -844,6 +846,30 @@ void BM_MuxSoakCkpt(benchmark::State& state, Sizes sizes) {
   state.counters["sessions"] = static_cast<double>(sizes.soak_sessions);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario layer (PR 9): scenario files parsed + validated per second over
+// the starter corpus, rendered to canonical text once up front. The
+// per-second `steps` counter counts files, so perf_diff.py gates this row
+// like every other.
+// ---------------------------------------------------------------------------
+
+void BM_ScenarioParseCorpus(benchmark::State& state) {
+  std::vector<std::string> texts;
+  for (const mobsrv::scenario::Scenario& sc : mobsrv::scenario::starter_corpus())
+    texts.push_back(mobsrv::scenario::canonical_text(sc));
+  std::size_t parsed = 0;
+  for (auto _ : state) {
+    for (const std::string& text : texts) {
+      const mobsrv::scenario::Scenario sc = mobsrv::scenario::parse(text, "<perf>");
+      benchmark::DoNotOptimize(sc.seed);
+      ++parsed;
+    }
+  }
+  state.counters["steps"] =
+      benchmark::Counter(static_cast<double>(parsed), benchmark::Counter::kIsRate);
+  state.counters["files"] = static_cast<double>(texts.size());
+}
+
 void print_usage(std::ostream& os) {
   os << "usage: mobsrv_perf [--smoke] [--out=PATH] [--benchmark_*...]\n"
         "  --smoke      small workloads + short timings (CI smoke artifact)\n"
@@ -853,26 +879,26 @@ void print_usage(std::ostream& os) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mobsrv::io::Args args(argc, argv);
+  if (args.get_bool("help", false)) {
+    print_usage(std::cout);
+    return 0;
+  }
+  // The shared exit discipline: unknown flags, stray positionals and
+  // malformed values ("--smoke=maybe") all exit 2 with a message.
   bool smoke = false;
   std::string out_path;
-  std::vector<std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--smoke") {
-      smoke = true;
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else if (arg == "--help") {
-      print_usage(std::cout);
-      return 0;
-    } else if (arg.rfind("--benchmark", 0) == 0) {
-      flags.push_back(arg);
-    } else {
-      std::cerr << "mobsrv_perf: unknown argument '" << arg << "'\n";
-      print_usage(std::cerr);
-      return 2;
-    }
+  try {
+    mobsrv::io::require_known_flags(args, {"smoke", "out", "benchmark*"});
+    mobsrv::io::require_no_positionals(args);
+    smoke = args.get_bool("smoke", false);
+    out_path = args.get_string("out", "");
+  } catch (const mobsrv::ContractViolation& error) {
+    return mobsrv::io::usage_error("mobsrv_perf", error.what(), print_usage);
   }
+  std::vector<std::string> flags;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) flags.emplace_back(argv[i]);
   if (!out_path.empty()) {
     flags.push_back("--benchmark_out=" + out_path);
     flags.push_back("--benchmark_out_format=json");
@@ -959,6 +985,8 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("mux/soak_1m_ckpt", BM_MuxSoakCkpt, sizes)
       ->MinTime(min_time)
       ->UseRealTime();
+  benchmark::RegisterBenchmark("scenario/parse_corpus", BM_ScenarioParseCorpus)
+      ->MinTime(min_time);
 
   std::vector<char*> bench_argv{argv[0]};
   for (std::string& flag : flags) bench_argv.push_back(flag.data());

@@ -29,6 +29,8 @@
 #include "opt/coordinate_descent.hpp"     // IWYU pragma: export
 #include "opt/grid_dp.hpp"                // IWYU pragma: export
 #include "parallel/parallel_for.hpp"      // IWYU pragma: export
+#include "scenario/scenario.hpp"          // IWYU pragma: export
+#include "scenario/tournament.hpp"        // IWYU pragma: export
 #include "sim/engine.hpp"                 // IWYU pragma: export
 #include "sim/fleet.hpp"                  // IWYU pragma: export
 #include "sim/moving_client.hpp"          // IWYU pragma: export

@@ -1,0 +1,54 @@
+#include "io/cli.hpp"
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace mobsrv::io {
+
+int usage_error(std::string_view tool, std::string_view message, void (*usage)(std::ostream&)) {
+  std::cerr << tool << ": " << message << "\n";
+  if (usage != nullptr) usage(std::cerr);
+  return 2;
+}
+
+int run_cli(std::string_view tool, void (*usage)(std::ostream&),
+            const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const ContractViolation& error) {
+    return usage_error(tool, error.what(), usage);
+  } catch (const std::exception& error) {
+    std::cerr << tool << ": " << error.what() << "\n";
+    return 1;
+  }
+}
+
+namespace {
+
+bool flag_matches(const std::string& name, std::string_view pattern) {
+  if (!pattern.empty() && pattern.back() == '*')
+    return name.rfind(pattern.substr(0, pattern.size() - 1), 0) == 0;
+  return name == pattern;
+}
+
+}  // namespace
+
+void require_known_flags(const Args& args, std::initializer_list<const char*> known) {
+  for (const std::string& name : args.flag_names()) {
+    if (name == "help") continue;
+    bool ok = false;
+    for (const char* flag : known) ok = ok || flag_matches(name, flag);
+    if (!ok) throw ContractViolation("unknown flag --" + name);
+  }
+}
+
+void require_no_positionals(const Args& args) {
+  if (!args.positionals().empty())
+    throw ContractViolation("unexpected argument '" + args.positionals().front() +
+                            "' (flags start with --)");
+}
+
+}  // namespace mobsrv::io

@@ -1,0 +1,46 @@
+/// \file cli.hpp
+/// The shared command-line exit discipline for every mobsrv binary.
+///
+/// All tools speak the same contract (docs/CLI.md): exit 0 on success, 1 on
+/// a runtime failure, 2 on a bad command line — where "bad command line"
+/// covers unknown flags, stray positionals AND malformed flag values
+/// (`--trials=abc`), which the io::Args getters surface as
+/// ContractViolation. mobsrv_serve pinned that behaviour down first; this
+/// header is the one shared implementation so the other binaries cannot
+/// drift again (mobsrv_trace shipped a catch-all that turned malformed
+/// values into exit 1 before it existed).
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <string_view>
+
+#include "io/args.hpp"
+
+namespace mobsrv::io {
+
+/// Prints "<tool>: <message>" to stderr, then the usage text when \p usage
+/// is non-null, and returns 2 — the one place the usage-error exit code
+/// lives.
+int usage_error(std::string_view tool, std::string_view message,
+                void (*usage)(std::ostream&) = nullptr);
+
+/// Runs \p body and maps escaping exceptions onto the shared exit
+/// discipline: ContractViolation (the io::Args getters' malformed-value
+/// error, and the conventional type for flag-combination violations) is a
+/// usage error — message + usage + exit 2; anything else is a runtime
+/// failure — message + exit 1.
+int run_cli(std::string_view tool, void (*usage)(std::ostream&),
+            const std::function<int()>& body);
+
+/// Throws ContractViolation for any parsed flag whose name is not in
+/// \p known. "help" is always accepted; an entry ending in '*' matches by
+/// prefix (the `--benchmark_*` passthrough of the bench binaries).
+void require_known_flags(const Args& args, std::initializer_list<const char*> known);
+
+/// Throws ContractViolation when the command line carries positional
+/// arguments (for tools whose grammar is flags-only).
+void require_no_positionals(const Args& args);
+
+}  // namespace mobsrv::io

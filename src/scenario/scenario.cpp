@@ -1,0 +1,1075 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <initializer_list>
+#include <iterator>
+#include <utility>
+
+#include "adversary/lower_bounds.hpp"
+#include "adversary/mobility.hpp"
+#include "adversary/moving_client_lb.hpp"
+#include "adversary/workloads.hpp"
+#include "stats/rng.hpp"
+#include "trace/corpus.hpp"
+
+namespace mobsrv::scenario {
+
+namespace {
+
+using io::Json;
+
+[[noreturn]] void fail(const std::string& ctx, const std::string& message) {
+  throw ScenarioError(ctx + ": " + message);
+}
+
+std::string quoted(const char* key) {
+  std::string out;
+  out += '"';
+  out += key;
+  out += '"';
+  return out;
+}
+
+/// The frames-layer allowlist discipline: every member of \p obj must be
+/// named in \p allowed, so typos fail loudly instead of silently running
+/// defaults. The error enumerates the allowed members — a scenario author's
+/// only feedback channel is this message.
+void reject_unknown_members(const Json& obj, std::initializer_list<const char*> allowed,
+                            const std::string& what, const std::string& ctx) {
+  for (const Json::Member& member : obj.as_object()) {
+    bool ok = false;
+    for (const char* key : allowed) ok = ok || member.first == key;
+    if (ok) continue;
+    std::string list;
+    for (const char* key : allowed) {
+      if (!list.empty()) list += ", ";
+      list += key;
+    }
+    fail(ctx, "unknown member \"" + member.first + "\" in " + what + " (allowed: " + list + ")");
+  }
+}
+
+const Json& require(const Json& obj, const char* key, const std::string& ctx) {
+  const Json* value = obj.find(key);
+  if (value == nullptr) fail(ctx, "missing required member " + quoted(key));
+  return *value;
+}
+
+double double_field(const Json& obj, const char* key, double fallback, const std::string& ctx) {
+  const Json* value = obj.find(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_number()) fail(ctx, quoted(key) + " must be a number");
+  const double v = value->as_double();
+  if (!std::isfinite(v)) fail(ctx, quoted(key) + " must be finite");
+  return v;
+}
+
+double double_at_least(const Json& obj, const char* key, double fallback, double min,
+                       const std::string& ctx) {
+  const double v = double_field(obj, key, fallback, ctx);
+  if (v < min) fail(ctx, quoted(key) + " must be >= " + std::to_string(min));
+  return v;
+}
+
+double double_above(const Json& obj, const char* key, double fallback, double min,
+                    const std::string& ctx) {
+  const double v = double_field(obj, key, fallback, ctx);
+  if (v <= min) fail(ctx, quoted(key) + " must be > " + std::to_string(min));
+  return v;
+}
+
+double unit_field(const Json& obj, const char* key, double fallback, const std::string& ctx) {
+  const double v = double_field(obj, key, fallback, ctx);
+  if (v < 0.0 || v > 1.0) fail(ctx, quoted(key) + " must be in [0, 1]");
+  return v;
+}
+
+double fraction_field(const Json& obj, const char* key, double fallback, const std::string& ctx) {
+  const double v = double_field(obj, key, fallback, ctx);
+  if (v <= 0.0 || v > 1.0) fail(ctx, quoted(key) + " must be in (0, 1]");
+  return v;
+}
+
+/// Integer-valued member in [min, kMaxRounds] — the shared ceiling keeps a
+/// pasted wall-clock timestamp from dense-allocating terabytes.
+std::size_t count_field(const Json& obj, const char* key, std::size_t fallback, std::size_t min,
+                        const std::string& ctx) {
+  const Json* value = obj.find(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_number()) fail(ctx, quoted(key) + " must be a number");
+  std::uint64_t v = 0;
+  try {
+    v = value->as_uint64();
+  } catch (const io::JsonError&) {
+    fail(ctx, quoted(key) + " must be a non-negative integer");
+  }
+  if (v < min) fail(ctx, quoted(key) + " must be >= " + std::to_string(min));
+  if (v > kMaxRounds)
+    fail(ctx, quoted(key) + " exceeds the limit of " + std::to_string(kMaxRounds));
+  return static_cast<std::size_t>(v);
+}
+
+int dim_field(const Json& obj, const char* key, int fallback, const std::string& ctx) {
+  const std::size_t v = count_field(obj, key, static_cast<std::size_t>(fallback), 1, ctx);
+  if (v > static_cast<std::size_t>(sim::Point::kMaxDim))
+    fail(ctx, quoted(key) + " must be in [1, " + std::to_string(sim::Point::kMaxDim) + "]");
+  return static_cast<int>(v);
+}
+
+std::string string_field(const Json& obj, const char* key, const std::string& ctx) {
+  const Json& value = require(obj, key, ctx);
+  if (!value.is_string()) fail(ctx, quoted(key) + " must be a string");
+  if (value.as_string().empty()) fail(ctx, quoted(key) + " must not be empty");
+  return value.as_string();
+}
+
+sim::ServiceOrder order_field(const Json& obj, const char* key, sim::ServiceOrder fallback,
+                              const std::string& ctx) {
+  const Json* value = obj.find(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_string()) fail(ctx, quoted(key) + " must be a string");
+  const std::string& s = value->as_string();
+  if (s == "move-then-serve") return sim::ServiceOrder::kMoveThenServe;
+  if (s == "serve-then-move") return sim::ServiceOrder::kServeThenMove;
+  fail(ctx, quoted(key) + " must be \"move-then-serve\" or \"serve-then-move\", got \"" + s + "\"");
+}
+
+sim::Point point_value(const Json& value, const std::string& what, const std::string& ctx) {
+  if (!value.is_array()) fail(ctx, what + " must be an array of coordinates");
+  const Json::Array& coords = value.as_array();
+  if (coords.empty() || coords.size() > static_cast<std::size_t>(sim::Point::kMaxDim))
+    fail(ctx, what + " must hold 1-" + std::to_string(sim::Point::kMaxDim) + " coordinates");
+  sim::Point p(static_cast<int>(coords.size()));
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (!coords[i].is_number()) fail(ctx, what + " coordinates must be numbers");
+    p[static_cast<int>(i)] = coords[i].as_double();
+    if (!std::isfinite(p[static_cast<int>(i)])) fail(ctx, what + " coordinates must be finite");
+  }
+  return p;
+}
+
+/// Kind-appropriate defaults, copied from the generator parameter structs
+/// themselves so the two cannot drift. The mobility kinds additionally pin
+/// the corpus hardcodes (server at unit speed, D = 2) as their defaults.
+ScenarioParams defaults_for(const std::string& kind) {
+  ScenarioParams p;
+  if (kind == "theorem1") {
+    const adv::Theorem1Params d;
+    p.horizon = d.horizon;
+    p.move_cost_weight = d.move_cost_weight;
+    p.max_step = d.max_step;
+    p.dim = d.dim;
+    p.requests_per_step = d.requests_per_step;
+    p.x = d.x;
+  } else if (kind == "theorem2") {
+    const adv::Theorem2Params d;
+    p.horizon = d.horizon;
+    p.move_cost_weight = d.move_cost_weight;
+    p.max_step = d.max_step;
+    p.dim = d.dim;
+    p.delta = d.delta;
+    p.r_min = d.r_min;
+    p.r_max = d.r_max;
+    p.x = d.x;
+  } else if (kind == "theorem3") {
+    const adv::Theorem3Params d;
+    p.horizon = d.horizon;
+    p.move_cost_weight = d.move_cost_weight;
+    p.max_step = d.max_step;
+    p.dim = d.dim;
+    p.requests_per_step = d.requests_per_step;
+  } else if (kind == "theorem8-moving-client") {
+    const adv::Theorem8Params d;
+    p.horizon = d.horizon;
+    p.server_speed = d.server_speed;
+    p.epsilon = d.epsilon;
+    p.move_cost_weight = d.move_cost_weight;
+    p.dim = d.dim;
+    p.x = d.x;
+  } else if (kind == "drifting-hotspot") {
+    const adv::DriftingHotspotParams d;
+    p.horizon = d.horizon;
+    p.dim = d.dim;
+    p.move_cost_weight = d.move_cost_weight;
+    p.max_step = d.max_step;
+    p.drift_speed = d.drift_speed;
+    p.spread = d.spread;
+    p.r_min = d.r_min;
+    p.r_max = d.r_max;
+  } else if (kind == "commute") {
+    const adv::CommuteParams d;
+    p.horizon = d.horizon;
+    p.dim = d.dim;
+    p.move_cost_weight = d.move_cost_weight;
+    p.max_step = d.max_step;
+    p.site_distance = d.site_distance;
+    p.period = d.period;
+    p.spread = d.spread;
+    p.requests_per_step = d.requests_per_step;
+  } else if (kind == "bursts") {
+    const adv::BurstParams d;
+    p.horizon = d.horizon;
+    p.dim = d.dim;
+    p.move_cost_weight = d.move_cost_weight;
+    p.max_step = d.max_step;
+    p.drift_speed = d.drift_speed;
+    p.spread = d.spread;
+    p.r_min = d.r_min;
+    p.r_max = d.r_max;
+    p.burst_probability = d.burst_probability;
+  } else if (kind == "uniform-noise") {
+    const adv::UniformNoiseParams d;
+    p.horizon = d.horizon;
+    p.dim = d.dim;
+    p.move_cost_weight = d.move_cost_weight;
+    p.max_step = d.max_step;
+    p.half_width = d.half_width;
+    p.requests_per_step = d.requests_per_step;
+  } else if (kind == "random-waypoint") {
+    const adv::RandomWaypointParams d;
+    p.horizon = d.horizon;
+    p.dim = d.dim;
+    p.speed = d.speed;
+    p.half_width = d.half_width;
+    p.max_pause = d.max_pause;
+    p.min_speed_fraction = d.min_speed_fraction;
+    p.move_cost_weight = 2.0;  // the corpus single-agent wrapper's choice
+    p.server_speed = 1.0;
+  } else if (kind == "gauss-markov") {
+    const adv::GaussMarkovParams d;
+    p.horizon = d.horizon;
+    p.dim = d.dim;
+    p.speed = d.speed;
+    p.alpha = d.alpha;
+    p.mean_speed_fraction = d.mean_speed_fraction;
+    p.noise_fraction = d.noise_fraction;
+    p.move_cost_weight = 2.0;
+    p.server_speed = 1.0;
+  } else if (kind == "zigzag") {
+    const adv::ZigZagParams d;
+    p.horizon = d.horizon;
+    p.dim = d.dim;
+    p.speed = d.speed;
+    p.half_period = d.half_period;
+    p.move_cost_weight = 2.0;
+    p.server_speed = 1.0;
+  } else if (kind == "demand") {
+    p.move_cost_weight = 1.0;
+    p.max_step = 1.0;
+    p.order = sim::ServiceOrder::kMoveThenServe;
+  } else if (kind == "waypoints") {
+    p.move_cost_weight = 1.0;
+    p.server_speed = 1.0;
+    p.agent_speed = 1.0;
+  }
+  return p;
+}
+
+void parse_inline_steps(const Json& value, ScenarioParams& p, const std::string& ctx) {
+  if (!value.is_array()) fail(ctx, "\"steps\" must be an array of request batches");
+  const Json::Array& steps = value.as_array();
+  if (steps.empty()) fail(ctx, "\"steps\" must contain at least one step");
+  if (steps.size() > kMaxRounds)
+    fail(ctx, "\"steps\" exceeds the limit of " + std::to_string(kMaxRounds) + " rounds");
+  int dim = p.start.empty() ? 0 : p.start.dim();
+  p.steps.reserve(steps.size());
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    const std::string where = "\"steps\"[" + std::to_string(t) + "]";
+    if (!steps[t].is_array()) fail(ctx, where + " must be an array of points");
+    std::vector<sim::Point> batch;
+    batch.reserve(steps[t].as_array().size());
+    for (const Json& request : steps[t].as_array()) {
+      sim::Point point = point_value(request, where + " request", ctx);
+      if (dim == 0) dim = point.dim();
+      if (point.dim() != dim)
+        fail(ctx, where + ": inconsistent dimension (expected " + std::to_string(dim) +
+                      " coordinates)");
+      batch.push_back(std::move(point));
+    }
+    p.steps.push_back(std::move(batch));
+  }
+  if (dim == 0)
+    fail(ctx, "\"steps\" holds no requests and no \"start\" is given — cannot infer the dimension");
+  p.has_inline_steps = true;
+}
+
+ScenarioParams parse_params(const std::string& kind, const Json& obj, const std::string& ctx) {
+  ScenarioParams p = defaults_for(kind);
+  const std::string what = "\"params\" for kind \"" + kind + "\"";
+
+  if (kind == "theorem1" || kind == "theorem3") {
+    reject_unknown_members(obj, {"horizon", "d", "m", "dim", "requests_per_step", "x"}, what, ctx);
+    if (kind == "theorem3" && obj.find("x") != nullptr)
+      fail(ctx, "unknown member \"x\" in " + what +
+                    " (allowed: horizon, d, m, dim, requests_per_step)");
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.max_step = double_above(obj, "m", p.max_step, 0.0, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.requests_per_step = count_field(obj, "requests_per_step", p.requests_per_step, 1, ctx);
+    p.x = count_field(obj, "x", p.x, 0, ctx);
+    return p;
+  }
+  if (kind == "theorem2") {
+    reject_unknown_members(obj, {"horizon", "d", "m", "dim", "delta", "r_min", "r_max", "x"}, what,
+                           ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.max_step = double_above(obj, "m", p.max_step, 0.0, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.delta = double_above(obj, "delta", p.delta, 0.0, ctx);
+    p.r_min = count_field(obj, "r_min", p.r_min, 1, ctx);
+    p.r_max = count_field(obj, "r_max", p.r_max, 1, ctx);
+    if (p.r_max < p.r_min) fail(ctx, "\"r_max\" must be >= \"r_min\"");
+    p.x = count_field(obj, "x", p.x, 0, ctx);
+    return p;
+  }
+  if (kind == "theorem8-moving-client") {
+    reject_unknown_members(obj, {"horizon", "server_speed", "epsilon", "d", "dim", "x"}, what, ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.server_speed = double_above(obj, "server_speed", p.server_speed, 0.0, ctx);
+    p.epsilon = double_above(obj, "epsilon", p.epsilon, 0.0, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.x = count_field(obj, "x", p.x, 0, ctx);
+    return p;
+  }
+  if (kind == "drifting-hotspot") {
+    reject_unknown_members(obj, {"horizon", "dim", "d", "m", "drift_speed", "spread", "r_min",
+                                 "r_max"},
+                           what, ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.max_step = double_above(obj, "m", p.max_step, 0.0, ctx);
+    p.drift_speed = double_at_least(obj, "drift_speed", p.drift_speed, 0.0, ctx);
+    p.spread = double_at_least(obj, "spread", p.spread, 0.0, ctx);
+    p.r_min = count_field(obj, "r_min", p.r_min, 1, ctx);
+    p.r_max = count_field(obj, "r_max", p.r_max, 1, ctx);
+    if (p.r_max < p.r_min) fail(ctx, "\"r_max\" must be >= \"r_min\"");
+    return p;
+  }
+  if (kind == "commute") {
+    reject_unknown_members(obj, {"horizon", "dim", "d", "m", "site_distance", "period", "spread",
+                                 "requests_per_step"},
+                           what, ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.max_step = double_above(obj, "m", p.max_step, 0.0, ctx);
+    p.site_distance = double_above(obj, "site_distance", p.site_distance, 0.0, ctx);
+    p.period = count_field(obj, "period", p.period, 1, ctx);
+    p.spread = double_at_least(obj, "spread", p.spread, 0.0, ctx);
+    p.requests_per_step = count_field(obj, "requests_per_step", p.requests_per_step, 1, ctx);
+    return p;
+  }
+  if (kind == "bursts") {
+    reject_unknown_members(obj, {"horizon", "dim", "d", "m", "drift_speed", "spread", "r_min",
+                                 "r_max", "burst_probability"},
+                           what, ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.max_step = double_above(obj, "m", p.max_step, 0.0, ctx);
+    p.drift_speed = double_at_least(obj, "drift_speed", p.drift_speed, 0.0, ctx);
+    p.spread = double_at_least(obj, "spread", p.spread, 0.0, ctx);
+    p.r_min = count_field(obj, "r_min", p.r_min, 1, ctx);
+    p.r_max = count_field(obj, "r_max", p.r_max, 1, ctx);
+    if (p.r_max < p.r_min) fail(ctx, "\"r_max\" must be >= \"r_min\"");
+    p.burst_probability = unit_field(obj, "burst_probability", p.burst_probability, ctx);
+    return p;
+  }
+  if (kind == "uniform-noise") {
+    reject_unknown_members(obj, {"horizon", "dim", "d", "m", "half_width", "requests_per_step"},
+                           what, ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.max_step = double_above(obj, "m", p.max_step, 0.0, ctx);
+    p.half_width = double_above(obj, "half_width", p.half_width, 0.0, ctx);
+    p.requests_per_step = count_field(obj, "requests_per_step", p.requests_per_step, 1, ctx);
+    return p;
+  }
+  if (kind == "random-waypoint") {
+    reject_unknown_members(obj, {"horizon", "dim", "speed", "half_width", "max_pause",
+                                 "min_speed_fraction", "d", "server_speed"},
+                           what, ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.speed = double_above(obj, "speed", p.speed, 0.0, ctx);
+    p.half_width = double_above(obj, "half_width", p.half_width, 0.0, ctx);
+    p.max_pause = count_field(obj, "max_pause", p.max_pause, 0, ctx);
+    p.min_speed_fraction = fraction_field(obj, "min_speed_fraction", p.min_speed_fraction, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.server_speed = double_above(obj, "server_speed", p.server_speed, 0.0, ctx);
+    return p;
+  }
+  if (kind == "gauss-markov") {
+    reject_unknown_members(obj, {"horizon", "dim", "speed", "alpha", "mean_speed_fraction",
+                                 "noise_fraction", "d", "server_speed"},
+                           what, ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.speed = double_above(obj, "speed", p.speed, 0.0, ctx);
+    p.alpha = unit_field(obj, "alpha", p.alpha, ctx);
+    p.mean_speed_fraction = fraction_field(obj, "mean_speed_fraction", p.mean_speed_fraction, ctx);
+    p.noise_fraction = double_at_least(obj, "noise_fraction", p.noise_fraction, 0.0, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.server_speed = double_above(obj, "server_speed", p.server_speed, 0.0, ctx);
+    return p;
+  }
+  if (kind == "zigzag") {
+    reject_unknown_members(obj, {"horizon", "dim", "speed", "half_period", "d", "server_speed"},
+                           what, ctx);
+    p.horizon = count_field(obj, "horizon", p.horizon, 1, ctx);
+    p.dim = dim_field(obj, "dim", p.dim, ctx);
+    p.speed = double_above(obj, "speed", p.speed, 0.0, ctx);
+    p.half_period = count_field(obj, "half_period", p.half_period, 1, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.server_speed = double_above(obj, "server_speed", p.server_speed, 0.0, ctx);
+    return p;
+  }
+  if (kind == "demand") {
+    reject_unknown_members(obj, {"order", "d", "m", "start", "file", "steps"}, what, ctx);
+    p.order = order_field(obj, "order", p.order, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.max_step = double_above(obj, "m", p.max_step, 0.0, ctx);
+    if (const Json* start = obj.find("start")) p.start = point_value(*start, "\"start\"", ctx);
+    const Json* file = obj.find("file");
+    const Json* steps = obj.find("steps");
+    if ((file != nullptr) == (steps != nullptr))
+      fail(ctx, "kind \"demand\" requires exactly one of \"file\" and \"steps\"");
+    if (file != nullptr) {
+      p.file = string_field(obj, "file", ctx);
+    } else {
+      parse_inline_steps(*steps, p, ctx);
+      if (!p.start.empty()) {
+        // parse_inline_steps already enforced one dimension across requests;
+        // an explicit start must share it.
+        for (const std::vector<sim::Point>& batch : p.steps)
+          for (const sim::Point& request : batch)
+            if (request.dim() != p.start.dim())
+              fail(ctx, "\"start\" dimension " + std::to_string(p.start.dim()) +
+                            " does not match the request dimension " +
+                            std::to_string(request.dim()));
+      }
+    }
+    return p;
+  }
+  if (kind == "waypoints") {
+    reject_unknown_members(obj, {"d", "server_speed", "agent_speed", "file"}, what, ctx);
+    p.move_cost_weight = double_at_least(obj, "d", p.move_cost_weight, 1.0, ctx);
+    p.server_speed = double_above(obj, "server_speed", p.server_speed, 0.0, ctx);
+    p.agent_speed = double_above(obj, "agent_speed", p.agent_speed, 0.0, ctx);
+    p.file = string_field(obj, "file", ctx);
+    return p;
+  }
+  fail(ctx, "unknown kind \"" + kind + "\"");  // unreachable: kind pre-validated
+}
+
+trace::TraceFile from_adversarial(trace::TraceMeta meta, adv::AdversarialInstance a) {
+  trace::TraceFile file(std::move(meta), std::move(a.instance));
+  file.adversary = trace::AdversaryInfo{a.adversary_cost, std::move(a.adversary_positions)};
+  return file;
+}
+
+trace::TraceFile from_moving_client(trace::TraceMeta meta, sim::MovingClientInstance mc) {
+  trace::TraceFile file(std::move(meta), sim::to_instance(mc));
+  file.moving_client = std::move(mc);
+  return file;
+}
+
+sim::MovingClientInstance single_agent(sim::Point start, double server_speed, double agent_speed,
+                                       double d_weight, sim::AgentPath path) {
+  sim::MovingClientInstance mc;
+  mc.start = std::move(start);
+  mc.server_speed = server_speed;
+  mc.agent_speed = agent_speed;
+  mc.move_cost_weight = d_weight;
+  mc.agents.push_back(std::move(path));
+  return mc;
+}
+
+std::filesystem::path resolve_path(const std::filesystem::path& base_dir,
+                                   const std::string& file) {
+  const std::filesystem::path path(file);
+  if (path.is_absolute() || base_dir.empty()) return path;
+  return base_dir / path;
+}
+
+const char* order_name(sim::ServiceOrder order) {
+  return order == sim::ServiceOrder::kMoveThenServe ? "move-then-serve" : "serve-then-move";
+}
+
+Json point_json(const sim::Point& p) {
+  Json arr = Json::array();
+  for (int i = 0; i < p.dim(); ++i) arr.push_back(Json(p[i]));
+  return arr;
+}
+
+Json params_json(const Scenario& sc) {
+  const ScenarioParams& p = sc.params;
+  Json obj = Json::object();
+  if (sc.kind == "theorem1" || sc.kind == "theorem3") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("m", Json(p.max_step));
+    obj.set("dim", Json(p.dim));
+    obj.set("requests_per_step", Json(p.requests_per_step));
+    if (sc.kind == "theorem1") obj.set("x", Json(p.x));
+  } else if (sc.kind == "theorem2") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("m", Json(p.max_step));
+    obj.set("dim", Json(p.dim));
+    obj.set("delta", Json(p.delta));
+    obj.set("r_min", Json(p.r_min));
+    obj.set("r_max", Json(p.r_max));
+    obj.set("x", Json(p.x));
+  } else if (sc.kind == "theorem8-moving-client") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("server_speed", Json(p.server_speed));
+    obj.set("epsilon", Json(p.epsilon));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("dim", Json(p.dim));
+    obj.set("x", Json(p.x));
+  } else if (sc.kind == "drifting-hotspot") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("dim", Json(p.dim));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("m", Json(p.max_step));
+    obj.set("drift_speed", Json(p.drift_speed));
+    obj.set("spread", Json(p.spread));
+    obj.set("r_min", Json(p.r_min));
+    obj.set("r_max", Json(p.r_max));
+  } else if (sc.kind == "commute") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("dim", Json(p.dim));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("m", Json(p.max_step));
+    obj.set("site_distance", Json(p.site_distance));
+    obj.set("period", Json(p.period));
+    obj.set("spread", Json(p.spread));
+    obj.set("requests_per_step", Json(p.requests_per_step));
+  } else if (sc.kind == "bursts") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("dim", Json(p.dim));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("m", Json(p.max_step));
+    obj.set("drift_speed", Json(p.drift_speed));
+    obj.set("spread", Json(p.spread));
+    obj.set("r_min", Json(p.r_min));
+    obj.set("r_max", Json(p.r_max));
+    obj.set("burst_probability", Json(p.burst_probability));
+  } else if (sc.kind == "uniform-noise") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("dim", Json(p.dim));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("m", Json(p.max_step));
+    obj.set("half_width", Json(p.half_width));
+    obj.set("requests_per_step", Json(p.requests_per_step));
+  } else if (sc.kind == "random-waypoint") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("dim", Json(p.dim));
+    obj.set("speed", Json(p.speed));
+    obj.set("half_width", Json(p.half_width));
+    obj.set("max_pause", Json(p.max_pause));
+    obj.set("min_speed_fraction", Json(p.min_speed_fraction));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("server_speed", Json(p.server_speed));
+  } else if (sc.kind == "gauss-markov") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("dim", Json(p.dim));
+    obj.set("speed", Json(p.speed));
+    obj.set("alpha", Json(p.alpha));
+    obj.set("mean_speed_fraction", Json(p.mean_speed_fraction));
+    obj.set("noise_fraction", Json(p.noise_fraction));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("server_speed", Json(p.server_speed));
+  } else if (sc.kind == "zigzag") {
+    obj.set("horizon", Json(p.horizon));
+    obj.set("dim", Json(p.dim));
+    obj.set("speed", Json(p.speed));
+    obj.set("half_period", Json(p.half_period));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("server_speed", Json(p.server_speed));
+  } else if (sc.kind == "demand") {
+    obj.set("order", Json(order_name(p.order)));
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("m", Json(p.max_step));
+    if (!p.start.empty()) obj.set("start", point_json(p.start));
+    if (p.has_inline_steps) {
+      Json steps = Json::array();
+      for (const std::vector<sim::Point>& batch : p.steps) {
+        Json requests = Json::array();
+        for (const sim::Point& request : batch) requests.push_back(point_json(request));
+        steps.push_back(std::move(requests));
+      }
+      obj.set("steps", std::move(steps));
+    } else {
+      obj.set("file", Json(p.file));
+    }
+  } else if (sc.kind == "waypoints") {
+    obj.set("d", Json(p.move_cost_weight));
+    obj.set("server_speed", Json(p.server_speed));
+    obj.set("agent_speed", Json(p.agent_speed));
+    obj.set("file", Json(p.file));
+  }
+  return obj;
+}
+
+/// True when \p arr can stay on one line: only numbers, or arrays of
+/// numbers (a point, or a batch of points). "steps" (arrays of arrays of
+/// arrays) breaks one batch per line.
+bool inline_array(const Json& arr) {
+  for (const Json& element : arr.as_array()) {
+    if (element.is_object()) return false;
+    if (element.is_array())
+      for (const Json& inner : element.as_array())
+        if (inner.is_array() || inner.is_object()) return false;
+  }
+  return true;
+}
+
+void pretty(std::string& out, const Json& value, int indent) {
+  const auto pad = [&out](int level) { out.append(static_cast<std::size_t>(level) * 2, ' '); };
+  if (value.is_object()) {
+    const Json::Object& obj = value.as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{\n";
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      pad(indent + 1);
+      Json(obj[i].first).dump_to(out);
+      out += ": ";
+      pretty(out, obj[i].second, indent + 1);
+      if (i + 1 < obj.size()) out += ",";
+      out += "\n";
+    }
+    pad(indent);
+    out += "}";
+    return;
+  }
+  if (value.is_array() && !inline_array(value)) {
+    const Json::Array& arr = value.as_array();
+    out += "[\n";
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      pad(indent + 1);
+      pretty(out, arr[i], indent + 1);
+      if (i + 1 < arr.size()) out += ",";
+      out += "\n";
+    }
+    pad(indent);
+    out += "]";
+    return;
+  }
+  value.dump_to(out);
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_kinds() {
+  static const std::vector<std::string> kKinds = {
+      "theorem1",       "theorem2", "theorem3",      "theorem8-moving-client",
+      "drifting-hotspot", "commute", "bursts",        "uniform-noise",
+      "random-waypoint", "gauss-markov", "zigzag",   "demand",
+      "waypoints",
+  };
+  return kKinds;
+}
+
+bool is_scenario_kind(const std::string& kind) {
+  const std::vector<std::string>& kinds = scenario_kinds();
+  return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+}
+
+Scenario from_json(const Json& doc, const std::string& context) {
+  std::string ctx = context;
+  if (!doc.is_object()) fail(ctx, "a scenario document must be a JSON object");
+
+  // Pull the name before anything else so every later error is attributed
+  // to the scenario, not just the file.
+  if (const Json* name = doc.find("name"); name != nullptr && name->is_string())
+    ctx += ": scenario \"" + name->as_string() + "\"";
+
+  reject_unknown_members(doc, {"v", "name", "kind", "seed", "speed_factor", "params", "fleet"},
+                         "a scenario document", ctx);
+
+  const Json& version = require(doc, "v", ctx);
+  bool version_ok = version.is_number();
+  if (version_ok) {
+    try {
+      version_ok = version.as_uint64() == kFormatVersion;
+    } catch (const io::JsonError&) {
+      version_ok = false;
+    }
+  }
+  if (!version_ok)
+    fail(ctx, "unsupported format version (this build reads \"v\": " +
+                  std::to_string(kFormatVersion) + ")");
+
+  Scenario sc;
+  sc.name = string_field(doc, "name", ctx);
+  if (!valid_name(sc.name))
+    fail(ctx, "\"name\" must use only letters, digits, '-', '_' and '.', got \"" + sc.name + "\"");
+  sc.kind = string_field(doc, "kind", ctx);
+  if (!is_scenario_kind(sc.kind)) {
+    std::string list;
+    for (const std::string& kind : scenario_kinds()) {
+      if (!list.empty()) list += ", ";
+      list += kind;
+    }
+    fail(ctx, "unknown kind \"" + sc.kind + "\" (known kinds: " + list + ")");
+  }
+
+  if (const Json* seed = doc.find("seed")) {
+    if (!seed->is_number()) fail(ctx, "\"seed\" must be a number");
+    try {
+      sc.seed = seed->as_uint64();
+    } catch (const io::JsonError&) {
+      fail(ctx, "\"seed\" must be a non-negative integer");
+    }
+  }
+  sc.speed_factor = double_at_least(doc, "speed_factor", sc.speed_factor, 1.0, ctx);
+
+  const Json* params = doc.find("params");
+  if (params != nullptr && !params->is_object()) fail(ctx, "\"params\" must be an object");
+  const Json empty = Json::object();
+  sc.params = parse_params(sc.kind, params != nullptr ? *params : empty, ctx);
+
+  if (const Json* fleet = doc.find("fleet")) {
+    if (!fleet->is_object()) fail(ctx, "\"fleet\" must be an object");
+    reject_unknown_members(*fleet, {"size", "spread"}, "\"fleet\"", ctx);
+    FleetSpec spec;
+    spec.size = count_field(*fleet, "size", spec.size, 1, ctx);
+    if (spec.size > 4096) fail(ctx, "\"size\" must be in [1, 4096]");
+    spec.spread = double_above(*fleet, "spread", spec.spread, 0.0, ctx);
+    sc.fleet = spec;
+  }
+  return sc;
+}
+
+Scenario parse(std::string_view text, const std::string& context) {
+  Json doc;
+  try {
+    doc = Json::parse(text);
+  } catch (const io::JsonError& error) {
+    throw ScenarioError(context + ": " + error.what());
+  }
+  return from_json(doc, context);
+}
+
+Scenario load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError(path.string() + ": cannot open (missing file?)");
+  const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return parse(text, path.string());
+}
+
+Json to_json(const Scenario& sc) {
+  Json doc = Json::object();
+  doc.set("v", Json(kFormatVersion));
+  doc.set("name", Json(sc.name));
+  doc.set("kind", Json(sc.kind));
+  doc.set("seed", Json(sc.seed));
+  doc.set("speed_factor", Json(sc.speed_factor));
+  doc.set("params", params_json(sc));
+  if (sc.fleet) {
+    Json fleet = Json::object();
+    fleet.set("size", Json(sc.fleet->size));
+    fleet.set("spread", Json(sc.fleet->spread));
+    doc.set("fleet", std::move(fleet));
+  }
+  return doc;
+}
+
+std::string canonical_text(const Scenario& sc) {
+  std::string out;
+  pretty(out, to_json(sc), 0);
+  out += "\n";
+  return out;
+}
+
+trace::TraceFile materialize(const Scenario& sc, const std::filesystem::path& base_dir) {
+  const ScenarioParams& p = sc.params;
+  // Keyed exactly like trace::make_corpus_trace ("corpus", name, seed): a
+  // scenario file that names a corpus scenario and pins its parameters
+  // materialises the compiled-in instance bit for bit (parity-tested).
+  stats::Rng rng({stats::hash_name("corpus"), stats::hash_name(sc.name), sc.seed});
+  trace::TraceMeta meta{sc.name, "scenario", sc.seed};
+
+  if (sc.kind == "theorem1") {
+    adv::Theorem1Params a;
+    a.horizon = p.horizon;
+    a.move_cost_weight = p.move_cost_weight;
+    a.max_step = p.max_step;
+    a.dim = p.dim;
+    a.requests_per_step = p.requests_per_step;
+    a.x = p.x;
+    return from_adversarial(std::move(meta), adv::make_theorem1(a, rng));
+  }
+  if (sc.kind == "theorem2") {
+    adv::Theorem2Params a;
+    a.horizon = p.horizon;
+    a.move_cost_weight = p.move_cost_weight;
+    a.max_step = p.max_step;
+    a.dim = p.dim;
+    a.delta = p.delta;
+    a.r_min = p.r_min;
+    a.r_max = p.r_max;
+    a.x = p.x;
+    return from_adversarial(std::move(meta), adv::make_theorem2(a, rng));
+  }
+  if (sc.kind == "theorem3") {
+    adv::Theorem3Params a;
+    a.horizon = p.horizon;
+    a.move_cost_weight = p.move_cost_weight;
+    a.max_step = p.max_step;
+    a.dim = p.dim;
+    a.requests_per_step = p.requests_per_step;
+    return from_adversarial(std::move(meta), adv::make_theorem3(a, rng));
+  }
+  if (sc.kind == "theorem8-moving-client") {
+    adv::Theorem8Params a;
+    a.horizon = p.horizon;
+    a.server_speed = p.server_speed;
+    a.epsilon = p.epsilon;
+    a.move_cost_weight = p.move_cost_weight;
+    a.dim = p.dim;
+    a.x = p.x;
+    adv::MovingClientAdversarial result = adv::make_theorem8(a, rng);
+    trace::TraceFile file = from_moving_client(std::move(meta), std::move(result.mc));
+    file.adversary = trace::AdversaryInfo{result.adversary_cost,
+                                          std::move(result.adversary_positions)};
+    return file;
+  }
+  if (sc.kind == "drifting-hotspot") {
+    adv::DriftingHotspotParams a;
+    a.horizon = p.horizon;
+    a.dim = p.dim;
+    a.move_cost_weight = p.move_cost_weight;
+    a.max_step = p.max_step;
+    a.drift_speed = p.drift_speed;
+    a.spread = p.spread;
+    a.r_min = p.r_min;
+    a.r_max = p.r_max;
+    return trace::TraceFile(std::move(meta), adv::make_drifting_hotspot(a, rng));
+  }
+  if (sc.kind == "commute") {
+    adv::CommuteParams a;
+    a.horizon = p.horizon;
+    a.dim = p.dim;
+    a.move_cost_weight = p.move_cost_weight;
+    a.max_step = p.max_step;
+    a.site_distance = p.site_distance;
+    a.period = p.period;
+    a.spread = p.spread;
+    a.requests_per_step = p.requests_per_step;
+    return trace::TraceFile(std::move(meta), adv::make_commute(a, rng));
+  }
+  if (sc.kind == "bursts") {
+    adv::BurstParams a;
+    a.horizon = p.horizon;
+    a.dim = p.dim;
+    a.move_cost_weight = p.move_cost_weight;
+    a.max_step = p.max_step;
+    a.drift_speed = p.drift_speed;
+    a.spread = p.spread;
+    a.r_min = p.r_min;
+    a.r_max = p.r_max;
+    a.burst_probability = p.burst_probability;
+    return trace::TraceFile(std::move(meta), adv::make_bursts(a, rng));
+  }
+  if (sc.kind == "uniform-noise") {
+    adv::UniformNoiseParams a;
+    a.horizon = p.horizon;
+    a.dim = p.dim;
+    a.move_cost_weight = p.move_cost_weight;
+    a.max_step = p.max_step;
+    a.half_width = p.half_width;
+    a.requests_per_step = p.requests_per_step;
+    return trace::TraceFile(std::move(meta), adv::make_uniform_noise(a, rng));
+  }
+  if (sc.kind == "random-waypoint") {
+    adv::RandomWaypointParams a;
+    a.horizon = p.horizon;
+    a.dim = p.dim;
+    a.speed = p.speed;
+    a.half_width = p.half_width;
+    a.max_pause = p.max_pause;
+    a.min_speed_fraction = p.min_speed_fraction;
+    const sim::Point start = sim::Point::zero(a.dim);
+    sim::AgentPath path = adv::make_random_waypoint(a, start, rng);
+    return from_moving_client(std::move(meta),
+                              single_agent(start, p.server_speed, a.speed, p.move_cost_weight,
+                                           std::move(path)));
+  }
+  if (sc.kind == "gauss-markov") {
+    adv::GaussMarkovParams a;
+    a.horizon = p.horizon;
+    a.dim = p.dim;
+    a.speed = p.speed;
+    a.alpha = p.alpha;
+    a.mean_speed_fraction = p.mean_speed_fraction;
+    a.noise_fraction = p.noise_fraction;
+    const sim::Point start = sim::Point::zero(a.dim);
+    sim::AgentPath path = adv::make_gauss_markov(a, start, rng);
+    return from_moving_client(std::move(meta),
+                              single_agent(start, p.server_speed, a.speed, p.move_cost_weight,
+                                           std::move(path)));
+  }
+  if (sc.kind == "zigzag") {
+    adv::ZigZagParams a;
+    a.horizon = p.horizon;
+    a.dim = p.dim;
+    a.speed = p.speed;
+    a.half_period = p.half_period;
+    const sim::Point start = sim::Point::zero(a.dim);
+    sim::AgentPath path = adv::make_zigzag(a, start);
+    return from_moving_client(std::move(meta),
+                              single_agent(start, p.server_speed, a.speed, p.move_cost_weight,
+                                           std::move(path)));
+  }
+  if (sc.kind == "demand") {
+    if (p.has_inline_steps) {
+      std::vector<sim::RequestBatch> steps(p.steps.size());
+      for (std::size_t t = 0; t < p.steps.size(); ++t) steps[t].requests = p.steps[t];
+      sim::Point start = p.start;
+      if (start.empty())
+        for (const sim::RequestBatch& batch : steps) {
+          if (batch.empty()) continue;
+          start = batch.requests.front();
+          break;
+        }
+      sim::ModelParams params;
+      params.move_cost_weight = p.move_cost_weight;
+      params.max_step = p.max_step;
+      params.order = p.order;
+      return trace::TraceFile(std::move(meta), sim::Instance(start, params, std::move(steps)));
+    }
+    trace::DemandImportOptions options;
+    options.move_cost_weight = p.move_cost_weight;
+    options.max_step = p.max_step;
+    options.order = p.order;
+    options.start = p.start;
+    trace::TraceFile file = trace::import_demand(resolve_path(base_dir, p.file), options);
+    file.meta = std::move(meta);
+    return file;
+  }
+  if (sc.kind == "waypoints") {
+    trace::WaypointImportOptions options;
+    options.server_speed = p.server_speed;
+    options.agent_speed = p.agent_speed;
+    options.move_cost_weight = p.move_cost_weight;
+    trace::TraceFile file = trace::import_waypoints(resolve_path(base_dir, p.file), options);
+    file.meta = std::move(meta);
+    return file;
+  }
+  throw ScenarioError("scenario \"" + sc.name + "\": unknown kind \"" + sc.kind + "\"");
+}
+
+std::vector<std::filesystem::path> list_scenario_files(const std::filesystem::path& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec))
+    throw ScenarioError(dir.string() + ": not a directory (missing corpus?)");
+  std::vector<std::filesystem::path> files;
+  for (const std::filesystem::directory_entry& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json")
+      files.push_back(entry.path());
+  }
+  if (files.empty()) throw ScenarioError(dir.string() + ": no *.json scenario files found");
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+const std::vector<Scenario>& starter_corpus() {
+  static const std::vector<Scenario> kCorpus = [] {
+    std::vector<Scenario> corpus;
+    const auto add = [&corpus](const std::string& name, const std::string& kind) -> Scenario& {
+      Scenario sc;
+      sc.name = name;
+      sc.kind = kind;
+      sc.params = defaults_for(kind);
+      corpus.push_back(std::move(sc));
+      return corpus.back();
+    };
+
+    // The 12 compiled-in corpus scenarios with their corpus-pinned
+    // parameters (make_corpus_trace at scale 1) — the generator-parity
+    // suite materialises these against the C++ corpus bit for bit.
+    add("theorem1", "theorem1").params.horizon = 1024;
+    {
+      Scenario& sc = add("theorem2", "theorem2");
+      sc.params.horizon = 2048;
+      sc.params.delta = 0.5;
+      sc.params.r_max = 4;
+    }
+    add("theorem3", "theorem3").params.horizon = 1024;
+    add("theorem8-moving-client", "theorem8-moving-client").params.horizon = 1024;
+    add("drifting-hotspot", "drifting-hotspot").params.horizon = 512;
+    {
+      Scenario& sc = add("drifting-hotspot-1d", "drifting-hotspot");
+      sc.params.horizon = 512;
+      sc.params.dim = 1;
+    }
+    add("commute", "commute").params.horizon = 512;
+    add("bursts", "bursts").params.horizon = 512;
+    add("uniform-noise", "uniform-noise").params.horizon = 512;
+    add("random-waypoint", "random-waypoint").params.horizon = 512;
+    add("gauss-markov", "gauss-markov").params.horizon = 512;
+    add("zigzag", "zigzag").params.horizon = 256;
+
+    // Importer examples: inline demand data, CSV demand, CSV waypoints.
+    {
+      Scenario& sc = add("inline-demand", "demand");
+      sc.params.move_cost_weight = 2.0;
+      sc.params.has_inline_steps = true;
+      sc.params.steps = {
+          {sim::Point({0.0, 0.0}), sim::Point({1.0, 0.0})},
+          {sim::Point({2.0, 1.0})},
+          {},
+          {sim::Point({3.0, 2.0}), sim::Point({3.0, 3.0})},
+          {sim::Point({4.0, 4.0})},
+          {},
+          {sim::Point({5.0, 4.0})},
+          {sim::Point({6.0, 5.0}), sim::Point({7.0, 5.0})},
+      };
+    }
+    {
+      Scenario& sc = add("demand-csv", "demand");
+      sc.params.move_cost_weight = 4.0;
+      sc.params.file = "data/edge_demand.csv";
+    }
+    {
+      Scenario& sc = add("waypoints-csv", "waypoints");
+      sc.params.move_cost_weight = 2.0;
+      sc.params.agent_speed = 1.25;
+      sc.params.file = "data/helpers.csv";
+    }
+
+    // A fleet scenario: four servers spread around the start.
+    {
+      Scenario& sc = add("fleet-noise", "uniform-noise");
+      sc.params.horizon = 256;
+      sc.fleet = FleetSpec{4, 4.0};
+    }
+    return corpus;
+  }();
+  return kCorpus;
+}
+
+}  // namespace mobsrv::scenario

@@ -25,7 +25,13 @@ import re
 import subprocess
 import sys
 
-DEFAULT_BINARIES = ["mobsrv_bench", "mobsrv_trace", "mobsrv_perf", "mobsrv_serve"]
+DEFAULT_BINARIES = [
+    "mobsrv_bench",
+    "mobsrv_trace",
+    "mobsrv_perf",
+    "mobsrv_serve",
+    "mobsrv_tournament",
+]
 FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9_-]*")
 
 

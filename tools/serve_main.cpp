@@ -32,6 +32,7 @@
 
 #include "common/contracts.hpp"
 #include "io/args.hpp"
+#include "io/cli.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -149,8 +150,7 @@ void print_usage(std::ostream& os) {
 }
 
 [[noreturn]] void die(const std::string& message) {
-  std::cerr << "mobsrv_serve: " << message << "\n";
-  std::exit(2);
+  std::exit(mobsrv::io::usage_error("mobsrv_serve", message));
 }
 
 int listen_tcp(int port) {

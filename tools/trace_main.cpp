@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/mobsrv.hpp"
+#include "io/cli.hpp"
 
 namespace {
 
@@ -394,7 +395,12 @@ int main(int argc, char** argv) {
     return args.positionals().empty() && !args.has("help") ? 2 : 0;
   }
   const std::string command = args.positionals().front();
-  try {
+  // run_cli maps ContractViolation — missing/unknown/malformed flags from
+  // the io::Args getters and the helpers above — onto exit 2, and every
+  // other failure (unreadable trace, codec error) onto exit 1. Before the
+  // shared helper this tool's catch-all turned malformed numeric flag
+  // values ("--seed=abc") into exit 1, unlike the other binaries.
+  return io::run_cli("mobsrv_trace", nullptr, [&]() -> int {
     if (command == "list") {
       reject_unknown_flags(args, command, {});
       return cmd_list();
@@ -438,8 +444,5 @@ int main(int argc, char** argv) {
     std::cerr << "mobsrv_trace: unknown command '" << command << "'\n";
     print_usage(std::cerr);
     return 2;
-  } catch (const std::exception& error) {
-    std::cerr << "mobsrv_trace: " << error.what() << "\n";
-    return 1;
-  }
+  });
 }
