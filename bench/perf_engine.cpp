@@ -86,6 +86,7 @@
 #include <vector>
 
 #include "core/mobsrv.hpp"
+#include "fault/injector.hpp"
 #include "io/cli.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/scenario.hpp"
@@ -645,6 +646,40 @@ void BM_ServeIngestP99(benchmark::State& state, Sizes sizes) {
   state.counters["tenants"] = static_cast<double>(tenants);
 }
 
+// The PR 10 gate: the fault hooks on the serve hot path (serve.read per
+// input line, tenant.step per pump round, plus the persistence sites) must
+// be free when no injector is armed. armed:0 runs with options.faults ==
+// nullptr (the production default — one pointer test per site); armed:1
+// wires an injector holding a rule that can never fire, so every hit pays
+// the site lookup and rule walk. perf_diff.py pins armed:0 against the
+// committed baseline; the armed:1 row documents the worst-case hook cost.
+void BM_FaultHookOverhead(benchmark::State& state, Sizes sizes) {
+  const bool armed = state.range(0) != 0;
+  constexpr std::size_t kTenants = 8;
+  const std::string script = make_ingest_script(kTenants, sizes.mux_horizon, 2);
+  mobsrv::fault::Injector injector;
+  if (armed) {
+    mobsrv::fault::SiteRule rule;
+    rule.site = mobsrv::fault::kSiteServeRead;
+    rule.nth = std::numeric_limits<std::uint64_t>::max();  // inert: never fires
+    injector.add_rule(rule);
+  }
+  for (auto _ : state) {
+    mobsrv::serve::ServiceOptions options;
+    options.lean = true;
+    options.faults = armed ? &injector : nullptr;
+    mobsrv::serve::Service service(std::move(options));
+    std::istringstream in(script);
+    std::ostringstream out;
+    const mobsrv::serve::ExitReason reason = service.run(in, out);
+    if (reason != mobsrv::serve::ExitReason::kShutdown) state.SkipWithError("bad exit");
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  const auto steps = static_cast<double>(state.iterations() * kTenants * sizes.mux_horizon);
+  state.counters["steps"] = benchmark::Counter(steps, benchmark::Counter::kIsRate);
+  state.counters["armed"] = armed ? 1.0 : 0.0;
+}
+
 void BM_EngineStepLatency(benchmark::State& state, Sizes sizes) {
   const sim::Instance instance =
       to_instance(make_workload(1, sizes.horizon, sizes.requests_per_step));
@@ -972,6 +1007,13 @@ int main(int argc, char** argv) {
       ->ArgName("tenants")
       ->MinTime(min_time)
       ->UseRealTime();
+  for (const int armed : {0, 1}) {
+    benchmark::RegisterBenchmark("serve/fault_hook_overhead", BM_FaultHookOverhead, sizes)
+        ->Arg(armed)
+        ->ArgName("armed")
+        ->MinTime(min_time)
+        ->UseRealTime();
+  }
   benchmark::RegisterBenchmark("engine/step_latency", BM_EngineStepLatency, sizes)
       ->Arg(1)
       ->ArgName("dim")

@@ -1,0 +1,57 @@
+/// \file plan.hpp
+/// --fault-plan JSON: a declarative, validated fault schedule.
+///
+/// A plan file names the seed and the rules an Injector should run:
+///
+///     {"v": 1, "seed": 7, "faults": [
+///       {"site": "snapshot.delta_append", "every": 1, "count": 3},
+///       {"site": "snapshot.rename", "nth": 2, "outcome": "crash"},
+///       {"site": "serve.read", "probability": 0.01,
+///        "delay_us": 250, "outcome": "delay"}
+///     ]}
+///
+/// Validation follows the scenario-file discipline (src/scenario/): every
+/// member must be on the allowlist, site names must be registered fault
+/// sites (fault::known_sites), each rule needs at least one armed trigger,
+/// and every error names the offending rule — a fault plan with a typo'd
+/// trigger would otherwise "pass" by never firing, which is the one
+/// failure mode a torture harness cannot afford.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+
+namespace mobsrv::fault {
+
+/// Thrown on malformed plan text or an unreadable plan file. mobsrv_serve
+/// maps it to a usage error (exit 2): a bad plan is a bad command line.
+class PlanError : public std::runtime_error {
+ public:
+  explicit PlanError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Plan format version accepted by parse_plan.
+inline constexpr std::uint64_t kPlanVersion = 1;
+
+/// A parsed plan: the injector seed plus the rule list, in file order.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<SiteRule> rules;
+};
+
+/// Parses and validates plan JSON. \p origin names the source (file path)
+/// in error messages. Throws PlanError.
+[[nodiscard]] FaultPlan parse_plan(const std::string& text, const std::string& origin);
+
+/// Reads and parses a plan file. Throws PlanError on I/O or parse failure.
+[[nodiscard]] FaultPlan load_plan(const std::filesystem::path& path);
+
+/// Builds the injector a plan describes (seed + every rule registered).
+[[nodiscard]] Injector make_injector(const FaultPlan& plan);
+
+}  // namespace mobsrv::fault

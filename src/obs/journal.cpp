@@ -26,6 +26,12 @@ const char* event_name(EventType type) noexcept {
       return "throttle";
     case EventType::kCompact:
       return "compact";
+    case EventType::kRetry:
+      return "retry";
+    case EventType::kDegraded:
+      return "degraded";
+    case EventType::kTimeout:
+      return "timeout";
   }
   return "open";
 }

@@ -37,6 +37,10 @@ enum class EventType {
   kDrain,       ///< graceful drain (eof / shutdown / signal)
   kThrottle,    ///< tenant entered a rate-limit throttle episode
   kCompact,     ///< snapshot segment chain compacted into a fresh base
+  kRetry,       ///< persistence write failed; service is backing off to retry
+  kDegraded,    ///< degraded-mode transition (entered after exhausted retries,
+                ///< or recovered on the next successful write)
+  kTimeout,     ///< tenant closed by the --idle-timeout deadline
 };
 
 [[nodiscard]] const char* event_name(EventType type) noexcept;

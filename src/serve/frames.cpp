@@ -422,7 +422,8 @@ Json tenant_rows(const std::vector<core::SessionStats>& stats,
 }  // namespace
 
 std::string stats_frame(const std::vector<core::SessionStats>& stats,
-                        const core::MuxTotals& totals, const std::vector<TenantObsRow>* rows) {
+                        const core::MuxTotals& totals, const std::vector<TenantObsRow>* rows,
+                        bool degraded) {
   Json doc = Json::object();
   doc.set("type", "stats");
   doc.set("tenants", tenant_rows(stats, rows));
@@ -439,6 +440,7 @@ std::string stats_frame(const std::vector<core::SessionStats>& stats,
     doc.set("queue_depth", totals.queue_depth);
     doc.set("step_latency_ns", obs::summary_to_json(totals.step_latency));
     doc.set("steps_per_session", obs::summary_to_json(totals.steps_per_session));
+    doc.set("degraded", degraded);
   }
   return doc.dump();
 }

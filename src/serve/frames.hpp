@@ -162,9 +162,13 @@ struct TenantObsRow {
 /// active_sessions / throttled / queue_depth / step_latency_ns /
 /// steps_per_session — all appended after the v1 members, so old consumers
 /// keep working byte-for-byte.
+/// \p degraded mirrors the serve.degraded gauge into the enriched
+/// aggregate (rows != nullptr); the v1 (rows == nullptr) frame is
+/// unchanged.
 [[nodiscard]] std::string stats_frame(const std::vector<core::SessionStats>& stats,
                                       const core::MuxTotals& totals,
-                                      const std::vector<TenantObsRow>* rows = nullptr);
+                                      const std::vector<TenantObsRow>* rows = nullptr,
+                                      bool degraded = false);
 
 /// Full registry dump: {"type":"metrics","v":1,"metrics":[...],
 /// "tenants":[...]} — every registered metric's current value plus the

@@ -1,11 +1,14 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <istream>
 #include <ostream>
+#include <thread>
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "fault/injector.hpp"
 #include "trace/checkpoint.hpp"
 
 namespace mobsrv::serve {
@@ -17,6 +20,17 @@ Service::Service(ServiceOptions options)
       telemetry_(options_.lean) {
   // --lean runs the hot loop clock-free; the counters stay live either way.
   mux_.set_timing_enabled(!options_.lean);
+  // A writer killed mid-save leaves a stale ".tmp" beside its target. It is
+  // never read (write_bytes_atomic truncates it on the next save), but
+  // sweep it so a crashed run leaves nothing an operator could mistake for
+  // a real save.
+  for (const std::filesystem::path& target : {options_.snapshot_path, options_.metrics_path}) {
+    if (target.empty()) continue;
+    std::filesystem::path tmp = target;
+    tmp += ".tmp";
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+  }
 }
 
 void Service::restore(const std::filesystem::path& path) {
@@ -63,6 +77,17 @@ ExitReason Service::run(std::istream& in, std::ostream& out) {
     }
     ++lines_;
     if (line.empty()) continue;
+    if (options_.faults != nullptr) {
+      try {
+        options_.faults->hit(fault::kSiteServeRead);
+      } catch (const std::exception& error) {
+        // A `fail` here models a flaky transport read. The line was already
+        // read whole, so the honest recovery is to report and keep it —
+        // dropping it would deadlock a client waiting on its reply (crash
+        // and delay outcomes keep their full effect).
+        out << error_frame(lines_, error.what(), "", false) << '\n';
+      }
+    }
     telemetry_.frames.inc();
     handle_line(line, out);
     if (killed_) return ExitReason::kKill;
@@ -119,6 +144,7 @@ void Service::handle_open(TenantSpec spec, std::ostream& out) {
   if (spec.rate == 0.0 && options_.default_rate > 0.0) spec.rate = options_.default_rate;
   try {
     Tenant& tenant = table_.admit(std::move(spec), mux_);
+    tenant.last_activity = lines_;
     telemetry_.tenant_row(tenant.slot, name);
     telemetry_.tenants_opened.inc();
     telemetry_.tenants_open.add(1);
@@ -154,6 +180,7 @@ void Service::handle_req(const ClientFrame& frame, std::ostream& out) {
   // the queue depth needs no mux stats snapshot (which would allocate
   // position vectors on the req hot path).
   const std::size_t queued = tenant->workload->horizon() - tenant->emitted;
+  tenant->last_activity = lines_;  // even a bounced req is a sign of life
   TenantTelemetry& row = telemetry_.tenant_row(tenant->slot, frame.tenant);
   if (queued >= options_.max_inflight) {
     // Bounded in-flight queue: the frame is NOT accepted (the client must
@@ -207,7 +234,7 @@ void Service::handle_close(const std::string& name, std::ostream& out) {
 void Service::handle_stats(const std::string& name, std::ostream& out) {
   if (name.empty()) {
     const std::vector<TenantObsRow> rows = telemetry_.rows(mux_.size());
-    out << stats_frame(mux_.snapshot(), mux_.totals(), &rows) << '\n';
+    out << stats_frame(mux_.snapshot(), mux_.totals(), &rows, degraded_) << '\n';
     return;
   }
   Tenant* tenant = table_.find(name);
@@ -215,9 +242,10 @@ void Service::handle_stats(const std::string& name, std::ostream& out) {
     out << error_frame(lines_, "unknown tenant \"" + name + "\"", name, false) << '\n';
     return;
   }
+  tenant->last_activity = lines_;  // a polling client counts as alive
   const TenantTelemetry* row = telemetry_.row(tenant->slot);
   const std::vector<TenantObsRow> rows = {row != nullptr ? row->row() : TenantObsRow{}};
-  out << stats_frame({mux_.stats(tenant->slot)}, mux_.totals(), &rows) << '\n';
+  out << stats_frame({mux_.stats(tenant->slot)}, mux_.totals(), &rows, degraded_) << '\n';
 }
 
 void Service::handle_metrics(std::ostream& out) {
@@ -276,6 +304,16 @@ void Service::pump(std::ostream& out) {
     while (!pending_slots_.empty()) {
       // One step per round keeps the per-step cost deltas exact: each live
       // session advances by at most one step between ledger snapshots.
+      if (options_.faults != nullptr) {
+        try {
+          options_.faults->hit(fault::kSiteTenantStep);
+        } catch (const std::exception& error) {
+          // Observational only (see serve.read): a thrown `fail` on an
+          // unconditional rule must not stall the round forever, so the
+          // step still runs. Real per-session failures arrive via `errors`.
+          out << error_frame(lines_, error.what(), "", false) << '\n';
+        }
+      }
       errors.clear();
       mux_.step_capturing(1, errors);
 
@@ -294,6 +332,7 @@ void Service::pump(std::ostream& out) {
           tenant->emitted = stats.steps;
           tenant->emitted_move = stats.move_cost;
           tenant->emitted_service = stats.service_cost;
+          tenant->last_activity = lines_;  // progress counts as life
           ++steps_since_snapshot_;
           ++steps_since_metrics_;
           telemetry_.outcomes.inc();
@@ -336,8 +375,39 @@ void Service::pump(std::ostream& out) {
       }
     }
   }
+  reap_idle(out);
   maybe_snapshot(out, /*force=*/false);
   write_metrics(out, /*force=*/false);
+}
+
+void Service::reap_idle(std::ostream& out) {
+  if (options_.idle_timeout == 0) return;
+  // Collect first: closing mutates the table under iteration otherwise.
+  std::vector<std::string> expired;
+  for (const auto& tenant : table_.entries()) {
+    if (lines_ - tenant->last_activity < options_.idle_timeout) continue;
+    // A tenant with queued (possibly throttled) work is waiting on the
+    // service, not idle — pausing a rate-limited workload is legitimate.
+    if (tenant->workload->horizon() > tenant->emitted) continue;
+    expired.push_back(tenant->spec.tenant);
+  }
+  for (const std::string& name : expired) {
+    Tenant* tenant = table_.find(name);
+    if (tenant == nullptr) continue;
+    const std::size_t slot = tenant->slot;
+    const std::string message = "idle timeout: no frames from \"" + name + "\" for " +
+                                std::to_string(options_.idle_timeout) + "+ input lines";
+    mux_.close(slot);
+    telemetry_.idle_timeouts.inc();
+    telemetry_.errors.inc();
+    ++telemetry_.tenant_row(slot, name).errors;
+    telemetry_.tenants_closed.inc();
+    telemetry_.tenants_open.add(-1);
+    telemetry_.journal().record(obs::EventType::kTimeout, name, message);
+    out << error_frame(lines_, message, name, true) << '\n';
+    out << closed_frame(mux_.stats(slot)) << '\n';
+    table_.erase(name);
+  }
 }
 
 void Service::maybe_snapshot(std::ostream& out, bool force) {
@@ -345,51 +415,64 @@ void Service::maybe_snapshot(std::ostream& out, bool force) {
   if (!force &&
       (options_.checkpoint_every == 0 || steps_since_snapshot_ < options_.checkpoint_every))
     return;
-  try {
-    // A fresh base when this process has not written one yet (slot ids are
-    // process-local, so appending to a previous process's chain would lie)
-    // or when the delta chain has outgrown the compaction threshold.
-    const bool compacting =
-        have_base_ && delta_bytes_ >= options_.compact_ratio * static_cast<double>(base_bytes_);
-    const bool base = !have_base_ || compacting;
-    std::uint64_t bytes = 0;
-    if (base) {
-      if (compacting)
-        telemetry_.journal().record(
-            obs::EventType::kCompact, {},
-            std::to_string(segments_) + " segments, " + std::to_string(delta_bytes_) +
-                " delta bytes >= " + std::to_string(options_.compact_ratio) + "x base " +
-                std::to_string(base_bytes_));
-      bytes = write_snapshot_base(options_.snapshot_path, collect_base_segment());
-      base_bytes_ = bytes;
-      delta_bytes_ = 0;
-      segments_ = 1;
-      have_base_ = true;
-    } else {
-      bytes = append_snapshot_delta(options_.snapshot_path, collect_delta_segment());
-      delta_bytes_ += bytes;
-      ++segments_;
+  SnapshotWriteOptions write_options;
+  write_options.durable = options_.durable;
+  write_options.faults = options_.faults;
+  std::string last_error;
+  for (std::size_t attempt = 0; attempt <= options_.retry_limit; ++attempt) {
+    if (attempt != 0) retry_backoff("snapshot save", attempt, last_error);
+    try {
+      // A fresh base when this process has not written one yet (slot ids
+      // are process-local, so appending to a previous process's chain would
+      // lie) or when the delta chain has outgrown the compaction threshold.
+      // Recomputed per attempt: a failed try clears have_base_ below, so
+      // retries always rewrite a fresh base atomically.
+      const bool compacting =
+          have_base_ && delta_bytes_ >= options_.compact_ratio * static_cast<double>(base_bytes_);
+      const bool base = !have_base_ || compacting;
+      std::uint64_t bytes = 0;
+      if (base) {
+        if (compacting)
+          telemetry_.journal().record(
+              obs::EventType::kCompact, {},
+              std::to_string(segments_) + " segments, " + std::to_string(delta_bytes_) +
+                  " delta bytes >= " + std::to_string(options_.compact_ratio) + "x base " +
+                  std::to_string(base_bytes_));
+        bytes = write_snapshot_base(options_.snapshot_path, collect_base_segment(),
+                                    write_options);
+        base_bytes_ = bytes;
+        delta_bytes_ = 0;
+        segments_ = 1;
+        have_base_ = true;
+      } else {
+        bytes = append_snapshot_delta(options_.snapshot_path, collect_delta_segment(),
+                                      write_options);
+        delta_bytes_ += bytes;
+        ++segments_;
+      }
+      mux_.mark_saved();
+      saved_slots_.clear();
+      for (const auto& tenant : table_.entries()) saved_slots_.insert(tenant->slot);
+      steps_since_snapshot_ = 0;
+      telemetry_.snapshots.inc();
+      telemetry_.checkpoint_bytes.inc(bytes);
+      telemetry_.journal().record(obs::EventType::kCheckpoint, {},
+                                  options_.snapshot_path.string());
+      clear_degraded();
+      out << checkpointed_frame(options_.snapshot_path.string(), table_.size(),
+                                mux_.totals().steps, base ? "base" : "delta", bytes, segments_)
+          << '\n';
+      return;
+    } catch (const std::exception& error) {
+      // A failed save is loud but not fatal: the service keeps running on
+      // the previous good snapshot. A failed APPEND may have left a torn
+      // tail (the reader drops it), but appending after one would corrupt
+      // the chain — every retry rewrites a fresh base atomically.
+      have_base_ = false;
+      last_error = error.what();
     }
-    mux_.mark_saved();
-    saved_slots_.clear();
-    for (const auto& tenant : table_.entries()) saved_slots_.insert(tenant->slot);
-    steps_since_snapshot_ = 0;
-    telemetry_.snapshots.inc();
-    telemetry_.checkpoint_bytes.inc(bytes);
-    telemetry_.journal().record(obs::EventType::kCheckpoint, {},
-                                options_.snapshot_path.string());
-    out << checkpointed_frame(options_.snapshot_path.string(), table_.size(),
-                              mux_.totals().steps, base ? "base" : "delta", bytes, segments_)
-        << '\n';
-  } catch (const std::exception& error) {
-    // A failed save is loud but not fatal: the service keeps running on the
-    // previous good snapshot. A failed APPEND may have left a torn tail
-    // (the reader drops it), but appending after one would corrupt the
-    // chain — force the next save to rewrite a fresh base atomically.
-    have_base_ = false;
-    out << error_frame(0, std::string("snapshot save failed: ") + error.what(), "", false)
-        << '\n';
   }
+  enter_degraded("snapshot save", last_error, out);
 }
 
 SnapshotSegment Service::collect_base_segment() const {
@@ -444,16 +527,59 @@ void Service::write_metrics(std::ostream& out, bool force) {
   if (!force &&
       (options_.metrics_every == 0 || steps_since_metrics_ < options_.metrics_every))
     return;
-  try {
-    trace::write_bytes_atomic(options_.metrics_path,
-                              telemetry_.snapshot_ndjson(mux_, mux_.snapshot()));
-    steps_since_metrics_ = 0;
-  } catch (const std::exception& error) {
-    // Same discipline as snapshot saves: loud but never fatal, and the
-    // previous good file survives (write_bytes_atomic never clobbers it).
-    out << error_frame(0, std::string("metrics snapshot failed: ") + error.what(), "", false)
-        << '\n';
+  trace::AtomicWriteOptions write_options;
+  write_options.durable = options_.durable;
+  write_options.faults = options_.faults;
+  write_options.write_site = fault::kSiteMetricsWrite;
+  std::string last_error;
+  for (std::size_t attempt = 0; attempt <= options_.retry_limit; ++attempt) {
+    if (attempt != 0) retry_backoff("metrics snapshot", attempt, last_error);
+    try {
+      trace::write_bytes_atomic(options_.metrics_path,
+                                telemetry_.snapshot_ndjson(mux_, mux_.snapshot()), write_options);
+      steps_since_metrics_ = 0;
+      clear_degraded();
+      return;
+    } catch (const std::exception& error) {
+      // Same discipline as snapshot saves: loud but never fatal, and the
+      // previous good file survives (write_bytes_atomic never clobbers it).
+      last_error = error.what();
+    }
   }
+  telemetry_.journal().record(obs::EventType::kError, {},
+                              "metrics snapshot failed: " + last_error);
+  enter_degraded("metrics snapshot", last_error, out);
+}
+
+void Service::retry_backoff(const char* what, std::size_t attempt, const std::string& error) {
+  telemetry_.retries.inc();
+  telemetry_.journal().record(obs::EventType::kRetry, {},
+                              std::string(what) + " retry " + std::to_string(attempt) + "/" +
+                                  std::to_string(options_.retry_limit) + ": " + error);
+  // Exponential backoff with seeded jitter: base << (attempt-1), scaled by
+  // [0.5, 1.5) so a fleet of services never retries in lockstep.
+  const double jitter = 0.5 + retry_rng_.uniform();
+  const double ms =
+      static_cast<double>(options_.retry_base_ms << (attempt - 1)) * jitter;
+  if (ms > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+void Service::enter_degraded(const char* what, const std::string& error, std::ostream& out) {
+  out << error_frame(0, std::string(what) + " failed: " + error, "", false) << '\n';
+  if (degraded_) return;  // one episode, not one per failed save
+  degraded_ = true;
+  telemetry_.degraded.set(1);
+  telemetry_.degraded_total.inc();
+  telemetry_.journal().record(obs::EventType::kDegraded, {},
+                              std::string("enter: ") + what + " failed: " + error);
+}
+
+void Service::clear_degraded() {
+  if (!degraded_) return;
+  degraded_ = false;
+  telemetry_.degraded.set(0);
+  telemetry_.journal().record(obs::EventType::kDegraded, {}, "recovered");
 }
 
 }  // namespace mobsrv::serve

@@ -43,6 +43,7 @@
 #include "serve/snapshot.hpp"
 #include "serve/telemetry.hpp"
 #include "serve/tenant_table.hpp"
+#include "stats/rng.hpp"
 
 namespace mobsrv::serve {
 
@@ -75,6 +76,22 @@ struct ServiceOptions {
   /// Compact the MSRVSS2 segment chain (rewrite a fresh base) once the
   /// summed delta bytes exceed this multiple of the base segment's size.
   double compact_ratio = 4.0;
+  /// Close a tenant after this many input lines with no sign of life from
+  /// it (no req/stats frame, no outcome emitted) — attributed `timeout`
+  /// error frame + closed frame. Tenants with queued or throttled work are
+  /// exempt (they are waiting on the service, not idle). 0 disables.
+  std::size_t idle_timeout = 0;
+  /// fsync persistence writes (snapshot base/delta, metrics file) so saves
+  /// survive power loss, not just process crashes. --no-durable opts out.
+  bool durable = true;
+  /// Fault-injection hook (--fault-plan); null = disabled, zero cost.
+  fault::Injector* faults = nullptr;
+  /// Extra attempts after a failed persistence write before the service
+  /// gives up and enters degraded mode.
+  std::size_t retry_limit = 3;
+  /// Backoff before retry N is retry_base_ms << (N-1) milliseconds, scaled
+  /// by a seeded jitter in [0.5, 1.5).
+  std::uint64_t retry_base_ms = 1;
   /// External stop flag (the SIGTERM handler sets it); checked between
   /// frames. May be null.
   const std::atomic<bool>* stop = nullptr;
@@ -142,9 +159,25 @@ class Service {
   [[nodiscard]] SnapshotSegment collect_delta_segment() const;
 
   /// Writes the --metrics-out NDJSON snapshot if due (cadence) or \p
-  /// force. Atomic (tmp + rename); failures are loud error frames, never
-  /// fatal.
+  /// force. Atomic (tmp + rename); failures retry with backoff, then go
+  /// degraded — loud error frames + journal, never fatal.
   void write_metrics(std::ostream& out, bool force);
+
+  /// Closes tenants past the --idle-timeout deadline (see
+  /// ServiceOptions::idle_timeout). Runs at the pump's quiescent point.
+  void reap_idle(std::ostream& out);
+
+  /// Books retry \p attempt of \p what: retries counter, kRetry journal
+  /// event, then sleeps retry_base_ms << (attempt-1) ms x jitter.
+  void retry_backoff(const char* what, std::size_t attempt, const std::string& error);
+
+  /// Emits the failure's error frame and (first failure only) flips the
+  /// service into degraded mode: serve.degraded gauge 1, degraded_total
+  /// counter, kDegraded journal entry. Stepping continues throughout.
+  void enter_degraded(const char* what, const std::string& error, std::ostream& out);
+  /// Re-arms after a successful persistence write: gauge back to 0 plus a
+  /// kDegraded "recovered" journal entry.
+  void clear_degraded();
 
   /// Books a tenant's error-close in the telemetry (error counters,
   /// journal, open-tenant gauge).
@@ -162,6 +195,12 @@ class Service {
   std::size_t steps_since_metrics_ = 0;
   bool shutdown_ = false;
   bool killed_ = false;
+  /// True while persistence is failing (exhausted retries); cleared by the
+  /// next successful write. The service keeps stepping either way.
+  bool degraded_ = false;
+  /// Seeded jitter for the retry backoff (observational only: it shapes
+  /// sleep times, never results).
+  stats::Rng retry_rng_{0x6d6f62737276'10ULL};
   /// Mux slots with consumed-but-unemitted or queued steps — the pump's
   /// work list (deduped by Tenant::pending). Slot ids are never reused, so
   /// a stale entry for an error-closed tenant is simply skipped.

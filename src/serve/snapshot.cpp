@@ -7,6 +7,8 @@
 #include <map>
 #include <utility>
 
+#include "fault/injector.hpp"
+
 static_assert(std::endian::native == std::endian::little,
               "the snapshot codec assumes a little-endian host");
 
@@ -367,19 +369,27 @@ void write_snapshot(const std::filesystem::path& path, const ServiceSnapshot& sn
 }
 
 std::uint64_t write_snapshot_base(const std::filesystem::path& path,
-                                  const SnapshotSegment& base) {
+                                  const SnapshotSegment& base,
+                                  const SnapshotWriteOptions& options) {
   const std::string segment = encode_segment(base, /*base=*/true);
   std::string out;
   out.reserve(kHeaderSize + segment.size());
   out.append(kMagicV2, sizeof(kMagicV2));
   put_u32(out, kSnapshotVersionV2);
   out += segment;
-  trace::write_bytes_atomic(path, out);
+  trace::AtomicWriteOptions aw;
+  aw.durable = options.durable;
+  aw.faults = options.faults;
+  aw.write_site = fault::kSiteSnapshotBaseWrite;
+  aw.fsync_site = fault::kSiteSnapshotFsync;
+  aw.rename_site = fault::kSiteSnapshotRename;
+  trace::write_bytes_atomic(path, out, aw);
   return segment.size();
 }
 
 std::uint64_t append_snapshot_delta(const std::filesystem::path& path,
-                                    const SnapshotSegment& delta) {
+                                    const SnapshotSegment& delta,
+                                    const SnapshotWriteOptions& options) {
   {
     std::ifstream in(path, std::ios::binary);
     if (!in) throw TraceError(path.string() + ": cannot append a delta (no base written?)");
@@ -389,18 +399,29 @@ std::uint64_t append_snapshot_delta(const std::filesystem::path& path,
       fail(path.string(), "cannot append a delta: not an MSRVSS2 snapshot chain");
   }
   const std::string segment = encode_segment(delta, /*base=*/false);
+  if (options.faults != nullptr) options.faults->hit(fault::kSiteSnapshotDeltaAppend);
   std::ofstream out(path, std::ios::binary | std::ios::app);
   if (!out) throw TraceError(path.string() + ": cannot open for append");
   out.write(segment.data(), static_cast<std::streamsize>(segment.size()));
   out.flush();
   if (!out) throw TraceError(path.string() + ": delta append failed");
+  out.close();
+  if (options.durable) {
+    // A torn append is fine (the reader drops it); an append the OS never
+    // wrote back is not — after this fsync the delta survives power loss.
+    if (options.faults != nullptr) options.faults->hit(fault::kSiteSnapshotFsync);
+    trace::fsync_path(path);
+  }
   return segment.size();
 }
 
 ServiceSnapshot read_snapshot(const std::filesystem::path& path) {
-  const std::string bytes = read_file(path);
-  if (has_magic(bytes, kMagicV2)) return merge_chain(bytes, path.string());
-  return decode_snapshot(bytes, path.string());
+  return read_snapshot_bytes(read_file(path), path.string());
+}
+
+ServiceSnapshot read_snapshot_bytes(const std::string& bytes, const std::string& origin) {
+  if (has_magic(bytes, kMagicV2)) return merge_chain(bytes, origin);
+  return decode_snapshot(bytes, origin);
 }
 
 SnapshotFileInfo inspect_snapshot(const std::filesystem::path& path) {

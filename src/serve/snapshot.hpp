@@ -87,6 +87,13 @@ struct SnapshotFileInfo {
 [[nodiscard]] ServiceSnapshot decode_snapshot(const std::string& bytes,
                                               const std::string& origin);
 
+/// Durability and fault-injection knobs shared by the snapshot writers.
+/// Defaults match production: crash- and power-loss-durable, no faults.
+struct SnapshotWriteOptions {
+  bool durable = true;              ///< fsync file (and dir on base renames)
+  fault::Injector* faults = nullptr;  ///< null = disabled, zero cost
+};
+
 /// Atomically serialises \p snapshot to \p path in the monolithic v1
 /// format (temp file + rename: periodic-save crashes never corrupt).
 /// Throws TraceError on I/O failure.
@@ -95,20 +102,30 @@ void write_snapshot(const std::filesystem::path& path, const ServiceSnapshot& sn
 /// Starts a fresh MSRVSS2 chain at \p path: header + one base segment,
 /// written atomically (an existing file — either format — is replaced).
 /// Returns the encoded segment size in bytes (the checkpoint-bytes meter).
+/// Fault sites: snapshot.base_write, snapshot.fsync, snapshot.rename.
 std::uint64_t write_snapshot_base(const std::filesystem::path& path,
-                                  const SnapshotSegment& base);
+                                  const SnapshotSegment& base,
+                                  const SnapshotWriteOptions& options = {});
 
-/// Appends one delta segment to an existing MSRVSS2 chain and flushes.
-/// Returns the encoded segment size in bytes. Throws TraceError if the
-/// file is missing or is not an MSRVSS2 file.
+/// Appends one delta segment to an existing MSRVSS2 chain, flushes, and
+/// (options.durable) fsyncs the file. Returns the encoded segment size in
+/// bytes. Throws TraceError if the file is missing or is not an MSRVSS2
+/// file. Fault sites: snapshot.delta_append, snapshot.fsync.
 std::uint64_t append_snapshot_delta(const std::filesystem::path& path,
-                                    const SnapshotSegment& delta);
+                                    const SnapshotSegment& delta,
+                                    const SnapshotWriteOptions& options = {});
 
 /// Reads a snapshot file of either format and returns the merged state.
 /// For MSRVSS2 the segment chain is replayed in order (base resets, deltas
 /// open/close/upsert); a torn trailing segment is dropped. Throws
 /// TraceError on missing/corrupt input or an inconsistent chain.
 [[nodiscard]] ServiceSnapshot read_snapshot(const std::filesystem::path& path);
+
+/// read_snapshot on in-memory bytes (\p origin names the source in
+/// errors). The chaos fuzzer's workhorse: mutated chains go through the
+/// exact production decode path without touching disk.
+[[nodiscard]] ServiceSnapshot read_snapshot_bytes(const std::string& bytes,
+                                                  const std::string& origin);
 
 /// Segment-chain shape of a snapshot file (either format), torn trailing
 /// segment excluded. Throws TraceError on missing/unreadable files.

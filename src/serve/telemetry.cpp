@@ -118,9 +118,17 @@ ServeTelemetry::ServeTelemetry(bool lean)
                                          "encoded snapshot segment bytes written")),
       throttles(registry_.counter("serve.throttles_total", "episodes",
                                   "rate-limit throttle episodes entered by tenants")),
+      retries(registry_.counter("serve.retries_total", "attempts",
+                                "persistence write retries (snapshot + metrics)")),
+      degraded_total(registry_.counter("serve.degraded_total", "episodes",
+                                       "degraded-mode episodes entered after exhausted retries")),
+      idle_timeouts(registry_.counter("serve.idle_timeouts_total", "tenants",
+                                      "tenants closed by the --idle-timeout deadline")),
       tenants_open(registry_.gauge("serve.tenants_open", "tenants", "tenants open right now")),
       inflight_hwm(registry_.gauge("serve.inflight_hwm", "steps",
                                    "highest in-flight queue depth any tenant reached")),
+      degraded(registry_.gauge("serve.degraded", "bool",
+                               "1 while persistence is degraded (saves failing), else 0")),
       ingest_latency(registry_.histogram("serve.ingest_latency_ns", "ns",
                                          "req accepted -> outcome emitted wall time")) {}
 

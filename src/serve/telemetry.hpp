@@ -94,8 +94,12 @@ class ServeTelemetry {
   obs::Counter& snapshots;        ///< serve.snapshots_total
   obs::Counter& checkpoint_bytes; ///< serve.checkpoint_bytes_total
   obs::Counter& throttles;        ///< serve.throttles_total
+  obs::Counter& retries;          ///< serve.retries_total
+  obs::Counter& degraded_total;   ///< serve.degraded_total
+  obs::Counter& idle_timeouts;    ///< serve.idle_timeouts_total
   obs::Gauge& tenants_open;       ///< serve.tenants_open
   obs::Gauge& inflight_hwm;       ///< serve.inflight_hwm
+  obs::Gauge& degraded;           ///< serve.degraded
   obs::Histogram& ingest_latency; ///< serve.ingest_latency_ns
 
   [[nodiscard]] obs::Journal& journal() noexcept { return journal_; }

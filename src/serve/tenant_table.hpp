@@ -46,6 +46,10 @@ struct Tenant {
   bool throttling = false;
   /// Mux throttled-round count already attributed to journal episodes.
   std::size_t throttled_seen = 0;
+  /// Service line counter (Service::lines_) at this tenant's last sign of
+  /// life: admission, an accepted/bounced req, a named stats query, or an
+  /// emitted outcome. Drives the --idle-timeout reaper.
+  std::uint64_t last_activity = 0;
 };
 
 /// Name → live session bindings, in slot order. Closed tenants leave the

@@ -4,6 +4,13 @@
 #include <cstring>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "fault/injector.hpp"
+
 static_assert(std::endian::native == std::endian::little,
               "the checkpoint codec assumes a little-endian host");
 
@@ -291,20 +298,37 @@ std::vector<core::SessionCheckpointRecord> decode_checkpoint(const std::string& 
   return records;
 }
 
-void write_checkpoint(const std::filesystem::path& path,
-                      const std::vector<core::SessionCheckpointRecord>& records) {
-  const std::string bytes = encode_checkpoint(records);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw TraceError(path.string() + ": cannot open for writing");
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) throw TraceError(path.string() + ": write failed");
+void fsync_path(const std::filesystem::path& path, bool directory) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    // Some filesystems refuse to open directories for fsync; the file-level
+    // sync already happened, so a directory open failure is best-effort.
+    if (directory) return;
+    throw TraceError(path.string() + ": cannot open for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory) throw TraceError(path.string() + ": fsync failed");
+#else
+  (void)path;
+  (void)directory;
+#endif
 }
 
-void write_bytes_atomic(const std::filesystem::path& path, const std::string& bytes) {
+void write_checkpoint(const std::filesystem::path& path,
+                      const std::vector<core::SessionCheckpointRecord>& records) {
+  write_bytes_atomic(path, encode_checkpoint(records));
+}
+
+void write_bytes_atomic(const std::filesystem::path& path, const std::string& bytes,
+                        const AtomicWriteOptions& options) {
   std::filesystem::path tmp = path;
   tmp += ".tmp";
   {
+    if (options.faults != nullptr && options.write_site != nullptr)
+      options.faults->hit(options.write_site);
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) throw TraceError(tmp.string() + ": cannot open for writing");
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -315,12 +339,42 @@ void write_bytes_atomic(const std::filesystem::path& path, const std::string& by
       throw TraceError(tmp.string() + ": write failed");
     }
   }
+  if (options.durable) {
+    try {
+      if (options.faults != nullptr && options.fsync_site != nullptr)
+        options.faults->hit(options.fsync_site);
+      fsync_path(tmp, /*directory=*/false);
+    } catch (...) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw;
+    }
+  }
+  if (options.faults != nullptr && options.rename_site != nullptr) {
+    try {
+      options.faults->hit(options.rename_site);
+    } catch (...) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw;
+    }
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::error_code ignored;
     std::filesystem::remove(tmp, ignored);
     throw TraceError(path.string() + ": atomic rename failed: " + ec.message());
+  }
+  // The rename is only on disk once the directory entry is — fsync the
+  // parent, or a power cut can roll the whole save back.
+  if (options.durable) {
+    if (options.faults != nullptr && options.fsync_site != nullptr)
+      options.faults->hit(options.fsync_site);
+    const std::filesystem::path parent = path.has_parent_path()
+                                             ? path.parent_path()
+                                             : std::filesystem::path(".");
+    fsync_path(parent, /*directory=*/true);
   }
 }
 

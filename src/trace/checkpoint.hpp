@@ -25,6 +25,10 @@
 #include "core/session_multiplexer.hpp"
 #include "trace/codec.hpp"
 
+namespace mobsrv::fault {
+class Injector;
+}  // namespace mobsrv::fault
+
 namespace mobsrv::trace {
 
 /// Checkpoint format version written by this build; readers accept only
@@ -39,20 +43,51 @@ inline constexpr std::uint32_t kCheckpointVersion = 1;
 [[nodiscard]] std::vector<core::SessionCheckpointRecord> decode_checkpoint(
     const std::string& bytes, const std::string& origin);
 
-/// Serialises \p records to \p path. Throws TraceError on I/O failure.
+/// Serialises \p records to \p path. Atomic (temp file + rename) since
+/// PR 10: the historical plain-ofstream path could leave a half-written
+/// checkpoint behind a crash, so no caller is allowed to produce one any
+/// more. Throws TraceError on I/O failure.
 void write_checkpoint(const std::filesystem::path& path,
                       const std::vector<core::SessionCheckpointRecord>& records);
 
-/// The periodic-save entry point: writes \p bytes to a sibling temp file
-/// and renames it over \p path, so a crash mid-save never clobbers the
-/// previous good checkpoint — the file at \p path is always either the old
-/// complete save or the new complete save. Throws TraceError on I/O
-/// failure (the temp file is removed). Shared by every periodic saver
-/// (mobsrv_serve snapshots ride on it with their own framing).
-void write_bytes_atomic(const std::filesystem::path& path, const std::string& bytes);
+/// Durability and fault-injection knobs for write_bytes_atomic. The
+/// defaults are what every production caller wants: crash-durable, no
+/// faults. The site names let a fault plan target the distinct failure
+/// points of the atomic-write protocol (payload write, fsync, rename)
+/// independently; a null site is simply never hit.
+struct AtomicWriteOptions {
+  /// fsync the temp file before the rename and the parent directory after
+  /// it, so the rename itself survives power loss — without both syncs the
+  /// "atomic" save is only atomic against process crashes, not power cuts.
+  bool durable = true;
+  /// Fault hook (null = disabled, zero cost — the step_latency discipline).
+  fault::Injector* faults = nullptr;
+  const char* write_site = nullptr;   ///< hit before the payload write
+  const char* fsync_site = nullptr;   ///< hit before each fsync
+  const char* rename_site = nullptr;  ///< hit before the rename
+};
 
-/// write_checkpoint through write_bytes_atomic: what a long-running service
-/// calls on its checkpoint cadence.
+/// fsyncs a file (or, with \p directory, its directory entry's container)
+/// by path. POSIX-only; on other platforms this is a no-op and durability
+/// degrades to the stream flush the caller already did. Throws TraceError
+/// when a FILE sync fails; directory syncs are best-effort (some
+/// filesystems refuse to open directories for fsync).
+void fsync_path(const std::filesystem::path& path, bool directory = false);
+
+/// The periodic-save entry point: writes \p bytes to a sibling temp file
+/// (path + ".tmp"), fsyncs it (options.durable), renames it over \p path,
+/// and fsyncs the parent directory — so the file at \p path is always
+/// either the old complete save or the new complete save, even across
+/// power loss. Throws TraceError on I/O failure (the temp file is
+/// removed). Shared by every periodic saver (mobsrv_serve snapshots ride
+/// on it with their own framing). Stale ".tmp" files left by a crashed
+/// writer are harmless: the next save truncates them, and they are never
+/// read.
+void write_bytes_atomic(const std::filesystem::path& path, const std::string& bytes,
+                        const AtomicWriteOptions& options = {});
+
+/// Synonym for write_checkpoint, kept for the callers that spelled the
+/// atomicity out; both run the same temp-file + rename path.
 void write_checkpoint_atomic(const std::filesystem::path& path,
                              const std::vector<core::SessionCheckpointRecord>& records);
 

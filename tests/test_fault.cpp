@@ -1,0 +1,236 @@
+/// \file test_fault.cpp
+/// The fault-injection subsystem: deterministic scheduling, plan parsing.
+///
+/// The injector is torture machinery, so its own guarantees are the ones
+/// everything downstream leans on: a disabled site costs nothing and does
+/// nothing, triggers fire exactly where the plan says, probabilistic rules
+/// replay bit-identically under one seed, and a malformed plan is rejected
+/// loudly with the offending rule named (a typo'd plan that silently tests
+/// nothing is the failure mode a torture harness cannot afford).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+
+namespace mobsrv::fault {
+namespace {
+
+TEST(FaultInjector, KnownSitesCoverTheWiredHooks) {
+  const std::vector<std::string>& sites = known_sites();
+  ASSERT_EQ(sites.size(), 7u);
+  for (const char* site : {kSiteSnapshotBaseWrite, kSiteSnapshotDeltaAppend, kSiteSnapshotRename,
+                           kSiteSnapshotFsync, kSiteMetricsWrite, kSiteServeRead, kSiteTenantStep})
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end()) << site;
+}
+
+TEST(FaultInjector, UnregisteredSiteIsANoOp) {
+  Injector injector(7);
+  EXPECT_TRUE(injector.empty());
+  for (int i = 0; i < 100; ++i) EXPECT_NO_THROW(injector.hit(kSiteServeRead));
+  EXPECT_EQ(injector.total_fired(), 0u);
+  EXPECT_EQ(injector.stats(kSiteServeRead).hits, 0u);  // never even counted
+}
+
+TEST(FaultInjector, NthFiresOnExactlyTheNthHit) {
+  Injector injector(0);
+  SiteRule rule;
+  rule.site = kSiteSnapshotRename;
+  rule.nth = 3;
+  injector.add_rule(rule);
+  EXPECT_NO_THROW(injector.hit(kSiteSnapshotRename));
+  EXPECT_NO_THROW(injector.hit(kSiteSnapshotRename));
+  EXPECT_THROW(injector.hit(kSiteSnapshotRename), FaultError);
+  for (int i = 0; i < 10; ++i) EXPECT_NO_THROW(injector.hit(kSiteSnapshotRename));
+  EXPECT_EQ(injector.stats(kSiteSnapshotRename).hits, 13u);
+  EXPECT_EQ(injector.stats(kSiteSnapshotRename).fired, 1u);
+}
+
+TEST(FaultInjector, EveryWithCountFiresThenSpends) {
+  // {every: 1, count: 3} — "fail the first 3 appends, then recover": the
+  // retry/degraded state-machine tests drive the service with exactly this.
+  Injector injector(0);
+  SiteRule rule;
+  rule.site = kSiteSnapshotDeltaAppend;
+  rule.every = 1;
+  rule.count = 3;
+  injector.add_rule(rule);
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(injector.hit(kSiteSnapshotDeltaAppend), FaultError);
+  for (int i = 0; i < 20; ++i) EXPECT_NO_THROW(injector.hit(kSiteSnapshotDeltaAppend));
+  EXPECT_EQ(injector.stats(kSiteSnapshotDeltaAppend).fired, 3u);
+  EXPECT_EQ(injector.total_fired(), 3u);
+}
+
+TEST(FaultInjector, EveryNFiresOnMultiples) {
+  Injector injector(0);
+  SiteRule rule;
+  rule.site = kSiteMetricsWrite;
+  rule.every = 4;
+  injector.add_rule(rule);
+  std::vector<std::size_t> fired_on;
+  for (std::size_t i = 1; i <= 12; ++i) {
+    try {
+      injector.hit(kSiteMetricsWrite);
+    } catch (const FaultError&) {
+      fired_on.push_back(i);
+    }
+  }
+  EXPECT_EQ(fired_on, (std::vector<std::size_t>{4, 8, 12}));
+}
+
+TEST(FaultInjector, ProbabilityIsSeededAndReplaysBitIdentically) {
+  auto pattern = [](std::uint64_t seed) {
+    Injector injector(seed);
+    SiteRule rule;
+    rule.site = kSiteServeRead;
+    rule.probability = 0.25;
+    injector.add_rule(rule);
+    std::string fired;
+    for (int i = 0; i < 256; ++i) {
+      try {
+        injector.hit(kSiteServeRead);
+        fired += '.';
+      } catch (const FaultError&) {
+        fired += 'X';
+      }
+    }
+    return fired;
+  };
+  const std::string a = pattern(42);
+  EXPECT_EQ(a, pattern(42));  // the whole point: a plan replays exactly
+  const auto fired = static_cast<std::size_t>(std::count(a.begin(), a.end(), 'X'));
+  EXPECT_GT(fired, 256u / 4 / 3);  // sane coin: within a loose band of p=0.25
+  EXPECT_LT(fired, 256u * 3 / 4);
+  EXPECT_NE(a, pattern(43));  // and the seed matters
+}
+
+TEST(FaultInjector, DelayOutcomeReturnsNormally) {
+  Injector injector(0);
+  SiteRule rule;
+  rule.site = kSiteTenantStep;
+  rule.every = 1;
+  rule.delay_us = 1;
+  rule.outcome = Outcome::kDelay;
+  injector.add_rule(rule);
+  for (int i = 0; i < 3; ++i) EXPECT_NO_THROW(injector.hit(kSiteTenantStep));
+  EXPECT_EQ(injector.stats(kSiteTenantStep).fired, 3u);
+}
+
+TEST(FaultInjector, RulesOnDifferentSitesAreIndependent) {
+  Injector injector(0);
+  SiteRule a;
+  a.site = kSiteSnapshotBaseWrite;
+  a.nth = 1;
+  injector.add_rule(a);
+  SiteRule b;
+  b.site = kSiteSnapshotFsync;
+  b.nth = 2;
+  injector.add_rule(b);
+  EXPECT_THROW(injector.hit(kSiteSnapshotBaseWrite), FaultError);
+  EXPECT_NO_THROW(injector.hit(kSiteSnapshotFsync));  // its own hit counter
+  EXPECT_THROW(injector.hit(kSiteSnapshotFsync), FaultError);
+}
+
+// ---------------------------------------------------------------------------
+// --fault-plan parsing
+
+TEST(FaultPlan, ParsesAFullPlan) {
+  const FaultPlan plan = parse_plan(
+      R"({"v": 1, "seed": 7, "faults": [
+           {"site": "snapshot.delta_append", "every": 1, "count": 3},
+           {"site": "snapshot.rename", "nth": 2, "outcome": "crash"},
+           {"site": "serve.read", "probability": 0.01, "delay_us": 250, "outcome": "delay"}]})",
+      "test");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].site, kSiteSnapshotDeltaAppend);
+  EXPECT_EQ(plan.rules[0].every, 1u);
+  EXPECT_EQ(plan.rules[0].count, 3u);
+  EXPECT_EQ(plan.rules[0].outcome, Outcome::kFail);
+  EXPECT_EQ(plan.rules[1].nth, 2u);
+  EXPECT_EQ(plan.rules[1].outcome, Outcome::kCrash);
+  EXPECT_DOUBLE_EQ(plan.rules[2].probability, 0.01);
+  EXPECT_EQ(plan.rules[2].delay_us, 250u);
+  EXPECT_EQ(plan.rules[2].outcome, Outcome::kDelay);
+
+  const Injector injector = make_injector(plan);
+  EXPECT_EQ(injector.seed(), 7u);
+  EXPECT_FALSE(injector.empty());
+}
+
+void expect_rejected(const std::string& text, const std::string& needle) {
+  try {
+    (void)parse_plan(text, "test");
+    FAIL() << "plan was accepted: " << text;
+  } catch (const PlanError& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "error \"" << error.what() << "\" does not mention \"" << needle << "\"";
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedPlans) {
+  expect_rejected("not json", "malformed JSON");
+  expect_rejected("[]", "must be a JSON object");
+  expect_rejected(R"({"v": 2, "faults": [{"site": "serve.read", "nth": 1}]})",
+                  "unsupported plan version 2");
+  expect_rejected(R"({"v": 1})", "missing required member \"faults\"");
+  expect_rejected(R"({"v": 1, "faults": []})", "at least one rule");
+  expect_rejected(R"({"v": 1, "faults": [{"nth": 1}]})", "missing required member \"site\"");
+  expect_rejected(
+      R"({"v": 1, "seed": 0, "extra": 1, "faults": [{"site": "serve.read", "nth": 1}]})",
+      "unknown member \"extra\"");
+}
+
+TEST(FaultPlan, RejectsUnknownSitesNamingTheKnownOnes) {
+  // The typo'd-site error must teach: it lists every registered site.
+  expect_rejected(R"({"v": 1, "faults": [{"site": "snapshot.rename_typo", "nth": 1}]})",
+                  "snapshot.rename");
+  expect_rejected(R"({"v": 1, "faults": [{"site": "nope", "nth": 1}]})", "known sites");
+}
+
+TEST(FaultPlan, RejectsRulesThatCouldNeverFire) {
+  expect_rejected(R"({"v": 1, "faults": [{"site": "serve.read"}]})", "no trigger");
+  expect_rejected(R"({"v": 1, "faults": [{"site": "serve.read", "nth": 1, "outcome": "delay"}]})",
+                  "no \"delay_us\"");
+  expect_rejected(R"({"v": 1, "faults": [{"site": "serve.read", "probability": 1.5}]})",
+                  "must be in [0, 1]");
+  expect_rejected(R"({"v": 1, "faults": [{"site": "serve.read", "nth": 1, "outcome": "boom"}]})",
+                  "\"fail\", \"crash\" or \"delay\"");
+  expect_rejected(R"({"v": 1, "faults": [{"site": "serve.read", "nth": 1, "typo": 2}]})",
+                  "unknown member \"typo\"");
+}
+
+TEST(FaultPlan, ErrorsNameTheOffendingRule) {
+  expect_rejected(
+      R"({"v": 1, "faults": [{"site": "serve.read", "nth": 1}, {"site": "bad", "nth": 1}]})",
+      "fault 1");
+}
+
+TEST(FaultPlan, LoadPlanFailsLoudlyOnMissingFiles) {
+  EXPECT_THROW((void)load_plan("/nonexistent/fault_plan.json"), PlanError);
+}
+
+TEST(FaultPlan, PlanDrivenInjectorReplaysDeterministically) {
+  const char* text = R"({"v": 1, "seed": 99, "faults": [
+      {"site": "metrics.write", "probability": 0.5}]})";
+  auto run = [&] {
+    Injector injector = make_injector(parse_plan(text, "test"));
+    std::string fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        injector.hit(kSiteMetricsWrite);
+        fired += '.';
+      } catch (const FaultError&) {
+        fired += 'X';
+      }
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mobsrv::fault

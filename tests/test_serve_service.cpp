@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "algorithms/registry.hpp"
+#include "fault/injector.hpp"
 #include "io/json.hpp"
 #include "obs/journal.hpp"
 #include "serve/service.hpp"
@@ -888,6 +889,244 @@ TEST_F(ServeServiceTest, DefaultRateAppliesOnlyWhenOpenOmitsIt) {
   EXPECT_EQ(opened[0].at("rate").as_double(), 2.0);  // admission default applied
   EXPECT_EQ(opened[1].at("tenant").as_string(), "custom");
   EXPECT_EQ(opened[1].at("rate").as_double(), 0.75);  // explicit limit wins
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: retries, degraded mode, idle reaping, startup hygiene.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> error_messages(const RunOutput& run) {
+  std::vector<std::string> out;
+  for (const io::Json& frame : frames_of_type(run, "error"))
+    out.push_back(frame.at("message").as_string());
+  return out;
+}
+
+std::size_t journal_count(const Service& service, obs::EventType type) {
+  std::size_t n = 0;
+  for (const obs::Event& event : service.telemetry().journal().events())
+    if (event.type == type) ++n;
+  return n;
+}
+
+TEST_F(ServeServiceTest, TransientSnapshotFaultsAreRetriedToSuccess) {
+  // Two injected write failures, three retries budgeted: the save must land
+  // on the third attempt with no error frame and no degraded episode.
+  fault::Injector injector(1);
+  fault::SiteRule rule;
+  rule.site = fault::kSiteSnapshotBaseWrite;
+  rule.every = 1;
+  rule.count = 2;
+  injector.add_rule(rule);
+  ServiceOptions options;
+  options.snapshot_path = dir_ / "retry.msrvss";
+  options.faults = &injector;
+  options.retry_limit = 3;
+  options.retry_base_ms = 0;  // keep the test instant; jitter of 0 is 0
+  Service service(options);
+  const RunOutput run = run_lines(service, {open_line("alpha", "MtC", 1),
+                                            req_line("alpha", {Point{1.5}}),
+                                            R"({"type":"checkpoint"})",
+                                            R"({"type":"metrics"})",
+                                            R"({"type":"shutdown"})"});
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+  EXPECT_TRUE(error_messages(run).empty());
+  ASSERT_GE(frames_of_type(run, "checkpointed").size(), 1u);
+  const auto metrics = frames_of_type(run, "metrics");
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metric_value(metrics.front(), "serve.retries_total"), 2u);
+  EXPECT_EQ(metric_value(metrics.front(), "serve.degraded_total"), 0u);
+  EXPECT_EQ(metric_value(metrics.front(), "serve.degraded"), 0u);
+  EXPECT_EQ(journal_count(service, obs::EventType::kRetry), 2u);
+  EXPECT_EQ(journal_count(service, obs::EventType::kDegraded), 0u);
+
+  // The survived snapshot restores: the retried base was written atomically.
+  Service restored(options);
+  restored.restore(options.snapshot_path);
+  EXPECT_EQ(restored.mux().stats(0).steps, 1u);
+}
+
+TEST_F(ServeServiceTest, ExhaustedRetriesEnterDegradedModeUntilASaveSucceeds) {
+  // Six injected failures against a 2-attempt budget: saves 1-3 exhaust
+  // their retries (one degraded EPISODE, not three), save 4 recovers.
+  fault::Injector injector(2);
+  fault::SiteRule rule;
+  rule.site = fault::kSiteSnapshotBaseWrite;
+  rule.every = 1;
+  rule.count = 6;
+  injector.add_rule(rule);
+  ServiceOptions options;
+  options.snapshot_path = dir_ / "degraded.msrvss";
+  options.faults = &injector;
+  options.retry_limit = 1;
+  options.retry_base_ms = 0;
+  Service service(options);
+  const RunOutput run = run_lines(service, {open_line("alpha", "MtC", 1),
+                                            req_line("alpha", {Point{1.5}}),
+                                            R"({"type":"checkpoint"})",
+                                            R"({"type":"checkpoint"})",
+                                            R"({"type":"checkpoint"})",
+                                            R"({"type":"stats"})",
+                                            R"({"type":"metrics"})",
+                                            R"({"type":"checkpoint"})",
+                                            R"({"type":"metrics"})",
+                                            R"({"type":"shutdown"})"});
+  ASSERT_EQ(run.reason, ExitReason::kShutdown) << "degraded mode must keep serving";
+
+  // Every exhausted save is loud, but the episode is counted once.
+  const std::vector<std::string> errors = error_messages(run);
+  ASSERT_EQ(errors.size(), 3u);
+  for (const std::string& message : errors)
+    EXPECT_NE(message.find("snapshot save failed: injected fault"), std::string::npos) << message;
+
+  // Mid-outage: the stats frame and the gauge both say degraded.
+  const auto stats = frames_of_type(run, "stats");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats.front().at("degraded").as_bool());
+  const auto metrics = frames_of_type(run, "metrics");
+  ASSERT_EQ(metrics.size(), 2u);
+  expect_req_invariant(metrics.front());  // reqs == outcomes + busys held throughout
+  EXPECT_EQ(metric_value(metrics[0], "serve.degraded"), 1u);
+  EXPECT_EQ(metric_value(metrics[0], "serve.degraded_total"), 1u);
+  EXPECT_EQ(metric_value(metrics[0], "serve.retries_total"), 3u);  // one per exhausted save
+
+  // The fourth save succeeds: gauge drops, episode count stays at one.
+  EXPECT_EQ(metric_value(metrics[1], "serve.degraded"), 0u);
+  EXPECT_EQ(metric_value(metrics[1], "serve.degraded_total"), 1u);
+  ASSERT_GE(frames_of_type(run, "checkpointed").size(), 1u);
+  // Journal: enter + recovered, exactly one pair.
+  EXPECT_EQ(journal_count(service, obs::EventType::kDegraded), 2u);
+}
+
+TEST_F(ServeServiceTest, FailedMetricsWriteJournalsAndContinues) {
+  // --metrics-out hitting a dead disk must not kill the stream: the write
+  // is retried, journaled as an error, and the service degrades instead.
+  fault::Injector injector(3);
+  fault::SiteRule rule;
+  rule.site = fault::kSiteMetricsWrite;
+  rule.every = 1;
+  injector.add_rule(rule);
+  ServiceOptions options;
+  options.metrics_path = dir_ / "metrics.ndjson";
+  options.metrics_every = 1;  // every step flushes, so the fault fires mid-run
+  options.faults = &injector;
+  options.retry_limit = 1;
+  options.retry_base_ms = 0;
+  Service service(options);
+  const RunOutput run = run_lines(service, {open_line("alpha", "MtC", 1),
+                                            req_line("alpha", {Point{1.5}}),
+                                            R"({"type":"metrics"})",
+                                            R"({"type":"shutdown"})"});
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+  ASSERT_EQ(outcomes_of(run, "alpha").size(), 1u) << "the stream itself must keep flowing";
+
+  const std::vector<std::string> errors = error_messages(run);
+  ASSERT_GE(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("metrics snapshot failed: injected fault"), std::string::npos);
+  EXPECT_FALSE(fs::exists(options.metrics_path.string() + ".tmp"));
+
+  bool journaled = false;
+  for (const obs::Event& event : service.telemetry().journal().events())
+    if (event.type == obs::EventType::kError &&
+        event.detail.find("metrics snapshot failed") != std::string::npos)
+      journaled = true;
+  EXPECT_TRUE(journaled);
+  const auto metrics = frames_of_type(run, "metrics");
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metric_value(metrics.front(), "serve.degraded"), 1u);
+}
+
+TEST_F(ServeServiceTest, IdleTenantsAreReapedWithAttributedTimeout) {
+  ServiceOptions options;
+  options.idle_timeout = 3;  // input lines of silence
+  Service service(options);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("idle", "MtC", 1));
+  lines.push_back(open_line("busy", "MtC", 1));
+  for (const auto& batch : make_batches(5, 4, 1)) lines.push_back(req_line("busy", batch));
+  lines.push_back(R"({"type":"metrics"})");
+  lines.push_back(R"({"type":"shutdown"})");
+  const RunOutput run = run_lines(service, lines);
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+
+  // The reap is attributed: a fatal error frame naming the tenant, then the
+  // standard closed frame with its final bill.
+  const auto errors = frames_of_type(run, "error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().at("message").as_string().find("idle timeout"), std::string::npos);
+  EXPECT_EQ(errors.front().at("tenant").as_string(), "idle");
+  EXPECT_TRUE(errors.front().at("closed").as_bool());
+  bool closed_idle = false;
+  for (const io::Json& frame : frames_of_type(run, "closed"))
+    if (frame.at("tenant").as_string() == "idle") closed_idle = true;
+  EXPECT_TRUE(closed_idle);
+  EXPECT_EQ(journal_count(service, obs::EventType::kTimeout), 1u);
+
+  // The busy tenant was never touched.
+  const auto metrics = frames_of_type(run, "metrics");
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metric_value(metrics.front(), "serve.idle_timeouts_total"), 1u);
+  EXPECT_EQ(metric_value(metrics.front(), "serve.tenants_open"), 1u);
+  EXPECT_EQ(outcomes_of(run, "busy").size(), 4u);
+}
+
+TEST_F(ServeServiceTest, StaleTempFilesAreSweptOnStartup) {
+  // A crash between "write tmp" and "rename" leaves a .tmp; the next boot
+  // must not trip over it (or worse, let it grow forever).
+  const fs::path snapshot = dir_ / "boot.msrvss";
+  const fs::path metrics = dir_ / "boot.ndjson";
+  for (const fs::path& stale : {fs::path(snapshot.string() + ".tmp"),
+                                fs::path(metrics.string() + ".tmp")}) {
+    std::ofstream out(stale, std::ios::binary);
+    out << "torn half-write from a previous life";
+  }
+  ServiceOptions options;
+  options.snapshot_path = snapshot;
+  options.metrics_path = metrics;
+  Service service(options);
+  EXPECT_FALSE(fs::exists(snapshot.string() + ".tmp"));
+  EXPECT_FALSE(fs::exists(metrics.string() + ".tmp"));
+}
+
+TEST_F(ServeServiceTest, ServeReadFaultIsObservationalTheLineStillLands) {
+  // A kFail at serve.read reports the fault but must not drop the frame —
+  // otherwise an every=1 plan would livelock the whole stream.
+  fault::Injector injector(4);
+  fault::SiteRule rule;
+  rule.site = fault::kSiteServeRead;
+  rule.nth = 2;  // the req line
+  injector.add_rule(rule);
+  ServiceOptions options;
+  options.faults = &injector;
+  Service service(options);
+  const RunOutput run = run_lines(service, {open_line("alpha", "MtC", 1),
+                                            req_line("alpha", {Point{1.5}}),
+                                            R"({"type":"shutdown"})"});
+  ASSERT_EQ(run.reason, ExitReason::kShutdown);
+  const std::vector<std::string> errors = error_messages(run);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("injected fault at site serve.read"), std::string::npos);
+  EXPECT_EQ(outcomes_of(run, "alpha").size(), 1u) << "the faulted line was still processed";
+}
+
+TEST_F(ServeServiceTest, DisabledInjectorIsBitIdenticalToNoInjector) {
+  // The acceptance bar for the hooks: an armed-but-empty injector must not
+  // perturb a single output byte relative to running with no injector.
+  const auto batches = make_batches(21, 10, 2);
+  std::vector<std::string> lines;
+  lines.push_back(open_line("alpha", "MtC", 2, 1, 9));
+  for (const auto& batch : batches) lines.push_back(req_line("alpha", batch));
+  lines.push_back(R"({"type":"shutdown"})");
+
+  Service plain(ServiceOptions{});
+  const RunOutput without = run_lines(plain, lines);
+  fault::Injector injector(5);  // seeded, but holds no rules
+  ServiceOptions options;
+  options.faults = &injector;
+  Service hooked(options);
+  const RunOutput with = run_lines(hooked, lines);
+  EXPECT_EQ(outcomes_of(without, "alpha"), outcomes_of(with, "alpha"));
+  EXPECT_EQ(injector.total_fired(), 0u);
 }
 
 }  // namespace

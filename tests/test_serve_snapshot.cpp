@@ -8,6 +8,8 @@
 //   * inspect_snapshot reports the chain shape the compaction policy uses.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -261,6 +263,97 @@ TEST_F(ServeSnapshotTest, InspectReportsChainShape) {
   // Appending to a missing or non-MSRVSS2 file fails loudly.
   EXPECT_THROW(serve::append_snapshot_delta(dir_ / "missing.msrvss", h.dirty_delta()),
                trace::TraceError);
+}
+
+// ---------------------------------------------------------------------------
+// Torture: the crash-consistency contract, enumerated rather than sampled.
+// `mobsrv_trace chaos` runs the same sweeps against arbitrary chains in CI;
+// these in-process versions pin the invariants on a known chain so a
+// regression is caught in `ctest`, not only in the fuzz job.
+
+/// A base + two deltas, returning the raw chain bytes and the byte offset of
+/// every complete-segment boundary (positions a crashed writer could have
+/// legitimately left the file at).
+struct TortureChain {
+  std::string bytes;
+  std::vector<std::uint64_t> boundaries;
+  std::vector<std::string> prefix_states;  // canonical encoding per boundary
+};
+
+TortureChain build_torture_chain(Harness& h, const fs::path& path) {
+  TortureChain chain;
+  h.open("alpha", 5);
+  h.open("beta", 3);
+  h.mux.drain();
+  h.mux.mark_saved();
+  serve::write_snapshot_base(path, h.base_segment());
+  chain.boundaries.push_back(fs::file_size(path));
+  for (int saves = 0; saves < 2; ++saves) {
+    h.feed(*h.table.find("alpha"), 2);
+    h.mux.drain();
+    serve::append_snapshot_delta(path, h.dirty_delta());
+    h.mux.mark_saved();
+    chain.boundaries.push_back(fs::file_size(path));
+  }
+  std::ifstream in(path, std::ios::binary);
+  chain.bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  for (const std::uint64_t boundary : chain.boundaries)
+    chain.prefix_states.push_back(serve::encode_snapshot(
+        serve::read_snapshot_bytes(chain.bytes.substr(0, boundary), "prefix")));
+  return chain;
+}
+
+TEST_F(ServeSnapshotTest, TruncationAtEveryByteOffsetLoadsThePrefixOrFailsLoudly) {
+  Harness h;
+  const TortureChain chain = build_torture_chain(h, dir_ / "sweep.msrvss");
+  ASSERT_EQ(chain.boundaries.back(), chain.bytes.size());
+
+  for (std::size_t len = 0; len <= chain.bytes.size(); ++len) {
+    // The longest complete prefix a crash at `len` preserves, if any.
+    int prefix = -1;
+    for (std::size_t b = 0; b < chain.boundaries.size(); ++b)
+      if (chain.boundaries[b] <= len) prefix = static_cast<int>(b);
+    const std::string cut = chain.bytes.substr(0, len);
+    if (prefix < 0) {
+      // No complete segment survives: the reader must refuse, loudly.
+      EXPECT_THROW((void)serve::read_snapshot_bytes(cut, "cut"), trace::TraceError)
+          << "truncation to " << len << " bytes was accepted";
+      continue;
+    }
+    // A torn tail is a crash mid-append: silently dropped, and the result
+    // is bit-identical to the last completed save.
+    std::string state;
+    ASSERT_NO_THROW(state = serve::encode_snapshot(serve::read_snapshot_bytes(cut, "cut")))
+        << "truncation to " << len << " bytes failed loudly past a complete segment";
+    EXPECT_EQ(state, chain.prefix_states[static_cast<std::size_t>(prefix)])
+        << "truncation to " << len << " bytes loaded a state that is not the longest prefix";
+  }
+}
+
+TEST_F(ServeSnapshotTest, BitFlipsNeverLoadAStateOutsideTheChain) {
+  Harness h;
+  const TortureChain chain = build_torture_chain(h, dir_ / "flips.msrvss");
+
+  // Flipping a size field can legitimately tear the tail (the reader sees a
+  // truncated chain), so the contract is: every single-bit flip either fails
+  // with TraceError or loads to SOME complete-prefix state — never a novel
+  // state, never a foreign exception. One bit per byte keeps the sweep
+  // byte-granular without exploding to 8x runtime; the rotating bit index
+  // still exercises every bit position.
+  for (std::size_t offset = 0; offset < chain.bytes.size(); ++offset) {
+    std::string mutated = chain.bytes;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ (1u << (offset % 8)));
+    try {
+      const std::string state =
+          serve::encode_snapshot(serve::read_snapshot_bytes(mutated, "flip"));
+      EXPECT_NE(std::find(chain.prefix_states.begin(), chain.prefix_states.end(), state),
+                chain.prefix_states.end())
+          << "bit flip at byte " << offset << " loaded a state outside the chain";
+    } catch (const trace::TraceError&) {
+      // Loud rejection is the expected outcome for most flips.
+    }
+    // Any other exception type escapes and fails the test — that is the point.
+  }
 }
 
 }  // namespace

@@ -31,6 +31,7 @@
 #include <unistd.h>
 
 #include "common/contracts.hpp"
+#include "fault/plan.hpp"
 #include "io/args.hpp"
 #include "io/cli.hpp"
 #include "serve/service.hpp"
@@ -139,6 +140,13 @@ void print_usage(std::ostream& os) {
         "                         off; needs --metrics-out)\n"
         "  --default-rate=R       rate limit for tenants whose open frame names none\n"
         "                         (steps per round, fractions ok; 0 = unlimited)\n"
+        "  --idle-timeout=N       close a tenant after N input lines with no frames\n"
+        "                         from it and no queued work (timeout error frame;\n"
+        "                         0 = never, the default)\n"
+        "  --no-durable           skip the fsyncs on snapshot/metrics writes (faster,\n"
+        "                         but saves only survive crashes, not power loss)\n"
+        "  --fault-plan=PATH      torture aid: inject faults per the JSON plan (seeded,\n"
+        "                         deterministic; see docs/SERVICE.md)\n"
         "  --dump-metrics         print the metric catalog (one JSON object per line:\n"
         "                         name, type, unit, help) and exit\n"
         "  --tcp=PORT             serve one TCP connection on 127.0.0.1:PORT instead\n"
@@ -211,8 +219,9 @@ int main(int argc, char** argv) {
                                              "max-inflight",  "default-rate",
                                              "threads",       "lean",
                                              "metrics-out",   "metrics-every",
-                                             "dump-metrics",  "tcp",
-                                             "unix"};
+                                             "idle-timeout",  "no-durable",
+                                             "fault-plan",    "dump-metrics",
+                                             "tcp",           "unix"};
     bool ok = false;
     for (const char* flag : kKnown) ok = ok || name == flag;
     if (!ok) {
@@ -238,6 +247,7 @@ int main(int argc, char** argv) {
   }
 
   serve::ServiceOptions options;
+  fault::Injector injector;  // inert unless --fault-plan arms it
   int tcp_port = 0;
   try {
     options.snapshot_path = args.get_string("snapshot", "");
@@ -249,6 +259,14 @@ int main(int argc, char** argv) {
     options.metrics_every = static_cast<std::size_t>(args.get_uint64("metrics-every", 0));
     options.default_rate = args.get_double("default-rate", 0.0);
     options.compact_ratio = args.get_double("compact-ratio", 4.0);
+    options.idle_timeout = static_cast<std::size_t>(args.get_uint64("idle-timeout", 0));
+    options.durable = !args.get_bool("no-durable", false);
+    if (args.has("fault-plan")) {
+      // A bad plan is a bad command line: PlanError lands in this catch and
+      // exits 2 before the service starts.
+      injector = fault::make_injector(fault::load_plan(args.get_string("fault-plan", "")));
+      options.faults = &injector;
+    }
     if (args.has("tcp")) tcp_port = args.get_int("tcp", 0);
   } catch (const std::exception& error) {
     // A malformed flag value is a usage error (exit 2), not a crash.

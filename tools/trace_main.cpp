@@ -20,14 +20,18 @@
 /// Codecs are chosen by file extension: .jsonl (JSON Lines) or .mtb
 /// (binary). Reading sniffs the codec, so any command accepts either.
 /// Checkpoint files use their own versioned binary format (.msck).
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/mobsrv.hpp"
 #include "io/cli.hpp"
+#include "serve/snapshot.hpp"
+#include "stats/rng.hpp"
 
 namespace {
 
@@ -52,7 +56,11 @@ void print_usage(std::ostream& os) {
         "  checkpoint --in=FILE [--fleet=K] [--algos=A,B] [--at=FRAC] [--ckpt=PATH]\n"
         "           [--threads=N]   run the trace's workload to FRAC of its horizon,\n"
         "           checkpoint the multiplexer to disk, restore into a fresh one,\n"
-        "           drain, and verify bit-identity against an uninterrupted run\n";
+        "           drain, and verify bit-identity against an uninterrupted run\n"
+        "  chaos    --in=FILE [--stride=N] [--flips=N] [--seed=S] [--quiet]\n"
+        "           torture an MSRVSS2 snapshot chain: truncate at every offset,\n"
+        "           flip bits, duplicate/reorder/drop segments; every mutation must\n"
+        "           load bit-identically to a complete prefix or fail loudly\n";
 }
 
 std::vector<std::string> parse_algos(const std::string& value) { return io::split_list(value); }
@@ -386,6 +394,170 @@ int cmd_checkpoint(const io::Args& args) {
   return mismatches == 0 ? 0 : 1;
 }
 
+/// The snapshot torture harness. Mutates an MSRVSS2 segment chain —
+/// truncation at every byte offset, single-bit flips, duplicated /
+/// reordered / dropped segments — and drives every mutant through the
+/// production reader (serve::read_snapshot_bytes). The contract under test
+/// (docs/SERVICE.md): a torn TAIL silently resumes from the last complete
+/// segment, bit-identically; every other corruption fails loudly with a
+/// TraceError; nothing ever crashes (CI runs this under asan/ubsan).
+int cmd_chaos(const io::Args& args) {
+  const std::filesystem::path in = require_flag(args, "in");
+  const int stride_raw = args.get_int("stride", 1);
+  if (stride_raw < 1) throw ContractViolation("flag --stride must be >= 1");
+  const auto stride = static_cast<std::size_t>(stride_raw);
+  const std::uint64_t flips = args.get_uint64("flips", 64);
+  const std::uint64_t seed = args.get_uint64("seed", 0);
+  const bool quiet = args.get_bool("quiet", false);
+
+  std::ifstream file(in, std::ios::binary);
+  if (!file) throw ContractViolation("cannot open --in file: " + in.string());
+  const std::string bytes((std::istreambuf_iterator<char>(file)),
+                          std::istreambuf_iterator<char>());
+
+  static constexpr char kMagic[] = {'M', 'S', 'R', 'V', 'S', 'S', '2', '\n'};
+  constexpr std::size_t kHeader = sizeof(kMagic) + 4;  // magic + u32 version
+  constexpr std::size_t kSegHeader = 1 + 8 + 4;        // tag + u64 size + u32 crc
+  if (bytes.size() < kHeader || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    throw ContractViolation(in.string() +
+                            " is not an MSRVSS2 snapshot chain (run mobsrv_serve with "
+                            "--snapshot and a `checkpoint` frame to produce one)");
+
+  // Complete-segment boundaries: every offset where the file prefix is a
+  // whole chain. Parsed from the raw framing, NOT via the reader — the
+  // harness must not trust the code it is torturing.
+  std::vector<std::size_t> boundaries;
+  std::size_t pos = kHeader;
+  while (bytes.size() - pos >= kSegHeader) {
+    std::uint64_t payload = 0;
+    std::memcpy(&payload, bytes.data() + pos + 1, 8);
+    if (payload > bytes.size() - pos - kSegHeader) break;
+    pos += kSegHeader + static_cast<std::size_t>(payload);
+    boundaries.push_back(pos);
+  }
+  if (boundaries.empty()) throw ContractViolation(in.string() + " holds no complete segment");
+
+  // The reference states: what each complete prefix merges to, canonically
+  // re-encoded so states compare as strings.
+  std::vector<std::string> prefix_states;
+  prefix_states.reserve(boundaries.size());
+  for (const std::size_t boundary : boundaries)
+    prefix_states.push_back(
+        serve::encode_snapshot(serve::read_snapshot_bytes(bytes.substr(0, boundary), "prefix")));
+
+  std::size_t checks = 0;
+  std::size_t failures = 0;
+  auto report = [&](const std::string& what, const std::string& why) {
+    ++failures;
+    if (!quiet && failures <= 20) std::cout << "  FAIL " << what << ": " << why << "\n";
+  };
+
+  // 1) Truncation sweep. A prefix holding >= 1 complete segment MUST load
+  //    to exactly that prefix's state (the torn tail is dropped silently);
+  //    a shorter prefix MUST fail loudly.
+  for (std::size_t len = 0; len < bytes.size(); len += stride) {
+    ++checks;
+    std::ptrdiff_t idx = -1;
+    for (std::size_t i = 0; i < boundaries.size(); ++i)
+      if (boundaries[i] <= len) idx = static_cast<std::ptrdiff_t>(i);
+    const std::string what = "truncate@" + std::to_string(len);
+    try {
+      const std::string got =
+          serve::encode_snapshot(serve::read_snapshot_bytes(bytes.substr(0, len), "chaos"));
+      if (idx < 0)
+        report(what, "loaded from a chain with no complete segment");
+      else if (got != prefix_states[static_cast<std::size_t>(idx)])
+        report(what, "loaded state differs from the complete-prefix state");
+    } catch (const trace::TraceError& error) {
+      if (idx >= 0) report(what, std::string("torn tail failed loudly: ") + error.what());
+    } catch (const std::exception& error) {
+      report(what, std::string("wrong exception type: ") + error.what());
+    }
+  }
+
+  // 2) Bit flips. CRC-32 catches every single-bit payload error, so a flip
+  //    either fails loudly or (size/tag-field flips that tear the tail)
+  //    loads to SOME complete prefix's state — never to anything else.
+  auto flip_check = [&](std::size_t offset, unsigned bit) {
+    ++checks;
+    std::string mutated = bytes;
+    mutated[offset] = static_cast<char>(static_cast<unsigned char>(mutated[offset]) ^ (1u << bit));
+    const std::string what = "bitflip@" + std::to_string(offset) + "." + std::to_string(bit);
+    try {
+      const std::string got =
+          serve::encode_snapshot(serve::read_snapshot_bytes(mutated, "chaos"));
+      bool prefix = false;
+      for (const std::string& state : prefix_states) prefix = prefix || state == got;
+      if (!prefix) report(what, "loaded to a state no complete prefix produces");
+    } catch (const trace::TraceError&) {
+      // loud rejection is the contract for real corruption
+    } catch (const std::exception& error) {
+      report(what, std::string("wrong exception type: ") + error.what());
+    }
+  };
+  for (std::size_t offset = 0; offset < bytes.size(); offset += stride)
+    flip_check(offset, static_cast<unsigned>(offset % 8));
+  stats::Rng rng(stats::mix_keys({seed, stats::hash_name("chaos")}));
+  for (std::uint64_t i = 0; i < flips; ++i)
+    flip_check(static_cast<std::size_t>(
+                   rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1)),
+               static_cast<unsigned>(rng.uniform_int(0, 7)));
+
+  // 3) Segment surgery: duplicated, adjacent-swapped and dropped segments.
+  //    Every CRC still matches, so the reader sees a syntactically valid
+  //    chain — it must either merge it cleanly or reject the inconsistency
+  //    (delta before base, double-open, close of a never-open slot) with a
+  //    TraceError. The only failure is a crash or a foreign exception.
+  std::vector<std::pair<std::size_t, std::size_t>> segments;
+  {
+    std::size_t start = kHeader;
+    for (const std::size_t boundary : boundaries) {
+      segments.emplace_back(start, boundary);
+      start = boundary;
+    }
+  }
+  auto rebuild = [&](const std::vector<std::size_t>& order) {
+    std::string out = bytes.substr(0, kHeader);
+    for (const std::size_t s : order)
+      out += bytes.substr(segments[s].first, segments[s].second - segments[s].first);
+    return out;
+  };
+  auto surgery_check = [&](const std::vector<std::size_t>& order, const std::string& what) {
+    ++checks;
+    try {
+      (void)serve::read_snapshot_bytes(rebuild(order), "chaos");
+    } catch (const trace::TraceError&) {
+    } catch (const std::exception& error) {
+      report(what, std::string("wrong exception type: ") + error.what());
+    }
+  };
+  const std::size_t n = segments.size();
+  std::vector<std::size_t> identity(n);
+  for (std::size_t i = 0; i < n; ++i) identity[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> order = identity;
+    order.insert(order.begin() + static_cast<std::ptrdiff_t>(i), i);
+    surgery_check(order, "dup@" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::vector<std::size_t> order = identity;
+    std::swap(order[i], order[i + 1]);
+    surgery_check(order, "swap@" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> order;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) order.push_back(j);
+    surgery_check(order, "drop@" + std::to_string(i));
+  }
+
+  std::cout << "chaos: " << in.string() << " (" << bytes.size() << " bytes, "
+            << boundaries.size() << " segment(s), stride " << stride << "), " << checks
+            << " mutation(s), " << failures << " failure(s) → "
+            << (failures == 0 ? "OK" : "FAILED") << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -440,6 +612,10 @@ int main(int argc, char** argv) {
     if (command == "checkpoint") {
       reject_unknown_flags(args, command, {"in", "fleet", "algos", "at", "ckpt", "threads"});
       return cmd_checkpoint(args);
+    }
+    if (command == "chaos") {
+      reject_unknown_flags(args, command, {"in", "stride", "flips", "seed", "quiet"});
+      return cmd_chaos(args);
     }
     std::cerr << "mobsrv_trace: unknown command '" << command << "'\n";
     print_usage(std::cerr);
